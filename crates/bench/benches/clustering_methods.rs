@@ -1,0 +1,30 @@
+//! Comparison of the three exact clustering algorithms (sort, entry-scan,
+//! boundary-scan) across query sizes — boundary-scan's `O(surface)`
+//! advantage is what makes the paper-scale figures tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onion_core::Onion2D;
+use sfc_clustering::{clustering_number_with, ClusterMethod, RectQuery};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let side = 1 << 9;
+    let onion = Onion2D::new(side).unwrap();
+    for l in [16u32, 64, 256] {
+        let q = RectQuery::new([(side - l) / 2, (side - l) / 3], [l, l]).unwrap();
+        let mut group = c.benchmark_group(format!("clustering_2d/l{l}"));
+        for (name, method) in [
+            ("sort", ClusterMethod::Sort),
+            ("entry_scan", ClusterMethod::EntryScan),
+            ("boundary_scan", ClusterMethod::BoundaryScan),
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| black_box(clustering_number_with(&onion, black_box(&q), method)));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Throughput of the curve mappings themselves: `index_unchecked`
+//! (cell → key) and `point_unchecked` (key → cell) for every curve in the
+//! workspace, 2D and 3D.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onion_core::{Point, SpaceFillingCurve};
+use sfc_baselines::{curve_2d, curve_3d, CURVE_NAMES};
+use std::hint::black_box;
+
+fn bench_2d(c: &mut Criterion) {
+    let side = 1 << 10;
+    let mut group = c.benchmark_group("curve_ops_2d/index");
+    for name in CURVE_NAMES {
+        let curve = curve_2d(name, side).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut x = 0u32;
+            b.iter(|| {
+                x = (x.wrapping_mul(1664525).wrapping_add(1013904223)) % side;
+                let p = Point::new([x, (x >> 3) % side]);
+                black_box(curve.index_unchecked(black_box(p)))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("curve_ops_2d/point");
+    let n = u64::from(side) * u64::from(side);
+    for name in CURVE_NAMES {
+        let curve = curve_2d(name, side).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut idx = 0u64;
+            b.iter(|| {
+                idx = (idx.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                black_box(curve.point_unchecked(black_box(idx)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_3d(c: &mut Criterion) {
+    let side = 1 << 8;
+    let mut group = c.benchmark_group("curve_ops_3d/index");
+    for name in CURVE_NAMES {
+        let curve = curve_3d(name, side).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut x = 0u32;
+            b.iter(|| {
+                x = (x.wrapping_mul(1664525).wrapping_add(1013904223)) % side;
+                let p = Point::new([x, (x >> 2) % side, (x >> 4) % side]);
+                black_box(curve.index_unchecked(black_box(p)))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("curve_ops_3d/point");
+    let n = u64::from(side).pow(3);
+    for name in CURVE_NAMES {
+        let curve = curve_3d(name, side).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut idx = 0u64;
+            b.iter(|| {
+                idx = (idx.wrapping_mul(6364136223846793005).wrapping_add(1)) % n;
+                black_box(curve.point_unchecked(black_box(idx)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_2d, bench_3d);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Cost of the exact average-clustering computation (Lemma 1 edge walk),
+//! the primitive behind the Table I / Table II experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onion_core::{Onion2D, Onion3D};
+use sfc_baselines::Hilbert;
+use sfc_clustering::average_clustering_exact;
+use std::hint::black_box;
+
+fn bench_exact_average(c: &mut Criterion) {
+    let side2 = 1 << 7;
+    let onion2 = Onion2D::new(side2).unwrap();
+    let hilbert2 = Hilbert::<2>::new(side2).unwrap();
+    let mut group = c.benchmark_group("exact_average_2d_side128");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("onion"), |b| {
+        b.iter(|| black_box(average_clustering_exact(&onion2, black_box([40, 40])).unwrap()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("hilbert"), |b| {
+        b.iter(|| black_box(average_clustering_exact(&hilbert2, black_box([40, 40])).unwrap()));
+    });
+    group.finish();
+
+    let side3 = 1 << 5;
+    let onion3 = Onion3D::new(side3).unwrap();
+    let hilbert3 = Hilbert::<3>::new(side3).unwrap();
+    let mut group = c.benchmark_group("exact_average_3d_side32");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("onion"), |b| {
+        b.iter(|| black_box(average_clustering_exact(&onion3, black_box([10, 10, 10])).unwrap()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("hilbert"), |b| {
+        b.iter(|| {
+            black_box(average_clustering_exact(&hilbert3, black_box([10, 10, 10])).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_average);
+criterion_main!(benches);

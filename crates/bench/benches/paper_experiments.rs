@@ -1,0 +1,132 @@
+//! Small-scale kernels of every paper artifact, wired into `cargo bench` so
+//! each table/figure's inner loop is exercised and timed:
+//!
+//! * `table1/*` — exact average clustering + lower bound (Table I);
+//! * `fig5a`, `fig5b` — random cube distributions (Figures 5a/5b);
+//! * `fig6a`, `fig6b` — Algorithm 1 fixed-ratio sets (Figures 6a/6b);
+//! * `fig7a`, `fig7b` — random-corner rectangles (Figures 7a/7b);
+//! * `lemma10` — the rows+columns impossibility measurement.
+//!
+//! The `exp_*` binaries print the full series; these benches time the
+//! kernels at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onion_core::{Onion2D, Onion3D};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfc_baselines::Hilbert;
+use sfc_bench::scenarios::clustering_summary;
+use sfc_clustering::{
+    average_clustering_bruteforce, average_clustering_exact, columns, fixed_ratio_set_2d,
+    fixed_ratio_set_3d, random_corner_rects, random_translations, rows,
+};
+use sfc_theory::{general_lower_bound_2d, general_lower_bound_3d};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let side = 1 << 6;
+    let l = side - 9;
+    let onion = Onion2D::new(side).unwrap();
+    let hilbert = Hilbert::<2>::new(side).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("2d_onion_exact"), |b| {
+        b.iter(|| black_box(average_clustering_exact(&onion, [l, l]).unwrap()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("2d_hilbert_exact"), |b| {
+        b.iter(|| black_box(average_clustering_exact(&hilbert, [l, l]).unwrap()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("2d_lower_bound"), |b| {
+        b.iter(|| black_box(general_lower_bound_2d(side, l, l)));
+    });
+    let side3 = 1 << 4;
+    let l3 = side3 - 9;
+    let onion3 = Onion3D::new(side3).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("3d_onion_exact"), |b| {
+        b.iter(|| black_box(average_clustering_exact(&onion3, [l3, l3, l3]).unwrap()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("3d_lower_bound"), |b| {
+        b.iter(|| black_box(general_lower_bound_3d(side3, l3)));
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let side = 1 << 8;
+    let onion = Onion2D::new(side).unwrap();
+    let hilbert = Hilbert::<2>::new(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let queries = random_translations(side, [side - 50, side - 50], 50, &mut rng).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("fig5a_onion"), |b| {
+        b.iter(|| black_box(clustering_summary(&onion, black_box(&queries))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("fig5a_hilbert"), |b| {
+        b.iter(|| black_box(clustering_summary(&hilbert, black_box(&queries))));
+    });
+    let side3 = 1 << 6;
+    let onion3 = Onion3D::new(side3).unwrap();
+    let hilbert3 = Hilbert::<3>::new(side3).unwrap();
+    let q3 = random_translations(side3, [side3 - 8; 3], 20, &mut rng).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("fig5b_onion"), |b| {
+        b.iter(|| black_box(clustering_summary(&onion3, black_box(&q3))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("fig5b_hilbert"), |b| {
+        b.iter(|| black_box(clustering_summary(&hilbert3, black_box(&q3))));
+    });
+    group.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig7");
+    group.sample_size(10);
+    let side = 1 << 8;
+    let onion = Onion2D::new(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let fixed = fixed_ratio_set_2d(side, 2.0, 50, 3, &mut rng);
+    group.bench_function(BenchmarkId::from_parameter("fig6a_onion"), |b| {
+        b.iter(|| black_box(clustering_summary(&onion, black_box(&fixed))));
+    });
+    let side3 = 1 << 6;
+    let onion3 = Onion3D::new(side3).unwrap();
+    let fixed3 = fixed_ratio_set_3d(side3, 2.0, 16, 3, &mut rng);
+    group.bench_function(BenchmarkId::from_parameter("fig6b_onion"), |b| {
+        b.iter(|| black_box(clustering_summary(&onion3, black_box(&fixed3))));
+    });
+    let corners = random_corner_rects::<2, _>(side, 40, &mut rng);
+    group.bench_function(BenchmarkId::from_parameter("fig7a_onion"), |b| {
+        b.iter(|| black_box(clustering_summary(&onion, black_box(&corners))));
+    });
+    let corners3 = random_corner_rects::<3, _>(side3, 15, &mut rng);
+    group.bench_function(BenchmarkId::from_parameter("fig7b_onion"), |b| {
+        b.iter(|| black_box(clustering_summary(&onion3, black_box(&corners3))));
+    });
+    group.finish();
+}
+
+fn bench_lemma10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma10");
+    group.sample_size(10);
+    let side = 1 << 5;
+    let onion = Onion2D::new(side).unwrap();
+    let qr = rows(side);
+    let qc = columns(side);
+    group.bench_function(BenchmarkId::from_parameter("rows_plus_columns"), |b| {
+        b.iter(|| {
+            let a = average_clustering_bruteforce(&onion, black_box(&qr));
+            let bb = average_clustering_bruteforce(&onion, black_box(&qc));
+            black_box(a + bb)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig5,
+    bench_fig6_fig7,
+    bench_lemma10
+);
+criterion_main!(benches);

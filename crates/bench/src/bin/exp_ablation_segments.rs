@@ -1,0 +1,76 @@
+//! Ablation of §VI-A's design freedom: "the essential rule … is to organize
+//! different layers sequentially … the order in which the onion curve
+//! organizes the different Sg(t) is not so important. We can actually adopt
+//! any permutation."
+//!
+//! We measure the exact average clustering number of the paper's segment
+//! order against several random segment permutations, for cube query sets.
+//! The claim holds if all permutations land within a small band.
+
+use onion_core::{Onion3D, Segment3D};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::average_clustering_exact;
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side: u32 = if cfg.paper_scale { 64 } else { 32 };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut orders: Vec<(String, [Segment3D; 10])> =
+        vec![("paper (S1..S10)".into(), Segment3D::ALL)];
+    for i in 0..4 {
+        let mut order = Segment3D::ALL;
+        order.shuffle(&mut rng);
+        orders.push((format!("shuffle #{i}"), order));
+    }
+
+    let lengths: Vec<u32> = vec![4, side / 4, side / 2, side - 9];
+    let mut rows = Vec::new();
+    let mut worst_spread = 0.0f64;
+    for (name, order) in &orders {
+        let curve = Onion3D::with_segment_order(side, *order).unwrap();
+        let cells: Vec<String> = lengths
+            .iter()
+            .map(|&l| {
+                format!(
+                    "{:.2}",
+                    average_clustering_exact(&curve, [l, l, l]).unwrap()
+                )
+            })
+            .collect();
+        rows.push(Row::new(name.clone(), cells));
+    }
+    // Spread per column relative to the paper order.
+    for (j, &l) in lengths.iter().enumerate() {
+        let vals: Vec<f64> = rows.iter().map(|r| r.cells[j].parse().unwrap()).collect();
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spread = (max - min) / min;
+        worst_spread = worst_spread.max(spread);
+        println!("l = {l}: permutation spread {:.1}%", spread * 100.0);
+    }
+
+    let columns: Vec<String> = lengths.iter().map(|l| format!("l={l}")).collect();
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Segment-order ablation: exact avg clustering, side {side} (3D cubes)"),
+        "segment order",
+        &col_refs,
+        &rows,
+    );
+    write_csv(&cfg, "ablation_segments", "order", &col_refs, &rows);
+
+    assert!(
+        worst_spread < 0.35,
+        "segment permutations should only shift clustering by lower-order terms, \
+         spread {worst_spread:.2}"
+    );
+    println!(
+        "\nOK: all segment permutations stay within {:.0}% of each other — \
+         layer-sequentiality, not intra-layer order, drives the bound (paper SVI-A).",
+        worst_spread * 100.0
+    );
+}

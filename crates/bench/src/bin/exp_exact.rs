@@ -1,0 +1,72 @@
+//! Utility: exact average clustering number (Lemma 1 edge walk) for a given
+//! curve, universe side, and query shape — alongside the paper's closed-form
+//! predictions (Theorem 1 / Theorem 4) and lower bounds (Theorems 2/3/5/6).
+//!
+//! Usage: `exp_exact <2|3> <side> <l1> [l2] [l3] [curve...]`
+//! (curves default to onion and hilbert).
+
+use onion_core::SpaceFillingCurve;
+use sfc_baselines::{curve_2d, curve_3d};
+use sfc_clustering::average_clustering_exact;
+use sfc_theory::{
+    continuous_lower_bound_2d, continuous_lower_bound_3d, onion2d_average_clustering,
+    onion3d_average_clustering,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: exp_exact <2|3> <side> <l1> [l2] [l3] [curve...]");
+        std::process::exit(2);
+    }
+    let dims: usize = args[0].parse().expect("dims must be 2 or 3");
+    let side: u32 = args[1].parse().expect("side");
+    match dims {
+        2 => {
+            let l1: u32 = args[2].parse().expect("l1");
+            let l2: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(l1);
+            let names: Vec<&str> = if args.len() > 4 {
+                args[4..].iter().map(String::as_str).collect()
+            } else {
+                vec!["onion", "hilbert"]
+            };
+            let th = onion2d_average_clustering(side, l1, l2);
+            println!(
+                "side {side}, shape {l1}x{l2}: Theorem1 onion = {:.3} (+-{}), continuous LB = {:.3}",
+                th.value,
+                th.abs_err,
+                continuous_lower_bound_2d(side, l1, l2)
+            );
+            for name in names {
+                let c = curve_2d(name, side).expect("curve");
+                let avg = average_clustering_exact(&c, [l1, l2]).expect("shape fits");
+                println!("  {name:>14}: exact avg = {avg:.4}");
+                let _ = c.universe();
+            }
+        }
+        3 => {
+            let l: u32 = args[2].parse().expect("l");
+            let names: Vec<&str> = if args.len() > 3 {
+                args[3..].iter().map(String::as_str).collect()
+            } else {
+                vec!["onion", "hilbert"]
+            };
+            let th = onion3d_average_clustering(side, l);
+            println!(
+                "side {side}, shape {l}^3: Theorem4 onion = {:.3} (+-{:.1}), continuous LB = {:.3}",
+                th.value,
+                th.abs_err,
+                continuous_lower_bound_3d(side, l)
+            );
+            for name in names {
+                let c = curve_3d(name, side).expect("curve");
+                let avg = average_clustering_exact(&c, [l, l, l]).expect("shape fits");
+                println!("  {name:>14}: exact avg = {avg:.4}");
+            }
+        }
+        _ => {
+            eprintln!("dims must be 2 or 3");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 2: a 7×7 query on an 8×8 universe needs 5 clusters under the
+//! Hilbert curve but as little as 1 under the onion curve, and the *average*
+//! over all 7×7 placements is much lower for the onion curve.
+
+use onion_core::{Onion2D, SpaceFillingCurve};
+use sfc_baselines::Hilbert;
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::{all_translations, clustering_number, RectQuery};
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side = 8u32;
+    let onion = Onion2D::new(side).unwrap();
+    let hilbert = Hilbert::<2>::new(side).unwrap();
+
+    let mut rows = Vec::new();
+    let mut onion_total = 0u64;
+    let mut hilbert_total = 0u64;
+    let mut onion_best = u64::MAX;
+    let mut hilbert_worst = 0u64;
+    let queries: Vec<RectQuery<2>> = all_translations(side, [7u32, 7]).unwrap().collect();
+    for q in &queries {
+        let co = clustering_number(&onion, q);
+        let ch = clustering_number(&hilbert, q);
+        onion_total += co;
+        hilbert_total += ch;
+        onion_best = onion_best.min(co);
+        hilbert_worst = hilbert_worst.max(ch);
+        rows.push(Row::new(
+            format!("lo=({},{})", q.lo()[0], q.lo()[1]),
+            vec![co.to_string(), ch.to_string()],
+        ));
+    }
+    let n = queries.len() as f64;
+    rows.push(Row::new(
+        "average",
+        vec![
+            format!("{:.2}", onion_total as f64 / n),
+            format!("{:.2}", hilbert_total as f64 / n),
+        ],
+    ));
+    print_table(
+        "Figure 2: 7x7 query on the 8x8 universe",
+        "placement",
+        &["onion", "hilbert"],
+        &rows,
+    );
+    write_csv(&cfg, "fig2", "placement", &["onion", "hilbert"], &rows);
+
+    assert_eq!(onion_best, 1, "some placement is a single onion cluster (Fig 2b)");
+    assert!(
+        hilbert_worst >= 5,
+        "some placement needs >= 5 Hilbert clusters (Fig 2a), got {hilbert_worst}"
+    );
+    assert!(onion_total < hilbert_total);
+    println!(
+        "\nOK: onion best placement = {onion_best} cluster (paper: 1), \
+         hilbert worst = {hilbert_worst} (paper: 5); averages {:.2} vs {:.2}.",
+        onion_total as f64 / n,
+        hilbert_total as f64 / n
+    );
+    let _ = onion.universe(); // silence unused warnings in case of cfg tweaks
+}

@@ -1,0 +1,35 @@
+//! Figure 3: the two-dimensional onion curve's cell numbering for the 2×2
+//! and 4×4 universes (and 6×6 as a bonus), printed as grids.
+
+use onion_core::{Onion2D, Point, SpaceFillingCurve};
+
+fn render(side: u32) {
+    let o = Onion2D::new(side).unwrap();
+    println!("\nonion curve on the {side}x{side} universe (y grows upward):");
+    for y in (0..side).rev() {
+        let mut line = String::new();
+        for x in 0..side {
+            line.push_str(&format!("{:>4}", o.index_unchecked(Point::new([x, y]))));
+        }
+        println!("{line}");
+    }
+}
+
+fn main() {
+    println!("Figure 3 reproduction: onion curve orders.");
+    render(2);
+    render(4);
+    render(6);
+
+    // The paper's exact 2×2 and 4×4 numbers.
+    let o2 = Onion2D::new(2).unwrap();
+    assert_eq!(o2.index_unchecked(Point::new([0, 0])), 0);
+    assert_eq!(o2.index_unchecked(Point::new([1, 0])), 1);
+    assert_eq!(o2.index_unchecked(Point::new([1, 1])), 2);
+    assert_eq!(o2.index_unchecked(Point::new([0, 1])), 3);
+    let o4 = Onion2D::new(4).unwrap();
+    assert_eq!(o4.index_unchecked(Point::new([0, 1])), 11);
+    assert_eq!(o4.index_unchecked(Point::new([1, 1])), 12);
+    assert_eq!(o4.index_unchecked(Point::new([1, 2])), 15);
+    println!("\nOK: matches the paper's Figure 3 numbering.");
+}

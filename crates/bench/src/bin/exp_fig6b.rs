@@ -1,0 +1,64 @@
+//! Figure 6b: clustering distribution over random boxes with a fixed ratio
+//! of side lengths, three dimensions (`ℓ1 = ⌊ℓ2/ρ⌋`, `ℓ3 = ℓ2` — see
+//! EXPERIMENTS.md for the substitution note).
+
+use onion_core::Onion3D;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfc_baselines::Hilbert;
+use sfc_bench::scenarios::{clustering_summary, summary_cells, summary_columns};
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::fixed_ratio_set_3d;
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side: u32 = if cfg.paper_scale { 1 << 9 } else { 1 << 8 };
+    let per_step = if cfg.paper_scale { 20 } else { 8 };
+    let onion = Onion3D::new(side).unwrap();
+    let hilbert = Hilbert::<3>::new(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let ratios: [(f64, &str); 9] = [
+        (1.0 / 512.0, "1/512"),
+        (0.25, "1/4"),
+        (0.5, "1/2"),
+        (0.75, "3/4"),
+        (1.0, "1"),
+        (4.0 / 3.0, "4/3"),
+        (2.0, "2"),
+        (4.0, "4"),
+        (512.0, "512"),
+    ];
+    let mut rows = Vec::new();
+    let mut median_never_worse = true;
+    for (rho, label) in ratios {
+        let queries = fixed_ratio_set_3d(side, rho, 50, per_step, &mut rng);
+        if queries.is_empty() {
+            continue;
+        }
+        let so = clustering_summary(&onion, &queries).unwrap();
+        let sh = clustering_summary(&hilbert, &queries).unwrap();
+        median_never_worse &= so.median <= sh.median * 1.25 + 1e-9;
+        let mut cells = vec![queries.len().to_string()];
+        cells.extend(summary_cells(&so));
+        cells.extend(summary_cells(&sh));
+        rows.push(Row::new(label, cells));
+    }
+    let mut columns: Vec<String> = vec!["queries".into()];
+    columns.extend(summary_columns("onion"));
+    columns.extend(summary_columns("hilbert"));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 6b: fixed-ratio 3D boxes, side {side} (Algorithm 1, l3 = l2)"),
+        "rho",
+        &col_refs,
+        &rows,
+    );
+    write_csv(&cfg, "fig6b", "rho", &col_refs, &rows);
+
+    assert!(
+        median_never_worse,
+        "onion median exceeded hilbert median beyond the noise envelope"
+    );
+    println!("\nOK: onion median never worse (within noise) across ratios (paper Fig 6b).");
+}

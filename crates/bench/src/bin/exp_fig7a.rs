@@ -1,0 +1,50 @@
+//! Figure 7a: clustering distribution over rectangles with uniformly random
+//! corner points, two dimensions.
+
+use onion_core::Onion2D;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfc_baselines::Hilbert;
+use sfc_bench::scenarios::{clustering_summary, summary_cells, summary_columns};
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::random_corner_rects;
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side: u32 = 1 << 10;
+    let count = if cfg.paper_scale { 1000 } else { 200 };
+    let onion = Onion2D::new(side).unwrap();
+    let hilbert = Hilbert::<2>::new(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let queries = random_corner_rects::<2, _>(side, count, &mut rng);
+    let so = clustering_summary(&onion, &queries).unwrap();
+    let sh = clustering_summary(&hilbert, &queries).unwrap();
+
+    let mut columns: Vec<String> = summary_columns("stat");
+    columns.truncate(0);
+    columns.extend(["min", "q1", "med", "q3", "max", "mean"].map(String::from));
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let rows = vec![
+        Row::new("onion", summary_cells(&so)),
+        Row::new("hilbert", summary_cells(&sh)),
+    ];
+    print_table(
+        &format!("Figure 7a: {count} random-corner rectangles, side {side}"),
+        "curve",
+        &col_refs,
+        &rows,
+    );
+    write_csv(&cfg, "fig7a", "curve", &col_refs, &rows);
+
+    assert!(
+        so.median <= sh.median + 1e-9,
+        "paper: onion median is better (onion {} vs hilbert {})",
+        so.median,
+        sh.median
+    );
+    println!(
+        "\nOK: onion median {:.1} <= hilbert median {:.1} (paper Fig 7a).",
+        so.median, sh.median
+    );
+}

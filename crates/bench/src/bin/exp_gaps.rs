@@ -1,0 +1,77 @@
+//! §VIII future work, measured: "the distance between different clusters of
+//! the same query region, which tends to be important in fetching data from
+//! the disk".
+//!
+//! For each query size we report, per curve, the clustering number together
+//! with the mean/max index gap between consecutive clusters and the key
+//! span density. The onion curve wins on cluster *count*; this experiment
+//! quantifies the price it pays in cluster *spread* (its clusters sit on
+//! different layers, far apart in key space), which the paper flags as the
+//! open trade-off.
+
+use onion_core::Onion2D;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfc_baselines::Hilbert;
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::{cluster_gap_stats, random_translations};
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side: u32 = 1 << 9;
+    let per_len = if cfg.paper_scale { 500 } else { 100 };
+    let onion = Onion2D::new(side).unwrap();
+    let hilbert = Hilbert::<2>::new(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut rows = Vec::new();
+    for l in [16u32, 64, 128, 256, 384, side - 9] {
+        let queries = random_translations(side, [l, l], per_len, &mut rng).unwrap();
+        let mut acc = [(0f64, 0f64, 0f64); 2]; // (clusters, mean_gap, density)
+        for q in &queries {
+            for (slot, stats) in [
+                cluster_gap_stats(&onion, q),
+                cluster_gap_stats(&hilbert, q),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                acc[slot].0 += stats.clusters as f64;
+                acc[slot].1 += stats.mean_gap;
+                acc[slot].2 += stats.density();
+            }
+        }
+        let k = queries.len() as f64;
+        rows.push(Row::new(
+            format!("{l}"),
+            vec![
+                format!("{:.1}", acc[0].0 / k),
+                format!("{:.0}", acc[0].1 / k),
+                format!("{:.3}", acc[0].2 / k),
+                format!("{:.1}", acc[1].0 / k),
+                format!("{:.0}", acc[1].1 / k),
+                format!("{:.3}", acc[1].2 / k),
+            ],
+        ));
+    }
+    let columns = [
+        "onion:clusters",
+        "onion:gap",
+        "onion:density",
+        "hilbert:clusters",
+        "hilbert:gap",
+        "hilbert:density",
+    ];
+    print_table(
+        &format!("Cluster-gap analysis (paper SVIII future work), side {side}"),
+        "l",
+        &columns,
+        &rows,
+    );
+    write_csv(&cfg, "gaps", "l", &columns, &rows);
+    println!(
+        "\nReading: the onion curve needs far fewer clusters for large queries \
+         but its clusters are spread across layers (larger gaps / lower \
+         density) — the open trade-off the paper's conclusion discusses."
+    );
+}

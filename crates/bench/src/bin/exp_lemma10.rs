@@ -1,0 +1,82 @@
+//! Lemmas 10 and 11 (§V-C): no single SFC is near-optimal for general
+//! rectangular queries.
+//!
+//! * Lemma 10: over `Q = Q_R ∪ Q_C` (all rows and all columns), *every* SFC
+//!   has average clustering Ω(√n) — so a curve that is optimal on rows
+//!   (row-major, c = 1) must be terrible on columns, and vice versa.
+//!
+//!   Note: the paper states the bound as `√n`, but with `|Q| = 2√n` its own
+//!   derivation `(2(n−1)+2) / (2|Q|)` evaluates to `√n/2`; the measured
+//!   onion value (≈ √n/2 + ε) confirms `√n/2` is the tight constant (see
+//!   EXPERIMENTS.md).
+//! * Lemma 11: the same tension holds for the two halves-of-the-universe
+//!   rectangle shapes `(√n/2) × √n` and `√n × (√n/2)`.
+
+use onion_core::SpaceFillingCurve;
+use sfc_baselines::{curve_2d, CURVE_NAMES};
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::{average_clustering_bruteforce, average_clustering_exact, columns, rows};
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side: u32 = if cfg.paper_scale { 256 } else { 64 };
+    let qr = rows(side);
+    let qc = columns(side);
+
+    let mut table = Vec::new();
+    for name in CURVE_NAMES {
+        let curve = curve_2d(name, side).unwrap();
+        let cr = average_clustering_bruteforce(&curve, &qr);
+        let cc = average_clustering_bruteforce(&curve, &qc);
+        let combined = (cr + cc) / 2.0;
+        // Lemma 10 (tight form): the combined average is at least √n/2.
+        assert!(
+            combined >= f64::from(side) / 2.0 - 1e-6,
+            "{name}: combined {combined} < sqrt(n)/2 = {}",
+            f64::from(side) / 2.0
+        );
+        table.push(Row::new(
+            name,
+            vec![
+                format!("{cr:.1}"),
+                format!("{cc:.1}"),
+                format!("{combined:.1}"),
+            ],
+        ));
+        let _ = curve.universe();
+    }
+    print_table(
+        &format!(
+            "Lemma 10: rows vs columns, side {side} (combined >= {} for every SFC)",
+            side / 2
+        ),
+        "curve",
+        &["c(rows)", "c(columns)", "combined avg"],
+        &table,
+    );
+    write_csv(&cfg, "lemma10", "curve", &["c_rows", "c_columns", "combined"], &table);
+
+    // Lemma 11: half-universe rectangles.
+    let mut table11 = Vec::new();
+    for name in ["onion", "hilbert", "row-major", "column-major"] {
+        let curve = curve_2d(name, side).unwrap();
+        let tall = average_clustering_exact(&curve, [side / 2, side]).unwrap();
+        let wide = average_clustering_exact(&curve, [side, side / 2]).unwrap();
+        table11.push(Row::new(
+            name,
+            vec![format!("{tall:.1}"), format!("{wide:.1}"), format!("{:.1}", tall.max(wide))],
+        ));
+    }
+    print_table(
+        &format!("Lemma 11: (side/2)x(side) vs (side)x(side/2), side {side}"),
+        "curve",
+        &["c(tall)", "c(wide)", "worse of the two"],
+        &table11,
+    );
+    write_csv(&cfg, "lemma11", "curve", &["c_tall", "c_wide", "max"], &table11);
+
+    println!(
+        "\nOK: every curve pays at least sqrt(n)/2 on rows+columns — no SFC is \
+         near-optimal for general rectangles (Lemma 10)."
+    );
+}

@@ -1,0 +1,50 @@
+//! The locality metrics of the related work (§I-B): Gotsman–Lindenbaum
+//! stretch and index dilation, for every curve in the workspace.
+//!
+//! This quantifies the paper's closing caveat — clustering is not the only
+//! metric. The Hilbert curve has perfect neighbor stretch (continuous) and
+//! good dilation; the onion curve trades a little dilation for its
+//! near-optimal clustering.
+
+use sfc_baselines::{curve_2d, CURVE_NAMES};
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::{index_dilation, neighbor_stretch};
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side: u32 = if cfg.paper_scale { 256 } else { 128 };
+
+    let mut rows = Vec::new();
+    for name in CURVE_NAMES {
+        let curve = curve_2d(name, side).unwrap();
+        let (avg_stretch, max_stretch) = neighbor_stretch(&curve);
+        let dilation = index_dilation(&curve);
+        rows.push(Row::new(
+            name,
+            vec![
+                format!("{avg_stretch:.3}"),
+                max_stretch.to_string(),
+                format!("{dilation:.1}"),
+            ],
+        ));
+    }
+    let columns = ["avg stretch", "max stretch", "index dilation"];
+    print_table(
+        &format!("Stretch / dilation (related-work metrics), side {side}"),
+        "curve",
+        &columns,
+        &rows,
+    );
+    write_csv(&cfg, "stretch", "curve", &columns, &rows);
+
+    // Continuous curves have stretch exactly 1.
+    for row in &rows {
+        if ["onion", "hilbert", "snake"].contains(&row.label.as_str()) {
+            assert_eq!(row.cells[0], "1.000", "{} must be continuous", row.label);
+        }
+    }
+    println!(
+        "\nOK: continuous curves (onion, hilbert, snake) have stretch exactly 1; \
+         dilation shows the locality trade-offs the paper's conclusion mentions."
+    );
+}

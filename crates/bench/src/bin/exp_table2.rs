@@ -1,0 +1,197 @@
+//! Table II: approximation ratios η(Q, O) and η(Q, H) for the near-cube
+//! query families `ℓ_i = φ_i (d√n)^µ + ψ_i`.
+//!
+//! For each row of the paper's table we instantiate a concrete query shape
+//! on a finite universe, measure the exact average clustering of the onion
+//! and Hilbert curves (Lemma 1 edge walk), divide by the general lower
+//! bound (Theorem 3/6), and compare with the paper's bound for that case.
+
+use onion_core::{Onion2D, Onion3D};
+use sfc_baselines::Hilbert;
+use sfc_bench::{print_table, write_csv, ExperimentCfg, Row};
+use sfc_clustering::average_clustering_exact;
+use sfc_theory::{
+    eta_onion_2d_case2, eta_onion_2d_case3, eta_onion_3d_case3, general_lower_bound_2d,
+    general_lower_bound_3d,
+};
+
+struct Case2D {
+    name: &'static str,
+    shape_of: fn(u32) -> [u32; 2],
+    paper_bound: fn(u32) -> f64,
+    /// For µ = 0 the paper's η = 1 cites \[18\]: constant-size queries are
+    /// answered optimally by continuous symmetric curves, so the right
+    /// denominator is the *continuous* bound (Theorem 2) — the factor-2
+    /// general-SFC weakening (Theorem 3) is vacuous there.
+    continuous_lb: bool,
+}
+
+fn main() {
+    let cfg = ExperimentCfg::from_args();
+    let side2: u32 = if cfg.paper_scale { 1024 } else { 256 };
+    let side3: u32 = if cfg.paper_scale { 128 } else { 64 };
+
+    // µ = 0 (constant), 0 < µ < 1 (here µ = 1/2), µ = 1 with φ ≤ 1/2,
+    // µ = 1 with 1/2 < φ < 1, µ = 1 with φ = 1 (ψ constant).
+    let cases = [
+        Case2D {
+            name: "mu=0 (l=4)",
+            shape_of: |_| [4, 4],
+            paper_bound: |_| 1.0,
+            continuous_lb: true,
+        },
+        Case2D {
+            name: "mu=1/2 (l=sqrt(side))",
+            shape_of: |s| {
+                let l = (f64::from(s)).sqrt().round() as u32;
+                [l, l]
+            },
+            paper_bound: |_| 2.0,
+            continuous_lb: false,
+        },
+        Case2D {
+            name: "mu=1, phi=0.355",
+            shape_of: |s| {
+                let l = (0.355 * f64::from(s)).round() as u32;
+                [l, l]
+            },
+            paper_bound: |_| eta_onion_2d_case3(0.355),
+            continuous_lb: false,
+        },
+        Case2D {
+            name: "mu=1, phi=0.25",
+            shape_of: |s| {
+                let l = (0.25 * f64::from(s)).round() as u32;
+                [l, l]
+            },
+            paper_bound: |_| eta_onion_2d_case3(0.25),
+            continuous_lb: false,
+        },
+        Case2D {
+            name: "mu=1, phi=0.75",
+            shape_of: |s| {
+                let l = (0.75 * f64::from(s)).round() as u32;
+                [l, l]
+            },
+            paper_bound: |_| 2.0,
+            continuous_lb: false,
+        },
+        Case2D {
+            name: "mu=1, phi=1 (psi=-8)",
+            shape_of: |s| [s - 8, s - 8],
+            paper_bound: |_| 2.0,
+            continuous_lb: false,
+        },
+        Case2D {
+            name: "mu=1/2, phi2/phi1=2",
+            shape_of: |s| {
+                let l = (f64::from(s)).sqrt().round() as u32;
+                [l, 2 * l]
+            },
+            paper_bound: |_| eta_onion_2d_case2(1.0, 2.0),
+            continuous_lb: false,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for case in &cases {
+        let shape = (case.shape_of)(side2);
+        let onion = Onion2D::new(side2).unwrap();
+        let hilbert = Hilbert::<2>::new(side2).unwrap();
+        let co = average_clustering_exact(&onion, shape).unwrap();
+        let ch = average_clustering_exact(&hilbert, shape).unwrap();
+        let lb = if case.continuous_lb {
+            sfc_theory::continuous_lower_bound_2d(side2, shape[0], shape[1])
+        } else {
+            general_lower_bound_2d(side2, shape[0], shape[1])
+        };
+        let eta_o = co / lb;
+        let eta_h = ch / lb;
+        let bound = (case.paper_bound)(side2);
+        // Finite-size slack: the bounds are asymptotic; allow lower-order
+        // wiggle (generous for the tiny-shape rows where ±O(1) matters).
+        let ok = eta_o <= bound + 0.75;
+        all_ok &= ok;
+        rows.push(Row::new(
+            case.name,
+            vec![
+                format!("{}x{}", shape[0], shape[1]),
+                format!("{eta_o:.2}"),
+                format!("{bound:.2}"),
+                format!("{eta_h:.2}"),
+                if ok { "ok" } else { "VIOLATED" }.to_string(),
+            ],
+        ));
+    }
+    print_table(
+        &format!("Table II (2D, side {side2}): measured eta vs paper bound"),
+        "case",
+        &["shape", "eta(onion)", "paper bound", "eta(hilbert)", "check"],
+        &rows,
+    );
+    write_csv(
+        &cfg,
+        "table2_2d",
+        "case",
+        &["shape", "eta_onion", "bound", "eta_hilbert", "check"],
+        &rows,
+    );
+
+    // 3D rows: cube families.
+    let mut rows3 = Vec::new();
+    type Case3D = (&'static str, fn(u32) -> u32, f64, bool);
+    let cases3: [Case3D; 4] = [
+        ("mu=0 (l=3)", |_| 3, 1.0, true),
+        (
+            "mu=1, phi=0.3967",
+            |s| (0.3967 * f64::from(s)).round() as u32,
+            eta_onion_3d_case3(0.3967),
+            false,
+        ),
+        ("mu=1, phi=0.75", |s| (0.75 * f64::from(s)).round() as u32, 2.0, false),
+        ("mu=1, phi=1 (psi=-24)", |s| s - 24, 3.0, false),
+    ];
+    for (name, shape_of, bound, continuous_lb) in cases3 {
+        let l = shape_of(side3);
+        let onion = Onion3D::new(side3).unwrap();
+        let hilbert = Hilbert::<3>::new(side3).unwrap();
+        let co = average_clustering_exact(&onion, [l, l, l]).unwrap();
+        let ch = average_clustering_exact(&hilbert, [l, l, l]).unwrap();
+        let lb = if continuous_lb {
+            sfc_theory::continuous_lower_bound_3d(side3, l)
+        } else {
+            general_lower_bound_3d(side3, l)
+        };
+        let eta_o = co / lb;
+        let eta_h = ch / lb;
+        let ok = eta_o <= bound + 0.9;
+        all_ok &= ok;
+        rows3.push(Row::new(
+            name,
+            vec![
+                format!("{l}^3"),
+                format!("{eta_o:.2}"),
+                format!("{bound:.2}"),
+                format!("{eta_h:.2}"),
+                if ok { "ok" } else { "VIOLATED" }.to_string(),
+            ],
+        ));
+    }
+    print_table(
+        &format!("Table II (3D, side {side3}): measured eta vs paper bound"),
+        "case",
+        &["shape", "eta(onion)", "paper bound", "eta(hilbert)", "check"],
+        &rows3,
+    );
+    write_csv(
+        &cfg,
+        "table2_3d",
+        "case",
+        &["shape", "eta_onion", "bound", "eta_hilbert", "check"],
+        &rows3,
+    );
+
+    assert!(all_ok, "some measured eta exceeded the paper bound plus slack");
+    println!("\nOK: every measured onion ratio respects its Table II bound.");
+}

@@ -1,0 +1,147 @@
+//! Shared experiment plumbing: CLI flags, aligned table printing, CSV
+//! output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Common experiment configuration, parsed from the command line.
+///
+/// Flags:
+/// * `--paper` — run with the paper's exact parameters (slower);
+/// * `--seed <u64>` — RNG seed (default 42);
+/// * `--out <dir>` — CSV output directory (default `results/`).
+#[derive(Clone, Debug)]
+pub struct ExperimentCfg {
+    /// Use the paper's full-scale parameters.
+    pub paper_scale: bool,
+    /// RNG seed for all sampling.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl ExperimentCfg {
+    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    pub fn from_args() -> ExperimentCfg {
+        let mut cfg = ExperimentCfg {
+            paper_scale: false,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--paper" => cfg.paper_scale = true,
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    cfg.seed = v.parse().expect("--seed must be a u64");
+                }
+                "--out" => {
+                    let v = args.next().expect("--out needs a directory");
+                    cfg.out_dir = PathBuf::from(v);
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: [--paper] [--seed <u64>] [--out <dir>]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+/// One row of an experiment table: a label plus numeric cells.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label (e.g. the side length or ratio being swept).
+    pub label: String,
+    /// Cell values, one per column.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from a label and pre-formatted cells.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Row {
+        Row {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// Prints an aligned table with a title and column headers.
+pub fn print_table(title: &str, label_header: &str, columns: &[&str], rows: &[Row]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    let mut label_w = label_header.len();
+    for row in rows {
+        label_w = label_w.max(row.label.len());
+        for (i, c) in row.cells.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut header = format!("{label_header:<label_w$}");
+    for (c, w) in columns.iter().zip(&widths) {
+        let _ = write!(header, "  {c:>w$}");
+    }
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+    for row in rows {
+        let mut line = format!("{:<label_w$}", row.label);
+        for (c, w) in row.cells.iter().zip(&widths) {
+            let _ = write!(line, "  {c:>w$}");
+        }
+        println!("{line}");
+    }
+}
+
+/// Writes the same table as CSV into `cfg.out_dir/name.csv`.
+pub fn write_csv(cfg: &ExperimentCfg, name: &str, label_header: &str, columns: &[&str], rows: &[Row]) {
+    if let Err(e) = fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", cfg.out_dir.display());
+        return;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{label_header},{}", columns.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{},{}", row.label, row.cells.join(","));
+    }
+    let path = cfg.out_dir.join(format!("{name}.csv"));
+    match fs::write(&path, out) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_format() {
+        let r = Row::new("x", vec!["1".into(), "2".into()]);
+        assert_eq!(r.label, "x");
+        assert_eq!(r.cells.len(), 2);
+    }
+
+    #[test]
+    fn csv_write_and_readback() {
+        let dir = std::env::temp_dir().join("sfc_bench_csv_test");
+        let cfg = ExperimentCfg {
+            paper_scale: false,
+            seed: 0,
+            out_dir: dir.clone(),
+        };
+        let rows = vec![Row::new("a", vec!["1".into()]), Row::new("b", vec!["2".into()])];
+        write_csv(&cfg, "t", "k", &["v"], &rows);
+        let body = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(body, "k,v\na,1\nb,2\n");
+    }
+}

@@ -1,0 +1,17 @@
+//! # sfc-bench
+//!
+//! Experiment harness regenerating every table and figure of the Onion
+//! Curve paper, plus Criterion performance benches.
+//!
+//! Each `exp_*` binary prints the paper artifact's rows/series as an
+//! aligned text table and writes a CSV under `results/`. Run with `--paper`
+//! for the paper's exact parameters (larger runtimes) or with the scaled
+//! defaults for quick verification; `EXPERIMENTS.md` records both.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod scenarios;
+
+pub use harness::{print_table, write_csv, ExperimentCfg, Row};

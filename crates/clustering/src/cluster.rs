@@ -1,0 +1,398 @@
+//! Clustering-number computation.
+//!
+//! The clustering number `c(q, π)` (§I of the paper) is the minimum number
+//! of contiguous index runs ("clusters") that the image `π(q)` of a query
+//! decomposes into. If data is laid out on disk in curve order, it is the
+//! number of disk seeks needed to retrieve `q`.
+
+use crate::query::RectQuery;
+use onion_core::{Point, SpaceFillingCurve};
+
+/// Strategy for computing the clustering number.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClusterMethod {
+    /// Pick the fastest exact method for the given curve and query:
+    /// boundary-scan when the curve's jump targets are enumerable, entry-scan
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Map every cell, sort, count runs. `O(|q| log |q|)`, any curve.
+    Sort,
+    /// Count cells whose curve predecessor lies outside the query.
+    /// `O(|q|)` inverse-mapping calls, no allocation, any curve.
+    EntryScan,
+    /// Like entry-scan but only visits the query's inner boundary plus the
+    /// curve's declared jump targets. `O(surface)` — requires
+    /// [`SpaceFillingCurve::jump_targets`] to return `Some`.
+    BoundaryScan,
+}
+
+/// Computes `c(q, π)` with the default (automatic) method.
+pub fn clustering_number<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+) -> u64 {
+    clustering_number_with(curve, q, ClusterMethod::Auto)
+}
+
+/// Computes `c(q, π)` with an explicit method.
+///
+/// # Panics
+/// With [`ClusterMethod::BoundaryScan`] if the curve does not enumerate its
+/// jump targets, or (in debug builds) if `q` does not fit in the universe.
+pub fn clustering_number_with<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+    method: ClusterMethod,
+) -> u64 {
+    debug_assert!(
+        q.fits_in(curve.universe().side()),
+        "query {:?} outside universe of side {}",
+        q,
+        curve.universe().side()
+    );
+    match method {
+        ClusterMethod::Auto => {
+            if curve.jump_targets().is_some() {
+                by_boundary_scan(curve, q)
+            } else {
+                by_entry_scan(curve, q)
+            }
+        }
+        ClusterMethod::Sort => count_runs(&sorted_indices(curve, q)),
+        ClusterMethod::EntryScan => by_entry_scan(curve, q),
+        ClusterMethod::BoundaryScan => by_boundary_scan(curve, q),
+    }
+}
+
+/// The clusters themselves: inclusive index ranges `[a, b]`, sorted
+/// ascending. `cluster_ranges(..).len()` equals the clustering number.
+///
+/// This is the range-decomposition primitive used by the `sfc-index` crate
+/// to turn a rectangle query into B+-tree range scans.
+pub fn cluster_ranges<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+) -> Vec<(u64, u64)> {
+    if curve.jump_targets().is_some() {
+        ranges_by_boundary_scan(curve, q)
+    } else {
+        ranges_by_sort(curve, q)
+    }
+}
+
+/// Merges consecutive ranges separated by gaps of at most `max_gap` cells.
+///
+/// This trades read amplification for seeks — the approach of Asano et al.
+/// (paper reference \[15\], §I-B): a query processor may fetch a small
+/// superset of the query if that reduces the number of contiguous pieces.
+/// Returns the coalesced ranges; the number of extra (non-query) cells read
+/// is the sum of the absorbed gaps.
+///
+/// `ranges` must be sorted, disjoint, non-adjacent — exactly what
+/// [`cluster_ranges`] produces.
+pub fn coalesce_ranges(ranges: &[(u64, u64)], max_gap: u64) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for &(lo, hi) in ranges {
+        debug_assert!(lo <= hi);
+        match out.last_mut() {
+            Some(prev) if lo - prev.1 - 1 <= max_gap => {
+                debug_assert!(lo > prev.1);
+                prev.1 = hi;
+            }
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+fn sorted_indices<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+) -> Vec<u64> {
+    let mut idx: Vec<u64> = q.cells().map(|p| curve.index_unchecked(p)).collect();
+    idx.sort_unstable();
+    idx
+}
+
+fn count_runs(sorted: &[u64]) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[1] != w[0] + 1).count() as u64
+}
+
+fn ranges_by_sort<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+) -> Vec<(u64, u64)> {
+    let idx = sorted_indices(curve, q);
+    let mut out = Vec::new();
+    let mut iter = idx.into_iter();
+    let Some(first) = iter.next() else {
+        return out;
+    };
+    let (mut lo, mut hi) = (first, first);
+    for v in iter {
+        if v == hi + 1 {
+            hi = v;
+        } else {
+            out.push((lo, hi));
+            lo = v;
+            hi = v;
+        }
+    }
+    out.push((lo, hi));
+    out
+}
+
+/// Is the cell an *entry*: the first cell of a cluster, i.e. its curve
+/// predecessor is absent or outside `q`?
+#[inline]
+fn is_entry<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+    p: Point<D>,
+) -> bool {
+    let idx = curve.index_unchecked(p);
+    if idx == 0 {
+        return true;
+    }
+    !q.contains(curve.point_unchecked(idx - 1))
+}
+
+fn by_entry_scan<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, q: &RectQuery<D>) -> u64 {
+    q.cells().filter(|&p| is_entry(curve, q, p)).count() as u64
+}
+
+/// Entries can only occur (a) on the inner boundary of `q` — a predecessor
+/// that is a grid neighbor of an interior cell is still inside `q` — or
+/// (b) at declared jump targets, or (c) at the curve start.
+fn by_boundary_scan<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, q: &RectQuery<D>) -> u64 {
+    let jumps = curve
+        .jump_targets()
+        .expect("boundary scan requires enumerable jump targets");
+    let mut count = 0u64;
+    q.for_each_boundary_cell(|p| {
+        if is_entry(curve, q, p) {
+            count += 1;
+        }
+    });
+    let interior = |p: Point<D>| q.contains(p) && !on_boundary(q, p);
+    for p in jumps {
+        if interior(p) && is_entry(curve, q, p) {
+            count += 1;
+        }
+    }
+    // The curve start has no predecessor: if it sits strictly inside q it is
+    // an entry the boundary loop cannot see. (Jump targets never include the
+    // start.)
+    let start = curve.start();
+    if interior(start) {
+        count += 1;
+    }
+    count
+}
+
+fn ranges_by_boundary_scan<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+) -> Vec<(u64, u64)> {
+    let jumps = curve
+        .jump_targets()
+        .expect("boundary scan requires enumerable jump targets");
+    let n = curve.universe().cell_count();
+    let mut entries: Vec<u64> = Vec::new();
+    let mut exits: Vec<u64> = Vec::new();
+    // An *exit* is the last cell of a cluster: its successor is absent or
+    // outside q. Exits occur on the boundary, at predecessors of jump
+    // targets ("jump sources"), or at the curve end.
+    let mut consider = |idx: u64| {
+        // entry test
+        let p_prev = if idx == 0 {
+            None
+        } else {
+            Some(curve.point_unchecked(idx - 1))
+        };
+        if p_prev.is_none_or(|pp| !q.contains(pp)) {
+            entries.push(idx);
+        }
+    };
+    let mut consider_exit = |idx: u64| {
+        let p_next = if idx + 1 >= n {
+            None
+        } else {
+            Some(curve.point_unchecked(idx + 1))
+        };
+        if p_next.is_none_or(|pn| !q.contains(pn)) {
+            exits.push(idx);
+        }
+    };
+    q.for_each_boundary_cell(|p| {
+        let idx = curve.index_unchecked(p);
+        consider(idx);
+        consider_exit(idx);
+    });
+    let interior = |p: Point<D>| q.contains(p) && !on_boundary(q, p);
+    for p in &jumps {
+        if interior(*p) {
+            let idx = curve.index_unchecked(*p);
+            consider(idx); // interior jump target may start a cluster
+        }
+        // The jump source (predecessor of a jump target) may end a cluster
+        // even while interior.
+        let tgt_idx = curve.index_unchecked(*p);
+        debug_assert!(tgt_idx > 0);
+        let src = curve.point_unchecked(tgt_idx - 1);
+        if interior(src) {
+            consider_exit(tgt_idx - 1);
+        }
+    }
+    let start = curve.start();
+    if interior(start) {
+        entries.push(0);
+    }
+    let end = curve.end();
+    if interior(end) {
+        exits.push(n - 1);
+    }
+    entries.sort_unstable();
+    entries.dedup();
+    exits.sort_unstable();
+    exits.dedup();
+    debug_assert_eq!(entries.len(), exits.len(), "unbalanced cluster boundaries");
+    entries.into_iter().zip(exits).collect()
+}
+
+#[inline]
+fn on_boundary<const D: usize>(q: &RectQuery<D>, p: Point<D>) -> bool {
+    let lo = q.lo();
+    let hi = q.hi();
+    (0..D).any(|d| p.0[d] == lo[d] || p.0[d] == hi[d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::{Onion2D, Onion3D};
+
+    #[test]
+    fn full_universe_is_one_cluster() {
+        let o = Onion2D::new(8).unwrap();
+        let q = RectQuery::new([0, 0], [8, 8]).unwrap();
+        for m in [
+            ClusterMethod::Sort,
+            ClusterMethod::EntryScan,
+            ClusterMethod::BoundaryScan,
+        ] {
+            assert_eq!(clustering_number_with(&o, &q, m), 1, "{m:?}");
+        }
+        assert_eq!(cluster_ranges(&o, &q), vec![(0, 63)]);
+    }
+
+    #[test]
+    fn single_cell_is_one_cluster() {
+        let o = Onion2D::new(8).unwrap();
+        let q = RectQuery::new([3, 5], [1, 1]).unwrap();
+        assert_eq!(clustering_number(&o, &q), 1);
+        let idx = o.index_unchecked(Point::new([3, 5]));
+        assert_eq!(cluster_ranges(&o, &q), vec![(idx, idx)]);
+    }
+
+    #[test]
+    fn methods_agree_on_onion_2d() {
+        let o = Onion2D::new(16).unwrap();
+        for (lo, len) in [
+            ([0, 0], [5, 7]),
+            ([3, 2], [9, 9]),
+            ([10, 0], [6, 16]),
+            ([7, 7], [2, 2]),
+            ([0, 15], [16, 1]),
+        ] {
+            let q = RectQuery::new(lo, len).unwrap();
+            let a = clustering_number_with(&o, &q, ClusterMethod::Sort);
+            let b = clustering_number_with(&o, &q, ClusterMethod::EntryScan);
+            let c = clustering_number_with(&o, &q, ClusterMethod::BoundaryScan);
+            assert_eq!(a, b, "{q:?}");
+            assert_eq!(a, c, "{q:?}");
+            assert_eq!(cluster_ranges(&o, &q).len() as u64, a, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_onion_3d_with_jumps() {
+        let o = Onion3D::new(8).unwrap();
+        for (lo, len) in [
+            ([0, 0, 0], [8, 8, 8]),
+            ([1, 1, 1], [6, 6, 6]),
+            ([0, 2, 3], [5, 4, 3]),
+            ([2, 2, 2], [4, 4, 4]),
+            ([3, 0, 0], [2, 8, 5]),
+        ] {
+            let q = RectQuery::new(lo, len).unwrap();
+            let a = clustering_number_with(&o, &q, ClusterMethod::Sort);
+            let c = clustering_number_with(&o, &q, ClusterMethod::BoundaryScan);
+            assert_eq!(a, c, "{q:?}");
+            assert_eq!(cluster_ranges(&o, &q).len() as u64, a, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_cover_exactly_the_query() {
+        let o = Onion3D::new(6).unwrap();
+        let q = RectQuery::new([1, 0, 2], [3, 4, 3]).unwrap();
+        let ranges = cluster_ranges(&o, &q);
+        // Ranges are sorted, disjoint, and cover exactly |q| cells.
+        let mut covered = 0u64;
+        let mut last_hi: Option<u64> = None;
+        for &(lo, hi) in &ranges {
+            assert!(lo <= hi);
+            if let Some(prev) = last_hi {
+                assert!(lo > prev + 1, "ranges must not be adjacent or overlap");
+            }
+            covered += hi - lo + 1;
+            for idx in lo..=hi {
+                assert!(q.contains(o.point_unchecked(idx)), "index {idx} outside q");
+            }
+            last_hi = Some(hi);
+        }
+        assert_eq!(covered, q.volume());
+    }
+
+    #[test]
+    fn count_runs_handles_gaps() {
+        assert_eq!(count_runs(&[]), 0);
+        assert_eq!(count_runs(&[5]), 1);
+        assert_eq!(count_runs(&[1, 2, 3]), 1);
+        assert_eq!(count_runs(&[1, 3, 4, 9]), 3);
+    }
+
+    #[test]
+    fn coalesce_merges_only_small_gaps() {
+        let ranges = [(0u64, 5u64), (8, 10), (20, 21), (23, 30)];
+        assert_eq!(coalesce_ranges(&ranges, 0), ranges.to_vec());
+        assert_eq!(
+            coalesce_ranges(&ranges, 2),
+            vec![(0, 10), (20, 30)] // gaps of 2 and 1 absorbed, 9 kept
+        );
+        assert_eq!(coalesce_ranges(&ranges, 100), vec![(0, 30)]);
+        assert_eq!(coalesce_ranges(&[], 5), Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn coalesce_preserves_query_coverage() {
+        let o = Onion2D::new(16).unwrap();
+        let q = RectQuery::new([3, 2], [9, 9]).unwrap();
+        let ranges = cluster_ranges(&o, &q);
+        let merged = coalesce_ranges(&ranges, 4);
+        assert!(merged.len() <= ranges.len());
+        // Every query cell remains covered.
+        for p in q.cells() {
+            let idx = o.index_unchecked(p);
+            assert!(
+                merged.iter().any(|&(lo, hi)| lo <= idx && idx <= hi),
+                "cell {p} lost in coalescing"
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Crossing-number machinery over translation query sets (§II and §V of the
+//! paper): the quantities `I(Q, α)`, `γ(Q, e)`, `λ(Q, α)` and `ω(Q, α)`.
+//!
+//! The query set `Q = Q(ℓ_1, …, ℓ_D)` is the set of all translations of a
+//! fixed rectangular shape that fit inside the universe. All counts here are
+//! exact and run in `O(D)` per cell/edge — the foundation of the exact
+//! average-clustering computation (Lemma 1) in [`crate::exact`].
+
+use onion_core::{Point, SfcError};
+
+/// The set of all translations of a rectangle of side lengths `shape` inside
+/// a universe of side `side` (the paper's `Q(ℓ_1, …, ℓ_d)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslationSet<const D: usize> {
+    side: u32,
+    shape: [u32; D],
+}
+
+impl<const D: usize> TranslationSet<D> {
+    /// Creates the translation set. Every `shape[d]` must satisfy
+    /// `1 ≤ shape[d] ≤ side`.
+    pub fn new(side: u32, shape: [u32; D]) -> Result<Self, SfcError> {
+        if side == 0 {
+            return Err(SfcError::ZeroSide);
+        }
+        for d in 0..D {
+            if shape[d] == 0 {
+                return Err(SfcError::ZeroSide);
+            }
+            if shape[d] > side {
+                return Err(SfcError::PointOutOfBounds {
+                    point: Point::new(shape).to_string(),
+                    side,
+                });
+            }
+        }
+        Ok(TranslationSet { side, shape })
+    }
+
+    /// Universe side length.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Query shape `ℓ_1, …, ℓ_D`.
+    #[inline]
+    pub fn shape(&self) -> [u32; D] {
+        self.shape
+    }
+
+    /// `|Q| = Π (side − ℓ_d + 1)`.
+    #[inline]
+    pub fn num_queries(&self) -> u64 {
+        (0..D)
+            .map(|d| u64::from(self.side - self.shape[d] + 1))
+            .product()
+    }
+
+    /// Number of feasible offsets along dimension `d` whose translate covers
+    /// coordinate `x`: `|[max(0, x−ℓ+1), min(x, side−ℓ)]|`.
+    #[inline]
+    fn covering_offsets(&self, d: usize, x: u32) -> u64 {
+        let l = self.shape[d];
+        let lo = (i64::from(x) - i64::from(l) + 1).max(0);
+        let hi = i64::from(x.min(self.side - l));
+        (hi - lo + 1).max(0) as u64
+    }
+
+    /// Offsets along `d` covering both coordinates `x` and `y`.
+    #[inline]
+    fn covering_offsets_pair(&self, d: usize, x: u32, y: u32) -> u64 {
+        let l = self.shape[d];
+        let lo = (i64::from(x.max(y)) - i64::from(l) + 1).max(0);
+        let hi = i64::from(x.min(y).min(self.side - l));
+        (hi - lo + 1).max(0) as u64
+    }
+
+    /// The paper's `I(Q, α)`: how many queries of `Q` contain cell `α`.
+    #[inline]
+    pub fn count_containing(&self, p: Point<D>) -> u64 {
+        (0..D).map(|d| self.covering_offsets(d, p.0[d])).product()
+    }
+
+    /// How many queries contain *both* cells.
+    #[inline]
+    pub fn count_containing_both(&self, a: Point<D>, b: Point<D>) -> u64 {
+        (0..D)
+            .map(|d| self.covering_offsets_pair(d, a.0[d], b.0[d]))
+            .product()
+    }
+
+    /// The paper's `γ(Q, e)` for the directed edge `e = (a, b)`: the number
+    /// of `(query, crossing)` incidences, i.e. queries containing exactly
+    /// one endpoint. Valid for *any* pair of cells, not only grid neighbors:
+    /// `γ = I(a) + I(b) − 2·I(a ∧ b)`.
+    #[inline]
+    pub fn gamma_edge(&self, a: Point<D>, b: Point<D>) -> u64 {
+        self.count_containing(a) + self.count_containing(b)
+            - 2 * self.count_containing_both(a, b)
+    }
+
+    /// The paper's `λ(Q, α)` (Definition 2): the minimum `γ(Q, (α, β))` over
+    /// grid neighbors `β` of `α`.
+    #[inline]
+    pub fn lambda(&self, p: Point<D>) -> u64 {
+        p.neighbors(self.side)
+            .map(|nb| self.gamma_edge(p, nb))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The paper's `ω(Q, α)` (Definition 3): the minimum `γ(Q, (α, β))` over
+    /// *all* cells `β ≠ α`. Brute force `O(n·D)` — use only on small
+    /// universes (it exists to validate Lemma 9: `ω ≥ λ/2`).
+    pub fn omega_bruteforce(&self, p: Point<D>) -> u64 {
+        let u = onion_core::Universe::<D>::new(self.side).expect("valid side");
+        u.iter_cells()
+            .filter(|&b| b != p)
+            .map(|b| self.gamma_edge(p, b))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// `T = Σ_α λ(Q, α)` over the whole universe — the quantity of Lemma 8,
+    /// computed numerically in `O(n · D)`.
+    pub fn lambda_sum(&self) -> u64 {
+        let u = onion_core::Universe::<D>::new(self.side).expect("valid side");
+        u.iter_cells().map(|p| self.lambda(p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RectQuery;
+
+    /// Brute-force reference: enumerate all translates.
+    fn all_translates<const D: usize>(ts: &TranslationSet<D>) -> Vec<RectQuery<D>> {
+        let mut out = Vec::new();
+        let ranges: Vec<u32> = (0..D).map(|d| ts.side() - ts.shape()[d] + 1).collect();
+        let mut offs = [0u32; D];
+        loop {
+            out.push(RectQuery::new(offs, ts.shape()).unwrap());
+            let mut d = 0;
+            loop {
+                if d == D {
+                    return out;
+                }
+                offs[d] += 1;
+                if offs[d] < ranges[d] {
+                    break;
+                }
+                offs[d] = 0;
+                d += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn num_queries_matches_enumeration() {
+        let ts = TranslationSet::<2>::new(6, [3, 2]).unwrap();
+        assert_eq!(ts.num_queries(), all_translates(&ts).len() as u64);
+        let ts3 = TranslationSet::<3>::new(4, [2, 3, 4]).unwrap();
+        assert_eq!(ts3.num_queries(), all_translates(&ts3).len() as u64);
+    }
+
+    #[test]
+    fn count_containing_matches_enumeration() {
+        let ts = TranslationSet::<2>::new(7, [3, 5]).unwrap();
+        let qs = all_translates(&ts);
+        for x in 0..7 {
+            for y in 0..7 {
+                let p = Point::new([x, y]);
+                let expect = qs.iter().filter(|q| q.contains(p)).count() as u64;
+                assert_eq!(ts.count_containing(p), expect, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_matches_enumeration_for_neighbors_and_jumps() {
+        let ts = TranslationSet::<2>::new(6, [2, 4]).unwrap();
+        let qs = all_translates(&ts);
+        let pairs = [
+            (Point::new([0, 0]), Point::new([1, 0])), // neighbor
+            (Point::new([2, 3]), Point::new([2, 4])), // neighbor
+            (Point::new([1, 1]), Point::new([4, 5])), // long jump
+            (Point::new([5, 0]), Point::new([0, 5])), // corner to corner
+        ];
+        for (a, b) in pairs {
+            let expect = qs
+                .iter()
+                .filter(|q| q.contains(a) != q.contains(b))
+                .count() as u64;
+            assert_eq!(ts.gamma_edge(a, b), expect, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn lambda_is_min_over_neighbors() {
+        let ts = TranslationSet::<2>::new(8, [3, 3]).unwrap();
+        for x in 0..8 {
+            for y in 0..8 {
+                let p = Point::new([x, y]);
+                let expect = p
+                    .neighbors(8)
+                    .map(|nb| ts.gamma_edge(p, nb))
+                    .min()
+                    .unwrap();
+                assert_eq!(ts.lambda(p), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma9_omega_at_least_half_lambda() {
+        // Lemma 9 of the paper: ω(Q, α) ≥ λ(Q, α) / 2.
+        let ts = TranslationSet::<2>::new(6, [3, 2]).unwrap();
+        for x in 0..6 {
+            for y in 0..6 {
+                let p = Point::new([x, y]);
+                let omega = ts.omega_bruteforce(p);
+                let lambda = ts.lambda(p);
+                assert!(2 * omega >= lambda, "{p}: ω={omega} λ={lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_symmetry_of_lemma7_setup() {
+        // λ(i,j) = λ(j,i) = λ(i, side−1−j) = … for square shapes (§V-A).
+        let side = 8;
+        let ts = TranslationSet::<2>::new(side, [3, 3]).unwrap();
+        for i in 0..side {
+            for j in 0..side {
+                let base = ts.lambda(Point::new([i, j]));
+                assert_eq!(base, ts.lambda(Point::new([j, i])));
+                assert_eq!(base, ts.lambda(Point::new([i, side - 1 - j])));
+                assert_eq!(base, ts.lambda(Point::new([side - 1 - i, j])));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_shapes() {
+        assert!(TranslationSet::<2>::new(4, [0, 2]).is_err());
+        assert!(TranslationSet::<2>::new(4, [5, 2]).is_err());
+        assert!(TranslationSet::<2>::new(0, [1, 1]).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Exact average clustering numbers over full translation query sets, via
+//! Lemma 1 of the paper:
+//!
+//! `c(Q, π) = (γ(Q, π) + I(Q, π_s) + I(Q, π_e)) / (2 |Q|)`
+//!
+//! where `γ(Q, π)` sums the crossing counts of all `n−1` curve edges. With
+//! the `O(D)` per-edge counts of [`crate::crossing`], one walk of the curve
+//! yields the *exact* average clustering number of **any** SFC (continuous
+//! or not) for **all** translates of a query shape — no sampling error.
+
+use crate::crossing::TranslationSet;
+use onion_core::{SfcError, SpaceFillingCurve};
+
+/// Exact average clustering number `c(Q(shape), π)` over all translations.
+///
+/// Runs in `O(n · D)` time and `O(1)` memory (one curve walk).
+///
+/// ```
+/// use onion_core::Onion2D;
+/// use sfc_clustering::average_clustering_exact;
+///
+/// let onion = Onion2D::new(32).unwrap();
+/// let avg = average_clustering_exact(&onion, [4, 4]).unwrap();
+/// // Theorem 1: for ℓ ≤ m the average is close to (ℓ1 + ℓ2)/2 = 4.
+/// assert!((avg - 4.0).abs() < 1.5, "avg = {avg}");
+/// ```
+pub fn average_clustering_exact<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    shape: [u32; D],
+) -> Result<f64, SfcError> {
+    let u = curve.universe();
+    let ts = TranslationSet::new(u.side(), shape)?;
+    let n = u.cell_count();
+    let mut gamma_total: u128 = 0;
+    let mut prev = curve.point_unchecked(0);
+    for idx in 1..n {
+        let next = curve.point_unchecked(idx);
+        gamma_total += u128::from(ts.gamma_edge(prev, next));
+        prev = next;
+    }
+    let ends = u128::from(ts.count_containing(curve.start()))
+        + u128::from(ts.count_containing(curve.end()));
+    Ok((gamma_total + ends) as f64 / (2.0 * ts.num_queries() as f64))
+}
+
+/// Exact average clustering number over an explicit query-set slice
+/// (brute force: one clustering computation per query). Reference
+/// implementation for tests and small universes.
+pub fn average_clustering_bruteforce<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    queries: &[crate::query::RectQuery<D>],
+) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = queries
+        .iter()
+        .map(|q| crate::cluster::clustering_number(curve, q))
+        .sum();
+    total as f64 / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::all_translations;
+    use onion_core::{Onion2D, Onion3D, OnionNd};
+
+    #[test]
+    fn lemma1_matches_bruteforce_onion_2d() {
+        let o = Onion2D::new(10).unwrap();
+        for shape in [[1u32, 1], [2, 3], [5, 5], [7, 4], [10, 10], [9, 1]] {
+            let qs: Vec<_> = all_translations(10, shape).unwrap().collect();
+            let brute = average_clustering_bruteforce(&o, &qs);
+            let exact = average_clustering_exact(&o, shape).unwrap();
+            assert!(
+                (brute - exact).abs() < 1e-9,
+                "shape {shape:?}: brute {brute} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_matches_bruteforce_onion_3d() {
+        let o = Onion3D::new(6).unwrap();
+        for shape in [[1u32, 1, 1], [2, 3, 4], [3, 3, 3], [6, 6, 6], [5, 1, 2]] {
+            let qs: Vec<_> = all_translations(6, shape).unwrap().collect();
+            let brute = average_clustering_bruteforce(&o, &qs);
+            let exact = average_clustering_exact(&o, shape).unwrap();
+            assert!(
+                (brute - exact).abs() < 1e-9,
+                "shape {shape:?}: brute {brute} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_matches_bruteforce_discontinuous_curve() {
+        // Lemma 1 holds for any SFC; OnionNd is not continuous.
+        let o = OnionNd::<2>::new(9).unwrap();
+        for shape in [[2u32, 2], [4, 7], [9, 3]] {
+            let qs: Vec<_> = all_translations(9, shape).unwrap().collect();
+            let brute = average_clustering_bruteforce(&o, &qs);
+            let exact = average_clustering_exact(&o, shape).unwrap();
+            assert!(
+                (brute - exact).abs() < 1e-9,
+                "shape {shape:?}: brute {brute} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_universe_average_is_one() {
+        let o = Onion2D::new(8).unwrap();
+        let avg = average_clustering_exact(&o, [8, 8]).unwrap();
+        assert_eq!(avg, 1.0);
+    }
+
+    #[test]
+    fn unit_query_average_is_one() {
+        // Every single-cell query is exactly one cluster.
+        let o = Onion3D::new(4).unwrap();
+        let avg = average_clustering_exact(&o, [1, 1, 1]).unwrap();
+        assert_eq!(avg, 1.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Query-set generators matching §VII of the paper: exhaustive translations,
+//! uniformly random translations (Figures 5a/5b), fixed side-ratio
+//! rectangles (Algorithm 1, Figures 6a/6b), random-corner rectangles
+//! (Figures 7a/7b), and the row/column sets of §V-C.
+
+use crate::query::RectQuery;
+use onion_core::{Point, SfcError};
+use rand::Rng;
+
+/// Iterates over *all* translations of `shape` inside a universe of side
+/// `side` (the paper's query set `Q(ℓ_1, …, ℓ_d)`).
+pub fn all_translations<const D: usize>(
+    side: u32,
+    shape: [u32; D],
+) -> Result<impl Iterator<Item = RectQuery<D>>, SfcError> {
+    for d in 0..D {
+        if shape[d] == 0 {
+            return Err(SfcError::ZeroSide);
+        }
+        if shape[d] > side {
+            return Err(SfcError::PointOutOfBounds {
+                point: Point::new(shape).to_string(),
+                side,
+            });
+        }
+    }
+    let limit: [u32; D] = std::array::from_fn(|d| side - shape[d] + 1);
+    let mut offs = Some([0u32; D]);
+    Ok(std::iter::from_fn(move || {
+        let current = offs?;
+        let q = RectQuery::new(current, shape).expect("validated shape");
+        let mut next = current;
+        let mut d = 0;
+        loop {
+            if d == D {
+                offs = None;
+                break;
+            }
+            next[d] += 1;
+            if next[d] < limit[d] {
+                offs = Some(next);
+                break;
+            }
+            next[d] = 0;
+            d += 1;
+        }
+        Some(q)
+    }))
+}
+
+/// Samples `count` uniformly random translations of `shape` (the Figure 5
+/// workload: "choose the lower left endpoint uniformly among all feasible
+/// positions").
+pub fn random_translations<const D: usize, R: Rng>(
+    side: u32,
+    shape: [u32; D],
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<RectQuery<D>>, SfcError> {
+    for d in 0..D {
+        if shape[d] == 0 {
+            return Err(SfcError::ZeroSide);
+        }
+        if shape[d] > side {
+            return Err(SfcError::PointOutOfBounds {
+                point: Point::new(shape).to_string(),
+                side,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let lo: [u32; D] = std::array::from_fn(|d| rng.random_range(0..=side - shape[d]));
+        out.push(RectQuery::new(lo, shape).expect("validated shape"));
+    }
+    Ok(out)
+}
+
+/// Algorithm 1 of the paper (d = 2): a set of random rectangles with fixed
+/// side-length ratio `ρ = ℓ2 / ℓ1`.
+///
+/// Starting from `ℓ2 = side`, and stepping `ℓ2` down by `step` (the paper
+/// uses 50), set `ℓ1 = ⌊ℓ2 / ρ⌋`; whenever `1 ≤ ℓ1 ≤ side`, sample
+/// `per_step` (the paper uses 20) uniform placements. Degenerate shapes
+/// (`ℓ1 = 0` or `ℓ2 = 0`) are skipped, as a zero-width rectangle contains
+/// no cells.
+pub fn fixed_ratio_set_2d<R: Rng>(
+    side: u32,
+    rho: f64,
+    step: u32,
+    per_step: usize,
+    rng: &mut R,
+) -> Vec<RectQuery<2>> {
+    assert!(rho > 0.0, "side ratio must be positive");
+    assert!(step > 0, "step must be positive");
+    let mut out = Vec::new();
+    let mut l2 = side;
+    loop {
+        let l1 = (f64::from(l2) / rho).floor() as u64;
+        if l1 >= 1 && l1 <= u64::from(side) && l2 >= 1 {
+            let shape = [l1 as u32, l2];
+            out.extend(
+                random_translations(side, shape, per_step, rng).expect("validated shape"),
+            );
+        }
+        if l2 < step {
+            break;
+        }
+        l2 -= step;
+    }
+    out
+}
+
+/// The 3D analogue of Algorithm 1 used for Figure 6b. The paper states the
+/// experiment is "similar" without spelling out the third side; we take
+/// `ℓ3 = ℓ2` (documented in EXPERIMENTS.md).
+pub fn fixed_ratio_set_3d<R: Rng>(
+    side: u32,
+    rho: f64,
+    step: u32,
+    per_step: usize,
+    rng: &mut R,
+) -> Vec<RectQuery<3>> {
+    assert!(rho > 0.0, "side ratio must be positive");
+    assert!(step > 0, "step must be positive");
+    let mut out = Vec::new();
+    let mut l2 = side;
+    loop {
+        let l1 = (f64::from(l2) / rho).floor() as u64;
+        if l1 >= 1 && l1 <= u64::from(side) && l2 >= 1 {
+            let shape = [l1 as u32, l2, l2];
+            out.extend(
+                random_translations(side, shape, per_step, rng).expect("validated shape"),
+            );
+        }
+        if l2 < step {
+            break;
+        }
+        l2 -= step;
+    }
+    out
+}
+
+/// The Figure 7 workload: rectangles spanned by two independent uniformly
+/// random corner cells ("the smallest rectangle that contains both the
+/// chosen points").
+pub fn random_corner_rects<const D: usize, R: Rng>(
+    side: u32,
+    count: usize,
+    rng: &mut R,
+) -> Vec<RectQuery<D>> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let a: [u32; D] = std::array::from_fn(|_| rng.random_range(0..side));
+        let b: [u32; D] = std::array::from_fn(|_| rng.random_range(0..side));
+        out.push(RectQuery::from_corners(Point::new(a), Point::new(b)));
+    }
+    out
+}
+
+/// §V-C's `Q_R`: every full row of a 2D universe (`√n` queries of shape
+/// `side × 1`).
+pub fn rows(side: u32) -> Vec<RectQuery<2>> {
+    (0..side)
+        .map(|y| RectQuery::new([0, y], [side, 1]).expect("valid row"))
+        .collect()
+}
+
+/// §V-C's `Q_C`: every full column of a 2D universe.
+pub fn columns(side: u32) -> Vec<RectQuery<2>> {
+    (0..side)
+        .map(|x| RectQuery::new([x, 0], [1, side]).expect("valid column"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_translations_counts_match_formula() {
+        let qs: Vec<_> = all_translations(8, [3u32, 5]).unwrap().collect();
+        assert_eq!(qs.len(), (8 - 3 + 1) * (8 - 5 + 1));
+        assert!(qs.iter().all(|q| q.fits_in(8)));
+        // All distinct.
+        let mut lows: Vec<_> = qs.iter().map(|q| q.lo()).collect();
+        lows.sort();
+        lows.dedup();
+        assert_eq!(lows.len(), qs.len());
+    }
+
+    #[test]
+    fn all_translations_rejects_oversized_shape() {
+        assert!(all_translations(4, [5u32, 1]).is_err());
+        assert!(all_translations(4, [0u32, 1]).is_err());
+    }
+
+    #[test]
+    fn random_translations_fit_and_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let qs = random_translations(64, [10u32, 20], 100, &mut rng).unwrap();
+        assert_eq!(qs.len(), 100);
+        assert!(qs.iter().all(|q| q.fits_in(64) && q.len() == [10, 20]));
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let qs2 = random_translations(64, [10u32, 20], 100, &mut rng2).unwrap();
+        assert_eq!(qs, qs2);
+    }
+
+    #[test]
+    fn full_size_shape_has_single_translation() {
+        let qs = random_translations(16, [16u32, 16], 5, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert!(qs.iter().all(|q| q.lo() == [0, 0]));
+    }
+
+    #[test]
+    fn fixed_ratio_respects_rho() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let qs = fixed_ratio_set_2d(1024, 4.0, 50, 20, &mut rng);
+        assert!(!qs.is_empty());
+        for q in &qs {
+            let [l1, l2] = q.len();
+            assert_eq!(u64::from(l1), u64::from(l2) / 4, "ℓ1 = ⌊ℓ2/ρ⌋");
+            assert!(q.fits_in(1024));
+        }
+        // ρ < 1 gives wide rectangles; oversized ℓ1 are skipped.
+        let qs = fixed_ratio_set_2d(1024, 0.5, 50, 20, &mut rng);
+        for q in &qs {
+            let [l1, l2] = q.len();
+            assert_eq!(u64::from(l1), u64::from(l2) * 2);
+        }
+    }
+
+    #[test]
+    fn fixed_ratio_3d_sets_third_side() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let qs = fixed_ratio_set_3d(512, 2.0, 50, 5, &mut rng);
+        for q in &qs {
+            let [l1, l2, l3] = q.len();
+            assert_eq!(l2, l3);
+            assert_eq!(u64::from(l1), u64::from(l2) / 2);
+        }
+    }
+
+    #[test]
+    fn random_corner_rects_cover_both_corners() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let qs: Vec<RectQuery<3>> = random_corner_rects(32, 50, &mut rng);
+        assert_eq!(qs.len(), 50);
+        assert!(qs.iter().all(|q| q.fits_in(32)));
+    }
+
+    #[test]
+    fn rows_and_columns_cover_universe() {
+        let r = rows(6);
+        let c = columns(6);
+        assert_eq!(r.len(), 6);
+        assert_eq!(c.len(), 6);
+        let total: u64 = r.iter().map(|q| q.volume()).sum();
+        assert_eq!(total, 36);
+        assert!(r.iter().all(|q| q.len() == [6, 1]));
+        assert!(c.iter().all(|q| q.len() == [1, 6]));
+    }
+}

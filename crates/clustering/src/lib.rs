@@ -1,0 +1,51 @@
+//! # sfc-clustering
+//!
+//! Clustering-number analysis for space-filling curves, implementing the
+//! measurement machinery of the Onion Curve paper:
+//!
+//! * [`RectQuery`] — rectangular queries with fast boundary enumeration;
+//! * [`clustering_number`] / [`cluster_ranges`] — exact per-query cluster
+//!   counts and the actual index runs, with three cross-checked algorithms
+//!   (sort, entry-scan, and the `O(surface)` boundary-scan for continuous /
+//!   almost-continuous curves);
+//! * [`TranslationSet`] — the paper's §II/§V counting machinery
+//!   (`I(Q,α)`, `γ(Q,e)`, `λ(Q,α)`, `ω(Q,α)`);
+//! * [`average_clustering_exact`] — Lemma 1 turned into an `O(n·D)` exact
+//!   average over *all* translations of a query shape, for any curve;
+//! * [`generator`] — the §VII workloads (random translations, Algorithm 1
+//!   fixed-ratio rectangles, random-corner rectangles, rows/columns);
+//! * [`Summary`] — the box-plot statistics the paper reports.
+//!
+//! ```
+//! use onion_core::Onion2D;
+//! use sfc_clustering::{clustering_number, RectQuery};
+//!
+//! let onion = Onion2D::new(8).unwrap();
+//! // The 7×7 query of Figure 2b: a single cluster under the onion curve.
+//! let q = RectQuery::new([0, 1], [7, 7]).unwrap();
+//! assert_eq!(clustering_number(&onion, &q), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cluster;
+mod crossing;
+mod exact;
+pub mod generator;
+pub mod metrics;
+mod query;
+mod stats;
+
+pub use cluster::{
+    cluster_ranges, clustering_number, clustering_number_with, coalesce_ranges, ClusterMethod,
+};
+pub use metrics::{cluster_gap_stats, index_dilation, neighbor_stretch, GapStats};
+pub use crossing::TranslationSet;
+pub use exact::{average_clustering_bruteforce, average_clustering_exact};
+pub use generator::{
+    all_translations, columns, fixed_ratio_set_2d, fixed_ratio_set_3d, random_corner_rects,
+    random_translations, rows,
+};
+pub use query::{RectCellIter, RectQuery};
+pub use stats::{quantile, Summary};

@@ -1,0 +1,197 @@
+//! Locality metrics beyond the clustering number.
+//!
+//! * [`cluster_gap_stats`] — the paper's §VIII future work: "the distance
+//!   between different clusters of the same query region, which tends to be
+//!   important in fetching data from the disk".
+//! * [`neighbor_stretch`] / [`index_dilation`] — the two directions of the
+//!   Gotsman–Lindenbaum "stretch" metric cited in §I-B: how far consecutive
+//!   curve positions are in space, and how far grid neighbors are on the
+//!   curve.
+
+use crate::cluster::cluster_ranges;
+use crate::query::RectQuery;
+use onion_core::SpaceFillingCurve;
+
+/// Gap structure of a query's cluster decomposition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GapStats {
+    /// Number of clusters (the clustering number).
+    pub clusters: u64,
+    /// Mean index gap between consecutive clusters (0 when one cluster).
+    pub mean_gap: f64,
+    /// Largest index gap between consecutive clusters.
+    pub max_gap: u64,
+    /// Total key span `last − first + 1` touched by the query.
+    pub span: u64,
+    /// Cells in the query.
+    pub cells: u64,
+}
+
+impl GapStats {
+    /// Fraction of the touched span occupied by the query's own cells
+    /// (1.0 means perfectly dense; low values mean long inter-cluster
+    /// seeks).
+    pub fn density(&self) -> f64 {
+        self.cells as f64 / self.span as f64
+    }
+}
+
+/// Computes the inter-cluster gap statistics of a query (§VIII).
+pub fn cluster_gap_stats<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+) -> GapStats {
+    let ranges = cluster_ranges(curve, q);
+    debug_assert!(!ranges.is_empty());
+    let clusters = ranges.len() as u64;
+    let mut total_gap = 0u64;
+    let mut max_gap = 0u64;
+    for w in ranges.windows(2) {
+        let gap = w[1].0 - w[0].1 - 1;
+        total_gap += gap;
+        max_gap = max_gap.max(gap);
+    }
+    let span = ranges.last().unwrap().1 - ranges[0].0 + 1;
+    GapStats {
+        clusters,
+        mean_gap: if clusters > 1 {
+            total_gap as f64 / (clusters - 1) as f64
+        } else {
+            0.0
+        },
+        max_gap,
+        span,
+        cells: q.volume(),
+    }
+}
+
+/// Average and maximum L1 (grid) distance between consecutive curve
+/// positions — the "stretch" of the curve in the space direction.
+/// Continuous curves score exactly (1.0, 1).
+///
+/// `O(n)` walk; intended for moderate universes.
+pub fn neighbor_stretch<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> (f64, u64) {
+    let n = curve.universe().cell_count();
+    debug_assert!(n >= 2);
+    let mut total = 0u128;
+    let mut max = 0u64;
+    let mut prev = curve.point_unchecked(0);
+    for idx in 1..n {
+        let next = curve.point_unchecked(idx);
+        let d: u64 = (0..D)
+            .map(|k| u64::from(prev.0[k].abs_diff(next.0[k])))
+            .sum();
+        total += u128::from(d);
+        max = max.max(d);
+        prev = next;
+    }
+    (total as f64 / (n - 1) as f64, max)
+}
+
+/// Average |π(a) − π(b)| over all grid-neighbor pairs `(a, b)` — the
+/// "index dilation": how far apart the curve stores spatially adjacent
+/// cells. Lower is better for nearest-neighbor workloads.
+///
+/// `O(n · D)`; intended for moderate universes.
+pub fn index_dilation<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> f64 {
+    let u = curve.universe();
+    let side = u.side();
+    let mut total = 0u128;
+    let mut pairs = 0u64;
+    for p in u.iter_cells() {
+        let ip = curve.index_unchecked(p);
+        for d in 0..D {
+            if let Some(nb) = p.step(d, 1, side) {
+                let inb = curve.index_unchecked(nb);
+                total += u128::from(ip.abs_diff(inb));
+                pairs += 1;
+            }
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::{Onion2D, OnionNd, Point};
+
+    #[test]
+    fn gap_stats_single_cluster() {
+        let o = Onion2D::new(8).unwrap();
+        let q = RectQuery::new([0, 0], [8, 8]).unwrap();
+        let g = cluster_gap_stats(&o, &q);
+        assert_eq!(g.clusters, 1);
+        assert_eq!(g.mean_gap, 0.0);
+        assert_eq!(g.max_gap, 0);
+        assert_eq!(g.span, 64);
+        assert_eq!(g.density(), 1.0);
+    }
+
+    #[test]
+    fn gap_stats_account_for_holes() {
+        let o = Onion2D::new(8).unwrap();
+        // A 2x2 corner query: layer-1 cells (keys 0,1 and 27) plus layer-2
+        // cell 28 — clusters {0,1}, {27,28}; gap = 25.
+        let q = RectQuery::new([0, 0], [2, 2]).unwrap();
+        let g = cluster_gap_stats(&o, &q);
+        assert_eq!(g.clusters, 2);
+        assert_eq!(g.max_gap, 25);
+        assert_eq!(g.mean_gap, 25.0);
+        assert_eq!(g.span, 29);
+        assert_eq!(g.cells, 4);
+    }
+
+    #[test]
+    fn stretch_of_continuous_curve_is_one() {
+        let o = Onion2D::new(10).unwrap();
+        let (avg, max) = neighbor_stretch(&o);
+        assert_eq!(avg, 1.0);
+        assert_eq!(max, 1);
+    }
+
+    #[test]
+    fn stretch_of_layered_lex_curve_exceeds_one() {
+        let o = OnionNd::<2>::new(8).unwrap();
+        let (avg, max) = neighbor_stretch(&o);
+        assert!(avg > 1.0);
+        assert!(max > 1);
+    }
+
+    #[test]
+    fn dilation_is_positive_and_at_least_one() {
+        let o = Onion2D::new(8).unwrap();
+        let d = index_dilation(&o);
+        assert!(d >= 1.0, "every neighbor pair differs by at least 1: {d}");
+    }
+
+    #[test]
+    fn row_major_dilation_known_value() {
+        // Row-major on side s: horizontal neighbors differ by 1, vertical
+        // ones by s. Average = (h·1 + v·s)/(h+v) with h = v = s(s−1).
+        struct Rm {
+            u: onion_core::Universe<2>,
+        }
+        impl SpaceFillingCurve<2> for Rm {
+            fn universe(&self) -> onion_core::Universe<2> {
+                self.u
+            }
+            fn index_unchecked(&self, p: Point<2>) -> u64 {
+                u64::from(p.0[1]) * u64::from(self.u.side()) + u64::from(p.0[0])
+            }
+            fn point_unchecked(&self, idx: u64) -> Point<2> {
+                let s = u64::from(self.u.side());
+                Point::new([(idx % s) as u32, (idx / s) as u32])
+            }
+            fn name(&self) -> &str {
+                "rm"
+            }
+        }
+        let side = 6u32;
+        let c = Rm {
+            u: onion_core::Universe::new(side).unwrap(),
+        };
+        let expect = (1.0 + f64::from(side)) / 2.0;
+        assert!((index_dilation(&c) - expect).abs() < 1e-12);
+    }
+}

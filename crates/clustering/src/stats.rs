@@ -1,0 +1,124 @@
+//! Distribution summaries for clustering experiments.
+//!
+//! The paper's box plots report "the 25 percentile and 75 percentile within
+//! the box, as well as the median, minimum, and maximum" (Figure 5 caption);
+//! [`Summary`] carries exactly those five numbers plus the mean.
+
+use std::fmt;
+
+/// Five-number summary (plus mean) of a sample of clustering numbers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// First quartile (linear interpolation between order statistics).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample. Returns `None` on an empty slice.
+    pub fn from_values(values: &[u64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        Some(Summary {
+            count,
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[count - 1],
+            mean: sum as f64 / count as f64,
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {} | q1 {:.1} | med {:.1} | q3 {:.1} | max {} | mean {:.2}",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean
+        )
+    }
+}
+
+/// Quantile with linear interpolation between closest ranks ("type 7", the
+/// convention of R, NumPy and Excel). `sorted` must be ascending, non-empty.
+pub fn quantile(sorted: &[u64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0] as f64;
+    }
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_summary() {
+        assert_eq!(Summary::from_values(&[]), None);
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = Summary::from_values(&[7]).unwrap();
+        assert_eq!(s.min, 7);
+        assert_eq!(s.max, 7);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn known_quartiles() {
+        // 1..=5: q1 = 2, median = 3, q3 = 4 under type-7 interpolation.
+        let s = Summary::from_values(&[5, 3, 1, 4, 2]).unwrap();
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn interpolated_median_for_even_count() {
+        let s = Summary::from_values(&[1, 2, 3, 10]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 4.0);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let v = [2, 4, 9];
+        assert_eq!(quantile(&v, 0.0), 2.0);
+        assert_eq!(quantile(&v, 1.0), 9.0);
+        assert_eq!(quantile(&v, 0.5), 4.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = Summary::from_values(&[9, 1, 5, 5, 2]).unwrap();
+        let b = Summary::from_values(&[5, 5, 9, 2, 1]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,337 @@
+//! The space-filling-curve abstraction.
+
+use crate::error::SfcError;
+use crate::point::Point;
+use crate::universe::Universe;
+
+/// A space-filling curve: a bijection `π : U → {0, 1, …, n−1}` over a
+/// `D`-dimensional universe `U` of `n` cells.
+///
+/// Implementors provide the unchecked conversions; the checked wrappers and
+/// start/end accessors are derived. The trait is object safe, so experiment
+/// code can hold heterogeneous `Box<dyn SpaceFillingCurve<D>>` collections.
+pub trait SpaceFillingCurve<const D: usize> {
+    /// The universe this curve fills.
+    fn universe(&self) -> Universe<D>;
+
+    /// Maps a cell to its curve index. `p` must lie inside the universe.
+    fn index_unchecked(&self, p: Point<D>) -> u64;
+
+    /// Maps a curve index to its cell. `idx` must be `< n`.
+    fn point_unchecked(&self, idx: u64) -> Point<D>;
+
+    /// A short human-readable name, e.g. `"onion"`, `"hilbert"`.
+    fn name(&self) -> &str;
+
+    /// Whether consecutive curve positions are always grid neighbors
+    /// (the paper's Definition 1). Continuity enables the fast
+    /// boundary-scan clustering algorithm.
+    fn is_continuous(&self) -> bool {
+        false
+    }
+
+    /// Cells, other than the curve start, whose predecessor on the curve is
+    /// *not* a grid neighbor ("jump targets").
+    ///
+    /// * Continuous curves return `Some(vec![])`.
+    /// * Curves with a small, known set of discontinuities (e.g. the 3D
+    ///   onion curve's segment boundaries) enumerate them, which still
+    ///   enables boundary-scan clustering.
+    /// * Curves with pervasive jumps return `None`.
+    fn jump_targets(&self) -> Option<Vec<Point<D>>> {
+        if self.is_continuous() {
+            Some(Vec::new())
+        } else {
+            None
+        }
+    }
+
+    /// Checked version of [`Self::index_unchecked`].
+    fn index_of(&self, p: Point<D>) -> Result<u64, SfcError> {
+        let u = self.universe();
+        if !u.contains(p) {
+            return Err(SfcError::PointOutOfBounds {
+                point: p.to_string(),
+                side: u.side(),
+            });
+        }
+        Ok(self.index_unchecked(p))
+    }
+
+    /// Checked version of [`Self::point_unchecked`].
+    fn point_of(&self, idx: u64) -> Result<Point<D>, SfcError> {
+        let cells = self.universe().cell_count();
+        if idx >= cells {
+            return Err(SfcError::IndexOutOfBounds { index: idx, cells });
+        }
+        Ok(self.point_unchecked(idx))
+    }
+
+    /// The first cell of the curve, `π⁻¹(0)` (the paper's `π_s`).
+    fn start(&self) -> Point<D> {
+        self.point_unchecked(0)
+    }
+
+    /// The final cell of the curve, `π⁻¹(n−1)` (the paper's `π_e`).
+    fn end(&self) -> Point<D> {
+        self.point_unchecked(self.universe().cell_count() - 1)
+    }
+}
+
+impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D> for &C {
+    fn universe(&self) -> Universe<D> {
+        (**self).universe()
+    }
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        (**self).index_unchecked(p)
+    }
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        (**self).point_unchecked(idx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn is_continuous(&self) -> bool {
+        (**self).is_continuous()
+    }
+    fn jump_targets(&self) -> Option<Vec<Point<D>>> {
+        (**self).jump_targets()
+    }
+}
+
+impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D> for Box<C> {
+    fn universe(&self) -> Universe<D> {
+        (**self).universe()
+    }
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        (**self).index_unchecked(p)
+    }
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        (**self).point_unchecked(idx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn is_continuous(&self) -> bool {
+        (**self).is_continuous()
+    }
+    fn jump_targets(&self) -> Option<Vec<Point<D>>> {
+        (**self).jump_targets()
+    }
+}
+
+/// Iterator over the cells of a curve in curve order (`π⁻¹(0), π⁻¹(1), …`).
+#[derive(Clone, Debug)]
+pub struct CurveWalk<'a, C: ?Sized, const D: usize> {
+    curve: &'a C,
+    next: u64,
+    cells: u64,
+}
+
+impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> CurveWalk<'a, C, D> {
+    /// Creates a walk over the whole curve.
+    pub fn new(curve: &'a C) -> Self {
+        let cells = curve.universe().cell_count();
+        CurveWalk {
+            curve,
+            next: 0,
+            cells,
+        }
+    }
+}
+
+impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> Iterator for CurveWalk<'a, C, D> {
+    type Item = Point<D>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Point<D>> {
+        if self.next >= self.cells {
+            return None;
+        }
+        let p = self.curve.point_unchecked(self.next);
+        self.next += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.cells - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> ExactSizeIterator
+    for CurveWalk<'a, C, D>
+{
+}
+
+/// Iterates the directed edges `E(π) = {(π⁻¹(i), π⁻¹(i+1))}` of a curve
+/// (§II of the paper). Each step performs one inverse-mapping call.
+pub fn edges<const D: usize, C: SpaceFillingCurve<D> + ?Sized>(
+    curve: &C,
+) -> impl Iterator<Item = (Point<D>, Point<D>)> + '_ {
+    let mut walk = CurveWalk::new(curve);
+    let mut prev = walk.next();
+    std::iter::from_fn(move || {
+        let a = prev?;
+        let b = walk.next()?;
+        prev = Some(b);
+        Some((a, b))
+    })
+}
+
+/// Verification helpers used by tests throughout the workspace.
+pub mod verify {
+    use super::*;
+
+    /// Exhaustively checks that the curve is a bijection: every cell maps to
+    /// a distinct in-range index and `point ∘ index = id`.
+    ///
+    /// Intended for tests on small universes (walks all `n` cells).
+    pub fn bijection<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> Result<(), String> {
+        let u = curve.universe();
+        let n = u.cell_count();
+        let mut seen = vec![false; n as usize];
+        for p in u.iter_cells() {
+            let idx = curve.index_unchecked(p);
+            if idx >= n {
+                return Err(format!("{}: index {idx} of {p} out of range {n}", curve.name()));
+            }
+            if seen[idx as usize] {
+                return Err(format!("{}: index {idx} assigned twice (at {p})", curve.name()));
+            }
+            seen[idx as usize] = true;
+            let back = curve.point_unchecked(idx);
+            if back != p {
+                return Err(format!(
+                    "{}: roundtrip failed: {p} -> {idx} -> {back}",
+                    curve.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts positions `i` where `π⁻¹(i)` and `π⁻¹(i+1)` are not grid
+    /// neighbors. Zero for continuous curves.
+    pub fn discontinuities<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> u64 {
+        edges(curve)
+            .filter(|(a, b)| !a.is_neighbor(b))
+            .count() as u64
+    }
+
+    /// Checks that [`SpaceFillingCurve::jump_targets`] is sound and complete:
+    /// it contains exactly the non-start cells whose predecessor is not a
+    /// neighbor.
+    pub fn jump_targets_exact<const D: usize, C: SpaceFillingCurve<D>>(
+        curve: &C,
+    ) -> Result<(), String> {
+        let Some(mut declared) = curve.jump_targets() else {
+            return Ok(()); // nothing declared, nothing to verify
+        };
+        declared.sort();
+        let mut actual: Vec<Point<D>> = edges(curve)
+            .filter(|(a, b)| !a.is_neighbor(b))
+            .map(|(_, b)| b)
+            .collect();
+        actual.sort();
+        if declared == actual {
+            Ok(())
+        } else {
+            Err(format!(
+                "{}: declared {} jump targets, observed {}",
+                curve.name(),
+                declared.len(),
+                actual.len()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Row-major toy curve for exercising the trait's provided methods.
+    struct Toy {
+        u: Universe<2>,
+    }
+
+    impl SpaceFillingCurve<2> for Toy {
+        fn universe(&self) -> Universe<2> {
+            self.u
+        }
+        fn index_unchecked(&self, p: Point<2>) -> u64 {
+            u64::from(p.0[1]) * u64::from(self.u.side()) + u64::from(p.0[0])
+        }
+        fn point_unchecked(&self, idx: u64) -> Point<2> {
+            let s = u64::from(self.u.side());
+            Point::new([(idx % s) as u32, (idx / s) as u32])
+        }
+        fn name(&self) -> &str {
+            "toy-row-major"
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            u: Universe::new(4).unwrap(),
+        }
+    }
+
+    #[test]
+    fn checked_accessors_reject_out_of_range() {
+        let c = toy();
+        assert!(matches!(
+            c.index_of(Point::new([4, 0])),
+            Err(SfcError::PointOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            c.point_of(16),
+            Err(SfcError::IndexOutOfBounds { .. })
+        ));
+        assert_eq!(c.index_of(Point::new([3, 3])).unwrap(), 15);
+    }
+
+    #[test]
+    fn start_and_end() {
+        let c = toy();
+        assert_eq!(c.start(), Point::new([0, 0]));
+        assert_eq!(c.end(), Point::new([3, 3]));
+    }
+
+    #[test]
+    fn walk_visits_in_curve_order() {
+        let c = toy();
+        let walk: Vec<_> = CurveWalk::new(&c).collect();
+        assert_eq!(walk.len(), 16);
+        assert_eq!(walk[0], Point::new([0, 0]));
+        assert_eq!(walk[5], Point::new([1, 1]));
+    }
+
+    #[test]
+    fn edges_has_n_minus_one_entries() {
+        let c = toy();
+        assert_eq!(edges(&c).count(), 15);
+    }
+
+    #[test]
+    fn row_major_discontinuities_at_row_ends() {
+        let c = toy();
+        // Row-major on a 4×4 grid jumps at the end of each of the first 3 rows.
+        assert_eq!(verify::discontinuities(&c), 3);
+    }
+
+    #[test]
+    fn bijection_check_passes_for_toy() {
+        verify::bijection(&toy()).unwrap();
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let c: Box<dyn SpaceFillingCurve<2>> = Box::new(toy());
+        assert_eq!(c.index_unchecked(Point::new([1, 0])), 1);
+        assert_eq!(c.name(), "toy-row-major");
+        // Blanket impls let boxed curves be used generically too.
+        verify::bijection(&c).unwrap();
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by all curve constructors and checked accessors.
+
+use std::fmt;
+
+/// Errors produced by curve construction and checked index/point conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SfcError {
+    /// The universe side length was zero.
+    ZeroSide,
+    /// `side^D` does not fit in the supported index range (2^63).
+    UniverseTooLarge {
+        /// Requested side length.
+        side: u32,
+        /// Dimensionality of the universe.
+        dims: usize,
+    },
+    /// The curve requires a power-of-two side length (e.g. Hilbert, Morton).
+    SideNotPowerOfTwo {
+        /// Offending side length.
+        side: u32,
+    },
+    /// A point lies outside the universe.
+    PointOutOfBounds {
+        /// Offending coordinates (formatted).
+        point: String,
+        /// Universe side length.
+        side: u32,
+    },
+    /// A one-dimensional index is `>= side^D`.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: u64,
+        /// Number of cells in the universe.
+        cells: u64,
+    },
+    /// The requested dimensionality is not supported by this component.
+    DimensionUnsupported {
+        /// Offending dimensionality.
+        dims: usize,
+    },
+}
+
+impl fmt::Display for SfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfcError::ZeroSide => write!(f, "universe side length must be at least 1"),
+            SfcError::UniverseTooLarge { side, dims } => {
+                write!(f, "universe {side}^{dims} exceeds the supported 2^63 cells")
+            }
+            SfcError::SideNotPowerOfTwo { side } => {
+                write!(f, "curve requires a power-of-two side length, got {side}")
+            }
+            SfcError::PointOutOfBounds { point, side } => {
+                write!(f, "point {point} outside universe of side {side}")
+            }
+            SfcError::IndexOutOfBounds { index, cells } => {
+                write!(f, "index {index} outside universe of {cells} cells")
+            }
+            SfcError::DimensionUnsupported { dims } => {
+                write!(f, "dimensionality {dims} not supported by this component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SfcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let e = SfcError::UniverseTooLarge { side: 7, dims: 21 };
+        assert!(e.to_string().contains("7^21"));
+        let e = SfcError::SideNotPowerOfTwo { side: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = SfcError::IndexOutOfBounds { index: 99, cells: 64 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SfcError::ZeroSide);
+    }
+}

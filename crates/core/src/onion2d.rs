@@ -1,0 +1,275 @@
+//! The two-dimensional onion curve (§III of the paper).
+//!
+//! The curve orders cells layer by layer: all of layer `S(1)` (the cells at
+//! boundary distance 1), then `S(2)`, and so on. Within a layer, the
+//! perimeter of the remaining sub-square is walked bottom row → right column
+//! → top row (right to left) → left column (top to bottom), matching the
+//! recursive definition `O_j` and Figure 3 of the paper.
+//!
+//! Both directions are closed-form `O(1)` (the inverse uses an integer
+//! square root to locate the layer).
+
+use crate::curve::SpaceFillingCurve;
+use crate::error::SfcError;
+use crate::point::Point;
+use crate::universe::Universe;
+
+/// Rank of cell `(u, v)` under the onion order of a full `s × s` square.
+///
+/// This is the paper's `O_s(u, v)`; it is exposed so the 3D curve can order
+/// its square faces with it.
+#[inline]
+pub fn rank_in_square(s: u32, u: u32, v: u32) -> u64 {
+    debug_assert!(u < s && v < s, "({u},{v}) outside {s}x{s} square");
+    // Layer of the cell inside the square and the side of the sub-square
+    // formed by the remaining layers.
+    let t = (u + 1).min(s - u).min(v + 1).min(s - v);
+    let inner = s - 2 * (t - 1);
+    let offset = u64::from(s) * u64::from(s) - u64::from(inner) * u64::from(inner);
+    let (lu, lv) = (u - (t - 1), v - (t - 1));
+    if inner == 1 {
+        return offset; // single central cell (odd side)
+    }
+    let p = u64::from(inner) - 1;
+    let k = if lv == 0 {
+        u64::from(lu) // bottom row, rule 1: x1
+    } else if u64::from(lu) == p {
+        p + u64::from(lv) // right column, rule 2: j−1+x2
+    } else if u64::from(lv) == p {
+        3 * p - u64::from(lu) // top row, rule 3: 3j−3−x1
+    } else {
+        debug_assert_eq!(lu, 0);
+        4 * p - u64::from(lv) // left column, rule 4: 4j−4−x2
+    };
+    offset + k
+}
+
+/// Inverse of [`rank_in_square`]: the cell of an `s × s` square holding onion
+/// rank `k`.
+#[inline]
+pub fn unrank_in_square(s: u32, k: u64) -> (u32, u32) {
+    let n = u64::from(s) * u64::from(s);
+    debug_assert!(k < n, "rank {k} outside {s}x{s} square");
+    // Cells at positions >= k number n − k; they fill the sub-square of the
+    // smallest side `inner` (same parity as s) with inner² ≥ n − k.
+    let rem = n - k;
+    let mut inner = rem.isqrt() as u32;
+    if u64::from(inner) * u64::from(inner) < rem {
+        inner += 1;
+    }
+    if (inner % 2) != (s % 2) {
+        inner += 1;
+    }
+    debug_assert!(inner >= 1 && inner <= s);
+    let t = (s - inner) / 2 + 1;
+    let local = k - (n - u64::from(inner) * u64::from(inner));
+    let (lu, lv) = unrank_in_perimeter(inner, local);
+    (lu + (t - 1), lv + (t - 1))
+}
+
+/// Decodes a perimeter position of an `s × s` ring (`0 ≤ k < 4s−4`, or the
+/// single cell when `s == 1`).
+#[inline]
+fn unrank_in_perimeter(s: u32, k: u64) -> (u32, u32) {
+    if s == 1 {
+        debug_assert_eq!(k, 0);
+        return (0, 0);
+    }
+    let p = u64::from(s) - 1;
+    debug_assert!(k < 4 * p);
+    if k <= p {
+        (k as u32, 0)
+    } else if k <= 2 * p {
+        (p as u32, (k - p) as u32)
+    } else if k <= 3 * p {
+        ((3 * p - k) as u32, p as u32)
+    } else {
+        (0, (4 * p - k) as u32)
+    }
+}
+
+/// The two-dimensional onion curve over a `side × side` universe.
+///
+/// Any `side ≥ 1` is supported. The paper assumes an even side; for odd sides
+/// the innermost layer is the single central cell, and all structural
+/// properties (layer-sequential order, continuity) are preserved.
+///
+/// ```
+/// use onion_core::{Onion2D, Point, SpaceFillingCurve};
+///
+/// let onion = Onion2D::new(4).unwrap();
+/// // Figure 3 of the paper: the outer ring is numbered 0..=11 starting at
+/// // the origin, then the inner 2×2 square 12..=15.
+/// assert_eq!(onion.index_of(Point::new([0, 0])).unwrap(), 0);
+/// assert_eq!(onion.index_of(Point::new([3, 0])).unwrap(), 3);
+/// assert_eq!(onion.index_of(Point::new([0, 1])).unwrap(), 11);
+/// assert_eq!(onion.index_of(Point::new([1, 1])).unwrap(), 12);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Onion2D {
+    universe: Universe<2>,
+}
+
+impl Onion2D {
+    /// Creates the onion curve for a `side × side` universe.
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        Ok(Onion2D {
+            universe: Universe::new(side)?,
+        })
+    }
+}
+
+impl SpaceFillingCurve<2> for Onion2D {
+    fn universe(&self) -> Universe<2> {
+        self.universe
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<2>) -> u64 {
+        rank_in_square(self.universe.side(), p.0[0], p.0[1])
+    }
+
+    #[inline]
+    fn point_unchecked(&self, idx: u64) -> Point<2> {
+        let (x, y) = unrank_in_square(self.universe.side(), idx);
+        Point::new([x, y])
+    }
+
+    fn name(&self) -> &str {
+        "onion"
+    }
+
+    /// The 2D onion curve is continuous (§V-A of the paper): perimeter walks
+    /// are continuous and each layer's last cell `(t−1, t)` neighbors the
+    /// next layer's first cell `(t, t)`.
+    fn is_continuous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::verify;
+
+    /// Figure 3 (left): the 2×2 onion curve.
+    #[test]
+    fn figure3_order_2x2() {
+        let o = Onion2D::new(2).unwrap();
+        assert_eq!(o.index_unchecked(Point::new([0, 0])), 0);
+        assert_eq!(o.index_unchecked(Point::new([1, 0])), 1);
+        assert_eq!(o.index_unchecked(Point::new([1, 1])), 2);
+        assert_eq!(o.index_unchecked(Point::new([0, 1])), 3);
+    }
+
+    /// Figure 3 (right): the 4×4 onion curve, all sixteen positions.
+    #[test]
+    fn figure3_order_4x4() {
+        let expect: [((u32, u32), u64); 16] = [
+            ((0, 0), 0),
+            ((1, 0), 1),
+            ((2, 0), 2),
+            ((3, 0), 3),
+            ((3, 1), 4),
+            ((3, 2), 5),
+            ((3, 3), 6),
+            ((2, 3), 7),
+            ((1, 3), 8),
+            ((0, 3), 9),
+            ((0, 2), 10),
+            ((0, 1), 11),
+            ((1, 1), 12),
+            ((2, 1), 13),
+            ((2, 2), 14),
+            ((1, 2), 15),
+        ];
+        let o = Onion2D::new(4).unwrap();
+        for ((x, y), idx) in expect {
+            assert_eq!(o.index_unchecked(Point::new([x, y])), idx, "cell ({x},{y})");
+            assert_eq!(o.point_unchecked(idx), Point::new([x, y]), "index {idx}");
+        }
+    }
+
+    #[test]
+    fn bijective_for_small_sides_even_and_odd() {
+        for side in 1..=17 {
+            verify::bijection(&Onion2D::new(side).unwrap())
+                .unwrap_or_else(|e| panic!("side {side}: {e}"));
+        }
+    }
+
+    #[test]
+    fn continuous_for_small_sides() {
+        for side in 1..=17 {
+            let o = Onion2D::new(side).unwrap();
+            assert_eq!(verify::discontinuities(&o), 0, "side {side}");
+        }
+    }
+
+    #[test]
+    fn layers_are_visited_in_order() {
+        let side = 12;
+        let o = Onion2D::new(side).unwrap();
+        let u = o.universe();
+        let mut last_layer = 1;
+        for idx in 0..u.cell_count() {
+            let layer = u.layer_of(o.point_unchecked(idx));
+            assert!(
+                layer >= last_layer,
+                "layer decreased at index {idx}: {last_layer} -> {layer}"
+            );
+            last_layer = layer;
+        }
+    }
+
+    #[test]
+    fn layer_offsets_match_universe_bookkeeping() {
+        let side = 10;
+        let o = Onion2D::new(side).unwrap();
+        let u = o.universe();
+        for t in 1..=u.layer_count() {
+            // The first cell of layer t is its bottom-left corner (t−1, t−1).
+            let first = Point::new([t - 1, t - 1]);
+            assert_eq!(o.index_unchecked(first), u.cells_before_layer(t));
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_large_side() {
+        let o = Onion2D::new(1 << 15).unwrap();
+        let n = o.universe().cell_count();
+        for idx in [0, 1, 12345, n / 2, n - 2, n - 1] {
+            let p = o.point_unchecked(idx);
+            assert_eq!(o.index_unchecked(p), idx);
+        }
+        for p in [
+            Point::new([0, 0]),
+            Point::new([(1 << 15) - 1, 0]),
+            Point::new([777, 12_001]),
+            Point::new([(1 << 14), (1 << 14)]),
+        ] {
+            assert_eq!(o.point_unchecked(o.index_unchecked(p)), p);
+        }
+    }
+
+    #[test]
+    fn start_is_origin_end_is_center() {
+        let o = Onion2D::new(8).unwrap();
+        assert_eq!(o.start(), Point::new([0, 0]));
+        // Even side: the curve ends on the innermost 2×2 ring's left-top
+        // cell, local (0,1) of the central square at (3,3)..(4,4) => (3,4).
+        assert_eq!(o.end(), Point::new([3, 4]));
+        let o = Onion2D::new(9).unwrap();
+        assert_eq!(o.end(), Point::new([4, 4])); // odd side: exact center
+    }
+
+    #[test]
+    fn rank_helpers_are_inverses_exhaustively() {
+        for s in 1..=9u32 {
+            for k in 0..u64::from(s) * u64::from(s) {
+                let (u, v) = unrank_in_square(s, k);
+                assert_eq!(rank_in_square(s, u, v), k, "s={s} k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! The three-dimensional onion curve (§VI of the paper).
+//!
+//! Cells are ordered layer by layer (`S(1), S(2), …`); within layer `t` the
+//! ten segments `S1(t) → … → S10(t)` of §VI-A are visited in order. Line
+//! segments are ordered by their free coordinate; square segments are
+//! ordered by the two-dimensional onion curve on their free coordinates
+//! (lowest-numbered free dimension first), exactly as the paper prescribes
+//! ("the natural order induced by the line … or the order given by the
+//! two-dimensional onion curve").
+//!
+//! Coordinates `(i, j, k)` of the paper are dimensions 0, 1, 2 here.
+
+use crate::curve::SpaceFillingCurve;
+use crate::error::SfcError;
+use crate::onion2d::{rank_in_square, unrank_in_square};
+use crate::point::Point;
+use crate::universe::Universe;
+
+/// Integer cube root: the largest `r` with `r³ ≤ x`.
+#[inline]
+pub(crate) fn icbrt(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    let mut r = (x as f64).cbrt() as u64;
+    // Float rounding can be off by one in either direction; fix up exactly
+    // in u128 so the cube can never overflow.
+    while r > 0 && u128::from(r).pow(3) > u128::from(x) {
+        r -= 1;
+    }
+    while u128::from(r + 1).pow(3) <= u128::from(x) {
+        r += 1;
+    }
+    r
+}
+
+/// Segment identifier within a layer (the paper's `g ∈ {1, …, 10}`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Segment3D {
+    /// `S1`: the full face `i = t−1`.
+    LowFaceI,
+    /// `S2`: the full face `i = 2m−t`.
+    HighFaceI,
+    /// `S3`: the line `j = t−1, k = t−1`.
+    LineLowJLowK,
+    /// `S4`: the plane `j = t−1` (interior `i, k`).
+    PlaneLowJ,
+    /// `S5`: the line `j = t−1, k = 2m−t`.
+    LineLowJHighK,
+    /// `S6`: the line `j = 2m−t, k = t−1`.
+    LineHighJLowK,
+    /// `S7`: the plane `j = 2m−t` (interior `i, k`).
+    PlaneHighJ,
+    /// `S8`: the line `j = 2m−t, k = 2m−t`.
+    LineHighJHighK,
+    /// `S9`: the plane `k = t−1` (interior `i, j`).
+    PlaneLowK,
+    /// `S10`: the plane `k = 2m−t` (interior `i, j`).
+    PlaneHighK,
+}
+
+impl Segment3D {
+    /// All ten segments in curve order.
+    pub const ALL: [Segment3D; 10] = [
+        Segment3D::LowFaceI,
+        Segment3D::HighFaceI,
+        Segment3D::LineLowJLowK,
+        Segment3D::PlaneLowJ,
+        Segment3D::LineLowJHighK,
+        Segment3D::LineHighJLowK,
+        Segment3D::PlaneHighJ,
+        Segment3D::LineHighJHighK,
+        Segment3D::PlaneLowK,
+        Segment3D::PlaneHighK,
+    ];
+
+    /// Number of cells of the segment in a layer whose remaining sub-cube
+    /// has side `s` (the paper's `V_{t'}(g)` with `s = 2m − 2t' + 2`).
+    #[inline]
+    pub fn size(self, s: u32) -> u64 {
+        let s = u64::from(s);
+        let inner = s.saturating_sub(2); // zero for the degenerate s ≤ 2 layers
+        match self {
+            Segment3D::LowFaceI | Segment3D::HighFaceI => s * s,
+            Segment3D::LineLowJLowK
+            | Segment3D::LineLowJHighK
+            | Segment3D::LineHighJLowK
+            | Segment3D::LineHighJHighK => inner,
+            Segment3D::PlaneLowJ
+            | Segment3D::PlaneHighJ
+            | Segment3D::PlaneLowK
+            | Segment3D::PlaneHighK => inner * inner,
+        }
+    }
+}
+
+/// The three-dimensional onion curve over a `side × side × side` universe.
+///
+/// Any `side ≥ 1` is supported (the paper assumes an even side `2m`; odd
+/// sides terminate in a single central cell).
+///
+/// The curve is layer-sequential but not fully continuous: it jumps at
+/// segment boundaries. Those finitely many jump targets are enumerable via
+/// [`SpaceFillingCurve::jump_targets`], which keeps the fast boundary-scan
+/// clustering algorithm exact.
+#[derive(Clone, Copy, Debug)]
+pub struct Onion3D {
+    universe: Universe<3>,
+    /// Order in which the ten segments of a layer are visited. The paper
+    /// (§VI-A) notes the clustering bound only needs layer-sequentiality:
+    /// "we can actually adopt any permutation" — this field is the ablation
+    /// knob for that remark.
+    order: [Segment3D; 10],
+}
+
+impl Onion3D {
+    /// Creates the onion curve for a `side × side × side` universe, with
+    /// the paper's segment order `S1 → … → S10`.
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        Ok(Onion3D {
+            universe: Universe::new(side)?,
+            order: Segment3D::ALL,
+        })
+    }
+
+    /// Creates the curve with a custom intra-layer segment order — the
+    /// paper's "any permutation" remark, used by the segment-order ablation
+    /// experiment.
+    ///
+    /// # Errors
+    /// [`SfcError::DimensionUnsupported`] if `order` is not a permutation
+    /// of all ten segments.
+    pub fn with_segment_order(side: u32, order: [Segment3D; 10]) -> Result<Self, SfcError> {
+        for seg in Segment3D::ALL {
+            if !order.contains(&seg) {
+                return Err(SfcError::DimensionUnsupported { dims: 3 });
+            }
+        }
+        Ok(Onion3D {
+            universe: Universe::new(side)?,
+            order,
+        })
+    }
+
+    /// The intra-layer segment visiting order.
+    pub fn segment_order(&self) -> [Segment3D; 10] {
+        self.order
+    }
+
+    /// Layer (1-based), segment, and in-segment rank of a cell — the paper's
+    /// triple key `(t', g', r')`.
+    pub fn triple_key(&self, p: Point<3>) -> (u32, Segment3D, u64) {
+        let side = self.universe.side();
+        let t = self.universe.layer_of(p);
+        let s = side - 2 * (t - 1);
+        let (a, b, c) = (p.0[0] - (t - 1), p.0[1] - (t - 1), p.0[2] - (t - 1));
+        if s == 1 {
+            return (t, Segment3D::LowFaceI, 0);
+        }
+        let e = s - 1;
+        let (seg, r) = if a == 0 {
+            (Segment3D::LowFaceI, rank_in_square(s, b, c))
+        } else if a == e {
+            (Segment3D::HighFaceI, rank_in_square(s, b, c))
+        } else if b == 0 {
+            if c == 0 {
+                (Segment3D::LineLowJLowK, u64::from(a - 1))
+            } else if c == e {
+                (Segment3D::LineLowJHighK, u64::from(a - 1))
+            } else {
+                (Segment3D::PlaneLowJ, rank_in_square(s - 2, a - 1, c - 1))
+            }
+        } else if b == e {
+            if c == 0 {
+                (Segment3D::LineHighJLowK, u64::from(a - 1))
+            } else if c == e {
+                (Segment3D::LineHighJHighK, u64::from(a - 1))
+            } else {
+                (Segment3D::PlaneHighJ, rank_in_square(s - 2, a - 1, c - 1))
+            }
+        } else if c == 0 {
+            (Segment3D::PlaneLowK, rank_in_square(s - 2, a - 1, b - 1))
+        } else {
+            debug_assert_eq!(c, e, "cell not on the layer shell");
+            (Segment3D::PlaneHighK, rank_in_square(s - 2, a - 1, b - 1))
+        };
+        (t, seg, r)
+    }
+
+    /// First cell (in curve order) of segment `seg` in layer `t`, if the
+    /// segment is non-empty.
+    fn segment_first_cell(&self, t: u32, seg: Segment3D) -> Option<Point<3>> {
+        let side = self.universe.side();
+        let s = side - 2 * (t - 1);
+        if seg.size(s) == 0 {
+            return None;
+        }
+        let lo = t - 1;
+        let hi = lo + s - 1;
+        // In-segment rank 0 cells; squares start at their onion origin (0,0).
+        let p = match seg {
+            Segment3D::LowFaceI => Point::new([lo, lo, lo]),
+            Segment3D::HighFaceI => Point::new([hi, lo, lo]),
+            Segment3D::LineLowJLowK => Point::new([lo + 1, lo, lo]),
+            Segment3D::PlaneLowJ => Point::new([lo + 1, lo, lo + 1]),
+            Segment3D::LineLowJHighK => Point::new([lo + 1, lo, hi]),
+            Segment3D::LineHighJLowK => Point::new([lo + 1, hi, lo]),
+            Segment3D::PlaneHighJ => Point::new([lo + 1, hi, lo + 1]),
+            Segment3D::LineHighJHighK => Point::new([lo + 1, hi, hi]),
+            Segment3D::PlaneLowK => Point::new([lo + 1, lo + 1, lo]),
+            Segment3D::PlaneHighK => Point::new([lo + 1, lo + 1, hi]),
+        };
+        Some(p)
+    }
+}
+
+impl SpaceFillingCurve<3> for Onion3D {
+    fn universe(&self) -> Universe<3> {
+        self.universe
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<3>) -> u64 {
+        let (t, seg, r) = self.triple_key(p);
+        let offset = self.universe.cells_before_layer(t); // paper's K1(t)
+        let s = self.universe.layer_side(t);
+        if s == 1 {
+            // Odd side: the central layer is one cell; the face segments
+            // coincide there, so skip the K2 accumulation.
+            return offset;
+        }
+        let mut base = 0u64; // paper's K2(t, g)
+        for g in self.order {
+            if g == seg {
+                break;
+            }
+            base += g.size(s);
+        }
+        offset + base + r
+    }
+
+    #[inline]
+    fn point_unchecked(&self, idx: u64) -> Point<3> {
+        let side = self.universe.side();
+        let n = self.universe.cell_count();
+        // Locate the layer: cells at positions >= idx fill the sub-cube of
+        // the smallest side `s` (parity of `side`) with s³ ≥ n − idx.
+        let rem = n - idx;
+        let mut s = icbrt(rem) as u32;
+        if u64::from(s).pow(3) < rem {
+            s += 1;
+        }
+        if (s % 2) != (side % 2) {
+            s += 1;
+        }
+        debug_assert!(s >= 1 && s <= side);
+        let t = (side - s) / 2 + 1;
+        let mut local = idx - self.universe.cells_before_layer(t);
+        let lo = t - 1;
+        if s == 1 {
+            return Point::new([lo, lo, lo]);
+        }
+        let hi = lo + s - 1;
+        for seg in self.order {
+            let size = seg.size(s);
+            if local >= size {
+                local -= size;
+                continue;
+            }
+            let p = match seg {
+                Segment3D::LowFaceI | Segment3D::HighFaceI => {
+                    let (b, c) = unrank_in_square(s, local);
+                    let a = if seg == Segment3D::LowFaceI { lo } else { hi };
+                    Point::new([a, b + lo, c + lo])
+                }
+                Segment3D::LineLowJLowK => Point::new([lo + 1 + local as u32, lo, lo]),
+                Segment3D::LineLowJHighK => Point::new([lo + 1 + local as u32, lo, hi]),
+                Segment3D::LineHighJLowK => Point::new([lo + 1 + local as u32, hi, lo]),
+                Segment3D::LineHighJHighK => Point::new([lo + 1 + local as u32, hi, hi]),
+                Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => {
+                    let (a, c) = unrank_in_square(s - 2, local);
+                    let b = if seg == Segment3D::PlaneLowJ { lo } else { hi };
+                    Point::new([a + lo + 1, b, c + lo + 1])
+                }
+                Segment3D::PlaneLowK | Segment3D::PlaneHighK => {
+                    let (a, b) = unrank_in_square(s - 2, local);
+                    let c = if seg == Segment3D::PlaneLowK { lo } else { hi };
+                    Point::new([a + lo + 1, b + lo + 1, c])
+                }
+            };
+            return p;
+        }
+        unreachable!("index {idx} not inside layer {t}")
+    }
+
+    fn name(&self) -> &str {
+        "onion"
+    }
+
+    fn is_continuous(&self) -> bool {
+        false // jumps at segment boundaries; see `jump_targets`
+    }
+
+    /// Enumerates the (few) jump targets: for every layer and segment, the
+    /// segment's first cell, kept only when its curve predecessor is not a
+    /// grid neighbor. At most `10 · side/2` cells.
+    fn jump_targets(&self) -> Option<Vec<Point<3>>> {
+        let mut out = Vec::new();
+        for t in 1..=self.universe.layer_count() {
+            let segs: &[Segment3D] = if self.universe.layer_side(t) == 1 {
+                &[Segment3D::LowFaceI]
+            } else {
+                &self.order
+            };
+            for &seg in segs {
+                let Some(first) = self.segment_first_cell(t, seg) else {
+                    continue;
+                };
+                let idx = self.index_unchecked(first);
+                if idx == 0 {
+                    continue; // the curve start has no predecessor
+                }
+                let pred = self.point_unchecked(idx - 1);
+                if !pred.is_neighbor(&first) {
+                    out.push(first);
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::verify;
+
+    #[test]
+    fn icbrt_exact_values() {
+        assert_eq!(icbrt(0), 0);
+        assert_eq!(icbrt(1), 1);
+        assert_eq!(icbrt(7), 1);
+        assert_eq!(icbrt(8), 2);
+        assert_eq!(icbrt(26), 2);
+        assert_eq!(icbrt(27), 3);
+        assert_eq!(icbrt(u64::MAX), 2_642_245);
+        for r in [5u64, 100, 1023, 1 << 20] {
+            assert_eq!(icbrt(r * r * r), r);
+            assert_eq!(icbrt(r * r * r - 1), r - 1);
+            assert_eq!(icbrt(r * r * r + 1), r);
+        }
+    }
+
+    #[test]
+    fn segment_sizes_match_paper_v_vector() {
+        // V(1)=V(2)=s², V(3)=V(5)=V(6)=V(8)=s−2, V(4)=V(7)=V(9)=V(10)=(s−2)².
+        for s in 2..=10u32 {
+            let sizes: Vec<u64> = Segment3D::ALL.iter().map(|g| g.size(s)).collect();
+            let s64 = u64::from(s);
+            assert_eq!(sizes[0], s64 * s64);
+            assert_eq!(sizes[1], s64 * s64);
+            for i in [2usize, 4, 5, 7] {
+                assert_eq!(sizes[i], s64 - 2);
+            }
+            for i in [3usize, 6, 8, 9] {
+                assert_eq!(sizes[i], (s64 - 2) * (s64 - 2));
+            }
+            // A layer contains s³ − (s−2)³ cells.
+            let total: u64 = sizes.iter().sum();
+            assert_eq!(total, s64.pow(3) - (s64 - 2).pow(3));
+        }
+    }
+
+    #[test]
+    fn bijective_for_small_sides_even_and_odd() {
+        for side in 1..=9 {
+            verify::bijection(&Onion3D::new(side).unwrap())
+                .unwrap_or_else(|e| panic!("side {side}: {e}"));
+        }
+    }
+
+    #[test]
+    fn layers_are_visited_in_order() {
+        let o = Onion3D::new(8).unwrap();
+        let u = o.universe();
+        let mut last = 1;
+        for idx in 0..u.cell_count() {
+            let layer = u.layer_of(o.point_unchecked(idx));
+            assert!(layer >= last, "layer decreased at {idx}");
+            last = layer;
+        }
+    }
+
+    #[test]
+    fn segments_are_visited_in_paper_order_within_layer() {
+        let o = Onion3D::new(10).unwrap();
+        let u = o.universe();
+        for t in 1..=u.layer_count() {
+            let mut last_pos = 0usize;
+            let start = u.cells_before_layer(t);
+            let end = if t == u.layer_count() {
+                u.cell_count()
+            } else {
+                u.cells_before_layer(t + 1)
+            };
+            for idx in start..end {
+                let (tt, seg, _) = o.triple_key(o.point_unchecked(idx));
+                assert_eq!(tt, t);
+                let pos = Segment3D::ALL.iter().position(|&g| g == seg).unwrap();
+                assert!(pos >= last_pos, "segment order violated at index {idx}");
+                last_pos = pos;
+            }
+        }
+    }
+
+    #[test]
+    fn triple_key_roundtrips_through_k1_k2() {
+        // The paper's O(α) = K1(t') + K2(t', g') + r' equals index_unchecked.
+        let o = Onion3D::new(6).unwrap();
+        let u = o.universe();
+        for p in u.iter_cells() {
+            let (t, seg, r) = o.triple_key(p);
+            let s = u.layer_side(t);
+            let k2: u64 = Segment3D::ALL
+                .iter()
+                .take_while(|&&g| g != seg)
+                .map(|g| g.size(s))
+                .sum();
+            assert_eq!(u.cells_before_layer(t) + k2 + r, o.index_unchecked(p));
+        }
+    }
+
+    #[test]
+    fn jump_targets_are_exact_small_sides() {
+        for side in 2..=8 {
+            let o = Onion3D::new(side).unwrap();
+            verify::jump_targets_exact(&o).unwrap_or_else(|e| panic!("side {side}: {e}"));
+        }
+    }
+
+    #[test]
+    fn jump_count_is_bounded_by_segments() {
+        let o = Onion3D::new(8).unwrap();
+        let jumps = verify::discontinuities(&o);
+        // At most 10 segment starts per layer (layer transitions included).
+        assert!(jumps <= 10 * 4, "jumps = {jumps}");
+        assert_eq!(jumps, o.jump_targets().unwrap().len() as u64);
+    }
+
+    #[test]
+    fn roundtrip_on_large_side() {
+        let o = Onion3D::new(512).unwrap();
+        let n = o.universe().cell_count();
+        for idx in [0, 1, 12345, n / 3, n / 2, n - 2, n - 1] {
+            let p = o.point_unchecked(idx);
+            assert_eq!(o.index_unchecked(p), idx, "idx {idx}");
+        }
+        for p in [
+            Point::new([0, 0, 0]),
+            Point::new([511, 0, 0]),
+            Point::new([200, 300, 400]),
+            Point::new([255, 256, 255]),
+        ] {
+            assert_eq!(o.point_unchecked(o.index_unchecked(p)), p);
+        }
+    }
+
+    #[test]
+    fn start_is_origin() {
+        let o = Onion3D::new(8).unwrap();
+        assert_eq!(o.start(), Point::new([0, 0, 0]));
+    }
+
+    /// §VI-A's "any permutation" remark: a reshuffled segment order remains
+    /// a valid layer-sequential bijection with exact jump targets.
+    #[test]
+    fn permuted_segment_order_is_bijective() {
+        let order = [
+            Segment3D::PlaneLowK,
+            Segment3D::HighFaceI,
+            Segment3D::LineHighJHighK,
+            Segment3D::PlaneLowJ,
+            Segment3D::LowFaceI,
+            Segment3D::LineLowJLowK,
+            Segment3D::PlaneHighK,
+            Segment3D::LineLowJHighK,
+            Segment3D::PlaneHighJ,
+            Segment3D::LineHighJLowK,
+        ];
+        for side in [2u32, 4, 6, 7] {
+            let o = Onion3D::with_segment_order(side, order).unwrap();
+            verify::bijection(&o).unwrap_or_else(|e| panic!("side {side}: {e}"));
+            verify::jump_targets_exact(&o).unwrap_or_else(|e| panic!("side {side}: {e}"));
+        }
+        // Layer order is preserved regardless of the permutation.
+        let o = Onion3D::with_segment_order(6, order).unwrap();
+        let u = o.universe();
+        let mut last = 1;
+        for idx in 0..u.cell_count() {
+            let layer = u.layer_of(o.point_unchecked(idx));
+            assert!(layer >= last);
+            last = layer;
+        }
+    }
+
+    #[test]
+    fn rejects_non_permutation_order() {
+        let bad = [Segment3D::LowFaceI; 10];
+        assert!(Onion3D::with_segment_order(4, bad).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! The `D`-dimensional onion curve — the paper's stated extension (§VIII):
+//! "The onion curve can be extended naturally to higher dimensions, using
+//! the idea of ordering points according to increasing distance from the
+//! edge of the universe."
+//!
+//! Layers are visited in order; within a layer (a cubic shell) cells are
+//! ranked lexicographically, with closed-form shell ranking.
+//!
+//! **Caveat.** The paper's §VI-A remark — that the intra-layer order is
+//! unimportant — applies to its 3D construction, whose segments are lines
+//! and 2D-onion planes (each contributing O(1) runs per query). A
+//! lexicographic shell order does *not* have that property: measured in 4D
+//! (see the `exp_4d` experiment), this naive extension loses the
+//! near-full-cube advantage to the Hilbert curve, confirming that the
+//! d > 3 analysis the paper defers to future work genuinely requires
+//! locality-preserving intra-layer orders. `OnionNd` is therefore a
+//! *reference* implementation of the layer discipline, not a finished
+//! high-dimensional onion curve.
+
+use crate::curve::SpaceFillingCurve;
+use crate::error::SfcError;
+use crate::point::Point;
+use crate::universe::Universe;
+
+/// `base^exp` in u64 (callers guarantee no overflow: universes are capped at
+/// 2^63 cells).
+#[inline]
+fn pow(base: u64, exp: usize) -> u64 {
+    let mut out = 1u64;
+    for _ in 0..exp {
+        out *= base;
+    }
+    out
+}
+
+/// Lexicographic rank of `coords` within a full cube of side `s`
+/// (first coordinate most significant).
+fn rank_lex_cube(s: u32, coords: &[u32]) -> u64 {
+    let mut r = 0u64;
+    for &c in coords {
+        r = r * u64::from(s) + u64::from(c);
+    }
+    r
+}
+
+/// Inverse of [`rank_lex_cube`].
+fn unrank_lex_cube(s: u32, mut r: u64, coords: &mut [u32]) {
+    for c in coords.iter_mut().rev() {
+        *c = (r % u64::from(s)) as u32;
+        r /= u64::from(s);
+    }
+}
+
+/// Number of cells in the shell (boundary) of a `d`-cube of side `s`:
+/// `s^d − (s−2)^d` (with `(s−2)` clamped at 0).
+#[inline]
+fn shell_size(s: u32, d: usize) -> u64 {
+    let inner = u64::from(s.saturating_sub(2));
+    pow(u64::from(s), d) - pow(inner, d)
+}
+
+/// Lexicographic rank of a cell within the shell of a `d`-cube of side `s`.
+/// `coords` must lie on the shell (some coordinate equals 0 or `s−1`).
+fn rank_in_shell(s: u32, coords: &[u32]) -> u64 {
+    let d = coords.len();
+    debug_assert!(d >= 1);
+    if s == 1 {
+        return 0;
+    }
+    if d == 1 {
+        return if coords[0] == 0 { 0 } else { 1 };
+    }
+    let a = coords[0];
+    let face = pow(u64::from(s), d - 1);
+    let slab = shell_size(s, d - 1);
+    if a == 0 {
+        rank_lex_cube(s, &coords[1..])
+    } else if a == s - 1 {
+        face + u64::from(s - 2) * slab + rank_lex_cube(s, &coords[1..])
+    } else {
+        face + u64::from(a - 1) * slab + rank_in_shell(s, &coords[1..])
+    }
+}
+
+/// Inverse of [`rank_in_shell`].
+fn unrank_in_shell(s: u32, mut r: u64, coords: &mut [u32]) {
+    let d = coords.len();
+    debug_assert!(d >= 1);
+    if s == 1 {
+        coords.fill(0);
+        return;
+    }
+    if d == 1 {
+        coords[0] = if r == 0 { 0 } else { s - 1 };
+        return;
+    }
+    let face = pow(u64::from(s), d - 1);
+    let slab = shell_size(s, d - 1);
+    if r < face {
+        coords[0] = 0;
+        unrank_lex_cube(s, r, &mut coords[1..]);
+        return;
+    }
+    r -= face;
+    let slabs = u64::from(s - 2) * slab;
+    if r < slabs {
+        coords[0] = 1 + (r / slab) as u32;
+        let (head, tail) = coords.split_at_mut(1);
+        let _ = head;
+        unrank_in_shell(s, r % slab, tail);
+        return;
+    }
+    coords[0] = s - 1;
+    unrank_lex_cube(s, r - slabs, &mut coords[1..]);
+}
+
+/// The `D`-dimensional onion curve: layer-sequential with lexicographic
+/// intra-layer order.
+///
+/// For `D = 2` and `D = 3` prefer [`crate::Onion2D`] / [`crate::Onion3D`],
+/// which implement the paper's exact intra-layer orders (and, in 2D,
+/// continuity). This generalization exists for `D ≥ 4` and as a reference
+/// implementation of the layer-sequential principle.
+#[derive(Clone, Copy, Debug)]
+pub struct OnionNd<const D: usize> {
+    universe: Universe<D>,
+}
+
+impl<const D: usize> OnionNd<D> {
+    /// Creates the curve for a `side^D` universe (any `side ≥ 1`).
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        Ok(OnionNd {
+            universe: Universe::new(side)?,
+        })
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for OnionNd<D> {
+    fn universe(&self) -> Universe<D> {
+        self.universe
+    }
+
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        let t = self.universe.layer_of(p);
+        let s = self.universe.layer_side(t);
+        let mut local = [0u32; D];
+        for (l, c) in local.iter_mut().zip(p.0) {
+            *l = c - (t - 1);
+        }
+        self.universe.cells_before_layer(t) + rank_in_shell(s, &local)
+    }
+
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        // Binary search the layer via the monotone cells_before_layer.
+        let (mut lo, mut hi) = (1u32, self.universe.layer_count());
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.universe.cells_before_layer(mid) <= idx {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let t = lo;
+        let s = self.universe.layer_side(t);
+        let mut local = [0u32; D];
+        unrank_in_shell(s, idx - self.universe.cells_before_layer(t), &mut local);
+        let mut out = [0u32; D];
+        for (o, l) in out.iter_mut().zip(local) {
+            *o = l + (t - 1);
+        }
+        Point::new(out)
+    }
+
+    fn name(&self) -> &str {
+        "onion-nd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::verify;
+
+    #[test]
+    fn shell_size_matches_brute_force() {
+        for d in 1..=4usize {
+            for s in 1..=6u32 {
+                let mut count = 0u64;
+                let total = pow(u64::from(s), d);
+                for r in 0..total {
+                    let mut coords = vec![0u32; d];
+                    unrank_lex_cube(s, r, &mut coords);
+                    if coords.iter().any(|&c| c == 0 || c == s - 1) {
+                        count += 1;
+                    }
+                }
+                assert_eq!(shell_size(s, d), count, "d={d} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn shell_rank_is_bijective_and_lexicographic() {
+        let (s, d) = (5u32, 3usize);
+        // Enumerate shell cells in lex order and compare ranks.
+        let mut expected_rank = 0u64;
+        for x in 0..s {
+            for y in 0..s {
+                for z in 0..s {
+                    let coords = [x, y, z];
+                    if coords.iter().any(|&c| c == 0 || c == s - 1) {
+                        assert_eq!(rank_in_shell(s, &coords), expected_rank, "{coords:?}");
+                        let mut back = [0u32; 3];
+                        unrank_in_shell(s, expected_rank, &mut back);
+                        assert_eq!(back, coords);
+                        expected_rank += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(expected_rank, shell_size(s, d));
+    }
+
+    #[test]
+    fn bijective_2d_3d_4d() {
+        for side in 1..=7 {
+            verify::bijection(&OnionNd::<2>::new(side).unwrap()).unwrap();
+            verify::bijection(&OnionNd::<3>::new(side).unwrap()).unwrap();
+        }
+        for side in 1..=5 {
+            verify::bijection(&OnionNd::<4>::new(side).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn layers_are_visited_in_order_4d() {
+        let o = OnionNd::<4>::new(6).unwrap();
+        let u = o.universe();
+        let mut last = 1;
+        for idx in 0..u.cell_count() {
+            let layer = u.layer_of(o.point_unchecked(idx));
+            assert!(layer >= last, "layer decreased at {idx}");
+            last = layer;
+        }
+    }
+
+    #[test]
+    fn matches_layer_offsets_of_specialized_curves() {
+        // Same layer boundaries as Onion2D/Onion3D (intra-layer order differs).
+        let side = 8;
+        let nd2 = OnionNd::<2>::new(side).unwrap();
+        let u = nd2.universe();
+        for t in 1..=u.layer_count() {
+            let first = Point::new([t - 1, t - 1]);
+            // The lexicographically smallest cell of layer t is its corner.
+            assert_eq!(nd2.index_unchecked(first), u.cells_before_layer(t));
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_larger_universe_5d() {
+        let o = OnionNd::<5>::new(9).unwrap();
+        let n = o.universe().cell_count();
+        for idx in [0, 1, n / 2, n - 2, n - 1, 31_013] {
+            let p = o.point_unchecked(idx);
+            assert_eq!(o.index_unchecked(p), idx, "idx {idx}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Grid cells of a `D`-dimensional universe.
+
+use std::fmt;
+
+/// A cell of a `D`-dimensional grid, identified by its integer coordinates.
+///
+/// Coordinates are `u32`, matching the paper's discrete universe of
+/// `side × side × …` cells with coordinates in `0..side`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Point<const D: usize>(pub [u32; D]);
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Point([0; D])
+    }
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [u32; D]) -> Self {
+        Point(coords)
+    }
+
+    /// Returns the coordinate along `dim`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> u32 {
+        self.0[dim]
+    }
+
+    /// Returns the coordinate array.
+    #[inline]
+    pub fn coords(&self) -> [u32; D] {
+        self.0
+    }
+
+    /// Returns a copy with the coordinate along `dim` replaced by `value`.
+    #[inline]
+    pub fn with_coord(mut self, dim: usize, value: u32) -> Self {
+        self.0[dim] = value;
+        self
+    }
+
+    /// Moves the point by `delta` along `dim`, staying inside `0..side`.
+    ///
+    /// Returns `None` if the move would leave the universe.
+    #[inline]
+    pub fn step(&self, dim: usize, delta: i64, side: u32) -> Option<Self> {
+        let c = i64::from(self.0[dim]) + delta;
+        if c < 0 || c >= i64::from(side) {
+            return None;
+        }
+        let mut out = *self;
+        out.0[dim] = c as u32;
+        Some(out)
+    }
+
+    /// Whether `other` differs from `self` by exactly 1 along exactly one
+    /// dimension (the paper's "neighbor" relation, Definition 1 context).
+    #[inline]
+    pub fn is_neighbor(&self, other: &Self) -> bool {
+        let mut diff_dims = 0usize;
+        let mut unit = true;
+        for d in 0..D {
+            let a = self.0[d];
+            let b = other.0[d];
+            if a != b {
+                diff_dims += 1;
+                if a.abs_diff(b) != 1 {
+                    unit = false;
+                }
+            }
+        }
+        diff_dims == 1 && unit
+    }
+
+    /// Iterates over the grid neighbors of the point inside `0..side` along
+    /// every dimension. Yields at most `2*D` points, without allocating.
+    #[inline]
+    pub fn neighbors(&self, side: u32) -> NeighborIter<D> {
+        NeighborIter {
+            center: *self,
+            side,
+            next: 0,
+        }
+    }
+
+    /// The paper's boundary distance `∇(α)`: the 1-based L∞ distance of the
+    /// cell to the boundary of a universe with side length `side`,
+    /// `∇(α) = min_i min(x_i + 1, side − x_i)`.
+    #[inline]
+    pub fn boundary_distance(&self, side: u32) -> u32 {
+        let mut best = u32::MAX;
+        for d in 0..D {
+            let x = self.0[d];
+            best = best.min(x + 1).min(side - x);
+        }
+        best
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> From<[u32; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [u32; D]) -> Self {
+        Point(coords)
+    }
+}
+
+/// Iterator over in-bounds grid neighbors of a point. See [`Point::neighbors`].
+#[derive(Clone, Debug)]
+pub struct NeighborIter<const D: usize> {
+    center: Point<D>,
+    side: u32,
+    next: usize,
+}
+
+impl<const D: usize> Iterator for NeighborIter<D> {
+    type Item = Point<D>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Point<D>> {
+        while self.next < 2 * D {
+            let dim = self.next / 2;
+            let delta = if self.next % 2 == 0 { -1 } else { 1 };
+            self.next += 1;
+            if let Some(p) = self.center.step(dim, delta, self.side) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(2 * D - self.next.min(2 * D)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(Point::new([3u32, 7]).to_string(), "(3, 7)");
+        assert_eq!(Point::new([1u32, 2, 3]).to_string(), "(1, 2, 3)");
+    }
+
+    #[test]
+    fn step_respects_bounds() {
+        let p = Point::new([0u32, 5]);
+        assert_eq!(p.step(0, -1, 8), None);
+        assert_eq!(p.step(0, 1, 8), Some(Point::new([1, 5])));
+        assert_eq!(p.step(1, 3, 8), None); // 5 + 3 = 8 is out of range
+        assert_eq!(p.step(1, 2, 8), Some(Point::new([0, 7])));
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric_and_unit() {
+        let a = Point::new([2u32, 2]);
+        assert!(a.is_neighbor(&Point::new([1, 2])));
+        assert!(a.is_neighbor(&Point::new([2, 3])));
+        assert!(!a.is_neighbor(&Point::new([1, 1]))); // diagonal
+        assert!(!a.is_neighbor(&Point::new([4, 2]))); // distance 2
+        assert!(!a.is_neighbor(&a)); // not its own neighbor
+    }
+
+    #[test]
+    fn corner_has_d_neighbors() {
+        let corner = Point::new([0u32, 0, 0]);
+        let n: Vec<_> = corner.neighbors(4).collect();
+        assert_eq!(n.len(), 3);
+        for p in &n {
+            assert!(corner.is_neighbor(p));
+        }
+    }
+
+    #[test]
+    fn interior_cell_has_2d_neighbors() {
+        let p = Point::new([2u32, 2]);
+        let n: Vec<_> = p.neighbors(5).collect();
+        assert_eq!(n.len(), 4);
+    }
+
+    #[test]
+    fn boundary_distance_matches_paper_definition() {
+        // 8×8 universe: ∇ of a corner is 1, of the center 4.
+        assert_eq!(Point::new([0u32, 0]).boundary_distance(8), 1);
+        assert_eq!(Point::new([7u32, 3]).boundary_distance(8), 1);
+        assert_eq!(Point::new([3u32, 3]).boundary_distance(8), 4);
+        assert_eq!(Point::new([4u32, 4]).boundary_distance(8), 4);
+        // 3D
+        assert_eq!(Point::new([1u32, 2, 3]).boundary_distance(8), 2);
+    }
+
+    #[test]
+    fn with_coord_replaces_single_dimension() {
+        let p = Point::new([1u32, 2, 3]).with_coord(1, 9);
+        assert_eq!(p, Point::new([1, 9, 3]));
+    }
+}

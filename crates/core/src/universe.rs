@@ -1,0 +1,245 @@
+//! The discrete `D`-dimensional universe of the paper: a cube of
+//! `side × side × …` cells.
+
+use crate::error::SfcError;
+use crate::point::Point;
+
+/// A `D`-dimensional cubic grid of `side^D` cells with coordinates in
+/// `0..side` along each dimension.
+///
+/// The paper's universe `U` has `n` cells of dimensions
+/// `d√n × d√n × … × d√n`; here `side = d√n` and `n = side^D`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Universe<const D: usize> {
+    side: u32,
+}
+
+impl<const D: usize> Universe<D> {
+    /// Creates a universe of the given side length.
+    ///
+    /// # Errors
+    /// * [`SfcError::ZeroSide`] if `side == 0`;
+    /// * [`SfcError::UniverseTooLarge`] if `side^D >= 2^63`;
+    /// * [`SfcError::DimensionUnsupported`] if `D == 0`.
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        if D == 0 {
+            return Err(SfcError::DimensionUnsupported { dims: 0 });
+        }
+        if side == 0 {
+            return Err(SfcError::ZeroSide);
+        }
+        let mut n: u64 = 1;
+        for _ in 0..D {
+            n = n
+                .checked_mul(u64::from(side))
+                .filter(|&v| v <= (1 << 63))
+                .ok_or(SfcError::UniverseTooLarge { side, dims: D })?;
+        }
+        Ok(Universe { side })
+    }
+
+    /// The side length along every dimension.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// The number of cells `n = side^D`.
+    #[inline]
+    pub fn cell_count(&self) -> u64 {
+        let mut n: u64 = 1;
+        for _ in 0..D {
+            n *= u64::from(self.side);
+        }
+        n
+    }
+
+    /// Whether the point lies inside the universe.
+    #[inline]
+    pub fn contains(&self, p: Point<D>) -> bool {
+        p.0.iter().all(|&c| c < self.side)
+    }
+
+    /// The paper's `∇(α)`: 1-based L∞ distance of `p` to the boundary.
+    #[inline]
+    pub fn layer_of(&self, p: Point<D>) -> u32 {
+        p.boundary_distance(self.side)
+    }
+
+    /// Number of onion layers: `ceil(side / 2)`.
+    ///
+    /// The paper assumes an even side with `m = side / 2` layers; odd sides
+    /// add a final single-cell (2D/3D) central layer.
+    #[inline]
+    pub fn layer_count(&self) -> u32 {
+        self.side.div_ceil(2)
+    }
+
+    /// Side length of the sub-cube occupied by layers `t..` (1-based `t`):
+    /// `side − 2(t−1)`.
+    #[inline]
+    pub fn layer_side(&self, t: u32) -> u32 {
+        debug_assert!(t >= 1 && t <= self.layer_count());
+        self.side - 2 * (t - 1)
+    }
+
+    /// Number of cells in layers `1..t`, i.e. strictly closer to the boundary
+    /// than layer `t`: `side^D − (side − 2(t−1))^D`.
+    #[inline]
+    pub fn cells_before_layer(&self, t: u32) -> u64 {
+        let s = u64::from(self.layer_side(t));
+        let mut inner: u64 = 1;
+        for _ in 0..D {
+            inner *= s;
+        }
+        self.cell_count() - inner
+    }
+
+    /// Iterates over every cell in row-major order (dimension 0 fastest).
+    pub fn iter_cells(&self) -> CellIter<D> {
+        CellIter {
+            side: self.side,
+            next: Some(Point::new([0; D])),
+        }
+    }
+
+    /// Whether the side length is a power of two (required by Hilbert,
+    /// Morton, and Gray-code curves).
+    #[inline]
+    pub fn side_is_power_of_two(&self) -> bool {
+        self.side.is_power_of_two()
+    }
+
+    /// `log2(side)` for power-of-two sides.
+    #[inline]
+    pub fn side_bits(&self) -> u32 {
+        debug_assert!(self.side_is_power_of_two());
+        self.side.trailing_zeros()
+    }
+}
+
+/// Row-major iterator over all cells of a universe. See
+/// [`Universe::iter_cells`].
+#[derive(Clone, Debug)]
+pub struct CellIter<const D: usize> {
+    side: u32,
+    next: Option<Point<D>>,
+}
+
+impl<const D: usize> Iterator for CellIter<D> {
+    type Item = Point<D>;
+
+    fn next(&mut self) -> Option<Point<D>> {
+        let current = self.next?;
+        let mut succ = current;
+        let mut dim = 0;
+        loop {
+            if dim == D {
+                self.next = None;
+                break;
+            }
+            if succ.0[dim] + 1 < self.side {
+                succ.0[dim] += 1;
+                self.next = Some(succ);
+                break;
+            }
+            succ.0[dim] = 0;
+            dim += 1;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_side() {
+        assert_eq!(Universe::<2>::new(0), Err(SfcError::ZeroSide));
+    }
+
+    #[test]
+    fn rejects_oversized_universe() {
+        // (2^31)² = 2^62 fits; (2^32 − 1)² ≈ 2^64 does not.
+        assert!(Universe::<2>::new(1 << 31).is_ok());
+        assert!(matches!(
+            Universe::<2>::new(u32::MAX),
+            Err(SfcError::UniverseTooLarge { .. })
+        ));
+        assert!(matches!(
+            Universe::<3>::new(u32::MAX),
+            Err(SfcError::UniverseTooLarge { .. })
+        ));
+        assert!(Universe::<3>::new(1 << 21).is_ok()); // 2^63 cells exactly
+        assert!(matches!(
+            Universe::<3>::new((1 << 21) + 1),
+            Err(SfcError::UniverseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn cell_count_is_side_to_the_d() {
+        assert_eq!(Universe::<2>::new(8).unwrap().cell_count(), 64);
+        assert_eq!(Universe::<3>::new(4).unwrap().cell_count(), 64);
+        assert_eq!(Universe::<4>::new(3).unwrap().cell_count(), 81);
+    }
+
+    #[test]
+    fn layer_bookkeeping_even_side() {
+        let u = Universe::<2>::new(8).unwrap();
+        assert_eq!(u.layer_count(), 4);
+        assert_eq!(u.layer_side(1), 8);
+        assert_eq!(u.layer_side(4), 2);
+        assert_eq!(u.cells_before_layer(1), 0);
+        assert_eq!(u.cells_before_layer(2), 64 - 36); // outer ring has 28 cells
+        assert_eq!(u.cells_before_layer(4), 64 - 4);
+    }
+
+    #[test]
+    fn layer_bookkeeping_odd_side() {
+        let u = Universe::<2>::new(5).unwrap();
+        assert_eq!(u.layer_count(), 3);
+        assert_eq!(u.layer_side(3), 1); // central single cell
+        assert_eq!(u.cells_before_layer(3), 24);
+    }
+
+    #[test]
+    fn cells_before_layer_matches_paper_k1_in_3d() {
+        // Paper §VI-A: K1(t') = 24 m² (t'-1) − 24 m (t'-1)² + 8 (t'-1)³ with
+        // side = 2m.
+        let side = 10u64;
+        let m = side / 2;
+        let u = Universe::<3>::new(side as u32).unwrap();
+        for t in 1..=u.layer_count() {
+            let tp = u64::from(t) - 1;
+            let k1 = 24 * m * m * tp + 8 * tp * tp * tp - 24 * m * tp * tp;
+            assert_eq!(u.cells_before_layer(t), k1, "layer {t}");
+        }
+    }
+
+    #[test]
+    fn iter_cells_visits_every_cell_once() {
+        let u = Universe::<3>::new(3).unwrap();
+        let cells: Vec<_> = u.iter_cells().collect();
+        assert_eq!(cells.len(), 27);
+        let mut dedup = cells.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 27);
+        assert!(cells.iter().all(|&p| u.contains(p)));
+        // Row-major: dimension 0 varies fastest.
+        assert_eq!(cells[0], Point::new([0, 0, 0]));
+        assert_eq!(cells[1], Point::new([1, 0, 0]));
+        assert_eq!(cells[3], Point::new([0, 1, 0]));
+        assert_eq!(cells[9], Point::new([0, 0, 1]));
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        let u = Universe::<2>::new(16).unwrap();
+        assert!(u.side_is_power_of_two());
+        assert_eq!(u.side_bits(), 4);
+        assert!(!Universe::<2>::new(12).unwrap().side_is_power_of_two());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests of the onion curves' closed-form rank functions.
+
+use onion_core::curve::verify;
+use onion_core::onion2d::{rank_in_square, unrank_in_square};
+use onion_core::{Onion2D, Onion3D, OnionNd, Point, SpaceFillingCurve, Universe};
+use proptest::prelude::*;
+
+proptest! {
+    /// rank ∘ unrank = id on random squares of either parity.
+    #[test]
+    fn square_rank_roundtrip(s in 1u32..=600, seed in any::<u64>()) {
+        let n = u64::from(s) * u64::from(s);
+        let k = seed % n;
+        let (u, v) = unrank_in_square(s, k);
+        prop_assert!(u < s && v < s);
+        prop_assert_eq!(rank_in_square(s, u, v), k);
+    }
+
+    /// The rank respects the layer structure: inner layers rank higher.
+    #[test]
+    fn square_rank_orders_layers(s in 2u32..=120, a in any::<(u32, u32)>(), b in any::<(u32, u32)>()) {
+        let pa = (a.0 % s, a.1 % s);
+        let pb = (b.0 % s, b.1 % s);
+        let layer = |(x, y): (u32, u32)| (x + 1).min(s - x).min(y + 1).min(s - y);
+        prop_assume!(layer(pa) < layer(pb));
+        prop_assert!(rank_in_square(s, pa.0, pa.1) < rank_in_square(s, pb.0, pb.1));
+    }
+
+    /// 2D onion curve: forward then inverse round-trips on random cells of
+    /// large universes (beyond what exhaustive tests can cover).
+    #[test]
+    fn onion2d_roundtrip_large(bits in 10u32..=15, x in any::<u32>(), y in any::<u32>()) {
+        let side = (1u32 << bits) + 1; // odd sides too
+        let o = Onion2D::new(side).unwrap();
+        let p = Point::new([x % side, y % side]);
+        prop_assert_eq!(o.point_unchecked(o.index_unchecked(p)), p);
+    }
+
+    /// 2D onion curve is continuous at every randomly probed position.
+    #[test]
+    fn onion2d_continuous_at_random_positions(side in 2u32..=4000, seed in any::<u64>()) {
+        let o = Onion2D::new(side).unwrap();
+        let n = o.universe().cell_count();
+        let idx = seed % (n - 1);
+        let a = o.point_unchecked(idx);
+        let b = o.point_unchecked(idx + 1);
+        prop_assert!(a.is_neighbor(&b), "jump at {idx}: {a} -> {b}");
+    }
+
+    /// 3D onion curve round-trips on random cells of large universes.
+    #[test]
+    fn onion3d_roundtrip_large(side in 2u32..=700, c in any::<(u32, u32, u32)>()) {
+        let o = Onion3D::new(side).unwrap();
+        let p = Point::new([c.0 % side, c.1 % side, c.2 % side]);
+        prop_assert_eq!(o.point_unchecked(o.index_unchecked(p)), p);
+    }
+
+    /// 3D onion curve: layer offsets match the K1 polynomial for any even
+    /// side (the paper's `24m²t' − 24mt'² + 8t'³` with t' = t − 1).
+    #[test]
+    fn onion3d_k1_polynomial(m in 1u32..=40) {
+        let side = 2 * m;
+        let u = Universe::<3>::new(side).unwrap();
+        for t in 1..=u.layer_count() {
+            let tp = u64::from(t - 1);
+            let m64 = u64::from(m);
+            let k1 = 24 * m64 * m64 * tp + 8 * tp.pow(3) - 24 * m64 * tp * tp;
+            prop_assert_eq!(u.cells_before_layer(t), k1);
+        }
+    }
+
+    /// OnionNd agrees with the universe's layer bookkeeping in 5 dimensions.
+    #[test]
+    fn onion_nd_layer_offsets_5d(side in 1u32..=9, seed in any::<u64>()) {
+        let o = OnionNd::<5>::new(side).unwrap();
+        let u = o.universe();
+        let idx = seed % u.cell_count();
+        let p = o.point_unchecked(idx);
+        let t = u.layer_of(p);
+        // The index lies within the layer's slab of the curve.
+        prop_assert!(idx >= u.cells_before_layer(t));
+        if t < u.layer_count() {
+            prop_assert!(idx < u.cells_before_layer(t + 1));
+        }
+    }
+}
+
+/// Exhaustive bijection checks on a sample of odd/even sides beyond the
+/// in-crate unit tests.
+#[test]
+fn bijection_sample_of_sides() {
+    for side in [10u32, 13, 20, 25] {
+        verify::bijection(&Onion2D::new(side).unwrap()).unwrap();
+    }
+    for side in [10u32, 11] {
+        verify::bijection(&Onion3D::new(side).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,84 @@
+//! Bit-interleaving helpers shared by the Morton, Gray-code, and Hilbert
+//! curves.
+
+use onion_core::Point;
+
+/// Interleaves the low `bits` bits of each coordinate into a single index.
+///
+/// Bit `b` of dimension `d` lands at position `b * D + d`, so dimension 0
+/// provides the least significant bit of each group — the classic Morton
+/// layout, `D * bits ≤ 63`.
+#[inline]
+pub fn interleave<const D: usize>(p: Point<D>, bits: u32) -> u64 {
+    let mut out = 0u64;
+    for b in 0..bits {
+        for d in 0..D {
+            let bit = u64::from((p.0[d] >> b) & 1);
+            out |= bit << (b as usize * D + d);
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+#[inline]
+pub fn deinterleave<const D: usize>(idx: u64, bits: u32) -> Point<D> {
+    let mut coords = [0u32; D];
+    for b in 0..bits {
+        for (d, c) in coords.iter_mut().enumerate() {
+            let bit = ((idx >> (b as usize * D + d)) & 1) as u32;
+            *c |= bit << b;
+        }
+    }
+    Point::new(coords)
+}
+
+/// Binary-reflected Gray code of `v`.
+#[inline]
+pub fn gray_encode(v: u64) -> u64 {
+    v ^ (v >> 1)
+}
+
+/// Inverse of [`gray_encode`].
+#[inline]
+pub fn gray_decode(mut g: u64) -> u64 {
+    let mut v = g;
+    while g > 0 {
+        g >>= 1;
+        v ^= g;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_known_pattern_2d() {
+        // x = 0b11, y = 0b01 → bits: y1 x1 y0 x0 = 0 1 1 1 = 7.
+        assert_eq!(interleave(Point::new([0b11u32, 0b01]), 2), 0b0111);
+        // x provides even bit positions, y odd ones.
+        assert_eq!(interleave(Point::new([1u32, 0]), 1), 1);
+        assert_eq!(interleave(Point::new([0u32, 1]), 1), 2);
+    }
+
+    #[test]
+    fn interleave_roundtrip_3d() {
+        for v in 0..512u64 {
+            let p: Point<3> = deinterleave(v, 3);
+            assert_eq!(interleave(p, 3), v);
+        }
+    }
+
+    #[test]
+    fn gray_code_is_bijective_and_unit_distance() {
+        for v in 0..1024u64 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+        for v in 1..1024u64 {
+            let diff = gray_encode(v) ^ gray_encode(v - 1);
+            assert_eq!(diff.count_ones(), 1, "gray codes differ in exactly one bit");
+        }
+    }
+}

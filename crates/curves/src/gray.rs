@@ -1,0 +1,98 @@
+//! The Gray-code curve, suggested by Faloutsos for partial-match and range
+//! queries (paper references [8], [9]).
+
+use crate::bits::{deinterleave, gray_decode, gray_encode, interleave};
+use onion_core::{Point, SfcError, SpaceFillingCurve, Universe};
+
+/// The `D`-dimensional Gray-code curve: a cell's interleaved bit string is
+/// interpreted as a binary-reflected Gray codeword, and the cell's position
+/// on the curve is that codeword's rank.
+///
+/// Equivalently `π(p) = gray_decode(morton(p))`. Consecutive positions
+/// differ in exactly one interleaved bit, but that bit can be a high bit of
+/// a coordinate, so the curve is not continuous in the grid sense.
+#[derive(Clone, Copy, Debug)]
+pub struct GrayCode<const D: usize> {
+    universe: Universe<D>,
+    bits: u32,
+}
+
+impl<const D: usize> GrayCode<D> {
+    /// Creates the Gray-code curve for a `side^D` universe. `side` must be a
+    /// power of two.
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        let universe = Universe::new(side)?;
+        if !universe.side_is_power_of_two() {
+            return Err(SfcError::SideNotPowerOfTwo { side });
+        }
+        Ok(GrayCode {
+            universe,
+            bits: universe.side_bits(),
+        })
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for GrayCode<D> {
+    fn universe(&self) -> Universe<D> {
+        self.universe
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        gray_decode(interleave(p, self.bits))
+    }
+
+    #[inline]
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        deinterleave(gray_encode(idx), self.bits)
+    }
+
+    fn name(&self) -> &str {
+        "gray-code"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::curve::verify;
+
+    #[test]
+    fn bijective_small_sides() {
+        verify::bijection(&GrayCode::<2>::new(16).unwrap()).unwrap();
+        verify::bijection(&GrayCode::<3>::new(8).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn consecutive_positions_differ_in_one_interleaved_bit() {
+        let g = GrayCode::<2>::new(16).unwrap();
+        for idx in 1..g.universe().cell_count() {
+            let a = interleave(g.point_unchecked(idx - 1), 4);
+            let b = interleave(g.point_unchecked(idx), 4);
+            assert_eq!((a ^ b).count_ones(), 1, "at index {idx}");
+        }
+    }
+
+    #[test]
+    fn consecutive_positions_differ_in_one_coordinate() {
+        // One interleaved bit = one coordinate changes (by a power of two).
+        let g = GrayCode::<3>::new(8).unwrap();
+        for idx in 1..g.universe().cell_count() {
+            let a = g.point_unchecked(idx - 1);
+            let b = g.point_unchecked(idx);
+            let changed = (0..3).filter(|&d| a.0[d] != b.0[d]).count();
+            assert_eq!(changed, 1, "at index {idx}");
+        }
+    }
+
+    #[test]
+    fn gray_is_not_grid_continuous() {
+        let g = GrayCode::<2>::new(8).unwrap();
+        assert!(verify::discontinuities(&g) > 0);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(GrayCode::<2>::new(10).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The Hilbert curve — the paper's main baseline (§IV), long considered the
+//! "gold standard" SFC for clustering.
+//!
+//! Implemented with Skilling's transpose algorithm (J. Skilling, *Programming
+//! the Hilbert curve*, AIP Conf. Proc. 707, 2004): coordinates are converted
+//! to/from a "transposed" Hilbert index held as `D` interleavable words, in
+//! `O(D · bits)` time, for any dimension `D ≥ 2` and power-of-two side.
+
+use crate::bits::{deinterleave, interleave};
+use onion_core::{Point, SfcError, SpaceFillingCurve, Universe};
+
+/// The `D`-dimensional Hilbert curve over a power-of-two universe.
+///
+/// Continuous for every `D`: consecutive indices are always grid neighbors,
+/// which this crate's tests verify exhaustively on small universes.
+#[derive(Clone, Copy, Debug)]
+pub struct Hilbert<const D: usize> {
+    universe: Universe<D>,
+    bits: u32,
+}
+
+impl<const D: usize> Hilbert<D> {
+    /// Creates the Hilbert curve for a `side^D` universe. `side` must be a
+    /// power of two and `D ≥ 2`.
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        if D < 2 {
+            return Err(SfcError::DimensionUnsupported { dims: D });
+        }
+        let universe = Universe::new(side)?;
+        if !universe.side_is_power_of_two() {
+            return Err(SfcError::SideNotPowerOfTwo { side });
+        }
+        Ok(Hilbert {
+            universe,
+            bits: universe.side_bits(),
+        })
+    }
+}
+
+/// Converts grid axes to the transposed Hilbert index, in place
+/// (Skilling's `AxestoTranspose`).
+fn axes_to_transpose<const D: usize>(x: &mut [u32; D], bits: u32) {
+    if bits == 0 {
+        return;
+    }
+    let m = 1u32 << (bits - 1);
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..D {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..D {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[D - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Converts a transposed Hilbert index back to grid axes, in place
+/// (Skilling's `TransposetoAxes`).
+fn transpose_to_axes<const D: usize>(x: &mut [u32; D], bits: u32) {
+    if bits == 0 {
+        return;
+    }
+    let n = 2u32 << (bits - 1);
+    // Gray decode by H ^ (H/2).
+    let mut t = x[D - 1] >> 1;
+    for i in (1..D).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != n {
+        let p = q - 1;
+        for i in (0..D).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for Hilbert<D> {
+    fn universe(&self) -> Universe<D> {
+        self.universe
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        let mut x = p.0;
+        axes_to_transpose(&mut x, self.bits);
+        // In the transposed form, bit b of word d is bit (b*D + D-1-d) of
+        // the Hilbert index: word 0 carries the most significant bit of
+        // each group.
+        let mut rev = [0u32; D];
+        for (d, r) in rev.iter_mut().enumerate() {
+            *r = x[D - 1 - d];
+        }
+        interleave(Point::new(rev), self.bits)
+    }
+
+    #[inline]
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        let rev: Point<D> = deinterleave(idx, self.bits);
+        let mut x = [0u32; D];
+        for (d, v) in x.iter_mut().enumerate() {
+            *v = rev.0[D - 1 - d];
+        }
+        transpose_to_axes(&mut x, self.bits);
+        Point::new(x)
+    }
+
+    fn name(&self) -> &str {
+        "hilbert"
+    }
+
+    fn is_continuous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::curve::verify;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(matches!(
+            Hilbert::<2>::new(12),
+            Err(SfcError::SideNotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            Hilbert::<1>::new(8),
+            Err(SfcError::DimensionUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn bijective_2d_3d_4d() {
+        for bits in 0..=4 {
+            verify::bijection(&Hilbert::<2>::new(1 << bits).unwrap()).unwrap();
+        }
+        for bits in 0..=2 {
+            verify::bijection(&Hilbert::<3>::new(1 << bits).unwrap()).unwrap();
+        }
+        verify::bijection(&Hilbert::<4>::new(4).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn continuous_2d_3d_4d() {
+        assert_eq!(verify::discontinuities(&Hilbert::<2>::new(16).unwrap()), 0);
+        assert_eq!(verify::discontinuities(&Hilbert::<3>::new(8).unwrap()), 0);
+        assert_eq!(verify::discontinuities(&Hilbert::<4>::new(4).unwrap()), 0);
+    }
+
+    #[test]
+    fn first_quadrant_is_filled_first_2d() {
+        // Self-similarity: the first quarter of the indices fills exactly
+        // one quadrant of the grid.
+        let h = Hilbert::<2>::new(16).unwrap();
+        let q: Vec<_> = (0..64).map(|i| h.point_unchecked(i)).collect();
+        let x_hi = q.iter().map(|p| p.0[0]).max().unwrap();
+        let y_hi = q.iter().map(|p| p.0[1]).max().unwrap();
+        assert!(x_hi < 8 && y_hi < 8, "first quarter spans ({x_hi},{y_hi})");
+    }
+
+    #[test]
+    fn start_is_origin() {
+        assert_eq!(Hilbert::<2>::new(8).unwrap().start(), Point::new([0, 0]));
+        assert_eq!(
+            Hilbert::<3>::new(8).unwrap().start(),
+            Point::new([0, 0, 0])
+        );
+    }
+
+    #[test]
+    fn ends_adjacent_to_start_axis_2d() {
+        // The 2D Hilbert curve ends at the corner adjacent to its start
+        // along one axis (e.g. (side-1, 0)).
+        let h = Hilbert::<2>::new(16).unwrap();
+        let end = h.end();
+        assert!(end == Point::new([15, 0]) || end == Point::new([0, 15]), "end {end}");
+    }
+
+    #[test]
+    fn roundtrip_on_large_side() {
+        let h = Hilbert::<2>::new(1 << 15).unwrap();
+        let n = h.universe().cell_count();
+        for idx in [0u64, 1, 987_654_321 % n, n / 2, n - 1] {
+            assert_eq!(h.index_unchecked(h.point_unchecked(idx)), idx);
+        }
+        let h3 = Hilbert::<3>::new(512).unwrap();
+        let n3 = h3.universe().cell_count();
+        for idx in [0u64, 7, n3 / 3, n3 - 1] {
+            assert_eq!(h3.index_unchecked(h3.point_unchecked(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn trivial_one_cell_universe() {
+        let h = Hilbert::<2>::new(1).unwrap();
+        assert_eq!(h.index_unchecked(Point::new([0, 0])), 0);
+        assert_eq!(h.point_unchecked(0), Point::new([0, 0]));
+    }
+}

@@ -1,0 +1,36 @@
+//! # sfc-baselines
+//!
+//! Baseline space-filling curves the Onion Curve paper compares against or
+//! discusses: the **Hilbert curve** (§IV, the main baseline), the **Z
+//! (Morton) curve** and **Gray-code curve** (§I related work, Figure 1), and
+//! the **row-major / column-major** curves (§V-C's impossibility argument
+//! for general rectangles), plus a continuous **snake** curve for universes
+//! of arbitrary side length.
+//!
+//! All curves implement [`onion_core::SpaceFillingCurve`] and are built from
+//! scratch with plain bit manipulation — no external dependencies.
+//!
+//! ```
+//! use onion_core::{Point, SpaceFillingCurve};
+//! use sfc_baselines::Hilbert;
+//!
+//! let h = Hilbert::<2>::new(256).unwrap();
+//! let idx = h.index_of(Point::new([10, 200])).unwrap();
+//! assert_eq!(h.point_of(idx).unwrap(), Point::new([10, 200]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bits;
+mod gray;
+mod hilbert;
+mod linear;
+mod morton;
+pub mod registry;
+
+pub use gray::GrayCode;
+pub use hilbert::Hilbert;
+pub use linear::{RowMajor, Snake};
+pub use morton::Morton;
+pub use registry::{curve_2d, curve_3d, CURVE_NAMES};

@@ -1,0 +1,213 @@
+//! Row-major, column-major, and snake (boustrophedon) orders.
+//!
+//! Row-major and column-major are the curves of §V-C of the paper: each is
+//! optimal on one of the row/column query sets `QR` / `QC` and pessimal on
+//! the other, which is the paper's impossibility argument for general
+//! rectangular queries (Lemma 10).
+
+use onion_core::{Point, SfcError, SpaceFillingCurve, Universe};
+
+/// Row-major order with a configurable axis significance permutation.
+///
+/// `order[0]` is the *least* significant (fastest varying) axis. The default
+/// [`RowMajor::new`] uses axis 0 fastest; [`RowMajor::column_major`]
+/// reverses the significance, giving the column-major curve.
+#[derive(Clone, Copy, Debug)]
+pub struct RowMajor<const D: usize> {
+    universe: Universe<D>,
+    /// Axis significance order, least significant first.
+    order: [usize; D],
+    name: &'static str,
+}
+
+impl<const D: usize> RowMajor<D> {
+    /// Standard row-major order (axis 0 varies fastest). Any side length.
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        let mut order = [0usize; D];
+        for (d, o) in order.iter_mut().enumerate() {
+            *o = d;
+        }
+        Ok(RowMajor {
+            universe: Universe::new(side)?,
+            order,
+            name: "row-major",
+        })
+    }
+
+    /// Column-major order (axis `D−1` varies fastest).
+    pub fn column_major(side: u32) -> Result<Self, SfcError> {
+        let mut order = [0usize; D];
+        for (d, o) in order.iter_mut().enumerate() {
+            *o = D - 1 - d;
+        }
+        Ok(RowMajor {
+            universe: Universe::new(side)?,
+            order,
+            name: "column-major",
+        })
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for RowMajor<D> {
+    fn universe(&self) -> Universe<D> {
+        self.universe
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        let side = u64::from(self.universe.side());
+        let mut idx = 0u64;
+        for d in (0..D).rev() {
+            idx = idx * side + u64::from(p.0[self.order[d]]);
+        }
+        idx
+    }
+
+    #[inline]
+    fn point_unchecked(&self, mut idx: u64) -> Point<D> {
+        let side = u64::from(self.universe.side());
+        let mut coords = [0u32; D];
+        for d in 0..D {
+            coords[self.order[d]] = (idx % side) as u32;
+            idx /= side;
+        }
+        Point::new(coords)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// The snake (boustrophedon) curve: row-major with every other row
+/// traversed in reverse, recursively in all dimensions. Continuous, works
+/// for any side length — a useful minimal continuous baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Snake<const D: usize> {
+    universe: Universe<D>,
+}
+
+impl<const D: usize> Snake<D> {
+    /// Creates the snake curve for a `side^D` universe (any side).
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        Ok(Snake {
+            universe: Universe::new(side)?,
+        })
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for Snake<D> {
+    fn universe(&self) -> Universe<D> {
+        self.universe
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        let side = u64::from(self.universe.side());
+        // Process from the most significant axis down; a coordinate is
+        // reflected when the sum of the more significant coordinates is odd.
+        let mut idx = 0u64;
+        let mut parity = 0u32;
+        for d in (0..D).rev() {
+            let c = u64::from(if parity % 2 == 0 {
+                p.0[d]
+            } else {
+                self.universe.side() - 1 - p.0[d]
+            });
+            idx = idx * side + c;
+            parity += p.0[d];
+        }
+        idx
+    }
+
+    #[inline]
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        let side = u64::from(self.universe.side());
+        // Extract digits most significant first, tracking reflection parity.
+        let mut digits = [0u64; D];
+        let mut rem = idx;
+        for digit in digits.iter_mut() {
+            *digit = rem % side;
+            rem /= side;
+        }
+        let mut coords = [0u32; D];
+        let mut parity = 0u32;
+        for d in (0..D).rev() {
+            let c = if parity % 2 == 0 {
+                digits[d] as u32
+            } else {
+                self.universe.side() - 1 - digits[d] as u32
+            };
+            coords[d] = c;
+            parity += c;
+        }
+        Point::new(coords)
+    }
+
+    fn name(&self) -> &str {
+        "snake"
+    }
+
+    fn is_continuous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::curve::verify;
+
+    #[test]
+    fn row_major_2d_layout() {
+        let c = RowMajor::<2>::new(4).unwrap();
+        assert_eq!(c.index_unchecked(Point::new([3, 0])), 3);
+        assert_eq!(c.index_unchecked(Point::new([0, 1])), 4);
+        verify::bijection(&c).unwrap();
+    }
+
+    #[test]
+    fn column_major_2d_layout() {
+        let c = RowMajor::<2>::column_major(4).unwrap();
+        assert_eq!(c.index_unchecked(Point::new([0, 3])), 3);
+        assert_eq!(c.index_unchecked(Point::new([1, 0])), 4);
+        verify::bijection(&c).unwrap();
+    }
+
+    #[test]
+    fn row_and_column_major_are_transposes() {
+        let r = RowMajor::<2>::new(5).unwrap();
+        let c = RowMajor::<2>::column_major(5).unwrap();
+        for p in r.universe().iter_cells() {
+            let q = Point::new([p.0[1], p.0[0]]);
+            assert_eq!(r.index_unchecked(p), c.index_unchecked(q));
+        }
+    }
+
+    #[test]
+    fn snake_is_continuous_any_side() {
+        for side in 1..=7 {
+            let s = Snake::<2>::new(side).unwrap();
+            verify::bijection(&s).unwrap();
+            assert_eq!(verify::discontinuities(&s), 0, "side {side}");
+        }
+        let s3 = Snake::<3>::new(4).unwrap();
+        verify::bijection(&s3).unwrap();
+        assert_eq!(verify::discontinuities(&s3), 0);
+    }
+
+    #[test]
+    fn snake_2d_reverses_odd_rows() {
+        let s = Snake::<2>::new(4).unwrap();
+        assert_eq!(s.index_unchecked(Point::new([3, 0])), 3);
+        assert_eq!(s.index_unchecked(Point::new([3, 1])), 4); // row 1 reversed
+        assert_eq!(s.index_unchecked(Point::new([0, 1])), 7);
+        assert_eq!(s.index_unchecked(Point::new([0, 2])), 8);
+    }
+
+    #[test]
+    fn row_major_bijective_3d_odd_side() {
+        verify::bijection(&RowMajor::<3>::new(5).unwrap()).unwrap();
+        verify::bijection(&RowMajor::<3>::column_major(5).unwrap()).unwrap();
+    }
+}

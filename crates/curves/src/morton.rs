@@ -1,0 +1,102 @@
+//! The Z curve (Morton order), suggested by Orenstein and Merrett for range
+//! queries (paper reference [1]).
+
+use crate::bits::{deinterleave, interleave};
+use onion_core::{Point, SfcError, SpaceFillingCurve, Universe};
+
+/// The `D`-dimensional Z curve: cell index = bit-interleaving of the
+/// coordinates. Requires a power-of-two side length.
+///
+/// Not continuous — consecutive indices can be far apart in space (the
+/// "jumps" visible in Figure 1 of the paper, where the Z curve needs 4
+/// clusters on a query the Hilbert curve covers with 2).
+#[derive(Clone, Copy, Debug)]
+pub struct Morton<const D: usize> {
+    universe: Universe<D>,
+    bits: u32,
+}
+
+impl<const D: usize> Morton<D> {
+    /// Creates the Z curve for a `side^D` universe. `side` must be a power
+    /// of two.
+    pub fn new(side: u32) -> Result<Self, SfcError> {
+        let universe = Universe::new(side)?;
+        if !universe.side_is_power_of_two() {
+            return Err(SfcError::SideNotPowerOfTwo { side });
+        }
+        Ok(Morton {
+            universe,
+            bits: universe.side_bits(),
+        })
+    }
+}
+
+impl<const D: usize> SpaceFillingCurve<D> for Morton<D> {
+    fn universe(&self) -> Universe<D> {
+        self.universe
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        interleave(p, self.bits)
+    }
+
+    #[inline]
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        deinterleave(idx, self.bits)
+    }
+
+    fn name(&self) -> &str {
+        "z-order"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::curve::verify;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            Morton::<2>::new(12),
+            Err(SfcError::SideNotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn z_pattern_on_2x2() {
+        let z = Morton::<2>::new(2).unwrap();
+        assert_eq!(z.index_unchecked(Point::new([0, 0])), 0);
+        assert_eq!(z.index_unchecked(Point::new([1, 0])), 1);
+        assert_eq!(z.index_unchecked(Point::new([0, 1])), 2);
+        assert_eq!(z.index_unchecked(Point::new([1, 1])), 3);
+    }
+
+    #[test]
+    fn bijective_small_sides() {
+        for bits in 0..=4 {
+            verify::bijection(&Morton::<2>::new(1 << bits).unwrap()).unwrap();
+        }
+        verify::bijection(&Morton::<3>::new(8).unwrap()).unwrap();
+        verify::bijection(&Morton::<4>::new(4).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn is_not_continuous() {
+        let z = Morton::<2>::new(8).unwrap();
+        assert!(!z.is_continuous());
+        assert!(verify::discontinuities(&z) > 0);
+        assert_eq!(z.jump_targets(), None);
+    }
+
+    #[test]
+    fn quadrant_recursive_structure() {
+        // The first quarter of the curve fills the low quadrant entirely.
+        let z = Morton::<2>::new(8).unwrap();
+        for idx in 0..16 {
+            let p = z.point_unchecked(idx);
+            assert!(p.0[0] < 4 && p.0[1] < 4, "index {idx} at {p}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Construction of curves by name, for experiment binaries and examples.
+
+use crate::{GrayCode, Hilbert, Morton, RowMajor, Snake};
+use onion_core::{OnionNd, SfcError, SpaceFillingCurve};
+use onion_core::{Onion2D, Onion3D};
+
+/// Names of every curve this workspace provides, in presentation order.
+pub const CURVE_NAMES: [&str; 7] = [
+    "onion",
+    "hilbert",
+    "z-order",
+    "gray-code",
+    "row-major",
+    "column-major",
+    "snake",
+];
+
+/// Builds a 2D curve by name. The onion curve name maps to the paper's
+/// [`Onion2D`]; `"onion-nd"` selects the generalized layered curve.
+pub fn curve_2d(name: &str, side: u32) -> Result<Box<dyn SpaceFillingCurve<2>>, SfcError> {
+    Ok(match name {
+        "onion" => Box::new(Onion2D::new(side)?),
+        "onion-nd" => Box::new(OnionNd::<2>::new(side)?),
+        "hilbert" => Box::new(Hilbert::<2>::new(side)?),
+        "z-order" => Box::new(Morton::<2>::new(side)?),
+        "gray-code" => Box::new(GrayCode::<2>::new(side)?),
+        "row-major" => Box::new(RowMajor::<2>::new(side)?),
+        "column-major" => Box::new(RowMajor::<2>::column_major(side)?),
+        "snake" => Box::new(Snake::<2>::new(side)?),
+        _ => return Err(SfcError::DimensionUnsupported { dims: 2 }),
+    })
+}
+
+/// Builds a 3D curve by name (see [`curve_2d`]).
+pub fn curve_3d(name: &str, side: u32) -> Result<Box<dyn SpaceFillingCurve<3>>, SfcError> {
+    Ok(match name {
+        "onion" => Box::new(Onion3D::new(side)?),
+        "onion-nd" => Box::new(OnionNd::<3>::new(side)?),
+        "hilbert" => Box::new(Hilbert::<3>::new(side)?),
+        "z-order" => Box::new(Morton::<3>::new(side)?),
+        "gray-code" => Box::new(GrayCode::<3>::new(side)?),
+        "row-major" => Box::new(RowMajor::<3>::new(side)?),
+        "column-major" => Box::new(RowMajor::<3>::column_major(side)?),
+        "snake" => Box::new(Snake::<3>::new(side)?),
+        _ => return Err(SfcError::DimensionUnsupported { dims: 3 }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::curve::verify;
+
+    #[test]
+    fn every_registered_curve_constructs_and_is_bijective_2d() {
+        for name in CURVE_NAMES {
+            let c = curve_2d(name, 8).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(c.name(), name);
+            verify::bijection(&c).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn every_registered_curve_constructs_and_is_bijective_3d() {
+        for name in CURVE_NAMES {
+            let c = curve_3d(name, 4).unwrap_or_else(|e| panic!("{name}: {e}"));
+            verify::bijection(&c).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        assert!(curve_2d("peano", 9).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the baseline curves' structural guarantees.
+
+use onion_core::{Point, SpaceFillingCurve};
+use proptest::prelude::*;
+use sfc_baselines::bits::{gray_decode, gray_encode, interleave};
+use sfc_baselines::{GrayCode, Hilbert, Morton, RowMajor, Snake};
+
+proptest! {
+    /// Hilbert: continuity at random positions on large universes.
+    #[test]
+    fn hilbert_continuous_2d(bits in 1u32..=12, seed in any::<u64>()) {
+        let h = Hilbert::<2>::new(1 << bits).unwrap();
+        let n = h.universe().cell_count();
+        prop_assume!(n >= 2);
+        let idx = seed % (n - 1);
+        prop_assert!(h.point_unchecked(idx).is_neighbor(&h.point_unchecked(idx + 1)));
+    }
+
+    /// Hilbert 3D: continuity at random positions.
+    #[test]
+    fn hilbert_continuous_3d(bits in 1u32..=8, seed in any::<u64>()) {
+        let h = Hilbert::<3>::new(1 << bits).unwrap();
+        let n = h.universe().cell_count();
+        prop_assume!(n >= 2);
+        let idx = seed % (n - 1);
+        prop_assert!(h.point_unchecked(idx).is_neighbor(&h.point_unchecked(idx + 1)));
+    }
+
+    /// Hilbert: round-trips on random cells, 2D and 3D, large sides.
+    #[test]
+    fn hilbert_roundtrip(bits2 in 1u32..=15, bits3 in 1u32..=10, c in any::<(u32, u32, u32)>()) {
+        let s2 = 1u32 << bits2;
+        let h2 = Hilbert::<2>::new(s2).unwrap();
+        let p2 = Point::new([c.0 % s2, c.1 % s2]);
+        prop_assert_eq!(h2.point_unchecked(h2.index_unchecked(p2)), p2);
+        let s3 = 1u32 << bits3;
+        let h3 = Hilbert::<3>::new(s3).unwrap();
+        let p3 = Point::new([c.0 % s3, c.1 % s3, c.2 % s3]);
+        prop_assert_eq!(h3.point_unchecked(h3.index_unchecked(p3)), p3);
+    }
+
+    /// Hilbert's self-similarity: the first quarter of indices fills one
+    /// quadrant (each quadrant of the grid is one contiguous index block).
+    #[test]
+    fn hilbert_quadrant_block(bits in 2u32..=10, seed in any::<u64>()) {
+        let side = 1u32 << bits;
+        let h = Hilbert::<2>::new(side).unwrap();
+        let n = h.universe().cell_count();
+        let idx = seed % (n / 4);
+        let p = h.point_unchecked(idx);
+        // First quarter: one quadrant, whichever orientation.
+        let half = side / 2;
+        let quad = (p.0[0] < half, p.0[1] < half);
+        let q0 = h.point_unchecked(0);
+        prop_assert_eq!(quad, (q0.0[0] < half, q0.0[1] < half));
+    }
+
+    /// Morton: the index is exactly the bit interleave (definitional), and
+    /// the curve's quadrant blocks follow the z-shape.
+    #[test]
+    fn morton_matches_interleave(bits in 1u32..=10, x in any::<u32>(), y in any::<u32>()) {
+        let side = 1u32 << bits;
+        let z = Morton::<2>::new(side).unwrap();
+        let p = Point::new([x % side, y % side]);
+        prop_assert_eq!(z.index_unchecked(p), interleave(p, bits));
+    }
+
+    /// Gray curve: consecutive codes differ in one bit (definitional).
+    #[test]
+    fn gray_adjacent_codes(v in 0u64..u64::MAX) {
+        prop_assert_eq!((gray_encode(v) ^ gray_encode(v + 1)).count_ones(), 1);
+        prop_assert_eq!(gray_decode(gray_encode(v)), v);
+    }
+
+    /// Gray curve positions differ in exactly one coordinate.
+    #[test]
+    fn gray_one_axis_moves(bits in 1u32..=9, seed in any::<u64>()) {
+        let side = 1u32 << bits;
+        let g = GrayCode::<2>::new(side).unwrap();
+        let n = g.universe().cell_count();
+        prop_assume!(n >= 2);
+        let idx = seed % (n - 1);
+        let a = g.point_unchecked(idx);
+        let b = g.point_unchecked(idx + 1);
+        let changed = (0..2).filter(|&d| a.0[d] != b.0[d]).count();
+        prop_assert_eq!(changed, 1);
+    }
+
+    /// Snake: continuity for arbitrary (non power-of-two) sides.
+    #[test]
+    fn snake_continuous_any_side(side in 2u32..=700, seed in any::<u64>()) {
+        let s = Snake::<2>::new(side).unwrap();
+        let n = s.universe().cell_count();
+        let idx = seed % (n - 1);
+        prop_assert!(s.point_unchecked(idx).is_neighbor(&s.point_unchecked(idx + 1)));
+    }
+
+    /// Row-major and column-major agree through transposition.
+    #[test]
+    fn row_column_transpose(side in 1u32..=500, x in any::<u32>(), y in any::<u32>()) {
+        let r = RowMajor::<2>::new(side).unwrap();
+        let c = RowMajor::<2>::column_major(side).unwrap();
+        let p = Point::new([x % side, y % side]);
+        let q = Point::new([p.0[1], p.0[0]]);
+        prop_assert_eq!(r.index_unchecked(p), c.index_unchecked(q));
+    }
+
+    /// Every curve maps the full index range onto in-bounds cells.
+    #[test]
+    fn indices_map_in_bounds(bits in 1u32..=8, seed in any::<u64>()) {
+        let side = 1u32 << bits;
+        for name in sfc_baselines::CURVE_NAMES {
+            let curve = sfc_baselines::curve_2d(name, side).unwrap();
+            let n = curve.universe().cell_count();
+            let p = curve.point_unchecked(seed % n);
+            prop_assert!(curve.universe().contains(p), "{name}: {p}");
+        }
+    }
+}

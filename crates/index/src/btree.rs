@@ -1,0 +1,506 @@
+//! An in-memory B+-tree keyed by `u64` SFC indexes.
+//!
+//! Written from scratch for this workspace: fixed fanout, leaves linked for
+//! range scans, bulk loading from sorted input, and insertion with node
+//! splits. It is the storage engine the range-decomposition experiments run
+//! against; leaf visits map one-to-one onto simulated disk pages.
+
+/// Maximum number of keys per node (fanout − 1 for internals). Chosen so a
+/// leaf of `(u64, u64)` entries is roughly a 4 KiB page.
+pub const DEFAULT_NODE_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+enum Node<V> {
+    Leaf {
+        keys: Vec<u64>,
+        values: Vec<V>,
+        /// Index of the next leaf in `BPlusTree::leaves_order`, if any.
+        next: Option<usize>,
+    },
+    Internal {
+        /// `separators[i]` is the smallest key reachable under
+        /// `children[i + 1]`.
+        separators: Vec<u64>,
+        children: Vec<usize>,
+    },
+}
+
+/// A B+-tree mapping `u64` keys to values, duplicates allowed.
+///
+/// ```
+/// use sfc_index::BPlusTree;
+///
+/// let mut t = BPlusTree::new(4);
+/// for k in [5u64, 1, 9, 7, 3] {
+///     t.insert(k, k * 10);
+/// }
+/// assert_eq!(t.get(7), Some(&70));
+/// let range: Vec<_> = t.range(3, 7).map(|(k, _)| k).collect();
+/// assert_eq!(range, vec![3, 5, 7]);
+/// ```
+#[derive(Debug)]
+pub struct BPlusTree<V> {
+    nodes: Vec<Node<V>>,
+    root: usize,
+    len: usize,
+    capacity: usize,
+    /// Statistics: leaf nodes visited by `range` calls (page reads).
+    leaf_visits: std::cell::Cell<u64>,
+}
+
+impl<V> BPlusTree<V> {
+    /// Creates an empty tree with the given node capacity (≥ 2).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "node capacity must be at least 2");
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            len: 0,
+            capacity,
+            leaf_visits: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Bulk-loads a tree from entries sorted ascending by key.
+    ///
+    /// # Panics
+    /// If the input is not sorted.
+    pub fn bulk_load(entries: Vec<(u64, V)>, capacity: usize) -> Self {
+        assert!(capacity >= 2);
+        assert!(
+            entries.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_load requires sorted input"
+        );
+        if entries.is_empty() {
+            return Self::new(capacity);
+        }
+        let len = entries.len();
+        let mut nodes: Vec<Node<V>> = Vec::new();
+        // Build leaves left to right.
+        let mut level: Vec<(u64, usize)> = Vec::new(); // (min key, node id)
+        let per_leaf = capacity;
+        let mut iter = entries.into_iter().peekable();
+        while iter.peek().is_some() {
+            let mut keys = Vec::with_capacity(per_leaf);
+            let mut values = Vec::with_capacity(per_leaf);
+            for _ in 0..per_leaf {
+                match iter.next() {
+                    Some((k, v)) => {
+                        keys.push(k);
+                        values.push(v);
+                    }
+                    None => break,
+                }
+            }
+            let id = nodes.len();
+            let min = keys[0];
+            nodes.push(Node::Leaf {
+                keys,
+                values,
+                next: None,
+            });
+            if let Some(&(_, prev)) = level.last() {
+                if let Node::Leaf { next, .. } = &mut nodes[prev] {
+                    *next = Some(id);
+                }
+            }
+            level.push((min, id));
+        }
+        // Build internal levels bottom-up.
+        while level.len() > 1 {
+            let mut upper: Vec<(u64, usize)> = Vec::new();
+            for chunk in level.chunks(capacity) {
+                let id = nodes.len();
+                let separators = chunk[1..].iter().map(|&(k, _)| k).collect();
+                let children = chunk.iter().map(|&(_, c)| c).collect();
+                nodes.push(Node::Internal {
+                    separators,
+                    children,
+                });
+                upper.push((chunk[0].0, id));
+            }
+            level = upper;
+        }
+        let root = level[0].1;
+        BPlusTree {
+            nodes,
+            root,
+            len,
+            capacity,
+            leaf_visits: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of leaf pages visited by range scans since construction
+    /// (the simulated "pages read" counter).
+    pub fn leaf_visits(&self) -> u64 {
+        self.leaf_visits.get()
+    }
+
+    /// Resets the leaf-visit counter.
+    pub fn reset_leaf_visits(&self) {
+        self.leaf_visits.set(0);
+    }
+
+    /// Tree height (1 for a lone leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    id = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Descends to a leaf. With `leftmost`, routes to the leftmost leaf that
+    /// can hold `key` (correct start for range scans over duplicate keys);
+    /// otherwise to the rightmost (where a point insert/lookup lands).
+    fn find_leaf(&self, key: u64, leftmost: bool) -> usize {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return id,
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    let pos = if leftmost {
+                        separators.partition_point(|&s| s < key)
+                    } else {
+                        separators.partition_point(|&s| s <= key)
+                    };
+                    id = children[pos];
+                }
+            }
+        }
+    }
+
+    /// Looks up a value stored under `key`.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let leaf = self.find_leaf(key, false);
+        let Node::Leaf { keys, values, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
+        let pos = keys.partition_point(|&k| k < key);
+        if pos < keys.len() && keys[pos] == key {
+            Some(&values[pos])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts an entry (duplicates allowed, kept in insertion order among
+    /// equal keys).
+    pub fn insert(&mut self, key: u64, value: V) {
+        self.len += 1;
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            // Root split: grow the tree by one level.
+            let new_root = self.nodes.len();
+            let old_root = self.root;
+            self.nodes.push(Node::Internal {
+                separators: vec![sep],
+                children: vec![old_root, right],
+            });
+            self.root = new_root;
+        }
+    }
+
+    /// Returns `Some((separator, new_node_id))` when the child split.
+    fn insert_rec(&mut self, id: usize, key: u64, value: V) -> Option<(u64, usize)> {
+        match &mut self.nodes[id] {
+            Node::Leaf { keys, values, next } => {
+                let pos = keys.partition_point(|&k| k <= key);
+                keys.insert(pos, key);
+                values.insert(pos, value);
+                if keys.len() <= self.capacity {
+                    return None;
+                }
+                // Split leaf: move the upper half into a new right sibling.
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_values = values.split_off(mid);
+                let sep = right_keys[0];
+                let old_next = *next;
+                let right_id = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    keys: right_keys,
+                    values: right_values,
+                    next: old_next,
+                });
+                let Node::Leaf { next, .. } = &mut self.nodes[id] else {
+                    unreachable!()
+                };
+                *next = Some(right_id);
+                Some((sep, right_id))
+            }
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                let pos = separators.partition_point(|&s| s <= key);
+                let child = children[pos];
+                let split = self.insert_rec(child, key, value)?;
+                let Node::Internal {
+                    separators,
+                    children,
+                } = &mut self.nodes[id]
+                else {
+                    unreachable!()
+                };
+                separators.insert(pos, split.0);
+                children.insert(pos + 1, split.1);
+                if separators.len() <= self.capacity {
+                    return None;
+                }
+                // Split internal node.
+                let mid = separators.len() / 2;
+                let sep_up = separators[mid];
+                let right_seps = separators.split_off(mid + 1);
+                separators.pop(); // sep_up moves up
+                let right_children = children.split_off(mid + 1);
+                let right_id = self.nodes.len();
+                self.nodes.push(Node::Internal {
+                    separators: right_seps,
+                    children: right_children,
+                });
+                Some((sep_up, right_id))
+            }
+        }
+    }
+
+    /// Iterates entries with keys in `lo..=hi`, ascending. Counts one leaf
+    /// visit per touched leaf page.
+    pub fn range(&self, lo: u64, hi: u64) -> RangeIter<'_, V> {
+        let leaf = self.find_leaf(lo, true);
+        let Node::Leaf { keys, .. } = &self.nodes[leaf] else {
+            unreachable!()
+        };
+        let pos = keys.partition_point(|&k| k < lo);
+        if !keys.is_empty() {
+            self.leaf_visits.set(self.leaf_visits.get() + 1);
+        }
+        RangeIter {
+            tree: self,
+            leaf,
+            pos,
+            hi,
+        }
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> RangeIter<'_, V> {
+        self.range(0, u64::MAX)
+    }
+
+    /// Validates structural invariants (sorted keys, separator consistency,
+    /// linked leaves cover all entries in order). Test helper.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Every leaf's keys are sorted; the leaf chain yields a global
+        // sorted sequence of exactly `len` keys.
+        let mut count = 0usize;
+        let mut last: Option<u64> = None;
+        for (k, _) in self.iter() {
+            if let Some(prev) = last {
+                if k < prev {
+                    return Err(format!("keys out of order: {prev} then {k}"));
+                }
+            }
+            last = Some(k);
+            count += 1;
+        }
+        if count != self.len {
+            return Err(format!("leaf chain has {count} entries, len is {}", self.len));
+        }
+        self.check_node(self.root, None, None)
+    }
+
+    fn check_node(&self, id: usize, lo: Option<u64>, hi: Option<u64>) -> Result<(), String> {
+        match &self.nodes[id] {
+            Node::Leaf { keys, .. } => {
+                for &k in keys {
+                    // With duplicates, a left sibling may hold keys equal to
+                    // the separator, so the upper bound is non-strict.
+                    if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k > h) {
+                        return Err(format!("leaf key {k} outside ({lo:?}, {hi:?})"));
+                    }
+                }
+                Ok(())
+            }
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                if children.len() != separators.len() + 1 {
+                    return Err("child/separator arity mismatch".into());
+                }
+                if !separators.windows(2).all(|w| w[0] <= w[1]) {
+                    return Err("separators out of order".into());
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(separators[i - 1]) };
+                    let chi = if i == separators.len() {
+                        hi
+                    } else {
+                        Some(separators[i])
+                    };
+                    self.check_node(child, clo, chi)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Iterator over a key range of a [`BPlusTree`].
+pub struct RangeIter<'a, V> {
+    tree: &'a BPlusTree<V>,
+    leaf: usize,
+    pos: usize,
+    hi: u64,
+}
+
+impl<'a, V> Iterator for RangeIter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<(u64, &'a V)> {
+        loop {
+            let Node::Leaf {
+                keys, values, next, ..
+            } = &self.tree.nodes[self.leaf]
+            else {
+                unreachable!()
+            };
+            if self.pos < keys.len() {
+                let k = keys[self.pos];
+                if k > self.hi {
+                    return None;
+                }
+                let v = &values[self.pos];
+                self.pos += 1;
+                return Some((k, v));
+            }
+            let nxt = (*next)?;
+            self.leaf = nxt;
+            self.pos = 0;
+            self.tree.leaf_visits.set(self.tree.leaf_visits.get() + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<u32> = BPlusTree::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.range(0, 100).count(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_and_get_with_splits() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..1000u64 {
+            t.insert(k * 7 % 1000, k);
+        }
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+        assert!(t.height() > 2, "splits must have grown the tree");
+        for k in [0u64, 1, 499, 999] {
+            assert!(t.get(k).is_some(), "missing key {k}");
+        }
+        assert_eq!(t.get(1000), None);
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_complete() {
+        let mut t = BPlusTree::new(8);
+        for k in (0..500u64).rev() {
+            t.insert(k, ());
+        }
+        let got: Vec<u64> = t.range(100, 199).map(|(k, _)| k).collect();
+        let expect: Vec<u64> = (100..=199).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BPlusTree::new(4);
+        for i in 0..10u64 {
+            t.insert(42, i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.range(42, 42).count(), 10);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let entries: Vec<(u64, u64)> = (0..777u64).map(|k| (k * 3, k)).collect();
+        let bulk = BPlusTree::bulk_load(entries.clone(), 16);
+        bulk.check_invariants().unwrap();
+        let mut inc = BPlusTree::new(16);
+        for (k, v) in entries {
+            inc.insert(k, v);
+        }
+        let a: Vec<_> = bulk.iter().map(|(k, &v)| (k, v)).collect();
+        let b: Vec<_> = inc.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn bulk_load_rejects_unsorted() {
+        let _ = BPlusTree::bulk_load(vec![(3u64, ()), (1, ())], 4);
+    }
+
+    #[test]
+    fn leaf_visits_count_pages() {
+        let entries: Vec<(u64, ())> = (0..256u64).map(|k| (k, ())).collect();
+        let t = BPlusTree::bulk_load(entries, 16); // 16 leaves
+        t.reset_leaf_visits();
+        let n = t.range(0, 255).count();
+        assert_eq!(n, 256);
+        assert_eq!(t.leaf_visits(), 16);
+        // A scan ending strictly inside a page stops there: one visit.
+        t.reset_leaf_visits();
+        let n = t.range(0, 14).count();
+        assert_eq!(n, 15);
+        assert_eq!(t.leaf_visits(), 1);
+        // A scan ending exactly on a page boundary must peek at the next
+        // page (duplicates of the bound could continue there): two visits.
+        t.reset_leaf_visits();
+        let n = t.range(0, 15).count();
+        assert_eq!(n, 16);
+        assert_eq!(t.leaf_visits(), 2);
+    }
+
+    #[test]
+    fn range_outside_keyspace_is_empty() {
+        let t = BPlusTree::bulk_load(vec![(10u64, ()), (20, ())], 4);
+        assert_eq!(t.range(30, 40).count(), 0);
+        assert_eq!(t.range(0, 5).count(), 0);
+        assert_eq!(t.range(10, 20).count(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sfc-index
+//!
+//! An SFC-backed spatial index — the application the Onion Curve paper
+//! motivates (§I): index multi-dimensional data with one-dimensional
+//! techniques by keying records with their curve index.
+//!
+//! * [`BPlusTree`] — a from-scratch in-memory B+-tree (bulk load, inserts
+//!   with splits, linked-leaf range scans, invariant checker);
+//! * [`SfcTable`] — records ordered by any [`onion_core::SpaceFillingCurve`];
+//!   rectangle queries are decomposed into the curve's cluster ranges, so
+//!   **seeks per query = the paper's clustering number**;
+//! * [`SimulatedDisk`] / [`DiskModel`] — explicit seek + transfer cost
+//!   accounting (HDD/SSD presets);
+//! * [`partition_universe`] — contiguous range partitioning with
+//!   communication metrics, for the load-balancing application.
+//!
+//! ```
+//! use onion_core::{Onion2D, Point};
+//! use sfc_index::{DiskModel, SfcTable};
+//! use sfc_clustering::RectQuery;
+//!
+//! let curve = Onion2D::new(64).unwrap();
+//! let records = (0..64u32).map(|i| (Point::new([i, i]), i)).collect();
+//! let table = SfcTable::build(curve, records, DiskModel::hdd()).unwrap();
+//! let hits = table.query_rect(&RectQuery::new([0, 0], [10, 10]).unwrap()).unwrap();
+//! assert_eq!(hits.records.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod btree;
+mod cache;
+mod disk;
+mod partition;
+mod table;
+
+pub use btree::{BPlusTree, RangeIter, DEFAULT_NODE_CAPACITY};
+pub use cache::LruBufferPool;
+pub use disk::{DiskModel, IoStats, SimulatedDisk};
+pub use partition::{
+    evaluate_partitioning, owner_of, partition_universe, Partition, PartitionMetrics,
+};
+pub use table::{QueryResult, Record, SfcTable};

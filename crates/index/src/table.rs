@@ -1,0 +1,433 @@
+//! `SfcTable`: a spatial table organized by a space-filling curve.
+//!
+//! Records are keyed by their cell's curve index and stored in a
+//! [`BPlusTree`]; rectangle queries are decomposed into the curve's cluster
+//! ranges (`sfc-clustering`) and answered with one B+-tree range scan per
+//! cluster. The number of scans *is* the paper's clustering number, so the
+//! choice of curve directly controls the number of seeks.
+
+use crate::btree::{BPlusTree, DEFAULT_NODE_CAPACITY};
+use crate::disk::{DiskModel, IoStats};
+use onion_core::{Point, SfcError, SpaceFillingCurve};
+use sfc_clustering::{cluster_ranges, coalesce_ranges, RectQuery};
+
+/// A record stored in the table: a point with an opaque payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Record<const D: usize, V> {
+    /// The record's location.
+    pub point: Point<D>,
+    /// Application payload.
+    pub value: V,
+}
+
+/// Result of a rectangle query against an [`SfcTable`].
+#[derive(Clone, Debug)]
+pub struct QueryResult<const D: usize, V> {
+    /// Matching records, in curve-key order.
+    pub records: Vec<Record<D, V>>,
+    /// Number of contiguous key ranges scanned (the clustering number of
+    /// the query under the table's curve).
+    pub ranges_scanned: u64,
+    /// Simulated I/O statistics: one seek per range, one page per B+-tree
+    /// leaf touched.
+    pub io: IoStats,
+}
+
+/// A spatial table whose rows are ordered by an SFC.
+pub struct SfcTable<C, V, const D: usize> {
+    curve: C,
+    tree: BPlusTree<Record<D, V>>,
+    model: DiskModel,
+}
+
+impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
+    /// Builds a table over `curve` from a batch of records (bulk load).
+    ///
+    /// # Errors
+    /// If any point lies outside the curve's universe.
+    pub fn build(
+        curve: C,
+        records: Vec<(Point<D>, V)>,
+        model: DiskModel,
+    ) -> Result<Self, SfcError> {
+        let mut keyed: Vec<(u64, Record<D, V>)> = Vec::with_capacity(records.len());
+        for (point, value) in records {
+            let key = curve.index_of(point)?;
+            keyed.push((key, Record { point, value }));
+        }
+        keyed.sort_by_key(|&(k, _)| k);
+        let tree = BPlusTree::bulk_load(keyed, DEFAULT_NODE_CAPACITY);
+        Ok(SfcTable { curve, tree, model })
+    }
+
+    /// Creates an empty table.
+    pub fn new(curve: C, model: DiskModel) -> Self {
+        SfcTable {
+            curve,
+            tree: BPlusTree::new(DEFAULT_NODE_CAPACITY),
+            model,
+        }
+    }
+
+    /// Inserts a record (index maintenance through the B+-tree).
+    ///
+    /// # Errors
+    /// If the point lies outside the curve's universe.
+    pub fn insert(&mut self, point: Point<D>, value: V) -> Result<(), SfcError> {
+        let key = self.curve.index_of(point)?;
+        self.tree.insert(key, Record { point, value });
+        Ok(())
+    }
+
+    /// The curve ordering this table.
+    pub fn curve(&self) -> &C {
+        &self.curve
+    }
+
+    /// The disk cost model used for simulated timings.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Answers a rectangle query: decomposes it into cluster ranges and
+    /// scans each, reporting per-query I/O (seeks = ranges, pages = leaf
+    /// nodes touched).
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn query_rect(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
+        let side = self.curve.universe().side();
+        if !q.fits_in(side) {
+            return Err(SfcError::PointOutOfBounds {
+                point: Point::new(q.hi()).to_string(),
+                side,
+            });
+        }
+        let ranges = cluster_ranges(&self.curve, q);
+        self.tree.reset_leaf_visits();
+        let mut records = Vec::new();
+        for &(lo, hi) in &ranges {
+            for (_, rec) in self.tree.range(lo, hi) {
+                debug_assert!(q.contains(rec.point));
+                records.push(rec.clone());
+            }
+        }
+        let io = IoStats {
+            seeks: ranges.len() as u64,
+            pages: self.tree.leaf_visits(),
+            entries: records.len() as u64,
+        };
+        Ok(QueryResult {
+            records,
+            ranges_scanned: ranges.len() as u64,
+            io,
+        })
+    }
+
+    /// Point lookup.
+    pub fn get(&self, p: Point<D>) -> Result<Option<&V>, SfcError> {
+        let key = self.curve.index_of(p)?;
+        Ok(self.tree.get(key).map(|r| &r.value))
+    }
+
+    /// Like [`Self::query_rect`], but coalesces cluster ranges separated by
+    /// gaps of at most `max_gap` keys before scanning — the
+    /// seek-vs-read-amplification trade of Asano et al. (paper reference
+    /// \[15\]). Scanned non-matching records are filtered out; `io.entries`
+    /// counts everything touched, so amplification is
+    /// `io.entries / records.len()`.
+    pub fn query_rect_coalesced(
+        &self,
+        q: &RectQuery<D>,
+        max_gap: u64,
+    ) -> Result<QueryResult<D, V>, SfcError> {
+        let side = self.curve.universe().side();
+        if !q.fits_in(side) {
+            return Err(SfcError::PointOutOfBounds {
+                point: Point::new(q.hi()).to_string(),
+                side,
+            });
+        }
+        let ranges = coalesce_ranges(&cluster_ranges(&self.curve, q), max_gap);
+        self.tree.reset_leaf_visits();
+        let mut records = Vec::new();
+        let mut touched = 0u64;
+        for &(lo, hi) in &ranges {
+            for (_, rec) in self.tree.range(lo, hi) {
+                touched += 1;
+                if q.contains(rec.point) {
+                    records.push(rec.clone());
+                }
+            }
+        }
+        let io = IoStats {
+            seeks: ranges.len() as u64,
+            pages: self.tree.leaf_visits(),
+            entries: touched,
+        };
+        Ok(QueryResult {
+            records,
+            ranges_scanned: ranges.len() as u64,
+            io,
+        })
+    }
+
+    /// The `k` records nearest to `center` in Euclidean distance — the
+    /// "multi-dimensional similarity searching" application of §I.
+    ///
+    /// Works by querying expanding Chebyshev windows around `center`
+    /// (radius doubling each round): once at least `k` hits lie within
+    /// Euclidean distance `r` of the center, no record outside the window
+    /// can be closer. Returns `(record, squared distance)` pairs sorted by
+    /// distance (ties broken by curve key order), with fewer than `k`
+    /// entries only if the table is smaller than `k`.
+    pub fn knn(&self, center: Point<D>, k: usize) -> Result<Vec<(Record<D, V>, u64)>, SfcError> {
+        let side = self.curve.universe().side();
+        if !self.curve.universe().contains(center) {
+            return Err(SfcError::PointOutOfBounds {
+                point: center.to_string(),
+                side,
+            });
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let dist2 = |p: Point<D>| -> u64 {
+            (0..D)
+                .map(|d| {
+                    let delta = u64::from(p.0[d].abs_diff(center.0[d]));
+                    delta * delta
+                })
+                .sum()
+        };
+        let mut radius = 1u32;
+        loop {
+            let lo: [u32; D] = std::array::from_fn(|d| center.0[d].saturating_sub(radius));
+            let len: [u32; D] =
+                std::array::from_fn(|d| (center.0[d] + radius).min(side - 1) - lo[d] + 1);
+            let window = RectQuery::new(lo, len).expect("window is non-degenerate");
+            let res = self.query_rect(&window)?;
+            let mut hits: Vec<(Record<D, V>, u64)> = res
+                .records
+                .into_iter()
+                .map(|r| {
+                    let d2 = dist2(r.point);
+                    (r, d2)
+                })
+                .collect();
+            hits.sort_by_key(|&(_, d2)| d2);
+            let safe = u64::from(radius) * u64::from(radius);
+            let certain = hits.iter().take(k).filter(|&&(_, d2)| d2 <= safe).count();
+            let window_is_whole_universe = len.iter().all(|&l| l == side);
+            if certain >= k || window_is_whole_universe {
+                hits.truncate(k);
+                return Ok(hits);
+            }
+            radius = radius.saturating_mul(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::Onion2D;
+
+    fn table() -> SfcTable<Onion2D, u32, 2> {
+        let curve = Onion2D::new(16).unwrap();
+        let mut records = Vec::new();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                records.push((Point::new([x, y]), x * 100 + y));
+            }
+        }
+        SfcTable::build(curve, records, DiskModel::hdd()).unwrap()
+    }
+
+    #[test]
+    fn build_and_point_lookup() {
+        let t = table();
+        assert_eq!(t.len(), 256);
+        assert_eq!(t.get(Point::new([3, 7])).unwrap(), Some(&307));
+        assert_eq!(
+            t.get(Point::new([20, 0])),
+            Err(SfcError::PointOutOfBounds {
+                point: "(20, 0)".into(),
+                side: 16
+            })
+        );
+    }
+
+    #[test]
+    fn rect_query_returns_exactly_the_rect() {
+        let t = table();
+        let q = RectQuery::new([2, 3], [5, 4]).unwrap();
+        let res = t.query_rect(&q).unwrap();
+        assert_eq!(res.records.len() as u64, q.volume());
+        assert!(res.records.iter().all(|r| q.contains(r.point)));
+        // Seeks equal the clustering number of the query.
+        let expected = sfc_clustering::clustering_number(t.curve(), &q);
+        assert_eq!(res.ranges_scanned, expected);
+        assert_eq!(res.io.seeks, expected);
+        assert_eq!(res.io.entries, q.volume());
+        assert!(res.io.pages >= expected, "each range touches >= 1 page");
+    }
+
+    #[test]
+    fn incremental_inserts_match_bulk_build() {
+        let curve = Onion2D::new(16).unwrap();
+        let mut incremental: SfcTable<Onion2D, u32, 2> =
+            SfcTable::new(curve, DiskModel::ssd());
+        for x in (0..16u32).rev() {
+            for y in 0..16u32 {
+                incremental.insert(Point::new([x, y]), x * 100 + y).unwrap();
+            }
+        }
+        let bulk = table();
+        let q = RectQuery::new([4, 4], [7, 9]).unwrap();
+        let mut a: Vec<u32> = incremental
+            .query_rect(&q)
+            .unwrap()
+            .records
+            .iter()
+            .map(|r| r.value)
+            .collect();
+        let mut b: Vec<u32> = bulk
+            .query_rect(&q)
+            .unwrap()
+            .records
+            .iter()
+            .map(|r| r.value)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(incremental.len(), 256);
+    }
+
+    #[test]
+    fn insert_rejects_out_of_bounds() {
+        let curve = Onion2D::new(8).unwrap();
+        let mut t: SfcTable<Onion2D, u32, 2> = SfcTable::new(curve, DiskModel::hdd());
+        assert!(t.insert(Point::new([8, 0]), 1).is_err());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sparse_table_returns_subset() {
+        let curve = Onion2D::new(16).unwrap();
+        let records = vec![
+            (Point::new([0, 0]), 1u32),
+            (Point::new([5, 5]), 2),
+            (Point::new([15, 15]), 3),
+            (Point::new([5, 6]), 4),
+        ];
+        let t = SfcTable::build(curve, records, DiskModel::ssd()).unwrap();
+        let q = RectQuery::new([4, 4], [4, 4]).unwrap();
+        let res = t.query_rect(&q).unwrap();
+        let mut vals: Vec<u32> = res.records.iter().map(|r| r.value).collect();
+        vals.sort();
+        assert_eq!(vals, vec![2, 4]);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_build() {
+        let curve = Onion2D::new(8).unwrap();
+        let res = SfcTable::build(curve, vec![(Point::new([8, 0]), 0u32)], DiskModel::hdd());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn full_universe_query_is_one_seek() {
+        let t = table();
+        let q = RectQuery::new([0, 0], [16, 16]).unwrap();
+        let res = t.query_rect(&q).unwrap();
+        assert_eq!(res.ranges_scanned, 1);
+        assert_eq!(res.io.seeks, 1);
+        assert_eq!(res.records.len(), 256);
+    }
+
+    #[test]
+    fn simulated_time_uses_model() {
+        let t = table();
+        let q = RectQuery::new([1, 1], [6, 6]).unwrap();
+        let res = t.query_rect(&q).unwrap();
+        let time = res.io.time_us(t.model());
+        assert!(time > 0.0);
+    }
+
+    #[test]
+    fn coalesced_query_returns_same_records_with_fewer_seeks() {
+        let t = table();
+        let q = RectQuery::new([2, 2], [10, 5]).unwrap();
+        let exact = t.query_rect(&q).unwrap();
+        let merged = t.query_rect_coalesced(&q, 16).unwrap();
+        let key = |r: &Record<2, u32>| (r.point, r.value);
+        let mut a: Vec<_> = exact.records.iter().map(key).collect();
+        let mut b: Vec<_> = merged.records.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "coalescing must not change the result set");
+        assert!(merged.io.seeks <= exact.io.seeks);
+        assert!(merged.io.entries >= exact.io.entries, "read amplification");
+        // An unbounded gap merges everything into one seek.
+        let one = t.query_rect_coalesced(&q, u64::MAX).unwrap();
+        assert_eq!(one.io.seeks, 1);
+    }
+
+    #[test]
+    fn knn_matches_bruteforce() {
+        let t = table();
+        for center in [Point::new([0, 0]), Point::new([8, 8]), Point::new([15, 3])] {
+            for k in [1usize, 4, 10] {
+                let got = t.knn(center, k).unwrap();
+                assert_eq!(got.len(), k);
+                // Brute force distances over the dense grid.
+                let mut all: Vec<u64> = (0..16u32)
+                    .flat_map(|x| (0..16u32).map(move |y| (x, y)))
+                    .map(|(x, y)| {
+                        let dx = u64::from(x.abs_diff(center.0[0]));
+                        let dy = u64::from(y.abs_diff(center.0[1]));
+                        dx * dx + dy * dy
+                    })
+                    .collect();
+                all.sort_unstable();
+                let expect: Vec<u64> = all.into_iter().take(k).collect();
+                let got_d: Vec<u64> = got.iter().map(|&(_, d2)| d2).collect();
+                assert_eq!(got_d, expect, "center {center} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_on_sparse_table() {
+        let curve = Onion2D::new(64).unwrap();
+        let records = vec![
+            (Point::new([1, 1]), 0u32),
+            (Point::new([60, 60]), 1),
+            (Point::new([10, 12]), 2),
+            (Point::new([11, 12]), 3),
+        ];
+        let t = SfcTable::build(curve, records, DiskModel::ssd()).unwrap();
+        let got = t.knn(Point::new([10, 10]), 2).unwrap();
+        let vals: Vec<u32> = got.iter().map(|(r, _)| r.value).collect();
+        assert_eq!(vals, vec![2, 3]);
+        // Asking for more neighbors than records returns all of them.
+        let all = t.knn(Point::new([10, 10]), 99).unwrap();
+        assert_eq!(all.len(), 4);
+        // k = 0 is a no-op.
+        assert!(t.knn(Point::new([1, 1]), 0).unwrap().is_empty());
+        // Out-of-bounds centers are rejected.
+        assert!(t.knn(Point::new([64, 0]), 1).is_err());
+    }
+}

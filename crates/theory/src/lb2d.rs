@@ -1,0 +1,202 @@
+//! Lower bounds on two-dimensional clustering: Lemmas 7–8 and Theorems 2–3
+//! of the paper.
+
+/// Lemma 7's `τ(k, ℓ) = min(k + 1, ℓ, 2m + 1 − ℓ)` (with `2m = side`).
+#[inline]
+fn tau(side: u32, k: u32, l: u32) -> u64 {
+    u64::from(k + 1)
+        .min(u64::from(l))
+        .min(u64::from(side) + 1 - u64::from(l))
+}
+
+/// Lemma 7's `h1(t, ℓ)`: 1 if `t ≤ ℓ − 1`, else 2.
+#[inline]
+fn h1(t: u32, l: u32) -> u64 {
+    if t < l {
+        1
+    } else {
+        2
+    }
+}
+
+/// Lemma 7's `h2(t, ℓ)`: 1 if `t ≤ side − ℓ`, else 0.
+#[inline]
+fn h2(side: u32, t: u32, l: u32) -> u64 {
+    if t <= side - l {
+        1
+    } else {
+        0
+    }
+}
+
+/// Lemma 7: the minimum neighboring crossing number `λ(i, j)` for a cell in
+/// the lower-left quadrant (`0 ≤ i, j ≤ m−1`) of an even-sided universe,
+/// for the translation set of an `ℓ1 × ℓ2` rectangle with `ℓ1 ≤ ℓ2` and
+/// either `ℓ2 ≤ m` or `ℓ1 > m`.
+pub fn lemma7_lambda(side: u32, l1: u32, l2: u32, i: u32, j: u32) -> u64 {
+    let m = side / 2;
+    debug_assert!(side % 2 == 0 && i < m && j < m);
+    debug_assert!(l1 <= l2);
+    if l2 <= m {
+        (h1(i, l1) * tau(side, j, l2)).min(h1(j, l2) * tau(side, i, l1))
+    } else {
+        debug_assert!(l1 > m, "Lemma 7 covers ℓ2 ≤ m or ℓ1 > m only");
+        (h2(side, i, l1) * tau(side, j, l2)).min(h2(side, j, l2) * tau(side, i, l1))
+    }
+}
+
+/// Lemma 8: the closed form of `T = Σ_{i,j} λ(i, j)` over the whole
+/// universe, for `ℓ1 ≤ ℓ2` with `ℓ2 ≤ m` or `ℓ1 > m`.
+///
+/// The paper's expression is asymptotic: it deviates from the direct
+/// summation of Lemma 7 (and from the numeric `TranslationSet::lambda_sum`)
+/// by `O(side)` boundary terms, which the theorems absorb into their `ε`
+/// slack. The tests here pin that deviation to a linear envelope; the
+/// workspace integration tests compare against the numeric machinery.
+pub fn lemma8_t(side: u32, l1: u32, l2: u32) -> f64 {
+    assert!(side % 2 == 0, "Lemma 8 assumes an even side");
+    assert!(l1 >= 1 && l2 >= 1 && l1 <= l2 && l2 <= side);
+    let m = f64::from(side) / 2.0;
+    let (l1f, l2f) = (f64::from(l1), f64::from(l2));
+    if l2f <= m {
+        if 2.0 * l1f <= l2f {
+            // Case ℓ1 ≤ ℓ2/2.
+            4.0 * (l1f / 6.0 - l1f.powi(2) / 2.0 + l1f.powi(3) / 12.0 - l1f * l2f / 2.0
+                + l1f.powi(2) * l2f / 2.0
+                + 1.5 * l1f * m
+                - 1.25 * l1f.powi(2) * m
+                - l1f * l2f * m
+                + 2.0 * l1f * m * m)
+        } else {
+            // Case ℓ1 > ℓ2/2.
+            4.0 * (l1f / 6.0 - l1f.powi(2) / 2.0
+                + l1f.powi(3) / 12.0
+                + l1f * l2f / 2.0
+                + 1.5 * l1f.powi(2) * l2f
+                - l2f.powi(2) / 2.0
+                - l1f * l2f.powi(2)
+                + l2f.powi(3) / 4.0
+                + l1f * m / 2.0
+                - 2.25 * l1f.powi(2) * m
+                + l2f * m / 2.0
+                - l2f.powi(2) * m / 4.0
+                + 2.0 * l1f * m * m)
+        }
+    } else {
+        assert!(l1f > m, "Lemma 8 covers ℓ2 ≤ m or ℓ1 > m only");
+        let s = f64::from(side);
+        let big_l1 = s - l1f + 1.0;
+        let big_l2 = s - l2f + 1.0;
+        (2.0 / 3.0) * (1.0 + 3.0 * big_l1 - big_l2) * big_l2 * (1.0 + big_l2)
+    }
+}
+
+/// Theorem 2: lower bound on the average clustering number of any
+/// *continuous* SFC for the translation set of an `ℓ1 × ℓ2` rectangle:
+/// `LB = T / (2|Q|) − ε` with `0 ≤ ε ≤ 1`; we return the main term
+/// `T / (2|Q|)`.
+pub fn continuous_lower_bound_2d(side: u32, l1: u32, l2: u32) -> f64 {
+    let (l1, l2) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+    let s = f64::from(side);
+    let q = (s - f64::from(l1) + 1.0) * (s - f64::from(l2) + 1.0);
+    lemma8_t(side, l1, l2) / (2.0 * q)
+}
+
+/// Theorem 3: lower bound for an *arbitrary* SFC — half the continuous
+/// bound.
+pub fn general_lower_bound_2d(side: u32, l1: u32, l2: u32) -> f64 {
+    0.5 * continuous_lower_bound_2d(side, l1, l2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force T from Lemma 7 plus the four-fold symmetry of §V-A.
+    fn t_from_lemma7(side: u32, l1: u32, l2: u32) -> u64 {
+        let m = side / 2;
+        let mut total = 0u64;
+        for i in 0..side {
+            for j in 0..side {
+                // Map to the canonical quadrant by symmetry.
+                let ci = i.min(side - 1 - i);
+                let cj = j.min(side - 1 - j);
+                let _ = m;
+                total += lemma7_lambda(side, l1, l2, ci, cj);
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn lemma8_tracks_lemma7_summation_small_shapes() {
+        // The closed form is asymptotic: allow the paper's O(side)
+        // boundary-term slack, which shrinks relative to T as sizes grow.
+        for side in [8u32, 12, 16, 32] {
+            let m = side / 2;
+            for l1 in 1..=m {
+                for l2 in l1..=m {
+                    let closed = lemma8_t(side, l1, l2);
+                    let brute = t_from_lemma7(side, l1, l2) as f64;
+                    let slack = 8.0 * f64::from(side) * f64::from(l1.min(8));
+                    assert!(
+                        (closed - brute).abs() <= slack,
+                        "side {side} l1 {l1} l2 {l2}: closed {closed} vs brute {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma8_tracks_lemma7_summation_large_shapes() {
+        for side in [8u32, 12, 16] {
+            let m = side / 2;
+            for l1 in m + 1..=side {
+                for l2 in l1..=side {
+                    let closed = lemma8_t(side, l1, l2);
+                    let brute = t_from_lemma7(side, l1, l2) as f64;
+                    let slack = 8.0 * f64::from(side);
+                    assert!(
+                        (closed - brute).abs() <= slack,
+                        "side {side} l1 {l1} l2 {l2}: closed {closed} vs brute {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma8_relative_error_vanishes_at_scale() {
+        // At side 256 the closed form and the quadrant summation agree to
+        // within a few percent across the ℓ ≤ m regime.
+        let side = 256u32;
+        for (l1, l2) in [(16u32, 16u32), (16, 64), (64, 64), (32, 128), (128, 128)] {
+            let closed = lemma8_t(side, l1, l2);
+            let brute = t_from_lemma7(side, l1, l2) as f64;
+            let rel = (closed - brute).abs() / brute;
+            assert!(
+                rel < 0.05,
+                "side {side} l1 {l1} l2 {l2}: rel err {rel:.4} (closed {closed}, brute {brute})"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_orderings() {
+        // General bound is half the continuous one.
+        let c = continuous_lower_bound_2d(64, 10, 12);
+        let g = general_lower_bound_2d(64, 10, 12);
+        assert!((g - 0.5 * c).abs() < 1e-12);
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn small_cube_bound_is_about_l() {
+        // For ℓ ≪ side the continuous bound approaches ℓ (the optimum for
+        // constant-size cubes — Table II, µ = 0 row has η = 1, and the onion
+        // average is ≈ ℓ).
+        let lb = continuous_lower_bound_2d(1 << 10, 8, 8);
+        assert!((lb - 8.0).abs() < 0.5, "lb = {lb}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Theorems 5 and 6: lower bounds on three-dimensional clustering for cube
+//! query sets.
+
+/// Theorem 5: lower bound on the average clustering number of any
+/// *continuous* SFC for the translation set of an `ℓ³` cube
+/// (`L = side − ℓ + 1`, `m = side/2`):
+///
+/// * `2 ≤ ℓ ≤ m`: `LB = ℓ² + (1/L³)[(29/40)ℓ⁵ + (15/8)mℓ⁴ − 3m²ℓ³] + o(ℓ²)`;
+/// * `ℓ > m`: `LB = (3/5)L² − (3/2)L + ε`, `0 ≤ ε ≤ 1`.
+///
+/// The bracket reproduces the paper's case-III ratio algebra exactly: with
+/// `ℓ = 2φm` it yields `η(Q,O) = 2 + (3/4)φ(1/2−φ)(4+3φ) /
+/// [(1−φ)³ + (φ/40)(29φ² + (75/2)φ − 30)]`, which peaks at 3.4 for
+/// φ = 0.3967 — the paper's headline 3D constant (verified in
+/// [`crate::ratios`] tests).
+pub fn continuous_lower_bound_3d(side: u32, l: u32) -> f64 {
+    assert!(l >= 1 && l <= side);
+    let s = f64::from(side);
+    let m = s / 2.0;
+    let lf = f64::from(l);
+    let big_l = s - lf + 1.0;
+    if 2.0 * lf <= s {
+        lf * lf
+            + ((29.0 / 40.0) * lf.powi(5) + (15.0 / 8.0) * m * lf.powi(4)
+                - 3.0 * m * m * lf.powi(3))
+                / big_l.powi(3)
+    } else {
+        0.6 * big_l * big_l - 1.5 * big_l
+    }
+}
+
+/// Theorem 6: lower bound for an *arbitrary* 3D SFC — half the continuous
+/// bound (up to the paper's `|ε| ≤ 2`).
+pub fn general_lower_bound_3d(side: u32, l: u32) -> f64 {
+    0.5 * continuous_lower_bound_3d(side, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onion3d::onion3d_average_clustering;
+
+    #[test]
+    fn small_cube_bound_is_about_l_squared() {
+        let lb = continuous_lower_bound_3d(512, 4);
+        assert!((lb - 16.0).abs() < 1.0, "lb = {lb}");
+    }
+
+    #[test]
+    fn bound_stays_below_onion_average() {
+        // The onion curve is a continuous-ish curve achieving within 2× of
+        // this bound; the bound must not exceed the onion's average (up to
+        // the error bars).
+        for l in [8u32, 32, 100, 200, 256, 300, 400, 500] {
+            let lb = continuous_lower_bound_3d(512, l);
+            let onion = onion3d_average_clustering(512, l);
+            assert!(
+                lb <= onion.value + onion.abs_err + 1.0,
+                "l={l}: LB {lb} vs onion {}",
+                onion.value
+            );
+        }
+    }
+
+    #[test]
+    fn near_full_cube_bound_is_constant_in_side() {
+        let a = continuous_lower_bound_3d(512, 512 - 9);
+        let b = continuous_lower_bound_3d(2048, 2048 - 9);
+        assert_eq!(a, b);
+        assert!((a - (0.6 * 100.0 - 15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn general_is_half_continuous() {
+        assert_eq!(
+            general_lower_bound_3d(128, 40),
+            0.5 * continuous_lower_bound_3d(128, 40)
+        );
+    }
+}

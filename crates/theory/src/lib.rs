@@ -1,0 +1,73 @@
+//! # sfc-theory
+//!
+//! The closed-form results of the Onion Curve paper, as executable
+//! formulas:
+//!
+//! * **Theorem 1** ([`onion2d_average_clustering`]) — the 2D onion curve's
+//!   exact average clustering, with the paper's error bars;
+//! * **Lemmas 7–8, Theorems 2–3** ([`lemma7_lambda`], [`lemma8_t`],
+//!   [`continuous_lower_bound_2d`], [`general_lower_bound_2d`]) — 2D lower
+//!   bounds for continuous and arbitrary SFCs;
+//! * **Theorem 4** ([`onion3d_average_clustering`]) — 3D onion upper bound;
+//! * **Theorems 5–6** ([`continuous_lower_bound_3d`],
+//!   [`general_lower_bound_3d`]) — 3D lower bounds;
+//! * **Table II** ([`ratios`]) — approximation-ratio case formulas, whose
+//!   maxima reproduce the paper's headline constants **2.32** (2D) and
+//!   **3.4** (3D).
+//!
+//! Everything here is pure arithmetic (no dependencies); the workspace's
+//! integration tests check these formulas against the *measured* clustering
+//! numbers produced by `sfc-clustering`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod lb2d;
+mod lb3d;
+mod onion2d;
+mod onion3d;
+pub mod ratios;
+
+pub use lb2d::{continuous_lower_bound_2d, general_lower_bound_2d, lemma7_lambda, lemma8_t};
+pub use lb3d::{continuous_lower_bound_3d, general_lower_bound_3d};
+pub use onion2d::onion2d_average_clustering;
+pub use onion3d::onion3d_average_clustering;
+pub use ratios::{
+    eta_onion_2d_case2, eta_onion_2d_case3, eta_onion_2d_case4, eta_onion_2d_case5,
+    eta_onion_3d_case3, eta_onion_3d_case5, fit_power_law, grid_max, hilbert_growth_exponent,
+    ETA_2D_CUBE_BOUND, ETA_3D_CUBE_BOUND,
+};
+
+/// A value with an explicit absolute-error bar, as stated by the paper's
+/// theorems (e.g. Theorem 1's `|ε1| ≤ 5`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Approx {
+    /// Main term.
+    pub value: f64,
+    /// Bound on the absolute error of `value`.
+    pub abs_err: f64,
+}
+
+impl Approx {
+    /// Whether `observed` is consistent with this approximation, up to an
+    /// extra slack.
+    pub fn contains(&self, observed: f64, slack: f64) -> bool {
+        (observed - self.value).abs() <= self.abs_err + slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_contains_respects_error_bar() {
+        let a = Approx {
+            value: 10.0,
+            abs_err: 2.0,
+        };
+        assert!(a.contains(11.9, 0.0));
+        assert!(!a.contains(12.1, 0.0));
+        assert!(a.contains(12.1, 0.5));
+    }
+}

@@ -1,0 +1,91 @@
+//! Theorem 1: the average clustering number of the two-dimensional onion
+//! curve over all translations of an `ℓ1 × ℓ2` rectangle.
+
+use crate::Approx;
+
+/// Theorem 1 of the paper. `side` is `√n` (assumed even in the paper),
+/// `m = side/2`, `L_i = side − ℓ_i + 1`. The result carries the paper's
+/// explicit error bars (`|ε1| ≤ 5`, `|ε2| ≤ 2`).
+///
+/// The case `ℓ1 ≤ m < ℓ2` is not covered by the theorem's two cases; the
+/// paper's remark approximates it by the cube `ℓ1 = ℓ2 = m` (`c ≈ 2m/3`),
+/// with an extra error proportional to the constant side adjustments. We
+/// return that approximation with a correspondingly padded error bar.
+///
+/// Arguments are symmetric: `ℓ1` and `ℓ2` are sorted internally (the onion
+/// curve is almost symmetric in its two dimensions — footnote †).
+pub fn onion2d_average_clustering(side: u32, l1: u32, l2: u32) -> Approx {
+    assert!(l1 >= 1 && l2 >= 1 && l1 <= side && l2 <= side);
+    let (l1, l2) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+    let s = f64::from(side);
+    let m = s / 2.0;
+    let (l1f, l2f) = (f64::from(l1), f64::from(l2));
+    let (big_l1, big_l2) = (s - l1f + 1.0, s - l2f + 1.0);
+    if l2f <= m {
+        // Case 1: ℓ2 ≤ m.
+        let bracket = (2.0 / 3.0) * l2f.powi(3) - 3.5 * l1f * l2f.powi(2)
+            + 2.5 * l1f.powi(2) * l2f
+            - m * (l2f - l1f) * (l2f - 3.0 * l1f);
+        Approx {
+            value: 0.5 * (l1f + l2f) + bracket / (big_l1 * big_l2),
+            abs_err: 5.0,
+        }
+    } else if l1f > m {
+        // Case 2: m < ℓ1.
+        Approx {
+            value: big_l1 - big_l2 + (2.0 / 3.0) * big_l2 * big_l2 / big_l1 + 2.0,
+            abs_err: 2.0,
+        }
+    } else {
+        // Gap case ℓ1 ≤ m < ℓ2: the paper's remark — approximate by the
+        // cube ℓ1 = ℓ2 = m, c(Q', O) ~ 2m/3, with O(1) slack per unit of
+        // side adjustment.
+        Approx {
+            value: 2.0 * m / 3.0,
+            abs_err: (l2f - l1f) + 5.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cube_is_about_l() {
+        // For ℓ1 = ℓ2 = ℓ ≪ side, c ≈ ℓ (plus lower-order terms).
+        let a = onion2d_average_clustering(1024, 8, 8);
+        assert!((a.value - 8.0).abs() < 1.0 + a.abs_err, "{}", a.value);
+    }
+
+    #[test]
+    fn near_full_cube_is_two_thirds_l() {
+        // §IV: for ℓ = side − O(1), the onion average is at most 2L/3 + 2.
+        let side = 1024;
+        let l = side - 9; // L = 10
+        let a = onion2d_average_clustering(side, l, l);
+        let expect = 2.0 * 10.0 / 3.0;
+        assert!((a.value - 2.0 - expect).abs() < 1e-9, "{}", a.value);
+    }
+
+    #[test]
+    fn arguments_are_symmetric() {
+        let a = onion2d_average_clustering(256, 20, 90);
+        let b = onion2d_average_clustering(256, 90, 20);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn gap_case_uses_remark() {
+        let side = 256;
+        let a = onion2d_average_clustering(side, 100, 200);
+        assert!((a.value - 2.0 * 128.0 / 3.0).abs() < 1e-9);
+        assert!(a.abs_err > 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_length() {
+        onion2d_average_clustering(16, 0, 4);
+    }
+}

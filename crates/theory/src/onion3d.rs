@@ -1,0 +1,59 @@
+//! Theorem 4: upper bounds on the average clustering number of the
+//! three-dimensional onion curve for cube query sets.
+
+use crate::Approx;
+
+/// Theorem 4 of the paper, for the translation set of an `ℓ³` cube in a
+/// `side³` universe (`L = side − ℓ + 1`):
+///
+/// * `ℓ ≤ side/2`: `c(Q, O) = ℓ² − (2/5) ℓ⁵ / L³ + o(ℓ²)`;
+/// * `ℓ > side/2`: `c(Q, O) ≤ (3/5) L² + (13/4) L − 13/6`.
+///
+/// The `o(ℓ²)` term is not given explicitly by the paper; the returned
+/// error bar is a heuristic lower-order allowance (`4ℓ^{3/2} + 8`) that the
+/// reproduction experiments validate empirically.
+pub fn onion3d_average_clustering(side: u32, l: u32) -> Approx {
+    assert!(l >= 1 && l <= side);
+    let s = f64::from(side);
+    let lf = f64::from(l);
+    let big_l = s - lf + 1.0;
+    if 2.0 * lf <= s {
+        Approx {
+            value: lf * lf - 0.4 * lf.powi(5) / big_l.powi(3),
+            abs_err: 4.0 * lf.powf(1.5) + 8.0,
+        }
+    } else {
+        Approx {
+            value: 0.6 * big_l * big_l + 3.25 * big_l - 13.0 / 6.0,
+            abs_err: 0.0, // stated as an upper bound, not an estimate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cube_is_about_l_squared() {
+        // Moon et al. asymptotics: surface / (2d) = 6ℓ²/6 = ℓ².
+        let a = onion3d_average_clustering(512, 4);
+        assert!((a.value - 16.0).abs() < 1.0, "{}", a.value);
+    }
+
+    #[test]
+    fn near_full_cube_is_constant_in_side() {
+        // For ℓ = side − c the bound depends only on L = c + 1.
+        let a = onion3d_average_clustering(512, 512 - 9);
+        let b = onion3d_average_clustering(1024, 1024 - 9);
+        assert_eq!(a.value, b.value);
+        assert!(a.value < 100.0);
+    }
+
+    #[test]
+    fn upper_branch_formula() {
+        let big_l = 10.0_f64;
+        let a = onion3d_average_clustering(512, 512 - 9);
+        assert!((a.value - (0.6 * big_l * big_l + 3.25 * big_l - 13.0 / 6.0)).abs() < 1e-9);
+    }
+}

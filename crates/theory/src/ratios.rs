@@ -1,0 +1,159 @@
+//! Table II of the paper: approximation-ratio formulas `η(Q, O)` of the
+//! onion curve for near-cube query families, parameterized by
+//! `ℓ_i = φ_i (d√n)^µ + ψ_i`.
+
+/// Case III, d = 2 (`µ = 1`, `φ1 = φ2 = φ ≤ 1/2`):
+/// `η(φ) = 2 (1 + φ(1/2 − φ) / (1 − (5/2)φ + (5/3)φ²))`.
+pub fn eta_onion_2d_case3(phi: f64) -> f64 {
+    assert!(phi > 0.0 && phi <= 0.5);
+    2.0 * (1.0 + phi * (0.5 - phi) / (1.0 - 2.5 * phi + (5.0 / 3.0) * phi * phi))
+}
+
+/// Case IV, d = 2 (`µ = 1`, `1/2 < φ1 ≤ φ2 < 1`):
+/// `η ≤ 2 + 3 ((φ2 − φ1)/(1 − φ2))²`.
+pub fn eta_onion_2d_case4(phi1: f64, phi2: f64) -> f64 {
+    assert!(0.5 < phi1 && phi1 <= phi2 && phi2 < 1.0);
+    2.0 + 3.0 * ((phi2 - phi1) / (1.0 - phi2)).powi(2)
+}
+
+/// Case V, d = 2 (`µ = 1`, `φ = 1`, `ψ1 ≤ ψ2 ≤ 0`):
+/// `η ≤ 2 + 3 ((ψ2 − ψ1)/(1 − ψ2))²`.
+pub fn eta_onion_2d_case5(psi1: f64, psi2: f64) -> f64 {
+    assert!(psi1 <= psi2 && psi2 <= 0.0);
+    2.0 + 3.0 * ((psi2 - psi1) / (1.0 - psi2)).powi(2)
+}
+
+/// Case II, d = 2 (`0 < µ < 1`): `η ≤ 1 + φ2/φ1`.
+pub fn eta_onion_2d_case2(phi1: f64, phi2: f64) -> f64 {
+    assert!(phi1 > 0.0 && phi2 >= phi1);
+    1.0 + phi2 / phi1
+}
+
+/// Case III, d = 3 (`µ = 1`, `φ ≤ 1/2`):
+/// `η(φ) = 2 + (3/4)φ(1/2 − φ)(4 + 3φ) /
+///          [(1 − φ)³ + (φ/40)(29φ² + (75/2)φ − 30)]`.
+pub fn eta_onion_3d_case3(phi: f64) -> f64 {
+    assert!(phi > 0.0 && phi <= 0.5);
+    let num = 0.75 * phi * (0.5 - phi) * (4.0 + 3.0 * phi);
+    let den = (1.0 - phi).powi(3) + (phi / 40.0) * (29.0 * phi * phi + 37.5 * phi - 30.0);
+    2.0 + num / den
+}
+
+/// Case V, d = 3 (`µ = 1`, `φ = 1`, `ψ ≤ 0`):
+/// `η ≤ 2 + (95/6) / (−ψ − 3/2)`.
+pub fn eta_onion_3d_case5(psi: f64) -> f64 {
+    assert!(psi < -1.5, "formula requires L − 5/2 > 0");
+    2.0 + (95.0 / 6.0) / (-psi - 1.5)
+}
+
+/// The paper's headline 2D constant: `max_φ η_2D(φ) ≤ 2.32`.
+pub const ETA_2D_CUBE_BOUND: f64 = 2.32;
+
+/// The paper's headline 3D constant: `max_φ η_3D(φ) ≤ 3.4`.
+pub const ETA_3D_CUBE_BOUND: f64 = 3.4;
+
+/// Maximizes a unimodal-ish function on `[lo, hi]` by dense grid search
+/// (used to verify the paper's maxima; precision ~1e-6 on φ).
+pub fn grid_max(lo: f64, hi: f64, steps: usize, f: impl Fn(f64) -> f64) -> (f64, f64) {
+    let mut best_x = lo;
+    let mut best = f64::NEG_INFINITY;
+    for i in 0..=steps {
+        let x = lo + (hi - lo) * i as f64 / steps as f64;
+        let v = f(x);
+        if v > best {
+            best = v;
+            best_x = x;
+        }
+    }
+    (best_x, best)
+}
+
+/// Lemma 5's growth model for the Hilbert curve on near-full cubes:
+/// `c(Q, H) = Ω(n^{(d−1)/d})`, i.e. exponent `(d−1)/d` in the universe
+/// size `n`.
+pub fn hilbert_growth_exponent(d: u32) -> f64 {
+    assert!(d >= 1);
+    f64::from(d - 1) / f64::from(d)
+}
+
+/// Least-squares power-law fit `y ≈ a · x^b` on log-log scale; returns
+/// `(b, r²)`. Used by the Table I experiment to confirm measured growth
+/// exponents.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let sxy: f64 = lx.iter().zip(&ly).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = lx.iter().map(|&x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ly.iter().map(|&y| (y - my) * (y - my)).sum();
+    let b = sxy / sxx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_2d_peaks_at_2_32_at_phi_0_355() {
+        // The paper: "the rightmost expression achieves its maximum value
+        // 2.32 when φ = 0.355".
+        let (phi, eta) = grid_max(1e-6, 0.5, 2_000_000, eta_onion_2d_case3);
+        assert!((phi - 0.355).abs() < 2e-3, "argmax φ = {phi}");
+        assert!(eta <= ETA_2D_CUBE_BOUND + 5e-4, "max η = {eta}");
+        assert!(eta > 2.31, "max η = {eta}");
+    }
+
+    #[test]
+    fn eta_3d_peaks_at_3_4_at_phi_0_3967() {
+        // The paper: "maximum value of 3.4 when φ = 0.3967".
+        let (phi, eta) = grid_max(1e-6, 0.5, 2_000_000, eta_onion_3d_case3);
+        assert!((phi - 0.3967).abs() < 2e-3, "argmax φ = {phi}");
+        assert!(eta <= ETA_3D_CUBE_BOUND + 2e-2, "max η = {eta}");
+        assert!(eta > 3.35, "max η = {eta}");
+    }
+
+    #[test]
+    fn eta_cases_reduce_to_2_for_equal_phis() {
+        // Table II: the ℓ1 = ℓ2 column is 2 for 0 < µ < 1 and for the
+        // symmetric µ = 1 cases.
+        assert_eq!(eta_onion_2d_case2(0.7, 0.7), 2.0);
+        assert_eq!(eta_onion_2d_case4(0.6, 0.6), 2.0);
+        assert_eq!(eta_onion_2d_case5(-3.0, -3.0), 2.0);
+    }
+
+    #[test]
+    fn eta_3d_case5_is_at_most_3_for_psi_under_minus_20() {
+        // "η(Q,O) ≤ 3 when ψ ≤ −20, i.e. ℓ ≤ 3√n − 20."
+        assert!(eta_onion_3d_case5(-20.0) <= 3.0 + 1e-9);
+        assert!(eta_onion_3d_case5(-100.0) < 2.2);
+    }
+
+    #[test]
+    fn hilbert_exponents() {
+        assert_eq!(hilbert_growth_exponent(2), 0.5);
+        assert!((hilbert_growth_exponent(3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let xs: Vec<f64> = (1..=8).map(|k| f64::from(1 << k)).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x.powf(0.5)).collect();
+        let (b, r2) = fit_power_law(&xs, &ys);
+        assert!((b - 0.5).abs() < 1e-9);
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn power_law_fit_flat_series_has_zero_exponent() {
+        let xs = [16.0, 64.0, 256.0, 1024.0];
+        let ys = [7.0, 7.0, 7.0, 7.0];
+        let (b, _) = fit_power_law(&xs, &ys);
+        assert!(b.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,18 @@
+//! # sfc-workloads
+//!
+//! Deterministic spatial data generators for the index examples and
+//! benchmarks. The Onion Curve paper motivates SFCs with spatial-database
+//! workloads (distributed partitioning, similarity search, load balancing —
+//! §I); these generators synthesize the point sets those applications index.
+//!
+//! All generators take an explicit RNG so every experiment is reproducible
+//! from a seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod points;
+
+pub use points::{
+    clustered_points, diagonal_points, grid_points, hotspot_points, uniform_points, Dataset,
+};

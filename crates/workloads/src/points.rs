@@ -1,0 +1,206 @@
+//! Point-set generators over a `side^D` universe.
+
+use onion_core::Point;
+use rand::Rng;
+
+/// A generated dataset: points plus a human-readable label for reports.
+#[derive(Clone, Debug)]
+pub struct Dataset<const D: usize> {
+    /// Workload name (e.g. `"uniform"`, `"clustered"`).
+    pub name: &'static str,
+    /// The generated points (may contain duplicates, like real data).
+    pub points: Vec<Point<D>>,
+}
+
+/// Uniformly random points.
+pub fn uniform_points<const D: usize, R: Rng>(
+    side: u32,
+    count: usize,
+    rng: &mut R,
+) -> Dataset<D> {
+    let points = (0..count)
+        .map(|_| Point::new(std::array::from_fn(|_| rng.random_range(0..side))))
+        .collect();
+    Dataset {
+        name: "uniform",
+        points,
+    }
+}
+
+/// Gaussian-ish clusters: `centers` random cluster centers, points scattered
+/// around them with standard deviation `spread` (triangular approximation of
+/// a normal via the sum of two uniforms, clamped to the universe).
+pub fn clustered_points<const D: usize, R: Rng>(
+    side: u32,
+    count: usize,
+    centers: usize,
+    spread: u32,
+    rng: &mut R,
+) -> Dataset<D> {
+    assert!(centers >= 1);
+    let cs: Vec<Point<D>> = (0..centers)
+        .map(|_| Point::new(std::array::from_fn(|_| rng.random_range(0..side))))
+        .collect();
+    let points = (0..count)
+        .map(|_| {
+            let c = cs[rng.random_range(0..cs.len())];
+            Point::new(std::array::from_fn(|d| {
+                let offset = i64::from(rng.random_range(0..=spread))
+                    + i64::from(rng.random_range(0..=spread))
+                    - i64::from(spread);
+                (i64::from(c.0[d]) + offset).clamp(0, i64::from(side) - 1) as u32
+            }))
+        })
+        .collect();
+    Dataset {
+        name: "clustered",
+        points,
+    }
+}
+
+/// Points concentrated along the main diagonal, with small perpendicular
+/// jitter — a classic correlated spatial distribution.
+pub fn diagonal_points<const D: usize, R: Rng>(
+    side: u32,
+    count: usize,
+    jitter: u32,
+    rng: &mut R,
+) -> Dataset<D> {
+    let points = (0..count)
+        .map(|_| {
+            let t = rng.random_range(0..side);
+            Point::new(std::array::from_fn(|_| {
+                let offset =
+                    i64::from(rng.random_range(0..=2 * jitter)) - i64::from(jitter);
+                (i64::from(t) + offset).clamp(0, i64::from(side) - 1) as u32
+            }))
+        })
+        .collect();
+    Dataset {
+        name: "diagonal",
+        points,
+    }
+}
+
+/// A regular sub-grid of points with the given stride (fully deterministic;
+/// useful for exact-count assertions in tests).
+pub fn grid_points<const D: usize>(side: u32, stride: u32) -> Dataset<D> {
+    assert!(stride >= 1);
+    let per_dim: Vec<u32> = (0..side).step_by(stride as usize).collect();
+    let mut points = Vec::new();
+    let mut idx = vec![0usize; D];
+    loop {
+        points.push(Point::new(std::array::from_fn(|d| per_dim[idx[d]])));
+        let mut d = 0;
+        loop {
+            if d == D {
+                return Dataset {
+                    name: "grid",
+                    points,
+                };
+            }
+            idx[d] += 1;
+            if idx[d] < per_dim.len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+/// A skewed mixture: `hot_fraction` of the points land inside a small
+/// hotspot square of side `side/8`, the rest are uniform. Models the
+/// hot/cold skew of real spatial workloads.
+pub fn hotspot_points<const D: usize, R: Rng>(
+    side: u32,
+    count: usize,
+    hot_fraction: f64,
+    rng: &mut R,
+) -> Dataset<D> {
+    assert!((0.0..=1.0).contains(&hot_fraction));
+    let hot_side = (side / 8).max(1);
+    let hot_lo: [u32; D] = std::array::from_fn(|_| rng.random_range(0..=side - hot_side));
+    let points = (0..count)
+        .map(|_| {
+            if rng.random_bool(hot_fraction) {
+                Point::new(std::array::from_fn(|d| {
+                    hot_lo[d] + rng.random_range(0..hot_side)
+                }))
+            } else {
+                Point::new(std::array::from_fn(|_| rng.random_range(0..side)))
+            }
+        })
+        .collect();
+    Dataset {
+        name: "hotspot",
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn in_bounds<const D: usize>(ds: &Dataset<D>, side: u32) -> bool {
+        ds.points.iter().all(|p| p.0.iter().all(|&c| c < side))
+    }
+
+    #[test]
+    fn all_generators_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(in_bounds(&uniform_points::<2, _>(64, 500, &mut rng), 64));
+        assert!(in_bounds(
+            &clustered_points::<2, _>(64, 500, 4, 10, &mut rng),
+            64
+        ));
+        assert!(in_bounds(&diagonal_points::<3, _>(64, 500, 5, &mut rng), 64));
+        assert!(in_bounds(
+            &hotspot_points::<2, _>(64, 500, 0.8, &mut rng),
+            64
+        ));
+        assert!(in_bounds(&grid_points::<2>(64, 8), 64));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = uniform_points::<2, _>(128, 100, &mut StdRng::seed_from_u64(9));
+        let b = uniform_points::<2, _>(128, 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.points, b.points);
+        let c = uniform_points::<2, _>(128, 100, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn grid_count_is_exact() {
+        let ds = grid_points::<2>(64, 8);
+        assert_eq!(ds.points.len(), 8 * 8);
+        let ds3 = grid_points::<3>(16, 4);
+        assert_eq!(ds3.points.len(), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn hotspot_concentrates_points() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = hotspot_points::<2, _>(256, 2000, 0.9, &mut rng);
+        // With 90% in a (side/8)² box, some cell region must hold far more
+        // than the uniform share. Count points in the densest 32×32 tile.
+        let mut counts = std::collections::HashMap::new();
+        for p in &ds.points {
+            *counts.entry((p.0[0] / 32, p.0[1] / 32)).or_insert(0u32) += 1;
+        }
+        // The 32×32 hotspot box may straddle up to four 32×32 tiles, but the
+        // densest tile still holds far more than the uniform share (~31).
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 300, "densest tile has {max} of 2000 points");
+    }
+
+    #[test]
+    fn clustered_points_respect_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = clustered_points::<3, _>(128, 321, 5, 6, &mut rng);
+        assert_eq!(ds.points.len(), 321);
+    }
+}

@@ -1,0 +1,42 @@
+//! ASCII gallery of every curve in the workspace: the cell numbering on a
+//! small grid plus continuity/clustering fingerprints side by side.
+//!
+//! Run with `cargo run --release --example curve_gallery`.
+
+use onion_curve::clustering::{clustering_number, RectQuery};
+use onion_curve::{edges, Point, SpaceFillingCurve};
+
+fn print_grid(curve: &dyn SpaceFillingCurve<2>) {
+    let side = curve.universe().side();
+    for y in (0..side).rev() {
+        let mut line = String::new();
+        for x in 0..side {
+            line.push_str(&format!(
+                "{:>4}",
+                curve.index_unchecked(Point::new([x, y]))
+            ));
+        }
+        println!("{line}");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 8u32;
+    // A mid-grid query for the clustering fingerprint.
+    let q = RectQuery::new([2, 3], [4, 3])?;
+
+    for name in onion_curve::baselines::CURVE_NAMES {
+        let curve = onion_curve::baselines::curve_2d(name, side)?;
+        let jumps = edges(&curve).filter(|(a, b)| !a.is_neighbor(b)).count();
+        println!(
+            "\n== {name} (continuous: {}, discontinuities: {jumps}) ==",
+            curve.is_continuous()
+        );
+        print_grid(curve.as_ref());
+        println!(
+            "clusters for the 4x3 query at (2,3): {}",
+            clustering_number(&curve, &q)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! `sfc` — command-line Swiss knife for the workspace's space-filling
+//! curves.
+//!
+//! ```text
+//! sfc index  <curve> <side> <x> <y> [z]        cell -> curve key
+//! sfc point  <curve> <side> <key> [--3d]       curve key -> cell
+//! sfc clusters <curve> <side> <x> <y> <w> <h>  clustering number of a rect
+//! sfc ranges <curve> <side> <x> <y> <w> <h>    the cluster key ranges
+//! sfc grid   <curve> <side>                    ASCII numbering (small grids)
+//! sfc curves                                   list available curves
+//! ```
+
+use onion_curve::baselines::{curve_2d, curve_3d, CURVE_NAMES};
+use onion_curve::clustering::{cluster_ranges, clustering_number, RectQuery};
+use onion_curve::{Point, SpaceFillingCurve};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sfc index  <curve> <side> <x> <y> [z]\n  sfc point  <curve> <side> <key> [--3d]\n  sfc clusters <curve> <side> <x> <y> <w> <h>\n  sfc ranges <curve> <side> <x> <y> <w> <h>\n  sfc grid   <curve> <side>\n  sfc curves"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {what}: {s}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "curves" => {
+            for name in CURVE_NAMES {
+                println!("{name}");
+            }
+        }
+        "index" => {
+            if args.len() == 5 {
+                let curve = build_2d(&args[1], parse(&args[2], "side"));
+                let p = Point::new([parse(&args[3], "x"), parse(&args[4], "y")]);
+                match curve.index_of(p) {
+                    Ok(idx) => println!("{idx}"),
+                    Err(e) => fail(&e),
+                }
+            } else if args.len() == 6 {
+                let curve = build_3d(&args[1], parse(&args[2], "side"));
+                let p = Point::new([
+                    parse(&args[3], "x"),
+                    parse(&args[4], "y"),
+                    parse(&args[5], "z"),
+                ]);
+                match curve.index_of(p) {
+                    Ok(idx) => println!("{idx}"),
+                    Err(e) => fail(&e),
+                }
+            } else {
+                usage();
+            }
+        }
+        "point" => {
+            if args.len() < 4 {
+                usage();
+            }
+            let key: u64 = parse(&args[3], "key");
+            if args.len() == 5 && args[4] == "--3d" {
+                let curve = build_3d(&args[1], parse(&args[2], "side"));
+                match curve.point_of(key) {
+                    Ok(p) => println!("{p}"),
+                    Err(e) => fail(&e),
+                }
+            } else {
+                let curve = build_2d(&args[1], parse(&args[2], "side"));
+                match curve.point_of(key) {
+                    Ok(p) => println!("{p}"),
+                    Err(e) => fail(&e),
+                }
+            }
+        }
+        "clusters" | "ranges" => {
+            if args.len() != 7 {
+                usage();
+            }
+            let curve = build_2d(&args[1], parse(&args[2], "side"));
+            let q = RectQuery::new(
+                [parse(&args[3], "x"), parse(&args[4], "y")],
+                [parse(&args[5], "w"), parse(&args[6], "h")],
+            )
+            .unwrap_or_else(|e| fail(&e));
+            if !q.fits_in(curve.universe().side()) {
+                eprintln!("query does not fit in the universe");
+                exit(1);
+            }
+            if cmd == "clusters" {
+                println!("{}", clustering_number(&curve, &q));
+            } else {
+                for (lo, hi) in cluster_ranges(&curve, &q) {
+                    println!("{lo}..={hi}");
+                }
+            }
+        }
+        "grid" => {
+            if args.len() != 3 {
+                usage();
+            }
+            let side: u32 = parse(&args[2], "side");
+            if side > 32 {
+                eprintln!("grid rendering is limited to side <= 32");
+                exit(1);
+            }
+            let curve = build_2d(&args[1], side);
+            for y in (0..side).rev() {
+                let mut line = String::new();
+                for x in 0..side {
+                    line.push_str(&format!(
+                        "{:>5}",
+                        curve.index_unchecked(Point::new([x, y]))
+                    ));
+                }
+                println!("{line}");
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn build_2d(name: &str, side: u32) -> Box<dyn SpaceFillingCurve<2>> {
+    curve_2d(name, side).unwrap_or_else(|e| fail(&e))
+}
+
+fn build_3d(name: &str, side: u32) -> Box<dyn SpaceFillingCurve<3>> {
+    curve_3d(name, side).unwrap_or_else(|e| fail(&e))
+}
+
+fn fail(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    exit(1);
+}

@@ -1,0 +1,58 @@
+//! # onion-curve
+//!
+//! Facade crate for the Onion Curve workspace — a full reproduction of
+//! *Xu, Nguyen, Tirthapura, "Onion Curve: A Space Filling Curve with
+//! Near-Optimal Clustering"* (ICDE 2018).
+//!
+//! Re-exports the public API of every workspace crate:
+//!
+//! * [`core`](onion_core) — [`Onion2D`], [`Onion3D`], [`OnionNd`], the
+//!   [`SpaceFillingCurve`] trait, points and universes;
+//! * [`baselines`] — Hilbert, Z-order, Gray-code, row/column-major, snake;
+//! * [`clustering`] — clustering numbers, exact averages, query generators;
+//! * [`theory`] — the paper's closed-form bounds (Theorems 1–6);
+//! * [`index`] — an SFC-keyed spatial index with seek accounting;
+//! * [`workloads`] — deterministic spatial data generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use onion_curve::{Onion2D, Point, SpaceFillingCurve};
+//! use onion_curve::clustering::{clustering_number, RectQuery};
+//!
+//! let onion = Onion2D::new(256).unwrap();
+//! let query = RectQuery::new([100, 100], [40, 40]).unwrap();
+//! let clusters = clustering_number(&onion, &query);
+//! assert!(clusters >= 1);
+//! ```
+
+pub use onion_core::{
+    edges, CurveWalk, Onion2D, Onion3D, OnionNd, Point, SfcError, SpaceFillingCurve, Universe,
+};
+
+/// Baseline curves (re-export of `sfc-baselines`).
+pub mod baselines {
+    pub use sfc_baselines::*;
+}
+
+/// Clustering analysis (re-export of `sfc-clustering`).
+pub mod clustering {
+    pub use sfc_clustering::*;
+}
+
+/// Closed-form bounds from the paper (re-export of `sfc-theory`).
+pub mod theory {
+    pub use sfc_theory::*;
+}
+
+/// SFC-backed spatial index (re-export of `sfc-index`).
+pub mod index {
+    pub use sfc_index::*;
+}
+
+/// Spatial data generators (re-export of `sfc-workloads`).
+pub mod workloads {
+    pub use sfc_workloads::*;
+}
+
+pub use sfc_baselines::{GrayCode, Hilbert, Morton, RowMajor, Snake};

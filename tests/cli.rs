@@ -1,0 +1,83 @@
+//! Smoke tests of the `sfc` command-line tool.
+
+use std::process::Command;
+
+fn sfc(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sfc"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn lists_curves() {
+    let (stdout, _, ok) = sfc(&["curves"]);
+    assert!(ok);
+    for name in ["onion", "hilbert", "z-order"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn index_and_point_roundtrip_2d() {
+    let (stdout, _, ok) = sfc(&["index", "onion", "16", "3", "4"]);
+    assert!(ok);
+    let key = stdout.trim().to_string();
+    let (back, _, ok) = sfc(&["point", "onion", "16", &key]);
+    assert!(ok);
+    assert_eq!(back.trim(), "(3, 4)");
+}
+
+#[test]
+fn index_3d() {
+    let (stdout, _, ok) = sfc(&["index", "onion", "8", "0", "0", "0"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "0");
+    let (back, _, ok) = sfc(&["point", "hilbert", "8", "0", "--3d"]);
+    assert!(ok);
+    assert_eq!(back.trim(), "(0, 0, 0)");
+}
+
+#[test]
+fn clusters_and_ranges_are_consistent() {
+    let (count, _, ok) = sfc(&["clusters", "hilbert", "64", "5", "5", "20", "20"]);
+    assert!(ok);
+    let n: usize = count.trim().parse().unwrap();
+    let (ranges, _, ok) = sfc(&["ranges", "hilbert", "64", "5", "5", "20", "20"]);
+    assert!(ok);
+    assert_eq!(ranges.lines().count(), n);
+    // Ranges cover exactly the query volume.
+    let cells: u64 = ranges
+        .lines()
+        .map(|l| {
+            let (lo, hi) = l.split_once("..=").unwrap();
+            hi.parse::<u64>().unwrap() - lo.parse::<u64>().unwrap() + 1
+        })
+        .sum();
+    assert_eq!(cells, 400);
+}
+
+#[test]
+fn grid_renders_small_universe() {
+    let (stdout, _, ok) = sfc(&["grid", "onion", "4"]);
+    assert!(ok);
+    assert_eq!(stdout.lines().count(), 4);
+    assert!(stdout.contains("15"));
+}
+
+#[test]
+fn rejects_bad_input() {
+    let (_, _, ok) = sfc(&["index", "peano", "16", "0", "0"]);
+    assert!(!ok);
+    let (_, _, ok) = sfc(&["index", "onion", "16", "99", "0"]);
+    assert!(!ok);
+    let (_, _, ok) = sfc(&["nonsense"]);
+    assert!(!ok);
+    let (_, _, ok) = sfc(&["clusters", "onion", "16", "10", "10", "10", "10"]);
+    assert!(!ok, "query outside the universe must fail");
+}

@@ -1,0 +1,127 @@
+//! Cross-validation of the clustering algorithms: all methods must agree
+//! with the sort-based reference for every curve and random queries, and
+//! the Lemma 1 exact average must equal the brute-force average.
+
+use onion_curve::baselines::{curve_2d, curve_3d, CURVE_NAMES};
+use onion_curve::clustering::{
+    all_translations, average_clustering_bruteforce, average_clustering_exact, cluster_ranges,
+    clustering_number_with, ClusterMethod, RectQuery,
+};
+use onion_curve::SpaceFillingCurve;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sort, entry-scan and the automatic method agree on every 2D curve.
+    #[test]
+    fn methods_agree_2d(
+        name_idx in 0usize..CURVE_NAMES.len(),
+        x in 0u32..32, y in 0u32..32,
+        w in 1u32..=32, h in 1u32..=32,
+    ) {
+        let side = 32u32;
+        prop_assume!(x + w <= side && y + h <= side);
+        let curve = curve_2d(CURVE_NAMES[name_idx], side).unwrap();
+        let q = RectQuery::new([x, y], [w, h]).unwrap();
+        let reference = clustering_number_with(&curve, &q, ClusterMethod::Sort);
+        prop_assert_eq!(clustering_number_with(&curve, &q, ClusterMethod::EntryScan), reference);
+        prop_assert_eq!(clustering_number_with(&curve, &q, ClusterMethod::Auto), reference);
+        prop_assert_eq!(cluster_ranges(&curve, &q).len() as u64, reference);
+    }
+
+    /// Same in 3D, including the onion curve's jump-target boundary scan.
+    #[test]
+    fn methods_agree_3d(
+        name_idx in 0usize..CURVE_NAMES.len(),
+        lo in prop::array::uniform3(0u32..8),
+        len in prop::array::uniform3(1u32..=8),
+    ) {
+        let side = 8u32;
+        prop_assume!((0..3).all(|d| lo[d] + len[d] <= side));
+        let curve = curve_3d(CURVE_NAMES[name_idx], side).unwrap();
+        let q = RectQuery::new(lo, len).unwrap();
+        let reference = clustering_number_with(&curve, &q, ClusterMethod::Sort);
+        prop_assert_eq!(clustering_number_with(&curve, &q, ClusterMethod::Auto), reference);
+    }
+
+    /// The ranges returned by `cluster_ranges` partition exactly the query.
+    #[test]
+    fn ranges_partition_query(
+        name_idx in 0usize..CURVE_NAMES.len(),
+        x in 0u32..16, y in 0u32..16,
+        w in 1u32..=16, h in 1u32..=16,
+    ) {
+        let side = 16u32;
+        prop_assume!(x + w <= side && y + h <= side);
+        let curve = curve_2d(CURVE_NAMES[name_idx], side).unwrap();
+        let q = RectQuery::new([x, y], [w, h]).unwrap();
+        let ranges = cluster_ranges(&curve, &q);
+        let mut covered = 0u64;
+        let mut prev_hi: Option<u64> = None;
+        for &(lo, hi) in &ranges {
+            prop_assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                prop_assert!(lo > p + 1, "ranges adjacent or out of order");
+            }
+            for idx in lo..=hi {
+                prop_assert!(q.contains(curve.point_unchecked(idx)));
+            }
+            covered += hi - lo + 1;
+            prev_hi = Some(hi);
+        }
+        prop_assert_eq!(covered, q.volume());
+    }
+
+    /// Lemma 1's exact average equals the brute-force average over all
+    /// translations, for any curve (continuity not required).
+    #[test]
+    fn lemma1_exact_average_matches_bruteforce(
+        name_idx in 0usize..CURVE_NAMES.len(),
+        l1 in 1u32..=16, l2 in 1u32..=16,
+    ) {
+        let side = 16u32; // power of two so every curve constructs
+        let curve = curve_2d(CURVE_NAMES[name_idx], side).unwrap();
+        let qs: Vec<RectQuery<2>> = all_translations(side, [l1, l2]).unwrap().collect();
+        let brute = average_clustering_bruteforce(&curve, &qs);
+        let exact = average_clustering_exact(&curve, [l1, l2]).unwrap();
+        prop_assert!((brute - exact).abs() < 1e-9, "{}: {brute} vs {exact}", curve.name());
+    }
+}
+
+/// Clustering number is translation-bounded sanity: the whole universe is
+/// always one cluster; disjoint single cells are each one cluster.
+#[test]
+fn degenerate_queries_across_curves() {
+    for name in CURVE_NAMES {
+        let curve = curve_2d(name, 16).unwrap();
+        let full = RectQuery::new([0, 0], [16, 16]).unwrap();
+        assert_eq!(
+            clustering_number_with(&curve, &full, ClusterMethod::Auto),
+            1,
+            "{name}"
+        );
+        let cell = RectQuery::new([7, 9], [1, 1]).unwrap();
+        assert_eq!(
+            clustering_number_with(&curve, &cell, ClusterMethod::Auto),
+            1,
+            "{name}"
+        );
+        let _ = curve.universe();
+    }
+}
+
+/// A row query has 1 cluster under row-major and `side` clusters under
+/// column-major — the extremes of §V-C.
+#[test]
+fn row_query_extremes() {
+    let side = 32u32;
+    let row = RectQuery::new([0, 5], [side, 1]).unwrap();
+    let rm = curve_2d("row-major", side).unwrap();
+    let cm = curve_2d("column-major", side).unwrap();
+    assert_eq!(clustering_number_with(&rm, &row, ClusterMethod::Sort), 1);
+    assert_eq!(
+        clustering_number_with(&cm, &row, ClusterMethod::Sort),
+        u64::from(side)
+    );
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the curve bijections and their structural
+//! invariants, across every curve in the workspace.
+
+use onion_curve::baselines::{curve_2d, curve_3d, CURVE_NAMES};
+use onion_curve::{OnionNd, Point, SpaceFillingCurve};
+use proptest::prelude::*;
+
+proptest! {
+    /// index ∘ point = id for random indexes, every 2D curve, mixed sides.
+    #[test]
+    fn roundtrip_index_2d(name_idx in 0usize..CURVE_NAMES.len(), bits in 1u32..=9, seed in any::<u64>()) {
+        let side = 1u32 << bits;
+        let curve = curve_2d(CURVE_NAMES[name_idx], side).unwrap();
+        let n = curve.universe().cell_count();
+        let idx = seed % n;
+        let p = curve.point_unchecked(idx);
+        prop_assert!(curve.universe().contains(p));
+        prop_assert_eq!(curve.index_unchecked(p), idx);
+    }
+
+    /// point ∘ index = id for random cells, every 3D curve.
+    #[test]
+    fn roundtrip_point_3d(name_idx in 0usize..CURVE_NAMES.len(), bits in 1u32..=6, x in any::<u32>(), y in any::<u32>(), z in any::<u32>()) {
+        let side = 1u32 << bits;
+        let curve = curve_3d(CURVE_NAMES[name_idx], side).unwrap();
+        let p = Point::new([x % side, y % side, z % side]);
+        let idx = curve.index_unchecked(p);
+        prop_assert!(idx < curve.universe().cell_count());
+        prop_assert_eq!(curve.point_unchecked(idx), p);
+    }
+
+    /// Continuous curves never jump: any two consecutive indexes map to
+    /// grid neighbors.
+    #[test]
+    fn continuity_at_random_positions(name_idx in 0usize..CURVE_NAMES.len(), bits in 1u32..=10, seed in any::<u64>()) {
+        let side = 1u32 << bits;
+        let curve = curve_2d(CURVE_NAMES[name_idx], side).unwrap();
+        prop_assume!(curve.is_continuous());
+        let n = curve.universe().cell_count();
+        prop_assume!(n >= 2);
+        let idx = seed % (n - 1);
+        let a = curve.point_unchecked(idx);
+        let b = curve.point_unchecked(idx + 1);
+        prop_assert!(a.is_neighbor(&b), "{} jumps at {idx}: {a} -> {b}", curve.name());
+    }
+
+    /// Odd sides work for the curves that support them.
+    #[test]
+    fn odd_sides_roundtrip(side in prop::sample::select(vec![1u32, 3, 5, 9, 15, 33]), x in any::<u32>(), y in any::<u32>()) {
+        for name in ["onion", "onion-nd", "row-major", "column-major", "snake"] {
+            let curve = curve_2d(name, side).unwrap();
+            let p = Point::new([x % side, y % side]);
+            prop_assert_eq!(curve.point_unchecked(curve.index_unchecked(p)), p);
+        }
+    }
+
+    /// The onion order visits layers monotonically in every dimension count.
+    #[test]
+    fn onion_layer_monotone_4d(seed in any::<u64>()) {
+        let curve = OnionNd::<4>::new(6).unwrap();
+        let u = curve.universe();
+        let n = u.cell_count();
+        let idx = seed % (n - 1);
+        let a = u.layer_of(curve.point_unchecked(idx));
+        let b = u.layer_of(curve.point_unchecked(idx + 1));
+        prop_assert!(a <= b, "layer decreased: {a} -> {b} at {idx}");
+    }
+
+    /// Distinct cells map to distinct indexes (injectivity spot check).
+    #[test]
+    fn injective_3d(name_idx in 0usize..CURVE_NAMES.len(), a in any::<(u32, u32, u32)>(), b in any::<(u32, u32, u32)>()) {
+        let side = 16u32;
+        let curve = curve_3d(CURVE_NAMES[name_idx], side).unwrap();
+        let pa = Point::new([a.0 % side, a.1 % side, a.2 % side]);
+        let pb = Point::new([b.0 % side, b.1 % side, b.2 % side]);
+        prop_assume!(pa != pb);
+        prop_assert_ne!(curve.index_unchecked(pa), curve.index_unchecked(pb));
+    }
+}
+
+/// The 3D onion curve's declared jump targets are exactly its observed
+/// discontinuities (exhaustive on a mid-size universe).
+#[test]
+fn onion3d_jump_targets_are_sound_and_complete() {
+    use onion_core::curve::verify;
+    for side in [2u32, 5, 10, 12] {
+        let c = onion_curve::Onion3D::new(side).unwrap();
+        verify::jump_targets_exact(&c).unwrap_or_else(|e| panic!("side {side}: {e}"));
+    }
+}
+
+/// Curve starts: the onion family always starts at the origin corner.
+#[test]
+fn onion_starts_at_origin() {
+    for side in [2u32, 7, 16] {
+        assert_eq!(
+            onion_curve::Onion2D::new(side).unwrap().start(),
+            Point::new([0, 0])
+        );
+        assert_eq!(
+            onion_curve::Onion3D::new(side).unwrap().start(),
+            Point::new([0, 0, 0])
+        );
+    }
+}

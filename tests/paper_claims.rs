@@ -1,0 +1,132 @@
+//! The paper's headline claims, verified at test-friendly scale. (The
+//! `exp_*` binaries in `crates/bench` regenerate the full tables/figures.)
+
+use onion_curve::baselines::{curve_2d, CURVE_NAMES};
+use onion_curve::clustering::{
+    all_translations, average_clustering_bruteforce, clustering_number, columns, rows, RectQuery,
+};
+use onion_curve::theory;
+use onion_curve::{Hilbert, Morton, Onion2D, SpaceFillingCurve};
+
+/// Figure 1: there is a query where the Z curve needs twice the Hilbert
+/// curve's clusters (2 vs 4 in the paper's instance).
+#[test]
+fn figure1_hilbert_beats_z_on_some_query() {
+    let hilbert = Hilbert::<2>::new(8).unwrap();
+    let z = Morton::<2>::new(8).unwrap();
+    let mut found = false;
+    for x in 0..5u32 {
+        for y in 0..5u32 {
+            let q = RectQuery::new([x, y], [3, 4]).unwrap();
+            let ch = clustering_number(&hilbert, &q);
+            let cz = clustering_number(&z, &q);
+            if ch == 2 && cz == 4 {
+                found = true;
+            }
+        }
+    }
+    assert!(found, "no (Hilbert 2, Z 4) query among 3x4 windows");
+}
+
+/// Figure 2: on the 8×8 universe there is a 7×7 placement that is a single
+/// onion cluster, while some placement needs ≥5 Hilbert clusters; on
+/// average the onion curve is far better.
+#[test]
+fn figure2_seven_by_seven() {
+    let onion = Onion2D::new(8).unwrap();
+    let hilbert = Hilbert::<2>::new(8).unwrap();
+    let queries: Vec<RectQuery<2>> = all_translations(8, [7u32, 7]).unwrap().collect();
+    let onion_counts: Vec<u64> = queries.iter().map(|q| clustering_number(&onion, q)).collect();
+    let hilbert_counts: Vec<u64> = queries
+        .iter()
+        .map(|q| clustering_number(&hilbert, q))
+        .collect();
+    assert_eq!(onion_counts.iter().min(), Some(&1));
+    assert!(hilbert_counts.iter().max().unwrap() >= &5);
+    let so: u64 = onion_counts.iter().sum();
+    let sh: u64 = hilbert_counts.iter().sum();
+    assert!(so * 2 < sh, "onion total {so}, hilbert total {sh}");
+}
+
+/// Table I, 2D: onion's ratio vs the general lower bound stays under 2.32
+/// while Hilbert's clustering number scales with √n for near-full cubes.
+#[test]
+fn table1_2d_shape() {
+    let gap = 9u32;
+    for side in [32u32, 64, 128] {
+        let l = side - gap;
+        let onion = Onion2D::new(side).unwrap();
+        let co =
+            onion_curve::clustering::average_clustering_exact(&onion, [l, l]).unwrap();
+        let lb = theory::general_lower_bound_2d(side, l, l);
+        let eta = co / lb;
+        assert!(
+            eta <= theory::ETA_2D_CUBE_BOUND + 0.3,
+            "side {side}: eta {eta:.3}"
+        );
+    }
+}
+
+/// Lemma 10: on rows ∪ columns every SFC averages at least √n/2 (the tight
+/// constant implied by the paper's own derivation).
+#[test]
+fn lemma10_no_curve_wins_rows_and_columns() {
+    let side = 32u32;
+    let qr = rows(side);
+    let qc = columns(side);
+    for name in CURVE_NAMES {
+        let curve = curve_2d(name, side).unwrap();
+        let cr = average_clustering_bruteforce(&curve, &qr);
+        let cc = average_clustering_bruteforce(&curve, &qc);
+        assert!(
+            (cr + cc) / 2.0 >= f64::from(side) / 2.0 - 1e-9,
+            "{name}: rows {cr} columns {cc}"
+        );
+        let _ = curve.universe();
+    }
+}
+
+/// Lemma 11: a curve optimal on tall half-universe rectangles pays ~√n on
+/// wide ones and vice versa, while the onion curve is balanced.
+#[test]
+fn lemma11_half_rectangles() {
+    let side = 32u32;
+    let tall: Vec<RectQuery<2>> = all_translations(side, [side / 2, side]).unwrap().collect();
+    let wide: Vec<RectQuery<2>> = all_translations(side, [side, side / 2]).unwrap().collect();
+    let rm = curve_2d("row-major", side).unwrap();
+    assert_eq!(average_clustering_bruteforce(&rm, &wide), 1.0);
+    assert!(average_clustering_bruteforce(&rm, &tall) >= f64::from(side) / 2.0);
+    let onion = curve_2d("onion", side).unwrap();
+    let t = average_clustering_bruteforce(&onion, &tall);
+    let w = average_clustering_bruteforce(&onion, &wide);
+    assert!((t - w).abs() < 3.0, "onion nearly symmetric: {t} vs {w}");
+}
+
+/// §VII-A (Fig 5b text): in 3D, for near-full cubes the onion curve is two
+/// orders of magnitude better — spot-checked at reduced scale.
+#[test]
+fn three_d_near_full_cube_gap() {
+    use onion_curve::Onion3D;
+    let side = 64u32;
+    let l = side - 5;
+    let onion = Onion3D::new(side).unwrap();
+    let hilbert = Hilbert::<3>::new(side).unwrap();
+    let co = onion_curve::clustering::average_clustering_exact(&onion, [l, l, l]).unwrap();
+    let ch = onion_curve::clustering::average_clustering_exact(&hilbert, [l, l, l]).unwrap();
+    assert!(
+        ch > 20.0 * co,
+        "3D near-full gap should be large: onion {co:.1}, hilbert {ch:.1}"
+    );
+}
+
+/// Table II row µ=0: for constant-size cubes the onion average approaches
+/// the continuous lower bound (η → 1).
+#[test]
+fn mu_zero_is_near_optimal() {
+    let side = 128u32;
+    let onion = Onion2D::new(side).unwrap();
+    let co = onion_curve::clustering::average_clustering_exact(&onion, [3, 3]).unwrap();
+    let lb = theory::continuous_lower_bound_2d(side, 3, 3);
+    let eta = co / lb;
+    assert!(eta < 1.2, "eta {eta:.3} should be near 1");
+}

@@ -1,0 +1,210 @@
+//! The paper's closed-form theorems against exact measured clustering
+//! numbers — the strongest form of "the reproduction matches the paper".
+
+use onion_curve::clustering::{average_clustering_exact, TranslationSet};
+use onion_curve::theory;
+use onion_curve::{Hilbert, Onion2D, Onion3D, SpaceFillingCurve};
+
+/// Theorem 1, case ℓ2 ≤ m: the measured exact average of the onion curve
+/// lies within the stated ε1 ≤ 5 of the closed form, across a sweep.
+#[test]
+fn theorem1_small_shapes_match_measurement() {
+    let side = 128u32;
+    let onion = Onion2D::new(side).unwrap();
+    for (l1, l2) in [(4u32, 4u32), (8, 16), (16, 16), (16, 48), (32, 64), (64, 64)] {
+        let measured = average_clustering_exact(&onion, [l1, l2]).unwrap();
+        let predicted = theory::onion2d_average_clustering(side, l1, l2);
+        assert!(
+            predicted.contains(measured, 0.5),
+            "({l1},{l2}): measured {measured:.3}, predicted {:.3} +- {}",
+            predicted.value,
+            predicted.abs_err
+        );
+    }
+}
+
+/// Theorem 1, case ℓ1 > m: near-full rectangles.
+#[test]
+fn theorem1_large_shapes_match_measurement() {
+    let side = 128u32;
+    let onion = Onion2D::new(side).unwrap();
+    for (l1, l2) in [(100u32, 100u32), (80, 120), (119, 119), (126, 70)] {
+        let measured = average_clustering_exact(&onion, [l1, l2]).unwrap();
+        let predicted = theory::onion2d_average_clustering(side, l1, l2);
+        assert!(
+            predicted.contains(measured, 0.5),
+            "({l1},{l2}): measured {measured:.3}, predicted {:.3} +- {}",
+            predicted.value,
+            predicted.abs_err
+        );
+    }
+}
+
+/// Theorem 4: the 3D onion average for cube queries.
+#[test]
+fn theorem4_matches_measurement() {
+    let side = 32u32;
+    let onion = Onion3D::new(side).unwrap();
+    for l in [2u32, 4, 8, 12, 16] {
+        let measured = average_clustering_exact(&onion, [l, l, l]).unwrap();
+        let predicted = theory::onion3d_average_clustering(side, l);
+        assert!(
+            predicted.contains(measured, 1.0),
+            "l={l}: measured {measured:.3}, predicted {:.3} +- {:.1}",
+            predicted.value,
+            predicted.abs_err
+        );
+    }
+    // Upper-bound branch (ℓ > side/2): measured must respect the bound.
+    for l in [20u32, 24, 28, 31] {
+        let measured = average_clustering_exact(&onion, [l, l, l]).unwrap();
+        let bound = theory::onion3d_average_clustering(side, l).value;
+        assert!(
+            measured <= bound + 1.0,
+            "l={l}: measured {measured:.3} above bound {bound:.3}"
+        );
+    }
+}
+
+/// Theorems 2/3: the lower bound is in fact below the measured average of
+/// both curves — and the numeric λ-sum bound of Lemma 6 is too.
+#[test]
+fn lower_bounds_are_actually_lower_2d() {
+    let side = 64u32;
+    let onion = Onion2D::new(side).unwrap();
+    let hilbert = Hilbert::<2>::new(side).unwrap();
+    for (l1, l2) in [(4u32, 4u32), (8, 24), (16, 16), (32, 32), (50, 60), (60, 60)] {
+        let ts = TranslationSet::new(side, [l1, l2]).unwrap();
+        // Lemma 6 numeric bound for continuous curves:
+        // c(Q, π) ≥ (Σ λ − λmax) / (2|Q|).
+        let numeric_lb =
+            ts.lambda_sum() as f64 / (2.0 * ts.num_queries() as f64) - 1.0;
+        for curve_avg in [
+            average_clustering_exact(&onion, [l1, l2]).unwrap(),
+            average_clustering_exact(&hilbert, [l1, l2]).unwrap(),
+        ] {
+            assert!(
+                numeric_lb <= curve_avg + 1e-9,
+                "({l1},{l2}): numeric LB {numeric_lb:.3} above measured {curve_avg:.3}"
+            );
+        }
+        // The closed-form general bound must sit below both too (within the
+        // paper's O(side)/|Q| slack on the closed form).
+        let general = theory::general_lower_bound_2d(side, l1, l2);
+        let onion_avg = average_clustering_exact(&onion, [l1, l2]).unwrap();
+        assert!(
+            general <= onion_avg * 1.05 + 1.0,
+            "({l1},{l2}): closed-form LB {general:.3} vs onion {onion_avg:.3}"
+        );
+    }
+}
+
+/// Lemma 7's λ formula agrees with the numeric crossing machinery on the
+/// canonical quadrant (where the formula is exact away from the axes).
+#[test]
+fn lemma7_matches_numeric_lambda_in_quadrant_interior() {
+    let side = 16u32;
+    let m = side / 2;
+    for (l1, l2) in [(2u32, 3u32), (3, 6), (4, 8), (8, 8)] {
+        let ts = TranslationSet::new(side, [l1, l2]).unwrap();
+        for i in 1..m {
+            for j in 1..m {
+                let formula = theory::lemma7_lambda(side, l1, l2, i, j);
+                let numeric = ts.lambda(onion_curve::Point::new([i, j]));
+                assert_eq!(
+                    formula, numeric,
+                    "({l1},{l2}) cell ({i},{j}): formula {formula} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+}
+
+/// The λ-sum (Lemma 8's T) closed form tracks the numeric sum within the
+/// paper's lower-order slack. For the ℓ > m branch the paper's expression
+/// is asymptotic in L; there we bound the *per-query* deviation (which the
+/// theorems absorb into their ε plus lower-order terms).
+#[test]
+fn lemma8_tracks_numeric_lambda_sum() {
+    let side = 32u32;
+    for (l1, l2) in [(4u32, 4u32), (4, 12), (8, 16), (16, 16)] {
+        let ts = TranslationSet::new(side, [l1, l2]).unwrap();
+        let numeric = ts.lambda_sum() as f64;
+        let closed = theory::lemma8_t(side, l1.min(l2), l1.max(l2));
+        let rel = (closed - numeric).abs() / numeric.max(1.0);
+        assert!(
+            rel < 0.25,
+            "({l1},{l2}): closed {closed:.0} vs numeric {numeric:.0} (rel {rel:.3})"
+        );
+    }
+    for (l1, l2) in [(20u32, 28u32), (28, 28), (18, 18)] {
+        let ts = TranslationSet::new(side, [l1, l2]).unwrap();
+        let q2 = 2.0 * ts.num_queries() as f64;
+        let numeric_per_query = ts.lambda_sum() as f64 / q2;
+        let closed_per_query = theory::lemma8_t(side, l1.min(l2), l1.max(l2)) / q2;
+        assert!(
+            (closed_per_query - numeric_per_query).abs() <= 2.5,
+            "({l1},{l2}): closed/2|Q| {closed_per_query:.2} vs numeric {numeric_per_query:.2}"
+        );
+    }
+}
+
+/// Lemma 5's growth claim, measured: doubling the universe side roughly
+/// doubles (2D) / quadruples-plus (3D) the Hilbert average for near-full
+/// cubes, while the onion average stays exactly constant.
+#[test]
+fn hilbert_grows_onion_does_not() {
+    let gap = 9u32;
+    let mut hilbert_prev = 0.0;
+    let mut onion_values = Vec::new();
+    for side in [32u32, 64, 128] {
+        let l = side - gap;
+        let h = Hilbert::<2>::new(side).unwrap();
+        let o = Onion2D::new(side).unwrap();
+        let ch = average_clustering_exact(&h, [l, l]).unwrap();
+        let co = average_clustering_exact(&o, [l, l]).unwrap();
+        if hilbert_prev > 0.0 {
+            let ratio = ch / hilbert_prev;
+            assert!(
+                ratio > 1.9,
+                "Hilbert should roughly double per side doubling, got {ratio:.2}"
+            );
+        }
+        hilbert_prev = ch;
+        onion_values.push(co);
+    }
+    let spread = onion_values
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - onion_values.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        spread < 0.5,
+        "onion near-full-cube average must be side-independent, spread {spread}"
+    );
+}
+
+/// The paper's headline constants drop out of the ratio formulas.
+#[test]
+fn headline_constants() {
+    let (phi2, eta2) = theory::grid_max(1e-6, 0.5, 500_000, theory::eta_onion_2d_case3);
+    assert!((eta2 - 2.3196).abs() < 1e-3, "2D max eta {eta2}");
+    assert!((phi2 - 0.355).abs() < 2e-3);
+    let (phi3, eta3) = theory::grid_max(1e-6, 0.5, 500_000, theory::eta_onion_3d_case3);
+    assert!((eta3 - 3.3888).abs() < 1e-2, "3D max eta {eta3}");
+    assert!((phi3 - 0.3967).abs() < 2e-3);
+}
+
+/// Onion 2D end-to-end sanity at paper scale: exact average for the
+/// adversarial near-full cube is Θ(1) and within Theorem 1's envelope.
+#[test]
+fn near_full_cube_is_constant_at_scale() {
+    let side = 1 << 9;
+    let l = side - 9;
+    let onion = Onion2D::new(side).unwrap();
+    let measured = average_clustering_exact(&onion, [l, l]).unwrap();
+    let predicted = theory::onion2d_average_clustering(side, l, l);
+    assert!(predicted.contains(measured, 0.5));
+    assert!(measured < 12.0, "L=10 near-full cube: measured {measured}");
+    let _ = onion.universe();
+}
