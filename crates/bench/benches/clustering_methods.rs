@@ -1,10 +1,15 @@
 //! Comparison of the three exact clustering algorithms (sort, entry-scan,
 //! boundary-scan) across query sizes — boundary-scan's `O(surface)`
-//! advantage is what makes the paper-scale figures tractable.
+//! advantage is what makes the paper-scale figures tractable — plus the
+//! stepper-vs-unrank predecessor-probe comparison on a 2¹⁰-side universe
+//! and the allocation-free scratch range decomposition.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use onion_core::Onion2D;
-use sfc_clustering::{clustering_number_with, ClusterMethod, RectQuery};
+use sfc_bench::ScalarOnly;
+use sfc_clustering::{
+    cluster_ranges_into, clustering_number_with, ClusterMethod, ClusterScratch, RectQuery,
+};
 use std::hint::black_box;
 
 fn bench_methods(c: &mut Criterion) {
@@ -26,5 +31,43 @@ fn bench_methods(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_methods);
+/// Entry-scan and boundary-scan at side 2¹⁰: every predecessor/successor
+/// probe is an O(1) perimeter step on the raw curve but a full
+/// `isqrt`-carrying unrank on the `ScalarOnly` baseline.
+fn bench_probe_kernels(c: &mut Criterion) {
+    let side = 1 << 10;
+    let onion = Onion2D::new(side).unwrap();
+    let slow = ScalarOnly(onion);
+    let l = 512u32;
+    let q = RectQuery::new([(side - l) / 2, (side - l) / 3], [l, l]).unwrap();
+    for (method, label) in [
+        (ClusterMethod::EntryScan, "entry_scan"),
+        (ClusterMethod::BoundaryScan, "boundary_scan"),
+    ] {
+        let mut group = c.benchmark_group(format!("clustering_2d_side1024/{label}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("unrank"), |b| {
+            b.iter(|| black_box(clustering_number_with(&slow, black_box(&q), method)));
+        });
+        group.bench_function(BenchmarkId::from_parameter("stepper"), |b| {
+            b.iter(|| black_box(clustering_number_with(&onion, black_box(&q), method)));
+        });
+        group.finish();
+    }
+
+    // Range decomposition with reused scratch: allocation-free per call.
+    let mut group = c.benchmark_group("clustering_2d_side1024/ranges");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("scratch_reuse"), |b| {
+        let mut scratch = ClusterScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            cluster_ranges_into(&onion, black_box(&q), &mut scratch, &mut out);
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_probe_kernels);
 criterion_main!(benches);

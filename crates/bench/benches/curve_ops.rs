@@ -1,10 +1,13 @@
 //! Throughput of the curve mappings themselves: `index_unchecked`
 //! (cell → key) and `point_unchecked` (key → cell) for every curve in the
-//! workspace, 2D and 3D.
+//! workspace, 2D and 3D — plus the hot-path comparisons this repo tracks:
+//! full-curve walks via per-index unrank vs. the incremental stepper, and
+//! scalar-vs-batch mapping through `dyn` curves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use onion_core::{Point, SpaceFillingCurve};
+use onion_core::{CurveWalk, Onion2D, Onion3D, Point, SpaceFillingCurve};
 use sfc_baselines::{curve_2d, curve_3d, CURVE_NAMES};
+use sfc_bench::ScalarOnly;
 use std::hint::black_box;
 
 fn bench_2d(c: &mut Criterion) {
@@ -69,5 +72,97 @@ fn bench_3d(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_2d, bench_3d);
+/// Full-curve walk: the stepper's O(1) successor vs. one unrank per index
+/// (the `ScalarOnly` wrapper strips the stepping specializations, so both
+/// sides run the identical `CurveWalk` code).
+fn bench_walk(c: &mut Criterion) {
+    let side = 1 << 10;
+    let onion = Onion2D::new(side).unwrap();
+    let mut group = c.benchmark_group("curve_walk_2d_side1024/onion");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("unrank"), |b| {
+        let slow = ScalarOnly(onion);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in CurveWalk::new(&slow) {
+                acc = acc.wrapping_add(u64::from(p.0[0]) ^ u64::from(p.0[1]));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("stepper"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in CurveWalk::new(&onion) {
+                acc = acc.wrapping_add(u64::from(p.0[0]) ^ u64::from(p.0[1]));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+
+    let onion3 = Onion3D::new(1 << 6).unwrap();
+    let mut group = c.benchmark_group("curve_walk_3d_side64/onion");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("unrank"), |b| {
+        let slow = ScalarOnly(onion3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in CurveWalk::new(&slow) {
+                acc = acc.wrapping_add(u64::from(p.0[0]) ^ u64::from(p.0[2]));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("stepper"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in CurveWalk::new(&onion3) {
+                acc = acc.wrapping_add(u64::from(p.0[0]) ^ u64::from(p.0[2]));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+/// Scalar-vs-batch inverse mapping through `dyn` curves: one virtual call
+/// per cell vs. one per batch with the kernel inlined.
+fn bench_batch(c: &mut Criterion) {
+    let side = 1 << 10;
+    let n = u64::from(side) * u64::from(side);
+    let mut probe = 0x9E3779B97F4A7C15u64;
+    let indices: Vec<u64> = (0..(1 << 16))
+        .map(|_| {
+            probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1);
+            probe % n
+        })
+        .collect();
+    for name in ["onion", "hilbert", "z-order"] {
+        let curve = curve_2d(name, side).unwrap();
+        let mut group = c.benchmark_group(format!("curve_batch_2d/point/{name}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("scalar_dyn"), |b| {
+            let mut out: Vec<Point<2>> = Vec::with_capacity(indices.len());
+            b.iter(|| {
+                out.clear();
+                for &idx in &indices {
+                    out.push(curve.point_unchecked(idx));
+                }
+                black_box(out.len())
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("batch_dyn"), |b| {
+            let mut out: Vec<Point<2>> = Vec::with_capacity(indices.len());
+            b.iter(|| {
+                out.clear();
+                curve.fill_points(&indices, &mut out);
+                black_box(out.len())
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_2d, bench_3d, bench_walk, bench_batch);
 criterion_main!(benches);

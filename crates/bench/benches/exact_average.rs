@@ -30,9 +30,7 @@ fn bench_exact_average(c: &mut Criterion) {
         b.iter(|| black_box(average_clustering_exact(&onion3, black_box([10, 10, 10])).unwrap()));
     });
     group.bench_function(BenchmarkId::from_parameter("hilbert"), |b| {
-        b.iter(|| {
-            black_box(average_clustering_exact(&hilbert3, black_box([10, 10, 10])).unwrap())
-        });
+        b.iter(|| black_box(average_clustering_exact(&hilbert3, black_box([10, 10, 10])).unwrap()));
     });
     group.finish();
 }

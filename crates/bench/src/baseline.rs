@@ -1,0 +1,63 @@
+//! Baseline wrapper for perf comparisons: strips a curve's batch and
+//! stepping specializations.
+//!
+//! [`ScalarOnly`] forwards only the core `SpaceFillingCurve` methods, so the
+//! trait's *default* `fill_indices` / `fill_points` /
+//! `successor_unchecked` / `predecessor_unchecked` apply — exactly the
+//! pre-batch behavior (one closed-form unrank per probe). Benchmarks run
+//! the same algorithm with the raw curve and the wrapped curve to isolate
+//! the win of the specialized kernels.
+
+use onion_core::{Point, SpaceFillingCurve, Universe};
+
+/// Forwards the core mapping methods and nothing else. See module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarOnly<C>(pub C);
+
+impl<const D: usize, C: SpaceFillingCurve<D>> SpaceFillingCurve<D> for ScalarOnly<C> {
+    fn universe(&self) -> Universe<D> {
+        self.0.universe()
+    }
+
+    #[inline]
+    fn index_unchecked(&self, p: Point<D>) -> u64 {
+        self.0.index_unchecked(p)
+    }
+
+    #[inline]
+    fn point_unchecked(&self, idx: u64) -> Point<D> {
+        self.0.point_unchecked(idx)
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn is_continuous(&self) -> bool {
+        self.0.is_continuous()
+    }
+
+    fn jump_targets(&self) -> Option<Vec<Point<D>>> {
+        self.0.jump_targets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::{CurveStepper, Onion2D};
+
+    #[test]
+    fn wrapped_curve_matches_raw() {
+        let raw = Onion2D::new(9).unwrap();
+        let wrapped = ScalarOnly(raw);
+        let n = raw.universe().cell_count();
+        let mut raw_stepper = CurveStepper::new(&raw);
+        let mut slow_stepper = CurveStepper::new(&wrapped);
+        for idx in 0..n {
+            assert_eq!(raw_stepper.point(), slow_stepper.point(), "idx {idx}");
+            raw_stepper.advance();
+            slow_stepper.advance();
+        }
+    }
+}

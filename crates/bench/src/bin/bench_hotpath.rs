@@ -1,0 +1,283 @@
+//! Hot-path perf tracking: times the innermost mapping kernels before and
+//! after this repo's batch/stepper rewrite and exports the results as
+//! `BENCH_hotpath.json` (committed at the repo root so the perf trajectory
+//! is visible across PRs).
+//!
+//! Every comparison runs the *same* algorithm twice: once on the raw curve
+//! (specialized batch + O(1) stepping kernels) and once wrapped in
+//! [`ScalarOnly`], which strips the specializations back to one closed-form
+//! unrank per probe — the pre-rewrite behavior.
+//!
+//! Flags: `--out <path>` (default `BENCH_hotpath.json`), `--quick` (fewer
+//! repetitions, for smoke runs).
+
+use onion_core::{CurveWalk, Onion2D, Onion3D, Point, SpaceFillingCurve};
+use sfc_bench::baseline::ScalarOnly;
+use sfc_bench::{print_table, Row};
+use sfc_clustering::{
+    average_clustering_exact, cluster_ranges_into, clustering_number_with, ClusterMethod,
+    ClusterScratch, RectQuery,
+};
+use sfc_index::{DiskModel, SfcTable};
+use std::time::Instant;
+
+/// One tracked measurement: a baseline-vs-optimized pair, or a
+/// timing-only entry (no scalar twin exists) with `baseline_ns: None`.
+struct Comparison {
+    name: &'static str,
+    baseline_ns: Option<f64>,
+    optimized_ns: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> Option<f64> {
+        self.baseline_ns.map(|b| b / self.optimized_ns)
+    }
+}
+
+/// Best-of-N wall time of `f`, in nanoseconds.
+fn time_ns<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
+    let mut sink = 0u64;
+    sink = sink.wrapping_add(f()); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+fn walk_sum<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> u64 {
+    let mut acc = 0u64;
+    for p in CurveWalk::new(curve) {
+        acc = acc.wrapping_add(u64::from(p.0[0]) ^ u64::from(p.0[D - 1]));
+    }
+    acc
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let mut reps = 7usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--quick" => reps = 2,
+            "--help" | "-h" => {
+                eprintln!("flags: [--out <path>] [--quick]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut comparisons: Vec<Comparison> = Vec::new();
+
+    // Full-curve walks: per-index unrank vs. incremental stepper.
+    {
+        let onion = Onion2D::new(1 << 10).unwrap();
+        let slow = ScalarOnly(onion);
+        comparisons.push(Comparison {
+            name: "curve_walk/onion2d/side1024",
+            baseline_ns: Some(time_ns(reps, || walk_sum(&slow))),
+            optimized_ns: time_ns(reps, || walk_sum(&onion)),
+        });
+    }
+    {
+        let onion = Onion3D::new(1 << 6).unwrap();
+        let slow = ScalarOnly(onion);
+        comparisons.push(Comparison {
+            name: "curve_walk/onion3d/side64",
+            baseline_ns: Some(time_ns(reps, || walk_sum(&slow))),
+            optimized_ns: time_ns(reps, || walk_sum(&onion)),
+        });
+    }
+
+    // Clustering scans at side 2^10: every predecessor/successor probe is a
+    // perimeter step vs. a full unrank.
+    {
+        let side = 1u32 << 10;
+        let onion = Onion2D::new(side).unwrap();
+        let slow = ScalarOnly(onion);
+        let l = 512u32;
+        let q = RectQuery::new([(side - l) / 2, (side - l) / 3], [l, l]).unwrap();
+        comparisons.push(Comparison {
+            name: "clustering/entry_scan/onion2d/side1024/l512",
+            baseline_ns: Some(time_ns(reps, || {
+                clustering_number_with(&slow, &q, ClusterMethod::EntryScan)
+            })),
+            optimized_ns: time_ns(reps, || {
+                clustering_number_with(&onion, &q, ClusterMethod::EntryScan)
+            }),
+        });
+        comparisons.push(Comparison {
+            name: "clustering/boundary_scan/onion2d/side1024/l512",
+            baseline_ns: Some(time_ns(reps * 4, || {
+                clustering_number_with(&slow, &q, ClusterMethod::BoundaryScan)
+            })),
+            optimized_ns: time_ns(reps * 4, || {
+                clustering_number_with(&onion, &q, ClusterMethod::BoundaryScan)
+            }),
+        });
+        // Allocation-free range decomposition with reused scratch —
+        // timing-only (no scalar twin: the old API allocated fresh vectors
+        // per call), tracked so its trajectory is still visible.
+        let mut scratch = ClusterScratch::new();
+        let mut ranges = Vec::new();
+        comparisons.push(Comparison {
+            name: "clustering/ranges_scratch/onion2d/side1024/l512",
+            baseline_ns: None,
+            optimized_ns: time_ns(reps * 4, || {
+                cluster_ranges_into(&onion, &q, &mut scratch, &mut ranges);
+                ranges.len() as u64
+            }),
+        });
+    }
+
+    // Exact average clustering (Lemma 1 edge walk) via the stepper.
+    {
+        let onion = Onion2D::new(1 << 8).unwrap();
+        let slow = ScalarOnly(onion);
+        comparisons.push(Comparison {
+            name: "exact_average/onion2d/side256/shape32",
+            baseline_ns: Some(time_ns(reps, || {
+                average_clustering_exact(&slow, [32, 32]).unwrap().to_bits()
+            })),
+            optimized_ns: time_ns(reps, || {
+                average_clustering_exact(&onion, [32, 32])
+                    .unwrap()
+                    .to_bits()
+            }),
+        });
+    }
+
+    // Batch inverse mapping through a dyn curve: virtual call per cell vs.
+    // per batch.
+    {
+        let side = 1u32 << 10;
+        let curve: Box<dyn SpaceFillingCurve<2>> = Box::new(Onion2D::new(side).unwrap());
+        let n = u64::from(side) * u64::from(side);
+        let mut probe = 0x9E3779B97F4A7C15u64;
+        let indices: Vec<u64> = (0..(1 << 16))
+            .map(|_| {
+                probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1);
+                probe % n
+            })
+            .collect();
+        let mut out: Vec<Point<2>> = Vec::with_capacity(indices.len());
+        comparisons.push(Comparison {
+            name: "batch/fill_points/onion2d_dyn/64k",
+            baseline_ns: Some(time_ns(reps, || {
+                out.clear();
+                for &idx in &indices {
+                    out.push(curve.point_unchecked(idx));
+                }
+                out.len() as u64
+            })),
+            optimized_ns: time_ns(reps, || {
+                out.clear();
+                curve.fill_points(&indices, &mut out);
+                out.len() as u64
+            }),
+        });
+    }
+
+    // Bulk keying, the stage SfcTable::build batches: one virtual call per
+    // record (ScalarOnly default through dyn) vs. one fill_indices batch.
+    // Timed in isolation — a full build is dominated by clone + sort +
+    // bulk-load, which would bury the keying kernel below noise.
+    {
+        let side = 1u32 << 8;
+        let fast: Box<dyn SpaceFillingCurve<2>> = Box::new(Onion2D::new(side).unwrap());
+        let slow: Box<dyn SpaceFillingCurve<2>> = Box::new(ScalarOnly(Onion2D::new(side).unwrap()));
+        let points: Vec<Point<2>> = (0..side)
+            .flat_map(|x| (0..side).map(move |y| Point::new([x, y])))
+            .collect();
+        let mut keys: Vec<u64> = Vec::with_capacity(points.len());
+        comparisons.push(Comparison {
+            name: "index/bulk_keying/onion2d_dyn/65k",
+            baseline_ns: Some(time_ns(reps * 4, || {
+                keys.clear();
+                slow.fill_indices(&points, &mut keys);
+                keys.len() as u64
+            })),
+            optimized_ns: time_ns(reps * 4, || {
+                keys.clear();
+                fast.fill_indices(&points, &mut keys);
+                keys.len() as u64
+            }),
+        });
+    }
+    // Sanity anchor: the end-to-end table build these keys feed (timing
+    // only — clone + sort + bulk-load dominate, so no pair is claimed).
+    {
+        let side = 1u32 << 8;
+        let curve = Onion2D::new(side).unwrap();
+        let records: Vec<(Point<2>, u32)> = (0..side)
+            .flat_map(|x| (0..side).map(move |y| (Point::new([x, y]), x ^ y)))
+            .collect();
+        comparisons.push(Comparison {
+            name: "index/table_build/onion2d/65k",
+            baseline_ns: None,
+            optimized_ns: time_ns(reps, || {
+                SfcTable::build(curve, records.clone(), DiskModel::ssd())
+                    .unwrap()
+                    .len() as u64
+            }),
+        });
+    }
+
+    // Report.
+    let rows: Vec<Row> = comparisons
+        .iter()
+        .map(|c| {
+            Row::new(
+                c.name,
+                vec![
+                    c.baseline_ns
+                        .map_or_else(|| "-".into(), |b| format!("{:.3}", b / 1e6)),
+                    format!("{:.3}", c.optimized_ns / 1e6),
+                    c.speedup()
+                        .map_or_else(|| "-".into(), |s| format!("{s:.2}x")),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Hot-path kernels: per-probe unrank vs. batch/stepper",
+        "kernel",
+        &["baseline_ms", "optimized_ms", "speedup"],
+        &rows,
+    );
+
+    let mut json = String::from("[\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        let baseline = c
+            .baseline_ns
+            .map_or_else(|| "null".into(), |b| format!("{b:.1}"));
+        let speedup = c
+            .speedup()
+            .map_or_else(|| "null".into(), |s| format!("{s:.3}"));
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"baseline_ns\": {}, \"optimized_ns\": {:.1}, \"speedup\": {}}}{}\n",
+            c.name,
+            baseline,
+            c.optimized_ns,
+            speedup,
+            if i + 1 < comparisons.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    match std::fs::write(&out_path, json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -68,7 +68,10 @@ fn main() {
     // Sanity: gap 0 changes nothing; amplification grows monotonically as
     // seeks shrink.
     let first: f64 = rows[0].cells[1].trim_end_matches('x').parse().unwrap();
-    assert!((first - 1.0).abs() < 1e-9, "gap 0 must not read extra cells");
+    assert!(
+        (first - 1.0).abs() < 1e-9,
+        "gap 0 must not read extra cells"
+    );
     println!(
         "\nReading: each row trades seeks for scanned cells — the Asano-style \
          relaxation the paper contrasts with its exact-retrieval model (SI-B)."

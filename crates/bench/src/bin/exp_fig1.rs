@@ -23,7 +23,9 @@ fn render_clusters<C: SpaceFillingCurve<2>>(curve: &C, q: &RectQuery<2>) -> Stri
         for x in 0..side {
             let p = Point::new([x, y]);
             match cluster_of(p) {
-                Some(c) if q.contains(p) => out.push_str(&format!("{:>3}", (b'A' + (c % 26) as u8) as char)),
+                Some(c) if q.contains(p) => {
+                    out.push_str(&format!("{:>3}", (b'A' + (c % 26) as u8) as char))
+                }
                 _ => out.push_str(&format!("{:>3}", if q.contains(p) { "?" } else { "." })),
             }
         }
@@ -60,8 +62,15 @@ fn main() {
         }
     }
     let (q, ch, cz) = best.expect("grid searched");
-    println!("Figure 1 reproduction: universe 8x8, query lo={:?} len={:?}", q.lo(), q.len());
-    println!("\nHilbert clusters ({ch}):\n{}", render_clusters(&hilbert, &q));
+    println!(
+        "Figure 1 reproduction: universe 8x8, query lo={:?} len={:?}",
+        q.lo(),
+        q.side_lengths()
+    );
+    println!(
+        "\nHilbert clusters ({ch}):\n{}",
+        render_clusters(&hilbert, &q)
+    );
     println!("Z-order clusters ({cz}):\n{}", render_clusters(&z, &q));
 
     // The paper's figure shows a query with exactly 2 Hilbert clusters and
@@ -75,7 +84,7 @@ fn main() {
                         println!(
                             "Paper-exact instance (Hilbert 2, Z 4): lo={:?} len={:?}",
                             q2.lo(),
-                            q2.len()
+                            q2.side_lengths()
                         );
                         println!("Hilbert:\n{}", render_clusters(&hilbert, &q2));
                         println!("Z-order:\n{}", render_clusters(&z, &q2));
@@ -90,9 +99,17 @@ fn main() {
         Row::new("hilbert", vec![ch.to_string()]),
         Row::new("z-order", vec![cz.to_string()]),
     ];
-    print_table("Figure 1: clusters for the same query", "curve", &["clusters"], &rows);
+    print_table(
+        "Figure 1: clusters for the same query",
+        "curve",
+        &["clusters"],
+        &rows,
+    );
     write_csv(&cfg, "fig1", "curve", &["clusters"], &rows);
 
-    assert!(ch < cz, "paper's claim: Hilbert needs fewer clusters than Z");
+    assert!(
+        ch < cz,
+        "paper's claim: Hilbert needs fewer clusters than Z"
+    );
     println!("\nOK: Hilbert ({ch}) < Z ({cz}), matching the paper's Figure 1 (2 vs 4).");
 }

@@ -47,7 +47,10 @@ fn main() {
     );
     write_csv(&cfg, "fig2", "placement", &["onion", "hilbert"], &rows);
 
-    assert_eq!(onion_best, 1, "some placement is a single onion cluster (Fig 2b)");
+    assert_eq!(
+        onion_best, 1,
+        "some placement is a single onion cluster (Fig 2b)"
+    );
     assert!(
         hilbert_worst >= 5,
         "some placement needs >= 5 Hilbert clusters (Fig 2a), got {hilbert_worst}"

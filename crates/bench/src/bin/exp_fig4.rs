@@ -18,16 +18,32 @@ fn main() {
         } else {
             u.cells_before_layer(t + 1)
         };
-        println!("  layer S({t}): indexes {start:>4} .. {:>4}  ({} cells)", end - 1, end - start);
+        println!(
+            "  layer S({t}): indexes {start:>4} .. {:>4}  ({} cells)",
+            end - 1,
+            end - start
+        );
     }
 
     println!("\nSegment sizes within each layer (Fig 4b), V_t(g):");
-    println!("  {:<6} S1    S2    S3    S4    S5    S6    S7    S8    S9    S10", "layer");
+    println!(
+        "  {:<6} S1    S2    S3    S4    S5    S6    S7    S8    S9    S10",
+        "layer"
+    );
     for t in 1..=u.layer_count() {
         let s = u.layer_side(t);
         let sizes: Vec<String> = Segment3D::ALL
             .iter()
-            .map(|g| format!("{:<5}", if s == 1 { u64::from(g == &Segment3D::LowFaceI) } else { g.size(s) }))
+            .map(|g| {
+                format!(
+                    "{:<5}",
+                    if s == 1 {
+                        u64::from(g == &Segment3D::LowFaceI)
+                    } else {
+                        g.size(s)
+                    }
+                )
+            })
             .collect();
         println!("  S({t})   {}", sizes.join(" "));
     }

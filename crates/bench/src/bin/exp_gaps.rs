@@ -29,12 +29,9 @@ fn main() {
         let queries = random_translations(side, [l, l], per_len, &mut rng).unwrap();
         let mut acc = [(0f64, 0f64, 0f64); 2]; // (clusters, mean_gap, density)
         for q in &queries {
-            for (slot, stats) in [
-                cluster_gap_stats(&onion, q),
-                cluster_gap_stats(&hilbert, q),
-            ]
-            .into_iter()
-            .enumerate()
+            for (slot, stats) in [cluster_gap_stats(&onion, q), cluster_gap_stats(&hilbert, q)]
+                .into_iter()
+                .enumerate()
             {
                 acc[slot].0 += stats.clusters as f64;
                 acc[slot].1 += stats.mean_gap;

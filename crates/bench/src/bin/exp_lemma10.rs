@@ -54,7 +54,13 @@ fn main() {
         &["c(rows)", "c(columns)", "combined avg"],
         &table,
     );
-    write_csv(&cfg, "lemma10", "curve", &["c_rows", "c_columns", "combined"], &table);
+    write_csv(
+        &cfg,
+        "lemma10",
+        "curve",
+        &["c_rows", "c_columns", "combined"],
+        &table,
+    );
 
     // Lemma 11: half-universe rectangles.
     let mut table11 = Vec::new();
@@ -64,7 +70,11 @@ fn main() {
         let wide = average_clustering_exact(&curve, [side, side / 2]).unwrap();
         table11.push(Row::new(
             name,
-            vec![format!("{tall:.1}"), format!("{wide:.1}"), format!("{:.1}", tall.max(wide))],
+            vec![
+                format!("{tall:.1}"),
+                format!("{wide:.1}"),
+                format!("{:.1}", tall.max(wide)),
+            ],
         ));
     }
     print_table(
@@ -73,7 +83,13 @@ fn main() {
         &["c(tall)", "c(wide)", "worse of the two"],
         &table11,
     );
-    write_csv(&cfg, "lemma11", "curve", &["c_tall", "c_wide", "max"], &table11);
+    write_csv(
+        &cfg,
+        "lemma11",
+        "curve",
+        &["c_tall", "c_wide", "max"],
+        &table11,
+    );
 
     println!(
         "\nOK: every curve pays at least sqrt(n)/2 on rows+columns — no SFC is \

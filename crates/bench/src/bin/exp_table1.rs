@@ -58,7 +58,13 @@ fn run_2d(cfg: &ExperimentCfg) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     print_table(
         "Table I (2D): cube queries, l = side-9",
         "side",
-        &["c(onion)", "c(hilbert)", "LB(any SFC)", "eta(onion)", "eta(hilbert)"],
+        &[
+            "c(onion)",
+            "c(hilbert)",
+            "LB(any SFC)",
+            "eta(onion)",
+            "eta(hilbert)",
+        ],
         &rows,
     );
     write_csv(
@@ -107,7 +113,13 @@ fn run_3d(cfg: &ExperimentCfg) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     print_table(
         "Table I (3D): cube queries, l = side-9",
         "side",
-        &["c(onion)", "c(hilbert)", "LB(any SFC)", "eta(onion)", "eta(hilbert)"],
+        &[
+            "c(onion)",
+            "c(hilbert)",
+            "LB(any SFC)",
+            "eta(onion)",
+            "eta(hilbert)",
+        ],
         &rows,
     );
     write_csv(

@@ -127,7 +127,13 @@ fn main() {
     print_table(
         &format!("Table II (2D, side {side2}): measured eta vs paper bound"),
         "case",
-        &["shape", "eta(onion)", "paper bound", "eta(hilbert)", "check"],
+        &[
+            "shape",
+            "eta(onion)",
+            "paper bound",
+            "eta(hilbert)",
+            "check",
+        ],
         &rows,
     );
     write_csv(
@@ -149,7 +155,12 @@ fn main() {
             eta_onion_3d_case3(0.3967),
             false,
         ),
-        ("mu=1, phi=0.75", |s| (0.75 * f64::from(s)).round() as u32, 2.0, false),
+        (
+            "mu=1, phi=0.75",
+            |s| (0.75 * f64::from(s)).round() as u32,
+            2.0,
+            false,
+        ),
         ("mu=1, phi=1 (psi=-24)", |s| s - 24, 3.0, false),
     ];
     for (name, shape_of, bound, continuous_lb) in cases3 {
@@ -181,7 +192,13 @@ fn main() {
     print_table(
         &format!("Table II (3D, side {side3}): measured eta vs paper bound"),
         "case",
-        &["shape", "eta(onion)", "paper bound", "eta(hilbert)", "check"],
+        &[
+            "shape",
+            "eta(onion)",
+            "paper bound",
+            "eta(hilbert)",
+            "check",
+        ],
         &rows3,
     );
     write_csv(
@@ -192,6 +209,9 @@ fn main() {
         &rows3,
     );
 
-    assert!(all_ok, "some measured eta exceeded the paper bound plus slack");
+    assert!(
+        all_ok,
+        "some measured eta exceeded the paper bound plus slack"
+    );
     println!("\nOK: every measured onion ratio respects its Table II bound.");
 }

@@ -103,7 +103,13 @@ pub fn print_table(title: &str, label_header: &str, columns: &[&str], rows: &[Ro
 }
 
 /// Writes the same table as CSV into `cfg.out_dir/name.csv`.
-pub fn write_csv(cfg: &ExperimentCfg, name: &str, label_header: &str, columns: &[&str], rows: &[Row]) {
+pub fn write_csv(
+    cfg: &ExperimentCfg,
+    name: &str,
+    label_header: &str,
+    columns: &[&str],
+    rows: &[Row],
+) {
     if let Err(e) = fs::create_dir_all(&cfg.out_dir) {
         eprintln!("warning: cannot create {}: {e}", cfg.out_dir.display());
         return;
@@ -139,7 +145,10 @@ mod tests {
             seed: 0,
             out_dir: dir.clone(),
         };
-        let rows = vec![Row::new("a", vec!["1".into()]), Row::new("b", vec!["2".into()])];
+        let rows = vec![
+            Row::new("a", vec!["1".into()]),
+            Row::new("b", vec!["2".into()]),
+        ];
         write_csv(&cfg, "t", "k", &["v"], &rows);
         let body = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(body, "k,v\na,1\nb,2\n");

@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod harness;
 pub mod scenarios;
 
+pub use baseline::ScalarOnly;
 pub use harness::{print_table, write_csv, ExperimentCfg, Row};

@@ -59,9 +59,32 @@ pub fn clustering_number_with<const D: usize, C: SpaceFillingCurve<D>>(
                 by_entry_scan(curve, q)
             }
         }
-        ClusterMethod::Sort => count_runs(&sorted_indices(curve, q)),
+        ClusterMethod::Sort => count_runs(sorted_indices(curve, q, &mut ClusterScratch::new())),
         ClusterMethod::EntryScan => by_entry_scan(curve, q),
         ClusterMethod::BoundaryScan => by_boundary_scan(curve, q),
+    }
+}
+
+/// Reusable buffers for range decomposition. Holding one of these across
+/// calls makes [`cluster_ranges_into`] allocation-free per query once the
+/// buffers have grown to the working-set size — the index crate keeps one
+/// per table so every rectangle query reuses the same memory.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterScratch<const D: usize> {
+    /// Staging buffer for batched forward mapping.
+    points: Vec<Point<D>>,
+    /// Curve indices of staged points.
+    indices: Vec<u64>,
+    /// Candidate first-cells of clusters.
+    entries: Vec<u64>,
+    /// Candidate last-cells of clusters.
+    exits: Vec<u64>,
+}
+
+impl<const D: usize> ClusterScratch<D> {
+    /// Fresh (empty) scratch space.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -69,15 +92,32 @@ pub fn clustering_number_with<const D: usize, C: SpaceFillingCurve<D>>(
 /// ascending. `cluster_ranges(..).len()` equals the clustering number.
 ///
 /// This is the range-decomposition primitive used by the `sfc-index` crate
-/// to turn a rectangle query into B+-tree range scans.
+/// to turn a rectangle query into B+-tree range scans. Convenience wrapper
+/// over [`cluster_ranges_into`]; hot paths should hold a
+/// [`ClusterScratch`] and call that directly.
 pub fn cluster_ranges<const D: usize, C: SpaceFillingCurve<D>>(
     curve: &C,
     q: &RectQuery<D>,
 ) -> Vec<(u64, u64)> {
+    let mut scratch = ClusterScratch::new();
+    let mut out = Vec::new();
+    cluster_ranges_into(curve, q, &mut scratch, &mut out);
+    out
+}
+
+/// Computes the cluster ranges of `q` into `out` (cleared first), reusing
+/// `scratch` buffers so repeated queries allocate nothing once warm.
+pub fn cluster_ranges_into<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    q: &RectQuery<D>,
+    scratch: &mut ClusterScratch<D>,
+    out: &mut Vec<(u64, u64)>,
+) {
+    out.clear();
     if curve.jump_targets().is_some() {
-        ranges_by_boundary_scan(curve, q)
+        ranges_by_boundary_scan(curve, q, scratch, out);
     } else {
-        ranges_by_sort(curve, q)
+        ranges_by_sort(curve, q, scratch, out);
     }
 }
 
@@ -89,30 +129,61 @@ pub fn cluster_ranges<const D: usize, C: SpaceFillingCurve<D>>(
 /// Returns the coalesced ranges; the number of extra (non-query) cells read
 /// is the sum of the absorbed gaps.
 ///
-/// `ranges` must be sorted, disjoint, non-adjacent — exactly what
-/// [`cluster_ranges`] produces.
+/// `ranges` must be sorted and disjoint — what [`cluster_ranges`]
+/// produces. Adjacent ranges (gap 0) are merged for any `max_gap`.
+///
+/// # Panics
+/// On unsorted or overlapping input, in all build profiles — the previous
+/// `lo - prev.1 - 1` silently wrapped in release builds, coalescing
+/// everything into one bogus range.
 pub fn coalesce_ranges(ranges: &[(u64, u64)], max_gap: u64) -> Vec<(u64, u64)> {
     let mut out: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
     for &(lo, hi) in ranges {
-        debug_assert!(lo <= hi);
+        assert!(lo <= hi, "coalesce_ranges: malformed range ({lo}, {hi})");
         match out.last_mut() {
-            Some(prev) if lo - prev.1 - 1 <= max_gap => {
-                debug_assert!(lo > prev.1);
-                prev.1 = hi;
+            Some(prev) => {
+                let gap = lo.checked_sub(prev.1 + 1).unwrap_or_else(|| {
+                    panic!(
+                        "coalesce_ranges: ranges must be sorted and disjoint, \
+                         but ({lo}, {hi}) overlaps or precedes (.., {})",
+                        prev.1
+                    )
+                });
+                if gap <= max_gap {
+                    prev.1 = prev.1.max(hi);
+                } else {
+                    out.push((lo, hi));
+                }
             }
-            _ => out.push((lo, hi)),
+            None => out.push((lo, hi)),
         }
     }
     out
 }
 
-fn sorted_indices<const D: usize, C: SpaceFillingCurve<D>>(
+/// Cells are staged and mapped in blocks of this size, bounding scratch
+/// memory while amortizing one (virtual) batch call over many cells.
+const BATCH: usize = 4096;
+
+/// Fills `scratch.indices` with the curve indices of every query cell,
+/// sorted ascending, via chunked [`SpaceFillingCurve::fill_indices`] calls.
+fn sorted_indices<'s, const D: usize, C: SpaceFillingCurve<D>>(
     curve: &C,
     q: &RectQuery<D>,
-) -> Vec<u64> {
-    let mut idx: Vec<u64> = q.cells().map(|p| curve.index_unchecked(p)).collect();
-    idx.sort_unstable();
-    idx
+    scratch: &'s mut ClusterScratch<D>,
+) -> &'s [u64] {
+    scratch.indices.clear();
+    let mut cells = q.cells();
+    loop {
+        scratch.points.clear();
+        scratch.points.extend(cells.by_ref().take(BATCH));
+        if scratch.points.is_empty() {
+            break;
+        }
+        curve.fill_indices(&scratch.points, &mut scratch.indices);
+    }
+    scratch.indices.sort_unstable();
+    &scratch.indices
 }
 
 fn count_runs(sorted: &[u64]) -> u64 {
@@ -125,12 +196,13 @@ fn count_runs(sorted: &[u64]) -> u64 {
 fn ranges_by_sort<const D: usize, C: SpaceFillingCurve<D>>(
     curve: &C,
     q: &RectQuery<D>,
-) -> Vec<(u64, u64)> {
-    let idx = sorted_indices(curve, q);
-    let mut out = Vec::new();
-    let mut iter = idx.into_iter();
+    scratch: &mut ClusterScratch<D>,
+    out: &mut Vec<(u64, u64)>,
+) {
+    let idx = sorted_indices(curve, q, scratch);
+    let mut iter = idx.iter().copied();
     let Some(first) = iter.next() else {
-        return out;
+        return;
     };
     let (mut lo, mut hi) = (first, first);
     for v in iter {
@@ -143,11 +215,14 @@ fn ranges_by_sort<const D: usize, C: SpaceFillingCurve<D>>(
         }
     }
     out.push((lo, hi));
-    out
 }
 
 /// Is the cell an *entry*: the first cell of a cluster, i.e. its curve
 /// predecessor is absent or outside `q`?
+///
+/// Uses [`SpaceFillingCurve::predecessor_unchecked`], so for the onion
+/// curves the probe is an `O(1)` perimeter step instead of a full
+/// (`isqrt`-carrying) unrank.
 #[inline]
 fn is_entry<const D: usize, C: SpaceFillingCurve<D>>(
     curve: &C,
@@ -158,7 +233,7 @@ fn is_entry<const D: usize, C: SpaceFillingCurve<D>>(
     if idx == 0 {
         return true;
     }
-    !q.contains(curve.point_unchecked(idx - 1))
+    !q.contains(curve.predecessor_unchecked(p, idx))
 }
 
 fn by_entry_scan<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, q: &RectQuery<D>) -> u64 {
@@ -197,55 +272,43 @@ fn by_boundary_scan<const D: usize, C: SpaceFillingCurve<D>>(curve: &C, q: &Rect
 fn ranges_by_boundary_scan<const D: usize, C: SpaceFillingCurve<D>>(
     curve: &C,
     q: &RectQuery<D>,
-) -> Vec<(u64, u64)> {
+    scratch: &mut ClusterScratch<D>,
+    out: &mut Vec<(u64, u64)>,
+) {
     let jumps = curve
         .jump_targets()
         .expect("boundary scan requires enumerable jump targets");
     let n = curve.universe().cell_count();
-    let mut entries: Vec<u64> = Vec::new();
-    let mut exits: Vec<u64> = Vec::new();
+    let ClusterScratch { entries, exits, .. } = scratch;
+    entries.clear();
+    exits.clear();
     // An *exit* is the last cell of a cluster: its successor is absent or
     // outside q. Exits occur on the boundary, at predecessors of jump
-    // targets ("jump sources"), or at the curve end.
-    let mut consider = |idx: u64| {
-        // entry test
-        let p_prev = if idx == 0 {
-            None
-        } else {
-            Some(curve.point_unchecked(idx - 1))
-        };
-        if p_prev.is_none_or(|pp| !q.contains(pp)) {
-            entries.push(idx);
-        }
-    };
-    let mut consider_exit = |idx: u64| {
-        let p_next = if idx + 1 >= n {
-            None
-        } else {
-            Some(curve.point_unchecked(idx + 1))
-        };
-        if p_next.is_none_or(|pn| !q.contains(pn)) {
-            exits.push(idx);
-        }
-    };
+    // targets ("jump sources"), or at the curve end. Both probes step from
+    // the already-known cell, so onion curves pay O(1) geometry per probe
+    // instead of a full unrank.
     q.for_each_boundary_cell(|p| {
         let idx = curve.index_unchecked(p);
-        consider(idx);
-        consider_exit(idx);
+        if idx == 0 || !q.contains(curve.predecessor_unchecked(p, idx)) {
+            entries.push(idx);
+        }
+        if idx + 1 >= n || !q.contains(curve.successor_unchecked(p, idx)) {
+            exits.push(idx);
+        }
     });
     let interior = |p: Point<D>| q.contains(p) && !on_boundary(q, p);
     for p in &jumps {
-        if interior(*p) {
-            let idx = curve.index_unchecked(*p);
-            consider(idx); // interior jump target may start a cluster
-        }
-        // The jump source (predecessor of a jump target) may end a cluster
-        // even while interior.
         let tgt_idx = curve.index_unchecked(*p);
-        debug_assert!(tgt_idx > 0);
-        let src = curve.point_unchecked(tgt_idx - 1);
-        if interior(src) {
-            consider_exit(tgt_idx - 1);
+        debug_assert!(tgt_idx > 0, "jump targets never include the curve start");
+        // The jump source is the target's curve predecessor; its successor
+        // is the target itself, so both tests below reuse the pair.
+        let src = curve.predecessor_unchecked(*p, tgt_idx);
+        if interior(*p) && !q.contains(src) {
+            entries.push(tgt_idx); // interior jump target starts a cluster
+        }
+        // The jump source may end a cluster even while interior.
+        if interior(src) && !q.contains(*p) {
+            exits.push(tgt_idx - 1);
         }
     }
     let start = curve.start();
@@ -261,7 +324,7 @@ fn ranges_by_boundary_scan<const D: usize, C: SpaceFillingCurve<D>>(
     exits.sort_unstable();
     exits.dedup();
     debug_assert_eq!(entries.len(), exits.len(), "unbalanced cluster boundaries");
-    entries.into_iter().zip(exits).collect()
+    out.extend(entries.iter().copied().zip(exits.iter().copied()));
 }
 
 #[inline]

@@ -96,8 +96,7 @@ impl<const D: usize> TranslationSet<D> {
     /// `γ = I(a) + I(b) − 2·I(a ∧ b)`.
     #[inline]
     pub fn gamma_edge(&self, a: Point<D>, b: Point<D>) -> u64 {
-        self.count_containing(a) + self.count_containing(b)
-            - 2 * self.count_containing_both(a, b)
+        self.count_containing(a) + self.count_containing(b) - 2 * self.count_containing_both(a, b)
     }
 
     /// The paper's `λ(Q, α)` (Definition 2): the minimum `γ(Q, (α, β))` over
@@ -189,10 +188,7 @@ mod tests {
             (Point::new([5, 0]), Point::new([0, 5])), // corner to corner
         ];
         for (a, b) in pairs {
-            let expect = qs
-                .iter()
-                .filter(|q| q.contains(a) != q.contains(b))
-                .count() as u64;
+            let expect = qs.iter().filter(|q| q.contains(a) != q.contains(b)).count() as u64;
             assert_eq!(ts.gamma_edge(a, b), expect, "({a},{b})");
         }
     }
@@ -203,11 +199,7 @@ mod tests {
         for x in 0..8 {
             for y in 0..8 {
                 let p = Point::new([x, y]);
-                let expect = p
-                    .neighbors(8)
-                    .map(|nb| ts.gamma_edge(p, nb))
-                    .min()
-                    .unwrap();
+                let expect = p.neighbors(8).map(|nb| ts.gamma_edge(p, nb)).min().unwrap();
                 assert_eq!(ts.lambda(p), expect);
             }
         }

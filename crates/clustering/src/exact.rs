@@ -9,7 +9,7 @@
 //! or not) for **all** translates of a query shape — no sampling error.
 
 use crate::crossing::TranslationSet;
-use onion_core::{SfcError, SpaceFillingCurve};
+use onion_core::{CurveStepper, SfcError, SpaceFillingCurve};
 
 /// Exact average clustering number `c(Q(shape), π)` over all translations.
 ///
@@ -30,16 +30,20 @@ pub fn average_clustering_exact<const D: usize, C: SpaceFillingCurve<D>>(
 ) -> Result<f64, SfcError> {
     let u = curve.universe();
     let ts = TranslationSet::new(u.side(), shape)?;
-    let n = u.cell_count();
     let mut gamma_total: u128 = 0;
-    let mut prev = curve.point_unchecked(0);
-    for idx in 1..n {
-        let next = curve.point_unchecked(idx);
+    // Walk the curve with the incremental stepper: one O(1) successor step
+    // per edge for the onion curves, instead of one unrank per position.
+    let mut stepper = CurveStepper::new(curve);
+    let start = stepper.point();
+    let mut prev = start;
+    while stepper.advance() {
+        let next = stepper.point();
         gamma_total += u128::from(ts.gamma_edge(prev, next));
         prev = next;
     }
-    let ends = u128::from(ts.count_containing(curve.start()))
-        + u128::from(ts.count_containing(curve.end()));
+    // `prev` now holds the final curve cell π_e; reuse it rather than
+    // re-deriving `curve.end()` with another unrank.
+    let ends = u128::from(ts.count_containing(start)) + u128::from(ts.count_containing(prev));
     Ok((gamma_total + ends) as f64 / (2.0 * ts.num_queries() as f64))
 }
 

@@ -99,9 +99,7 @@ pub fn fixed_ratio_set_2d<R: Rng>(
         let l1 = (f64::from(l2) / rho).floor() as u64;
         if l1 >= 1 && l1 <= u64::from(side) && l2 >= 1 {
             let shape = [l1 as u32, l2];
-            out.extend(
-                random_translations(side, shape, per_step, rng).expect("validated shape"),
-            );
+            out.extend(random_translations(side, shape, per_step, rng).expect("validated shape"));
         }
         if l2 < step {
             break;
@@ -129,9 +127,7 @@ pub fn fixed_ratio_set_3d<R: Rng>(
         let l1 = (f64::from(l2) / rho).floor() as u64;
         if l1 >= 1 && l1 <= u64::from(side) && l2 >= 1 {
             let shape = [l1 as u32, l2, l2];
-            out.extend(
-                random_translations(side, shape, per_step, rng).expect("validated shape"),
-            );
+            out.extend(random_translations(side, shape, per_step, rng).expect("validated shape"));
         }
         if l2 < step {
             break;
@@ -202,7 +198,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let qs = random_translations(64, [10u32, 20], 100, &mut rng).unwrap();
         assert_eq!(qs.len(), 100);
-        assert!(qs.iter().all(|q| q.fits_in(64) && q.len() == [10, 20]));
+        assert!(qs
+            .iter()
+            .all(|q| q.fits_in(64) && q.side_lengths() == [10, 20]));
         let mut rng2 = StdRng::seed_from_u64(42);
         let qs2 = random_translations(64, [10u32, 20], 100, &mut rng2).unwrap();
         assert_eq!(qs, qs2);
@@ -220,14 +218,14 @@ mod tests {
         let qs = fixed_ratio_set_2d(1024, 4.0, 50, 20, &mut rng);
         assert!(!qs.is_empty());
         for q in &qs {
-            let [l1, l2] = q.len();
+            let [l1, l2] = q.side_lengths();
             assert_eq!(u64::from(l1), u64::from(l2) / 4, "ℓ1 = ⌊ℓ2/ρ⌋");
             assert!(q.fits_in(1024));
         }
         // ρ < 1 gives wide rectangles; oversized ℓ1 are skipped.
         let qs = fixed_ratio_set_2d(1024, 0.5, 50, 20, &mut rng);
         for q in &qs {
-            let [l1, l2] = q.len();
+            let [l1, l2] = q.side_lengths();
             assert_eq!(u64::from(l1), u64::from(l2) * 2);
         }
     }
@@ -237,7 +235,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let qs = fixed_ratio_set_3d(512, 2.0, 50, 5, &mut rng);
         for q in &qs {
-            let [l1, l2, l3] = q.len();
+            let [l1, l2, l3] = q.side_lengths();
             assert_eq!(l2, l3);
             assert_eq!(u64::from(l1), u64::from(l2) / 2);
         }
@@ -259,7 +257,7 @@ mod tests {
         assert_eq!(c.len(), 6);
         let total: u64 = r.iter().map(|q| q.volume()).sum();
         assert_eq!(total, 36);
-        assert!(r.iter().all(|q| q.len() == [6, 1]));
-        assert!(c.iter().all(|q| q.len() == [1, 6]));
+        assert!(r.iter().all(|q| q.side_lengths() == [6, 1]));
+        assert!(c.iter().all(|q| q.side_lengths() == [1, 6]));
     }
 }

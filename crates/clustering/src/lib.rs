@@ -38,14 +38,15 @@ mod query;
 mod stats;
 
 pub use cluster::{
-    cluster_ranges, clustering_number, clustering_number_with, coalesce_ranges, ClusterMethod,
+    cluster_ranges, cluster_ranges_into, clustering_number, clustering_number_with,
+    coalesce_ranges, ClusterMethod, ClusterScratch,
 };
-pub use metrics::{cluster_gap_stats, index_dilation, neighbor_stretch, GapStats};
 pub use crossing::TranslationSet;
 pub use exact::{average_clustering_bruteforce, average_clustering_exact};
 pub use generator::{
     all_translations, columns, fixed_ratio_set_2d, fixed_ratio_set_3d, random_corner_rects,
     random_translations, rows,
 };
+pub use metrics::{cluster_gap_stats, index_dilation, neighbor_stretch, GapStats};
 pub use query::{RectCellIter, RectQuery};
 pub use stats::{quantile, Summary};

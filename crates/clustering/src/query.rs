@@ -58,8 +58,13 @@ impl<const D: usize> RectQuery<D> {
     }
 
     /// Side lengths (the paper's `ℓ_1, …, ℓ_d`).
+    ///
+    /// Named `side_lengths` rather than `len` because a `RectQuery` is not
+    /// a container: clippy's `len_without_is_empty` pairing makes no sense
+    /// for a shape that is never empty (every side is ≥ 1 by
+    /// construction).
     #[inline]
-    pub fn len(&self) -> [u32; D] {
+    pub fn side_lengths(&self) -> [u32; D] {
         self.len
     }
 
@@ -67,12 +72,6 @@ impl<const D: usize> RectQuery<D> {
     #[inline]
     pub fn volume(&self) -> u64 {
         self.len.iter().map(|&l| u64::from(l)).product()
-    }
-
-    /// Whether the query is degenerate (single cell).
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        false // a valid query always has at least one cell
     }
 
     /// Whether `p` lies inside the query.
@@ -235,7 +234,7 @@ mod tests {
         let r = RectQuery::from_corners(b, a);
         assert_eq!(q, r);
         assert_eq!(q.lo(), [2, 1, 9]);
-        assert_eq!(q.len(), [4, 7, 1]);
+        assert_eq!(q.side_lengths(), [4, 7, 1]);
         assert!(q.contains(a) && q.contains(b));
     }
 
@@ -276,7 +275,7 @@ mod tests {
         let mut expected: Vec<Point<D>> = q
             .cells()
             .filter(|p| {
-                (0..D).any(|d| p.0[d] == q.lo()[d] || p.0[d] == q.lo()[d] + q.len()[d] - 1)
+                (0..D).any(|d| p.0[d] == q.lo()[d] || p.0[d] == q.lo()[d] + q.side_lengths()[d] - 1)
             })
             .collect();
         let mut got = q.boundary_cells();

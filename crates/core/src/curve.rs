@@ -76,66 +76,194 @@ pub trait SpaceFillingCurve<const D: usize> {
     fn end(&self) -> Point<D> {
         self.point_unchecked(self.universe().cell_count() - 1)
     }
+
+    /// Batch forward mapping: appends `π(p)` for every point of `points` to
+    /// `out`, in order.
+    ///
+    /// The default is the scalar loop. Curves override it to hoist per-call
+    /// setup out of the loop and — crucially for `Box<dyn
+    /// SpaceFillingCurve>` callers — replace one virtual dispatch *per cell*
+    /// with one per *batch*, letting the mapping kernel inline.
+    fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
+        out.reserve(points.len());
+        for &p in points {
+            out.push(self.index_unchecked(p));
+        }
+    }
+
+    /// Batch inverse mapping: appends `π⁻¹(idx)` for every index of
+    /// `indices` to `out`, in order. See [`Self::fill_indices`].
+    fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
+        out.reserve(indices.len());
+        for &idx in indices {
+            out.push(self.point_unchecked(idx));
+        }
+    }
+
+    /// The cell following `p` on the curve: `π⁻¹(idx + 1)`, where
+    /// `idx = π(p)` is supplied by the caller.
+    ///
+    /// The default re-unranks. Curves with geometric structure (the onion
+    /// family) override it with an `O(1)` walk — adds and compares only, no
+    /// integer square/cube roots — which is what makes [`CurveStepper`]
+    /// fast.
+    ///
+    /// Callers must guarantee `idx == π(p)` and `idx + 1 < n`.
+    fn successor_unchecked(&self, p: Point<D>, idx: u64) -> Point<D> {
+        debug_assert_eq!(self.index_unchecked(p), idx, "successor: idx must be π(p)");
+        self.point_unchecked(idx + 1)
+    }
+
+    /// The cell preceding `p` on the curve: `π⁻¹(idx − 1)`, where
+    /// `idx = π(p)` is supplied by the caller. See
+    /// [`Self::successor_unchecked`].
+    ///
+    /// Callers must guarantee `idx == π(p)` and `idx ≥ 1`.
+    fn predecessor_unchecked(&self, p: Point<D>, idx: u64) -> Point<D> {
+        debug_assert_eq!(
+            self.index_unchecked(p),
+            idx,
+            "predecessor: idx must be π(p)"
+        );
+        self.point_unchecked(idx - 1)
+    }
+}
+
+/// Forwards every method (including the batch and stepping overrides — a
+/// forwarding impl that fell back to the defaults would silently lose a
+/// curve's specialized kernels).
+macro_rules! forward_sfc_impl {
+    () => {
+        fn universe(&self) -> Universe<D> {
+            (**self).universe()
+        }
+        fn index_unchecked(&self, p: Point<D>) -> u64 {
+            (**self).index_unchecked(p)
+        }
+        fn point_unchecked(&self, idx: u64) -> Point<D> {
+            (**self).point_unchecked(idx)
+        }
+        fn name(&self) -> &str {
+            (**self).name()
+        }
+        fn is_continuous(&self) -> bool {
+            (**self).is_continuous()
+        }
+        fn jump_targets(&self) -> Option<Vec<Point<D>>> {
+            (**self).jump_targets()
+        }
+        fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
+            (**self).fill_indices(points, out)
+        }
+        fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
+            (**self).fill_points(indices, out)
+        }
+        fn successor_unchecked(&self, p: Point<D>, idx: u64) -> Point<D> {
+            (**self).successor_unchecked(p, idx)
+        }
+        fn predecessor_unchecked(&self, p: Point<D>, idx: u64) -> Point<D> {
+            (**self).predecessor_unchecked(p, idx)
+        }
+    };
 }
 
 impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D> for &C {
-    fn universe(&self) -> Universe<D> {
-        (**self).universe()
-    }
-    fn index_unchecked(&self, p: Point<D>) -> u64 {
-        (**self).index_unchecked(p)
-    }
-    fn point_unchecked(&self, idx: u64) -> Point<D> {
-        (**self).point_unchecked(idx)
-    }
-    fn name(&self) -> &str {
-        (**self).name()
-    }
-    fn is_continuous(&self) -> bool {
-        (**self).is_continuous()
-    }
-    fn jump_targets(&self) -> Option<Vec<Point<D>>> {
-        (**self).jump_targets()
-    }
+    forward_sfc_impl!();
 }
 
 impl<const D: usize, C: SpaceFillingCurve<D> + ?Sized> SpaceFillingCurve<D> for Box<C> {
-    fn universe(&self) -> Universe<D> {
-        (**self).universe()
+    forward_sfc_impl!();
+}
+
+/// Incremental cursor over curve positions: holds the current `(cell,
+/// index)` pair and advances via [`SpaceFillingCurve::successor_unchecked`],
+/// so stepping a curve with a geometric successor (the onion family) costs
+/// `O(1)` adds/compares instead of a full unrank per position.
+///
+/// This is the sanctioned hot-path primitive for anything that visits curve
+/// positions in order — [`CurveWalk`], [`edges`], and the clustering crate's
+/// exact-average walk are all built on it.
+#[derive(Clone, Debug)]
+pub struct CurveStepper<'a, C: ?Sized, const D: usize> {
+    curve: &'a C,
+    point: Point<D>,
+    index: u64,
+    cells: u64,
+}
+
+impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> CurveStepper<'a, C, D> {
+    /// Positions the cursor at the curve start, `π⁻¹(0)`.
+    pub fn new(curve: &'a C) -> Self {
+        Self::starting_at(curve, 0)
     }
-    fn index_unchecked(&self, p: Point<D>) -> u64 {
-        (**self).index_unchecked(p)
+
+    /// Positions the cursor at an arbitrary index (one unrank, then `O(1)`
+    /// steps).
+    ///
+    /// # Panics
+    /// If `idx` is outside the curve.
+    pub fn starting_at(curve: &'a C, idx: u64) -> Self {
+        let cells = curve.universe().cell_count();
+        assert!(
+            idx < cells,
+            "stepper start {idx} outside curve of {cells} cells"
+        );
+        CurveStepper {
+            point: curve.point_unchecked(idx),
+            index: idx,
+            curve,
+            cells,
+        }
     }
-    fn point_unchecked(&self, idx: u64) -> Point<D> {
-        (**self).point_unchecked(idx)
+
+    /// The current cell.
+    #[inline]
+    pub fn point(&self) -> Point<D> {
+        self.point
     }
-    fn name(&self) -> &str {
-        (**self).name()
+
+    /// The current curve index.
+    #[inline]
+    pub fn index(&self) -> u64 {
+        self.index
     }
-    fn is_continuous(&self) -> bool {
-        (**self).is_continuous()
+
+    /// Whether the cursor sits on the final curve position.
+    #[inline]
+    pub fn at_end(&self) -> bool {
+        self.index + 1 >= self.cells
     }
-    fn jump_targets(&self) -> Option<Vec<Point<D>>> {
-        (**self).jump_targets()
+
+    /// Advances one position. Returns `false` (and stays put) at the curve
+    /// end.
+    #[inline]
+    pub fn advance(&mut self) -> bool {
+        if self.at_end() {
+            return false;
+        }
+        self.point = self.curve.successor_unchecked(self.point, self.index);
+        self.index += 1;
+        true
     }
 }
 
 /// Iterator over the cells of a curve in curve order (`π⁻¹(0), π⁻¹(1), …`).
+///
+/// Backed by [`CurveStepper`], so full walks of onion curves advance in
+/// `O(1)` per cell rather than paying an integer square root per unrank.
 #[derive(Clone, Debug)]
 pub struct CurveWalk<'a, C: ?Sized, const D: usize> {
-    curve: &'a C,
-    next: u64,
-    cells: u64,
+    stepper: CurveStepper<'a, C, D>,
+    /// Whether the stepper's current position has already been yielded.
+    started: bool,
 }
 
 impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> CurveWalk<'a, C, D> {
     /// Creates a walk over the whole curve.
     pub fn new(curve: &'a C) -> Self {
-        let cells = curve.universe().cell_count();
         CurveWalk {
-            curve,
-            next: 0,
-            cells,
+            stepper: CurveStepper::new(curve),
+            started: false,
         }
     }
 }
@@ -145,16 +273,18 @@ impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> Iterator for CurveWal
 
     #[inline]
     fn next(&mut self) -> Option<Point<D>> {
-        if self.next >= self.cells {
-            return None;
+        if !self.started {
+            self.started = true;
+            Some(self.stepper.point())
+        } else if self.stepper.advance() {
+            Some(self.stepper.point())
+        } else {
+            None
         }
-        let p = self.curve.point_unchecked(self.next);
-        self.next += 1;
-        Some(p)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = (self.cells - self.next) as usize;
+        let rem = (self.stepper.cells - self.stepper.index - u64::from(self.started)) as usize;
         (rem, Some(rem))
     }
 }
@@ -194,10 +324,16 @@ pub mod verify {
         for p in u.iter_cells() {
             let idx = curve.index_unchecked(p);
             if idx >= n {
-                return Err(format!("{}: index {idx} of {p} out of range {n}", curve.name()));
+                return Err(format!(
+                    "{}: index {idx} of {p} out of range {n}",
+                    curve.name()
+                ));
             }
             if seen[idx as usize] {
-                return Err(format!("{}: index {idx} assigned twice (at {p})", curve.name()));
+                return Err(format!(
+                    "{}: index {idx} assigned twice (at {p})",
+                    curve.name()
+                ));
             }
             seen[idx as usize] = true;
             let back = curve.point_unchecked(idx);
@@ -214,9 +350,7 @@ pub mod verify {
     /// Counts positions `i` where `π⁻¹(i)` and `π⁻¹(i+1)` are not grid
     /// neighbors. Zero for continuous curves.
     pub fn discontinuities<const D: usize, C: SpaceFillingCurve<D>>(curve: &C) -> u64 {
-        edges(curve)
-            .filter(|(a, b)| !a.is_neighbor(b))
-            .count() as u64
+        edges(curve).filter(|(a, b)| !a.is_neighbor(b)).count() as u64
     }
 
     /// Checks that [`SpaceFillingCurve::jump_targets`] is sound and complete:
@@ -333,5 +467,63 @@ mod tests {
         assert_eq!(c.name(), "toy-row-major");
         // Blanket impls let boxed curves be used generically too.
         verify::bijection(&c).unwrap();
+    }
+
+    #[test]
+    fn batch_defaults_match_scalar() {
+        let c = toy();
+        let points: Vec<Point<2>> = c.universe().iter_cells().collect();
+        let mut indices = Vec::new();
+        c.fill_indices(&points, &mut indices);
+        let expect: Vec<u64> = points.iter().map(|&p| c.index_unchecked(p)).collect();
+        assert_eq!(indices, expect);
+        let mut back = Vec::new();
+        c.fill_points(&indices, &mut back);
+        assert_eq!(back, points);
+        // Appending semantics: a second fill extends rather than clears.
+        c.fill_indices(&points[..2], &mut indices);
+        assert_eq!(indices.len(), points.len() + 2);
+    }
+
+    #[test]
+    fn stepper_visits_every_position() {
+        let c = toy();
+        let mut stepper = CurveStepper::new(&c);
+        for idx in 0..16u64 {
+            assert_eq!(stepper.index(), idx);
+            assert_eq!(stepper.point(), c.point_unchecked(idx));
+            assert_eq!(stepper.advance(), idx + 1 < 16);
+        }
+        assert!(stepper.at_end());
+        assert_eq!(stepper.index(), 15);
+    }
+
+    #[test]
+    fn stepper_starting_mid_curve() {
+        let c = toy();
+        let mut stepper = CurveStepper::starting_at(&c, 10);
+        assert_eq!(stepper.point(), c.point_unchecked(10));
+        assert!(stepper.advance());
+        assert_eq!(stepper.point(), c.point_unchecked(11));
+    }
+
+    #[test]
+    fn default_successor_predecessor_roundtrip() {
+        let c = toy();
+        for idx in 1..15u64 {
+            let p = c.point_unchecked(idx);
+            assert_eq!(c.successor_unchecked(p, idx), c.point_unchecked(idx + 1));
+            assert_eq!(c.predecessor_unchecked(p, idx), c.point_unchecked(idx - 1));
+        }
+    }
+
+    #[test]
+    fn walk_size_hint_is_exact() {
+        let c = toy();
+        let mut walk = CurveWalk::new(&c);
+        assert_eq!(walk.len(), 16);
+        walk.next();
+        assert_eq!(walk.len(), 15);
+        assert_eq!(walk.by_ref().count(), 15);
     }
 }

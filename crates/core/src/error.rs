@@ -75,7 +75,10 @@ mod tests {
         assert!(e.to_string().contains("7^21"));
         let e = SfcError::SideNotPowerOfTwo { side: 12 };
         assert!(e.to_string().contains("12"));
-        let e = SfcError::IndexOutOfBounds { index: 99, cells: 64 };
+        let e = SfcError::IndexOutOfBounds {
+            index: 99,
+            cells: 64,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("64"));
     }

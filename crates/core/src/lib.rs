@@ -46,7 +46,7 @@ pub mod onion2d;
 pub mod onion3d;
 pub mod onion_nd;
 
-pub use curve::{edges, CurveWalk, SpaceFillingCurve};
+pub use curve::{edges, CurveStepper, CurveWalk, SpaceFillingCurve};
 pub use error::SfcError;
 pub use onion2d::Onion2D;
 pub use onion3d::{Onion3D, Segment3D};

@@ -67,6 +67,78 @@ pub fn unrank_in_square(s: u32, k: u64) -> (u32, u32) {
     (lu + (t - 1), lv + (t - 1))
 }
 
+/// Successor of `(u, v)` in the onion order of a full `s × s` square, as
+/// pure perimeter geometry: `O(1)` adds and compares, no integer square
+/// root. `(u, v)` must not be the square's last cell.
+///
+/// This is the kernel behind [`crate::CurveStepper`] for the 2D curve (and,
+/// via face/plane walks, the 3D curve): a full-curve walk costs one add per
+/// cell instead of one `isqrt`-carrying unrank per cell.
+#[inline]
+pub fn successor_in_square(s: u32, u: u32, v: u32) -> (u32, u32) {
+    debug_assert!(u < s && v < s, "({u},{v}) outside {s}x{s} square");
+    let t = (u + 1).min(s - u).min(v + 1).min(s - v);
+    let lo = t - 1;
+    let e = s - 2 * lo - 1; // ring side minus one; 0 only for the last cell
+    let (lu, lv) = (u - lo, v - lo);
+    if lv == 0 && lu < e {
+        (u + 1, v) // bottom row, walking right
+    } else if lu == e && lv < e {
+        (u, v + 1) // right column, walking up
+    } else if lv == e && lu > 0 && e > 0 {
+        (u - 1, v) // top row, walking left
+    } else if lu == 0 && lv > 1 {
+        (u, v - 1) // left column, walking down
+    } else {
+        // Ring exhausted at local (0, 1) (or (0, 0) for a 2×2 ring's end):
+        // enter the next ring at its bottom-left corner.
+        debug_assert!(
+            lu == 0 && lv == 1 && e >= 2,
+            "successor of the last cell of a {s}x{s} square"
+        );
+        (lo + 1, lo + 1)
+    }
+}
+
+/// Predecessor of `(u, v)` in the onion order of a full `s × s` square
+/// (inverse of [`successor_in_square`]). `(u, v)` must not be the square's
+/// first cell `(0, 0)`.
+#[inline]
+pub fn predecessor_in_square(s: u32, u: u32, v: u32) -> (u32, u32) {
+    debug_assert!(u < s && v < s, "({u},{v}) outside {s}x{s} square");
+    debug_assert!(u != 0 || v != 0, "predecessor of the first cell");
+    let t = (u + 1).min(s - u).min(v + 1).min(s - v);
+    let lo = t - 1;
+    let e = s - 2 * lo - 1;
+    let (lu, lv) = (u - lo, v - lo);
+    if lu == 0 && lv == 0 {
+        // First cell of its ring: the previous ring ends at its local
+        // (0, 1), i.e. absolute (lo − 1, lo).
+        (u - 1, v)
+    } else if lv == 0 {
+        (u - 1, v) // bottom row: came from the left
+    } else if lu == e {
+        (u, v - 1) // right column: came from below
+    } else if lv == e {
+        (u + 1, v) // top row: came from the right
+    } else {
+        debug_assert_eq!(lu, 0);
+        (u, v + 1) // left column: came from above
+    }
+}
+
+/// The last cell (highest rank) of an `s × s` square under the onion order:
+/// the centre for odd `s`, the inner 2×2 ring's final cell for even `s`.
+#[inline]
+pub fn last_in_square(s: u32) -> (u32, u32) {
+    debug_assert!(s >= 1);
+    if s % 2 == 1 {
+        ((s - 1) / 2, (s - 1) / 2)
+    } else {
+        (s / 2 - 1, s / 2)
+    }
+}
+
 /// Decodes a perimeter position of an `s × s` ring (`0 ≤ k < 4s−4`, or the
 /// single cell when `s == 1`).
 #[inline]
@@ -144,6 +216,44 @@ impl SpaceFillingCurve<2> for Onion2D {
     /// next layer's first cell `(t, t)`.
     fn is_continuous(&self) -> bool {
         true
+    }
+
+    /// Batch forward mapping with the side hoisted and the rank kernel
+    /// statically dispatched (one virtual call per batch for `dyn` callers).
+    fn fill_indices(&self, points: &[Point<2>], out: &mut Vec<u64>) {
+        let s = self.universe.side();
+        out.reserve(points.len());
+        for p in points {
+            out.push(rank_in_square(s, p.0[0], p.0[1]));
+        }
+    }
+
+    /// Batch inverse mapping (see [`Self::fill_indices`]).
+    fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<2>>) {
+        let s = self.universe.side();
+        out.reserve(indices.len());
+        for &idx in indices {
+            let (x, y) = unrank_in_square(s, idx);
+            out.push(Point::new([x, y]));
+        }
+    }
+
+    /// `O(1)` perimeter walk — no `isqrt` (see [`successor_in_square`]).
+    #[inline]
+    fn successor_unchecked(&self, p: Point<2>, idx: u64) -> Point<2> {
+        debug_assert_eq!(self.index_unchecked(p), idx);
+        debug_assert!(idx + 1 < self.universe.cell_count());
+        let (x, y) = successor_in_square(self.universe.side(), p.0[0], p.0[1]);
+        Point::new([x, y])
+    }
+
+    /// `O(1)` reverse perimeter walk (see [`predecessor_in_square`]).
+    #[inline]
+    fn predecessor_unchecked(&self, p: Point<2>, idx: u64) -> Point<2> {
+        debug_assert_eq!(self.index_unchecked(p), idx);
+        debug_assert!(idx >= 1);
+        let (x, y) = predecessor_in_square(self.universe.side(), p.0[0], p.0[1]);
+        Point::new([x, y])
     }
 }
 
@@ -269,6 +379,66 @@ mod tests {
             for k in 0..u64::from(s) * u64::from(s) {
                 let (u, v) = unrank_in_square(s, k);
                 assert_eq!(rank_in_square(s, u, v), k, "s={s} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn square_successor_predecessor_match_unrank_exhaustively() {
+        for s in 1..=12u32 {
+            let n = u64::from(s) * u64::from(s);
+            for k in 0..n {
+                let (u, v) = unrank_in_square(s, k);
+                if k + 1 < n {
+                    assert_eq!(
+                        successor_in_square(s, u, v),
+                        unrank_in_square(s, k + 1),
+                        "s={s} k={k}"
+                    );
+                }
+                if k > 0 {
+                    assert_eq!(
+                        predecessor_in_square(s, u, v),
+                        unrank_in_square(s, k - 1),
+                        "s={s} k={k}"
+                    );
+                }
+            }
+            assert_eq!(last_in_square(s), unrank_in_square(s, n - 1), "s={s}");
+        }
+    }
+
+    #[test]
+    fn batch_overrides_match_scalar() {
+        let o = Onion2D::new(13).unwrap();
+        let points: Vec<Point<2>> = o.universe().iter_cells().collect();
+        let mut indices = Vec::new();
+        o.fill_indices(&points, &mut indices);
+        assert_eq!(
+            indices,
+            points
+                .iter()
+                .map(|&p| o.index_unchecked(p))
+                .collect::<Vec<_>>()
+        );
+        let mut back = Vec::new();
+        o.fill_points(&indices, &mut back);
+        assert_eq!(back, points);
+    }
+
+    #[test]
+    fn stepper_walk_matches_unrank_walk() {
+        for side in [1u32, 2, 5, 8, 9] {
+            let o = Onion2D::new(side).unwrap();
+            let n = o.universe().cell_count();
+            let mut stepper = crate::CurveStepper::new(&o);
+            for idx in 0..n {
+                assert_eq!(
+                    stepper.point(),
+                    o.point_unchecked(idx),
+                    "side={side} idx={idx}"
+                );
+                stepper.advance();
             }
         }
     }

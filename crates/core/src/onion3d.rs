@@ -12,7 +12,9 @@
 
 use crate::curve::SpaceFillingCurve;
 use crate::error::SfcError;
-use crate::onion2d::{rank_in_square, unrank_in_square};
+use crate::onion2d::{
+    last_in_square, predecessor_in_square, rank_in_square, successor_in_square, unrank_in_square,
+};
 use crate::point::Point;
 use crate::universe::Universe;
 
@@ -212,6 +214,42 @@ impl Onion3D {
         };
         Some(p)
     }
+
+    /// Last cell (in curve order) of segment `seg` in layer `t`, if the
+    /// segment is non-empty. Closed-form (`O(1)`): square segments end at
+    /// [`last_in_square`] of their face, lines at their highest free
+    /// coordinate.
+    fn segment_last_cell(&self, t: u32, seg: Segment3D) -> Option<Point<3>> {
+        let side = self.universe.side();
+        let s = side - 2 * (t - 1);
+        if seg.size(s) == 0 {
+            return None;
+        }
+        let lo = t - 1;
+        let hi = lo + s - 1;
+        let p = match seg {
+            Segment3D::LowFaceI | Segment3D::HighFaceI => {
+                let (b, c) = last_in_square(s);
+                let a = if seg == Segment3D::LowFaceI { lo } else { hi };
+                Point::new([a, b + lo, c + lo])
+            }
+            Segment3D::LineLowJLowK => Point::new([hi - 1, lo, lo]),
+            Segment3D::LineLowJHighK => Point::new([hi - 1, lo, hi]),
+            Segment3D::LineHighJLowK => Point::new([hi - 1, hi, lo]),
+            Segment3D::LineHighJHighK => Point::new([hi - 1, hi, hi]),
+            Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => {
+                let (a, c) = last_in_square(s - 2);
+                let b = if seg == Segment3D::PlaneLowJ { lo } else { hi };
+                Point::new([a + lo + 1, b, c + lo + 1])
+            }
+            Segment3D::PlaneLowK | Segment3D::PlaneHighK => {
+                let (a, b) = last_in_square(s - 2);
+                let c = if seg == Segment3D::PlaneLowK { lo } else { hi };
+                Point::new([a + lo + 1, b + lo + 1, c])
+            }
+        };
+        Some(p)
+    }
 }
 
 impl SpaceFillingCurve<3> for Onion3D {
@@ -299,6 +337,127 @@ impl SpaceFillingCurve<3> for Onion3D {
 
     fn is_continuous(&self) -> bool {
         false // jumps at segment boundaries; see `jump_targets`
+    }
+
+    /// Batch forward mapping: statically dispatched triple-key ranking.
+    fn fill_indices(&self, points: &[Point<3>], out: &mut Vec<u64>) {
+        out.reserve(points.len());
+        for &p in points {
+            out.push(Onion3D::index_unchecked(self, p));
+        }
+    }
+
+    /// Batch inverse mapping: statically dispatched unranking.
+    fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<3>>) {
+        out.reserve(indices.len());
+        for &idx in indices {
+            out.push(Onion3D::point_unchecked(self, idx));
+        }
+    }
+
+    /// `O(1)` segment walk: steps within the current segment by square
+    /// perimeter geometry or along the line's free axis, and crosses
+    /// segment/layer boundaries by closed-form first-cell lookup — no
+    /// integer cube root, no `isqrt`.
+    fn successor_unchecked(&self, p: Point<3>, idx: u64) -> Point<3> {
+        debug_assert_eq!(Onion3D::index_unchecked(self, p), idx);
+        debug_assert!(idx + 1 < self.universe.cell_count());
+        let (t, seg, r) = self.triple_key(p);
+        let s = self.universe.layer_side(t);
+        let lo = t - 1;
+        if s > 1 && r + 1 < seg.size(s) {
+            return match seg {
+                Segment3D::LowFaceI | Segment3D::HighFaceI => {
+                    let (b, c) = successor_in_square(s, p.0[1] - lo, p.0[2] - lo);
+                    Point::new([p.0[0], b + lo, c + lo])
+                }
+                Segment3D::LineLowJLowK
+                | Segment3D::LineLowJHighK
+                | Segment3D::LineHighJLowK
+                | Segment3D::LineHighJHighK => Point::new([p.0[0] + 1, p.0[1], p.0[2]]),
+                Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => {
+                    let (a, c) = successor_in_square(s - 2, p.0[0] - lo - 1, p.0[2] - lo - 1);
+                    Point::new([a + lo + 1, p.0[1], c + lo + 1])
+                }
+                Segment3D::PlaneLowK | Segment3D::PlaneHighK => {
+                    let (a, b) = successor_in_square(s - 2, p.0[0] - lo - 1, p.0[1] - lo - 1);
+                    Point::new([a + lo + 1, b + lo + 1, p.0[2]])
+                }
+            };
+        }
+        // Segment exhausted (or single-cell layer): next non-empty segment
+        // of this layer, else the first segment of the next layer.
+        if s > 1 {
+            let pos = self
+                .order
+                .iter()
+                .position(|&g| g == seg)
+                .expect("segment not in order");
+            for &g in &self.order[pos + 1..] {
+                if let Some(first) = self.segment_first_cell(t, g) {
+                    return first;
+                }
+            }
+        }
+        let t2 = t + 1;
+        debug_assert!(t2 <= self.universe.layer_count());
+        for &g in &self.order {
+            if let Some(first) = self.segment_first_cell(t2, g) {
+                return first;
+            }
+        }
+        unreachable!("no non-empty segment after index {idx}")
+    }
+
+    /// `O(1)` reverse segment walk (inverse of
+    /// [`Self::successor_unchecked`]).
+    fn predecessor_unchecked(&self, p: Point<3>, idx: u64) -> Point<3> {
+        debug_assert_eq!(Onion3D::index_unchecked(self, p), idx);
+        debug_assert!(idx >= 1);
+        let (t, seg, r) = self.triple_key(p);
+        let s = self.universe.layer_side(t);
+        let lo = t - 1;
+        if s > 1 && r > 0 {
+            return match seg {
+                Segment3D::LowFaceI | Segment3D::HighFaceI => {
+                    let (b, c) = predecessor_in_square(s, p.0[1] - lo, p.0[2] - lo);
+                    Point::new([p.0[0], b + lo, c + lo])
+                }
+                Segment3D::LineLowJLowK
+                | Segment3D::LineLowJHighK
+                | Segment3D::LineHighJLowK
+                | Segment3D::LineHighJHighK => Point::new([p.0[0] - 1, p.0[1], p.0[2]]),
+                Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => {
+                    let (a, c) = predecessor_in_square(s - 2, p.0[0] - lo - 1, p.0[2] - lo - 1);
+                    Point::new([a + lo + 1, p.0[1], c + lo + 1])
+                }
+                Segment3D::PlaneLowK | Segment3D::PlaneHighK => {
+                    let (a, b) = predecessor_in_square(s - 2, p.0[0] - lo - 1, p.0[1] - lo - 1);
+                    Point::new([a + lo + 1, b + lo + 1, p.0[2]])
+                }
+            };
+        }
+        // First cell of its segment: previous non-empty segment's last
+        // cell, else the previous layer's last cell.
+        if s > 1 {
+            let pos = self
+                .order
+                .iter()
+                .position(|&g| g == seg)
+                .expect("segment not in order");
+            for &g in self.order[..pos].iter().rev() {
+                if let Some(last) = self.segment_last_cell(t, g) {
+                    return last;
+                }
+            }
+        }
+        debug_assert!(t > 1);
+        for &g in self.order.iter().rev() {
+            if let Some(last) = self.segment_last_cell(t - 1, g) {
+                return last;
+            }
+        }
+        unreachable!("no non-empty segment before index {idx}")
     }
 
     /// Enumerates the (few) jump targets: for every layer and segment, the
@@ -507,5 +666,92 @@ mod tests {
     fn rejects_non_permutation_order() {
         let bad = [Segment3D::LowFaceI; 10];
         assert!(Onion3D::with_segment_order(4, bad).is_err());
+    }
+
+    fn check_stepping(o: &Onion3D) {
+        let n = o.universe().cell_count();
+        for idx in 0..n {
+            let p = o.point_unchecked(idx);
+            if idx + 1 < n {
+                assert_eq!(
+                    o.successor_unchecked(p, idx),
+                    o.point_unchecked(idx + 1),
+                    "successor at {idx} (side {})",
+                    o.universe().side()
+                );
+            }
+            if idx > 0 {
+                assert_eq!(
+                    o.predecessor_unchecked(p, idx),
+                    o.point_unchecked(idx - 1),
+                    "predecessor at {idx} (side {})",
+                    o.universe().side()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn successor_predecessor_match_unrank_exhaustively() {
+        for side in 1..=8 {
+            check_stepping(&Onion3D::new(side).unwrap());
+        }
+    }
+
+    #[test]
+    fn stepping_respects_custom_segment_order() {
+        let order = [
+            Segment3D::PlaneLowK,
+            Segment3D::HighFaceI,
+            Segment3D::LineHighJHighK,
+            Segment3D::PlaneLowJ,
+            Segment3D::LowFaceI,
+            Segment3D::LineLowJLowK,
+            Segment3D::PlaneHighK,
+            Segment3D::LineLowJHighK,
+            Segment3D::PlaneHighJ,
+            Segment3D::LineHighJLowK,
+        ];
+        for side in [2u32, 5, 6, 7] {
+            check_stepping(&Onion3D::with_segment_order(side, order).unwrap());
+        }
+    }
+
+    #[test]
+    fn segment_last_cell_matches_first_plus_size() {
+        let o = Onion3D::new(10).unwrap();
+        for t in 1..=o.universe().layer_count() {
+            let s = o.universe().layer_side(t);
+            for seg in Segment3D::ALL {
+                let (first, last) = (o.segment_first_cell(t, seg), o.segment_last_cell(t, seg));
+                assert_eq!(first.is_some(), last.is_some(), "t={t} {seg:?}");
+                let (Some(first), Some(last)) = (first, last) else {
+                    continue;
+                };
+                assert_eq!(
+                    o.index_unchecked(last),
+                    o.index_unchecked(first) + seg.size(s) - 1,
+                    "t={t} {seg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_overrides_match_scalar() {
+        let o = Onion3D::new(7).unwrap();
+        let points: Vec<Point<3>> = o.universe().iter_cells().collect();
+        let mut indices = Vec::new();
+        o.fill_indices(&points, &mut indices);
+        assert_eq!(
+            indices,
+            points
+                .iter()
+                .map(|&p| o.index_unchecked(p))
+                .collect::<Vec<_>>()
+        );
+        let mut back = Vec::new();
+        o.fill_points(&indices, &mut back);
+        assert_eq!(back, points);
     }
 }

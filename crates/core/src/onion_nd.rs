@@ -175,6 +175,117 @@ impl<const D: usize> SpaceFillingCurve<D> for OnionNd<D> {
     fn name(&self) -> &str {
         "onion-nd"
     }
+
+    /// Batch forward mapping (statically dispatched shell ranking).
+    fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
+        out.reserve(points.len());
+        for &p in points {
+            out.push(OnionNd::index_unchecked(self, p));
+        }
+    }
+
+    /// Batch inverse mapping (statically dispatched shell unranking).
+    fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
+        out.reserve(indices.len());
+        for &idx in indices {
+            out.push(OnionNd::point_unchecked(self, idx));
+        }
+    }
+
+    /// `O(D)` lexicographic shell odometer — no layer binary search, no
+    /// recursive shell unranking.
+    ///
+    /// Within a shell, the lex successor increments the deepest coordinate
+    /// that can grow: interior prefixes constrain the final coordinate to
+    /// `{0, s−1}`, and any earlier increment resets the suffix to all zeros
+    /// (which touches the boundary, hence stays on the shell).
+    fn successor_unchecked(&self, p: Point<D>, idx: u64) -> Point<D> {
+        debug_assert_eq!(OnionNd::index_unchecked(self, p), idx);
+        debug_assert!(idx + 1 < self.universe.cell_count());
+        let t = self.universe.layer_of(p);
+        let lo = t - 1;
+        let s = self.universe.layer_side(t);
+        let mut local = [0u32; D];
+        for (l, c) in local.iter_mut().zip(p.0) {
+            *l = c - lo;
+        }
+        for d in (0..D).rev() {
+            let c = local[d];
+            if d == D - 1 {
+                let prefix_extremal = local[..d].iter().any(|&x| x == 0 || x == s - 1);
+                if prefix_extremal {
+                    if c + 1 < s {
+                        local[d] = c + 1;
+                        return assemble(local, lo);
+                    }
+                } else if c == 0 && s > 1 {
+                    // Interior prefix: the last coordinate jumps 0 → s−1.
+                    local[d] = s - 1;
+                    return assemble(local, lo);
+                }
+            } else if c + 1 < s {
+                local[d] = c + 1;
+                for x in &mut local[d + 1..] {
+                    *x = 0;
+                }
+                return assemble(local, lo);
+            }
+        }
+        // Shell exhausted: the next layer starts at its all-zero corner,
+        // absolute coordinate `t` in every dimension.
+        Point::new([t; D])
+    }
+
+    /// `O(D)` reverse shell odometer (inverse of
+    /// [`Self::successor_unchecked`]).
+    fn predecessor_unchecked(&self, p: Point<D>, idx: u64) -> Point<D> {
+        debug_assert_eq!(OnionNd::index_unchecked(self, p), idx);
+        debug_assert!(idx >= 1);
+        let t = self.universe.layer_of(p);
+        let lo = t - 1;
+        let s = self.universe.layer_side(t);
+        let mut local = [0u32; D];
+        for (l, c) in local.iter_mut().zip(p.0) {
+            *l = c - lo;
+        }
+        for d in (0..D).rev() {
+            let c = local[d];
+            if d == D - 1 {
+                let prefix_extremal = local[..d].iter().any(|&x| x == 0 || x == s - 1);
+                if prefix_extremal {
+                    if c > 0 {
+                        local[d] = c - 1;
+                        return assemble(local, lo);
+                    }
+                } else if c == s - 1 && s > 1 {
+                    // Interior prefix: the last coordinate jumps s−1 → 0.
+                    local[d] = 0;
+                    return assemble(local, lo);
+                }
+            } else if c > 0 {
+                local[d] = c - 1;
+                // Maximal shell suffix: all s−1 (touches the boundary).
+                for x in &mut local[d + 1..] {
+                    *x = s - 1;
+                }
+                return assemble(local, lo);
+            }
+        }
+        // First cell of its shell: the previous (outer) layer ends at its
+        // all-(s+1) local corner, absolute `lo + s` in every dimension.
+        debug_assert!(t > 1);
+        Point::new([lo + s; D])
+    }
+}
+
+/// Local shell coordinates back to absolute universe coordinates.
+#[inline]
+fn assemble<const D: usize>(local: [u32; D], lo: u32) -> Point<D> {
+    let mut out = [0u32; D];
+    for (o, l) in out.iter_mut().zip(local) {
+        *o = l + lo;
+    }
+    Point::new(out)
 }
 
 #[cfg(test)]
@@ -256,6 +367,59 @@ mod tests {
             // The lexicographically smallest cell of layer t is its corner.
             assert_eq!(nd2.index_unchecked(first), u.cells_before_layer(t));
         }
+    }
+
+    #[test]
+    fn successor_predecessor_match_unrank_exhaustively() {
+        fn check<const D: usize>(side: u32) {
+            let o = OnionNd::<D>::new(side).unwrap();
+            let n = o.universe().cell_count();
+            for idx in 0..n {
+                let p = o.point_unchecked(idx);
+                if idx + 1 < n {
+                    assert_eq!(
+                        o.successor_unchecked(p, idx),
+                        o.point_unchecked(idx + 1),
+                        "D={D} side={side} idx={idx}"
+                    );
+                }
+                if idx > 0 {
+                    assert_eq!(
+                        o.predecessor_unchecked(p, idx),
+                        o.point_unchecked(idx - 1),
+                        "D={D} side={side} idx={idx}"
+                    );
+                }
+            }
+        }
+        for side in 1..=9 {
+            check::<1>(side);
+            check::<2>(side);
+        }
+        for side in 1..=7 {
+            check::<3>(side);
+        }
+        for side in 1..=5 {
+            check::<4>(side);
+        }
+    }
+
+    #[test]
+    fn batch_overrides_match_scalar_4d() {
+        let o = OnionNd::<4>::new(5).unwrap();
+        let points: Vec<Point<4>> = o.universe().iter_cells().collect();
+        let mut indices = Vec::new();
+        o.fill_indices(&points, &mut indices);
+        assert_eq!(
+            indices,
+            points
+                .iter()
+                .map(|&p| o.index_unchecked(p))
+                .collect::<Vec<_>>()
+        );
+        let mut back = Vec::new();
+        o.fill_points(&indices, &mut back);
+        assert_eq!(back, points);
     }
 
     #[test]

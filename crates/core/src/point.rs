@@ -134,7 +134,7 @@ impl<const D: usize> Iterator for NeighborIter<D> {
     fn next(&mut self) -> Option<Point<D>> {
         while self.next < 2 * D {
             let dim = self.next / 2;
-            let delta = if self.next % 2 == 0 { -1 } else { 1 };
+            let delta = if self.next.is_multiple_of(2) { -1 } else { 1 };
             self.next += 1;
             if let Some(p) = self.center.step(dim, delta, self.side) {
                 return Some(p);

@@ -143,6 +143,37 @@ impl<const D: usize> SpaceFillingCurve<D> for Hilbert<D> {
     fn is_continuous(&self) -> bool {
         true
     }
+
+    /// Batch transpose+interleave with `bits` hoisted and the Skilling
+    /// kernel statically dispatched.
+    fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
+        let bits = self.bits;
+        out.reserve(points.len());
+        for &p in points {
+            let mut x = p.0;
+            axes_to_transpose(&mut x, bits);
+            let mut rev = [0u32; D];
+            for (d, r) in rev.iter_mut().enumerate() {
+                *r = x[D - 1 - d];
+            }
+            out.push(interleave(Point::new(rev), bits));
+        }
+    }
+
+    /// Batch deinterleave+transpose (see [`Self::fill_indices`]).
+    fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
+        let bits = self.bits;
+        out.reserve(indices.len());
+        for &idx in indices {
+            let rev: Point<D> = deinterleave(idx, bits);
+            let mut x = [0u32; D];
+            for (d, v) in x.iter_mut().enumerate() {
+                *v = rev.0[D - 1 - d];
+            }
+            transpose_to_axes(&mut x, bits);
+            out.push(Point::new(x));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,10 +225,7 @@ mod tests {
     #[test]
     fn start_is_origin() {
         assert_eq!(Hilbert::<2>::new(8).unwrap().start(), Point::new([0, 0]));
-        assert_eq!(
-            Hilbert::<3>::new(8).unwrap().start(),
-            Point::new([0, 0, 0])
-        );
+        assert_eq!(Hilbert::<3>::new(8).unwrap().start(), Point::new([0, 0, 0]));
     }
 
     #[test]
@@ -206,7 +234,10 @@ mod tests {
         // along one axis (e.g. (side-1, 0)).
         let h = Hilbert::<2>::new(16).unwrap();
         let end = h.end();
-        assert!(end == Point::new([15, 0]) || end == Point::new([0, 15]), "end {end}");
+        assert!(
+            end == Point::new([15, 0]) || end == Point::new([0, 15]),
+            "end {end}"
+        );
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl<const D: usize> SpaceFillingCurve<D> for Snake<D> {
         let mut idx = 0u64;
         let mut parity = 0u32;
         for d in (0..D).rev() {
-            let c = u64::from(if parity % 2 == 0 {
+            let c = u64::from(if parity.is_multiple_of(2) {
                 p.0[d]
             } else {
                 self.universe.side() - 1 - p.0[d]
@@ -133,7 +133,7 @@ impl<const D: usize> SpaceFillingCurve<D> for Snake<D> {
         let mut coords = [0u32; D];
         let mut parity = 0u32;
         for d in (0..D).rev() {
-            let c = if parity % 2 == 0 {
+            let c = if parity.is_multiple_of(2) {
                 digits[d] as u32
             } else {
                 self.universe.side() - 1 - digits[d] as u32

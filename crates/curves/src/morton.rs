@@ -49,6 +49,25 @@ impl<const D: usize> SpaceFillingCurve<D> for Morton<D> {
     fn name(&self) -> &str {
         "z-order"
     }
+
+    /// Batch interleave with `bits` hoisted; one virtual call per batch for
+    /// `dyn` callers.
+    fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
+        let bits = self.bits;
+        out.reserve(points.len());
+        for &p in points {
+            out.push(interleave(p, bits));
+        }
+    }
+
+    /// Batch deinterleave (see [`Self::fill_indices`]).
+    fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
+        let bits = self.bits;
+        out.reserve(indices.len());
+        for &idx in indices {
+            out.push(deinterleave(idx, bits));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Construction of curves by name, for experiment binaries and examples.
 
 use crate::{GrayCode, Hilbert, Morton, RowMajor, Snake};
-use onion_core::{OnionNd, SfcError, SpaceFillingCurve};
 use onion_core::{Onion2D, Onion3D};
+use onion_core::{OnionNd, SfcError, SpaceFillingCurve};
 
 /// Names of every curve this workspace provides, in presentation order.
 pub const CURVE_NAMES: [&str; 7] = [

@@ -1,0 +1,137 @@
+//! Equivalence properties for the batch and incremental-stepping APIs:
+//! for every curve in the registry (and the ND onion curve beyond it),
+//!
+//! * `fill_indices` == the scalar `index_unchecked` loop,
+//! * `fill_points` == the scalar `point_unchecked` loop,
+//! * a [`CurveStepper`] walk == per-index `point_unchecked`,
+//! * `predecessor_unchecked` == `point_unchecked(idx − 1)`,
+//!
+//! across even and odd sides, in 2D, 3D, and (for the layered curve) 4D.
+
+use onion_core::{CurveStepper, OnionNd, Point, SpaceFillingCurve};
+use proptest::prelude::*;
+use sfc_baselines::{curve_2d, curve_3d, CURVE_NAMES};
+
+/// Curves that accept any side length; the rest require powers of two.
+const ANY_SIDE: [&str; 4] = ["onion", "row-major", "column-major", "snake"];
+
+fn check_batch_and_stepping<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    seed: u64,
+) -> Result<(), String> {
+    let n = curve.universe().cell_count();
+    let side = curve.universe().side();
+    // A deterministic spray of probe indices derived from the seed.
+    let mut probe = seed;
+    let mut indices: Vec<u64> = Vec::with_capacity(32);
+    for _ in 0..32 {
+        probe = probe
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        indices.push(probe % n);
+    }
+    indices.push(0);
+    indices.push(n - 1);
+
+    // Batch inverse == scalar inverse.
+    let mut points: Vec<Point<D>> = Vec::new();
+    curve.fill_points(&indices, &mut points);
+    let scalar_points: Vec<Point<D>> = indices.iter().map(|&i| curve.point_unchecked(i)).collect();
+    if points != scalar_points {
+        return Err(format!("{}: fill_points != scalar", curve.name()));
+    }
+
+    // Batch forward == scalar forward (and round-trips).
+    let mut back: Vec<u64> = Vec::new();
+    curve.fill_indices(&points, &mut back);
+    if back != indices {
+        return Err(format!(
+            "{}: fill_indices != scalar roundtrip",
+            curve.name()
+        ));
+    }
+
+    // Stepper == per-index unrank over a window, from a random start.
+    let start = seed % n;
+    let mut stepper = CurveStepper::starting_at(curve, start);
+    for idx in start..n.min(start + 256) {
+        if stepper.point() != curve.point_unchecked(idx) {
+            return Err(format!(
+                "{}: stepper diverged at index {idx} (side {side})",
+                curve.name()
+            ));
+        }
+        stepper.advance();
+    }
+
+    // Predecessor == unrank of idx − 1.
+    for &idx in &indices {
+        if idx == 0 {
+            continue;
+        }
+        let p = curve.point_unchecked(idx);
+        if curve.predecessor_unchecked(p, idx) != curve.point_unchecked(idx - 1) {
+            return Err(format!(
+                "{}: predecessor diverged at index {idx} (side {side})",
+                curve.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Every registered 2D curve at power-of-two sides.
+    #[test]
+    fn registry_2d_pow2(bits in 1u32..=9, name_idx in 0usize..CURVE_NAMES.len(), seed in any::<u64>()) {
+        let curve = curve_2d(CURVE_NAMES[name_idx], 1 << bits).unwrap();
+        let res = check_batch_and_stepping(&curve, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Any-side 2D curves at odd and otherwise non-power-of-two sides.
+    #[test]
+    fn registry_2d_any_side(side in 1u32..=600, name_idx in 0usize..ANY_SIDE.len(), seed in any::<u64>()) {
+        let curve = curve_2d(ANY_SIDE[name_idx], side).unwrap();
+        let res = check_batch_and_stepping(&curve, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Every registered 3D curve at power-of-two sides.
+    #[test]
+    fn registry_3d_pow2(bits in 1u32..=6, name_idx in 0usize..CURVE_NAMES.len(), seed in any::<u64>()) {
+        let curve = curve_3d(CURVE_NAMES[name_idx], 1 << bits).unwrap();
+        let res = check_batch_and_stepping(&curve, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Any-side 3D curves, even and odd.
+    #[test]
+    fn registry_3d_any_side(side in 1u32..=80, name_idx in 0usize..ANY_SIDE.len(), seed in any::<u64>()) {
+        let curve = curve_3d(ANY_SIDE[name_idx], side).unwrap();
+        let res = check_batch_and_stepping(&curve, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// The generalized layered curve beyond the registry: 2D–4D, odd/even.
+    #[test]
+    fn onion_nd_2d_3d_4d(side in 1u32..=40, seed in any::<u64>()) {
+        let c2 = OnionNd::<2>::new(side).unwrap();
+        let res = check_batch_and_stepping(&c2, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+        let c3 = OnionNd::<3>::new(side.min(24)).unwrap();
+        let res = check_batch_and_stepping(&c3, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+        let c4 = OnionNd::<4>::new(side.min(12)).unwrap();
+        let res = check_batch_and_stepping(&c4, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// The onion-nd alias registered name also round-trips (2D).
+    #[test]
+    fn onion_nd_registry_alias(side in 1u32..=300, seed in any::<u64>()) {
+        let curve = curve_2d("onion-nd", side).unwrap();
+        let res = check_batch_and_stepping(&curve, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+}

@@ -328,7 +328,10 @@ impl<V> BPlusTree<V> {
             count += 1;
         }
         if count != self.len {
-            return Err(format!("leaf chain has {count} entries, len is {}", self.len));
+            return Err(format!(
+                "leaf chain has {count} entries, len is {}",
+                self.len
+            ));
         }
         self.check_node(self.root, None, None)
     }

@@ -9,7 +9,8 @@
 use crate::btree::{BPlusTree, DEFAULT_NODE_CAPACITY};
 use crate::disk::{DiskModel, IoStats};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
-use sfc_clustering::{cluster_ranges, coalesce_ranges, RectQuery};
+use sfc_clustering::{cluster_ranges_into, coalesce_ranges, ClusterScratch, RectQuery};
+use std::cell::RefCell;
 
 /// A record stored in the table: a point with an opaque payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,14 +35,30 @@ pub struct QueryResult<const D: usize, V> {
 }
 
 /// A spatial table whose rows are ordered by an SFC.
+///
+/// Holds per-table scratch buffers so rectangle queries reuse the same
+/// range-decomposition memory (`RefCell` interior mutability: the table is
+/// single-threaded per handle, like any cursor-carrying structure).
 pub struct SfcTable<C, V, const D: usize> {
     curve: C,
     tree: BPlusTree<Record<D, V>>,
     model: DiskModel,
+    scratch: RefCell<QueryScratch<D>>,
+}
+
+/// Reusable per-table query state.
+#[derive(Default, Debug)]
+struct QueryScratch<const D: usize> {
+    cluster: ClusterScratch<D>,
+    ranges: Vec<(u64, u64)>,
 }
 
 impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
     /// Builds a table over `curve` from a batch of records (bulk load).
+    ///
+    /// Keys are derived with one [`SpaceFillingCurve::fill_indices`] batch
+    /// call, so the curve's per-call setup is paid once for the whole load
+    /// rather than once per record.
     ///
     /// # Errors
     /// If any point lies outside the curve's universe.
@@ -50,14 +67,32 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
         records: Vec<(Point<D>, V)>,
         model: DiskModel,
     ) -> Result<Self, SfcError> {
-        let mut keyed: Vec<(u64, Record<D, V>)> = Vec::with_capacity(records.len());
-        for (point, value) in records {
-            let key = curve.index_of(point)?;
-            keyed.push((key, Record { point, value }));
+        let universe = curve.universe();
+        let mut points: Vec<Point<D>> = Vec::with_capacity(records.len());
+        for (point, _) in &records {
+            if !universe.contains(*point) {
+                return Err(SfcError::PointOutOfBounds {
+                    point: point.to_string(),
+                    side: universe.side(),
+                });
+            }
+            points.push(*point);
         }
+        let mut keys: Vec<u64> = Vec::new();
+        curve.fill_indices(&points, &mut keys);
+        let mut keyed: Vec<(u64, Record<D, V>)> = keys
+            .into_iter()
+            .zip(records)
+            .map(|(key, (point, value))| (key, Record { point, value }))
+            .collect();
         keyed.sort_by_key(|&(k, _)| k);
         let tree = BPlusTree::bulk_load(keyed, DEFAULT_NODE_CAPACITY);
-        Ok(SfcTable { curve, tree, model })
+        Ok(SfcTable {
+            curve,
+            tree,
+            model,
+            scratch: RefCell::new(QueryScratch::default()),
+        })
     }
 
     /// Creates an empty table.
@@ -66,6 +101,7 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
             curve,
             tree: BPlusTree::new(DEFAULT_NODE_CAPACITY),
             model,
+            scratch: RefCell::new(QueryScratch::default()),
         }
     }
 
@@ -113,23 +149,24 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
                 side,
             });
         }
-        let ranges = cluster_ranges(&self.curve, q);
+        let scratch = &mut *self.scratch.borrow_mut();
+        cluster_ranges_into(&self.curve, q, &mut scratch.cluster, &mut scratch.ranges);
         self.tree.reset_leaf_visits();
         let mut records = Vec::new();
-        for &(lo, hi) in &ranges {
+        for &(lo, hi) in &scratch.ranges {
             for (_, rec) in self.tree.range(lo, hi) {
                 debug_assert!(q.contains(rec.point));
                 records.push(rec.clone());
             }
         }
         let io = IoStats {
-            seeks: ranges.len() as u64,
+            seeks: scratch.ranges.len() as u64,
             pages: self.tree.leaf_visits(),
             entries: records.len() as u64,
         };
         Ok(QueryResult {
             records,
-            ranges_scanned: ranges.len() as u64,
+            ranges_scanned: scratch.ranges.len() as u64,
             io,
         })
     }
@@ -158,7 +195,11 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
                 side,
             });
         }
-        let ranges = coalesce_ranges(&cluster_ranges(&self.curve, q), max_gap);
+        let ranges = {
+            let scratch = &mut *self.scratch.borrow_mut();
+            cluster_ranges_into(&self.curve, q, &mut scratch.cluster, &mut scratch.ranges);
+            coalesce_ranges(&scratch.ranges, max_gap)
+        };
         self.tree.reset_leaf_visits();
         let mut records = Vec::new();
         let mut touched = 0u64;
@@ -286,8 +327,7 @@ mod tests {
     #[test]
     fn incremental_inserts_match_bulk_build() {
         let curve = Onion2D::new(16).unwrap();
-        let mut incremental: SfcTable<Onion2D, u32, 2> =
-            SfcTable::new(curve, DiskModel::ssd());
+        let mut incremental: SfcTable<Onion2D, u32, 2> = SfcTable::new(curve, DiskModel::ssd());
         for x in (0..16u32).rev() {
             for y in 0..16u32 {
                 incremental.insert(Point::new([x, y]), x * 100 + y).unwrap();

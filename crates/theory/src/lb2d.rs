@@ -35,7 +35,7 @@ fn h2(side: u32, t: u32, l: u32) -> u64 {
 /// either `ℓ2 ≤ m` or `ℓ1 > m`.
 pub fn lemma7_lambda(side: u32, l1: u32, l2: u32, i: u32, j: u32) -> u64 {
     let m = side / 2;
-    debug_assert!(side % 2 == 0 && i < m && j < m);
+    debug_assert!(side.is_multiple_of(2) && i < m && j < m);
     debug_assert!(l1 <= l2);
     if l2 <= m {
         (h1(i, l1) * tau(side, j, l2)).min(h1(j, l2) * tau(side, i, l1))
@@ -54,7 +54,7 @@ pub fn lemma7_lambda(side: u32, l1: u32, l2: u32, i: u32, j: u32) -> u64 {
 /// slack. The tests here pin that deviation to a linear envelope; the
 /// workspace integration tests compare against the numeric machinery.
 pub fn lemma8_t(side: u32, l1: u32, l2: u32) -> f64 {
-    assert!(side % 2 == 0, "Lemma 8 assumes an even side");
+    assert!(side.is_multiple_of(2), "Lemma 8 assumes an even side");
     assert!(l1 >= 1 && l2 >= 1 && l1 <= l2 && l2 <= side);
     let m = f64::from(side) / 2.0;
     let (l1f, l2f) = (f64::from(l1), f64::from(l2));

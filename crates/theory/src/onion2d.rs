@@ -23,8 +23,7 @@ pub fn onion2d_average_clustering(side: u32, l1: u32, l2: u32) -> Approx {
     let (big_l1, big_l2) = (s - l1f + 1.0, s - l2f + 1.0);
     if l2f <= m {
         // Case 1: ℓ2 ≤ m.
-        let bracket = (2.0 / 3.0) * l2f.powi(3) - 3.5 * l1f * l2f.powi(2)
-            + 2.5 * l1f.powi(2) * l2f
+        let bracket = (2.0 / 3.0) * l2f.powi(3) - 3.5 * l1f * l2f.powi(2) + 2.5 * l1f.powi(2) * l2f
             - m * (l2f - l1f) * (l2f - 3.0 * l1f);
         Approx {
             value: 0.5 * (l1f + l2f) + bracket / (big_l1 * big_l2),

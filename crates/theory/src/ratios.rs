@@ -91,7 +91,11 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     let sxx: f64 = lx.iter().map(|&x| (x - mx) * (x - mx)).sum();
     let syy: f64 = ly.iter().map(|&y| (y - my) * (y - my)).sum();
     let b = sxy / sxx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     (b, r2)
 }
 

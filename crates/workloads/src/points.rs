@@ -13,11 +13,7 @@ pub struct Dataset<const D: usize> {
 }
 
 /// Uniformly random points.
-pub fn uniform_points<const D: usize, R: Rng>(
-    side: u32,
-    count: usize,
-    rng: &mut R,
-) -> Dataset<D> {
+pub fn uniform_points<const D: usize, R: Rng>(side: u32, count: usize, rng: &mut R) -> Dataset<D> {
     let points = (0..count)
         .map(|_| Point::new(std::array::from_fn(|_| rng.random_range(0..side))))
         .collect();
@@ -70,8 +66,7 @@ pub fn diagonal_points<const D: usize, R: Rng>(
         .map(|_| {
             let t = rng.random_range(0..side);
             Point::new(std::array::from_fn(|_| {
-                let offset =
-                    i64::from(rng.random_range(0..=2 * jitter)) - i64::from(jitter);
+                let offset = i64::from(rng.random_range(0..=2 * jitter)) - i64::from(jitter);
                 (i64::from(t) + offset).clamp(0, i64::from(side) - 1) as u32
             }))
         })
@@ -156,7 +151,10 @@ mod tests {
             &clustered_points::<2, _>(64, 500, 4, 10, &mut rng),
             64
         ));
-        assert!(in_bounds(&diagonal_points::<3, _>(64, 500, 5, &mut rng), 64));
+        assert!(in_bounds(
+            &diagonal_points::<3, _>(64, 500, 5, &mut rng),
+            64
+        ));
         assert!(in_bounds(
             &hotspot_points::<2, _>(64, 500, 0.8, &mut rng),
             64

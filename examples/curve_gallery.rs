@@ -11,10 +11,7 @@ fn print_grid(curve: &dyn SpaceFillingCurve<2>) {
     for y in (0..side).rev() {
         let mut line = String::new();
         for x in 0..side {
-            line.push_str(&format!(
-                "{:>4}",
-                curve.index_unchecked(Point::new([x, y]))
-            ));
+            line.push_str(&format!("{:>4}", curve.index_unchecked(Point::new([x, y]))));
         }
         println!("{line}");
     }

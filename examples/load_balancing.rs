@@ -16,9 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let side = 256u32;
     let workers = 16usize;
 
-    println!(
-        "partitioning the {side}x{side} grid among {workers} workers by curve order\n"
-    );
+    println!("partitioning the {side}x{side} grid among {workers} workers by curve order\n");
     println!(
         "{:<14} {:>10} {:>14} {:>10}",
         "curve", "cut edges", "surface cells", "imbalance"

@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let k = 10usize;
 
-    println!("k-NN (k = {k}) over {} clustered records, 50 query points\n", records.len());
-    println!("{:<14} {:>10} {:>10} {:>14}", "curve", "seeks", "pages", "sim time(ms)");
+    println!(
+        "k-NN (k = {k}) over {} clustered records, 50 query points\n",
+        records.len()
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>14}",
+        "curve", "seeks", "pages", "sim time(ms)"
+    );
 
     let mut reference: Option<Vec<Vec<u64>>> = None;
     for name in ["onion", "hilbert", "z-order", "row-major"] {

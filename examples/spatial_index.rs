@@ -64,9 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A mixed query workload: small, medium, and near-full windows.
     let mut queries = Vec::new();
     for &(l, count) in &[(16u32, 40usize), (64, 25), (192, 10), (side - 20, 5)] {
-        queries.extend(
-            onion_curve::clustering::random_translations(side, [l, l], count, &mut rng)?,
-        );
+        queries.extend(onion_curve::clustering::random_translations(
+            side,
+            [l, l],
+            count,
+            &mut rng,
+        )?);
     }
 
     println!(

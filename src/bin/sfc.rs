@@ -115,10 +115,7 @@ fn main() {
             for y in (0..side).rev() {
                 let mut line = String::new();
                 for x in 0..side {
-                    line.push_str(&format!(
-                        "{:>5}",
-                        curve.index_unchecked(Point::new([x, y]))
-                    ));
+                    line.push_str(&format!("{:>5}", curve.index_unchecked(Point::new([x, y]))));
                 }
                 println!("{line}");
             }

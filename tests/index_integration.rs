@@ -4,9 +4,7 @@
 
 use onion_curve::baselines::{curve_2d, CURVE_NAMES};
 use onion_curve::clustering::{clustering_number, random_translations, RectQuery};
-use onion_curve::index::{
-    evaluate_partitioning, partition_universe, DiskModel, SfcTable,
-};
+use onion_curve::index::{evaluate_partitioning, partition_universe, DiskModel, SfcTable};
 use onion_curve::workloads::{clustered_points, grid_points, uniform_points};
 use onion_curve::{Point, SpaceFillingCurve};
 use rand::rngs::StdRng;

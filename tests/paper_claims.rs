@@ -36,7 +36,10 @@ fn figure2_seven_by_seven() {
     let onion = Onion2D::new(8).unwrap();
     let hilbert = Hilbert::<2>::new(8).unwrap();
     let queries: Vec<RectQuery<2>> = all_translations(8, [7u32, 7]).unwrap().collect();
-    let onion_counts: Vec<u64> = queries.iter().map(|q| clustering_number(&onion, q)).collect();
+    let onion_counts: Vec<u64> = queries
+        .iter()
+        .map(|q| clustering_number(&onion, q))
+        .collect();
     let hilbert_counts: Vec<u64> = queries
         .iter()
         .map(|q| clustering_number(&hilbert, q))
@@ -56,8 +59,7 @@ fn table1_2d_shape() {
     for side in [32u32, 64, 128] {
         let l = side - gap;
         let onion = Onion2D::new(side).unwrap();
-        let co =
-            onion_curve::clustering::average_clustering_exact(&onion, [l, l]).unwrap();
+        let co = onion_curve::clustering::average_clustering_exact(&onion, [l, l]).unwrap();
         let lb = theory::general_lower_bound_2d(side, l, l);
         let eta = co / lb;
         assert!(

@@ -11,7 +11,14 @@ use onion_curve::{Hilbert, Onion2D, Onion3D, SpaceFillingCurve};
 fn theorem1_small_shapes_match_measurement() {
     let side = 128u32;
     let onion = Onion2D::new(side).unwrap();
-    for (l1, l2) in [(4u32, 4u32), (8, 16), (16, 16), (16, 48), (32, 64), (64, 64)] {
+    for (l1, l2) in [
+        (4u32, 4u32),
+        (8, 16),
+        (16, 16),
+        (16, 48),
+        (32, 64),
+        (64, 64),
+    ] {
         let measured = average_clustering_exact(&onion, [l1, l2]).unwrap();
         let predicted = theory::onion2d_average_clustering(side, l1, l2);
         assert!(
@@ -73,12 +80,18 @@ fn lower_bounds_are_actually_lower_2d() {
     let side = 64u32;
     let onion = Onion2D::new(side).unwrap();
     let hilbert = Hilbert::<2>::new(side).unwrap();
-    for (l1, l2) in [(4u32, 4u32), (8, 24), (16, 16), (32, 32), (50, 60), (60, 60)] {
+    for (l1, l2) in [
+        (4u32, 4u32),
+        (8, 24),
+        (16, 16),
+        (32, 32),
+        (50, 60),
+        (60, 60),
+    ] {
         let ts = TranslationSet::new(side, [l1, l2]).unwrap();
         // Lemma 6 numeric bound for continuous curves:
         // c(Q, π) ≥ (Σ λ − λmax) / (2|Q|).
-        let numeric_lb =
-            ts.lambda_sum() as f64 / (2.0 * ts.num_queries() as f64) - 1.0;
+        let numeric_lb = ts.lambda_sum() as f64 / (2.0 * ts.num_queries() as f64) - 1.0;
         for curve_avg in [
             average_clustering_exact(&onion, [l1, l2]).unwrap(),
             average_clustering_exact(&hilbert, [l1, l2]).unwrap(),

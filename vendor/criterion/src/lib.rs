@@ -1,0 +1,317 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim implements the
+//! benchmarking surface the workspace uses — [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function(BenchmarkId, |b| b.iter(..))`, `sample_size`, `finish` —
+//! with a simple calibrated-loop timer instead of criterion's full
+//! statistical machinery.
+//!
+//! Each benchmark is auto-calibrated to roughly [`target_sample_ms`] per
+//! sample, run `sample_size` times, and reported as `min / median / max`
+//! ns per iteration. Set `CRITERION_JSON_OUT=<path>` to additionally dump
+//! every result of the process as a JSON array (used by the repo's
+//! `BENCH_hotpath.json` export).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can use `criterion::black_box` like the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Milliseconds each timed sample aims for (env `CRITERION_SAMPLE_MS`,
+/// default 20). Lower it for quick smoke runs.
+pub fn target_sample_ms() -> u64 {
+    std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark path, `group/id`.
+    pub name: String,
+    /// Nanoseconds per iteration: minimum over samples.
+    pub ns_min: f64,
+    /// Nanoseconds per iteration: median over samples.
+    pub ns_median: f64,
+    /// Nanoseconds per iteration: maximum over samples.
+    pub ns_max: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// All results recorded by this process so far.
+pub fn take_results() -> Vec<BenchResult> {
+    RESULTS.lock().expect("results poisoned").clone()
+}
+
+fn record(result: BenchResult) {
+    RESULTS.lock().expect("results poisoned").push(result);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    last: Option<BenchResult>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating the per-sample iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until one sample takes at
+        // least the target duration.
+        let target = Duration::from_millis(target_sample_ms());
+        let mut iters: u64 = 1;
+        let per_iter_est = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 40 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            // Jump close to the target in one step, with a safety factor.
+            let grow = (target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).min(1e4);
+            iters = (iters as f64 * grow.max(2.0)).ceil() as u64;
+        };
+        let _ = per_iter_est;
+        // Timed samples.
+        let mut ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        self.last = Some(BenchResult {
+            name: String::new(),
+            ns_min: ns[0],
+            ns_median: ns[ns.len() / 2],
+            ns_max: ns[ns.len() - 1],
+            iters_per_sample: iters,
+            samples: ns.len(),
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            last: None,
+        };
+        f(&mut bencher);
+        let mut result = bencher
+            .last
+            .expect("benchmark closure must call Bencher::iter");
+        result.name = format!("{}/{}", self.name, id.id);
+        println!(
+            "{:<56} time: [{} {} {}]",
+            result.name,
+            fmt_ns(result.ns_min),
+            fmt_ns(result.ns_median),
+            fmt_ns(result.ns_max),
+        );
+        record(result);
+        self
+    }
+
+    /// Ends the group (spacing line, matching criterion's report shape).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration. The shim accepts and ignores cargo's
+    /// bench harness flags (`--bench`, filters), so `cargo bench` works.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (implicit group named after the id).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = BenchmarkGroup {
+            name: id.id.clone(),
+            sample_size: 10,
+            _criterion: self,
+        };
+        group.bench_function(BenchmarkId::from_parameter("run"), f);
+        self
+    }
+
+    /// Writes collected results as JSON when `CRITERION_JSON_OUT` is set.
+    pub fn final_summary(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+            return;
+        };
+        let results = take_results();
+        let mut out = String::from("[\n");
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"ns_min\": {:.3}, \"ns_median\": {:.3}, \"ns_max\": {:.3}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                r.name.replace('"', "'"),
+                r.ns_min,
+                r.ns_median,
+                r.ns_max,
+                r.iters_per_sample,
+                r.samples,
+                if i + 1 < results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        } else {
+            println!("criterion shim: wrote {path}");
+        }
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, running every group then the final summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_and_reports() {
+        std::env::remove_var("CRITERION_JSON_OUT");
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::from_parameter("add"), |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        group.finish();
+        let results = take_results();
+        let r = results.iter().find(|r| r.name == "shim_test/add").unwrap();
+        assert!(r.ns_median > 0.0);
+        assert!(r.ns_min <= r.ns_median && r.ns_median <= r.ns_max);
+        assert_eq!(r.samples, 3);
+    }
+}

@@ -1,0 +1,432 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim implements the
+//! subset of proptest the workspace's property tests use: the [`proptest!`]
+//! macro over `arg in strategy` bindings, integer-range and [`any`]
+//! strategies (including tuples), and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros. Failing cases report the test
+//! name, case number, and generated inputs. There is no shrinking — a
+//! failure prints the raw counterexample instead.
+//!
+//! Cases per test default to 256; override with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+/// Deterministic test-case RNG (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream; each test derives its seed from its name so runs
+    /// are reproducible without a persistence file.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift; the tiny modulo bias is irrelevant for test-case
+        // generation (and vanishes for power-of-two spans).
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A source of generated values.
+///
+/// Unlike real proptest there is no shrinking tree; a strategy is just a
+/// sampler.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_int_ranges!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `proptest::prelude::any::<T>()` strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Outcome of one generated case: `Err` carries the assertion message.
+pub type CaseResult = Result<(), String>;
+
+/// Number of cases to run per property (env `PROPTEST_CASES`, default 256).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Cases per property; `PROPTEST_CASES` still overrides.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u64) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: cases() }
+    }
+}
+
+/// Drives one property under an explicit config.
+pub fn run_cases_with<F: FnMut(&mut TestRng) -> CaseResult>(
+    config: ProptestConfig,
+    name: &str,
+    mut case: F,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    // FNV-1a over the test name gives a stable per-test seed.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    for i in 0..cases {
+        let mut rng = TestRng::new(seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        if let Err(msg) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i}/{cases}: {msg}");
+        }
+    }
+}
+
+/// Drives one property: draws `cases()` inputs and panics with the test
+/// name, case number, and message on the first failure.
+pub fn run_cases<F: FnMut(&mut TestRng) -> CaseResult>(name: &str, case: F) {
+    run_cases_with(ProptestConfig::default(), name, case);
+}
+
+/// Strategy combinators namespace, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// Array strategy applying one element strategy per slot.
+        #[derive(Clone, Debug)]
+        pub struct UniformArray<S, const N: usize> {
+            element: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+        where
+            S::Value: Copy + Default,
+        {
+            type Value = [S::Value; N];
+            fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+                let mut out = [S::Value::default(); N];
+                for slot in &mut out {
+                    *slot = self.element.sample(rng);
+                }
+                out
+            }
+        }
+
+        /// `[S::Value; 2]` from one element strategy.
+        pub fn uniform2<S: Strategy + Clone>(element: S) -> UniformArray<S, 2> {
+            UniformArray { element }
+        }
+
+        /// `[S::Value; 3]` from one element strategy.
+        pub fn uniform3<S: Strategy + Clone>(element: S) -> UniformArray<S, 3> {
+            UniformArray { element }
+        }
+
+        /// `[S::Value; 4]` from one element strategy.
+        pub fn uniform4<S: Strategy + Clone>(element: S) -> UniformArray<S, 4> {
+            UniformArray { element }
+        }
+    }
+
+    /// Sampling from explicit value collections.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// Strategy drawing uniformly from a fixed list. See [`select`].
+        #[derive(Clone, Debug)]
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.values[rng.below(self.values.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Uniform choice among the given values (must be non-empty).
+        pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select requires at least one value");
+            Select { values }
+        }
+    }
+}
+
+/// The macros and strategies property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_cases`] over the bound strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases_with($config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    let __proptest_inputs =
+                        format!(concat!($(stringify!($arg), " = {:?}, "),+), $(&$arg),+);
+                    let __proptest_result: $crate::CaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    __proptest_result.map_err(|e| format!("{e} [inputs: {__proptest_inputs}]"))
+                });
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    let __proptest_inputs =
+                        format!(concat!($(stringify!($arg), " = {:?}, "),+), $(&$arg),+);
+                    let __proptest_result: $crate::CaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    __proptest_result.map_err(|e| format!("{e} [inputs: {__proptest_inputs}]"))
+                });
+            }
+        )+
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?} == {:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?} == {:?}`: {}", l, r, format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?} != {:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err(
+                format!("assertion failed: `{:?} != {:?}`: {}", l, r, format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — discards the case when the precondition fails.
+/// The shim counts a discarded case as passed (no global rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro wires strategies, assume, and assertions together.
+        #[test]
+        fn macro_smoke(a in 1u32..=100, b in any::<u64>(), pair in any::<(u32, u32)>()) {
+            prop_assume!(a != 37);
+            prop_assert!((1..=100).contains(&a));
+            prop_assert_eq!(b.wrapping_add(0), b);
+            prop_assert!(pair.0 as u64 <= u64::from(u32::MAX), "pair {:?}", pair);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'failing'")]
+    fn failures_panic_with_context() {
+        crate::run_cases("failing", |rng| {
+            let v = rng.below(10);
+            if v < 10 {
+                Err(format!("v = {v}"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = crate::Strategy::sample(&(5u32..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let w = crate::Strategy::sample(&(0u64..u64::MAX), &mut rng);
+            assert!(w < u64::MAX);
+        }
+    }
+}
