@@ -7,6 +7,7 @@
 
 use crate::query::RectQuery;
 use onion_core::{Point, SpaceFillingCurve};
+use std::sync::Mutex;
 
 /// Strategy for computing the clustering number.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -67,8 +68,8 @@ pub fn clustering_number_with<const D: usize, C: SpaceFillingCurve<D>>(
 
 /// Reusable buffers for range decomposition. Holding one of these across
 /// calls makes [`cluster_ranges_into`] allocation-free per query once the
-/// buffers have grown to the working-set size — the index crate keeps one
-/// per table so every rectangle query reuses the same memory.
+/// buffers have grown to the working-set size — the index crate pools them
+/// (see [`ScratchPool`]) so every rectangle query reuses warm memory.
 #[derive(Clone, Debug, Default)]
 pub struct ClusterScratch<const D: usize> {
     /// Staging buffer for batched forward mapping.
@@ -79,12 +80,103 @@ pub struct ClusterScratch<const D: usize> {
     entries: Vec<u64>,
     /// Candidate last-cells of clusters.
     exits: Vec<u64>,
+    /// Owned output buffer for [`Self::ranges_of`].
+    ranges: Vec<(u64, u64)>,
 }
 
 impl<const D: usize> ClusterScratch<D> {
     /// Fresh (empty) scratch space.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Decomposes `q` into its cluster ranges, storing them in this
+    /// scratch's owned output buffer and returning a view of it.
+    ///
+    /// Equivalent to [`cluster_ranges_into`] with an internally-owned `out`
+    /// vector: callers that hold scratch (directly or through a
+    /// [`ScratchPool`]) get allocation-free decomposition without managing a
+    /// second buffer.
+    pub fn ranges_of<C: SpaceFillingCurve<D>>(
+        &mut self,
+        curve: &C,
+        q: &RectQuery<D>,
+    ) -> &[(u64, u64)] {
+        // Detach the output buffer so `self` can be borrowed as scratch.
+        let mut out = std::mem::take(&mut self.ranges);
+        cluster_ranges_into(curve, q, self, &mut out);
+        self.ranges = out;
+        &self.ranges
+    }
+}
+
+/// A thread-safe pool of [`ClusterScratch`] buffers.
+///
+/// Concurrent queries each check out a scratch, decompose their rectangle,
+/// and return the buffers on drop, so a table shared across threads keeps
+/// the allocation-free hot path without interior-mutability hazards: the
+/// lock is held only to pop/push the pool, never across a decomposition.
+#[derive(Debug, Default)]
+pub struct ScratchPool<const D: usize> {
+    pool: Mutex<Vec<ClusterScratch<D>>>,
+}
+
+impl<const D: usize> ScratchPool<D> {
+    /// An empty pool; scratches are created lazily on first checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a scratch out of the pool (or makes a fresh one). The guard
+    /// derefs to [`ClusterScratch`] and returns the buffers when dropped.
+    pub fn checkout(&self) -> PooledScratch<'_, D> {
+        let scratch = self
+            .pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Number of idle scratches currently in the pool.
+    pub fn idle(&self) -> usize {
+        self.pool.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// Checkout guard of a [`ScratchPool`]; derefs to the pooled
+/// [`ClusterScratch`].
+#[derive(Debug)]
+pub struct PooledScratch<'a, const D: usize> {
+    pool: &'a ScratchPool<D>,
+    scratch: Option<ClusterScratch<D>>,
+}
+
+impl<const D: usize> std::ops::Deref for PooledScratch<'_, D> {
+    type Target = ClusterScratch<D>;
+    fn deref(&self) -> &ClusterScratch<D> {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl<const D: usize> std::ops::DerefMut for PooledScratch<'_, D> {
+    fn deref_mut(&mut self) -> &mut ClusterScratch<D> {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl<const D: usize> Drop for PooledScratch<'_, D> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            // A poisoned pool just drops the buffers instead of recycling.
+            if let Ok(mut pool) = self.pool.pool.lock() {
+                pool.push(scratch);
+            }
+        }
     }
 }
 
@@ -440,6 +532,33 @@ mod tests {
         );
         assert_eq!(coalesce_ranges(&ranges, 100), vec![(0, 30)]);
         assert_eq!(coalesce_ranges(&[], 5), Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn ranges_of_matches_cluster_ranges() {
+        let o = Onion2D::new(16).unwrap();
+        let mut scratch = ClusterScratch::new();
+        for (lo, len) in [([0, 0], [5, 7]), ([3, 2], [9, 9]), ([7, 7], [2, 2])] {
+            let q = RectQuery::new(lo, len).unwrap();
+            assert_eq!(scratch.ranges_of(&o, &q), cluster_ranges(&o, &q), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let pool: ScratchPool<2> = ScratchPool::new();
+        assert_eq!(pool.idle(), 0);
+        let o = Onion2D::new(8).unwrap();
+        let q = RectQuery::new([1, 1], [4, 5]).unwrap();
+        {
+            let mut a = pool.checkout();
+            let mut b = pool.checkout();
+            assert_eq!(a.ranges_of(&o, &q), cluster_ranges(&o, &q));
+            assert_eq!(b.ranges_of(&o, &q), cluster_ranges(&o, &q));
+        }
+        assert_eq!(pool.idle(), 2, "both guards returned their scratch");
+        let _again = pool.checkout();
+        assert_eq!(pool.idle(), 1, "checkout reuses a pooled scratch");
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub use gray::GrayCode;
 pub use hilbert::Hilbert;
 pub use linear::{RowMajor, Snake};
 pub use morton::Morton;
-pub use registry::{curve_2d, curve_3d, CURVE_NAMES};
+pub use registry::{curve_2d, curve_3d, DynCurve, CURVE_NAMES};

@@ -15,9 +15,13 @@ pub const CURVE_NAMES: [&str; 7] = [
     "snake",
 ];
 
+/// A boxed curve as the registry hands it out: thread-safe, so registry
+/// curves can order tables shared (or sharded) across threads.
+pub type DynCurve<const D: usize> = Box<dyn SpaceFillingCurve<D> + Send + Sync>;
+
 /// Builds a 2D curve by name. The onion curve name maps to the paper's
 /// [`Onion2D`]; `"onion-nd"` selects the generalized layered curve.
-pub fn curve_2d(name: &str, side: u32) -> Result<Box<dyn SpaceFillingCurve<2>>, SfcError> {
+pub fn curve_2d(name: &str, side: u32) -> Result<DynCurve<2>, SfcError> {
     Ok(match name {
         "onion" => Box::new(Onion2D::new(side)?),
         "onion-nd" => Box::new(OnionNd::<2>::new(side)?),
@@ -32,7 +36,7 @@ pub fn curve_2d(name: &str, side: u32) -> Result<Box<dyn SpaceFillingCurve<2>>, 
 }
 
 /// Builds a 3D curve by name (see [`curve_2d`]).
-pub fn curve_3d(name: &str, side: u32) -> Result<Box<dyn SpaceFillingCurve<3>>, SfcError> {
+pub fn curve_3d(name: &str, side: u32) -> Result<DynCurve<3>, SfcError> {
     Ok(match name {
         "onion" => Box::new(Onion3D::new(side)?),
         "onion-nd" => Box::new(OnionNd::<3>::new(side)?),

@@ -5,16 +5,40 @@
 //! distinct pages, so repeated workloads hit the buffer pool more often.
 //! This simulator counts hits/misses for a stream of page accesses, letting
 //! experiments compare curve layouts under a bounded cache.
+//!
+//! Every access is `O(1)`: recency is an intrusive doubly-linked list
+//! threaded through a slot arena, with a hash map from page id to slot.
+//! (The previous implementation rescanned the whole map with `min_by_key`
+//! on each eviction, making every miss `O(capacity)` — ruinous now that the
+//! paged storage backend consults the pool on each leaf touched.)
 
 use std::collections::HashMap;
+
+/// Sentinel slot index meaning "no neighbor" in the recency list.
+const NIL: usize = usize::MAX;
+
+/// One resident page: arena slot of the intrusive recency list.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    page: u64,
+    /// Towards more recently used (NIL at the head).
+    prev: usize,
+    /// Towards less recently used (NIL at the tail).
+    next: usize,
+}
 
 /// A fixed-capacity LRU cache over page identifiers.
 #[derive(Debug)]
 pub struct LruBufferPool {
     capacity: usize,
-    /// page id -> tick of last use
-    last_use: HashMap<u64, u64>,
-    tick: u64,
+    /// page id -> arena slot.
+    resident: HashMap<u64, usize>,
+    /// Slot arena; at most `capacity` slots are ever allocated.
+    slots: Vec<Slot>,
+    /// Most recently used slot (NIL while empty).
+    head: usize,
+    /// Least recently used slot — the eviction victim (NIL while empty).
+    tail: usize,
     hits: u64,
     misses: u64,
 }
@@ -25,33 +49,69 @@ impl LruBufferPool {
         assert!(capacity >= 1, "cache needs at least one page");
         LruBufferPool {
             capacity,
-            last_use: HashMap::with_capacity(capacity + 1),
-            tick: 0,
+            resident: HashMap::with_capacity(capacity + 1),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Accesses a page; returns `true` on a cache hit.
-    pub fn access(&mut self, page: u64) -> bool {
-        self.tick += 1;
-        let hit = self.last_use.contains_key(&page);
-        self.last_use.insert(page, self.tick);
-        if hit {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-            if self.last_use.len() > self.capacity {
-                // Evict the least recently used page.
-                let (&victim, _) = self
-                    .last_use
-                    .iter()
-                    .min_by_key(|&(_, &t)| t)
-                    .expect("non-empty");
-                self.last_use.remove(&victim);
-            }
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let Slot { prev, next, .. } = self.slots[slot];
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
         }
-        hit
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Accesses a page; returns `true` on a cache hit. `O(1)`.
+    pub fn access(&mut self, page: u64) -> bool {
+        if let Some(&slot) = self.resident.get(&page) {
+            self.hits += 1;
+            if self.head != slot {
+                self.unlink(slot);
+                self.link_front(slot);
+            }
+            return true;
+        }
+        self.misses += 1;
+        let slot = if self.slots.len() < self.capacity {
+            // Arena not full yet: allocate a fresh slot.
+            self.slots.push(Slot {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Evict the least recently used page and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.resident.remove(&self.slots[victim].page);
+            self.slots[victim].page = page;
+            victim
+        };
+        self.resident.insert(page, slot);
+        self.link_front(slot);
+        false
     }
 
     /// Accesses every page overlapped by the inclusive key range, given
@@ -85,7 +145,7 @@ impl LruBufferPool {
 
     /// Number of pages currently resident.
     pub fn resident(&self) -> usize {
-        self.last_use.len()
+        self.resident.len()
     }
 }
 
@@ -136,6 +196,55 @@ mod tests {
         }
         assert_eq!(pool.hits(), 0);
         assert_eq!(pool.misses(), 30);
+    }
+
+    /// The old `O(capacity)`-per-miss implementation, kept as an oracle:
+    /// the intrusive-list rewrite must preserve hit/miss semantics exactly.
+    struct NaiveLru {
+        capacity: usize,
+        last_use: std::collections::HashMap<u64, u64>,
+        tick: u64,
+    }
+
+    impl NaiveLru {
+        fn access(&mut self, page: u64) -> bool {
+            self.tick += 1;
+            let hit = self.last_use.contains_key(&page);
+            self.last_use.insert(page, self.tick);
+            if !hit && self.last_use.len() > self.capacity {
+                let (&victim, _) = self.last_use.iter().min_by_key(|&(_, &t)| t).unwrap();
+                self.last_use.remove(&victim);
+            }
+            hit
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference_on_adversarial_streams() {
+        for capacity in [1usize, 2, 3, 7, 16] {
+            let mut fast = LruBufferPool::new(capacity);
+            let mut naive = NaiveLru {
+                capacity,
+                last_use: std::collections::HashMap::new(),
+                tick: 0,
+            };
+            // Deterministic pseudo-random page stream over a small id space
+            // (plenty of re-touches and evictions at every capacity).
+            let mut state = 0x2545F4914F6CDD1Du64;
+            for step in 0..4000u32 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let page = state % 24;
+                assert_eq!(
+                    fast.access(page),
+                    naive.access(page),
+                    "capacity {capacity}, step {step}, page {page}"
+                );
+            }
+            assert_eq!(fast.resident(), naive.last_use.len(), "capacity {capacity}");
+            assert!(fast.resident() <= capacity);
+        }
     }
 
     #[test]

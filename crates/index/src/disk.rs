@@ -46,14 +46,19 @@ impl DiskModel {
 pub struct IoStats {
     /// Number of seeks performed (one per contiguous key range scanned).
     pub seeks: u64,
-    /// Number of pages transferred.
+    /// Number of pages transferred from the medium (buffer-pool misses, for
+    /// backends with a pool; every touched page otherwise).
     pub pages: u64,
     /// Number of entries returned.
     pub entries: u64,
+    /// Pages served from the buffer pool instead of the medium (always zero
+    /// for pool-less backends).
+    pub cache_hits: u64,
 }
 
 impl IoStats {
-    /// Total simulated time under a disk model.
+    /// Total simulated time under a disk model. Buffer-pool hits are free:
+    /// only seeks and transferred pages cost time.
     pub fn time_us(&self, model: &DiskModel) -> f64 {
         self.seeks as f64 * model.seek_us + self.pages as f64 * model.transfer_us
     }
@@ -63,6 +68,7 @@ impl IoStats {
         self.seeks += other.seeks;
         self.pages += other.pages;
         self.entries += other.entries;
+        self.cache_hits += other.cache_hits;
     }
 }
 
@@ -118,6 +124,7 @@ impl<V> SimulatedDisk<V> {
                     seeks: 1,
                     pages: 1,
                     entries: 0,
+                    cache_hits: 0,
                 },
             );
         }
@@ -129,6 +136,7 @@ impl<V> SimulatedDisk<V> {
                 seeks: 1,
                 pages: (last_page - first_page + 1) as u64,
                 entries: (end - start) as u64,
+                cache_hits: 0,
             },
         )
     }
@@ -206,6 +214,7 @@ mod tests {
             seeks: 2,
             pages: 5,
             entries: 0,
+            cache_hits: 0,
         };
         let m = DiskModel {
             page_size: 1,

@@ -1,44 +1,60 @@
 //! # sfc-index
 //!
-//! An SFC-backed spatial index — the application the Onion Curve paper
+//! An SFC-backed storage engine — the application the Onion Curve paper
 //! motivates (§I): index multi-dimensional data with one-dimensional
-//! techniques by keying records with their curve index.
+//! techniques by keying records with their curve index. The engine is
+//! layered:
 //!
-//! * [`BPlusTree`] — a from-scratch in-memory B+-tree (bulk load, inserts
-//!   with splits, linked-leaf range scans, invariant checker);
-//! * [`SfcTable`] — records ordered by any [`onion_core::SpaceFillingCurve`];
-//!   rectangle queries are decomposed into the curve's cluster ranges, so
-//!   **seeks per query = the paper's clustering number**;
-//! * [`SimulatedDisk`] / [`DiskModel`] — explicit seek + transfer cost
-//!   accounting (HDD/SSD presets);
-//! * [`partition_universe`] — contiguous range partitioning with
-//!   communication metrics, for the load-balancing application.
+//! * **Storage backends** — the [`Backend`] trait over key-ordered storage,
+//!   with [`MemoryBackend`] (a from-scratch [`BPlusTree`]: bulk load,
+//!   inserts with splits, lazy removal, linked-leaf range scans, invariant
+//!   checker) and [`PagedBackend`] (the tree's leaves treated as
+//!   [`SimulatedDisk`]-style pages behind an [`LruBufferPool`], so cache
+//!   effects show up in query stats);
+//! * **Tables** — [`SfcTable`]: records ordered by any
+//!   [`onion_core::SpaceFillingCurve`]; rectangle queries are decomposed
+//!   into the curve's cluster ranges, so **seeks per query = the paper's
+//!   clustering number**. `Send + Sync`, with a write path
+//!   (`insert`/`delete`/`update`) and batch query/lookup APIs riding the
+//!   batch mapping kernels;
+//! * **Shards** — [`ShardedTable`]: the table partitioned into contiguous
+//!   curve ranges ([`partition_universe`], with communication metrics for
+//!   the load-balancing application), queried concurrently under
+//!   [`std::thread::scope`] with per-shard [`IoStats`] merging.
 //!
 //! ```
 //! use onion_core::{Onion2D, Point};
-//! use sfc_index::{DiskModel, SfcTable};
+//! use sfc_index::{DiskModel, SfcTable, ShardedTable};
 //! use sfc_clustering::RectQuery;
 //!
-//! let curve = Onion2D::new(64).unwrap();
-//! let records = (0..64u32).map(|i| (Point::new([i, i]), i)).collect();
-//! let table = SfcTable::build(curve, records, DiskModel::hdd()).unwrap();
-//! let hits = table.query_rect(&RectQuery::new([0, 0], [10, 10]).unwrap()).unwrap();
-//! assert_eq!(hits.records.len(), 10);
+//! let records: Vec<(Point<2>, u32)> = (0..64u32).map(|i| (Point::new([i, i]), i)).collect();
+//! let q = RectQuery::new([0, 0], [10, 10]).unwrap();
+//!
+//! let table = SfcTable::build(Onion2D::new(64).unwrap(), records.clone(), DiskModel::hdd()).unwrap();
+//! assert_eq!(table.query_rect(&q).unwrap().records.len(), 10);
+//!
+//! // The same query through four concurrent shards returns the same rows.
+//! let sharded = ShardedTable::build(Onion2D::new(64).unwrap(), records, DiskModel::hdd(), 4).unwrap();
+//! assert_eq!(sharded.query_rect(&q).unwrap().records, table.query_rect(&q).unwrap().records);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod backend;
 mod btree;
 mod cache;
 mod disk;
 mod partition;
+mod shard;
 mod table;
 
+pub use backend::{Backend, MemoryBackend, PagedBackend, ScanStats};
 pub use btree::{BPlusTree, RangeIter, DEFAULT_NODE_CAPACITY};
 pub use cache::LruBufferPool;
 pub use disk::{DiskModel, IoStats, SimulatedDisk};
 pub use partition::{
-    evaluate_partitioning, owner_of, partition_universe, Partition, PartitionMetrics,
+    evaluate_partitioning, owner_of, partition_universe, try_owner_of, Partition, PartitionMetrics,
 };
+pub use shard::ShardedTable;
 pub use table::{QueryResult, Record, SfcTable};

@@ -47,16 +47,40 @@ pub fn partition_universe<const D: usize, C: SpaceFillingCurve<D>>(
     out
 }
 
+/// The worker owning a given cell under the partitioning, or `None` if the
+/// cell's curve index is not covered by `parts` (possible when `parts` is a
+/// truncated or hand-built partitioning rather than a full
+/// [`partition_universe`] result).
+pub fn try_owner_of<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    parts: &[Partition],
+    p: Point<D>,
+) -> Option<usize> {
+    let idx = curve.index_unchecked(p);
+    let pos = parts.partition_point(|part| part.hi < idx);
+    (pos < parts.len() && parts[pos].lo <= idx).then(|| parts[pos].worker)
+}
+
 /// The worker owning a given cell under the partitioning.
+///
+/// # Panics
+/// If the cell's curve index is not covered by `parts` — in every build
+/// profile, with a message naming the point and index (the previous
+/// `debug_assert!` vanished in release builds, leaving an opaque
+/// out-of-bounds index panic). Use [`try_owner_of`] to handle gaps without
+/// panicking.
 pub fn owner_of<const D: usize, C: SpaceFillingCurve<D>>(
     curve: &C,
     parts: &[Partition],
     p: Point<D>,
 ) -> usize {
-    let idx = curve.index_unchecked(p);
-    let pos = parts.partition_point(|part| part.hi < idx);
-    debug_assert!(pos < parts.len() && parts[pos].lo <= idx);
-    parts[pos].worker
+    try_owner_of(curve, parts, p).unwrap_or_else(|| {
+        panic!(
+            "owner_of: point {p} (curve index {}) is not covered by the {} given partition(s)",
+            curve.index_unchecked(p),
+            parts.len()
+        )
+    })
 }
 
 /// Communication metrics of a partitioning: for each grid edge between
@@ -162,6 +186,23 @@ mod tests {
             let w = owner_of(&o, &parts, p);
             assert!(parts[w].lo <= idx && idx <= parts[w].hi);
         }
+    }
+
+    #[test]
+    fn uncovered_points_are_reported_clearly() {
+        let o = Onion2D::new(8).unwrap();
+        let mut parts = partition_universe(&o, 4);
+        parts.pop(); // drop the last quarter of the curve
+        let covered = o.point_unchecked(0);
+        let uncovered = o.point_unchecked(63);
+        assert_eq!(try_owner_of(&o, &parts, covered), Some(0));
+        assert_eq!(try_owner_of(&o, &parts, uncovered), None);
+        let err = std::panic::catch_unwind(|| owner_of(&o, &parts, uncovered))
+            .expect_err("must panic in every build profile");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(msg.contains("not covered"), "opaque panic: {msg}");
     }
 
     #[test]

@@ -1,16 +1,22 @@
-//! `SfcTable`: a spatial table organized by a space-filling curve.
+//! The table layer: `SfcTable`, a spatial table organized by a
+//! space-filling curve over a pluggable storage [`Backend`].
 //!
-//! Records are keyed by their cell's curve index and stored in a
-//! [`BPlusTree`]; rectangle queries are decomposed into the curve's cluster
-//! ranges (`sfc-clustering`) and answered with one B+-tree range scan per
-//! cluster. The number of scans *is* the paper's clustering number, so the
-//! choice of curve directly controls the number of seeks.
+//! Records are keyed by their cell's curve index; rectangle queries are
+//! decomposed into the curve's cluster ranges (`sfc-clustering`) and
+//! answered with one backend range scan per cluster. The number of scans
+//! *is* the paper's clustering number, so the choice of curve directly
+//! controls the number of seeks.
+//!
+//! The table is `Send + Sync` (for thread-safe curves, values, and
+//! backends): queries borrow decomposition buffers from a
+//! [`ScratchPool`] instead of the old single-threaded `RefCell` scratch,
+//! so any number of threads can query one table concurrently while the
+//! sharding layer adds curve-aware parallelism on top.
 
-use crate::btree::{BPlusTree, DEFAULT_NODE_CAPACITY};
+use crate::backend::{Backend, MemoryBackend, PagedBackend};
 use crate::disk::{DiskModel, IoStats};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
-use sfc_clustering::{cluster_ranges_into, coalesce_ranges, ClusterScratch, RectQuery};
-use std::cell::RefCell;
+use sfc_clustering::{coalesce_ranges, ClusterScratch, RectQuery, ScratchPool};
 
 /// A record stored in the table: a point with an opaque payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,38 +33,65 @@ pub struct QueryResult<const D: usize, V> {
     /// Matching records, in curve-key order.
     pub records: Vec<Record<D, V>>,
     /// Number of contiguous key ranges scanned (the clustering number of
-    /// the query under the table's curve).
+    /// the query under the table's curve; for a sharded table, after
+    /// splitting at shard boundaries).
     pub ranges_scanned: u64,
-    /// Simulated I/O statistics: one seek per range, one page per B+-tree
-    /// leaf touched.
+    /// Simulated I/O statistics: one seek per range, one page per backend
+    /// leaf transferred, plus buffer-pool hits for paged backends.
     pub io: IoStats,
 }
 
-/// A spatial table whose rows are ordered by an SFC.
-///
-/// Holds per-table scratch buffers so rectangle queries reuse the same
-/// range-decomposition memory (`RefCell` interior mutability: the table is
-/// single-threaded per handle, like any cursor-carrying structure).
-pub struct SfcTable<C, V, const D: usize> {
-    curve: C,
-    tree: BPlusTree<Record<D, V>>,
-    model: DiskModel,
-    scratch: RefCell<QueryScratch<D>>,
+/// Validates `records` against `curve`'s universe and keys them with one
+/// [`SpaceFillingCurve::fill_indices`] batch call, so the curve's per-call
+/// setup (and, for `dyn` curves, virtual dispatch) is paid once for the
+/// whole load rather than once per record. Shared by the table and
+/// sharding layers.
+pub(crate) fn keyed_records<const D: usize, C: SpaceFillingCurve<D>, V>(
+    curve: &C,
+    records: Vec<(Point<D>, V)>,
+) -> Result<Vec<(u64, Record<D, V>)>, SfcError> {
+    let universe = curve.universe();
+    let mut points: Vec<Point<D>> = Vec::with_capacity(records.len());
+    for (point, _) in &records {
+        if !universe.contains(*point) {
+            return Err(SfcError::PointOutOfBounds {
+                point: point.to_string(),
+                side: universe.side(),
+            });
+        }
+        points.push(*point);
+    }
+    let mut keys: Vec<u64> = Vec::new();
+    curve.fill_indices(&points, &mut keys);
+    let mut keyed: Vec<(u64, Record<D, V>)> = keys
+        .into_iter()
+        .zip(records)
+        .map(|(key, (point, value))| (key, Record { point, value }))
+        .collect();
+    keyed.sort_by_key(|&(k, _)| k);
+    Ok(keyed)
 }
 
-/// Reusable per-table query state.
-#[derive(Default, Debug)]
-struct QueryScratch<const D: usize> {
-    cluster: ClusterScratch<D>,
-    ranges: Vec<(u64, u64)>,
+/// A spatial table whose rows are ordered by an SFC, stored in a
+/// [`Backend`] (in-memory B+-tree by default, paged/cached via
+/// [`PagedBackend`]).
+///
+/// Rectangle-query decomposition borrows buffers from a [`ScratchPool`],
+/// so shared references can run queries from many threads at once; writes
+/// (`insert`/`delete`/`update`) take `&mut self` like any Rust collection.
+pub struct SfcTable<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
+    curve: C,
+    backend: B,
+    model: DiskModel,
+    scratch: ScratchPool<D>,
+    // `V` only occurs inside `B` (as `Backend<Record<D, V>>`); the `fn`
+    // wrapper keeps the marker from affecting auto traits or variance.
+    _values: std::marker::PhantomData<fn() -> V>,
 }
 
 impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
-    /// Builds a table over `curve` from a batch of records (bulk load).
-    ///
-    /// Keys are derived with one [`SpaceFillingCurve::fill_indices`] batch
-    /// call, so the curve's per-call setup is paid once for the whole load
-    /// rather than once per record.
+    /// Builds a table over `curve` from a batch of records (bulk load into
+    /// the default in-memory backend).
     ///
     /// # Errors
     /// If any point lies outside the curve's universe.
@@ -67,52 +100,63 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
         records: Vec<(Point<D>, V)>,
         model: DiskModel,
     ) -> Result<Self, SfcError> {
-        let universe = curve.universe();
-        let mut points: Vec<Point<D>> = Vec::with_capacity(records.len());
-        for (point, _) in &records {
-            if !universe.contains(*point) {
-                return Err(SfcError::PointOutOfBounds {
-                    point: point.to_string(),
-                    side: universe.side(),
-                });
-            }
-            points.push(*point);
-        }
-        let mut keys: Vec<u64> = Vec::new();
-        curve.fill_indices(&points, &mut keys);
-        let mut keyed: Vec<(u64, Record<D, V>)> = keys
-            .into_iter()
-            .zip(records)
-            .map(|(key, (point, value))| (key, Record { point, value }))
-            .collect();
-        keyed.sort_by_key(|&(k, _)| k);
-        let tree = BPlusTree::bulk_load(keyed, DEFAULT_NODE_CAPACITY);
-        Ok(SfcTable {
+        let keyed = keyed_records(&curve, records)?;
+        Ok(SfcTable::from_parts(
             curve,
-            tree,
+            MemoryBackend::bulk_load(keyed),
             model,
-            scratch: RefCell::new(QueryScratch::default()),
-        })
+        ))
     }
 
-    /// Creates an empty table.
+    /// Creates an empty table with the default in-memory backend.
     pub fn new(curve: C, model: DiskModel) -> Self {
-        SfcTable {
-            curve,
-            tree: BPlusTree::new(DEFAULT_NODE_CAPACITY),
-            model,
-            scratch: RefCell::new(QueryScratch::default()),
-        }
+        SfcTable::from_parts(curve, MemoryBackend::new(), model)
     }
+}
 
-    /// Inserts a record (index maintenance through the B+-tree).
+impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone>
+    SfcTable<C, V, D, PagedBackend<Record<D, V>>>
+{
+    /// Builds a table whose backend runs page accesses through an LRU
+    /// buffer pool of `pool_pages` pages: repeated queries over warm
+    /// regions stop paying transfer costs, and per-query [`IoStats`]
+    /// report the hit/miss split.
     ///
     /// # Errors
-    /// If the point lies outside the curve's universe.
-    pub fn insert(&mut self, point: Point<D>, value: V) -> Result<(), SfcError> {
-        let key = self.curve.index_of(point)?;
-        self.tree.insert(key, Record { point, value });
-        Ok(())
+    /// If any point lies outside the curve's universe.
+    pub fn build_paged(
+        curve: C,
+        records: Vec<(Point<D>, V)>,
+        model: DiskModel,
+        pool_pages: usize,
+    ) -> Result<Self, SfcError> {
+        let keyed = keyed_records(&curve, records)?;
+        let backend = PagedBackend::bulk_load(keyed, model, pool_pages);
+        Ok(SfcTable::from_parts(curve, backend, model))
+    }
+
+    /// Creates an empty paged table (see [`Self::build_paged`]).
+    pub fn new_paged(curve: C, model: DiskModel, pool_pages: usize) -> Self {
+        SfcTable::from_parts(curve, PagedBackend::new(model, pool_pages), model)
+    }
+}
+
+impl<const D: usize, C, V, B> SfcTable<C, V, D, B>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone,
+    B: Backend<Record<D, V>>,
+{
+    /// Assembles a table from an already-loaded backend (the generic
+    /// constructor behind [`Self::build`] and custom backends).
+    pub fn from_parts(curve: C, backend: B, model: DiskModel) -> Self {
+        SfcTable {
+            curve,
+            backend,
+            model,
+            scratch: ScratchPool::new(),
+            _values: std::marker::PhantomData,
+        }
     }
 
     /// The curve ordering this table.
@@ -125,56 +169,140 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
         &self.model
     }
 
+    /// The storage backend (stats, invariant checks).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.tree.len()
+        self.backend.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.backend.is_empty()
     }
 
-    /// Answers a rectangle query: decomposes it into cluster ranges and
-    /// scans each, reporting per-query I/O (seeks = ranges, pages = leaf
-    /// nodes touched).
+    /// Inserts a record (index maintenance riding the backend's splits).
     ///
     /// # Errors
-    /// If the query does not fit inside the universe.
-    pub fn query_rect(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
-        let side = self.curve.universe().side();
-        if !q.fits_in(side) {
-            return Err(SfcError::PointOutOfBounds {
-                point: Point::new(q.hi()).to_string(),
-                side,
-            });
+    /// If the point lies outside the curve's universe.
+    pub fn insert(&mut self, point: Point<D>, value: V) -> Result<(), SfcError> {
+        let key = self.curve.index_of(point)?;
+        self.backend.insert(key, Record { point, value });
+        Ok(())
+    }
+
+    /// Removes the record at `point`, returning its payload (or `None` if
+    /// the cell is vacant).
+    ///
+    /// # Errors
+    /// If the point lies outside the curve's universe.
+    pub fn delete(&mut self, point: Point<D>) -> Result<Option<V>, SfcError> {
+        let key = self.curve.index_of(point)?;
+        Ok(self.backend.remove(key).map(|rec| rec.value))
+    }
+
+    /// Replaces the payload at `point` in place, returning the previous
+    /// one; inserts (and returns `None`) if the cell is vacant.
+    ///
+    /// # Errors
+    /// If the point lies outside the curve's universe.
+    pub fn update(&mut self, point: Point<D>, value: V) -> Result<Option<V>, SfcError> {
+        let key = self.curve.index_of(point)?;
+        if let Some(rec) = self.backend.get_mut(key) {
+            Ok(Some(std::mem::replace(&mut rec.value, value)))
+        } else {
+            self.backend.insert(key, Record { point, value });
+            Ok(None)
         }
-        let scratch = &mut *self.scratch.borrow_mut();
-        cluster_ranges_into(&self.curve, q, &mut scratch.cluster, &mut scratch.ranges);
-        self.tree.reset_leaf_visits();
-        let mut records = Vec::new();
-        for &(lo, hi) in &scratch.ranges {
-            for (_, rec) in self.tree.range(lo, hi) {
-                debug_assert!(q.contains(rec.point));
-                records.push(rec.clone());
-            }
-        }
-        let io = IoStats {
-            seeks: scratch.ranges.len() as u64,
-            pages: self.tree.leaf_visits(),
-            entries: records.len() as u64,
-        };
-        Ok(QueryResult {
-            records,
-            ranges_scanned: scratch.ranges.len() as u64,
-            io,
-        })
     }
 
     /// Point lookup.
     pub fn get(&self, p: Point<D>) -> Result<Option<&V>, SfcError> {
         let key = self.curve.index_of(p)?;
-        Ok(self.tree.get(key).map(|r| &r.value))
+        Ok(self.backend.get(key).map(|r| &r.value))
+    }
+
+    /// Batch point lookup: keys every probe with one
+    /// [`SpaceFillingCurve::fill_indices`] call (the sanctioned bulk
+    /// kernel), then answers each against the backend.
+    ///
+    /// # Errors
+    /// If any probe lies outside the curve's universe.
+    pub fn get_batch(&self, points: &[Point<D>]) -> Result<Vec<Option<V>>, SfcError> {
+        let universe = self.curve.universe();
+        for &p in points {
+            if !universe.contains(p) {
+                return Err(SfcError::PointOutOfBounds {
+                    point: p.to_string(),
+                    side: universe.side(),
+                });
+            }
+        }
+        let mut keys: Vec<u64> = Vec::with_capacity(points.len());
+        self.curve.fill_indices(points, &mut keys);
+        Ok(keys
+            .into_iter()
+            .map(|k| self.backend.get(k).map(|r| r.value.clone()))
+            .collect())
+    }
+
+    /// Answers a rectangle query: decomposes it into cluster ranges and
+    /// scans each, reporting per-query I/O (seeks = ranges, pages =
+    /// backend pages transferred, plus buffer-pool hits).
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn query_rect(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
+        let mut scratch = self.scratch.checkout();
+        self.query_with_scratch(q, &mut scratch)
+    }
+
+    /// Answers many rectangle queries with one scratch checkout: the
+    /// batched twin of [`Self::query_rect`], amortizing pool traffic the
+    /// way `fill_indices` amortizes per-call curve setup.
+    ///
+    /// # Errors
+    /// If any query does not fit inside the universe.
+    pub fn query_rect_batch(
+        &self,
+        queries: &[RectQuery<D>],
+    ) -> Result<Vec<QueryResult<D, V>>, SfcError> {
+        let mut scratch = self.scratch.checkout();
+        queries
+            .iter()
+            .map(|q| self.query_with_scratch(q, &mut scratch))
+            .collect()
+    }
+
+    fn query_with_scratch(
+        &self,
+        q: &RectQuery<D>,
+        scratch: &mut ClusterScratch<D>,
+    ) -> Result<QueryResult<D, V>, SfcError> {
+        self.check_fits(q)?;
+        let ranges = scratch.ranges_of(&self.curve, q);
+        let mut records = Vec::new();
+        let mut io = IoStats {
+            seeks: ranges.len() as u64,
+            ..IoStats::default()
+        };
+        for &(lo, hi) in ranges {
+            let stats = self.backend.scan(lo, hi, &mut |_, rec| {
+                debug_assert!(q.contains(rec.point));
+                records.push(rec.clone());
+            });
+            io.pages += stats.pages;
+            io.cache_hits += stats.cache_hits;
+        }
+        io.entries = records.len() as u64;
+        Ok(QueryResult {
+            ranges_scanned: ranges.len() as u64,
+            records,
+            io,
+        })
     }
 
     /// Like [`Self::query_rect`], but coalesces cluster ranges separated by
@@ -183,39 +311,36 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
     /// \[15\]). Scanned non-matching records are filtered out; `io.entries`
     /// counts everything touched, so amplification is
     /// `io.entries / records.len()`.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
     pub fn query_rect_coalesced(
         &self,
         q: &RectQuery<D>,
         max_gap: u64,
     ) -> Result<QueryResult<D, V>, SfcError> {
-        let side = self.curve.universe().side();
-        if !q.fits_in(side) {
-            return Err(SfcError::PointOutOfBounds {
-                point: Point::new(q.hi()).to_string(),
-                side,
-            });
-        }
+        self.check_fits(q)?;
         let ranges = {
-            let scratch = &mut *self.scratch.borrow_mut();
-            cluster_ranges_into(&self.curve, q, &mut scratch.cluster, &mut scratch.ranges);
-            coalesce_ranges(&scratch.ranges, max_gap)
+            let mut scratch = self.scratch.checkout();
+            coalesce_ranges(scratch.ranges_of(&self.curve, q), max_gap)
         };
-        self.tree.reset_leaf_visits();
         let mut records = Vec::new();
         let mut touched = 0u64;
+        let mut io = IoStats {
+            seeks: ranges.len() as u64,
+            ..IoStats::default()
+        };
         for &(lo, hi) in &ranges {
-            for (_, rec) in self.tree.range(lo, hi) {
+            let stats = self.backend.scan(lo, hi, &mut |_, rec| {
                 touched += 1;
                 if q.contains(rec.point) {
                     records.push(rec.clone());
                 }
-            }
+            });
+            io.pages += stats.pages;
+            io.cache_hits += stats.cache_hits;
         }
-        let io = IoStats {
-            seeks: ranges.len() as u64,
-            pages: self.tree.leaf_visits(),
-            entries: touched,
-        };
+        io.entries = touched;
         Ok(QueryResult {
             records,
             ranges_scanned: ranges.len() as u64,
@@ -232,6 +357,9 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
     /// can be closer. Returns `(record, squared distance)` pairs sorted by
     /// distance (ties broken by curve key order), with fewer than `k`
     /// entries only if the table is smaller than `k`.
+    ///
+    /// # Errors
+    /// If `center` lies outside the universe.
     pub fn knn(&self, center: Point<D>, k: usize) -> Result<Vec<(Record<D, V>, u64)>, SfcError> {
         let side = self.curve.universe().side();
         if !self.curve.universe().contains(center) {
@@ -276,6 +404,17 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone> SfcTable<C, V, D> {
             }
             radius = radius.saturating_mul(2);
         }
+    }
+
+    fn check_fits(&self, q: &RectQuery<D>) -> Result<(), SfcError> {
+        let side = self.curve.universe().side();
+        if !q.fits_in(side) {
+            return Err(SfcError::PointOutOfBounds {
+                point: Point::new(q.hi()).to_string(),
+                side,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -322,6 +461,7 @@ mod tests {
         assert_eq!(res.io.seeks, expected);
         assert_eq!(res.io.entries, q.volume());
         assert!(res.io.pages >= expected, "each range touches >= 1 page");
+        assert_eq!(res.io.cache_hits, 0, "memory backend has no pool");
     }
 
     #[test]
@@ -361,6 +501,29 @@ mod tests {
         let mut t: SfcTable<Onion2D, u32, 2> = SfcTable::new(curve, DiskModel::hdd());
         assert!(t.insert(Point::new([8, 0]), 1).is_err());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_and_update_round_trip() {
+        let mut t = table();
+        let p = Point::new([5, 5]);
+        assert_eq!(t.update(p, 9999).unwrap(), Some(505), "update returns old");
+        assert_eq!(t.get(p).unwrap(), Some(&9999));
+        assert_eq!(t.delete(p).unwrap(), Some(9999));
+        assert_eq!(t.get(p).unwrap(), None);
+        assert_eq!(t.delete(p).unwrap(), None, "second delete is a no-op");
+        assert_eq!(t.len(), 255);
+        // Update on a vacant cell inserts.
+        assert_eq!(t.update(p, 42).unwrap(), None);
+        assert_eq!(t.get(p).unwrap(), Some(&42));
+        assert_eq!(t.len(), 256);
+        // Deleted records no longer appear in rectangle queries.
+        let q = RectQuery::new([5, 5], [1, 1]).unwrap();
+        t.delete(p).unwrap();
+        assert!(t.query_rect(&q).unwrap().records.is_empty());
+        // Out-of-bounds writes are rejected.
+        assert!(t.delete(Point::new([99, 0])).is_err());
+        assert!(t.update(Point::new([99, 0]), 0).is_err());
     }
 
     #[test]
@@ -404,6 +567,65 @@ mod tests {
         let res = t.query_rect(&q).unwrap();
         let time = res.io.time_us(t.model());
         assert!(time > 0.0);
+    }
+
+    #[test]
+    fn batch_queries_match_individual_queries() {
+        let t = table();
+        let queries = [
+            RectQuery::new([2, 3], [5, 4]).unwrap(),
+            RectQuery::new([0, 0], [16, 16]).unwrap(),
+            RectQuery::new([7, 7], [2, 2]).unwrap(),
+        ];
+        let batch = t.query_rect_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, res) in queries.iter().zip(&batch) {
+            let single = t.query_rect(q).unwrap();
+            assert_eq!(res.records, single.records, "{q:?}");
+            assert_eq!(res.io, single.io, "{q:?}");
+        }
+        // A bad query anywhere in the batch fails the whole batch.
+        let bad = [RectQuery::new([10, 10], [10, 10]).unwrap()];
+        assert!(t.query_rect_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn get_batch_matches_get() {
+        let t = table();
+        let probes = [Point::new([3, 7]), Point::new([0, 0]), Point::new([15, 15])];
+        let got = t.get_batch(&probes).unwrap();
+        assert_eq!(got, vec![Some(307), Some(0), Some(1515)]);
+        assert!(t.get_batch(&[Point::new([16, 0])]).is_err());
+        // Vacant cells come back as None.
+        let sparse: SfcTable<Onion2D, u32, 2> =
+            SfcTable::new(Onion2D::new(16).unwrap(), DiskModel::ssd());
+        assert_eq!(sparse.get_batch(&probes).unwrap(), vec![None, None, None]);
+    }
+
+    #[test]
+    fn paged_table_reports_cache_hits() {
+        let curve = Onion2D::new(16).unwrap();
+        let mut records = Vec::new();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                records.push((Point::new([x, y]), x * 100 + y));
+            }
+        }
+        let model = DiskModel {
+            page_size: 16,
+            seek_us: 8_000.0,
+            transfer_us: 100.0,
+        };
+        let t = SfcTable::build_paged(curve, records, model, 64).unwrap();
+        let q = RectQuery::new([2, 2], [8, 8]).unwrap();
+        let cold = t.query_rect(&q).unwrap();
+        assert!(cold.io.pages > 0, "cold pool transfers pages");
+        let warm = t.query_rect(&q).unwrap();
+        assert_eq!(warm.records, cold.records);
+        assert_eq!(warm.io.pages, 0, "warm pool absorbs every page");
+        assert_eq!(warm.io.cache_hits, cold.io.pages + cold.io.cache_hits);
+        // Warm queries cost only seeks under the model.
+        assert!(warm.io.time_us(t.model()) < cold.io.time_us(t.model()));
     }
 
     #[test]

@@ -14,5 +14,6 @@
 mod points;
 
 pub use points::{
-    clustered_points, diagonal_points, grid_points, hotspot_points, uniform_points, Dataset,
+    clustered_points, diagonal_points, grid_points, hotspot_points, uniform_points, zipf_points,
+    Dataset,
 };

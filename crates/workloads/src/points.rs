@@ -133,6 +133,45 @@ pub fn hotspot_points<const D: usize, R: Rng>(
     }
 }
 
+/// Zipf-skewed points: each coordinate is drawn independently from a
+/// Zipf(`exponent`) distribution over `0..side`, so probability mass piles
+/// up near the origin along every axis — a heavy-tailed skew that
+/// concentrates records in the low-index region of any curve and stresses
+/// shard balance far harder than [`hotspot_points`]' bounded hot box.
+///
+/// `exponent = 0` degenerates to uniform; ~0.5–1.2 are typical real-data
+/// skews. Sampling is inverse-CDF over a precomputed table (`O(side)`
+/// setup, `O(log side)` per point), driven by integer draws so the
+/// generator stays reproducible under the vendored RNG.
+pub fn zipf_points<const D: usize, R: Rng>(
+    side: u32,
+    count: usize,
+    exponent: f64,
+    rng: &mut R,
+) -> Dataset<D> {
+    assert!(exponent >= 0.0 && exponent.is_finite());
+    // cdf[i] = unnormalized P(coord <= i); weights 1/(i+1)^exponent.
+    let mut cdf: Vec<f64> = Vec::with_capacity(side as usize);
+    let mut total = 0.0f64;
+    for i in 0..side {
+        total += (f64::from(i) + 1.0).powf(-exponent);
+        cdf.push(total);
+    }
+    let draw_coord = move |rng: &mut R, cdf: &[f64]| -> u32 {
+        // 53-bit draw -> uniform in [0, 1).
+        let u = (rng.random_range(0..(1u64 << 53)) as f64) / (1u64 << 53) as f64;
+        let target = u * total;
+        cdf.partition_point(|&c| c <= target) as u32
+    };
+    let points = (0..count)
+        .map(|_| Point::new(std::array::from_fn(|_| draw_coord(rng, &cdf).min(side - 1))))
+        .collect();
+    Dataset {
+        name: "zipf",
+        points,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +232,31 @@ mod tests {
         // densest tile still holds far more than the uniform share (~31).
         let max = counts.values().max().copied().unwrap_or(0);
         assert!(max > 300, "densest tile has {max} of 2000 points");
+    }
+
+    #[test]
+    fn zipf_concentrates_near_origin_and_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let side = 256u32;
+        let ds = zipf_points::<2, _>(side, 4000, 0.9, &mut rng);
+        assert_eq!(ds.points.len(), 4000);
+        assert!(in_bounds(&ds, side));
+        // Far more than the uniform share (1/16) lands in the low quadrant.
+        let low = ds
+            .points
+            .iter()
+            .filter(|p| p.0[0] < side / 4 && p.0[1] < side / 4)
+            .count();
+        assert!(low > 1000, "low-quadrant count {low} of 4000");
+        // Exponent 0 degenerates to uniform: the low quadrant holds roughly
+        // its fair 1/16 share.
+        let flat = zipf_points::<2, _>(side, 4000, 0.0, &mut rng);
+        let flat_low = flat
+            .points
+            .iter()
+            .filter(|p| p.0[0] < side / 4 && p.0[1] < side / 4)
+            .count();
+        assert!(flat_low < 500, "uniform low-quadrant count {flat_low}");
     }
 
     #[test]

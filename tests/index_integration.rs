@@ -4,8 +4,10 @@
 
 use onion_curve::baselines::{curve_2d, CURVE_NAMES};
 use onion_curve::clustering::{clustering_number, random_translations, RectQuery};
-use onion_curve::index::{evaluate_partitioning, partition_universe, DiskModel, SfcTable};
-use onion_curve::workloads::{clustered_points, grid_points, uniform_points};
+use onion_curve::index::{
+    evaluate_partitioning, partition_universe, DiskModel, SfcTable, ShardedTable,
+};
+use onion_curve::workloads::{clustered_points, grid_points, uniform_points, zipf_points};
 use onion_curve::{Point, SpaceFillingCurve};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -157,6 +159,56 @@ fn buffer_pool_measures_page_working_sets() {
         distinct_pages["z-order"],
         distinct_pages["onion"]
     );
+}
+
+#[test]
+fn sharded_engine_matches_single_table_end_to_end() {
+    // The full pipeline through the facade: skewed data, every curve, the
+    // sharded engine against the plain table, under mixed read traffic.
+    let side = 64u32;
+    let mut rng = StdRng::seed_from_u64(99);
+    let records: Vec<(Point<2>, u64)> = zipf_points::<2, _>(side, 2500, 0.7, &mut rng)
+        .points
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, i as u64))
+        .collect();
+    let queries = random_translations(side, [17u32, 11], 15, &mut rng).unwrap();
+    for name in ["onion", "hilbert", "z-order"] {
+        let single = SfcTable::build(
+            curve_2d(name, side).unwrap(),
+            records.clone(),
+            DiskModel::hdd(),
+        )
+        .unwrap();
+        let sharded = ShardedTable::build(
+            curve_2d(name, side).unwrap(),
+            records.clone(),
+            DiskModel::hdd(),
+            6,
+        )
+        .unwrap();
+        // Zipf skew shows up as record imbalance across equal cell ranges.
+        let sizes = sharded.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), records.len());
+        for q in &queries {
+            let a = single.query_rect(q).unwrap();
+            let b = sharded.query_rect(q).unwrap();
+            assert_eq!(a.records, b.records, "{name} {q:?}");
+            // Splitting at shard boundaries never loses or duplicates I/O
+            // entries, and total seeks can only grow.
+            assert_eq!(a.io.entries, b.io.entries, "{name} {q:?}");
+            assert!(b.io.seeks >= a.io.seeks, "{name} {q:?}");
+        }
+        let batch = sharded.query_rect_batch(&queries).unwrap();
+        for (q, res) in queries.iter().zip(&batch) {
+            assert_eq!(
+                res.records,
+                single.query_rect(q).unwrap().records,
+                "{name} batch {q:?}"
+            );
+        }
+    }
 }
 
 #[test]
