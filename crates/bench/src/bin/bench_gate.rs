@@ -1,0 +1,200 @@
+//! CI bench regression gate: compares two `BENCH_hotpath.json` exports and
+//! fails (exit 1) when any tracked kernel regressed beyond a threshold.
+//!
+//! ```text
+//! bench_gate --base BENCH_hotpath.json --current /tmp/BENCH_hotpath.json \
+//!            [--threshold 1.25] [--deterministic-only]
+//! ```
+//!
+//! * `--threshold` — maximum allowed `current/base` ratio of
+//!   `optimized_ns` per kernel (default 1.25, i.e. a >25% regression
+//!   fails).
+//! * `--wall-threshold` — a separate (typically looser) ratio for the
+//!   wall-clock kernels, whose run-to-run variance on shared CI runners
+//!   can exceed a tight threshold without any code change. Defaults to
+//!   `--threshold`; CI's PR gate passes `2.0` so only catastrophic
+//!   wall-clock regressions fail while simulated-I/O kernels stay gated
+//!   at 25%.
+//! * `--deterministic-only` — gate only the simulated-I/O kernels
+//!   (names containing `simio` or under `planner/`), whose numbers are
+//!   machine-independent. Use this when `base` was produced on different
+//!   hardware (e.g. the checked-in JSON vs a CI runner); wall-clock
+//!   kernels are still printed, but informationally.
+//!
+//! Kernels present in only one file are reported and never fail the gate
+//! (new benches must be addable; retired ones removable).
+//!
+//! The JSON subset parsed here is exactly what `bench_hotpath` writes: an
+//! array of objects with `name` and `optimized_ns` fields, one per line.
+//! No serde in this workspace (offline vendoring), so parsing is a small
+//! hand-rolled extractor.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts the string value of `"key": "..."` from a JSON object line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\"");
+    let after = &line[line.find(&tag)? + tag.len()..];
+    let open = after.find('"')?;
+    let rest = &after[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123.4` (or `null`) from a JSON
+/// object line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\"");
+    let after = &line[line.find(&tag)? + tag.len()..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a `BENCH_hotpath.json` export into `name -> optimized_ns`.
+fn parse_bench(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if !line.contains("\"name\"") {
+            continue;
+        }
+        let name =
+            string_field(line, "name").ok_or_else(|| format!("{path}: malformed entry: {line}"))?;
+        let ns = number_field(line, "optimized_ns")
+            .ok_or_else(|| format!("{path}: no optimized_ns for {name}"))?;
+        out.insert(name, ns);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no bench entries found"));
+    }
+    Ok(out)
+}
+
+/// Whether a kernel's number is simulated (machine-independent) rather
+/// than wall clock.
+fn is_deterministic(name: &str) -> bool {
+    name.contains("simio") || name.starts_with("planner/")
+}
+
+fn main() -> ExitCode {
+    let mut base_path = None;
+    let mut current_path = None;
+    let mut threshold = 1.25f64;
+    let mut wall_threshold: Option<f64> = None;
+    let mut deterministic_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--base" => base_path = args.next(),
+            "--current" => current_path = args.next(),
+            "--threshold" => {
+                let Some(v) = args.next().and_then(|t| t.parse().ok()) else {
+                    eprintln!("--threshold needs a number; try --help");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            "--wall-threshold" => {
+                let Some(v) = args.next().and_then(|t| t.parse().ok()) else {
+                    eprintln!("--wall-threshold needs a number; try --help");
+                    return ExitCode::from(2);
+                };
+                wall_threshold = Some(v);
+            }
+            "--deterministic-only" => deterministic_only = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --base <json> --current <json> [--threshold 1.25] \
+                     [--wall-threshold <ratio>] [--deterministic-only]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(base_path), Some(current_path)) = (base_path, current_path) else {
+        eprintln!("--base and --current are required; try --help");
+        return ExitCode::from(2);
+    };
+    let (base, current) = match (parse_bench(&base_path), parse_bench(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let wall_threshold = wall_threshold.unwrap_or(threshold);
+    let mut regressions = Vec::new();
+    println!(
+        "{:<52} {:>12} {:>12} {:>8}  verdict",
+        "kernel", "base_ms", "current_ms", "ratio"
+    );
+    for (name, &cur) in &current {
+        let Some(&old) = base.get(name) else {
+            println!(
+                "{name:<52} {:>12} {:>12.3} {:>8}  new (not gated)",
+                "-",
+                cur / 1e6,
+                "-"
+            );
+            continue;
+        };
+        let ratio = cur / old;
+        let deterministic = is_deterministic(name);
+        let gated = !deterministic_only || deterministic;
+        let limit = if deterministic {
+            threshold
+        } else {
+            wall_threshold
+        };
+        let verdict = if ratio <= limit {
+            "ok"
+        } else if gated {
+            regressions.push((name.clone(), ratio));
+            "REGRESSED"
+        } else {
+            "regressed (wall clock, not gated)"
+        };
+        println!(
+            "{name:<52} {:>12.3} {:>12.3} {:>7.2}x  {verdict}",
+            old / 1e6,
+            cur / 1e6,
+            ratio
+        );
+    }
+    for name in base.keys().filter(|n| !current.contains_key(*n)) {
+        println!("{name:<52} retired (present only in base)");
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "\nbench gate passed: no tracked kernel regressed beyond {:.0}%{}",
+            (threshold - 1.0) * 100.0,
+            if deterministic_only {
+                " (deterministic kernels gated)"
+            } else {
+                ""
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nbench gate FAILED: {} kernel(s) regressed beyond {:.0}%:",
+            regressions.len(),
+            (threshold - 1.0) * 100.0
+        );
+        for (name, ratio) in &regressions {
+            eprintln!("  {name}: {ratio:.2}x");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -20,8 +20,9 @@ use sfc_clustering::{
     average_clustering_exact, cluster_ranges_into, clustering_number_with, ClusterMethod,
     ClusterScratch, RectQuery,
 };
-use sfc_index::{DiskModel, LruBufferPool, SfcTable, ShardedTable};
-use sfc_workloads::zipf_points;
+use sfc_engine::{Engine, EngineConfig, Op};
+use sfc_index::{DiskModel, LruBufferPool, Planner, SfcTable, ShardedTable};
+use sfc_workloads::{mixed_op_stream, zipf_points, OpMix};
 use std::time::Instant;
 
 /// One tracked measurement: a baseline-vs-optimized pair, or a
@@ -328,6 +329,176 @@ fn main() {
                 }
                 for &p in &points {
                     t.delete(p).unwrap();
+                }
+                t.len() as u64
+            }),
+        });
+    }
+
+    // Adaptive planner vs fixed full decomposition on the paged backend:
+    // deterministic simulated I/O time of a Zipf query batch under the
+    // HDD model. The planner coalesces seek-heavy decompositions (and
+    // leans further on the buffer pool as its live hit-rate estimate
+    // warms), so total simulated time drops below the fixed `ranges_of`
+    // execution. Fresh tables per mode keep the pool states independent.
+    {
+        let side = 1u32 << 9;
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = zipf_points::<2, _>(side, 200_000, 0.8, &mut rng);
+        let records: Vec<(Point<2>, u64)> = data
+            .points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        let queries: Vec<RectQuery<2>> = (0..48)
+            .map(|_| {
+                let l = rng.random_range(16..192u32);
+                let x = rng.random_range(0..side - l);
+                let y = rng.random_range(0..side - l);
+                RectQuery::new([x, y], [l, l]).unwrap()
+            })
+            .collect();
+        let model = DiskModel::hdd();
+        let pool_pages = 1 << 10;
+        let fixed_us = {
+            let t = SfcTable::build_paged(
+                Onion2D::new(side).unwrap(),
+                records.clone(),
+                model,
+                pool_pages,
+            )
+            .unwrap();
+            queries
+                .iter()
+                .map(|q| t.query_rect(q).unwrap().io.time_us(&model))
+                .sum::<f64>()
+        };
+        let planned_us = {
+            let t = SfcTable::build_paged(
+                Onion2D::new(side).unwrap(),
+                records.clone(),
+                model,
+                pool_pages,
+            )
+            .unwrap();
+            let planner = Planner::new(model);
+            queries
+                .iter()
+                .map(|q| {
+                    let (res, _plan) = t.query_rect_planned(q, &planner).unwrap();
+                    res.io.time_us(&model)
+                })
+                .sum::<f64>()
+        };
+        comparisons.push(Comparison {
+            name: "planner/adaptive_vs_fixed/onion2d/zipf200k/paged",
+            baseline_ns: Some(fixed_us * 1e3),
+            optimized_ns: planned_us * 1e3,
+        });
+    }
+
+    // The serving layer under mixed concurrent traffic: 4 reader threads
+    // (gets + planned rect queries) and 1 writer thread (epoch-batched
+    // inserts/updates/deletes) against one shared engine over Zipf-skewed
+    // data. Wall clock, timing-only: thread speedup depends on host cores,
+    // so no baseline pair is claimed.
+    {
+        let side = 1u32 << 9;
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = zipf_points::<2, _>(side, 200_000, 0.8, &mut rng);
+        let records: Vec<(Point<2>, u64)> = data
+            .points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        let reader_streams: Vec<Vec<Op<2, u64>>> = (0..4)
+            .map(|_| {
+                mixed_op_stream::<2, _>(side, 800, &OpMix::read_only(), 0.8, 48, &mut rng)
+                    .into_iter()
+                    .map(Op::from)
+                    .collect()
+            })
+            .collect();
+        let writer_stream: Vec<Op<2, u64>> =
+            mixed_op_stream::<2, _>(side, 4_000, &OpMix::write_only(), 0.8, 1, &mut rng)
+                .into_iter()
+                .map(Op::from)
+                .collect();
+        comparisons.push(Comparison {
+            name: "engine/mixed_rw/onion2d/zipf200k/4r1w",
+            baseline_ns: None,
+            optimized_ns: time_ns(reps, || {
+                // Fresh engine per rep: reps must time identical work, not
+                // a table that grew under the previous rep's writes. The
+                // build is part of the measured closure (timing-only
+                // entry) and is small next to serving 7k ops.
+                let table = ShardedTable::build_paged(
+                    Onion2D::new(side).unwrap(),
+                    records.clone(),
+                    DiskModel::ssd(),
+                    4,
+                    1 << 10,
+                )
+                .unwrap();
+                let engine = Engine::new(table, EngineConfig { epoch_ops: 512 });
+                let engine = &engine;
+                std::thread::scope(|s| {
+                    for stream in &reader_streams {
+                        s.spawn(move || {
+                            for op in stream {
+                                engine.execute(op.clone()).unwrap();
+                            }
+                        });
+                    }
+                    let writer = &writer_stream;
+                    s.spawn(move || {
+                        for op in writer {
+                            engine.execute(op.clone()).unwrap();
+                        }
+                    });
+                });
+                engine.flush().unwrap();
+                engine.stats().gets + engine.stats().writes
+            }),
+        });
+    }
+
+    // The write path the epoch log buys: curve-order-sorted batches
+    // through `apply_batch` vs the same Zipf-ordered writes as random
+    // single-record inserts. Both start from an empty 4-shard table.
+    {
+        let side = 1u32 << 9;
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = zipf_points::<2, _>(side, 100_000, 0.8, &mut rng);
+        let records: Vec<(Point<2>, u64)> = data
+            .points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect();
+        let empty_table = || -> ShardedTable<Onion2D, u64, 2> {
+            ShardedTable::build(Onion2D::new(side).unwrap(), Vec::new(), DiskModel::ssd(), 4)
+                .unwrap()
+        };
+        comparisons.push(Comparison {
+            name: "engine/write_epochs/onion2d/zipf100k",
+            baseline_ns: Some(time_ns(reps, || {
+                let mut t = empty_table();
+                for &(p, v) in &records {
+                    t.insert(p, v).unwrap();
+                }
+                t.len() as u64
+            })),
+            optimized_ns: time_ns(reps, || {
+                let t = empty_table();
+                for chunk in records.chunks(4096) {
+                    let batch: Vec<sfc_index::BatchOp<2, u64>> = chunk
+                        .iter()
+                        .map(|&(p, v)| sfc_index::BatchOp::Insert(p, v))
+                        .collect();
+                    t.apply_batch(batch).unwrap();
                 }
                 t.len() as u64
             }),

@@ -108,6 +108,24 @@ impl<const D: usize> ClusterScratch<D> {
         self.ranges = out;
         &self.ranges
     }
+
+    /// Like [`Self::ranges_of`], but caps the decomposition at `budget`
+    /// pieces via [`coalesce_to_budget`]: the full cluster decomposition is
+    /// computed first (so the merge picks the globally smallest gaps), then
+    /// reduced in place. The returned ranges cover every query cell plus
+    /// the absorbed gap cells.
+    pub fn ranges_within_budget<C: SpaceFillingCurve<D>>(
+        &mut self,
+        curve: &C,
+        q: &RectQuery<D>,
+        budget: usize,
+    ) -> &[(u64, u64)] {
+        self.ranges_of(curve, q);
+        if self.ranges.len() > budget.max(1) {
+            self.ranges = coalesce_to_budget(&self.ranges, budget);
+        }
+        &self.ranges
+    }
 }
 
 /// A thread-safe pool of [`ClusterScratch`] buffers.
@@ -251,6 +269,133 @@ pub fn coalesce_ranges(ranges: &[(u64, u64)], max_gap: u64) -> Vec<(u64, u64)> {
         }
     }
     out
+}
+
+/// Coalesces sorted, disjoint `ranges` down to at most `budget` pieces by
+/// merging across the smallest gaps first.
+///
+/// Where [`coalesce_ranges`] takes a *gap* threshold (absorb every gap of at
+/// most `max_gap` cells), this takes a *seek* budget: the decomposition is
+/// reduced to exactly `max(budget, 1)` ranges (or fewer, if the input is
+/// already smaller) by repeatedly merging the pair of neighbors separated by
+/// the fewest non-query cells — the cheapest possible read amplification for
+/// that seek count. This is the decomposition knob a query planner turns:
+/// Haverkort & van Walderveen observe that realized range-query cost is
+/// dominated by how many pieces the curve image is fetched in, and the gap
+/// distribution of a clustering decides how cheap each drop in piece count
+/// is.
+///
+/// Returns the merged ranges; the total number of absorbed non-query cells
+/// is recoverable as the difference of [`covered_cells`] before and after.
+/// An input already within budget is returned *unchanged* — adjacent
+/// (gap-zero) ranges are not merged opportunistically, so the output's
+/// length only drops when the budget forces it.
+///
+/// # Panics
+/// On unsorted or overlapping input, in all build profiles (same contract
+/// as [`coalesce_ranges`]).
+pub fn coalesce_to_budget(ranges: &[(u64, u64)], budget: usize) -> Vec<(u64, u64)> {
+    let budget = budget.max(1);
+    if ranges.len() <= budget {
+        // Pass through unchanged — but still validate, since callers rely
+        // on the panic contract (coalesce_ranges would merge gap-zero
+        // neighbors, silently shrinking an in-budget input).
+        for w in ranges.windows(2) {
+            let ((lo, hi), (nlo, nhi)) = (w[0], w[1]);
+            assert!(
+                lo <= hi && nlo <= nhi,
+                "coalesce_to_budget: malformed range"
+            );
+            assert!(
+                nlo > hi,
+                "coalesce_to_budget: ranges must be sorted and disjoint, \
+                 but ({nlo}, {nhi}) overlaps or precedes (.., {hi})"
+            );
+        }
+        if let Some(&(lo, hi)) = ranges.last() {
+            assert!(lo <= hi, "coalesce_to_budget: malformed range ({lo}, {hi})");
+        }
+        return ranges.to_vec();
+    }
+    // Gap before range i+1 (validated non-negative like coalesce_ranges).
+    let mut gaps: Vec<(u64, usize)> = Vec::with_capacity(ranges.len() - 1);
+    for (i, w) in ranges.windows(2).enumerate() {
+        let ((lo, hi), (nlo, nhi)) = (w[0], w[1]);
+        assert!(
+            lo <= hi && nlo <= nhi,
+            "coalesce_to_budget: malformed range"
+        );
+        let gap = nlo.checked_sub(hi + 1).unwrap_or_else(|| {
+            panic!(
+                "coalesce_to_budget: ranges must be sorted and disjoint, \
+                 but ({nlo}, {nhi}) overlaps or precedes (.., {hi})"
+            )
+        });
+        gaps.push((gap, i));
+    }
+    // Merge across the `len - budget` smallest gaps (ties by position, so
+    // the result is deterministic).
+    gaps.sort_unstable();
+    let mut merge_after = vec![false; ranges.len() - 1];
+    for &(_, i) in gaps.iter().take(ranges.len() - budget) {
+        merge_after[i] = true;
+    }
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(budget);
+    let mut current = ranges[0];
+    for (i, &r) in ranges.iter().enumerate().skip(1) {
+        if merge_after[i - 1] {
+            current.1 = r.1;
+        } else {
+            out.push(current);
+            current = r;
+        }
+    }
+    out.push(current);
+    debug_assert_eq!(out.len(), budget);
+    out
+}
+
+/// Total number of cells covered by sorted, disjoint inclusive ranges — the
+/// query volume for an exact decomposition, query volume plus absorbed gap
+/// cells after coalescing.
+pub fn covered_cells(ranges: &[(u64, u64)]) -> u64 {
+    ranges.iter().map(|&(lo, hi)| hi - lo + 1).sum()
+}
+
+/// Prefix sums of the sorted gap sizes of a sorted, disjoint decomposition:
+/// `prefix[k]` is the fewest non-query cells a caller must absorb to reduce
+/// the decomposition by `k` pieces (merge the `k` smallest gaps). This is
+/// the exact trade-off curve a cost-based planner evaluates without
+/// re-running the decomposition per candidate budget.
+///
+/// `ranges` must be sorted and disjoint — what [`cluster_ranges`] produces.
+///
+/// # Panics
+/// On unsorted or overlapping input, in all build profiles (the same
+/// contract as [`coalesce_ranges`] — a silent release-mode wrap here would
+/// feed a garbage trade-off curve to the planner).
+pub fn gap_profile(ranges: &[(u64, u64)]) -> Vec<u64> {
+    let mut gaps: Vec<u64> = ranges
+        .windows(2)
+        .map(|w| {
+            let ((_, hi), (nlo, _)) = (w[0], w[1]);
+            nlo.checked_sub(hi + 1).unwrap_or_else(|| {
+                panic!(
+                    "gap_profile: ranges must be sorted and disjoint, \
+                     but ({nlo}, ..) overlaps or precedes (.., {hi})"
+                )
+            })
+        })
+        .collect();
+    gaps.sort_unstable();
+    let mut prefix = Vec::with_capacity(gaps.len() + 1);
+    let mut acc = 0u64;
+    prefix.push(0);
+    for g in gaps {
+        acc += g;
+        prefix.push(acc);
+    }
+    prefix
 }
 
 /// Cells are staged and mapped in blocks of this size, bounding scratch
@@ -559,6 +704,84 @@ mod tests {
         assert_eq!(pool.idle(), 2, "both guards returned their scratch");
         let _again = pool.checkout();
         assert_eq!(pool.idle(), 1, "checkout reuses a pooled scratch");
+    }
+
+    #[test]
+    fn budget_coalescing_merges_smallest_gaps_first() {
+        let ranges = [(0u64, 5u64), (8, 10), (20, 21), (23, 30)];
+        // Gaps: 2 (after r0), 9 (after r1), 1 (after r2).
+        assert_eq!(coalesce_to_budget(&ranges, 4), ranges.to_vec());
+        assert_eq!(coalesce_to_budget(&ranges, 9), ranges.to_vec());
+        assert_eq!(
+            coalesce_to_budget(&ranges, 3),
+            vec![(0, 5), (8, 10), (20, 30)],
+            "smallest gap (1) merged first"
+        );
+        assert_eq!(coalesce_to_budget(&ranges, 2), vec![(0, 10), (20, 30)]);
+        assert_eq!(coalesce_to_budget(&ranges, 1), vec![(0, 30)]);
+        assert_eq!(coalesce_to_budget(&ranges, 0), vec![(0, 30)], "0 acts as 1");
+        assert_eq!(coalesce_to_budget(&[], 3), Vec::<(u64, u64)>::new());
+        // Absorbed cells are exactly the merged gaps.
+        assert_eq!(covered_cells(&ranges), 19);
+        assert_eq!(covered_cells(&coalesce_to_budget(&ranges, 2)), 19 + 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn budget_coalescing_rejects_overlap() {
+        let _ = coalesce_to_budget(&[(0u64, 10u64), (5, 20), (30, 40)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn gap_profile_rejects_overlap() {
+        let _ = gap_profile(&[(0u64, 10u64), (5, 20)]);
+    }
+
+    #[test]
+    fn in_budget_input_passes_through_even_when_adjacent() {
+        // Gap-zero neighbors are valid disjoint input; within budget they
+        // must come back unchanged (no opportunistic merging — the caller
+        // asked for a budget, not a normalization).
+        let adjacent = [(0u64, 1u64), (2, 3), (10, 11)];
+        assert_eq!(coalesce_to_budget(&adjacent, 3), adjacent.to_vec());
+        assert_eq!(coalesce_to_budget(&adjacent, 99), adjacent.to_vec());
+        // Forced below budget, the zero gaps merge first.
+        assert_eq!(coalesce_to_budget(&adjacent, 2), vec![(0, 3), (10, 11)]);
+    }
+
+    #[test]
+    fn gap_profile_is_the_merge_cost_curve() {
+        let ranges = [(0u64, 5u64), (8, 10), (20, 21), (23, 30)];
+        assert_eq!(gap_profile(&ranges), vec![0, 1, 3, 12]);
+        assert_eq!(gap_profile(&[(4u64, 9u64)]), vec![0]);
+        assert_eq!(gap_profile(&[]), vec![0]);
+        // prefix[k] matches what coalesce_to_budget actually absorbs.
+        let profile = gap_profile(&ranges);
+        for budget in 1..=ranges.len() {
+            let merged = coalesce_to_budget(&ranges, budget);
+            let absorbed = covered_cells(&merged) - covered_cells(&ranges);
+            assert_eq!(absorbed, profile[ranges.len() - budget], "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn budgeted_scratch_ranges_cover_the_query() {
+        let o = Onion2D::new(16).unwrap();
+        let q = RectQuery::new([3, 2], [9, 9]).unwrap();
+        let full = cluster_ranges(&o, &q);
+        let mut scratch = ClusterScratch::new();
+        for budget in [1usize, 2, full.len(), full.len() + 5] {
+            let got = scratch.ranges_within_budget(&o, &q, budget).to_vec();
+            assert_eq!(got.len(), budget.min(full.len()));
+            for p in q.cells() {
+                let idx = o.index_unchecked(p);
+                assert!(
+                    got.iter().any(|&(lo, hi)| lo <= idx && idx <= hi),
+                    "cell {p} lost at budget {budget}"
+                );
+            }
+        }
     }
 
     #[test]

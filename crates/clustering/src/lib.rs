@@ -39,7 +39,8 @@ mod stats;
 
 pub use cluster::{
     cluster_ranges, cluster_ranges_into, clustering_number, clustering_number_with,
-    coalesce_ranges, ClusterMethod, ClusterScratch, PooledScratch, ScratchPool,
+    coalesce_ranges, coalesce_to_budget, covered_cells, gap_profile, ClusterMethod, ClusterScratch,
+    PooledScratch, ScratchPool,
 };
 pub use crossing::TranslationSet;
 pub use exact::{average_clustering_bruteforce, average_clustering_exact};

@@ -1,0 +1,494 @@
+//! The engine itself: shared-reference op execution, the epoch write log,
+//! and the planner wiring.
+
+use onion_core::{Point, SfcError, SpaceFillingCurve};
+use sfc_clustering::RectQuery;
+use sfc_index::{
+    Backend, BatchOp, DiskModel, MemoryBackend, Planner, QueryPlan, QueryResult, Record,
+    ShardedTable,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// One operation of the serving stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op<const D: usize, V> {
+    /// Point lookup: pending-log overlay first, then the owning shard.
+    Get(Point<D>),
+    /// Rectangle query through the adaptive planner (epoch-boundary
+    /// consistent; does not read the pending log).
+    Query(RectQuery<D>),
+    /// Insert a record (duplicates allowed), deferred to the next epoch.
+    /// On an occupied cell this appends a duplicate: point gets return
+    /// the *oldest* record once applied, so read-your-writes holds only
+    /// for vacant cells — use [`Op::Update`] for upsert semantics.
+    Insert(Point<D>, V),
+    /// Replace-or-insert the payload at a point, deferred to the next
+    /// epoch.
+    Update(Point<D>, V),
+    /// Remove the first record at a point, deferred to the next epoch.
+    Delete(Point<D>),
+}
+
+impl<const D: usize, V> Op<D, V> {
+    /// Whether this operation only reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Get(_) | Op::Query(_))
+    }
+}
+
+/// Generated workload streams ([`sfc_workloads::mixed_op_stream`]) map
+/// one-to-one onto engine ops, so benches and tests can drive an engine
+/// with `stream.into_iter().map(Op::from)`.
+impl<const D: usize> From<sfc_workloads::StreamOp<D>> for Op<D, u64> {
+    fn from(op: sfc_workloads::StreamOp<D>) -> Self {
+        use sfc_workloads::StreamOp;
+        match op {
+            StreamOp::Get(p) => Op::Get(p),
+            StreamOp::Query(q) => Op::Query(q),
+            StreamOp::Insert(p, v) => Op::Insert(p, v),
+            StreamOp::Update(p, v) => Op::Update(p, v),
+            StreamOp::Delete(p) => Op::Delete(p),
+        }
+    }
+}
+
+/// What one executed operation returned.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply<const D: usize, V> {
+    /// A `Get`'s result.
+    Value(Option<V>),
+    /// A `Query`'s matching records, in curve-key order.
+    Records(Vec<Record<D, V>>),
+    /// A write was admitted into the log; it will be applied by an epoch
+    /// numbered strictly greater than `epoch` — usually the next one, but
+    /// an admission racing an in-flight flush (whose batch was already
+    /// staged without this write) lands in the epoch after that.
+    Queued {
+        /// Epochs applied so far at admission time (a lower bound on the
+        /// applying epoch, not an exact slot).
+        epoch: u64,
+    },
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Admitted writes that trigger an automatic epoch flush. Larger
+    /// epochs amortize sorting and lock traffic better but delay rect-
+    /// query visibility of writes.
+    pub epoch_ops: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { epoch_ops: 1024 }
+    }
+}
+
+/// A live snapshot of the engine's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Point gets served.
+    pub gets: u64,
+    /// Rectangle queries served.
+    pub queries: u64,
+    /// Writes admitted.
+    pub writes: u64,
+    /// Epochs applied.
+    pub epochs: u64,
+    /// Writes currently pending in the log.
+    pub pending: u64,
+}
+
+/// The concurrent serving layer: a [`ShardedTable`] behind an op-stream
+/// API, with epoch-batched writes and adaptive query planning. See the
+/// crate docs for the consistency model.
+///
+/// Every method takes `&self`; the engine is `Send + Sync` whenever its
+/// curve, payload, and backend are, so one instance serves any number of
+/// threads.
+pub struct Engine<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
+    table: ShardedTable<C, V, D, B>,
+    planner: Planner,
+    /// The active write log: admitted, not yet being applied. An
+    /// `RwLock` so concurrent point-get overlays (read) never serialize
+    /// each other; only admits and flush staging take the write lock.
+    log: RwLock<Vec<BatchOp<D, V>>>,
+    /// The epoch currently being applied (the "immutable memtable"): moved
+    /// here from `log` at flush start and cleared once the table has
+    /// absorbed it, so point-get overlays never observe a window where an
+    /// admitted write is in neither the log nor the table. Lock order is
+    /// always `log` before `applying`.
+    applying: RwLock<Vec<BatchOp<D, V>>>,
+    /// Serializes epoch application so two concurrent flushes cannot
+    /// reorder same-key writes across their batches.
+    apply_gate: Mutex<()>,
+    epoch: AtomicU64,
+    gets: AtomicU64,
+    queries: AtomicU64,
+    writes: AtomicU64,
+    config: EngineConfig,
+}
+
+impl<const D: usize, C, V, B> Engine<C, V, D, B>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone,
+    B: Backend<Record<D, V>>,
+{
+    /// Wraps a sharded table as a serving engine. The planner prices
+    /// plans under the table's own [`DiskModel`].
+    pub fn new(table: ShardedTable<C, V, D, B>, config: EngineConfig) -> Self {
+        let planner = Planner::new(*table.model());
+        Engine {
+            table,
+            planner,
+            log: RwLock::new(Vec::new()),
+            applying: RwLock::new(Vec::new()),
+            apply_gate: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The underlying sharded table (stats, shard sizes, direct queries).
+    /// Reads through it see the last epoch's state, like `Op::Query`.
+    pub fn table(&self) -> &ShardedTable<C, V, D, B> {
+        &self.table
+    }
+
+    /// The adaptive planner and its live statistics.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The disk model pricing this engine's simulated I/O.
+    pub fn model(&self) -> &DiskModel {
+        self.table.model()
+    }
+
+    /// Number of epochs applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Writes currently pending: admitted to the active log plus staged in
+    /// the epoch being applied right now (if any). Both stages are read
+    /// under one joint acquisition (same `log` → `applying` order as
+    /// `flush`), so a write moving between them mid-flush is never
+    /// counted twice.
+    pub fn pending(&self) -> usize {
+        let log = self.log.read().expect("write log poisoned");
+        let applying = self.applying.read().expect("applying buffer poisoned");
+        log.len() + applying.len()
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            gets: self.gets.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            epochs: self.epoch(),
+            pending: self.pending() as u64,
+        }
+    }
+
+    /// Applies every pending write as one epoch: the log is drained,
+    /// stably sorted into curve-key order inside
+    /// [`ShardedTable::apply_batch`], and applied shard by shard under
+    /// the shards' write locks. Returns the number of writes applied
+    /// (zero if the log was empty — no epoch is counted then).
+    ///
+    /// # Errors
+    /// Never in practice: every logged op was bounds-checked at
+    /// admission. The `Result` guards future table-side invariants.
+    pub fn flush(&self) -> Result<usize, SfcError> {
+        let _gate = self.apply_gate.lock().expect("apply gate poisoned");
+        // Stage the epoch: move the active log into the applying buffer
+        // (held only while the gate is held, so it was empty before this).
+        // Point-get overlays keep seeing these writes throughout the
+        // apply — first in `applying`, then in the table itself.
+        let batch = {
+            let mut log = self.log.write().expect("write log poisoned");
+            let mut applying = self.applying.write().expect("applying buffer poisoned");
+            debug_assert!(applying.is_empty(), "gate serializes epochs");
+            *applying = std::mem::take(&mut *log);
+            // Release the log before the O(n) clone: admits and the first
+            // overlay stage proceed during it; only `applying` readers
+            // wait, and they'd see exactly these ops anyway.
+            drop(log);
+            applying.clone()
+        };
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let applied = batch.len();
+        let result = self.table.apply_batch(batch);
+        {
+            let mut log = self.log.write().expect("write log poisoned");
+            let mut applying = self.applying.write().expect("applying buffer poisoned");
+            if result.is_err() {
+                // Never drop acknowledged writes: re-queue the staged
+                // epoch ahead of anything admitted since, so a later
+                // flush retries it in order. (A batch that failed after
+                // partially applying may re-apply some ops on retry —
+                // acceptable for a path that is unreachable today, since
+                // every op was bounds-checked at admission.)
+                let mut staged = std::mem::take(&mut *applying);
+                staged.append(&mut log);
+                *log = staged;
+            } else {
+                applying.clear();
+            }
+        }
+        result?;
+        self.epoch.fetch_add(1, Ordering::Release);
+        Ok(applied)
+    }
+
+    /// Consumes the engine, flushing pending writes, and returns the
+    /// table — the epoch-boundary state a model comparison reads.
+    ///
+    /// # Errors
+    /// Propagates [`Self::flush`] errors.
+    pub fn into_table(self) -> Result<ShardedTable<C, V, D, B>, SfcError> {
+        self.flush()?;
+        Ok(self.table)
+    }
+
+    /// Validates a write target against the universe so the epoch apply
+    /// can never fail on it.
+    fn check_point(&self, p: Point<D>) -> Result<(), SfcError> {
+        let universe = self.table.curve().universe();
+        if universe.contains(p) {
+            Ok(())
+        } else {
+            Err(SfcError::PointOutOfBounds {
+                point: p.to_string(),
+                side: universe.side(),
+            })
+        }
+    }
+
+    /// Admits one write; auto-flushes when the log reaches the epoch
+    /// threshold.
+    fn admit(&self, op: BatchOp<D, V>) -> Result<Reply<D, V>, SfcError> {
+        self.check_point(op.point())?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch();
+        let backlog = {
+            let mut log = self.log.write().expect("write log poisoned");
+            log.push(op);
+            log.len()
+        };
+        if backlog >= self.config.epoch_ops {
+            self.flush()?;
+        }
+        Ok(Reply::Queued { epoch })
+    }
+
+    /// Serves a point get: the pending logs overlay the table — the
+    /// active log first (newest writes win), then the epoch currently
+    /// being applied — so every admitted write is observable at all
+    /// times, including mid-flush. Overlay scans take read locks (gets
+    /// never serialize each other) and are `O(pending)`, bounded by
+    /// [`EngineConfig::epoch_ops`].
+    fn get(&self, p: Point<D>) -> Result<Reply<D, V>, SfcError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        for stage in [&self.log, &self.applying] {
+            let pending = stage.read().expect("write stage poisoned");
+            for op in pending.iter().rev() {
+                if op.point() == p {
+                    return Ok(Reply::Value(match op {
+                        BatchOp::Insert(_, v) | BatchOp::Update(_, v) => Some(v.clone()),
+                        BatchOp::Delete(_) => None,
+                    }));
+                }
+            }
+        }
+        Ok(Reply::Value(self.table.get(p)?))
+    }
+}
+
+impl<const D: usize, C, V, B> Engine<C, V, D, B>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send,
+    B: Backend<Record<D, V>> + Send + Sync,
+{
+    /// Executes one operation. Reads return their results; writes return
+    /// [`Reply::Queued`] and become visible to rectangle queries at the
+    /// next epoch (point gets see them immediately via the log overlay).
+    ///
+    /// # Errors
+    /// If the op's point or query lies outside the curve's universe.
+    pub fn execute(&self, op: Op<D, V>) -> Result<Reply<D, V>, SfcError> {
+        match op {
+            Op::Get(p) => self.get(p),
+            Op::Query(q) => {
+                let (result, _) = self.query(&q)?;
+                Ok(Reply::Records(result.records))
+            }
+            Op::Insert(p, v) => self.admit(BatchOp::Insert(p, v)),
+            Op::Update(p, v) => self.admit(BatchOp::Update(p, v)),
+            Op::Delete(p) => self.admit(BatchOp::Delete(p)),
+        }
+    }
+
+    /// Executes a stream of operations in order, collecting every reply.
+    ///
+    /// # Errors
+    /// On the first invalid op (earlier ops stay executed).
+    pub fn run_stream(
+        &self,
+        ops: impl IntoIterator<Item = Op<D, V>>,
+    ) -> Result<Vec<Reply<D, V>>, SfcError> {
+        ops.into_iter().map(|op| self.execute(op)).collect()
+    }
+
+    /// Serves a rectangle query through the planner, returning the full
+    /// [`QueryResult`] (records, ranges, [`IoStats`](sfc_index::IoStats))
+    /// and the executed [`QueryPlan`].
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn query(&self, q: &RectQuery<D>) -> Result<(QueryResult<D, V>, QueryPlan), SfcError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.table.query_rect_planned(q, &self.planner)
+    }
+
+    /// Plans a rectangle query without executing it — the `EXPLAIN` API:
+    /// [`QueryPlan::explain`] describes the decision the next execution
+    /// of `q` would take under current statistics.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn explain(&self, q: &RectQuery<D>) -> Result<QueryPlan, SfcError> {
+        self.table.plan_rect(q, &self.planner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onion_core::Onion2D;
+    use sfc_index::DiskModel;
+
+    fn engine(side: u32, shards: usize, epoch_ops: usize) -> Engine<Onion2D, u32, 2> {
+        let records: Vec<(Point<2>, u32)> = (0..side)
+            .flat_map(|x| (0..side).map(move |y| (Point::new([x, y]), x * 100 + y)))
+            .collect();
+        let table = ShardedTable::build(
+            Onion2D::new(side).unwrap(),
+            records,
+            DiskModel::ssd(),
+            shards,
+        )
+        .unwrap();
+        Engine::new(table, EngineConfig { epoch_ops })
+    }
+
+    #[test]
+    fn reads_see_pending_writes_immediately() {
+        let e = engine(16, 4, 1_000_000);
+        let p = Point::new([3, 3]);
+        assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(Some(303)));
+        assert_eq!(
+            e.execute(Op::Update(p, 999)).unwrap(),
+            Reply::Queued { epoch: 0 }
+        );
+        // Overlay: the write is pending, not applied...
+        assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(Some(999)));
+        assert_eq!(e.epoch(), 0);
+        assert_eq!(e.pending(), 1);
+        // ...and a delete overlays the update.
+        e.execute(Op::Delete(p)).unwrap();
+        assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(None));
+        // The table below still holds the old value until the epoch.
+        assert_eq!(e.table().get(p).unwrap(), Some(303));
+        assert_eq!(e.flush().unwrap(), 2);
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(e.table().get(p).unwrap(), None);
+        assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(None));
+    }
+
+    #[test]
+    fn rect_queries_are_epoch_boundary_consistent() {
+        let e = engine(16, 4, 1_000_000);
+        let q = RectQuery::new([0, 0], [4, 4]).unwrap();
+        let Reply::Records(before) = e.execute(Op::Query(q)).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(before.len(), 16);
+        e.execute(Op::Delete(Point::new([1, 1]))).unwrap();
+        // Pending writes are invisible to rect queries...
+        let Reply::Records(mid) = e.execute(Op::Query(q)).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(mid.len(), 16);
+        // ...until the epoch boundary.
+        e.flush().unwrap();
+        let Reply::Records(after) = e.execute(Op::Query(q)).unwrap() else {
+            unreachable!()
+        };
+        assert_eq!(after.len(), 15);
+    }
+
+    #[test]
+    fn epoch_threshold_auto_flushes() {
+        let e = engine(16, 2, 4);
+        for i in 0..7u32 {
+            e.execute(Op::Insert(Point::new([i, 0]), 1000 + i)).unwrap();
+        }
+        // 7 writes at threshold 4: one auto-flush at the 4th, 3 pending.
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(e.pending(), 3);
+        let stats = e.stats();
+        assert_eq!(stats.writes, 7);
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.pending, 3);
+        e.flush().unwrap();
+        assert_eq!(e.epoch(), 2);
+        assert_eq!(e.flush().unwrap(), 0, "empty flush is a no-op");
+        assert_eq!(e.epoch(), 2, "empty flush counts no epoch");
+    }
+
+    #[test]
+    fn invalid_ops_error_without_corrupting_state() {
+        let e = engine(8, 2, 100);
+        assert!(e.execute(Op::Get(Point::new([8, 0]))).is_err());
+        assert!(e.execute(Op::Insert(Point::new([0, 8]), 1)).is_err());
+        assert!(e
+            .execute(Op::Query(RectQuery::new([5, 5], [5, 5]).unwrap()))
+            .is_err());
+        assert_eq!(e.pending(), 0, "invalid writes are not admitted");
+        assert_eq!(e.table().len(), 64);
+    }
+
+    #[test]
+    fn explain_reports_without_executing() {
+        let e = engine(32, 4, 100);
+        let q = RectQuery::new([3, 3], [20, 9]).unwrap();
+        let plan = e.explain(&q).unwrap();
+        assert!(plan.clusters >= 1);
+        assert!(!plan.explain().is_empty());
+        assert_eq!(e.stats().queries, 0, "explain is not an execution");
+        let (result, executed) = e.query(&q).unwrap();
+        assert_eq!(result.records.len() as u64, q.volume());
+        assert_eq!(executed.clusters, plan.clusters);
+        assert_eq!(e.stats().queries, 1);
+    }
+
+    #[test]
+    fn into_table_flushes_first() {
+        let e = engine(8, 2, 1_000_000);
+        e.execute(Op::Update(Point::new([2, 2]), 777)).unwrap();
+        let table = e.into_table().unwrap();
+        assert_eq!(table.get(Point::new([2, 2])).unwrap(), Some(777));
+    }
+}

@@ -1,0 +1,82 @@
+//! # sfc-engine
+//!
+//! The concurrent serving layer over the `sfc-index` storage engine: an
+//! [`Engine`] accepts an operation stream — point gets, rectangle queries,
+//! inserts/updates/deletes — from any number of threads through `&self`,
+//! and turns the Onion Curve paper's clustering guarantee into served
+//! traffic:
+//!
+//! * **Reads** go straight to the [`ShardedTable`](sfc_index::ShardedTable):
+//!   per-shard `RwLock`s
+//!   mean readers of different shards never contend and readers of the
+//!   same shard share the lock. Rectangle queries run through the
+//!   [adaptive planner](sfc_index::Planner), which picks each query's
+//!   decomposition budget from a cost model fed by the engine's own live
+//!   I/O statistics ([`Engine::explain`] shows the decision).
+//! * **Writes** are *admitted*, not applied: they enter a write log and
+//!   are applied in **epochs** — the log is stably sorted into curve-key
+//!   order and pushed through
+//!   [`ShardedTable::apply_batch`](sfc_index::ShardedTable::apply_batch),
+//!   so the
+//!   B+-trees see sorted bulk mutations instead of random single inserts,
+//!   each shard's write lock is held only for its slice of the batch, and
+//!   readers atomically observe epoch boundaries per shard.
+//!
+//! Consistency model (what the proptests verify): **per-key
+//! read-your-writes** at all times — a `Get` consults the pending log
+//! before the table, so a submitted write is immediately visible to point
+//! reads — and **full consistency at quiescent epoch boundaries**: once
+//! [`Engine::flush`] returns (and no flush is concurrently applying),
+//! rectangle queries equal what a single-threaded table that applied the
+//! same ops would return. Rectangle queries do not read the pending log;
+//! between boundaries they see applied epochs only. Epoch application is
+//! atomic **per shard** (each shard flips from pre-batch to post-batch
+//! under its write lock), not across shards: a rectangle query racing a
+//! flush may observe some shards post-epoch and others pre-epoch. Callers
+//! needing a cross-shard-exact scan should quiesce writes around it (or
+//! flush and read before admitting more). Duplicates weaken the overlay:
+//! `Op::Insert` on an *occupied* cell stores a second record, and point
+//! gets then return the **oldest** record at the cell (B+-tree first-
+//! duplicate semantics) even though the overlay reported the newest while
+//! the write was pending; likewise `Op::Delete` on a cell holding
+//! duplicates removes only one record, while the overlay answers `None`
+//! until the epoch applies. So per-key read-your-writes holds
+//! unconditionally for `Update`, and for `Insert`/`Delete` on cells
+//! without duplicates — i.e. for any table whose cells hold at most one
+//! record, which every write path except Insert-on-occupied preserves.
+//! Use `Op::Update` for upsert-with-read-your-writes; use `Insert` for
+//! append-style duplicate workloads and read them at epoch boundaries,
+//! like any scan.
+//!
+//! ```
+//! use onion_core::{Onion2D, Point};
+//! use sfc_clustering::RectQuery;
+//! use sfc_engine::{Engine, EngineConfig, Op, Reply};
+//! use sfc_index::{DiskModel, ShardedTable};
+//!
+//! let table = ShardedTable::build(
+//!     Onion2D::new(64).unwrap(),
+//!     (0..64u32).map(|i| (Point::new([i, i]), i)).collect(),
+//!     DiskModel::ssd(),
+//!     4,
+//! )
+//! .unwrap();
+//! let engine = Engine::new(table, EngineConfig::default());
+//!
+//! // Writes are admitted into the epoch log; gets see them immediately.
+//! engine.execute(Op::Update(Point::new([3, 3]), 999)).unwrap();
+//! assert_eq!(engine.execute(Op::Get(Point::new([3, 3]))).unwrap(), Reply::Value(Some(999)));
+//!
+//! // Rect queries see the new value once the epoch is applied.
+//! engine.flush().unwrap();
+//! let q = RectQuery::new([0, 0], [8, 8]).unwrap();
+//! let Reply::Records(recs) = engine.execute(Op::Query(q)).unwrap() else { unreachable!() };
+//! assert!(recs.iter().any(|r| r.value == 999));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Op, Reply};

@@ -64,6 +64,21 @@ pub trait Backend<V> {
     /// Scans entries with keys in `lo..=hi` in ascending key order,
     /// passing each to `visit`, and returns the scan's page statistics.
     fn scan(&self, lo: u64, hi: u64, visit: &mut dyn FnMut(u64, &V)) -> ScanStats;
+
+    /// Executes the range list of a [`QueryPlan`](crate::QueryPlan) (or any
+    /// sorted, disjoint range set) in order, summing page statistics — the
+    /// plan-aware scan entry point. Backends may override it to amortize
+    /// per-scan setup across a plan's ranges; the default simply chains
+    /// [`Self::scan`].
+    fn scan_ranges(&self, ranges: &[(u64, u64)], visit: &mut dyn FnMut(u64, &V)) -> ScanStats {
+        let mut total = ScanStats::default();
+        for &(lo, hi) in ranges {
+            let s = self.scan(lo, hi, visit);
+            total.pages += s.pages;
+            total.cache_hits += s.cache_hits;
+        }
+        total
+    }
 }
 
 /// The plain in-memory backend: a [`BPlusTree`], nothing else. Every leaf
@@ -301,6 +316,32 @@ mod tests {
             assert_eq!(stats.pages, 16, "a 2-page pool cannot hold a 16-page scan");
             assert_eq!(stats.cache_hits, 0);
         }
+    }
+
+    #[test]
+    fn coalesced_super_range_rescan_counts_each_page_once() {
+        // Regression: a super-range starting exactly on a page boundary
+        // (key 16 = first key of leaf 1) used to bill the *landing* leaf 0
+        // too, although no entry of leaf 0 is scanned — so re-scanning a
+        // coalesced plan reported one phantom cache hit per boundary-
+        // aligned range. Leaf 1 holds keys 16..=31; the scan legitimately
+        // peeks leaf 2 (duplicates of 31 could continue there), so the
+        // true page count is 2 — not 3.
+        let model = DiskModel {
+            page_size: 16,
+            seek_us: 1000.0,
+            transfer_us: 10.0,
+        };
+        let b = PagedBackend::bulk_load(entries(64), model, 64);
+        let cold = b.scan(16, 31, &mut |_, _| {});
+        assert_eq!(cold.pages + cold.cache_hits, 2, "no phantom landing page");
+        let warm = b.scan(16, 31, &mut |_, _| {});
+        assert_eq!(warm.pages, 0);
+        assert_eq!(warm.cache_hits, 2, "re-scan hits exactly the read pages");
+        // The plan-aware multi-range scan sums identically: 2 pages for
+        // (16, 31) as above, 1 for (48, 63) (last leaf, nothing to peek).
+        let plan = b.scan_ranges(&[(16, 31), (48, 63)], &mut |_, _| {});
+        assert_eq!(plan.pages + plan.cache_hits, 3);
     }
 
     #[test]

@@ -20,7 +20,16 @@
 //! * **Shards** — [`ShardedTable`]: the table partitioned into contiguous
 //!   curve ranges ([`partition_universe`], with communication metrics for
 //!   the load-balancing application), queried concurrently under
-//!   [`std::thread::scope`] with per-shard [`IoStats`] merging.
+//!   [`std::thread::scope`] with per-shard [`IoStats`] merging. Each shard
+//!   sits behind its own `RwLock`, so concurrent readers never block each
+//!   other and batched writers ([`ShardedTable::apply_batch`]) deliver
+//!   curve-order-sorted bulk mutations shard by shard;
+//! * **Planning** — [`Planner`] / [`QueryPlan`]: an adaptive query planner
+//!   that chooses each rectangle query's decomposition budget (exact
+//!   cluster ranges, gap-coalesced, or one covering range) from a cost
+//!   model fed by live [`IoStats`] — see the [`plan`](Planner) module docs
+//!   for the model. The concurrent serving layer over all of this lives in
+//!   the `sfc-engine` crate.
 //!
 //! ```
 //! use onion_core::{Onion2D, Point};
@@ -46,6 +55,7 @@ mod btree;
 mod cache;
 mod disk;
 mod partition;
+mod plan;
 mod shard;
 mod table;
 
@@ -56,5 +66,6 @@ pub use disk::{DiskModel, IoStats, SimulatedDisk};
 pub use partition::{
     evaluate_partitioning, owner_of, partition_universe, try_owner_of, Partition, PartitionMetrics,
 };
-pub use shard::ShardedTable;
+pub use plan::{record_density, PlanStrategy, Planner, QueryPlan};
+pub use shard::{BatchOp, ShardedTable};
 pub use table::{QueryResult, Record, SfcTable};

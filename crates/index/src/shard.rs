@@ -20,9 +20,38 @@
 use crate::backend::{Backend, MemoryBackend, PagedBackend};
 use crate::disk::{DiskModel, IoStats};
 use crate::partition::{partition_universe, Partition};
+use crate::plan::{Planner, QueryPlan};
 use crate::table::{keyed_records, QueryResult, Record};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
 use sfc_clustering::{RectQuery, ScratchPool};
+use std::sync::RwLock;
+
+/// One deferred write against a sharded table, applied through
+/// [`ShardedTable::apply_batch`]. Carries the same semantics as the
+/// corresponding single-record methods: `Insert` allows duplicates,
+/// `Update` replaces-or-inserts, `Delete` removes the first record at the
+/// point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp<const D: usize, V> {
+    /// Insert a record (duplicates allowed, like
+    /// [`ShardedTable::insert`]).
+    Insert(Point<D>, V),
+    /// Replace the payload at a point, inserting if vacant (like
+    /// [`ShardedTable::update`]).
+    Update(Point<D>, V),
+    /// Remove the first record at a point (like
+    /// [`ShardedTable::delete`]).
+    Delete(Point<D>),
+}
+
+impl<const D: usize, V> BatchOp<D, V> {
+    /// The point this write touches.
+    pub fn point(&self) -> Point<D> {
+        match self {
+            BatchOp::Insert(p, _) | BatchOp::Update(p, _) | BatchOp::Delete(p) => *p,
+        }
+    }
+}
 
 /// A spatial table split into contiguous curve-range shards that are
 /// scanned concurrently.
@@ -30,12 +59,25 @@ use sfc_clustering::{RectQuery, ScratchPool};
 /// Shards are ordered by curve range, so concatenating per-shard results in
 /// shard order preserves global curve-key order — a sharded query returns
 /// exactly what the equivalent [`SfcTable`](crate::SfcTable) returns.
+///
+/// Every shard sits behind its own [`RwLock`], so the table serves
+/// concurrent traffic through `&self`: readers of different shards never
+/// contend, readers of the same shard share the lock, and batched writers
+/// ([`Self::apply_batch`]) take each shard's write lock only while applying
+/// that shard's slice of the batch. The single-record write methods keep
+/// their `&mut self` signatures (lock-free via `get_mut`) for callers that
+/// own the table exclusively.
 pub struct ShardedTable<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
     curve: C,
     parts: Vec<Partition>,
-    shards: Vec<B>,
+    shards: Vec<RwLock<B>>,
     model: DiskModel,
     scratch: ScratchPool<D>,
+    /// Total stored records, maintained by every write path so
+    /// [`Self::len`]/[`Self::density`] — called per planned query — never
+    /// sweep the shard locks (a query would otherwise stall behind epoch
+    /// applies on shards it will not even scan).
+    records: std::sync::atomic::AtomicU64,
     // `V` only occurs inside `B` (as `Backend<Record<D, V>>`); the `fn`
     // wrapper keeps the marker from affecting auto traits or variance.
     _values: std::marker::PhantomData<fn() -> V>,
@@ -117,12 +159,13 @@ where
         assert!(shard_count >= 1, "need at least one shard");
         let parts = partition_universe(&curve, shard_count);
         let mut keyed = keyed_records(&curve, records)?;
+        let total = keyed.len() as u64;
         let mut shards = Vec::with_capacity(parts.len());
         // `keyed` is sorted, so each shard's records are a prefix of the
         // remainder: split it off partition by partition.
         for part in parts.iter().rev() {
             let cut = keyed.partition_point(|&(k, _)| k < part.lo);
-            shards.push(make_backend(keyed.split_off(cut), model));
+            shards.push(RwLock::new(make_backend(keyed.split_off(cut), model)));
         }
         shards.reverse();
         debug_assert!(keyed.is_empty());
@@ -132,6 +175,7 @@ where
             shards,
             model,
             scratch: ScratchPool::new(),
+            records: std::sync::atomic::AtomicU64::new(total),
             _values: std::marker::PhantomData,
         })
     }
@@ -160,17 +204,24 @@ where
     /// of [`PartitionMetrics`](crate::PartitionMetrics), but record-weighted
     /// rather than cell-weighted, which is what skewed data distorts).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(Backend::len).collect()
+        self.shards.iter().map(|s| read_shard(s).len()).collect()
     }
 
-    /// Total number of stored records.
+    /// Total number of stored records (a lock-free counter maintained by
+    /// every write path — reading it never touches the shard locks).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(Backend::len).sum()
+        self.records.load(std::sync::atomic::Ordering::Relaxed) as usize
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.is_empty())
+        self.len() == 0
+    }
+
+    /// Record density: stored records per curve cell, the planner's
+    /// expected yield of a scanned key span.
+    pub fn density(&self) -> f64 {
+        crate::plan::record_density(self.len(), self.curve.universe().cell_count())
     }
 
     /// The shard (by position) owning curve key `key`.
@@ -196,7 +247,8 @@ where
     pub fn insert(&mut self, point: Point<D>, value: V) -> Result<(), SfcError> {
         let key = self.curve.index_of(point)?;
         let shard = self.shard_of_key(key);
-        self.shards[shard].insert(key, Record { point, value });
+        write_shard_mut(&mut self.shards[shard]).insert(key, Record { point, value });
+        self.add_records(1);
         Ok(())
     }
 
@@ -207,7 +259,13 @@ where
     pub fn delete(&mut self, point: Point<D>) -> Result<Option<V>, SfcError> {
         let key = self.curve.index_of(point)?;
         let shard = self.shard_of_key(key);
-        Ok(self.shards[shard].remove(key).map(|rec| rec.value))
+        let removed = write_shard_mut(&mut self.shards[shard])
+            .remove(key)
+            .map(|rec| rec.value);
+        if removed.is_some() {
+            self.add_records(-1);
+        }
+        Ok(removed)
     }
 
     /// Replaces the payload at `point` in place, returning the previous
@@ -218,36 +276,136 @@ where
     pub fn update(&mut self, point: Point<D>, value: V) -> Result<Option<V>, SfcError> {
         let key = self.curve.index_of(point)?;
         let shard = self.shard_of_key(key);
-        if let Some(rec) = self.shards[shard].get_mut(key) {
+        let backend = write_shard_mut(&mut self.shards[shard]);
+        if let Some(rec) = backend.get_mut(key) {
             Ok(Some(std::mem::replace(&mut rec.value, value)))
         } else {
-            self.shards[shard].insert(key, Record { point, value });
+            backend.insert(key, Record { point, value });
+            self.add_records(1);
             Ok(None)
         }
+    }
+
+    /// Adjusts the lock-free record counter by `delta`.
+    fn add_records(&self, delta: i64) {
+        use std::sync::atomic::Ordering;
+        if delta >= 0 {
+            self.records.fetch_add(delta as u64, Ordering::Relaxed);
+        } else {
+            self.records
+                .fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a batch of writes through `&self`: validates and keys every
+    /// point with one [`SpaceFillingCurve::fill_indices`] call, stably
+    /// sorts the batch into curve order, and applies each shard's
+    /// contiguous slice under that shard's write lock — so the B+-trees
+    /// see sorted bulk mutations instead of random single inserts, and
+    /// readers of untouched shards are never blocked.
+    ///
+    /// Returns the displaced payloads in **submission order** (`None` for
+    /// inserts and for deletes/updates of vacant cells). Ops on the same
+    /// point apply in submission order; no write is applied if any point
+    /// is invalid.
+    ///
+    /// This is the write entry point the epoch-batching serving layer
+    /// (`sfc-engine`) drives; interleaved readers see each shard atomically
+    /// switch from pre-batch to post-batch state.
+    ///
+    /// # Errors
+    /// If any point lies outside the curve's universe (checked before
+    /// anything is applied).
+    pub fn apply_batch(&self, ops: Vec<BatchOp<D, V>>) -> Result<Vec<Option<V>>, SfcError> {
+        let universe = self.curve.universe();
+        let points: Vec<Point<D>> = ops.iter().map(BatchOp::point).collect();
+        for p in &points {
+            if !universe.contains(*p) {
+                return Err(SfcError::PointOutOfBounds {
+                    point: p.to_string(),
+                    side: universe.side(),
+                });
+            }
+        }
+        let mut keys: Vec<u64> = Vec::with_capacity(points.len());
+        self.curve.fill_indices(&points, &mut keys);
+        // Stable sort: ops on the same key keep their submission order.
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let mut ops: Vec<Option<BatchOp<D, V>>> = ops.into_iter().map(Some).collect();
+        let mut results: Vec<Option<V>> = Vec::new();
+        results.resize_with(ops.len(), || None);
+        let mut at = 0usize;
+        let mut delta = 0i64;
+        while at < order.len() {
+            let shard = self.shard_of_key(keys[order[at]]);
+            let end = at
+                + order[at..]
+                    .iter()
+                    .take_while(|&&i| keys[i] <= self.parts[shard].hi)
+                    .count();
+            let mut backend = self.shards[shard]
+                .write()
+                .expect("shard poisoned by a panicked writer");
+            for &i in &order[at..end] {
+                let key = keys[i];
+                results[i] = match ops[i].take().expect("each op applied once") {
+                    BatchOp::Insert(point, value) => {
+                        backend.insert(key, Record { point, value });
+                        delta += 1;
+                        None
+                    }
+                    BatchOp::Update(point, value) => {
+                        if let Some(rec) = backend.get_mut(key) {
+                            Some(std::mem::replace(&mut rec.value, value))
+                        } else {
+                            backend.insert(key, Record { point, value });
+                            delta += 1;
+                            None
+                        }
+                    }
+                    BatchOp::Delete(_) => {
+                        let removed = backend.remove(key).map(|rec| rec.value);
+                        if removed.is_some() {
+                            delta -= 1;
+                        }
+                        removed
+                    }
+                };
+            }
+            at = end;
+        }
+        self.add_records(delta);
+        Ok(results)
     }
 
     /// Point lookup (routed to the owning shard; no threads involved).
     ///
     /// # Errors
     /// If the point lies outside the curve's universe.
-    pub fn get(&self, p: Point<D>) -> Result<Option<&V>, SfcError> {
+    pub fn get(&self, p: Point<D>) -> Result<Option<V>, SfcError>
+    where
+        V: Clone,
+    {
         let key = self.curve.index_of(p)?;
         let shard = self.shard_of_key(key);
-        Ok(self.shards[shard].get(key).map(|r| &r.value))
+        Ok(read_shard(&self.shards[shard])
+            .get(key)
+            .map(|r| r.value.clone()))
     }
 
     /// Splits the cluster ranges of `q` at shard boundaries. Returns the
     /// per-shard sub-range lists and the total sub-range count.
     fn split_query(&self, q: &RectQuery<D>) -> Result<(ShardWork, u64), SfcError> {
-        let side = self.curve.universe().side();
-        if !q.fits_in(side) {
-            return Err(SfcError::PointOutOfBounds {
-                point: Point::new(q.hi()).to_string(),
-                side,
-            });
-        }
+        self.check_fits(q)?;
         let mut scratch = self.scratch.checkout();
         let ranges = scratch.ranges_of(&self.curve, q);
+        Ok(self.split_ranges(ranges))
+    }
+
+    /// Splits arbitrary sorted ranges (a plan's, or a full decomposition's)
+    /// at shard boundaries.
+    fn split_ranges(&self, ranges: &[(u64, u64)]) -> (ShardWork, u64) {
         let mut work: ShardWork = vec![Vec::new(); self.shards.len()];
         let mut pieces = 0u64;
         for &(mut lo, hi) in ranges {
@@ -263,7 +421,18 @@ where
                 shard += 1;
             }
         }
-        Ok((work, pieces))
+        (work, pieces)
+    }
+
+    fn check_fits(&self, q: &RectQuery<D>) -> Result<(), SfcError> {
+        let side = self.curve.universe().side();
+        if !q.fits_in(side) {
+            return Err(SfcError::PointOutOfBounds {
+                point: Point::new(q.hi()).to_string(),
+                side,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -271,7 +440,7 @@ impl<const D: usize, C, V, B> ShardedTable<C, V, D, B>
 where
     C: SpaceFillingCurve<D>,
     V: Clone + Send,
-    B: Backend<Record<D, V>> + Sync,
+    B: Backend<Record<D, V>> + Send + Sync,
 {
     /// Answers a rectangle query: decomposes it into cluster ranges, splits
     /// them at shard boundaries, and scans the shards concurrently
@@ -302,15 +471,90 @@ where
         q: &RectQuery<D>,
     ) -> Result<(QueryResult<D, V>, Vec<IoStats>), SfcError> {
         let (work, pieces) = self.split_query(q)?;
+        let (records, per_shard) = self.scan_work(&work, q, false);
+        let mut io = IoStats::default();
+        for stats in &per_shard {
+            io.absorb(*stats);
+        }
+        Ok((
+            QueryResult {
+                records,
+                ranges_scanned: pieces,
+                io,
+            },
+            per_shard,
+        ))
+    }
+
+    /// Plans a rectangle query without executing it (the `EXPLAIN` entry
+    /// point): the plan is made on the *global* decomposition, before any
+    /// shard-boundary splitting, so its budget reflects the query's true
+    /// clustering.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn plan_rect(&self, q: &RectQuery<D>, planner: &Planner) -> Result<QueryPlan, SfcError> {
+        self.check_fits(q)?;
+        let mut scratch = self.scratch.checkout();
+        let full = scratch.ranges_of(&self.curve, q);
+        Ok(planner.plan_ranges(full, self.density()))
+    }
+
+    /// Answers a rectangle query through the adaptive planner: plans the
+    /// decomposition budget globally, splits the planned ranges at shard
+    /// boundaries, scans concurrently (filtering out records from absorbed
+    /// gap cells), and feeds both the merged [`IoStats`] and the per-shard
+    /// breakdown back into the planner (hit rate and latency skew).
+    ///
+    /// Returns the result and the plan; the rows are always exactly
+    /// [`Self::query_rect`]'s, whatever budget the planner chose.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn query_rect_planned(
+        &self,
+        q: &RectQuery<D>,
+        planner: &Planner,
+    ) -> Result<(QueryResult<D, V>, QueryPlan), SfcError> {
+        let plan = self.plan_rect(q, planner)?;
+        let (work, pieces) = self.split_ranges(&plan.ranges);
+        let (records, per_shard) = self.scan_work(&work, q, true);
+        let mut io = IoStats::default();
+        for stats in &per_shard {
+            io.absorb(*stats);
+        }
+        planner.observe(&io);
+        planner.observe_shards(&per_shard);
+        Ok((
+            QueryResult {
+                records,
+                ranges_scanned: pieces,
+                io,
+            },
+            plan,
+        ))
+    }
+
+    /// Scans a per-shard worklist, inline for a single involved shard and
+    /// under [`std::thread::scope`] otherwise. With `filter`, records
+    /// outside `q` are dropped (plans absorb gap cells); without it they
+    /// are debug-asserted impossible (exact decompositions never scan
+    /// outside the query).
+    fn scan_work(
+        &self,
+        work: &ShardWork,
+        q: &RectQuery<D>,
+        filter: bool,
+    ) -> (Vec<Record<D, V>>, Vec<IoStats>) {
         let mut per_shard = vec![IoStats::default(); self.shards.len()];
         let mut records = Vec::new();
-        let mut io = IoStats::default();
         let involved = work.iter().filter(|w| !w.is_empty()).count();
         if involved <= 1 {
             // One shard (or none): scan inline, no thread overhead.
             for (shard, ranges) in work.iter().enumerate() {
                 if !ranges.is_empty() {
-                    per_shard[shard] = scan_shard(&self.shards[shard], ranges, q, &mut records);
+                    let backend = read_shard(&self.shards[shard]);
+                    per_shard[shard] = scan_shard(&*backend, ranges, q, filter, &mut records);
                 }
             }
         } else {
@@ -320,10 +564,11 @@ where
                     .enumerate()
                     .filter(|(_, ranges)| !ranges.is_empty())
                     .map(|(shard, ranges)| {
-                        let backend = &self.shards[shard];
+                        let lock = &self.shards[shard];
                         s.spawn(move || {
+                            let backend = read_shard(lock);
                             let mut recs = Vec::new();
-                            let stats = scan_shard(backend, ranges, q, &mut recs);
+                            let stats = scan_shard(&*backend, ranges, q, filter, &mut recs);
                             (shard, recs, stats)
                         })
                     })
@@ -340,17 +585,7 @@ where
                 records.extend(recs);
             }
         }
-        for stats in &per_shard {
-            io.absorb(*stats);
-        }
-        Ok((
-            QueryResult {
-                records,
-                ranges_scanned: pieces,
-                io,
-            },
-            per_shard,
-        ))
+        (records, per_shard)
     }
 
     /// Answers a batch of rectangle queries with one thread scope: each
@@ -386,8 +621,9 @@ where
                 .enumerate()
                 .filter(|(_, wl)| !wl.is_empty())
                 .map(|(shard, worklist)| {
-                    let backend = &self.shards[shard];
+                    let lock = &self.shards[shard];
                     s.spawn(move || {
+                        let backend = read_shard(lock);
                         let mut out: Vec<(usize, Vec<Record<D, V>>, IoStats)> = Vec::new();
                         for &(qi, lo, hi) in worklist {
                             if out.last().is_none_or(|&(last_qi, _, _)| last_qi != qi) {
@@ -432,28 +668,47 @@ where
 }
 
 /// Scans `ranges` of one shard, appending matches to `records`; one seek
-/// per sub-range, pages/hits as reported by the backend.
+/// per sub-range, pages/hits as reported by the backend. With `filter`,
+/// records outside `q` (absorbed gap cells of a plan) are skipped.
 fn scan_shard<const D: usize, V: Clone, B: Backend<Record<D, V>>>(
     backend: &B,
     ranges: &[(u64, u64)],
     q: &RectQuery<D>,
+    filter: bool,
     records: &mut Vec<Record<D, V>>,
 ) -> IoStats {
-    let mut io = IoStats {
-        seeks: ranges.len() as u64,
-        ..IoStats::default()
-    };
     let before = records.len();
-    for &(lo, hi) in ranges {
-        let stats = backend.scan(lo, hi, &mut |_, rec| {
+    let stats = backend.scan_ranges(ranges, &mut |_, rec| {
+        if filter {
+            if q.contains(rec.point) {
+                records.push(rec.clone());
+            }
+        } else {
             debug_assert!(q.contains(rec.point));
             records.push(rec.clone());
-        });
-        io.pages += stats.pages;
-        io.cache_hits += stats.cache_hits;
+        }
+    });
+    IoStats {
+        seeks: ranges.len() as u64,
+        pages: stats.pages,
+        entries: (records.len() - before) as u64,
+        cache_hits: stats.cache_hits,
     }
-    io.entries = (records.len() - before) as u64;
-    io
+}
+
+/// Takes a shard's read lock. Poisoning propagates as a panic
+/// *deliberately* (fail-stop): a writer that panicked mid-`apply_batch`
+/// may have left this shard's tree half-mutated, and serving reads from a
+/// possibly-corrupt shard is worse than refusing.
+fn read_shard<B>(lock: &RwLock<B>) -> std::sync::RwLockReadGuard<'_, B> {
+    lock.read().expect("shard poisoned by a panicked writer")
+}
+
+/// Exclusive access to a shard through `&mut self` — no locking needed,
+/// the borrow checker already guarantees uniqueness. Same fail-stop
+/// poisoning policy as [`read_shard`].
+fn write_shard_mut<B>(lock: &mut RwLock<B>) -> &mut B {
+    lock.get_mut().expect("shard poisoned by a panicked writer")
 }
 
 #[cfg(test)]
@@ -555,7 +810,7 @@ mod tests {
             "dense data balances: {sizes:?}"
         );
         let p = Point::new([3, 9]);
-        assert_eq!(t.get(p).unwrap(), Some(&3009));
+        assert_eq!(t.get(p).unwrap(), Some(3009));
         assert_eq!(t.update(p, 1).unwrap(), Some(3009));
         assert_eq!(t.delete(p).unwrap(), Some(1));
         assert_eq!(t.get(p).unwrap(), None);
@@ -614,6 +869,145 @@ mod tests {
             .map(|s| s.time_us(t.model()))
             .fold(0.0f64, f64::max);
         assert!(max < res.io.time_us(t.model()));
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_writes() {
+        let side = 16u32;
+        let mut sequential: ShardedTable<Onion2D, u32, 2> =
+            ShardedTable::build(Onion2D::new(side).unwrap(), Vec::new(), DiskModel::ssd(), 4)
+                .unwrap();
+        let batched: ShardedTable<Onion2D, u32, 2> =
+            ShardedTable::build(Onion2D::new(side).unwrap(), Vec::new(), DiskModel::ssd(), 4)
+                .unwrap();
+        // A mixed batch in adversarial (reverse-curve-ish) submission
+        // order, including same-point sequences whose order matters.
+        let mut ops: Vec<BatchOp<2, u32>> = Vec::new();
+        for x in (0..side).rev() {
+            for y in 0..side {
+                ops.push(BatchOp::Insert(Point::new([x, y]), x * 100 + y));
+            }
+        }
+        let p = Point::new([5, 5]);
+        ops.push(BatchOp::Update(p, 7777));
+        ops.push(BatchOp::Delete(p));
+        ops.push(BatchOp::Insert(p, 42));
+        ops.push(BatchOp::Delete(Point::new([2, 2])));
+        ops.push(BatchOp::Delete(Point::new([2, 2]))); // second is a no-op
+        let mut expected = Vec::new();
+        for op in ops.clone() {
+            expected.push(match op {
+                BatchOp::Insert(p, v) => {
+                    sequential.insert(p, v).unwrap();
+                    None
+                }
+                BatchOp::Update(p, v) => sequential.update(p, v).unwrap(),
+                BatchOp::Delete(p) => sequential.delete(p).unwrap(),
+            });
+        }
+        let results = batched.apply_batch(ops).unwrap();
+        assert_eq!(results, expected, "displaced payloads in submission order");
+        assert_eq!(batched.len(), sequential.len());
+        let q = RectQuery::new([0, 0], [side, side]).unwrap();
+        assert_eq!(
+            batched.query_rect(&q).unwrap().records,
+            sequential.query_rect(&q).unwrap().records
+        );
+    }
+
+    #[test]
+    fn apply_batch_validates_before_applying_anything() {
+        let t: ShardedTable<Onion2D, u32, 2> =
+            ShardedTable::build(Onion2D::new(8).unwrap(), Vec::new(), DiskModel::ssd(), 2).unwrap();
+        let ops = vec![
+            BatchOp::Insert(Point::new([1, 1]), 1),
+            BatchOp::Insert(Point::new([8, 0]), 2), // out of bounds
+        ];
+        assert!(t.apply_batch(ops).is_err());
+        assert!(t.is_empty(), "no partial application");
+        assert_eq!(t.apply_batch(Vec::new()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn batched_writes_interleave_with_concurrent_readers() {
+        let side = 32u32;
+        let t = ShardedTable::build(
+            Onion2D::new(side).unwrap(),
+            dense_records(side),
+            DiskModel::ssd(),
+            4,
+        )
+        .unwrap();
+        let q = RectQuery::new([0, 0], [side, side]).unwrap();
+        let total = u64::from(side) * u64::from(side);
+        std::thread::scope(|s| {
+            // Writers toggle a disjoint set of "extra" cells via
+            // update/delete pairs; readers continuously scan. Every
+            // observed result set size must stay within the toggled band,
+            // and per-shard locking must never deadlock or lose records.
+            let writer = s.spawn(|| {
+                for round in 0..20u32 {
+                    let ops: Vec<BatchOp<2, u32>> = (0..side)
+                        .map(|x| BatchOp::Update(Point::new([x, x]), 900_000 + round))
+                        .collect();
+                    t.apply_batch(ops).unwrap();
+                }
+            });
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let res = t.query_rect(&q).unwrap();
+                        assert_eq!(res.records.len() as u64, total, "no torn reads of a shard");
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        // Updates replaced in place: same cardinality, new diagonal values.
+        assert_eq!(t.len() as u64, total);
+        assert_eq!(t.get(Point::new([3, 3])).unwrap(), Some(900_019));
+    }
+
+    #[test]
+    fn planned_queries_return_exact_rows_with_fewer_seeks() {
+        let side = 32u32;
+        let model = DiskModel {
+            page_size: 16,
+            seek_us: 8_000.0, // seek-heavy: the planner should coalesce
+            transfer_us: 10.0,
+        };
+        let t = ShardedTable::build_paged(
+            Onion2D::new(side).unwrap(),
+            dense_records(side),
+            model,
+            4,
+            256,
+        )
+        .unwrap();
+        let planner = Planner::new(model);
+        for (lo, len) in [
+            ([2u32, 3u32], [9u32, 7u32]),
+            ([0, 15], [32, 2]),
+            ([7, 7], [3, 3]),
+        ] {
+            let q = RectQuery::new(lo, len).unwrap();
+            let exact = t.query_rect(&q).unwrap();
+            let (planned, plan) = t.query_rect_planned(&q, &planner).unwrap();
+            assert_eq!(planned.records, exact.records, "{q:?} {}", plan.explain());
+            assert!(plan.ranges.len() <= plan.clusters);
+            assert!(
+                planned.io.time_us(t.model()) <= exact.io.time_us(t.model()) + 1e-9,
+                "planned must not cost more under the model: {}",
+                plan.explain()
+            );
+        }
+        assert!(planner.observed() >= 3, "executed plans feed the planner");
+        // The explain entry point plans without scanning.
+        let q = RectQuery::new([1, 1], [20, 20]).unwrap();
+        let observed_before = planner.observed();
+        let plan = t.plan_rect(&q, &planner).unwrap();
+        assert!(!plan.explain().is_empty());
+        assert_eq!(planner.observed(), observed_before);
     }
 
     #[test]

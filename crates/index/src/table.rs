@@ -15,6 +15,7 @@
 
 use crate::backend::{Backend, MemoryBackend, PagedBackend};
 use crate::disk::{DiskModel, IoStats};
+use crate::plan::{Planner, QueryPlan};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
 use sfc_clustering::{coalesce_ranges, ClusterScratch, RectQuery, ScratchPool};
 
@@ -285,24 +286,83 @@ where
         self.check_fits(q)?;
         let ranges = scratch.ranges_of(&self.curve, q);
         let mut records = Vec::new();
-        let mut io = IoStats {
+        let stats = self.backend.scan_ranges(ranges, &mut |_, rec| {
+            debug_assert!(q.contains(rec.point));
+            records.push(rec.clone());
+        });
+        let io = IoStats {
             seeks: ranges.len() as u64,
-            ..IoStats::default()
+            pages: stats.pages,
+            entries: records.len() as u64,
+            cache_hits: stats.cache_hits,
         };
-        for &(lo, hi) in ranges {
-            let stats = self.backend.scan(lo, hi, &mut |_, rec| {
-                debug_assert!(q.contains(rec.point));
-                records.push(rec.clone());
-            });
-            io.pages += stats.pages;
-            io.cache_hits += stats.cache_hits;
-        }
-        io.entries = records.len() as u64;
         Ok(QueryResult {
             ranges_scanned: ranges.len() as u64,
             records,
             io,
         })
+    }
+
+    /// Record density of the table: stored records per curve cell, the
+    /// `density` input of the planner's cost model (how many entries a
+    /// scanned key span is expected to yield).
+    pub fn density(&self) -> f64 {
+        crate::plan::record_density(self.backend.len(), self.curve.universe().cell_count())
+    }
+
+    /// Plans a rectangle query without executing it — the `EXPLAIN` entry
+    /// point. The returned [`QueryPlan`] carries the chosen ranges and the
+    /// cost-model numbers behind them ([`QueryPlan::explain`]).
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn plan_rect(&self, q: &RectQuery<D>, planner: &Planner) -> Result<QueryPlan, SfcError> {
+        self.check_fits(q)?;
+        let mut scratch = self.scratch.checkout();
+        let full = scratch.ranges_of(&self.curve, q);
+        Ok(planner.plan_ranges(full, self.density()))
+    }
+
+    /// Answers a rectangle query through the adaptive planner: decomposes,
+    /// lets `planner` choose the piece budget from its live cost model,
+    /// scans the planned ranges (filtering out absorbed non-query
+    /// records), and feeds the realized [`IoStats`] back into the planner.
+    ///
+    /// Returns the result and the plan that produced it; results are
+    /// always exactly [`Self::query_rect`]'s rows, whatever the plan.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn query_rect_planned(
+        &self,
+        q: &RectQuery<D>,
+        planner: &Planner,
+    ) -> Result<(QueryResult<D, V>, QueryPlan), SfcError> {
+        let plan = self.plan_rect(q, planner)?;
+        let mut records = Vec::new();
+        let mut io = IoStats {
+            seeks: plan.ranges.len() as u64,
+            ..IoStats::default()
+        };
+        let stats = self
+            .backend
+            .scan_ranges(&plan.ranges, &mut |_, rec: &Record<D, V>| {
+                if q.contains(rec.point) {
+                    records.push(rec.clone());
+                }
+            });
+        io.pages = stats.pages;
+        io.cache_hits = stats.cache_hits;
+        io.entries = records.len() as u64;
+        planner.observe(&io);
+        Ok((
+            QueryResult {
+                ranges_scanned: plan.ranges.len() as u64,
+                records,
+                io,
+            },
+            plan,
+        ))
     }
 
     /// Like [`Self::query_rect`], but coalesces cluster ranges separated by
@@ -326,21 +386,18 @@ where
         };
         let mut records = Vec::new();
         let mut touched = 0u64;
-        let mut io = IoStats {
+        let stats = self.backend.scan_ranges(&ranges, &mut |_, rec| {
+            touched += 1;
+            if q.contains(rec.point) {
+                records.push(rec.clone());
+            }
+        });
+        let io = IoStats {
             seeks: ranges.len() as u64,
-            ..IoStats::default()
+            pages: stats.pages,
+            entries: touched,
+            cache_hits: stats.cache_hits,
         };
-        for &(lo, hi) in &ranges {
-            let stats = self.backend.scan(lo, hi, &mut |_, rec| {
-                touched += 1;
-                if q.contains(rec.point) {
-                    records.push(rec.clone());
-                }
-            });
-            io.pages += stats.pages;
-            io.cache_hits += stats.cache_hits;
-        }
-        io.entries = touched;
         Ok(QueryResult {
             records,
             ranges_scanned: ranges.len() as u64,
@@ -645,6 +702,41 @@ mod tests {
         // An unbounded gap merges everything into one seek.
         let one = t.query_rect_coalesced(&q, u64::MAX).unwrap();
         assert_eq!(one.io.seeks, 1);
+    }
+
+    #[test]
+    fn planned_table_query_matches_exact_query() {
+        let curve = Onion2D::new(16).unwrap();
+        let mut records = Vec::new();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                records.push((Point::new([x, y]), x * 100 + y));
+            }
+        }
+        let model = DiskModel {
+            page_size: 16,
+            seek_us: 8_000.0,
+            transfer_us: 100.0,
+        };
+        let t = SfcTable::build_paged(curve, records, model, 64).unwrap();
+        assert!((t.density() - 1.0).abs() < 1e-9, "dense table");
+        let planner = crate::Planner::new(model);
+        for (lo, len) in [
+            ([2u32, 3u32], [5u32, 4u32]),
+            ([0, 0], [16, 16]),
+            ([9, 1], [3, 12]),
+        ] {
+            let q = RectQuery::new(lo, len).unwrap();
+            let exact = t.query_rect(&q).unwrap();
+            let (planned, plan) = t.query_rect_planned(&q, &planner).unwrap();
+            assert_eq!(planned.records, exact.records, "{}", plan.explain());
+            assert_eq!(planned.io.seeks, plan.ranges.len() as u64);
+            assert_eq!(planned.io.entries, exact.io.entries);
+        }
+        assert!(planner.observed() == 3);
+        assert!(t
+            .plan_rect(&RectQuery::new([10, 10], [10, 10]).unwrap(), &planner)
+            .is_err());
     }
 
     #[test]

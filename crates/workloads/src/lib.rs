@@ -7,13 +7,20 @@
 //!
 //! All generators take an explicit RNG so every experiment is reproducible
 //! from a seed.
+//!
+//! Beyond static point sets, [`mixed_op_stream`] generates the *serving*
+//! workload: an interleaved stream of point gets, rectangle queries, and
+//! writes with Zipf-skewed targets, consumed by the `sfc-engine` crate's
+//! operation API and the `engine/mixed_rw` benchmark.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod ops;
 mod points;
 
+pub use ops::{mixed_op_stream, OpMix, StreamOp};
 pub use points::{
     clustered_points, diagonal_points, grid_points, hotspot_points, uniform_points, zipf_points,
-    Dataset,
+    Dataset, ZipfSampler,
 };

@@ -1,0 +1,241 @@
+//! Mixed read/write operation streams — the serving-layer workload.
+//!
+//! A spatial store in production does not see neat phases of loads then
+//! queries: it sees an interleaved stream of point gets, rectangle
+//! queries, and writes, with popularity skew on the touched cells. This
+//! module generates such streams deterministically (seeded RNG), with
+//! Zipf-skewed operation targets so hot cells and hot shards emerge the
+//! way they do under real traffic. The `sfc-engine` crate consumes these
+//! streams; `bench_hotpath`'s `engine/mixed_rw` scenario drives an engine
+//! with one stream per thread.
+
+use crate::points::ZipfSampler;
+use onion_core::Point;
+use rand::Rng;
+use sfc_clustering::RectQuery;
+
+/// One operation of a generated stream, with `u64` payloads. Engine-
+/// agnostic: serving layers map these onto their own op types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamOp<const D: usize> {
+    /// Point lookup.
+    Get(Point<D>),
+    /// Rectangle query.
+    Query(RectQuery<D>),
+    /// Insert a record (duplicate-friendly).
+    Insert(Point<D>, u64),
+    /// Replace-or-insert the payload at a point.
+    Update(Point<D>, u64),
+    /// Remove the record at a point.
+    Delete(Point<D>),
+}
+
+impl<const D: usize> StreamOp<D> {
+    /// Whether the operation only reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, StreamOp::Get(_) | StreamOp::Query(_))
+    }
+}
+
+/// Relative weights of the five operation kinds in a generated stream.
+/// Weights need not sum to anything in particular; only ratios matter.
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Point lookups.
+    pub get: u32,
+    /// Rectangle queries.
+    pub query: u32,
+    /// Inserts.
+    pub insert: u32,
+    /// Updates.
+    pub update: u32,
+    /// Deletes.
+    pub delete: u32,
+}
+
+impl OpMix {
+    /// A read-mostly serving mix: 60% gets, 20% rect queries, 20% writes
+    /// split evenly.
+    pub fn read_heavy() -> Self {
+        OpMix {
+            get: 60,
+            query: 20,
+            insert: 7,
+            update: 7,
+            delete: 6,
+        }
+    }
+
+    /// A balanced 50/50 read/write mix.
+    pub fn balanced() -> Self {
+        OpMix {
+            get: 30,
+            query: 20,
+            insert: 17,
+            update: 17,
+            delete: 16,
+        }
+    }
+
+    /// Reads only (gets + queries) — what reader threads of a mixed
+    /// benchmark run while a writer thread runs a write-only mix.
+    pub fn read_only() -> Self {
+        OpMix {
+            get: 75,
+            query: 25,
+            insert: 0,
+            update: 0,
+            delete: 0,
+        }
+    }
+
+    /// Writes only.
+    pub fn write_only() -> Self {
+        OpMix {
+            get: 0,
+            query: 0,
+            insert: 40,
+            update: 40,
+            delete: 20,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.get + self.query + self.insert + self.update + self.delete
+    }
+}
+
+/// Generates a mixed operation stream of `count` ops over a `side^D`
+/// universe: operation kinds drawn by `mix` weight, target cells drawn
+/// from independent per-axis Zipf(`exponent`) distributions (so the same
+/// skew knob as [`crate::zipf_points`]), rectangle queries anchored at a
+/// Zipf-drawn corner with uniform side lengths in `1..=max_query_side`
+/// (clamped to the universe). Payload values number the write ops so
+/// streams are self-describing in assertions.
+///
+/// # Panics
+/// If `mix` has zero total weight, `side` is zero, or `max_query_side` is
+/// zero.
+pub fn mixed_op_stream<const D: usize, R: Rng>(
+    side: u32,
+    count: usize,
+    mix: &OpMix,
+    exponent: f64,
+    max_query_side: u32,
+    rng: &mut R,
+) -> Vec<StreamOp<D>> {
+    assert!(mix.total() > 0, "op mix must have positive total weight");
+    assert!(max_query_side >= 1, "queries need at least one cell");
+    let sampler = ZipfSampler::new(side, exponent);
+    let max_q = max_query_side.min(side);
+    (0..count as u64)
+        .map(|i| {
+            let mut pick = rng.random_range(0..mix.total());
+            let point: Point<D> = sampler.point(rng);
+            if pick < mix.get {
+                return StreamOp::Get(point);
+            }
+            pick -= mix.get;
+            if pick < mix.query {
+                let len: [u32; D] = std::array::from_fn(|_| rng.random_range(0..max_q) + 1);
+                let lo: [u32; D] = std::array::from_fn(|d| point.0[d].min(side - len[d]));
+                return StreamOp::Query(
+                    RectQuery::new(lo, len).expect("query clamped into the universe"),
+                );
+            }
+            pick -= mix.query;
+            if pick < mix.insert {
+                return StreamOp::Insert(point, i);
+            }
+            pick -= mix.insert;
+            if pick < mix.update {
+                return StreamOp::Update(point, i);
+            }
+            StreamOp::Delete(point)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stream_respects_mix_and_bounds() {
+        let side = 64u32;
+        let mut rng = StdRng::seed_from_u64(11);
+        let ops = mixed_op_stream::<2, _>(side, 4000, &OpMix::read_heavy(), 0.8, 16, &mut rng);
+        assert_eq!(ops.len(), 4000);
+        let reads = ops.iter().filter(|o| o.is_read()).count();
+        assert!(
+            (3000..=3500).contains(&reads),
+            "~80% reads expected, got {reads}"
+        );
+        for op in &ops {
+            match op {
+                StreamOp::Get(p)
+                | StreamOp::Insert(p, _)
+                | StreamOp::Update(p, _)
+                | StreamOp::Delete(p) => {
+                    assert!(p.0.iter().all(|&c| c < side));
+                }
+                StreamOp::Query(q) => {
+                    assert!(q.fits_in(side), "{q:?}");
+                    assert!(q.side_lengths().iter().all(|&l| l <= 16));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a = mixed_op_stream::<2, _>(
+            32,
+            200,
+            &OpMix::balanced(),
+            0.5,
+            8,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = mixed_op_stream::<2, _>(
+            32,
+            200,
+            &OpMix::balanced(),
+            0.5,
+            8,
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_only_and_write_only_mixes_are_pure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let reads = mixed_op_stream::<3, _>(16, 300, &OpMix::read_only(), 0.0, 4, &mut rng);
+        assert!(reads.iter().all(StreamOp::is_read));
+        let writes = mixed_op_stream::<3, _>(16, 300, &OpMix::write_only(), 0.0, 4, &mut rng);
+        assert!(writes.iter().all(|o| !o.is_read()));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_op_targets() {
+        let side = 256u32;
+        let mut rng = StdRng::seed_from_u64(9);
+        let ops = mixed_op_stream::<2, _>(side, 3000, &OpMix::read_heavy(), 1.0, 8, &mut rng);
+        let low = ops
+            .iter()
+            .filter_map(|o| match o {
+                StreamOp::Get(p) => Some(*p),
+                _ => None,
+            })
+            .filter(|p| p.0[0] < side / 4 && p.0[1] < side / 4)
+            .count();
+        let gets = ops.iter().filter(|o| matches!(o, StreamOp::Get(_))).count();
+        assert!(
+            low * 2 > gets,
+            "skewed targets: {low} of {gets} gets in the low quadrant"
+        );
+    }
+}

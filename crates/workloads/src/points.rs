@@ -149,26 +149,60 @@ pub fn zipf_points<const D: usize, R: Rng>(
     exponent: f64,
     rng: &mut R,
 ) -> Dataset<D> {
-    assert!(exponent >= 0.0 && exponent.is_finite());
-    // cdf[i] = unnormalized P(coord <= i); weights 1/(i+1)^exponent.
-    let mut cdf: Vec<f64> = Vec::with_capacity(side as usize);
-    let mut total = 0.0f64;
-    for i in 0..side {
-        total += (f64::from(i) + 1.0).powf(-exponent);
-        cdf.push(total);
-    }
-    let draw_coord = move |rng: &mut R, cdf: &[f64]| -> u32 {
-        // 53-bit draw -> uniform in [0, 1).
-        let u = (rng.random_range(0..(1u64 << 53)) as f64) / (1u64 << 53) as f64;
-        let target = u * total;
-        cdf.partition_point(|&c| c <= target) as u32
-    };
-    let points = (0..count)
-        .map(|_| Point::new(std::array::from_fn(|_| draw_coord(rng, &cdf).min(side - 1))))
-        .collect();
+    let sampler = ZipfSampler::new(side, exponent);
+    let points = (0..count).map(|_| sampler.point(rng)).collect();
     Dataset {
         name: "zipf",
         points,
+    }
+}
+
+/// A reusable Zipf(`exponent`) coordinate sampler over `0..side` — the
+/// per-coordinate distribution behind [`zipf_points`], exposed so other
+/// generators (the mixed op-stream generator, query-center draws) can share
+/// one precomputed CDF table instead of rebuilding it per call.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    side: u32,
+    /// `cdf[i]` = unnormalized `P(coord <= i)`; weights `1/(i+1)^exponent`.
+    cdf: Vec<f64>,
+    total: f64,
+}
+
+impl ZipfSampler {
+    /// Precomputes the inverse-CDF table (`O(side)` setup, `O(log side)`
+    /// per draw). `exponent = 0` degenerates to uniform.
+    ///
+    /// # Panics
+    /// If `exponent` is negative or non-finite, or `side` is zero.
+    pub fn new(side: u32, exponent: f64) -> Self {
+        assert!(side >= 1, "need at least one cell per axis");
+        assert!(exponent >= 0.0 && exponent.is_finite());
+        let mut cdf: Vec<f64> = Vec::with_capacity(side as usize);
+        let mut total = 0.0f64;
+        for i in 0..side {
+            total += (f64::from(i) + 1.0).powf(-exponent);
+            cdf.push(total);
+        }
+        ZipfSampler { side, cdf, total }
+    }
+
+    /// The universe side this sampler draws within.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Draws one coordinate in `0..side`.
+    pub fn coord<R: Rng>(&self, rng: &mut R) -> u32 {
+        // 53-bit draw -> uniform in [0, 1).
+        let u = (rng.random_range(0..(1u64 << 53)) as f64) / (1u64 << 53) as f64;
+        let target = u * self.total;
+        (self.cdf.partition_point(|&c| c <= target) as u32).min(self.side - 1)
+    }
+
+    /// Draws one point with independent Zipf coordinates.
+    pub fn point<const D: usize, R: Rng>(&self, rng: &mut R) -> Point<D> {
+        Point::new(std::array::from_fn(|_| self.coord(rng)))
     }
 }
 

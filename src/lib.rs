@@ -12,7 +12,10 @@
 //! * [`clustering`] — clustering numbers, exact averages, query generators;
 //! * [`theory`] — the paper's closed-form bounds (Theorems 1–6);
 //! * [`index`] — an SFC-keyed spatial index with seek accounting;
-//! * [`workloads`] — deterministic spatial data generators.
+//! * [`engine`] — the concurrent serving layer: op streams, epoch-batched
+//!   writes, adaptive query planning;
+//! * [`workloads`] — deterministic spatial data generators and mixed
+//!   read/write op streams.
 //!
 //! ## Quick start
 //!
@@ -48,6 +51,11 @@ pub mod theory {
 /// SFC-backed spatial index (re-export of `sfc-index`).
 pub mod index {
     pub use sfc_index::*;
+}
+
+/// Concurrent serving layer (re-export of `sfc-engine`).
+pub mod engine {
+    pub use sfc_engine::*;
 }
 
 /// Spatial data generators (re-export of `sfc-workloads`).
