@@ -505,6 +505,79 @@ fn main() {
         });
     }
 
+    // Durability tax on the epoch write path: the same Zipf write stream
+    // flushed in 512-op epochs through an in-memory engine (baseline)
+    // vs a durable one (WAL frame encoded, appended, fsynced before
+    // every apply). The "speedup" is the fraction of write throughput
+    // that survives turning durability on — honest overhead tracking,
+    // expected below 1x.
+    {
+        let side = 1u32 << 9;
+        let mut rng = StdRng::seed_from_u64(55);
+        let data = zipf_points::<2, _>(side, 16_384, 0.8, &mut rng);
+        let writes: Vec<Op<2, u64>> = data
+            .points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Op::Update(p, i as u64))
+            .collect();
+        let bench_dir = std::env::temp_dir().join(format!("sfc-bench-wal-{}", std::process::id()));
+        let config = EngineConfig { epoch_ops: 512 };
+        let fresh_table = || -> ShardedTable<Onion2D, u64, 2> {
+            ShardedTable::build(Onion2D::new(side).unwrap(), Vec::new(), DiskModel::ssd(), 4)
+                .unwrap()
+        };
+        let open_durable = || -> Engine<Onion2D, u64, 2> {
+            Engine::open(
+                &bench_dir,
+                Onion2D::new(side).unwrap(),
+                DiskModel::ssd(),
+                4,
+                config,
+            )
+            .unwrap()
+        };
+        let drive = |engine: &Engine<Onion2D, u64, 2>| -> u64 {
+            for op in &writes {
+                engine.execute(op.clone()).unwrap();
+            }
+            engine.flush().unwrap();
+            engine.epoch()
+        };
+        // One engine per mode, built *outside* the timed closures, so the
+        // pair times exactly the per-epoch cost delta (frame encode +
+        // append + fsync) and none of the setup (directory churn, WAL
+        // header creation, table build). The stream is all updates over a
+        // fixed key population, so the table stays the same size across
+        // reps; WAL length does not affect append cost.
+        let _ = std::fs::remove_dir_all(&bench_dir);
+        let mem_engine = Engine::new(fresh_table(), config);
+        let dur_engine = open_durable();
+        comparisons.push(Comparison {
+            name: "engine/wal_commit/onion2d/zipf16k/epoch512",
+            baseline_ns: Some(time_ns(reps, || drive(&mem_engine))),
+            optimized_ns: time_ns(reps, || drive(&dur_engine)),
+        });
+        drop(dur_engine);
+
+        // Recovery: replay a fixed 32-epoch WAL back into a fresh
+        // 4-shard table. The directory is rebuilt deterministically first
+        // (the commit benchmark above left a rep-dependent number of
+        // epochs). Timing-only — there is no meaningful scalar twin; the
+        // number tracks how fast a restart returns to serving.
+        let _ = std::fs::remove_dir_all(&bench_dir);
+        drive(&open_durable());
+        comparisons.push(Comparison {
+            name: "engine/recovery_replay/onion2d/zipf16k/epoch512",
+            baseline_ns: None,
+            optimized_ns: time_ns(reps, || {
+                let engine = open_durable();
+                engine.epoch() + engine.table().len() as u64
+            }),
+        });
+        let _ = std::fs::remove_dir_all(&bench_dir);
+    }
+
     // Buffer-pool eviction: the old `min_by_key`-rescan LRU vs the O(1)
     // intrusive-list pool, on a capacity-exceeding page stream (every
     // access past warm-up evicts).

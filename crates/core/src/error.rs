@@ -38,6 +38,14 @@ pub enum SfcError {
         /// Offending dimensionality.
         dims: usize,
     },
+    /// A durable-storage operation failed (WAL append, snapshot I/O,
+    /// corrupt persisted state). Carries the formatted cause: the error
+    /// type stays `Clone + Eq` and the workspace stays free of non-std
+    /// dependencies, at the price of not exposing the `io::ErrorKind`.
+    Storage {
+        /// What the storage layer was doing, with the underlying cause.
+        context: String,
+    },
 }
 
 impl fmt::Display for SfcError {
@@ -59,6 +67,7 @@ impl fmt::Display for SfcError {
             SfcError::DimensionUnsupported { dims } => {
                 write!(f, "dimensionality {dims} not supported by this component")
             }
+            SfcError::Storage { context } => write!(f, "storage failure: {context}"),
         }
     }
 }

@@ -1,0 +1,241 @@
+//! Durable serving: crash recovery riding the epoch write path.
+//!
+//! A durable [`Engine`] puts the PR-3 epoch machinery on disk. The unit
+//! of logging is exactly the unit of application — the epoch batch — so
+//! the commit protocol is one rule deep:
+//!
+//! 1. **Commit:** [`Engine::flush`] encodes the staged batch as one
+//!    checksummed WAL frame, appends it, and syncs — *then* calls
+//!    [`ShardedTable::apply_batch`]. The synced append is the commit
+//!    point: when `flush` returns, the epoch survives any crash.
+//! 2. **Recover:** [`Engine::open`] rebuilds the table from the last
+//!    snapshot (entries in curve order, re-cut at this table's shard
+//!    boundaries) and re-applies every WAL frame with a later epoch,
+//!    through the same `apply_batch` path live traffic uses. Replay is
+//!    deterministic across shard counts — the batch is sorted by curve
+//!    key and same-key ops keep submission order — so a log written by a
+//!    3-shard engine recovers bit-identically into 1 or 8 shards.
+//! 3. **Compact:** [`Engine::checkpoint`] flushes, writes a
+//!    point-in-time snapshot (atomic rename), and truncates the log.
+//!    Epoch numbering continues across checkpoints and restarts.
+//!
+//! **Crash-consistency contract:** dropping (or killing) the process at
+//! any instant recovers the state of an *epoch boundary* — the largest
+//! prefix of flush-acknowledged epochs whose frames survived intact. A
+//! torn trailing frame (crash mid-append) is detected by length/checksum
+//! and truncated; it never surfaces as a half-applied epoch. Writes that
+//! were admitted ([`Reply::Queued`](crate::Reply::Queued)) but not yet
+//! flushed are not covered — durability is acknowledged by `flush`, not
+//! by admission. The recovery proptests drive both truncation at every
+//! byte offset and multi-curve/multi-shard reopening.
+//!
+//! Durability is strictly pay-as-you-go: an engine built with
+//! [`Engine::new`] carries `None` state and its flush path is byte-for-
+//! byte the in-memory one (a single `Option` test per epoch, no I/O).
+
+use crate::engine::{Engine, EngineConfig};
+use onion_core::{SfcError, SpaceFillingCurve};
+use sfc_index::wal::encode_epoch_payload;
+use sfc_index::{
+    read_snapshot, write_snapshot, Backend, BatchOp, DiskModel, PagedBackend, Record, ShardedTable,
+    Wal, WalCodec,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// File name of the write-ahead log inside a durable engine's directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the snapshot inside a durable engine's directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// The durable half of an engine: the open WAL, the directory it lives
+/// in, and a monomorphized frame encoder.
+///
+/// The encoder is a plain `fn` pointer captured where the `V: WalCodec`
+/// bound is known (at open time), so the engine's shared flush path can
+/// commit frames without dragging a codec bound onto every engine
+/// method — non-durable engines keep compiling for payloads that have no
+/// byte representation.
+pub(crate) struct Durability<const D: usize, V> {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    encode: fn(u64, &[BatchOp<D, V>]) -> Vec<u8>,
+}
+
+impl<const D: usize, V> Durability<D, V> {
+    /// Commits one epoch frame (append + sync). Called by `flush` under
+    /// the apply gate, so commits are totally ordered.
+    pub(crate) fn commit(&self, epoch: u64, ops: &[BatchOp<D, V>]) -> Result<(), SfcError> {
+        let payload = (self.encode)(epoch, ops);
+        self.wal
+            .lock()
+            .expect("WAL handle poisoned")
+            .append_payload(epoch, payload)
+    }
+
+    /// Un-commits the frame [`Self::commit`] just wrote — the flush path
+    /// calls this when the in-memory apply fails after a successful
+    /// commit, keeping log and table in lockstep.
+    pub(crate) fn rollback_last(&self) -> Result<(), SfcError> {
+        self.wal
+            .lock()
+            .expect("WAL handle poisoned")
+            .rollback_last()
+    }
+}
+
+impl<const D: usize, C, V> Engine<C, V, D>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + WalCodec,
+{
+    /// Opens (or creates) a durable engine over in-memory shard backends
+    /// at `dir`: restores the snapshot if one exists, replays the WAL
+    /// suffix, and leaves the log open for committing future epochs.
+    /// The state recovered is exactly the last acknowledged epoch
+    /// boundary (see the [module docs](crate::durable)).
+    ///
+    /// `curve` must be the curve the directory was written with: curve
+    /// keys are persisted, not re-derived. `shard_count` is free to
+    /// differ from the writing engine's — recovery re-partitions.
+    ///
+    /// # Errors
+    /// On I/O failure, if another live engine holds this directory's
+    /// WAL (an OS advisory lock, released automatically if that process
+    /// dies), on a corrupt snapshot or mistyped WAL, or on persisted
+    /// keys that do not fit `curve`'s universe.
+    ///
+    /// # Panics
+    /// If `shard_count` is zero.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        curve: C,
+        model: DiskModel,
+        shard_count: usize,
+        config: EngineConfig,
+    ) -> Result<Self, SfcError> {
+        let table = ShardedTable::build(curve, Vec::new(), model, shard_count)?;
+        Self::open_with(dir.as_ref(), table, config)
+    }
+}
+
+impl<const D: usize, C, V> Engine<C, V, D, PagedBackend<Record<D, V>>>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + WalCodec,
+{
+    /// [`Engine::open`] over paged (buffer-pooled) shard backends; see
+    /// [`ShardedTable::build_paged`] for the `pool_pages` knob.
+    ///
+    /// # Errors
+    /// As for [`Engine::open`].
+    ///
+    /// # Panics
+    /// If `shard_count` is zero.
+    pub fn open_paged(
+        dir: impl AsRef<Path>,
+        curve: C,
+        model: DiskModel,
+        shard_count: usize,
+        pool_pages: usize,
+        config: EngineConfig,
+    ) -> Result<Self, SfcError> {
+        let table = ShardedTable::build_paged(curve, Vec::new(), model, shard_count, pool_pages)?;
+        Self::open_with(dir.as_ref(), table, config)
+    }
+}
+
+impl<const D: usize, C, V, B> Engine<C, V, D, B>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + WalCodec,
+    B: Backend<Record<D, V>>,
+{
+    /// Shared recovery: restore `snapshot + WAL suffix` into the (empty)
+    /// `table`, then wire the log into the engine's flush path.
+    fn open_with(
+        dir: &Path,
+        table: ShardedTable<C, V, D, B>,
+        config: EngineConfig,
+    ) -> Result<Self, SfcError> {
+        std::fs::create_dir_all(dir).map_err(|e| SfcError::Storage {
+            context: format!("creating durable engine directory: {e}"),
+        })?;
+        let snapshot_epoch = match read_snapshot::<D, V>(&dir.join(SNAPSHOT_FILE))? {
+            Some((epoch, entries)) => {
+                table.restore_entries(entries)?;
+                epoch
+            }
+            None => 0,
+        };
+        let (wal, frames) = Wal::open::<D, V>(&dir.join(WAL_FILE))?;
+        let mut epoch = snapshot_epoch;
+        for frame in frames {
+            // Frames at or below the snapshot's epoch are stale: a crash
+            // between snapshot publication and log truncation leaves
+            // them behind, already absorbed by the snapshot.
+            if frame.epoch <= snapshot_epoch {
+                continue;
+            }
+            table.apply_batch(frame.ops)?;
+            epoch = frame.epoch;
+        }
+        let mut engine = Engine::new(table, config);
+        engine.set_recovered_epoch(epoch);
+        engine.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal: Mutex::new(wal),
+            encode: encode_epoch_payload::<D, V>,
+        });
+        Ok(engine)
+    }
+
+    /// Compacts the log into a snapshot: flushes pending writes, writes
+    /// a point-in-time snapshot of the whole table in curve order
+    /// (atomic temp-file + rename), then truncates the WAL. Returns the
+    /// epoch the snapshot captures. Concurrent readers keep being
+    /// served throughout; concurrent flushes wait at the apply gate.
+    ///
+    /// Crash-safe at every step: before the rename the old snapshot
+    /// still pairs with the full log; after the rename but before the
+    /// truncation, replay skips the frames the snapshot absorbed.
+    ///
+    /// # Errors
+    /// If called on a non-durable engine, or on I/O failure.
+    pub fn checkpoint(&self) -> Result<u64, SfcError> {
+        // Refuse before flushing: an error from a misconfigured call
+        // must not leave visible side effects (applied epochs).
+        let Some(d) = &self.durability else {
+            return Err(SfcError::Storage {
+                context: "checkpoint called on a non-durable engine (use Engine::open)".into(),
+            });
+        };
+        let _gate = self.lock_apply_gate();
+        self.flush_gated()?;
+        let epoch = self.epoch();
+        write_snapshot(&d.dir.join(SNAPSHOT_FILE), epoch, self.table())?;
+        d.wal.lock().expect("WAL handle poisoned").reset()?;
+        Ok(epoch)
+    }
+
+    /// Whether this engine commits epochs to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable engine's data directory (`None` for in-memory
+    /// engines).
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Bytes of committed frames currently in the WAL (`None` for
+    /// in-memory engines). Everything up to this offset survives any
+    /// crash — the observability hook the crash-point tests key on, and
+    /// a practical "time to checkpoint?" signal.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.durability
+            .as_ref()
+            .map(|d| d.wal.lock().expect("WAL handle poisoned").len())
+    }
+}

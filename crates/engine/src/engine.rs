@@ -99,6 +99,10 @@ pub struct EngineStats {
     pub epochs: u64,
     /// Writes currently pending in the log.
     pub pending: u64,
+    /// Epoch flushes that failed (durable engines: WAL I/O errors). The
+    /// staged writes stay queued and are retried; a nonzero value with a
+    /// growing `pending` means the log device needs attention.
+    pub flush_failures: u64,
 }
 
 /// The concurrent serving layer: a [`ShardedTable`] behind an op-stream
@@ -124,10 +128,24 @@ pub struct Engine<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
     /// Serializes epoch application so two concurrent flushes cannot
     /// reorder same-key writes across their batches.
     apply_gate: Mutex<()>,
+    /// Durable state (WAL handle, data directory, frame encoder) — `Some`
+    /// only for engines built by [`Engine::open`]/[`Engine::open_paged`].
+    /// When present, [`Engine::flush`] commits each epoch to the log
+    /// before any shard mutates; see the [`durable`](crate) docs.
+    pub(crate) durability: Option<crate::durable::Durability<D, V>>,
     epoch: AtomicU64,
     gets: AtomicU64,
     queries: AtomicU64,
     writes: AtomicU64,
+    /// Flushes that returned an error (see [`EngineStats::flush_failures`]).
+    flush_failures: AtomicU64,
+    /// Backlog size at the last *failed* auto-flush. The next automatic
+    /// attempt waits for another full epoch of admissions past this
+    /// watermark, so a persistently failing WAL costs one staging
+    /// attempt per `epoch_ops` writes instead of one per write (the
+    /// backlog still grows; `flush_failures` is the signal to act on).
+    /// Cleared by any successful flush.
+    auto_flush_watermark: AtomicU64,
     config: EngineConfig,
 }
 
@@ -147,10 +165,13 @@ where
             log: RwLock::new(Vec::new()),
             applying: RwLock::new(Vec::new()),
             apply_gate: Mutex::new(()),
+            durability: None,
             epoch: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            flush_failures: AtomicU64::new(0),
+            auto_flush_watermark: AtomicU64::new(0),
             config,
         }
     }
@@ -176,6 +197,13 @@ where
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Recovery hook: positions the epoch counter at the last epoch the
+    /// reconstructed table contains, so post-recovery flushes continue
+    /// the WAL's numbering seamlessly.
+    pub(crate) fn set_recovered_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
     /// Writes currently pending: admitted to the active log plus staged in
     /// the epoch being applied right now (if any). Both stages are read
     /// under one joint acquisition (same `log` → `applying` order as
@@ -195,6 +223,7 @@ where
             writes: self.writes.load(Ordering::Relaxed),
             epochs: self.epoch(),
             pending: self.pending() as u64,
+            flush_failures: self.flush_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -204,11 +233,34 @@ where
     /// the shards' write locks. Returns the number of writes applied
     /// (zero if the log was empty — no epoch is counted then).
     ///
+    /// On a durable engine ([`Engine::open`]), the epoch is first
+    /// committed to the write-ahead log — frame appended and synced —
+    /// and only then applied to the table. When `flush` returns `Ok`,
+    /// the epoch survives any crash; writes that are merely admitted
+    /// (acknowledged [`Reply::Queued`], not yet flushed) do not.
+    ///
     /// # Errors
-    /// Never in practice: every logged op was bounds-checked at
-    /// admission. The `Result` guards future table-side invariants.
+    /// On a WAL commit failure (durable engines; the staged epoch is
+    /// re-queued ahead of newer admissions, so no acknowledged write is
+    /// lost in memory and a later flush retries the same epoch).
+    /// Table-side application never fails in practice — every logged op
+    /// was bounds-checked at admission.
     pub fn flush(&self) -> Result<usize, SfcError> {
-        let _gate = self.apply_gate.lock().expect("apply gate poisoned");
+        let _gate = self.lock_apply_gate();
+        self.flush_gated()
+    }
+
+    /// Takes the epoch-application gate (crate-internal): `checkpoint`
+    /// holds it across its flush *and* snapshot so no epoch can slip in
+    /// between them.
+    pub(crate) fn lock_apply_gate(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.apply_gate.lock().expect("apply gate poisoned")
+    }
+
+    /// [`Self::flush`] with the apply gate already held — shared with
+    /// [`Engine::checkpoint`], which must snapshot at the exact epoch its
+    /// own flush produced.
+    pub(crate) fn flush_gated(&self) -> Result<usize, SfcError> {
         // Stage the epoch: move the active log into the applying buffer
         // (held only while the gate is held, so it was empty before this).
         // Point-get overlays keep seeing these writes throughout the
@@ -228,23 +280,60 @@ where
             return Ok(0);
         }
         let applied = batch.len();
-        let result = self.table.apply_batch(batch);
+        // Commit point (durable engines): the epoch's frame is appended
+        // and synced *before* any shard mutates — write-ahead order. A
+        // crash after this line replays the epoch; a crash before it
+        // recovers the previous epoch boundary.
+        let committed = match &self.durability {
+            Some(d) => d.commit(self.epoch() + 1, &batch),
+            None => Ok(()),
+        };
+        let result = match committed {
+            Ok(()) => match self.table.apply_batch(batch) {
+                Ok(_) => Ok(()),
+                Err(e) => {
+                    // The frame is on disk but the table refused the
+                    // epoch: un-commit it so the log never holds an epoch
+                    // the table does not, and the retried flush can
+                    // re-commit the same epoch number. (Best-effort: if
+                    // the rollback itself fails on top of an apply
+                    // failure — two independent failures on a path that
+                    // is unreachable today — recovery would replay the
+                    // orphaned frame, which re-applies the same ops the
+                    // re-queued batch holds.)
+                    if let Some(d) = &self.durability {
+                        let _ = d.rollback_last();
+                    }
+                    Err(e)
+                }
+            },
+            Err(e) => Err(e),
+        };
         {
             let mut log = self.log.write().expect("write log poisoned");
             let mut applying = self.applying.write().expect("applying buffer poisoned");
             if result.is_err() {
                 // Never drop acknowledged writes: re-queue the staged
                 // epoch ahead of anything admitted since, so a later
-                // flush retries it in order. (A batch that failed after
-                // partially applying may re-apply some ops on retry —
-                // acceptable for a path that is unreachable today, since
-                // every op was bounds-checked at admission.)
+                // flush retries it in order. Whichever half failed, the
+                // WAL holds no frame for this epoch by now — a failed
+                // append truncates itself, a committed frame whose apply
+                // failed was rolled back above — so the retry re-commits
+                // the same epoch number cleanly. (A batch that failed
+                // *after partially applying* may re-apply some ops on
+                // retry — acceptable for a path that is unreachable
+                // today, since every op was bounds-checked at admission.)
                 let mut staged = std::mem::take(&mut *applying);
                 staged.append(&mut log);
                 *log = staged;
             } else {
                 applying.clear();
             }
+        }
+        if result.is_err() {
+            self.flush_failures.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.auto_flush_watermark.store(0, Ordering::Release);
         }
         result?;
         self.epoch.fetch_add(1, Ordering::Release);
@@ -286,8 +375,26 @@ where
             log.push(op);
             log.len()
         };
-        if backlog >= self.config.epoch_ops {
-            self.flush()?;
+        // Auto-flush once the backlog crosses the threshold — backed off
+        // past the last failure's watermark so a persistently failing WAL
+        // (durable engines, disk trouble) re-stages the growing batch
+        // once per epoch of admissions, not once per write.
+        let watermark = self.auto_flush_watermark.load(Ordering::Acquire);
+        if backlog >= self.config.epoch_ops
+            && backlog as u64 >= watermark + self.config.epoch_ops as u64
+        {
+            // An auto-flush failure is not *this op's* failure — the
+            // write is admitted either way, and the staged epoch was
+            // re-queued for the next flush. Propagating the error here
+            // would tell the caller the write failed while it is in fact
+            // pending, and a retry would then duplicate it. Durability
+            // errors surface where durability is acknowledged: explicit
+            // [`Self::flush`]/`checkpoint` calls, and the
+            // [`EngineStats::flush_failures`] counter.
+            if self.flush().is_err() {
+                self.auto_flush_watermark
+                    .store(backlog as u64, Ordering::Release);
+            }
         }
         Ok(Reply::Queued { epoch })
     }

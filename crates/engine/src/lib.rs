@@ -48,6 +48,16 @@
 //! append-style duplicate workloads and read them at epoch boundaries,
 //! like any scan.
 //!
+//! * **Durability** (optional — [`Engine::open`]): the epoch batch is
+//!   also the unit of logging. A durable engine commits each epoch to an
+//!   append-only, checksummed write-ahead log *before* applying it, and
+//!   recovers `snapshot + WAL suffix` on reopen — dropping the engine (or
+//!   the process) at any instant recovers the last acknowledged epoch
+//!   boundary. [`Engine::checkpoint`] compacts the log into a snapshot.
+//!   See the [`durable`] module docs for the commit protocol and the
+//!   crash-consistency contract; engines built with [`Engine::new`] pay
+//!   nothing for any of it.
+//!
 //! ```
 //! use onion_core::{Onion2D, Point};
 //! use sfc_clustering::RectQuery;
@@ -73,10 +83,42 @@
 //! let Reply::Records(recs) = engine.execute(Op::Query(q)).unwrap() else { unreachable!() };
 //! assert!(recs.iter().any(|r| r.value == 999));
 //! ```
+//!
+//! The same stream against a durable engine survives a crash:
+//!
+//! ```
+//! use onion_core::{Onion2D, Point};
+//! use sfc_engine::{Engine, EngineConfig, Op, Reply};
+//! use sfc_index::DiskModel;
+//!
+//! let dir = std::env::temp_dir().join(format!("sfc-engine-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let open = || {
+//!     Engine::<Onion2D, u64, 2>::open(
+//!         &dir, Onion2D::new(64).unwrap(), DiskModel::ssd(), 4, EngineConfig::default(),
+//!     )
+//!     .unwrap()
+//! };
+//!
+//! let engine = open();
+//! engine.execute(Op::Update(Point::new([3, 3]), 999)).unwrap();
+//! engine.flush().unwrap(); // commit point: the epoch is now on disk
+//! engine.execute(Op::Update(Point::new([4, 4]), 7)).unwrap();
+//! drop(engine); // crash: the admitted-but-unflushed write is lost
+//!
+//! let recovered = open();
+//! assert_eq!(recovered.epoch(), 1);
+//! assert_eq!(recovered.execute(Op::Get(Point::new([3, 3]))).unwrap(), Reply::Value(Some(999)));
+//! assert_eq!(recovered.execute(Op::Get(Point::new([4, 4]))).unwrap(), Reply::Value(None));
+//! # drop(recovered);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durable;
 mod engine;
 
+pub use durable::{SNAPSHOT_FILE, WAL_FILE};
 pub use engine::{Engine, EngineConfig, EngineStats, Op, Reply};

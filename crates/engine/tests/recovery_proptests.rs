@@ -1,0 +1,418 @@
+//! Crash-consistency of the durable engine, pinned by property tests:
+//!
+//! * **Torn-tail recovery:** truncate the WAL at an *arbitrary byte
+//!   offset* — clean frame boundaries, mid-frame, mid-header, even
+//!   inside the file magic — reopen, and the recovered state equals
+//!   exactly the prefix of fully committed epochs whose frames survived,
+//!   for multiple registry curves (curve choice changes keys, never
+//!   crash semantics);
+//! * **Replay determinism across shard counts:** the same committed
+//!   epochs recover to identical `query_rect` answers at 1, 2, and 5
+//!   shards (regression pin: recovery re-partitions, it must never
+//!   reorder);
+//! * **Crash schedules:** a [`CrashSchedule`]-cut write stream driven
+//!   through repeated open → serve → drop cycles recovers, after every
+//!   crash, the auto-flushed epoch prefix the model predicts;
+//! * **Checkpoint compaction:** snapshots absorb the log without
+//!   changing recovered state, including after a crash landing between
+//!   snapshot publication and log truncation.
+
+use onion_core::Point;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sfc_baselines::{curve_2d, DynCurve};
+use sfc_clustering::RectQuery;
+use sfc_engine::{Engine, EngineConfig, Op, Reply, WAL_FILE};
+use sfc_index::{BatchOp, DiskModel};
+use sfc_workloads::CrashSchedule;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+const SIDE: u32 = 16;
+
+/// A fresh per-test directory under cargo's target tmpdir (inside the
+/// workspace, wiped with `target/`).
+fn test_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open_engine(dir: &PathBuf, curve_name: &str, shards: usize) -> Engine<DynCurve<2>, u64, 2> {
+    Engine::open(
+        dir,
+        curve_2d(curve_name, SIDE).unwrap(),
+        DiskModel::ssd(),
+        shards,
+        EngineConfig { epoch_ops: 1 << 20 }, // manual flushes only
+    )
+    .unwrap()
+}
+
+/// The single-threaded model of the table, with the engine's duplicate
+/// semantics: `Insert` appends, `Update` rewrites the oldest record (or
+/// inserts), `Delete` removes the oldest, point gets return the oldest.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+struct Model(BTreeMap<Point<2>, Vec<u64>>);
+
+impl Model {
+    fn apply(&mut self, op: &BatchOp<2, u64>) {
+        match op {
+            BatchOp::Insert(p, v) => self.0.entry(*p).or_default().push(*v),
+            BatchOp::Update(p, v) => {
+                let slot = self.0.entry(*p).or_default();
+                match slot.first_mut() {
+                    Some(first) => *first = *v,
+                    None => slot.push(*v),
+                }
+            }
+            BatchOp::Delete(p) => {
+                if let Some(slot) = self.0.get_mut(p) {
+                    if !slot.is_empty() {
+                        slot.remove(0);
+                    }
+                    if slot.is_empty() {
+                        self.0.remove(p);
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.0.values().map(Vec::len).sum()
+    }
+}
+
+/// Asserts the engine's full-universe scan and a sample of point gets
+/// equal the model.
+fn assert_state_equals_model(engine: &Engine<DynCurve<2>, u64, 2>, model: &Model, ctx: &str) {
+    assert_eq!(engine.table().len(), model.len(), "{ctx}: record count");
+    let q = RectQuery::new([0, 0], [SIDE, SIDE]).unwrap();
+    let (result, _) = engine.query(&q).unwrap();
+    let mut got: BTreeMap<Point<2>, Vec<u64>> = BTreeMap::new();
+    for rec in &result.records {
+        got.entry(rec.point).or_default().push(rec.value);
+    }
+    // Duplicate order within a cell is insertion order for both sides.
+    assert_eq!(got, model.0, "{ctx}: full-universe scan");
+    for x in (0..SIDE).step_by(3) {
+        let p = Point::new([x, (x * 7) % SIDE]);
+        let expect = model.0.get(&p).and_then(|vs| vs.first()).copied();
+        assert_eq!(
+            engine.execute(Op::Get(p)).unwrap(),
+            Reply::Value(expect),
+            "{ctx}: point get at {p}"
+        );
+    }
+}
+
+/// Deterministic write-only op batch: a mix of inserts, upserts, and
+/// deletes over Zipf-ish skewed cells.
+fn write_ops(rng: &mut StdRng, count: usize) -> Vec<BatchOp<2, u64>> {
+    (0..count)
+        .map(|i| {
+            let p = Point::new([
+                (rng.random_range(0..SIDE as u64 * 3) % u64::from(SIDE)) as u32,
+                rng.random_range(0..u64::from(SIDE)) as u32,
+            ]);
+            match rng.random_range(0..10u64) {
+                0..=4 => BatchOp::Insert(p, i as u64),
+                5..=7 => BatchOp::Update(p, 1_000_000 + i as u64),
+                _ => BatchOp::Delete(p),
+            }
+        })
+        .collect()
+}
+
+fn as_op(op: &BatchOp<2, u64>) -> Op<2, u64> {
+    match op {
+        BatchOp::Insert(p, v) => Op::Insert(*p, *v),
+        BatchOp::Update(p, v) => Op::Update(*p, *v),
+        BatchOp::Delete(p) => Op::Delete(*p),
+    }
+}
+
+proptest! {
+    /// THE crash-point property: commit a few epochs, truncate the WAL
+    /// at an arbitrary byte offset (mid-frame and mid-header included),
+    /// reopen, and the state equals exactly the prefix of epochs whose
+    /// commit offset survived — for two registry curves.
+    #[test]
+    fn truncated_wal_recovers_exactly_the_committed_prefix(
+        seed in any::<u64>(),
+        cut_permille in 0u64..=1000,
+    ) {
+        for curve_name in ["onion", "z-order"] {
+            let dir = test_dir(&format!(
+                "truncate-{curve_name}-{seed:x}-{cut_permille}"
+            ));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let engine = open_engine(&dir, curve_name, 3);
+
+            // Commit 6 epochs of 24 writes each, recording the WAL byte
+            // offset each flush acknowledged and the model state at each
+            // epoch boundary.
+            let mut model = Model::default();
+            let mut boundary_models = vec![model.clone()];
+            let mut commit_offsets = vec![engine.wal_len().unwrap()];
+            for _ in 0..6 {
+                let batch = write_ops(&mut rng, 24);
+                for op in &batch {
+                    engine.execute(as_op(op)).unwrap();
+                    model.apply(op);
+                }
+                prop_assert_eq!(engine.flush().unwrap(), 24);
+                boundary_models.push(model.clone());
+                commit_offsets.push(engine.wal_len().unwrap());
+            }
+            drop(engine); // crash (pending log is empty; epochs are on disk)
+
+            // Truncate the log at an arbitrary byte offset.
+            let wal_path = dir.join(WAL_FILE);
+            let full = std::fs::metadata(&wal_path).unwrap().len();
+            let cut = full * cut_permille / 1000;
+            let file = std::fs::OpenOptions::new().write(true).open(&wal_path).unwrap();
+            file.set_len(cut).unwrap();
+            drop(file);
+
+            // Every fully committed frame at or before the cut survives;
+            // the first torn one ends recovery.
+            let expected_epochs = commit_offsets
+                .iter()
+                .skip(1)
+                .take_while(|&&end| end <= cut)
+                .count();
+            let recovered = open_engine(&dir, curve_name, 3);
+            prop_assert_eq!(
+                recovered.epoch(),
+                expected_epochs as u64,
+                "cut {} of {} must recover exactly the committed prefix ({})",
+                cut,
+                full,
+                curve_name
+            );
+            assert_state_equals_model(
+                &recovered,
+                &boundary_models[expected_epochs],
+                &format!("{curve_name} cut={cut}"),
+            );
+            drop(recovered);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    /// Replay determinism across shard counts: the same committed epochs
+    /// produce identical `query_rect` answers whether the WAL is
+    /// recovered into 1, 2, or 5 shards. (Regression pin for the replay
+    /// path: recovery re-partitions the key space, and must never let
+    /// the layout reorder same-key writes or duplicate records.)
+    #[test]
+    fn replay_is_deterministic_across_shard_counts(seed in any::<u64>()) {
+        let dir = test_dir(&format!("shard-determinism-{seed:x}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let writer = open_engine(&dir, "onion", 3);
+        let mut model = Model::default();
+        for _ in 0..4 {
+            let batch = write_ops(&mut rng, 32);
+            for op in &batch {
+                writer.execute(as_op(op)).unwrap();
+                model.apply(op);
+            }
+            writer.flush().unwrap();
+        }
+        // Compact the middle into a snapshot, then commit more epochs on
+        // top, so recovery exercises snapshot + suffix — not just replay.
+        writer.checkpoint().unwrap();
+        let batch = write_ops(&mut rng, 32);
+        for op in &batch {
+            writer.execute(as_op(op)).unwrap();
+            model.apply(op);
+        }
+        writer.flush().unwrap();
+        drop(writer);
+
+        let queries = [
+            RectQuery::new([0, 0], [SIDE, SIDE]).unwrap(),
+            RectQuery::new([2, 3], [7, 5]).unwrap(),
+            RectQuery::new([9, 0], [4, 12]).unwrap(),
+        ];
+        let mut per_shard_answers = Vec::new();
+        for shards in [1usize, 2, 5] {
+            let recovered = open_engine(&dir, "onion", shards);
+            prop_assert_eq!(recovered.epoch(), 5, "all epochs at {} shards", shards);
+            assert_state_equals_model(&recovered, &model, &format!("{shards} shards"));
+            let answers: Vec<Vec<(Point<2>, u64)>> = queries
+                .iter()
+                .map(|q| {
+                    let (res, _) = recovered.query(q).unwrap();
+                    res.records.iter().map(|r| (r.point, r.value)).collect()
+                })
+                .collect();
+            per_shard_answers.push(answers);
+            drop(recovered);
+        }
+        // Identical — including in-cell duplicate order, because results
+        // come back in curve-key order whatever the shard layout.
+        prop_assert_eq!(&per_shard_answers[0], &per_shard_answers[1]);
+        prop_assert_eq!(&per_shard_answers[0], &per_shard_answers[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Crash schedules over auto-flushing engines: cut one write stream
+    /// at sampled crash points, serve each run into a reopened engine,
+    /// drop it cold, and check every recovery lands on the epoch
+    /// boundary the auto-flush cadence predicts.
+    #[test]
+    fn crash_schedule_recovers_auto_flushed_prefixes(seed in any::<u64>()) {
+        let dir = test_dir(&format!("schedule-{seed:x}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stream = write_ops(&mut rng, 120);
+        let schedule = CrashSchedule::sample(stream.len(), 3, &mut rng);
+        let epoch_ops = 8usize;
+
+        let mut durable_model = Model::default(); // what is on disk
+        let mut total_epochs = 0u64;
+        for run in schedule.segments(&stream) {
+            let engine = Engine::open(
+                &dir,
+                curve_2d("onion", SIDE).unwrap(),
+                DiskModel::ssd(),
+                2,
+                EngineConfig { epoch_ops },
+            )
+            .unwrap();
+            prop_assert_eq!(engine.epoch(), total_epochs, "epoch numbering continues");
+            assert_state_equals_model(&engine, &durable_model, "post-recovery");
+            for op in run {
+                engine.execute(as_op(op)).unwrap();
+            }
+            // Auto-flush commits every full `epoch_ops` batch; the tail
+            // beyond the last threshold dies with the crash (drop).
+            let committed = run.len() - run.len() % epoch_ops;
+            for op in &run[..committed] {
+                durable_model.apply(op);
+            }
+            total_epochs += (run.len() / epoch_ops) as u64;
+            prop_assert_eq!(engine.epoch(), total_epochs, "auto-flush cadence");
+            drop(engine); // crash: pending tail ops are gone
+        }
+        let survivor = open_engine(&dir, "onion", 2);
+        assert_state_equals_model(&survivor, &durable_model, "final recovery");
+        drop(survivor);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn checkpoint_compacts_without_changing_recovered_state() {
+    let dir = test_dir("checkpoint-compaction");
+    let mut rng = StdRng::seed_from_u64(11);
+    let engine = open_engine(&dir, "onion", 3);
+    let mut model = Model::default();
+    for _ in 0..3 {
+        let batch = write_ops(&mut rng, 40);
+        for op in &batch {
+            engine.execute(as_op(op)).unwrap();
+            model.apply(op);
+        }
+        engine.flush().unwrap();
+    }
+    let wal_before = engine.wal_len().unwrap();
+    assert_eq!(
+        engine.checkpoint().unwrap(),
+        3,
+        "checkpoint reports its epoch"
+    );
+    let wal_after = engine.wal_len().unwrap();
+    assert!(
+        wal_after < wal_before,
+        "compaction must shrink the log ({wal_before} -> {wal_after})"
+    );
+    drop(engine);
+
+    let recovered = open_engine(&dir, "onion", 3);
+    assert_eq!(recovered.epoch(), 3, "snapshot carries the epoch");
+    assert_state_equals_model(&recovered, &model, "post-checkpoint recovery");
+
+    // Epochs committed after a checkpoint stack on the snapshot.
+    let batch = write_ops(&mut rng, 16);
+    for op in &batch {
+        recovered.execute(as_op(op)).unwrap();
+        model.apply(op);
+    }
+    recovered.flush().unwrap();
+    drop(recovered);
+    let again = open_engine(&dir, "onion", 3);
+    assert_eq!(again.epoch(), 4);
+    assert_state_equals_model(&again, &model, "snapshot + WAL suffix");
+    drop(again);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_wal_frames_below_the_snapshot_epoch_are_skipped() {
+    // A crash between snapshot publication and WAL truncation leaves
+    // frames the snapshot already absorbed. Simulate it: checkpoint,
+    // then restore the pre-checkpoint WAL bytes, and reopen.
+    let dir = test_dir("stale-frames");
+    let mut rng = StdRng::seed_from_u64(23);
+    let engine = open_engine(&dir, "onion", 2);
+    let mut model = Model::default();
+    for _ in 0..2 {
+        let batch = write_ops(&mut rng, 30);
+        for op in &batch {
+            engine.execute(as_op(op)).unwrap();
+            model.apply(op);
+        }
+        engine.flush().unwrap();
+    }
+    let wal_bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    engine.checkpoint().unwrap();
+    drop(engine);
+    // Undo the truncation: the absorbed frames are back in the log.
+    std::fs::write(dir.join(WAL_FILE), &wal_bytes).unwrap();
+
+    let recovered = open_engine(&dir, "onion", 2);
+    assert_eq!(recovered.epoch(), 2, "stale frames must not re-apply");
+    assert_state_equals_model(&recovered, &model, "stale-frame recovery");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flipping_a_committed_byte_truncates_from_the_damage_on() {
+    // Bit rot inside an earlier frame: the checksum catches it and
+    // recovery keeps only the epochs before the damage — prefix
+    // semantics, not a crash or a silently wrong table.
+    let dir = test_dir("bitflip");
+    let mut rng = StdRng::seed_from_u64(5);
+    let engine = open_engine(&dir, "onion", 2);
+    let mut model_epoch1 = Model::default();
+    let batch = write_ops(&mut rng, 20);
+    for op in &batch {
+        engine.execute(as_op(op)).unwrap();
+        model_epoch1.apply(op);
+    }
+    engine.flush().unwrap();
+    let first_epoch_end = engine.wal_len().unwrap();
+    for op in write_ops(&mut rng, 20) {
+        engine.execute(as_op(&op)).unwrap();
+    }
+    engine.flush().unwrap();
+    drop(engine);
+
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    let victim = first_epoch_end as usize + 12; // inside the second frame's payload
+    bytes[victim] ^= 0x40;
+    std::fs::write(&wal_path, &bytes).unwrap();
+
+    let recovered = open_engine(&dir, "onion", 2);
+    assert_eq!(recovered.epoch(), 1, "damage in epoch 2 keeps epoch 1");
+    assert_state_equals_model(&recovered, &model_epoch1, "bit-flip recovery");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -79,6 +79,24 @@ pub trait Backend<V> {
         }
         total
     }
+
+    /// Streams every stored entry to `sink` in ascending key order
+    /// (duplicates in insertion order) — the persistence hook snapshots
+    /// ride. The default walks [`Self::scan`] over the full key range;
+    /// backends with simulated-I/O accounting should override it so a
+    /// snapshot never pollutes cache statistics.
+    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) {
+        self.scan(0, u64::MAX, &mut |k, v| sink(k, v));
+    }
+
+    /// Replaces the backend's entire contents with `entries`, which must
+    /// be sorted ascending by key (duplicates in the order they should be
+    /// stored) — the recovery hook snapshots restore through. Existing
+    /// entries are discarded; caches are reset.
+    ///
+    /// # Panics
+    /// If `entries` is not sorted by key.
+    fn restore(&mut self, entries: Vec<(u64, V)>);
 }
 
 /// The plain in-memory backend: a [`BPlusTree`], nothing else. Every leaf
@@ -146,6 +164,14 @@ impl<V> Backend<V> for MemoryBackend<V> {
             pages,
             cache_hits: 0,
         }
+    }
+
+    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) {
+        self.tree.scan_range(0, u64::MAX, &mut |_| {}, sink);
+    }
+
+    fn restore(&mut self, entries: Vec<(u64, V)>) {
+        self.tree = BPlusTree::bulk_load(entries, DEFAULT_NODE_CAPACITY);
     }
 }
 
@@ -254,6 +280,21 @@ impl<V> Backend<V> for PagedBackend<V> {
         );
         stats
     }
+
+    /// Walks the tree directly, bypassing the buffer pool: snapshotting
+    /// the backend must not warm (or thrash) the cache the live query
+    /// statistics are measuring.
+    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) {
+        self.tree.scan_range(0, u64::MAX, &mut |_| {}, sink);
+    }
+
+    /// Rebuilds the tree from the sorted entries and resets the buffer
+    /// pool: the old page ids are meaningless against the new leaves.
+    fn restore(&mut self, entries: Vec<(u64, V)>) {
+        self.tree = BPlusTree::bulk_load(entries, self.model.page_size.max(2));
+        let mut pool = self.pool.lock().expect("buffer pool poisoned");
+        *pool = LruBufferPool::new(pool.capacity());
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +383,40 @@ mod tests {
         // (16, 31) as above, 1 for (48, 63) (last leaf, nothing to peek).
         let plan = b.scan_ranges(&[(16, 31), (48, 63)], &mut |_, _| {});
         assert_eq!(plan.pages + plan.cache_hits, 3);
+    }
+
+    #[test]
+    fn persist_restore_round_trips_without_touching_the_pool() {
+        let model = DiskModel {
+            page_size: 16,
+            seek_us: 1000.0,
+            transfer_us: 10.0,
+        };
+        let mut paged = PagedBackend::bulk_load(entries(128), model, 32);
+        paged.scan(0, 127, &mut |_, _| {});
+        let stats_before = paged.pool_stats();
+        let mut dumped = Vec::new();
+        paged.persist(&mut |k, &v| dumped.push((k, v)));
+        assert_eq!(dumped, entries(128), "persist streams in key order");
+        assert_eq!(
+            paged.pool_stats(),
+            stats_before,
+            "persist must bypass the buffer pool"
+        );
+        // Restore into the other backend kind: the hooks are the
+        // cross-backend round-trip the durable layer relies on.
+        let mut mem = MemoryBackend::new();
+        mem.restore(dumped.clone());
+        assert_eq!(mem.len(), 128);
+        assert_eq!(mem.get(77), Some(&770));
+        mem.tree().check_invariants().unwrap();
+        // Restoring the paged backend resets its pool accounting.
+        paged.restore(dumped);
+        assert_eq!(paged.pool_stats(), (0, 0), "restore resets the pool");
+        assert_eq!(paged.len(), 128);
+        let cold = paged.scan(0, 127, &mut |_, _| {});
+        assert_eq!(cold.cache_hits, 0, "post-restore scans start cold");
+        paged.tree().check_invariants().unwrap();
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct LruBufferPool {
 }
 
 impl LruBufferPool {
+    /// Maximum number of resident pages this pool was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Creates a pool holding at most `capacity` pages (`capacity ≥ 1`).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "cache needs at least one page");

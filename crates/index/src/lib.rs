@@ -29,7 +29,14 @@
 //!   cluster ranges, gap-coalesced, or one covering range) from a cost
 //!   model fed by live [`IoStats`] — see the [`plan`](Planner) module docs
 //!   for the model. The concurrent serving layer over all of this lives in
-//!   the `sfc-engine` crate.
+//!   the `sfc-engine` crate;
+//! * **Durability** — the [`wal`] module: an epoch-framed, checksummed
+//!   write-ahead log ([`Wal`]) plus curve-ordered snapshots
+//!   ([`write_snapshot`]/[`read_snapshot`]) over the [`Backend`]
+//!   persist/restore hooks. The serving layer commits each epoch batch to
+//!   the log *before* applying it, and recovery replays
+//!   `snapshot + WAL suffix` — see the [`wal`] module docs for the disk
+//!   formats and the torn-tail policy.
 //!
 //! ```
 //! use onion_core::{Onion2D, Point};
@@ -58,6 +65,7 @@ mod partition;
 mod plan;
 mod shard;
 mod table;
+pub mod wal;
 
 pub use backend::{Backend, MemoryBackend, PagedBackend, ScanStats};
 pub use btree::{BPlusTree, RangeIter, DEFAULT_NODE_CAPACITY};
@@ -69,3 +77,7 @@ pub use partition::{
 pub use plan::{record_density, PlanStrategy, Planner, QueryPlan};
 pub use shard::{BatchOp, ShardedTable};
 pub use table::{QueryResult, Record, SfcTable};
+pub use wal::{
+    crc32, read_snapshot, write_snapshot, EpochFrame, SnapshotContents, Wal, WalCodec, WalCursor,
+    SNAPSHOT_MAGIC, WAL_MAGIC,
+};

@@ -379,6 +379,69 @@ where
         Ok(results)
     }
 
+    /// Streams shard `shard`'s entries in ascending key order through the
+    /// backend's [`Backend::persist`] hook — the building block of
+    /// curve-ordered snapshots ([`write_snapshot`](crate::write_snapshot)
+    /// walks shards in partition order, so the concatenation of these
+    /// streams is the whole table in curve-key order).
+    ///
+    /// # Panics
+    /// If `shard` is out of range.
+    pub fn persist_shard(&self, shard: usize, sink: &mut dyn FnMut(u64, &Record<D, V>)) {
+        read_shard(&self.shards[shard]).persist(sink);
+    }
+
+    /// Replaces the table's entire contents with `entries` — keyed
+    /// records sorted ascending by curve key, as produced by
+    /// [`read_snapshot`](crate::read_snapshot) or by concatenating
+    /// [`Self::persist_shard`] streams. The entries are re-cut at *this*
+    /// table's partition boundaries and handed to each shard's
+    /// [`Backend::restore`], so a snapshot taken at one shard count
+    /// restores into any other: same committed state, identical
+    /// [`Self::query_rect`] answers, whatever the layout.
+    ///
+    /// Keys are trusted to match this table's curve (they are validated
+    /// against the universe, but not re-derived from the points — the
+    /// durable layer guarantees curve identity by construction).
+    ///
+    /// # Errors
+    /// If any key lies outside the curve's universe or the entries are
+    /// not sorted (a snapshot from a different universe, a foreign
+    /// format revision, or corruption the checksum missed) — recovery
+    /// failures are reported, never panicked, so a durable engine's
+    /// `open` can surface them.
+    pub fn restore_entries(&self, entries: Vec<(u64, Record<D, V>)>) -> Result<(), SfcError> {
+        let cells = self.curve.universe().cell_count();
+        if let Some(&(key, _)) = entries.iter().find(|&&(k, _)| k >= cells) {
+            return Err(SfcError::IndexOutOfBounds { index: key, cells });
+        }
+        if !entries.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Err(SfcError::Storage {
+                context: "restoring table: snapshot entries are not in curve-key order".into(),
+            });
+        }
+        let total = entries.len() as u64;
+        let mut remainder = entries;
+        // Cut the sorted entries at partition boundaries, back to front
+        // (mirroring `build_with`), restoring each shard under its write
+        // lock. Readers see each shard flip atomically; a scan racing the
+        // restore may straddle old and new shards, exactly like an epoch
+        // apply — recovery quiesces by construction (the table is not yet
+        // shared), so this only matters for ad-hoc online restores.
+        for (shard, part) in self.parts.iter().enumerate().rev() {
+            let cut = remainder.partition_point(|&(k, _)| k < part.lo);
+            let chunk = remainder.split_off(cut);
+            self.shards[shard]
+                .write()
+                .expect("shard poisoned by a panicked writer")
+                .restore(chunk);
+        }
+        debug_assert!(remainder.is_empty());
+        self.records
+            .store(total, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Point lookup (routed to the owning shard; no threads involved).
     ///
     /// # Errors

@@ -1,0 +1,141 @@
+//! Crash-point schedules — the workload side of crash-consistency
+//! testing.
+//!
+//! A durability test needs two ingredients: an operation stream (from
+//! [`mixed_op_stream`](crate::mixed_op_stream)) and a *schedule* of the
+//! instants at which the process "dies". [`CrashSchedule`] generates the
+//! second deterministically: a sorted set of offsets into the stream.
+//! [`CrashSchedule::segments`] then cuts the stream into the runs
+//! between crashes, so a test drives each segment into a fresh engine
+//! handle, drops it cold (no flush — the crash), reopens, and asserts
+//! the recovered state. The schedule is engine-agnostic on purpose: the
+//! same cuts can drive a WAL-backed engine, a model table, or both in
+//! lockstep.
+
+use rand::Rng;
+
+/// A deterministic, sorted schedule of crash offsets into an op stream
+/// of known length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashSchedule {
+    stream_len: usize,
+    /// Sorted, distinct offsets in `0..=stream_len`: a crash at offset
+    /// `k` strikes after the first `k` ops executed.
+    points: Vec<usize>,
+}
+
+impl CrashSchedule {
+    /// Draws `crashes` distinct crash offsets uniformly over a stream of
+    /// `stream_len` ops (offsets in `0..=stream_len`, so a crash before
+    /// the first op and after the last are both possible — both are
+    /// interesting: they exercise empty recovery and clean-shutdown-less
+    /// exit). Colliding draws are redrawn, so the schedule always holds
+    /// exactly `crashes` points — clamped to the `stream_len + 1`
+    /// distinct offsets that exist.
+    pub fn sample<R: Rng>(stream_len: usize, crashes: usize, rng: &mut R) -> Self {
+        let crashes = crashes.min(stream_len + 1);
+        let mut points = Vec::with_capacity(crashes);
+        while points.len() < crashes {
+            let p = rng.random_range(0..stream_len as u64 + 1) as usize;
+            if !points.contains(&p) {
+                points.push(p);
+            }
+        }
+        points.sort_unstable();
+        CrashSchedule { stream_len, points }
+    }
+
+    /// Builds a schedule from explicit offsets (deduplicated, sorted).
+    ///
+    /// # Panics
+    /// If any offset exceeds `stream_len`.
+    pub fn at(stream_len: usize, mut points: Vec<usize>) -> Self {
+        assert!(
+            points.iter().all(|&p| p <= stream_len),
+            "crash offsets must lie within the stream"
+        );
+        points.sort_unstable();
+        points.dedup();
+        CrashSchedule { stream_len, points }
+    }
+
+    /// The crash offsets, sorted ascending.
+    pub fn points(&self) -> &[usize] {
+        &self.points
+    }
+
+    /// Length of the stream this schedule cuts.
+    pub fn stream_len(&self) -> usize {
+        self.stream_len
+    }
+
+    /// Cuts `ops` at the crash points: yields one slice per *run* — the
+    /// ops executed between consecutive crashes — including the final
+    /// run from the last crash to the end of the stream (possibly
+    /// empty). A test executes each run against a freshly reopened
+    /// engine and simulates the crash by dropping it at the slice's end.
+    ///
+    /// # Panics
+    /// If `ops` does not have the schedule's `stream_len`.
+    pub fn segments<'a, T>(&'a self, ops: &'a [T]) -> impl Iterator<Item = &'a [T]> + 'a {
+        assert_eq!(ops.len(), self.stream_len, "schedule cut for this stream");
+        let bounds: Vec<usize> = std::iter::once(0)
+            .chain(self.points.iter().copied())
+            .chain(std::iter::once(self.stream_len))
+            .collect();
+        bounds
+            .windows(2)
+            .map(|w| &ops[w[0]..w[1]])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn segments_tile_the_stream_in_order() {
+        let ops: Vec<u32> = (0..20).collect();
+        let sched = CrashSchedule::at(20, vec![7, 3, 7, 20]);
+        assert_eq!(sched.points(), &[3, 7, 20], "sorted and deduplicated");
+        let segs: Vec<&[u32]> = sched.segments(&ops).collect();
+        assert_eq!(segs.len(), 4, "three crashes make four runs");
+        assert_eq!(segs[0], &[0, 1, 2]);
+        assert_eq!(segs[1], &[3, 4, 5, 6]);
+        assert_eq!(segs[2], (7..20).collect::<Vec<_>>().as_slice());
+        assert!(
+            segs[3].is_empty(),
+            "crash at the very end leaves an empty run"
+        );
+        let glued: Vec<u32> = segs.concat();
+        assert_eq!(glued, ops, "runs tile the stream exactly");
+    }
+
+    #[test]
+    fn sampled_schedules_are_deterministic_and_in_bounds() {
+        let a = CrashSchedule::sample(100, 5, &mut StdRng::seed_from_u64(9));
+        let b = CrashSchedule::sample(100, 5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_eq!(a.points().len(), 5, "collisions are redrawn, not dropped");
+        assert!(a.points().windows(2).all(|w| w[0] < w[1]));
+        assert!(a.points().iter().all(|&p| p <= 100));
+    }
+
+    #[test]
+    fn sample_saturates_on_tiny_streams() {
+        // 3 cells have only 4 distinct offsets; asking for 10 must not
+        // spin forever — it saturates at every offset.
+        let s = CrashSchedule::sample(3, 10, &mut StdRng::seed_from_u64(1));
+        assert_eq!(s.points(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the stream")]
+    fn out_of_range_offsets_are_rejected() {
+        CrashSchedule::at(10, vec![11]);
+    }
+}

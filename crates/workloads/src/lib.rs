@@ -11,14 +11,18 @@
 //! Beyond static point sets, [`mixed_op_stream`] generates the *serving*
 //! workload: an interleaved stream of point gets, rectangle queries, and
 //! writes with Zipf-skewed targets, consumed by the `sfc-engine` crate's
-//! operation API and the `engine/mixed_rw` benchmark.
+//! operation API and the `engine/mixed_rw` benchmark. [`CrashSchedule`]
+//! cuts such a stream at deterministic crash points, driving the durable
+//! engine's crash-consistency tests.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod crash;
 mod ops;
 mod points;
 
+pub use crash::CrashSchedule;
 pub use ops::{mixed_op_stream, OpMix, StreamOp};
 pub use points::{
     clustered_points, diagonal_points, grid_points, hotspot_points, uniform_points, zipf_points,
