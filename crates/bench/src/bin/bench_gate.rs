@@ -20,9 +20,16 @@
 //!   machine-independent. Use this when `base` was produced on different
 //!   hardware (e.g. the checked-in JSON vs a CI runner); wall-clock
 //!   kernels are still printed, but informationally.
+//! * `--watch <substring>` (repeatable) — kernels matching the substring
+//!   are *required to exist* in the current export (a missing watched
+//!   kernel fails the gate even if nothing regressed) and are always
+//!   gated, `--deterministic-only` notwithstanding. CI watches
+//!   `engine/wal_commit` — the number the durability work exists to
+//!   move — so it can neither regress nor silently disappear.
 //!
 //! Kernels present in only one file are reported and never fail the gate
-//! (new benches must be addable; retired ones removable).
+//! (new benches must be addable; retired ones removable) — unless a
+//! `--watch` names them.
 //!
 //! The JSON subset parsed here is exactly what `bench_hotpath` writes: an
 //! array of objects with `name` and `optimized_ns` fields, one per line.
@@ -87,11 +94,19 @@ fn main() -> ExitCode {
     let mut threshold = 1.25f64;
     let mut wall_threshold: Option<f64> = None;
     let mut deterministic_only = false;
+    let mut watches: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--base" => base_path = args.next(),
             "--current" => current_path = args.next(),
+            "--watch" => {
+                let Some(w) = args.next() else {
+                    eprintln!("--watch needs a kernel-name substring; try --help");
+                    return ExitCode::from(2);
+                };
+                watches.push(w);
+            }
             "--threshold" => {
                 let Some(v) = args.next().and_then(|t| t.parse().ok()) else {
                     eprintln!("--threshold needs a number; try --help");
@@ -110,7 +125,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --base <json> --current <json> [--threshold 1.25] \
-                     [--wall-threshold <ratio>] [--deterministic-only]"
+                     [--wall-threshold <ratio>] [--deterministic-only] \
+                     [--watch <name-substring>]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -133,12 +149,21 @@ fn main() -> ExitCode {
     };
 
     let wall_threshold = wall_threshold.unwrap_or(threshold);
+    // Every watched substring must match at least one current kernel —
+    // the watched numbers exist to be seen, so vanishing is a failure.
+    let mut missing_watches = Vec::new();
+    for w in &watches {
+        if !current.keys().any(|name| name.contains(w.as_str())) {
+            missing_watches.push(w.clone());
+        }
+    }
     let mut regressions = Vec::new();
     println!(
         "{:<52} {:>12} {:>12} {:>8}  verdict",
         "kernel", "base_ms", "current_ms", "ratio"
     );
     for (name, &cur) in &current {
+        let watched = watches.iter().any(|w| name.contains(w.as_str()));
         let Some(&old) = base.get(name) else {
             println!(
                 "{name:<52} {:>12} {:>12.3} {:>8}  new (not gated)",
@@ -150,14 +175,18 @@ fn main() -> ExitCode {
         };
         let ratio = cur / old;
         let deterministic = is_deterministic(name);
-        let gated = !deterministic_only || deterministic;
+        let gated = watched || !deterministic_only || deterministic;
         let limit = if deterministic {
             threshold
         } else {
             wall_threshold
         };
         let verdict = if ratio <= limit {
-            "ok"
+            if watched {
+                "ok (watched)"
+            } else {
+                "ok"
+            }
         } else if gated {
             regressions.push((name.clone(), ratio));
             "REGRESSED"
@@ -175,6 +204,13 @@ fn main() -> ExitCode {
         println!("{name:<52} retired (present only in base)");
     }
 
+    if !missing_watches.is_empty() {
+        eprintln!(
+            "\nbench gate FAILED: watched kernel(s) missing from {current_path}: {}",
+            missing_watches.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
     if regressions.is_empty() {
         println!(
             "\nbench gate passed: no tracked kernel regressed beyond {:.0}%{}",

@@ -44,6 +44,41 @@ pub fn rank_in_square(s: u32, u: u32, v: u32) -> u64 {
     offset + k
 }
 
+/// Integer square root: the largest `r` with `r² ≤ x`, via the FPU plus
+/// an exact fixup (the same trick as the 3D curve's cube root). `f64`
+/// sqrt is a single instruction, so this beats the software
+/// `u64::isqrt` loop severalfold — and it sits on the unrank hot path,
+/// one call per [`unrank_in_square`], which is what bulk inverse
+/// mapping (`fill_points`) is made of.
+#[inline]
+pub(crate) fn isqrt_fast(x: u64) -> u64 {
+    if x < (1u64 << 53) {
+        // The conversion is exact and `sqrt` is correctly rounded, so the
+        // truncated candidate is within one of the floor root — one
+        // branch fixes it, and every square here fits u64. This is the
+        // path every realistic universe takes (sides up to ~2²⁶).
+        let mut r = (x as f64).sqrt() as u64;
+        if r * r > x {
+            r -= 1;
+        } else if (r + 1) * (r + 1) <= x {
+            r += 1;
+        }
+        r
+    } else {
+        // Huge inputs: the u64→f64 conversion itself rounds, so the
+        // candidate can be several ulps off; fix up exactly in u128 so
+        // the square can never overflow.
+        let mut r = (x as f64).sqrt() as u64;
+        while r > 0 && u128::from(r) * u128::from(r) > u128::from(x) {
+            r -= 1;
+        }
+        while u128::from(r + 1) * u128::from(r + 1) <= u128::from(x) {
+            r += 1;
+        }
+        r
+    }
+}
+
 /// Inverse of [`rank_in_square`]: the cell of an `s × s` square holding onion
 /// rank `k`.
 #[inline]
@@ -53,7 +88,7 @@ pub fn unrank_in_square(s: u32, k: u64) -> (u32, u32) {
     // Cells at positions >= k number n − k; they fill the sub-square of the
     // smallest side `inner` (same parity as s) with inner² ≥ n − k.
     let rem = n - k;
-    let mut inner = rem.isqrt() as u32;
+    let mut inner = isqrt_fast(rem) as u32;
     if u64::from(inner) * u64::from(inner) < rem {
         inner += 1;
     }
@@ -261,6 +296,28 @@ impl SpaceFillingCurve<2> for Onion2D {
 mod tests {
     use super::*;
     use crate::curve::verify;
+
+    #[test]
+    fn isqrt_fast_exact_values() {
+        assert_eq!(isqrt_fast(0), 0);
+        assert_eq!(isqrt_fast(1), 1);
+        assert_eq!(isqrt_fast(3), 1);
+        assert_eq!(isqrt_fast(4), 2);
+        assert_eq!(isqrt_fast(u64::MAX), (1u64 << 32) - 1);
+        for r in [1u64, 2, 1000, 1 << 20, (1 << 32) - 2] {
+            assert_eq!(isqrt_fast(r * r), r);
+            assert_eq!(isqrt_fast(r * r - 1), r - 1);
+            assert_eq!(isqrt_fast(r * r + 1), r);
+        }
+        // Agreement with the software root across a dense small range and
+        // a coarse sweep of the full domain.
+        for x in 0..4096u64 {
+            assert_eq!(isqrt_fast(x), x.isqrt());
+        }
+        for x in (0..u64::MAX - (1 << 58)).step_by(1 << 58) {
+            assert_eq!(isqrt_fast(x), x.isqrt());
+        }
+    }
 
     /// Figure 3 (left): the 2×2 onion curve.
     #[test]

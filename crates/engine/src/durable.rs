@@ -4,52 +4,336 @@
 //! of logging is exactly the unit of application — the epoch batch — so
 //! the commit protocol is one rule deep:
 //!
-//! 1. **Commit:** [`Engine::flush`] encodes the staged batch as one
-//!    checksummed WAL frame, appends it, and syncs — *then* calls
-//!    [`ShardedTable::apply_batch`]. The synced append is the commit
-//!    point: when `flush` returns, the epoch survives any crash.
+//! 1. **Commit:** [`Engine::flush`] encodes each staged batch as one
+//!    checksummed WAL frame (into a reused buffer — steady-state commits
+//!    allocate nothing), appends it, and hands the fsync to a dedicated
+//!    sync thread, so the encode and apply of epoch `N+1` overlap the
+//!    fsync of epoch `N`. The **commit point is unchanged**: an explicit
+//!    `flush` returns `Ok` only once every epoch it covers is appended
+//!    *and* fsynced — the synced append — and auto-flushed epochs become
+//!    durable in the background, in order, bounded by
+//!    [`CommitPolicy::max_epochs`](crate::CommitPolicy::max_epochs)
+//!    frames of lag ([`CommitPolicy::synchronous`](crate::CommitPolicy)
+//!    restores the strictly write-ahead append+fsync-then-apply path).
+//!    Concurrent flushers **group-commit**: one leader stages everything
+//!    admitted so far and everyone shares its epochs and syncs.
 //! 2. **Recover:** [`Engine::open`] rebuilds the table from the last
 //!    snapshot (entries in curve order, re-cut at this table's shard
 //!    boundaries) and re-applies every WAL frame with a later epoch,
-//!    through the same `apply_batch` path live traffic uses. Replay is
-//!    deterministic across shard counts — the batch is sorted by curve
-//!    key and same-key ops keep submission order — so a log written by a
-//!    3-shard engine recovers bit-identically into 1 or 8 shards.
+//!    coalesced into one batch through the same
+//!    [`ShardedTable::apply_batch`] path live traffic uses — which
+//!    applies per-shard slices in parallel, so replay scales with shards.
+//!    Replay is deterministic across shard counts — the batch is sorted
+//!    by curve key and same-key ops keep submission order (also across
+//!    frame boundaries, which is why coalescing frames is sound) — so a
+//!    log written by a 3-shard engine recovers bit-identically into 1 or
+//!    8 shards.
 //! 3. **Compact:** [`Engine::checkpoint`] flushes, writes a
-//!    point-in-time snapshot (atomic rename), and truncates the log.
-//!    Epoch numbering continues across checkpoints and restarts.
+//!    point-in-time snapshot (atomic rename, fsynced), and truncates the
+//!    log — absorbing any still-in-flight frame syncs, since the snapshot
+//!    now carries their epochs. Epoch numbering continues across
+//!    checkpoints and restarts.
 //!
 //! **Crash-consistency contract:** dropping (or killing) the process at
 //! any instant recovers the state of an *epoch boundary* — the largest
-//! prefix of flush-acknowledged epochs whose frames survived intact. A
-//! torn trailing frame (crash mid-append) is detected by length/checksum
-//! and truncated; it never surfaces as a half-applied epoch. Writes that
+//! prefix of flush-acknowledged epochs whose frames survived intact.
+//! Pipelining preserves this shape: frames are appended in epoch order
+//! and fsync covers file prefixes, so whatever subset of in-flight
+//! frames reaches the disk is itself an epoch-boundary prefix. A torn
+//! trailing frame (crash mid-append) is detected by length/checksum and
+//! truncated; it never surfaces as a half-applied epoch. Writes that
 //! were admitted ([`Reply::Queued`](crate::Reply::Queued)) but not yet
 //! flushed are not covered — durability is acknowledged by `flush`, not
-//! by admission. The recovery proptests drive both truncation at every
-//! byte offset and multi-curve/multi-shard reopening.
+//! by admission or by the auto-flush cadence. Dropping the engine drains
+//! the pipeline (a final fsync), so clean shutdown loses nothing. The
+//! recovery proptests drive byte-offset truncation, multi-curve and
+//! multi-shard reopening, and group-commit/pipelined-vs-synchronous
+//! byte-identity of the log itself.
+//!
+//! If an fsync **fails**, the pipeline poisons itself: already-applied
+//! epochs past the failure stay served from memory, but every further
+//! commit (and every explicit `flush`/`checkpoint`) returns the sync
+//! error and [`EngineStats::flush_failures`](crate::EngineStats)
+//! grows — the log device needs attention and the engine should be
+//! reopened. This is the same fail-stop posture the synchronous path
+//! takes, surfaced at the next acknowledgement point instead of inside
+//! the (unacknowledged) auto-flush.
 //!
 //! Durability is strictly pay-as-you-go: an engine built with
 //! [`Engine::new`] carries `None` state and its flush path is byte-for-
-//! byte the in-memory one (a single `Option` test per epoch, no I/O).
+//! byte the in-memory one (a single `Option` test per epoch, no I/O, no
+//! sync thread).
 
 use crate::engine::{Engine, EngineConfig};
 use onion_core::{SfcError, SpaceFillingCurve};
-use sfc_index::wal::encode_epoch_payload;
+use sfc_index::wal::encode_epoch_payload_into;
 use sfc_index::{
     read_snapshot, write_snapshot, Backend, BatchOp, DiskModel, PagedBackend, Record, ShardedTable,
     Wal, WalCodec,
 };
+use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// File name of the write-ahead log inside a durable engine's directory.
 pub const WAL_FILE: &str = "wal.log";
 /// File name of the snapshot inside a durable engine's directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 
-/// The durable half of an engine: the open WAL, the directory it lives
-/// in, and a monomorphized frame encoder.
+/// The open log plus the reusable payload buffer synchronous commits
+/// encode into — one lock guards both, so the encode-append sequence is
+/// a single critical section with no allocation.
+struct WalWriter {
+    wal: Wal,
+    payload: Vec<u8>,
+}
+
+/// State shared between the engine and its WAL sync thread: the queue of
+/// encoded-but-unwritten frame payloads, which epochs have been
+/// committed (`requested`) and which are known durable (`synced`), plus
+/// the poison slot for a failed append or fsync.
+struct SyncState {
+    /// Encoded payloads handed off by `commit`, in epoch order, awaiting
+    /// the sync thread's append+fsync pass. Commit touches neither the
+    /// file nor the checksum: the write path pays one encode and one
+    /// queue push per epoch, and the frame assembly (CRC included), the
+    /// appends, and the fsync all happen on the sync thread, overlapped
+    /// with the next epochs' admissions and applies.
+    pending: std::collections::VecDeque<(u64, Vec<u8>)>,
+    /// Recycled payload buffers: the steady-state pipeline allocates
+    /// nothing.
+    spare: Vec<Vec<u8>>,
+    /// Highest epoch committed to the pipeline (queued or appended).
+    requested: u64,
+    /// Highest epoch whose frame is appended *and* fsync-confirmed.
+    /// `synced == requested` means the pipeline is drained.
+    synced: u64,
+    /// The first fsync failure, kept permanently: a failed fsync leaves
+    /// the kernel's view of earlier writes undefined, so the pipeline
+    /// refuses further commits rather than guessing (reopen to recover).
+    failed: Option<String>,
+    /// Threads blocked in [`SyncShared::wait_synced`]/`drain` right now.
+    /// The sync thread syncs eagerly while anyone waits, and lazily
+    /// (letting frames accumulate up to the pipeline window) otherwise —
+    /// an fsync also contends with concurrent appends on the file's
+    /// inode lock, so an unneeded sync slows the write path twice.
+    waiters: usize,
+    /// Set by `Drop`: the sync thread drains outstanding work, then
+    /// exits.
+    shutdown: bool,
+}
+
+/// The condvar pair around [`SyncState`]: `work` wakes the sync thread,
+/// `done` wakes commit backpressure and durability waiters.
+struct SyncShared {
+    state: Mutex<SyncState>,
+    work: Condvar,
+    done: Condvar,
+    /// Unsynced-frame count at which the sync thread acts without being
+    /// asked (one below the pipeline window, so commits never stall).
+    trigger: u64,
+}
+
+impl SyncShared {
+    fn new(recovered_epoch: u64, trigger: u64) -> Self {
+        SyncShared {
+            state: Mutex::new(SyncState {
+                pending: std::collections::VecDeque::new(),
+                spare: Vec::new(),
+                requested: recovered_epoch,
+                synced: recovered_epoch,
+                failed: None,
+                waiters: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            trigger,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SyncState> {
+        self.state.lock().expect("WAL sync state poisoned")
+    }
+
+    /// A recycled payload buffer for the next commit to encode into.
+    fn payload_buf(&self) -> Vec<u8> {
+        self.lock().spare.pop().unwrap_or_default()
+    }
+
+    /// Queues `epoch`'s encoded payload for the sync thread, waking it
+    /// only when it would actually act — an unconditional wakeup would
+    /// cost a context switch per epoch just for the thread to decide to
+    /// keep being lazy.
+    fn enqueue(&self, epoch: u64, payload: Vec<u8>) {
+        let mut st = self.lock();
+        st.pending.push_back((epoch, payload));
+        st.requested = st.requested.max(epoch);
+        if st.waiters > 0 || st.requested - st.synced >= self.trigger || st.shutdown {
+            self.work.notify_all();
+        }
+    }
+
+    /// Marks epochs up to `epoch` durable without an fsync of our own —
+    /// used by synchronous commits (which fsync inline) and by
+    /// checkpoints (whose snapshot supersedes the log, making any still-
+    /// queued payloads obsolete). Absorbing also clears a poisoned
+    /// pipeline: the caller has just made every applied epoch durable
+    /// through an independent, fully synced channel (the snapshot), so
+    /// refusing further commits would contradict the durability it
+    /// re-established.
+    fn absorb(&self, epoch: u64) {
+        let mut st = self.lock();
+        st.pending.clear();
+        st.requested = st.requested.max(epoch);
+        st.synced = st.synced.max(epoch);
+        st.failed = None;
+        self.done.notify_all();
+    }
+
+    /// Backpressure: waits until appending `epoch` would leave at most
+    /// `depth` frames in flight, or the pipeline is poisoned.
+    fn acquire_slot(&self, epoch: u64, depth: usize) -> Result<(), SfcError> {
+        let mut st = self.lock();
+        loop {
+            if let Some(e) = &st.failed {
+                return Err(pipeline_poisoned(e));
+            }
+            if epoch.saturating_sub(st.synced) <= depth as u64 {
+                return Ok(());
+            }
+            st = self.done.wait(st).expect("WAL sync state poisoned");
+        }
+    }
+
+    /// Blocks until every epoch up to `epoch` is durable (or poisoned).
+    /// Registers as a waiter, which flips the lazy sync thread into
+    /// eager mode for the duration.
+    fn wait_synced(&self, epoch: u64) -> Result<(), SfcError> {
+        let mut st = self.lock();
+        if st.synced >= epoch {
+            return Ok(());
+        }
+        st.waiters += 1;
+        self.work.notify_all();
+        let result = loop {
+            if st.synced >= epoch {
+                break Ok(());
+            }
+            if let Some(e) = &st.failed {
+                break Err(pipeline_poisoned(e));
+            }
+            st = self.done.wait(st).expect("WAL sync state poisoned");
+        };
+        st.waiters -= 1;
+        result
+    }
+
+    /// Waits until no frame sync is in flight (`synced == requested`),
+    /// ignoring poisoning — the rollback path needs quiescence whatever
+    /// the outcome.
+    fn drain(&self) {
+        let mut st = self.lock();
+        if st.failed.is_some() || st.synced >= st.requested {
+            return;
+        }
+        st.waiters += 1;
+        self.work.notify_all();
+        while st.failed.is_none() && st.synced < st.requested {
+            st = self.done.wait(st).expect("WAL sync state poisoned");
+        }
+        st.waiters -= 1;
+    }
+
+    /// Clamps both watermarks back to `epoch` and drops any queued
+    /// payloads above it — the rollback path, after the frame above
+    /// `epoch` has been truncated away (or never landed).
+    fn retract(&self, epoch: u64) {
+        let mut st = self.lock();
+        st.pending.retain(|&(e, _)| e <= epoch);
+        st.requested = st.requested.min(epoch);
+        st.synced = st.synced.min(epoch);
+        self.done.notify_all();
+    }
+}
+
+/// Formats the permanent poison error of a failed pipeline fsync.
+fn pipeline_poisoned(cause: &str) -> SfcError {
+    SfcError::Storage {
+        context: format!(
+            "WAL sync pipeline failed and refuses further commits \
+             (reopen the engine to recover): {cause}"
+        ),
+    }
+}
+
+/// The sync thread: drains the queue of encoded payloads — framing,
+/// checksumming, and appending each in epoch order — then fsyncs once,
+/// covering the whole group (fsync is a file-prefix barrier, so one sync
+/// confirms all outstanding epochs — group commit at the disk). The
+/// write path's own thread never touches the file or the checksum.
+///
+/// It acts *lazily*: only when a thread is actually waiting for
+/// durability, when the backlog nears the pipeline window (`trigger`
+/// frames — so commits never stall on backpressure in steady state), or
+/// on shutdown. Batching the appends also means the file's inode is
+/// touched once per group rather than once per epoch, and never from two
+/// threads at once. Exits after draining on shutdown, so dropping an
+/// engine loses nothing.
+fn run_syncer(file: File, wal: Arc<Mutex<WalWriter>>, shared: Arc<SyncShared>) {
+    let trigger = shared.trigger;
+    let mut st = shared.lock();
+    loop {
+        let backlog = st.requested - st.synced;
+        if st.failed.is_none()
+            && backlog > 0
+            && (st.waiters > 0 || backlog >= trigger || st.shutdown)
+        {
+            let target = st.requested;
+            let group: Vec<(u64, Vec<u8>)> = st.pending.drain(..).collect();
+            drop(st);
+            let mut result = Ok(());
+            if !group.is_empty() {
+                let mut w = wal.lock().expect("WAL handle poisoned");
+                // One buffered write for the whole group: one syscall,
+                // one inode touch, per fsync.
+                if let Err(e) = w.wal.append_payloads_unsynced(&group) {
+                    result = Err(format!("appending epoch group: {e}"));
+                }
+            }
+            // Sync outside the WAL lock: `wal_len` readers and a
+            // concurrent rollback drain stay responsive during the I/O.
+            if result.is_ok() {
+                result = file
+                    .sync_data()
+                    .map_err(|e| format!("syncing WAL frames: {e}"));
+            }
+            st = shared.lock();
+            match result {
+                Ok(()) => {
+                    st.synced = st.synced.max(target);
+                    // Recycle the payload buffers for future commits.
+                    for (_, mut buf) in group {
+                        buf.clear();
+                        st.spare.push(buf);
+                    }
+                }
+                Err(e) => st.failed = Some(e),
+            }
+            shared.done.notify_all();
+            continue;
+        }
+        if st.shutdown {
+            return;
+        }
+        st = shared.work.wait(st).expect("WAL sync state poisoned");
+    }
+}
+
+/// The durable half of an engine: the open WAL (plus its reusable encode
+/// buffer), the directory it lives in, a monomorphized frame encoder,
+/// and the sync pipeline.
 ///
 /// The encoder is a plain `fn` pointer captured where the `V: WalCodec`
 /// bound is known (at open time), so the engine's shared flush path can
@@ -58,36 +342,90 @@ pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// byte representation.
 pub(crate) struct Durability<const D: usize, V> {
     dir: PathBuf,
-    wal: Mutex<Wal>,
-    encode: fn(u64, &[BatchOp<D, V>]) -> Vec<u8>,
+    wal: Arc<Mutex<WalWriter>>,
+    encode: fn(u64, &[BatchOp<D, V>], &mut Vec<u8>),
+    sync: Arc<SyncShared>,
+    syncer: Option<JoinHandle<()>>,
+    /// [`CommitPolicy::max_epochs`](crate::CommitPolicy::max_epochs):
+    /// pipeline depth; `0` = synchronous commits.
+    depth: usize,
 }
 
 impl<const D: usize, V> Durability<D, V> {
-    /// Commits one epoch frame (append + sync). Called by `flush` under
-    /// the apply gate, so commits are totally ordered.
+    /// Commits one epoch frame. Called by the flush path under the apply
+    /// gate, so commits are totally ordered and epochs strictly increase.
+    ///
+    /// With `depth == 0` this is the synchronous append+fsync of PR 4 —
+    /// when it returns, the epoch is durable. With a positive depth the
+    /// payload is encoded (into a recycled buffer — no allocation, no
+    /// checksum, no syscall on this thread) and queued for the sync
+    /// thread, which frames, appends, and fsyncs whole groups in epoch
+    /// order; the call blocks only when more than `depth` epochs are
+    /// already in flight. Epochs become durable in commit order either
+    /// way.
     pub(crate) fn commit(&self, epoch: u64, ops: &[BatchOp<D, V>]) -> Result<(), SfcError> {
-        let payload = (self.encode)(epoch, ops);
-        self.wal
-            .lock()
-            .expect("WAL handle poisoned")
-            .append_payload(epoch, payload)
+        if self.depth == 0 {
+            let mut w = self.wal.lock().expect("WAL handle poisoned");
+            let WalWriter { wal, payload } = &mut *w;
+            (self.encode)(epoch, ops, payload);
+            wal.append_payload(epoch, payload)?;
+            self.sync.absorb(epoch);
+            return Ok(());
+        }
+        self.sync.acquire_slot(epoch, self.depth)?;
+        let mut payload = self.sync.payload_buf();
+        (self.encode)(epoch, ops, &mut payload);
+        self.sync.enqueue(epoch, payload);
+        Ok(())
     }
 
-    /// Un-commits the frame [`Self::commit`] just wrote — the flush path
-    /// calls this when the in-memory apply fails after a successful
-    /// commit, keeping log and table in lockstep.
-    pub(crate) fn rollback_last(&self) -> Result<(), SfcError> {
-        self.wal
-            .lock()
-            .expect("WAL handle poisoned")
-            .rollback_last()
+    /// Blocks until every epoch up to `epoch` is fsync-confirmed — the
+    /// commit point explicit flushes acknowledge.
+    pub(crate) fn wait_durable(&self, epoch: u64) -> Result<(), SfcError> {
+        self.sync.wait_synced(epoch)
+    }
+
+    /// Highest fsync-confirmed epoch.
+    pub(crate) fn synced_epoch(&self) -> u64 {
+        self.sync.lock().synced
+    }
+
+    /// Un-commits `epoch` — the frame [`Self::commit`] just wrote (or
+    /// queued) — when the in-memory apply fails after a successful
+    /// commit, keeping log and table in lockstep. Drains any in-flight
+    /// sync first so the truncation cannot race an fsync of the very
+    /// frame being removed, and truncates only if the frame actually
+    /// landed: if the pipeline poisoned before appending it (a
+    /// double-fault — apply *and* WAL I/O failing), the log already
+    /// ends at an older, still-acknowledged frame, which must not be
+    /// cut away.
+    pub(crate) fn rollback_last(&self, epoch: u64) -> Result<(), SfcError> {
+        self.sync.drain();
+        let mut w = self.wal.lock().expect("WAL handle poisoned");
+        if w.wal.last_epoch() == epoch {
+            w.wal.rollback_last()?;
+        }
+        self.sync.retract(w.wal.last_epoch());
+        Ok(())
+    }
+}
+
+impl<const D: usize, V> Drop for Durability<D, V> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.syncer.take() {
+            if let Ok(mut st) = self.sync.state.lock() {
+                st.shutdown = true;
+            }
+            self.sync.work.notify_all();
+            let _ = handle.join();
+        }
     }
 }
 
 impl<const D: usize, C, V> Engine<C, V, D>
 where
     C: SpaceFillingCurve<D>,
-    V: Clone + WalCodec,
+    V: Clone + Send + Sync + WalCodec,
 {
     /// Opens (or creates) a durable engine over in-memory shard backends
     /// at `dir`: restores the snapshot if one exists, replays the WAL
@@ -122,7 +460,7 @@ where
 impl<const D: usize, C, V> Engine<C, V, D, PagedBackend<Record<D, V>>>
 where
     C: SpaceFillingCurve<D>,
-    V: Clone + WalCodec,
+    V: Clone + Send + Sync + WalCodec,
 {
     /// [`Engine::open`] over paged (buffer-pooled) shard backends; see
     /// [`ShardedTable::build_paged`] for the `pool_pages` knob.
@@ -148,8 +486,8 @@ where
 impl<const D: usize, C, V, B> Engine<C, V, D, B>
 where
     C: SpaceFillingCurve<D>,
-    V: Clone + WalCodec,
-    B: Backend<Record<D, V>>,
+    V: Clone + Send + Sync + WalCodec,
+    B: Backend<Record<D, V>> + Send + Sync,
 {
     /// Shared recovery: restore `snapshot + WAL suffix` into the (empty)
     /// `table`, then wire the log into the engine's flush path.
@@ -169,7 +507,13 @@ where
             None => 0,
         };
         let (wal, frames) = Wal::open::<D, V>(&dir.join(WAL_FILE))?;
+        // Coalesce the replayable frames into one batch through the live
+        // apply path: `apply_batch` stable-sorts by curve key and keeps
+        // same-key submission order across the concatenation, so one
+        // parallel-applied batch lands on exactly the per-epoch state —
+        // and replay cost scales with shards instead of frame count.
         let mut epoch = snapshot_epoch;
+        let mut replay: Vec<BatchOp<D, V>> = Vec::new();
         for frame in frames {
             // Frames at or below the snapshot's epoch are stale: a crash
             // between snapshot publication and log truncation leaves
@@ -177,24 +521,57 @@ where
             if frame.epoch <= snapshot_epoch {
                 continue;
             }
-            table.apply_batch(frame.ops)?;
+            replay.extend(frame.ops);
             epoch = frame.epoch;
         }
+        if !replay.is_empty() {
+            table.apply_batch(replay)?;
+        }
+        // Act one frame before the window fills, so steady-state commits
+        // never block in `acquire_slot`.
+        let trigger = (config.commit.max_epochs as u64).saturating_sub(1).max(1);
+        let sync = Arc::new(SyncShared::new(epoch, trigger));
+        let file = wal.sync_handle()?;
+        let wal = Arc::new(Mutex::new(WalWriter {
+            wal,
+            payload: Vec::new(),
+        }));
+        // Synchronous policy (depth 0) commits inline and never enqueues:
+        // no sync thread to spawn, park, or join.
+        let syncer = if config.commit.max_epochs == 0 {
+            None
+        } else {
+            let shared = Arc::clone(&sync);
+            let wal = Arc::clone(&wal);
+            Some(
+                std::thread::Builder::new()
+                    .name("sfc-wal-sync".into())
+                    .spawn(move || run_syncer(file, wal, shared))
+                    .map_err(|e| SfcError::Storage {
+                        context: format!("spawning WAL sync thread: {e}"),
+                    })?,
+            )
+        };
         let mut engine = Engine::new(table, config);
         engine.set_recovered_epoch(epoch);
         engine.durability = Some(Durability {
             dir: dir.to_path_buf(),
-            wal: Mutex::new(wal),
-            encode: encode_epoch_payload::<D, V>,
+            wal,
+            encode: encode_epoch_payload_into::<D, V>,
+            sync,
+            syncer,
+            depth: config.commit.max_epochs,
         });
         Ok(engine)
     }
 
     /// Compacts the log into a snapshot: flushes pending writes, writes
     /// a point-in-time snapshot of the whole table in curve order
-    /// (atomic temp-file + rename), then truncates the WAL. Returns the
-    /// epoch the snapshot captures. Concurrent readers keep being
-    /// served throughout; concurrent flushes wait at the apply gate.
+    /// (atomic temp-file + rename, fsynced), then truncates the WAL —
+    /// absorbing any frame syncs still in flight, since the snapshot now
+    /// carries their epochs. Returns the epoch the snapshot captures.
+    /// Concurrent readers keep being served throughout; concurrent
+    /// flushes wait at the commit queue.
     ///
     /// Crash-safe at every step: before the rename the old snapshot
     /// still pairs with the full log; after the rename but before the
@@ -210,12 +587,24 @@ where
                 context: "checkpoint called on a non-durable engine (use Engine::open)".into(),
             });
         };
-        let _gate = self.lock_apply_gate();
-        self.flush_gated()?;
-        let epoch = self.epoch();
-        write_snapshot(&d.dir.join(SNAPSHOT_FILE), epoch, self.table())?;
-        d.wal.lock().expect("WAL handle poisoned").reset()?;
-        Ok(epoch)
+        self.acquire_lead();
+        let result = (|| {
+            let _gate = self.lock_apply_gate();
+            self.flush_gated()?;
+            // Quiesce the pipeline before touching the file, so the sync
+            // thread cannot append a queued frame *after* the reset and
+            // resurrect epochs the snapshot already absorbed.
+            d.sync.drain();
+            let epoch = self.epoch();
+            write_snapshot(&d.dir.join(SNAPSHOT_FILE), epoch, self.table())?;
+            d.wal.lock().expect("WAL handle poisoned").wal.reset()?;
+            // The snapshot (written and fsynced above) now carries every
+            // epoch the truncated frames held: mark them durable.
+            d.sync.absorb(epoch);
+            Ok(epoch)
+        })();
+        self.finish_lead();
+        result
     }
 
     /// Whether this engine commits epochs to a write-ahead log.
@@ -230,12 +619,16 @@ where
     }
 
     /// Bytes of committed frames currently in the WAL (`None` for
-    /// in-memory engines). Everything up to this offset survives any
-    /// crash — the observability hook the crash-point tests key on, and
-    /// a practical "time to checkpoint?" signal.
+    /// in-memory engines). After an explicit [`Engine::flush`] returns,
+    /// everything up to this offset survives any crash — the
+    /// observability hook the crash-point tests key on, and a practical
+    /// "time to checkpoint?" signal. (Mid-pipeline, recently committed
+    /// epochs may still sit in the sync thread's queue, not yet counted
+    /// here; compare [`Engine::durable_epoch`] with [`Engine::epoch`]
+    /// for the lag.)
     pub fn wal_len(&self) -> Option<u64> {
         self.durability
             .as_ref()
-            .map(|d| d.wal.lock().expect("WAL handle poisoned").len())
+            .map(|d| d.wal.lock().expect("WAL handle poisoned").wal.len())
     }
 }

@@ -8,7 +8,8 @@ use sfc_index::{
     ShardedTable,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Duration;
 
 /// One operation of the serving stream.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,18 +72,101 @@ pub enum Reply<const D: usize, V> {
     },
 }
 
+/// How epochs reach the write-ahead log: the group-commit and
+/// pipelining knobs of a durable engine's flush path (ignored — zero
+/// cost — on in-memory engines).
+///
+/// Concurrent `flush` callers always coalesce through a leader/follower
+/// commit queue: one leader stages and commits everything admitted so
+/// far, followers wait for the leader's sync to cover their writes. The
+/// policy tunes how the leader overlaps the disk:
+///
+/// * [`max_epochs`](Self::max_epochs) is the **pipeline depth** — how
+///   many committed-but-not-yet-fsynced epoch frames may be in flight
+///   while the engine goes on encoding and applying later epochs. `0`
+///   disables pipelining entirely: every commit appends *and* syncs
+///   before its epoch applies (the PR-4 write path, kept as the
+///   reference for the byte-identity proptests and the
+///   `engine/wal_commit_path` bench pair).
+/// * [`max_delay`](Self::max_delay) is the classic group-commit window:
+///   an explicit-flush leader lingers this long before staging so that
+///   concurrent writers' admissions land in the same epoch — and the
+///   same fsync. Zero (the default) adds no latency; the leader/follower
+///   queue and the sync pipeline already coalesce concurrent flushers
+///   without it.
+///
+/// Whatever the policy, the **commit point is unchanged**: when an
+/// explicit [`Engine::flush`] returns `Ok`, every epoch it covers has
+/// been appended *and* fsynced. Pipelining only changes what happens
+/// between auto-flush cadences, where durability was never acknowledged
+/// to anyone; the crash contract (recovery = a prefix of
+/// flush-acknowledged epochs) is untouched, and epochs become durable in
+/// order, so recovery still always lands on an epoch-boundary prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitPolicy {
+    /// Pipeline depth: epoch frames appended to the WAL but not yet
+    /// fsync-confirmed while later epochs encode and apply. `0` =
+    /// fully synchronous commits (append + fsync before the epoch
+    /// applies).
+    pub max_epochs: usize,
+    /// Group-commit window an explicit-flush leader waits before staging,
+    /// letting concurrent writers share the epoch and its fsync.
+    pub max_delay: Duration,
+}
+
+impl CommitPolicy {
+    /// The PR-4 reference path: no pipelining, every epoch frame is
+    /// appended and fsynced before it applies.
+    pub fn synchronous() -> Self {
+        CommitPolicy {
+            max_epochs: 0,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for CommitPolicy {
+    fn default() -> Self {
+        CommitPolicy {
+            // Deep enough that production-rate epochs (tens of
+            // microseconds apart) never stall behind a device flush
+            // (hundreds): the window must cover at least one fsync's
+            // worth of epochs for the pipeline to hide the disk.
+            max_epochs: 16,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Admitted writes that trigger an automatic epoch flush. Larger
     /// epochs amortize sorting and lock traffic better but delay rect-
-    /// query visibility of writes.
+    /// query visibility of writes. Also the staging granularity: a flush
+    /// draining a larger backlog commits it as multiple epochs of at most
+    /// this many ops, all sharing the pipeline's syncs.
     pub epoch_ops: usize,
+    /// Group-commit and WAL-pipelining policy (durable engines only).
+    pub commit: CommitPolicy,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { epoch_ops: 1024 }
+        EngineConfig {
+            epoch_ops: 1024,
+            commit: CommitPolicy::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default config with the given auto-flush threshold.
+    pub fn with_epoch_ops(epoch_ops: usize) -> Self {
+        EngineConfig {
+            epoch_ops,
+            ..EngineConfig::default()
+        }
     }
 }
 
@@ -103,6 +187,43 @@ pub struct EngineStats {
     /// staged writes stay queued and are retried; a nonzero value with a
     /// growing `pending` means the log device needs attention.
     pub flush_failures: u64,
+    /// Epochs whose WAL frame is fsync-confirmed (durable engines; equal
+    /// to `epochs` on in-memory engines and whenever the commit pipeline
+    /// is drained). `epochs - durable_epochs` is the pipeline's current
+    /// durability lag, bounded by [`CommitPolicy::max_epochs`].
+    pub durable_epochs: u64,
+}
+
+/// The leader/follower commit queue behind [`Engine::flush`]: at most
+/// one leader stages and applies epochs at a time; everyone else waits
+/// on the condvar for the published watermarks to cover their target.
+struct FlushQueue {
+    state: Mutex<FlushState>,
+    /// Notified whenever leadership frees up or the watermarks advance.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct FlushState {
+    /// Whether a leader currently holds the staging baton.
+    leader_active: bool,
+    /// Admission sequence (the `writes` counter) fully applied so far:
+    /// every admitted write numbered at or below this has been applied
+    /// to the table by some leader's epoch.
+    applied_seq: u64,
+    /// Epoch counter at the time `applied_seq` was published — the epoch
+    /// a follower must see fsync-confirmed before reporting its covered
+    /// writes durable.
+    applied_epoch: u64,
+}
+
+impl FlushQueue {
+    fn new() -> Self {
+        FlushQueue {
+            state: Mutex::new(FlushState::default()),
+            done: Condvar::new(),
+        }
+    }
 }
 
 /// The concurrent serving layer: a [`ShardedTable`] behind an op-stream
@@ -128,6 +249,10 @@ pub struct Engine<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
     /// Serializes epoch application so two concurrent flushes cannot
     /// reorder same-key writes across their batches.
     apply_gate: Mutex<()>,
+    /// The group-commit queue: concurrent `flush` callers elect one
+    /// leader; followers wait for the leader's epoch (and its fsync) to
+    /// cover their writes instead of queueing up fsyncs of their own.
+    flush_q: FlushQueue,
     /// Durable state (WAL handle, data directory, frame encoder) — `Some`
     /// only for engines built by [`Engine::open`]/[`Engine::open_paged`].
     /// When present, [`Engine::flush`] commits each epoch to the log
@@ -152,8 +277,8 @@ pub struct Engine<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
 impl<const D: usize, C, V, B> Engine<C, V, D, B>
 where
     C: SpaceFillingCurve<D>,
-    V: Clone,
-    B: Backend<Record<D, V>>,
+    V: Clone + Send,
+    B: Backend<Record<D, V>> + Send + Sync,
 {
     /// Wraps a sharded table as a serving engine. The planner prices
     /// plans under the table's own [`DiskModel`].
@@ -165,6 +290,7 @@ where
             log: RwLock::new(Vec::new()),
             applying: RwLock::new(Vec::new()),
             apply_gate: Mutex::new(()),
+            flush_q: FlushQueue::new(),
             durability: None,
             epoch: AtomicU64::new(0),
             gets: AtomicU64::new(0),
@@ -197,6 +323,17 @@ where
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Number of epochs whose WAL frame is fsync-confirmed — the durable
+    /// prefix a crash right now would recover (equal to [`Self::epoch`]
+    /// for in-memory engines, and whenever the commit pipeline is
+    /// drained, e.g. right after an explicit [`Self::flush`]).
+    pub fn durable_epoch(&self) -> u64 {
+        match &self.durability {
+            Some(d) => d.synced_epoch(),
+            None => self.epoch(),
+        }
+    }
+
     /// Recovery hook: positions the epoch counter at the last epoch the
     /// reconstructed table contains, so post-recovery flushes continue
     /// the WAL's numbering seamlessly.
@@ -224,30 +361,75 @@ where
             epochs: self.epoch(),
             pending: self.pending() as u64,
             flush_failures: self.flush_failures.load(Ordering::Relaxed),
+            durable_epochs: self.durable_epoch(),
         }
     }
 
-    /// Applies every pending write as one epoch: the log is drained,
-    /// stably sorted into curve-key order inside
-    /// [`ShardedTable::apply_batch`], and applied shard by shard under
-    /// the shards' write locks. Returns the number of writes applied
-    /// (zero if the log was empty — no epoch is counted then).
+    /// Applies every pending write in epochs: the log is drained in
+    /// chunks of at most [`EngineConfig::epoch_ops`] ops, each stably
+    /// sorted into curve-key order inside
+    /// [`ShardedTable::apply_batch`] and applied shard by shard (large
+    /// epochs: concurrently per shard) under the shards' write locks.
+    /// Returns the number of writes applied (zero if the log was empty —
+    /// no epoch is counted then).
     ///
-    /// On a durable engine ([`Engine::open`]), the epoch is first
-    /// committed to the write-ahead log — frame appended and synced —
-    /// and only then applied to the table. When `flush` returns `Ok`,
-    /// the epoch survives any crash; writes that are merely admitted
-    /// (acknowledged [`Reply::Queued`], not yet flushed) do not.
+    /// Concurrent `flush` callers **group-commit**: one leader stages and
+    /// commits everything admitted so far; the others wait for the
+    /// leader's epochs (and, on durable engines, their fsyncs) to cover
+    /// their writes and return `Ok(0)` without staging or syncing
+    /// anything themselves. [`CommitPolicy::max_delay`] optionally makes
+    /// the leader linger so even writers that have not called `flush` yet
+    /// share the sync.
+    ///
+    /// On a durable engine ([`Engine::open`]), each epoch is committed to
+    /// the write-ahead log before the next is staged, and `flush` returns
+    /// `Ok` only once every epoch it covers is appended **and fsynced**:
+    /// the commit point is the synced append, exactly as without
+    /// pipelining. When `flush` returns `Ok`, the epochs survive any
+    /// crash; writes that are merely admitted (acknowledged
+    /// [`Reply::Queued`], not yet flushed) do not.
     ///
     /// # Errors
-    /// On a WAL commit failure (durable engines; the staged epoch is
-    /// re-queued ahead of newer admissions, so no acknowledged write is
-    /// lost in memory and a later flush retries the same epoch).
-    /// Table-side application never fails in practice — every logged op
-    /// was bounds-checked at admission.
+    /// On a WAL commit or sync failure (durable engines; a staged-but-
+    /// uncommitted epoch is re-queued ahead of newer admissions, so no
+    /// acknowledged write is lost in memory and a later flush retries the
+    /// same epoch). Table-side application never fails in practice —
+    /// every logged op was bounds-checked at admission.
     pub fn flush(&self) -> Result<usize, SfcError> {
-        let _gate = self.lock_apply_gate();
-        self.flush_gated()
+        let target = self.writes.load(Ordering::Acquire);
+        {
+            let mut st = self.flush_q.state.lock().expect("flush queue poisoned");
+            loop {
+                if !st.leader_active {
+                    if st.applied_seq >= target {
+                        // A concurrent leader already applied everything
+                        // admitted before this call; just confirm its
+                        // durability.
+                        let epoch = st.applied_epoch;
+                        drop(st);
+                        self.wait_durable(epoch)?;
+                        return Ok(0);
+                    }
+                    st.leader_active = true;
+                    break;
+                }
+                st = self.flush_q.done.wait(st).expect("flush queue poisoned");
+            }
+        }
+        // Leader: optionally linger so concurrent admissions coalesce
+        // into this epoch (and its fsync), then stage and apply.
+        let delay = self.config.commit.max_delay;
+        if !delay.is_zero() && self.durability.is_some() {
+            std::thread::sleep(delay);
+        }
+        let result = {
+            let _gate = self.lock_apply_gate();
+            self.flush_gated()
+        };
+        self.finish_lead();
+        let applied = result?;
+        self.wait_durable(self.epoch())?;
+        Ok(applied)
     }
 
     /// Takes the epoch-application gate (crate-internal): `checkpoint`
@@ -257,19 +439,86 @@ where
         self.apply_gate.lock().expect("apply gate poisoned")
     }
 
-    /// [`Self::flush`] with the apply gate already held — shared with
-    /// [`Engine::checkpoint`], which must snapshot at the exact epoch its
-    /// own flush produced.
+    /// Acquires flush leadership, waiting out any active leader — the
+    /// entry half of the group-commit protocol, shared with
+    /// [`Engine::checkpoint`] (which must also keep followers out while
+    /// it snapshots).
+    pub(crate) fn acquire_lead(&self) {
+        let mut st = self.flush_q.state.lock().expect("flush queue poisoned");
+        while st.leader_active {
+            st = self.flush_q.done.wait(st).expect("flush queue poisoned");
+        }
+        st.leader_active = true;
+    }
+
+    /// Releases flush leadership and publishes the applied watermarks,
+    /// waking followers. The watermark is recomputed from the ground
+    /// truth (admitted minus pending) under the stage locks, so it stays
+    /// correct whether the lead flushed cleanly, partially (error after
+    /// some chunks), or not at all.
+    pub(crate) fn finish_lead(&self) {
+        let applied_seq = {
+            let log = self.log.read().expect("write log poisoned");
+            let applying = self.applying.read().expect("applying buffer poisoned");
+            // Admits assign their sequence and push under the log write
+            // lock, so reading `writes` while holding the log read lock
+            // sees a count consistent with the log's contents.
+            self.writes.load(Ordering::Acquire) - (log.len() + applying.len()) as u64
+        };
+        let mut st = self.flush_q.state.lock().expect("flush queue poisoned");
+        st.leader_active = false;
+        st.applied_seq = st.applied_seq.max(applied_seq);
+        st.applied_epoch = st.applied_epoch.max(self.epoch());
+        self.flush_q.done.notify_all();
+    }
+
+    /// Blocks until every epoch up to `epoch` is fsync-confirmed (no-op
+    /// for in-memory engines and for `max_epochs == 0`, where commits
+    /// sync inline).
+    fn wait_durable(&self, epoch: u64) -> Result<(), SfcError> {
+        match &self.durability {
+            Some(d) => d.wait_durable(epoch),
+            None => Ok(()),
+        }
+    }
+
+    /// [`Self::flush`] with the apply gate already held and leadership
+    /// already acquired — shared with [`Engine::checkpoint`], which must
+    /// snapshot at the exact epoch its own flush produced. Drains the
+    /// whole backlog in epochs of at most [`EngineConfig::epoch_ops`]
+    /// ops; on durable engines the epochs ride the commit pipeline and
+    /// are *not* necessarily fsynced yet when this returns (the callers
+    /// own the commit point: `flush` waits, `checkpoint` supersedes the
+    /// log with a synced snapshot).
     pub(crate) fn flush_gated(&self) -> Result<usize, SfcError> {
-        // Stage the epoch: move the active log into the applying buffer
-        // (held only while the gate is held, so it was empty before this).
-        // Point-get overlays keep seeing these writes throughout the
-        // apply — first in `applying`, then in the table itself.
+        let mut total = 0usize;
+        loop {
+            let applied = self.flush_one_epoch()?;
+            if applied == 0 {
+                return Ok(total);
+            }
+            total += applied;
+        }
+    }
+
+    /// Stages and applies one epoch of at most
+    /// [`EngineConfig::epoch_ops`] ops (gate held by the caller).
+    fn flush_one_epoch(&self) -> Result<usize, SfcError> {
+        // Stage the epoch: move the oldest chunk of the active log into
+        // the applying buffer (held only while the gate is held, so it
+        // was empty before this). Point-get overlays keep seeing these
+        // writes throughout the apply — first in `applying`, then in the
+        // table itself.
+        let cap = self.config.epoch_ops.max(1);
         let batch = {
             let mut log = self.log.write().expect("write log poisoned");
             let mut applying = self.applying.write().expect("applying buffer poisoned");
             debug_assert!(applying.is_empty(), "gate serializes epochs");
-            *applying = std::mem::take(&mut *log);
+            if log.len() <= cap {
+                *applying = std::mem::take(&mut *log);
+            } else {
+                *applying = log.drain(..cap).collect();
+            }
             // Release the log before the O(n) clone: admits and the first
             // overlay stage proceed during it; only `applying` readers
             // wait, and they'd see exactly these ops anyway.
@@ -280,10 +529,11 @@ where
             return Ok(0);
         }
         let applied = batch.len();
-        // Commit point (durable engines): the epoch's frame is appended
-        // and synced *before* any shard mutates — write-ahead order. A
-        // crash after this line replays the epoch; a crash before it
-        // recovers the previous epoch boundary.
+        // Commit (durable engines): the epoch's frame is appended — and,
+        // depending on [`CommitPolicy::max_epochs`], synced inline or
+        // handed to the sync pipeline — before any shard mutates. The
+        // durable commit *point* stays the synced append: it is what
+        // explicit flushes wait for before acknowledging.
         let committed = match &self.durability {
             Some(d) => d.commit(self.epoch() + 1, &batch),
             None => Ok(()),
@@ -302,7 +552,7 @@ where
                     // orphaned frame, which re-applies the same ops the
                     // re-queued batch holds.)
                     if let Some(d) = &self.durability {
-                        let _ = d.rollback_last();
+                        let _ = d.rollback_last(self.epoch() + 1);
                     }
                     Err(e)
                 }
@@ -368,10 +618,14 @@ where
     /// threshold.
     fn admit(&self, op: BatchOp<D, V>) -> Result<Reply<D, V>, SfcError> {
         self.check_point(op.point())?;
-        self.writes.fetch_add(1, Ordering::Relaxed);
         let epoch = self.epoch();
         let backlog = {
             let mut log = self.log.write().expect("write log poisoned");
+            // The admission sequence is assigned under the same lock the
+            // op is pushed under, so the group-commit watermarks
+            // (`FlushState::applied_seq`) can be recomputed consistently
+            // from `writes - pending`.
+            self.writes.fetch_add(1, Ordering::Release);
             log.push(op);
             log.len()
         };
@@ -391,12 +645,35 @@ where
             // errors surface where durability is acknowledged: explicit
             // [`Self::flush`]/`checkpoint` calls, and the
             // [`EngineStats::flush_failures`] counter.
-            if self.flush().is_err() {
+            if !self.try_flush_auto() {
                 self.auto_flush_watermark
                     .store(backlog as u64, Ordering::Release);
             }
         }
         Ok(Reply::Queued { epoch })
+    }
+
+    /// The admission path's flush: applies the backlog like
+    /// [`Self::flush`] but **never blocks behind another leader** (the
+    /// active leader is already staging this op's epoch, or the next
+    /// admission will re-trigger) and **never waits for fsyncs** — the
+    /// commit pipeline makes auto-flushed epochs durable in the
+    /// background, and only an explicit `flush`/`checkpoint` acknowledges
+    /// durability. Returns `false` only on a flush error.
+    fn try_flush_auto(&self) -> bool {
+        {
+            let mut st = self.flush_q.state.lock().expect("flush queue poisoned");
+            if st.leader_active {
+                return true;
+            }
+            st.leader_active = true;
+        }
+        let result = {
+            let _gate = self.lock_apply_gate();
+            self.flush_gated()
+        };
+        self.finish_lead();
+        result.is_ok()
     }
 
     /// Serves a point get: the pending logs overlay the table — the
@@ -497,7 +774,7 @@ mod tests {
             shards,
         )
         .unwrap();
-        Engine::new(table, EngineConfig { epoch_ops })
+        Engine::new(table, EngineConfig::with_epoch_ops(epoch_ops))
     }
 
     #[test]

@@ -50,13 +50,17 @@
 //!
 //! * **Durability** (optional — [`Engine::open`]): the epoch batch is
 //!   also the unit of logging. A durable engine commits each epoch to an
-//!   append-only, checksummed write-ahead log *before* applying it, and
-//!   recovers `snapshot + WAL suffix` on reopen — dropping the engine (or
-//!   the process) at any instant recovers the last acknowledged epoch
-//!   boundary. [`Engine::checkpoint`] compacts the log into a snapshot.
-//!   See the [`durable`] module docs for the commit protocol and the
-//!   crash-consistency contract; engines built with [`Engine::new`] pay
-//!   nothing for any of it.
+//!   append-only, checksummed write-ahead log and recovers `snapshot +
+//!   WAL suffix` on reopen — dropping the engine (or the process) at any
+//!   instant recovers the last acknowledged epoch boundary. Commits
+//!   group-commit and pipeline: concurrent [`Engine::flush`] callers
+//!   coalesce behind one leader, and frame appends + fsyncs run on a
+//!   dedicated sync thread, overlapped with the next epochs' work, under
+//!   a [`CommitPolicy`] — while an explicit `flush` still acknowledges
+//!   only synced epochs. [`Engine::checkpoint`] compacts the log into a
+//!   snapshot. See the [`durable`] module docs for the commit protocol
+//!   and the crash-consistency contract; engines built with
+//!   [`Engine::new`] pay nothing for any of it.
 //!
 //! ```
 //! use onion_core::{Onion2D, Point};
@@ -121,4 +125,4 @@ pub mod durable;
 mod engine;
 
 pub use durable::{SNAPSHOT_FILE, WAL_FILE};
-pub use engine::{Engine, EngineConfig, EngineStats, Op, Reply};
+pub use engine::{CommitPolicy, Engine, EngineConfig, EngineStats, Op, Reply};

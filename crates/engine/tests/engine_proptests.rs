@@ -147,7 +147,7 @@ proptest! {
             )
             .unwrap();
             // Small epochs force many concurrent flushes mid-run.
-            let engine = Engine::new(table, EngineConfig { epoch_ops: 32 });
+            let engine = Engine::new(table, EngineConfig::with_epoch_ops(32));
             let streams: Vec<Vec<Op<2, u64>>> = (0..threads)
                 .map(|t| {
                     let mut rng = StdRng::seed_from_u64(
@@ -221,7 +221,7 @@ proptest! {
                     3,
                 )
                 .unwrap(),
-                EngineConfig { epoch_ops },
+                EngineConfig::with_epoch_ops(epoch_ops),
             );
             engine.run_stream(ops.iter().cloned()).unwrap();
             engine.flush().unwrap();

@@ -21,9 +21,9 @@ use onion_core::Point;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sfc_baselines::{curve_2d, DynCurve};
+use sfc_baselines::{curve_2d, DynCurve, CURVE_NAMES};
 use sfc_clustering::RectQuery;
-use sfc_engine::{Engine, EngineConfig, Op, Reply, WAL_FILE};
+use sfc_engine::{CommitPolicy, Engine, EngineConfig, Op, Reply, WAL_FILE};
 use sfc_index::{BatchOp, DiskModel};
 use sfc_workloads::CrashSchedule;
 use std::collections::BTreeMap;
@@ -46,7 +46,7 @@ fn open_engine(dir: &PathBuf, curve_name: &str, shards: usize) -> Engine<DynCurv
         curve_2d(curve_name, SIDE).unwrap(),
         DiskModel::ssd(),
         shards,
-        EngineConfig { epoch_ops: 1 << 20 }, // manual flushes only
+        EngineConfig::with_epoch_ops(1 << 20), // manual flushes only
     )
     .unwrap()
 }
@@ -281,7 +281,7 @@ proptest! {
                 curve_2d("onion", SIDE).unwrap(),
                 DiskModel::ssd(),
                 2,
-                EngineConfig { epoch_ops },
+                EngineConfig::with_epoch_ops(epoch_ops),
             )
             .unwrap();
             prop_assert_eq!(engine.epoch(), total_epochs, "epoch numbering continues");
@@ -301,6 +301,208 @@ proptest! {
         }
         let survivor = open_engine(&dir, "onion", 2);
         assert_state_equals_model(&survivor, &durable_model, "final recovery");
+        drop(survivor);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Byte offsets where each WAL frame ends (header first): parsing the
+/// `[len][crc]` headers without decoding payloads, so tests can cut the
+/// log exactly *between* frames that shared one pipelined fsync.
+fn frame_ends(wal_bytes: &[u8]) -> Vec<u64> {
+    let magic = sfc_index::WAL_MAGIC.len();
+    let mut ends = vec![magic as u64];
+    let mut at = magic;
+    while at + 8 <= wal_bytes.len() {
+        let len = u32::from_le_bytes(wal_bytes[at..at + 4].try_into().unwrap()) as usize;
+        if at + 8 + len > wal_bytes.len() {
+            break;
+        }
+        at += 8 + len;
+        ends.push(at as u64);
+    }
+    ends
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Group commit + the pipelined WAL are invisible on disk and in
+    /// memory: the same flush cadence run through the pipelined default
+    /// policy and through the synchronous PR-4 reference produces a
+    /// **byte-identical** log and identical epoch-boundary state — for
+    /// every registry curve and 1/2/5 shards (the log is written before
+    /// sorting, so shard layout must not leak into it either).
+    #[test]
+    fn pipelined_group_commit_log_is_byte_identical_to_serial(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let epochs: Vec<Vec<BatchOp<2, u64>>> =
+            (0..3).map(|_| write_ops(&mut rng, 16)).collect();
+        for curve_name in CURVE_NAMES {
+            for shards in [1usize, 2, 5] {
+                let mut logs: Vec<Vec<u8>> = Vec::new();
+                let mut answers = Vec::new();
+                for (tag, policy) in [
+                    ("pipe", CommitPolicy::default()),
+                    ("sync", CommitPolicy::synchronous()),
+                ] {
+                    let dir = test_dir(&format!(
+                        "groupcommit-{curve_name}-{shards}-{tag}-{seed:x}"
+                    ));
+                    let engine = Engine::open(
+                        &dir,
+                        curve_2d(curve_name, SIDE).unwrap(),
+                        DiskModel::ssd(),
+                        shards,
+                        EngineConfig {
+                            epoch_ops: 1 << 20,
+                            commit: policy,
+                        },
+                    )
+                    .unwrap();
+                    for batch in &epochs {
+                        for op in batch {
+                            engine.execute(as_op(op)).unwrap();
+                        }
+                        engine.flush().unwrap();
+                    }
+                    prop_assert_eq!(engine.epoch(), 3);
+                    prop_assert_eq!(
+                        engine.durable_epoch(),
+                        3,
+                        "an explicit flush acknowledges only synced epochs"
+                    );
+                    let q = RectQuery::new([0, 0], [SIDE, SIDE]).unwrap();
+                    let (res, _) = engine.query(&q).unwrap();
+                    answers.push(
+                        res.records
+                            .iter()
+                            .map(|r| (r.point, r.value))
+                            .collect::<Vec<_>>(),
+                    );
+                    drop(engine);
+                    logs.push(std::fs::read(dir.join(WAL_FILE)).unwrap());
+                    std::fs::remove_dir_all(&dir).unwrap();
+                }
+                prop_assert_eq!(
+                    &logs[0],
+                    &logs[1],
+                    "{} at {} shards: pipelined and synchronous logs differ",
+                    curve_name,
+                    shards
+                );
+                prop_assert_eq!(&answers[0], &answers[1], "{} state", curve_name);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Cuts landing *between* coalesced frames: auto-flushed epochs ride
+    /// the sync pipeline several frames per fsync, yet each keeps its own
+    /// frame — so truncating the log at any frame boundary (and at
+    /// arbitrary points inside the last frame) recovers exactly that
+    /// epoch prefix, never a fused group.
+    #[test]
+    fn cuts_between_coalesced_frames_recover_epoch_prefixes(seed in any::<u64>()) {
+        let dir = test_dir(&format!("coalesced-frames-{seed:x}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let epoch_ops = 8usize;
+        let stream = write_ops(&mut rng, 64);
+        let engine = Engine::open(
+            &dir,
+            curve_2d("onion", SIDE).unwrap(),
+            DiskModel::ssd(),
+            3,
+            EngineConfig::with_epoch_ops(epoch_ops), // default (pipelined) policy
+        )
+        .unwrap();
+        let mut model = Model::default();
+        let mut boundary_models = vec![model.clone()];
+        for (i, op) in stream.iter().enumerate() {
+            engine.execute(as_op(op)).unwrap();
+            model.apply(op);
+            if (i + 1) % epoch_ops == 0 {
+                boundary_models.push(model.clone());
+            }
+        }
+        prop_assert_eq!(engine.epoch(), 8, "auto-flush cadence");
+        drop(engine); // drains the pipeline: every frame is on disk
+
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        let ends = frame_ends(&bytes);
+        prop_assert_eq!(ends.len(), 9, "one frame per epoch, pipelined or not");
+        // Cut at aligned (frame-boundary) epochs, largest first so the
+        // file only ever shrinks.
+        let schedule = sfc_workloads::CrashSchedule::sample_aligned(8, 1, 4, &mut rng);
+        for &epoch_cut in schedule.points().iter().rev() {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .unwrap();
+            file.set_len(ends[epoch_cut]).unwrap();
+            drop(file);
+            let recovered = open_engine(&dir, "onion", 3);
+            prop_assert_eq!(
+                recovered.epoch(),
+                epoch_cut as u64,
+                "cut between frames at epoch {}",
+                epoch_cut
+            );
+            assert_state_equals_model(
+                &recovered,
+                &boundary_models[epoch_cut],
+                &format!("frame-boundary cut at epoch {epoch_cut}"),
+            );
+            drop(recovered);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// [`CrashSchedule::sample_aligned`] cuts a stream exactly between
+    /// epoch batches: every crash then loses *nothing* — the recovered
+    /// engine holds the full auto-flushed prefix, and epoch numbering
+    /// continues seamlessly across the crashes (the aligned twin of
+    /// `crash_schedule_recovers_auto_flushed_prefixes`, whose arbitrary
+    /// cuts lose the sub-epoch tail).
+    #[test]
+    fn aligned_crash_schedule_loses_no_epochs(seed in any::<u64>()) {
+        let dir = test_dir(&format!("aligned-schedule-{seed:x}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let epoch_ops = 8usize;
+        let stream = write_ops(&mut rng, 96);
+        let schedule = CrashSchedule::sample_aligned(stream.len(), epoch_ops, 3, &mut rng);
+        let mut model = Model::default();
+        let mut total_epochs = 0u64;
+        for run in schedule.segments(&stream) {
+            let engine = Engine::open(
+                &dir,
+                curve_2d("onion", SIDE).unwrap(),
+                DiskModel::ssd(),
+                2,
+                EngineConfig::with_epoch_ops(epoch_ops),
+            )
+            .unwrap();
+            prop_assert_eq!(engine.epoch(), total_epochs, "epoch numbering continues");
+            assert_state_equals_model(&engine, &model, "aligned post-recovery");
+            for op in run {
+                engine.execute(as_op(op)).unwrap();
+            }
+            // Runs start and end on epoch boundaries, so the only
+            // unflushed tail is the final run's remainder.
+            let committed = run.len() - run.len() % epoch_ops;
+            for op in &run[..committed] {
+                model.apply(op);
+            }
+            total_epochs += (run.len() / epoch_ops) as u64;
+            drop(engine); // crash between epoch batches
+        }
+        let survivor = open_engine(&dir, "onion", 2);
+        assert_state_equals_model(&survivor, &model, "aligned final recovery");
         drop(survivor);
         std::fs::remove_dir_all(&dir).unwrap();
     }

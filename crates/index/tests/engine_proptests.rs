@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use sfc_baselines::{curve_2d, CURVE_NAMES};
 use sfc_clustering::{RectQuery, ScratchPool};
 use sfc_index::{
-    BPlusTree, DiskModel, MemoryBackend, PagedBackend, Record, SfcTable, ShardedTable,
+    BPlusTree, BatchOp, DiskModel, MemoryBackend, PagedBackend, Record, SfcTable, ShardedTable,
 };
 use sfc_workloads::zipf_points;
 
@@ -302,6 +302,74 @@ proptest! {
             // The replay is fully absorbed by a pool larger than the table.
             prop_assert_eq!(warm.io.pages, 0, "{:?}", q);
             prop_assert_eq!(warm.io.cache_hits, cold.io.pages + cold.io.cache_hits);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// The parallel epoch apply is observationally identical to the
+    /// serial reference: for every registry curve and 1/2/5 shards, a
+    /// batch large enough to cross `apply_batch`'s thread threshold
+    /// returns the same displaced payloads (in submission order) and
+    /// lands both tables on the same record count and full-scan state as
+    /// [`ShardedTable::apply_batch_serial`] — including adversarial
+    /// same-point op chains, whose submission order parallelism must
+    /// never reorder.
+    #[test]
+    fn parallel_apply_matches_serial_for_every_curve(seed in any::<u64>()) {
+        let side = 16u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Well above the 1024-op parallel threshold, with heavy same-point
+        // traffic (the universe has only 256 cells).
+        let ops: Vec<BatchOp<2, u64>> = (0..2048)
+            .map(|i| {
+                let p = Point::new([
+                    rng.random_range(0..side),
+                    rng.random_range(0..side),
+                ]);
+                match rng.random_range(0..10u32) {
+                    0..=4 => BatchOp::Insert(p, i),
+                    5..=7 => BatchOp::Update(p, 1_000_000 + i),
+                    _ => BatchOp::Delete(p),
+                }
+            })
+            .collect();
+        for name in CURVE_NAMES {
+            for shards in [1usize, 2, 5] {
+                let parallel: ShardedTable<_, u64, 2> = ShardedTable::build(
+                    curve_2d(name, side).unwrap(),
+                    Vec::new(),
+                    DiskModel::ssd(),
+                    shards,
+                )
+                .unwrap();
+                let serial: ShardedTable<_, u64, 2> = ShardedTable::build(
+                    curve_2d(name, side).unwrap(),
+                    Vec::new(),
+                    DiskModel::ssd(),
+                    shards,
+                )
+                .unwrap();
+                let par_results = parallel.apply_batch_parallel(ops.clone()).unwrap();
+                let ser_results = serial.apply_batch_serial(ops.clone()).unwrap();
+                prop_assert_eq!(
+                    &par_results,
+                    &ser_results,
+                    "{} at {} shards: displaced payloads",
+                    name,
+                    shards
+                );
+                prop_assert_eq!(parallel.len(), serial.len(), "{} record count", name);
+                let q = RectQuery::new([0, 0], [side, side]).unwrap();
+                prop_assert_eq!(
+                    parallel.query_rect(&q).unwrap().records,
+                    serial.query_rect(&q).unwrap().records,
+                    "{} at {} shards: full-scan state",
+                    name,
+                    shards
+                );
+            }
         }
     }
 }

@@ -45,6 +45,31 @@ impl CrashSchedule {
         CrashSchedule { stream_len, points }
     }
 
+    /// Draws `crashes` distinct crash offsets that all land on multiples
+    /// of `stride` within `0..=stream_len`. With `stride` equal to an
+    /// engine's `epoch_ops`, every cut falls exactly *between* epoch
+    /// batches — the schedule for group-commit testing, where several
+    /// epoch frames ride one fsync and a crash must still recover an
+    /// epoch-boundary prefix, never a fused frame group.
+    ///
+    /// # Panics
+    /// If `stride` is zero.
+    pub fn sample_aligned<R: Rng>(
+        stream_len: usize,
+        stride: usize,
+        crashes: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        // Delegate the distinct-offset sampling to `sample` over the
+        // stride-compressed stream, then scale the offsets back up.
+        let compressed = Self::sample(stream_len / stride, crashes, rng);
+        CrashSchedule {
+            stream_len,
+            points: compressed.points.iter().map(|&p| p * stride).collect(),
+        }
+    }
+
     /// Builds a schedule from explicit offsets (deduplicated, sorted).
     ///
     /// # Panics
@@ -123,6 +148,20 @@ mod tests {
         assert_eq!(a.points().len(), 5, "collisions are redrawn, not dropped");
         assert!(a.points().windows(2).all(|w| w[0] < w[1]));
         assert!(a.points().iter().all(|&p| p <= 100));
+    }
+
+    #[test]
+    fn aligned_samples_land_on_stride_multiples() {
+        let s = CrashSchedule::sample_aligned(100, 8, 5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(s.points().len(), 5);
+        assert!(s.points().iter().all(|&p| p % 8 == 0 && p <= 100));
+        assert!(s.points().windows(2).all(|w| w[0] < w[1]));
+        // Deterministic under the seed, like `sample`.
+        let again = CrashSchedule::sample_aligned(100, 8, 5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(s, again);
+        // Saturates at the available multiples.
+        let tiny = CrashSchedule::sample_aligned(10, 4, 99, &mut StdRng::seed_from_u64(1));
+        assert_eq!(tiny.points(), &[0, 4, 8]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn main() {
         table.shard_count(),
         table.shard_sizes()
     );
-    let engine = Engine::new(table, EngineConfig { epoch_ops: 256 });
+    let engine = Engine::new(table, EngineConfig::with_epoch_ops(256));
 
     // A cold plan, before any feedback.
     let q = RectQuery::new([20, 20], [96, 96]).unwrap();
