@@ -25,7 +25,8 @@
 //!   kernel fails the gate even if nothing regressed) and are always
 //!   gated, `--deterministic-only` notwithstanding. CI watches
 //!   `engine/wal_commit` — the number the durability work exists to
-//!   move — so it can neither regress nor silently disappear.
+//!   move — plus the `batch/` and `curve_walk/` kernel families the
+//!   SIMD push optimized, so none can regress or silently disappear.
 //!
 //! Kernels present in only one file are reported and never fail the gate
 //! (new benches must be addable; retired ones removable) — unless a

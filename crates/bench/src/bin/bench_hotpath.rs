@@ -14,6 +14,7 @@
 use onion_core::{CurveWalk, Onion2D, Onion3D, Point, SpaceFillingCurve};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sfc_baselines::Morton;
 use sfc_bench::baseline::ScalarOnly;
 use sfc_bench::{print_table, Row};
 use sfc_clustering::{
@@ -21,7 +22,9 @@ use sfc_clustering::{
     ClusterScratch, RectQuery,
 };
 use sfc_engine::{CommitPolicy, Engine, EngineConfig, Op};
-use sfc_index::{DiskModel, LruBufferPool, Planner, SfcTable, ShardedTable};
+use sfc_index::{
+    BPlusTree, DiskModel, LruBufferPool, Planner, SfcTable, ShardedTable, DEFAULT_NODE_CAPACITY,
+};
 use sfc_workloads::{mixed_op_stream, zipf_points, OpMix};
 use std::time::Instant;
 
@@ -82,7 +85,15 @@ fn main() {
 
     let mut comparisons: Vec<Comparison> = Vec::new();
 
-    // Full-curve walks: per-index unrank vs. incremental stepper.
+    // Full-curve walks: per-index unrank (ScalarOnly inherits the default
+    // `fill_walk`, i.e. one unrank per cell) vs. the run-emitting batched
+    // walk — `CurveWalk` pulls 1024-cell chunks through `fill_walk`, and
+    // the onion overrides emit whole ring edges / 3D segments as counted
+    // loops (~1–2 ns/cell). This replaced the per-cell stepper, whose
+    // branchy successor was already ~3 ns/cell but paid a classification
+    // per step; a *branchless* successor was tried first and measured ~2x
+    // slower on walks (sequential steps are perfectly predicted, so the
+    // select chain's extra data dependencies were pure cost).
     {
         let onion = Onion2D::new(1 << 10).unwrap();
         let slow = ScalarOnly(onion);
@@ -168,8 +179,15 @@ fn main() {
     // FPU sqrt with an exact fixup (`isqrt_fast`, mirroring the 3D
     // curve's `icbrt`), which cut the *absolute* per-cell cost of both
     // sides: optimized_ns dropped from ~2.03ms to ~1.5ms for the 64k
-    // batch (the ratio stays near 1x by construction — the baseline
-    // unranks through the same kernel).
+    // batch. PR 6 made `unrank_in_perimeter` branch-free (random indices
+    // hit all four perimeter rules, so the old branches were unpredictable
+    // and cost ~10 ns/cell in mispredicts): ~1.5ms → ~0.8ms. The ratio
+    // still sits near 1x by construction — the baseline unranks through
+    // the same kernel — so the absolute number is the one this entry
+    // tracks. Two batch-side restructurings measured slower and were
+    // dropped: an 8-wide lane split of the sqrt (the FPU already pipelines
+    // independent iterations) and a fully branch-free ring-location fixup
+    // chain (loses to `isqrt_fast`'s never-taken predicted branches).
     {
         let side = 1u32 << 10;
         let curve: Box<dyn SpaceFillingCurve<2>> = Box::new(Onion2D::new(side).unwrap());
@@ -199,14 +217,51 @@ fn main() {
         });
     }
 
+    // 3D twin of the pair above: the layer location is an `icbrt` chain
+    // and the in-layer decode scans up to ten segments, so the kernel is
+    // heavier than 2D; the batch side lane-batches the cube-root part
+    // across chunks of eight indices.
+    {
+        let side = 1u32 << 6;
+        let curve: Box<dyn SpaceFillingCurve<3>> = Box::new(Onion3D::new(side).unwrap());
+        let n = curve.universe().cell_count();
+        let mut probe = 0x2545F4914F6CDD1Du64;
+        let indices: Vec<u64> = (0..(1 << 16))
+            .map(|_| {
+                probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1);
+                probe % n
+            })
+            .collect();
+        let mut out: Vec<Point<3>> = Vec::with_capacity(indices.len());
+        comparisons.push(Comparison {
+            name: "batch/fill_points/onion3d_dyn/64k",
+            baseline_ns: Some(time_ns(reps, || {
+                out.clear();
+                for &idx in &indices {
+                    out.push(curve.point_unchecked(idx));
+                }
+                out.len() as u64
+            })),
+            optimized_ns: time_ns(reps, || {
+                out.clear();
+                curve.fill_points(&indices, &mut out);
+                out.len() as u64
+            }),
+        });
+    }
+
     // Bulk keying, the stage SfcTable::build batches: one virtual call per
-    // record (ScalarOnly default through dyn) vs. one fill_indices batch.
+    // record through the dyn boundary vs. one fill_indices batch. This pair
+    // sat flat for several PRs (~1.0x) because the old baseline called
+    // `slow.fill_indices` — ONE virtual call whose ScalarOnly default then
+    // statically inlined the same rank kernel, so both sides compiled to
+    // the identical loop. The baseline now keys each record through the
+    // `dyn` pointer, which is what a non-batched build actually does.
     // Timed in isolation — a full build is dominated by clone + sort +
     // bulk-load, which would bury the keying kernel below noise.
     {
         let side = 1u32 << 8;
         let fast: Box<dyn SpaceFillingCurve<2>> = Box::new(Onion2D::new(side).unwrap());
-        let slow: Box<dyn SpaceFillingCurve<2>> = Box::new(ScalarOnly(Onion2D::new(side).unwrap()));
         let points: Vec<Point<2>> = (0..side)
             .flat_map(|x| (0..side).map(move |y| Point::new([x, y])))
             .collect();
@@ -215,7 +270,9 @@ fn main() {
             name: "index/bulk_keying/onion2d_dyn/65k",
             baseline_ns: Some(time_ns(reps * 4, || {
                 keys.clear();
-                slow.fill_indices(&points, &mut keys);
+                for &p in &points {
+                    keys.push(fast.index_unchecked(p));
+                }
                 keys.len() as u64
             })),
             optimized_ns: time_ns(reps * 4, || {
@@ -225,6 +282,71 @@ fn main() {
             }),
         });
     }
+
+    // Bulk keying through a bit-parallel curve: the onion pair above stays
+    // near 1.0x because its rank kernel is ~3 ns/cell scalar either way,
+    // but for Morton the batch path swaps the per-bit/magic-mask interleave
+    // for one BMI2 `pdep` per coordinate — this is the pair that shows what
+    // routing `SfcTable::build` keying through `fill_indices` buys.
+    {
+        let side = 1u32 << 8;
+        let fast: Box<dyn SpaceFillingCurve<2>> = Box::new(Morton::<2>::new(side).unwrap());
+        let points: Vec<Point<2>> = (0..side)
+            .flat_map(|x| (0..side).map(move |y| Point::new([x, y])))
+            .collect();
+        let mut keys: Vec<u64> = Vec::with_capacity(points.len());
+        comparisons.push(Comparison {
+            name: "index/bulk_keying/morton2d_dyn/65k",
+            baseline_ns: Some(time_ns(reps * 4, || {
+                keys.clear();
+                for &p in &points {
+                    keys.push(fast.index_unchecked(p));
+                }
+                keys.len() as u64
+            })),
+            optimized_ns: time_ns(reps * 4, || {
+                keys.clear();
+                fast.fill_indices(&points, &mut keys);
+                keys.len() as u64
+            }),
+        });
+    }
+    // Leaf-chain range scan with software prefetch: the tree is grown by
+    // 64k random-order inserts, so the linked leaves are scattered through
+    // the node arena in split order and every `next` hop is a
+    // data-dependent cache miss the hardware prefetcher cannot predict.
+    // `scan_range` hints the next leaf one leaf early;
+    // `scan_range_reference` is the pinned no-prefetch twin with identical
+    // visiting semantics.
+    {
+        let mut probe = 0xD1B54A32D192ED03u64;
+        let mut tree: BPlusTree<u64> = BPlusTree::new(DEFAULT_NODE_CAPACITY);
+        for _ in 0..(1 << 16) {
+            probe = probe
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            tree.insert(probe, probe >> 32);
+        }
+        let mut acc = 0u64;
+        comparisons.push(Comparison {
+            name: "index/scan_range/prefetch/scatter64k",
+            baseline_ns: Some(time_ns(reps * 2, || {
+                acc = 0;
+                tree.scan_range_reference(0, u64::MAX, &mut |_| {}, &mut |k, v| {
+                    acc = acc.wrapping_add(k ^ v);
+                });
+                acc
+            })),
+            optimized_ns: time_ns(reps * 2, || {
+                acc = 0;
+                tree.scan_range(0, u64::MAX, &mut |_| {}, &mut |k, v| {
+                    acc = acc.wrapping_add(k ^ v);
+                });
+                acc
+            }),
+        });
+    }
+
     // Sanity anchor: the end-to-end table build these keys feed (timing
     // only — clone + sort + bulk-load dominate, so no pair is claimed).
     {

@@ -100,6 +100,31 @@ pub trait SpaceFillingCurve<const D: usize> {
         }
     }
 
+    /// Batch walk: appends the `count` consecutive cells `π⁻¹(start_idx),
+    /// …, π⁻¹(start_idx + count − 1)` to `out`, in curve order.
+    ///
+    /// The default unranks the first cell and advances with
+    /// [`Self::successor_unchecked`]. Curves whose order decomposes into
+    /// straight runs (the onion family: ring edges, layer segments)
+    /// override it to emit whole runs as counted loops — no per-cell
+    /// classification at all — which is what makes the buffered
+    /// [`CurveWalk`] fast.
+    ///
+    /// Callers must guarantee `start_idx + count ≤ n`.
+    fn fill_walk(&self, start_idx: u64, count: usize, out: &mut Vec<Point<D>>) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(start_idx + count as u64 <= self.universe().cell_count());
+        out.reserve(count);
+        let mut p = self.point_unchecked(start_idx);
+        out.push(p);
+        for idx in start_idx..start_idx + (count as u64 - 1) {
+            p = self.successor_unchecked(p, idx);
+            out.push(p);
+        }
+    }
+
     /// The cell following `p` on the curve: `π⁻¹(idx + 1)`, where
     /// `idx = π(p)` is supplied by the caller.
     ///
@@ -157,6 +182,9 @@ macro_rules! forward_sfc_impl {
         }
         fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
             (**self).fill_points(indices, out)
+        }
+        fn fill_walk(&self, start_idx: u64, count: usize, out: &mut Vec<Point<D>>) {
+            (**self).fill_walk(start_idx, count, out)
         }
         fn successor_unchecked(&self, p: Point<D>, idx: u64) -> Point<D> {
             (**self).successor_unchecked(p, idx)
@@ -247,23 +275,39 @@ impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> CurveStepper<'a, C, D
     }
 }
 
+/// Cells fetched per [`SpaceFillingCurve::fill_walk`] refill of a
+/// [`CurveWalk`] buffer: large enough to amortize the per-chunk call (one
+/// virtual dispatch per chunk for `dyn` callers) and let run-emitting
+/// walks run whole edges, small enough that the buffer stays in L1.
+const WALK_CHUNK: usize = 1024;
+
 /// Iterator over the cells of a curve in curve order (`π⁻¹(0), π⁻¹(1), …`).
 ///
-/// Backed by [`CurveStepper`], so full walks of onion curves advance in
-/// `O(1)` per cell rather than paying an integer square root per unrank.
+/// Pulls cells in [`WALK_CHUNK`]-sized batches through
+/// [`SpaceFillingCurve::fill_walk`], so full walks of onion curves cost a
+/// counted run-emission loop per ring edge or segment — not even a
+/// classification per cell — and other curves still amortize dispatch to
+/// one call per chunk.
 #[derive(Clone, Debug)]
 pub struct CurveWalk<'a, C: ?Sized, const D: usize> {
-    stepper: CurveStepper<'a, C, D>,
-    /// Whether the stepper's current position has already been yielded.
-    started: bool,
+    curve: &'a C,
+    cells: u64,
+    /// Next curve index to fetch into the buffer.
+    next_idx: u64,
+    buf: Vec<Point<D>>,
+    /// Read cursor into `buf`.
+    pos: usize,
 }
 
 impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> CurveWalk<'a, C, D> {
     /// Creates a walk over the whole curve.
     pub fn new(curve: &'a C) -> Self {
         CurveWalk {
-            stepper: CurveStepper::new(curve),
-            started: false,
+            cells: curve.universe().cell_count(),
+            curve,
+            next_idx: 0,
+            buf: Vec::new(),
+            pos: 0,
         }
     }
 }
@@ -273,18 +317,28 @@ impl<'a, const D: usize, C: SpaceFillingCurve<D> + ?Sized> Iterator for CurveWal
 
     #[inline]
     fn next(&mut self) -> Option<Point<D>> {
-        if !self.started {
-            self.started = true;
-            Some(self.stepper.point())
-        } else if self.stepper.advance() {
-            Some(self.stepper.point())
-        } else {
-            None
+        if self.pos == self.buf.len() {
+            if self.next_idx >= self.cells {
+                return None;
+            }
+            let take = (self.cells - self.next_idx).min(WALK_CHUNK as u64) as usize;
+            self.buf.clear();
+            self.curve.fill_walk(self.next_idx, take, &mut self.buf);
+            debug_assert_eq!(
+                self.buf.len(),
+                take,
+                "fill_walk must append exactly `count` cells"
+            );
+            self.next_idx += take as u64;
+            self.pos = 0;
         }
+        let p = self.buf[self.pos];
+        self.pos += 1;
+        Some(p)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = (self.stepper.cells - self.stepper.index - u64::from(self.started)) as usize;
+        let rem = (self.cells - self.next_idx) as usize + (self.buf.len() - self.pos);
         (rem, Some(rem))
     }
 }

@@ -1,0 +1,227 @@
+//! Exact integer roots via the FPU, shared by the onion curves' unrank
+//! kernels.
+//!
+//! Every function here returns the *exact* floor root for every `u64` input:
+//! the FPU supplies a candidate within a few units of the true root in one
+//! or two instructions, and an integer fixup (exact in `u128`, so powers can
+//! never overflow) settles the boundary cases. The fixup loops run at most
+//! once on the dominant `< 2^53` path, where the `u64 → f64` conversion is
+//! lossless and `sqrt` is correctly rounded.
+//!
+//! These sit on the unrank hot path — one root per
+//! [`crate::onion2d::unrank_in_square`] / 3D layer location — which is what
+//! bulk inverse mapping (`fill_points`) is made of, so `Onion2D/3D/ND`
+//! lane-batch them across chunks of indices to let the FPU pipeline the
+//! root instructions.
+
+/// Integer square root: the largest `r` with `r² ≤ x`.
+///
+/// `f64` sqrt is a single instruction, so this beats the software
+/// `u64::isqrt` loop severalfold.
+#[inline]
+pub fn isqrt_fast(x: u64) -> u64 {
+    if x < (1u64 << 53) {
+        // The conversion is exact and `sqrt` is correctly rounded, so the
+        // truncated candidate is within one of the floor root — one
+        // branch fixes it, and every square here fits u64. This is the
+        // path every realistic universe takes (sides up to ~2²⁶).
+        let mut r = (x as f64).sqrt() as u64;
+        if r * r > x {
+            r -= 1;
+        } else if (r + 1) * (r + 1) <= x {
+            r += 1;
+        }
+        r
+    } else {
+        // Huge inputs: the u64→f64 conversion itself rounds, so the
+        // candidate can be several ulps off; fix up exactly in u128 so
+        // the square can never overflow.
+        let mut r = (x as f64).sqrt() as u64;
+        while r > 0 && u128::from(r) * u128::from(r) > u128::from(x) {
+            r -= 1;
+        }
+        while u128::from(r + 1) * u128::from(r + 1) <= u128::from(x) {
+            r += 1;
+        }
+        r
+    }
+}
+
+/// Integer cube root: the largest `r` with `r³ ≤ x`.
+#[inline]
+pub fn icbrt_fast(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    let mut r = (x as f64).cbrt() as u64;
+    // Float rounding can be off by one in either direction; fix up exactly
+    // in u128 so the cube can never overflow.
+    while r > 0 && u128::from(r).pow(3) > u128::from(x) {
+        r -= 1;
+    }
+    while u128::from(r + 1).pow(3) <= u128::from(x) {
+        r += 1;
+    }
+    r
+}
+
+/// Whether `base^d > x`, computed without overflow (early exit keeps the
+/// accumulator within `x · base < 2^128`).
+#[inline]
+fn pow_gt(base: u64, d: u32, x: u64) -> bool {
+    let mut acc = 1u128;
+    for _ in 0..d {
+        acc *= u128::from(base);
+        if acc > u128::from(x) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Integer `d`-th root: the largest `r` with `r^d ≤ x` (`d ≥ 1`).
+///
+/// Dispatches to [`isqrt_fast`] / [`icbrt_fast`] for the common dimensions;
+/// higher roots take an `x^(1/d)` FPU candidate plus the exact fixup.
+#[inline]
+pub fn iroot_fast(x: u64, d: u32) -> u64 {
+    debug_assert!(d >= 1, "0th root is undefined");
+    match d {
+        1 => x,
+        2 => isqrt_fast(x),
+        3 => icbrt_fast(x),
+        _ => {
+            if x == 0 {
+                return 0;
+            }
+            let mut r = (x as f64).powf(1.0 / f64::from(d)) as u64;
+            while r > 0 && pow_gt(r, d, x) {
+                r -= 1;
+            }
+            while !pow_gt(r + 1, d, x) {
+                r += 1;
+            }
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_fast_exact_values() {
+        assert_eq!(isqrt_fast(0), 0);
+        assert_eq!(isqrt_fast(1), 1);
+        assert_eq!(isqrt_fast(3), 1);
+        assert_eq!(isqrt_fast(4), 2);
+        assert_eq!(isqrt_fast(u64::MAX), (1u64 << 32) - 1);
+        for r in [1u64, 2, 1000, 1 << 20, (1 << 32) - 2] {
+            assert_eq!(isqrt_fast(r * r), r);
+            assert_eq!(isqrt_fast(r * r - 1), r - 1);
+            assert_eq!(isqrt_fast(r * r + 1), r);
+        }
+        // Agreement with the software root across a dense small range and
+        // a coarse sweep of the full domain.
+        for x in 0..4096u64 {
+            assert_eq!(isqrt_fast(x), x.isqrt());
+        }
+        for x in (0..u64::MAX - (1 << 58)).step_by(1 << 58) {
+            assert_eq!(isqrt_fast(x), x.isqrt());
+        }
+    }
+
+    #[test]
+    fn isqrt_fast_u64_boundaries() {
+        // Around the 2^53 exact-conversion cliff and the top of the domain.
+        for x in (1u64 << 53) - 64..(1u64 << 53) + 64 {
+            assert_eq!(isqrt_fast(x), x.isqrt(), "x = {x}");
+        }
+        for x in u64::MAX - 64..=u64::MAX {
+            assert_eq!(isqrt_fast(x), x.isqrt(), "x = {x}");
+        }
+        // Around every power-of-two square root boundary.
+        for b in 1..32u32 {
+            let r = 1u64 << b;
+            for x in [r * r - 1, r * r, r * r + 1] {
+                assert_eq!(isqrt_fast(x), x.isqrt(), "x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn icbrt_fast_exact_values() {
+        assert_eq!(icbrt_fast(0), 0);
+        assert_eq!(icbrt_fast(1), 1);
+        assert_eq!(icbrt_fast(7), 1);
+        assert_eq!(icbrt_fast(8), 2);
+        assert_eq!(icbrt_fast(26), 2);
+        assert_eq!(icbrt_fast(27), 3);
+        assert_eq!(icbrt_fast(u64::MAX), 2_642_245);
+        for r in [5u64, 100, 1023, 1 << 20] {
+            assert_eq!(icbrt_fast(r * r * r), r);
+            assert_eq!(icbrt_fast(r * r * r - 1), r - 1);
+            assert_eq!(icbrt_fast(r * r * r + 1), r);
+        }
+    }
+
+    #[test]
+    fn icbrt_fast_u64_boundaries() {
+        // Every cube boundary of the achievable root range (≤ 2_642_245),
+        // sampled geometrically, plus the top of the domain.
+        let mut r = 1u64;
+        while r <= 2_642_245 {
+            let c = r * r * r;
+            assert_eq!(icbrt_fast(c - 1), r - 1, "r = {r}");
+            assert_eq!(icbrt_fast(c), r, "r = {r}");
+            assert_eq!(icbrt_fast(c + 1), r, "r = {r}");
+            r = (r * 3) / 2 + 1;
+        }
+        let top = 2_642_245u64;
+        assert_eq!(icbrt_fast(top * top * top), top);
+        assert_eq!(icbrt_fast(top * top * top - 1), top - 1);
+        for x in u64::MAX - 16..=u64::MAX {
+            assert_eq!(icbrt_fast(x), top, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn iroot_fast_matches_brute_force() {
+        let brute = |x: u64, d: u32| -> u64 {
+            let mut r = 0u64;
+            while !pow_gt(r + 1, d, x) {
+                r += 1;
+            }
+            r
+        };
+        for d in 1..=8u32 {
+            for x in 0..512u64 {
+                assert_eq!(iroot_fast(x, d), brute(x, d), "x = {x}, d = {d}");
+            }
+        }
+        // Exact powers and their neighbors across dimensions.
+        for d in 4..=10u32 {
+            for r in 1..=16u64 {
+                let p = r.pow(d);
+                assert_eq!(iroot_fast(p, d), r, "r = {r}, d = {d}");
+                assert_eq!(iroot_fast(p - 1, d), r - 1, "r = {r}, d = {d}");
+                assert_eq!(iroot_fast(p + 1, d), r, "r = {r}, d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn iroot_fast_u64_boundaries() {
+        assert_eq!(iroot_fast(u64::MAX, 1), u64::MAX);
+        for d in 2..=16u32 {
+            let r = iroot_fast(u64::MAX, d);
+            assert!(!pow_gt(r, d, u64::MAX), "r^d must not exceed the input");
+            assert!(pow_gt(r + 1, d, u64::MAX), "root must be maximal (d = {d})");
+        }
+        assert_eq!(iroot_fast(u64::MAX, 64), 1);
+        assert_eq!(iroot_fast(u64::MAX, 2), (1u64 << 32) - 1);
+        assert_eq!(iroot_fast(0, 7), 0);
+        assert_eq!(iroot_fast(1, 7), 1);
+    }
+}

@@ -42,12 +42,14 @@ mod point;
 mod universe;
 
 pub mod curve;
+pub mod fastmath;
 pub mod onion2d;
 pub mod onion3d;
 pub mod onion_nd;
 
 pub use curve::{edges, CurveStepper, CurveWalk, SpaceFillingCurve};
 pub use error::SfcError;
+pub use fastmath::{icbrt_fast, iroot_fast, isqrt_fast};
 pub use onion2d::Onion2D;
 pub use onion3d::{Onion3D, Segment3D};
 pub use onion_nd::OnionNd;

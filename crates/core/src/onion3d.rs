@@ -12,29 +12,13 @@
 
 use crate::curve::SpaceFillingCurve;
 use crate::error::SfcError;
+use crate::fastmath::icbrt_fast;
 use crate::onion2d::{
-    last_in_square, predecessor_in_square, rank_in_square, successor_in_square, unrank_in_square,
+    for_each_in_square_walk, last_in_square, predecessor_in_square, rank_in_square,
+    successor_in_square, unrank_in_square,
 };
 use crate::point::Point;
 use crate::universe::Universe;
-
-/// Integer cube root: the largest `r` with `r³ ≤ x`.
-#[inline]
-pub(crate) fn icbrt(x: u64) -> u64 {
-    if x == 0 {
-        return 0;
-    }
-    let mut r = (x as f64).cbrt() as u64;
-    // Float rounding can be off by one in either direction; fix up exactly
-    // in u128 so the cube can never overflow.
-    while r > 0 && u128::from(r).pow(3) > u128::from(x) {
-        r -= 1;
-    }
-    while u128::from(r + 1).pow(3) <= u128::from(x) {
-        r += 1;
-    }
-    r
-}
 
 /// Segment identifier within a layer (the paper's `g ∈ {1, …, 10}`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -149,44 +133,173 @@ impl Onion3D {
         self.order
     }
 
-    /// Layer (1-based), segment, and in-segment rank of a cell — the paper's
-    /// triple key `(t', g', r')`.
-    pub fn triple_key(&self, p: Point<3>) -> (u32, Segment3D, u64) {
+    /// Layer, remaining-sub-cube side, and segment of a cell: the triple key
+    /// *without* the in-segment rank. This is the stepping fast path's
+    /// classifier — pure coordinate comparisons, no [`rank_in_square`].
+    #[inline]
+    fn segment_of(&self, p: Point<3>) -> (u32, u32, Segment3D) {
         let side = self.universe.side();
         let t = self.universe.layer_of(p);
         let s = side - 2 * (t - 1);
-        let (a, b, c) = (p.0[0] - (t - 1), p.0[1] - (t - 1), p.0[2] - (t - 1));
         if s == 1 {
-            return (t, Segment3D::LowFaceI, 0);
+            return (t, s, Segment3D::LowFaceI);
         }
+        let (a, b, c) = (p.0[0] - (t - 1), p.0[1] - (t - 1), p.0[2] - (t - 1));
         let e = s - 1;
-        let (seg, r) = if a == 0 {
-            (Segment3D::LowFaceI, rank_in_square(s, b, c))
+        let seg = if a == 0 {
+            Segment3D::LowFaceI
         } else if a == e {
-            (Segment3D::HighFaceI, rank_in_square(s, b, c))
+            Segment3D::HighFaceI
         } else if b == 0 {
             if c == 0 {
-                (Segment3D::LineLowJLowK, u64::from(a - 1))
+                Segment3D::LineLowJLowK
             } else if c == e {
-                (Segment3D::LineLowJHighK, u64::from(a - 1))
+                Segment3D::LineLowJHighK
             } else {
-                (Segment3D::PlaneLowJ, rank_in_square(s - 2, a - 1, c - 1))
+                Segment3D::PlaneLowJ
             }
         } else if b == e {
             if c == 0 {
-                (Segment3D::LineHighJLowK, u64::from(a - 1))
+                Segment3D::LineHighJLowK
             } else if c == e {
-                (Segment3D::LineHighJHighK, u64::from(a - 1))
+                Segment3D::LineHighJHighK
             } else {
-                (Segment3D::PlaneHighJ, rank_in_square(s - 2, a - 1, c - 1))
+                Segment3D::PlaneHighJ
             }
         } else if c == 0 {
-            (Segment3D::PlaneLowK, rank_in_square(s - 2, a - 1, b - 1))
+            Segment3D::PlaneLowK
         } else {
             debug_assert_eq!(c, e, "cell not on the layer shell");
-            (Segment3D::PlaneHighK, rank_in_square(s - 2, a - 1, b - 1))
+            Segment3D::PlaneHighK
+        };
+        (t, s, seg)
+    }
+
+    /// Layer (1-based), segment, and in-segment rank of a cell — the paper's
+    /// triple key `(t', g', r')`.
+    pub fn triple_key(&self, p: Point<3>) -> (u32, Segment3D, u64) {
+        let (t, s, seg) = self.segment_of(p);
+        if s == 1 {
+            return (t, seg, 0);
+        }
+        let (a, b, c) = (p.0[0] - (t - 1), p.0[1] - (t - 1), p.0[2] - (t - 1));
+        let r = match seg {
+            Segment3D::LowFaceI | Segment3D::HighFaceI => rank_in_square(s, b, c),
+            Segment3D::LineLowJLowK
+            | Segment3D::LineLowJHighK
+            | Segment3D::LineHighJLowK
+            | Segment3D::LineHighJHighK => u64::from(a - 1),
+            Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => rank_in_square(s - 2, a - 1, c - 1),
+            Segment3D::PlaneLowK | Segment3D::PlaneHighK => rank_in_square(s - 2, a - 1, b - 1),
         };
         (t, seg, r)
+    }
+
+    /// Layer (1-based) and remaining-sub-cube side holding curve position
+    /// `idx`: the smallest `s` of the universe's parity with `s³ ≥ n − idx`.
+    /// Branch-free around [`icbrt_fast`], so [`Self::fill_points`] can run it
+    /// across lanes.
+    #[inline]
+    fn locate_layer(&self, idx: u64) -> (u32, u32) {
+        let side = self.universe.side();
+        let rem = self.universe.cell_count() - idx;
+        let mut s = icbrt_fast(rem) as u32;
+        s += u32::from(u64::from(s).pow(3) < rem);
+        s += (s ^ side) & 1;
+        debug_assert!(s >= 1 && s <= side);
+        ((side - s) / 2 + 1, s)
+    }
+
+    /// Decodes in-layer position `local` of layer `t` (remaining side `s`):
+    /// the segment scan of the paper's inverse mapping.
+    fn unrank_in_layer(&self, t: u32, s: u32, mut local: u64) -> Point<3> {
+        let lo = t - 1;
+        if s == 1 {
+            return Point::new([lo, lo, lo]);
+        }
+        let hi = lo + s - 1;
+        for seg in self.order {
+            let size = seg.size(s);
+            if local >= size {
+                local -= size;
+                continue;
+            }
+            let p = match seg {
+                Segment3D::LowFaceI | Segment3D::HighFaceI => {
+                    let (b, c) = unrank_in_square(s, local);
+                    let a = if seg == Segment3D::LowFaceI { lo } else { hi };
+                    Point::new([a, b + lo, c + lo])
+                }
+                Segment3D::LineLowJLowK => Point::new([lo + 1 + local as u32, lo, lo]),
+                Segment3D::LineLowJHighK => Point::new([lo + 1 + local as u32, lo, hi]),
+                Segment3D::LineHighJLowK => Point::new([lo + 1 + local as u32, hi, lo]),
+                Segment3D::LineHighJHighK => Point::new([lo + 1 + local as u32, hi, hi]),
+                Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => {
+                    let (a, c) = unrank_in_square(s - 2, local);
+                    let b = if seg == Segment3D::PlaneLowJ { lo } else { hi };
+                    Point::new([a + lo + 1, b, c + lo + 1])
+                }
+                Segment3D::PlaneLowK | Segment3D::PlaneHighK => {
+                    let (a, b) = unrank_in_square(s - 2, local);
+                    let c = if seg == Segment3D::PlaneLowK { lo } else { hi };
+                    Point::new([a + lo + 1, b + lo + 1, c])
+                }
+            };
+            return p;
+        }
+        unreachable!("position {local} not inside layer {t}")
+    }
+
+    /// Emits the `take` cells of segment `seg` in layer `t` (remaining side
+    /// `s ≥ 2`) starting at in-segment rank `r`, as counted runs: lines are
+    /// one straight run, faces and planes run the 2D square walk
+    /// ([`for_each_in_square_walk`]) over their free coordinates.
+    fn emit_segment(
+        &self,
+        t: u32,
+        s: u32,
+        seg: Segment3D,
+        r: u64,
+        take: usize,
+        out: &mut Vec<Point<3>>,
+    ) {
+        let lo = t - 1;
+        let hi = lo + s - 1;
+        match seg {
+            Segment3D::LowFaceI | Segment3D::HighFaceI => {
+                let a = if seg == Segment3D::LowFaceI { lo } else { hi };
+                for_each_in_square_walk(s, r, take, |b, c| {
+                    out.push(Point::new([a, b + lo, c + lo]));
+                });
+            }
+            Segment3D::LineLowJLowK
+            | Segment3D::LineLowJHighK
+            | Segment3D::LineHighJLowK
+            | Segment3D::LineHighJHighK => {
+                let (j, k) = match seg {
+                    Segment3D::LineLowJLowK => (lo, lo),
+                    Segment3D::LineLowJHighK => (lo, hi),
+                    Segment3D::LineHighJLowK => (hi, lo),
+                    _ => (hi, hi),
+                };
+                let x0 = lo + 1 + r as u32;
+                for i in 0..take as u32 {
+                    out.push(Point::new([x0 + i, j, k]));
+                }
+            }
+            Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => {
+                let b = if seg == Segment3D::PlaneLowJ { lo } else { hi };
+                for_each_in_square_walk(s - 2, r, take, |a, c| {
+                    out.push(Point::new([a + lo + 1, b, c + lo + 1]));
+                });
+            }
+            Segment3D::PlaneLowK | Segment3D::PlaneHighK => {
+                let c = if seg == Segment3D::PlaneLowK { lo } else { hi };
+                for_each_in_square_walk(s - 2, r, take, |a, b| {
+                    out.push(Point::new([a + lo + 1, b + lo + 1, c]));
+                });
+            }
+        }
     }
 
     /// First cell (in curve order) of segment `seg` in layer `t`, if the
@@ -279,56 +392,11 @@ impl SpaceFillingCurve<3> for Onion3D {
 
     #[inline]
     fn point_unchecked(&self, idx: u64) -> Point<3> {
-        let side = self.universe.side();
-        let n = self.universe.cell_count();
         // Locate the layer: cells at positions >= idx fill the sub-cube of
         // the smallest side `s` (parity of `side`) with s³ ≥ n − idx.
-        let rem = n - idx;
-        let mut s = icbrt(rem) as u32;
-        if u64::from(s).pow(3) < rem {
-            s += 1;
-        }
-        if (s % 2) != (side % 2) {
-            s += 1;
-        }
-        debug_assert!(s >= 1 && s <= side);
-        let t = (side - s) / 2 + 1;
-        let mut local = idx - self.universe.cells_before_layer(t);
-        let lo = t - 1;
-        if s == 1 {
-            return Point::new([lo, lo, lo]);
-        }
-        let hi = lo + s - 1;
-        for seg in self.order {
-            let size = seg.size(s);
-            if local >= size {
-                local -= size;
-                continue;
-            }
-            let p = match seg {
-                Segment3D::LowFaceI | Segment3D::HighFaceI => {
-                    let (b, c) = unrank_in_square(s, local);
-                    let a = if seg == Segment3D::LowFaceI { lo } else { hi };
-                    Point::new([a, b + lo, c + lo])
-                }
-                Segment3D::LineLowJLowK => Point::new([lo + 1 + local as u32, lo, lo]),
-                Segment3D::LineLowJHighK => Point::new([lo + 1 + local as u32, lo, hi]),
-                Segment3D::LineHighJLowK => Point::new([lo + 1 + local as u32, hi, lo]),
-                Segment3D::LineHighJHighK => Point::new([lo + 1 + local as u32, hi, hi]),
-                Segment3D::PlaneLowJ | Segment3D::PlaneHighJ => {
-                    let (a, c) = unrank_in_square(s - 2, local);
-                    let b = if seg == Segment3D::PlaneLowJ { lo } else { hi };
-                    Point::new([a + lo + 1, b, c + lo + 1])
-                }
-                Segment3D::PlaneLowK | Segment3D::PlaneHighK => {
-                    let (a, b) = unrank_in_square(s - 2, local);
-                    let c = if seg == Segment3D::PlaneLowK { lo } else { hi };
-                    Point::new([a + lo + 1, b + lo + 1, c])
-                }
-            };
-            return p;
-        }
-        unreachable!("index {idx} not inside layer {t}")
+        let (t, s) = self.locate_layer(idx);
+        let local = idx - self.universe.cells_before_layer(t);
+        self.unrank_in_layer(t, s, local)
     }
 
     fn name(&self) -> &str {
@@ -347,11 +415,64 @@ impl SpaceFillingCurve<3> for Onion3D {
         }
     }
 
-    /// Batch inverse mapping: statically dispatched unranking.
+    /// Lane-batched inverse mapping: layer location (the cube-root-carrying
+    /// part) runs branch-free across chunks of eight indices so the FPU
+    /// pipelines the root computations, then the segment scans decode each
+    /// lane.
     fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<3>>) {
         out.reserve(indices.len());
-        for &idx in indices {
-            out.push(Onion3D::point_unchecked(self, idx));
+        const LANES: usize = 8;
+        let mut layer = [(0u32, 0u32); LANES];
+        for chunk in indices.chunks(LANES) {
+            for (lane, &idx) in layer.iter_mut().zip(chunk) {
+                *lane = self.locate_layer(idx);
+            }
+            for (&(t, s), &idx) in layer.iter().zip(chunk) {
+                let local = idx - self.universe.cells_before_layer(t);
+                out.push(self.unrank_in_layer(t, s, local));
+            }
+        }
+    }
+
+    /// Run-emitting walk: one `locate_layer` (cube root) for the whole span,
+    /// then segments stream out as counted runs — straight lines, and square
+    /// perimeter walks for faces/planes — instead of per-cell stepping.
+    fn fill_walk(&self, start_idx: u64, count: usize, out: &mut Vec<Point<3>>) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(start_idx + count as u64 <= self.universe.cell_count());
+        out.reserve(count);
+        let (mut t, mut s) = self.locate_layer(start_idx);
+        let mut local = start_idx - self.universe.cells_before_layer(t);
+        let mut remaining = count;
+        'walk: while remaining > 0 {
+            if s == 1 {
+                // Central cell of an odd-sided cube: the curve's last cell.
+                let lo = t - 1;
+                out.push(Point::new([lo, lo, lo]));
+                remaining -= 1;
+                debug_assert_eq!(remaining, 0, "walk ran past the last cell");
+                break;
+            }
+            for seg in self.order {
+                let size = seg.size(s);
+                if local >= size {
+                    local -= size;
+                    continue;
+                }
+                let take = remaining.min((size - local) as usize);
+                self.emit_segment(t, s, seg, local, take, out);
+                remaining -= take;
+                if remaining == 0 {
+                    break 'walk;
+                }
+                local = 0;
+            }
+            debug_assert!(s > 2, "walk ran past the last layer");
+            t += 1;
+            s -= 2;
+            local = 0;
         }
     }
 
@@ -362,10 +483,12 @@ impl SpaceFillingCurve<3> for Onion3D {
     fn successor_unchecked(&self, p: Point<3>, idx: u64) -> Point<3> {
         debug_assert_eq!(Onion3D::index_unchecked(self, p), idx);
         debug_assert!(idx + 1 < self.universe.cell_count());
-        let (t, seg, r) = self.triple_key(p);
-        let s = self.universe.layer_side(t);
+        // Segment classification is pure coordinate comparisons, and "not
+        // the segment's last cell" is a closed-form point equality — the
+        // common in-segment step never ranks (no `rank_in_square`).
+        let (t, s, seg) = self.segment_of(p);
         let lo = t - 1;
-        if s > 1 && r + 1 < seg.size(s) {
+        if s > 1 && self.segment_last_cell(t, seg) != Some(p) {
             return match seg {
                 Segment3D::LowFaceI | Segment3D::HighFaceI => {
                     let (b, c) = successor_in_square(s, p.0[1] - lo, p.0[2] - lo);
@@ -414,10 +537,11 @@ impl SpaceFillingCurve<3> for Onion3D {
     fn predecessor_unchecked(&self, p: Point<3>, idx: u64) -> Point<3> {
         debug_assert_eq!(Onion3D::index_unchecked(self, p), idx);
         debug_assert!(idx >= 1);
-        let (t, seg, r) = self.triple_key(p);
-        let s = self.universe.layer_side(t);
+        // Mirror of `successor_unchecked`: rank-free classification plus a
+        // closed-form first-cell equality test.
+        let (t, s, seg) = self.segment_of(p);
         let lo = t - 1;
-        if s > 1 && r > 0 {
+        if s > 1 && self.segment_first_cell(t, seg) != Some(p) {
             return match seg {
                 Segment3D::LowFaceI | Segment3D::HighFaceI => {
                     let (b, c) = predecessor_in_square(s, p.0[1] - lo, p.0[2] - lo);
@@ -494,19 +618,43 @@ mod tests {
     use super::*;
     use crate::curve::verify;
 
+    /// The segment-run `fill_walk` must agree with the scalar unrank loop
+    /// for every start position and a spread of window lengths, for both
+    /// cube parities.
     #[test]
-    fn icbrt_exact_values() {
-        assert_eq!(icbrt(0), 0);
-        assert_eq!(icbrt(1), 1);
-        assert_eq!(icbrt(7), 1);
-        assert_eq!(icbrt(8), 2);
-        assert_eq!(icbrt(26), 2);
-        assert_eq!(icbrt(27), 3);
-        assert_eq!(icbrt(u64::MAX), 2_642_245);
-        for r in [5u64, 100, 1023, 1 << 20] {
-            assert_eq!(icbrt(r * r * r), r);
-            assert_eq!(icbrt(r * r * r - 1), r - 1);
-            assert_eq!(icbrt(r * r * r + 1), r);
+    fn fill_walk_matches_unrank_windows() {
+        for side in [1u32, 2, 3, 4, 5, 6, 7] {
+            let o = Onion3D::new(side).unwrap();
+            let n = o.universe().cell_count();
+            let all: Vec<Point<3>> = (0..n).map(|i| o.point_unchecked(i)).collect();
+            for start in 0..n {
+                for len in [0, 1, 2, 11, n - start] {
+                    let len = len.min(n - start) as usize;
+                    let mut got = Vec::new();
+                    o.fill_walk(start, len, &mut got);
+                    assert_eq!(
+                        got.as_slice(),
+                        &all[start as usize..start as usize + len],
+                        "side {side} start {start} len {len}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `fill_walk` honors a permuted segment order, not just the default.
+    #[test]
+    fn fill_walk_respects_segment_order() {
+        let mut order = Segment3D::ALL;
+        order.reverse();
+        let o = Onion3D::with_segment_order(6, order).unwrap();
+        let n = o.universe().cell_count();
+        let all: Vec<Point<3>> = (0..n).map(|i| o.point_unchecked(i)).collect();
+        for start in [0, 1, 35, 99, n - 1] {
+            let len = (n - start) as usize;
+            let mut got = Vec::new();
+            o.fill_walk(start, len, &mut got);
+            assert_eq!(got.as_slice(), &all[start as usize..], "start {start}");
         }
     }
 

@@ -19,6 +19,7 @@
 
 use crate::curve::SpaceFillingCurve;
 use crate::error::SfcError;
+use crate::fastmath::iroot_fast;
 use crate::point::Point;
 use crate::universe::Universe;
 
@@ -184,11 +185,36 @@ impl<const D: usize> SpaceFillingCurve<D> for OnionNd<D> {
         }
     }
 
-    /// Batch inverse mapping (statically dispatched shell unranking).
+    /// Lane-batched inverse mapping: the layer is located closed-form with a
+    /// `D`-th root ([`iroot_fast`]) across chunks of eight indices —
+    /// replacing [`Self::point_unchecked`]'s per-index layer binary search,
+    /// which stays as the pinned scalar reference — then each lane runs the
+    /// shell unranking.
     fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
         out.reserve(indices.len());
-        for &idx in indices {
-            out.push(OnionNd::point_unchecked(self, idx));
+        let side = self.universe.side();
+        let n = self.universe.cell_count();
+        const LANES: usize = 8;
+        let mut layer = [0u32; LANES];
+        for chunk in indices.chunks(LANES) {
+            // Phase 1: smallest shell side `s` of the universe's parity with
+            // s^D ≥ n − idx, via an FPU root plus branch-free fixups.
+            for (lane, &idx) in layer.iter_mut().zip(chunk) {
+                debug_assert!(idx < n, "index {idx} outside the universe");
+                let rem = n - idx;
+                let r = iroot_fast(rem, D as u32) as u32;
+                let mut s = r + u32::from(pow(u64::from(r), D) < rem);
+                s += (s ^ side) & 1;
+                debug_assert!(s >= 1 && s <= side);
+                *lane = s;
+            }
+            // Phase 2: per-lane shell unranking.
+            for (&s, &idx) in layer.iter().zip(chunk) {
+                let t = (side - s) / 2 + 1;
+                let mut local = [0u32; D];
+                unrank_in_shell(s, idx - self.universe.cells_before_layer(t), &mut local);
+                out.push(assemble(local, t - 1));
+            }
         }
     }
 
@@ -420,6 +446,35 @@ mod tests {
         let mut back = Vec::new();
         o.fill_points(&indices, &mut back);
         assert_eq!(back, points);
+    }
+
+    #[test]
+    fn lane_batched_fill_points_matches_binary_search_reference() {
+        // `fill_points` locates layers closed-form (iroot_fast);
+        // `point_unchecked` binary-searches — they must agree cell for cell,
+        // across parities, dimensions, and non-multiple-of-lane counts.
+        fn check<const D: usize>(side: u32) {
+            let o = OnionNd::<D>::new(side).unwrap();
+            let n = o.universe().cell_count();
+            let indices: Vec<u64> = (0..n).collect();
+            let mut batched = Vec::new();
+            o.fill_points(&indices, &mut batched);
+            for (idx, &p) in batched.iter().enumerate() {
+                assert_eq!(
+                    p,
+                    o.point_unchecked(idx as u64),
+                    "D={D} side={side} idx={idx}"
+                );
+            }
+        }
+        for side in 1..=9 {
+            check::<1>(side);
+            check::<2>(side);
+        }
+        for side in [1u32, 4, 5, 6] {
+            check::<3>(side);
+        }
+        check::<4>(5);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The Gray-code curve, suggested by Faloutsos for partial-match and range
 //! queries (paper references [8], [9]).
 
-use crate::bits::{deinterleave, gray_decode, gray_encode, interleave};
+use crate::bits::{
+    deinterleave, deinterleave_batch, gray_decode, gray_encode, interleave, interleave_batch,
+};
 use onion_core::{Point, SfcError, SpaceFillingCurve, Universe};
 
 /// The `D`-dimensional Gray-code curve: a cell's interleaved bit string is
@@ -49,6 +51,30 @@ impl<const D: usize> SpaceFillingCurve<D> for GrayCode<D> {
 
     fn name(&self) -> &str {
         "gray-code"
+    }
+
+    /// Batch keying: one batch interleave (BMI2 when available), then the
+    /// O(log bits) Gray fold applied in place over the appended region.
+    fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
+        let start = out.len();
+        interleave_batch(points, self.bits, out);
+        for v in &mut out[start..] {
+            *v = gray_decode(*v);
+        }
+    }
+
+    /// Batch unranking: Gray-encode indices into a stack chunk, then batch
+    /// deinterleave the whole chunk.
+    fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
+        let bits = self.bits;
+        out.reserve(indices.len());
+        let mut buf = [0u64; 128];
+        for chunk in indices.chunks(128) {
+            for (slot, &idx) in buf.iter_mut().zip(chunk) {
+                *slot = gray_encode(idx);
+            }
+            deinterleave_batch(&buf[..chunk.len()], bits, out);
+        }
     }
 }
 

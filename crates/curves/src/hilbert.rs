@@ -6,7 +6,7 @@
 //! to/from a "transposed" Hilbert index held as `D` interleavable words, in
 //! `O(D · bits)` time, for any dimension `D ≥ 2` and power-of-two side.
 
-use crate::bits::{deinterleave, interleave};
+use crate::bits::{deinterleave, deinterleave_batch, gray_decode32, interleave, interleave_batch};
 use onion_core::{Point, SfcError, SpaceFillingCurve, Universe};
 
 /// The `D`-dimensional Hilbert curve over a power-of-two universe.
@@ -37,72 +37,73 @@ impl<const D: usize> Hilbert<D> {
     }
 }
 
+/// One branch-free step of Skilling's per-scale update: when bit `sh` of
+/// `x[i]` is set, invert the low `p` bits of `x[0]`; otherwise exchange the
+/// low `p` bits of `x[0]` and `x[i]`. Both outcomes are computed as masked
+/// XORs and selected with an all-ones/all-zeros mask, so the data-dependent
+/// branch of the textbook formulation disappears.
+#[inline(always)]
+fn scale_step(x0: &mut u32, xi: &mut u32, sh: u32, p: u32) {
+    let set = ((*xi >> sh) & 1).wrapping_neg();
+    let swap = (*x0 ^ *xi) & p & !set;
+    *x0 ^= swap ^ (p & set);
+    *xi ^= swap;
+}
+
 /// Converts grid axes to the transposed Hilbert index, in place
-/// (Skilling's `AxestoTranspose`).
+/// (Skilling's `AxestoTranspose`), with branch-free scale steps and the
+/// trailing Gray fold collapsed to O(log bits) via [`gray_decode32`].
 fn axes_to_transpose<const D: usize>(x: &mut [u32; D], bits: u32) {
     if bits == 0 {
         return;
     }
-    let m = 1u32 << (bits - 1);
-    // Inverse undo.
-    let mut q = m;
-    while q > 1 {
-        let p = q - 1;
-        for i in 0..D {
-            if x[i] & q != 0 {
-                x[0] ^= p; // invert low bits of x[0]
-            } else {
-                let t = (x[0] ^ x[i]) & p;
-                x[0] ^= t;
-                x[i] ^= t;
-            }
+    // Inverse undo: scales m, m/2, …, 2 (bit positions bits−1 … 1).
+    for sh in (1..bits).rev() {
+        let p = (1u32 << sh) - 1;
+        // The i == 0 step self-aliases: the swap arm is a no-op and the
+        // invert arm flips the low bits of x[0].
+        let set = ((x[0] >> sh) & 1).wrapping_neg();
+        x[0] ^= p & set;
+        for i in 1..D {
+            let (x0, rest) = x.split_first_mut().expect("D >= 1");
+            scale_step(x0, &mut rest[i - 1], sh, p);
         }
-        q >>= 1;
     }
     // Gray encode.
     for i in 1..D {
         x[i] ^= x[i - 1];
     }
-    let mut t = 0u32;
-    let mut q = m;
-    while q > 1 {
-        if x[D - 1] & q != 0 {
-            t ^= q - 1;
-        }
-        q >>= 1;
-    }
+    // t = XOR of (q−1) over set bits q of x[D−1] above bit 0, which is
+    // exactly the suffix-parity fold gray_decode(x[D−1]) >> 1.
+    let t = gray_decode32(x[D - 1]) >> 1;
     for v in x.iter_mut() {
         *v ^= t;
     }
 }
 
 /// Converts a transposed Hilbert index back to grid axes, in place
-/// (Skilling's `TransposetoAxes`).
+/// (Skilling's `TransposetoAxes`), with branch-free scale steps.
 fn transpose_to_axes<const D: usize>(x: &mut [u32; D], bits: u32) {
     if bits == 0 {
         return;
     }
-    let n = 2u32 << (bits - 1);
     // Gray decode by H ^ (H/2).
-    let mut t = x[D - 1] >> 1;
+    let t = x[D - 1] >> 1;
     for i in (1..D).rev() {
         x[i] ^= x[i - 1];
     }
     x[0] ^= t;
-    // Undo excess work.
-    let mut q = 2u32;
-    while q != n {
-        let p = q - 1;
-        for i in (0..D).rev() {
-            if x[i] & q != 0 {
-                x[0] ^= p;
-            } else {
-                t = (x[0] ^ x[i]) & p;
-                x[0] ^= t;
-                x[i] ^= t;
-            }
+    // Undo excess work: scales 2, 4, …, m (bit positions 1 … bits−1).
+    for sh in 1..bits {
+        let p = (1u32 << sh) - 1;
+        for i in (1..D).rev() {
+            let (x0, rest) = x.split_first_mut().expect("D >= 1");
+            scale_step(x0, &mut rest[i - 1], sh, p);
         }
-        q <<= 1;
+        // The i == 0 step self-aliases: the swap arm is a no-op and the
+        // invert arm flips the low bits of x[0].
+        let set = ((x[0] >> sh) & 1).wrapping_neg();
+        x[0] ^= p & set;
     }
 }
 
@@ -144,34 +145,40 @@ impl<const D: usize> SpaceFillingCurve<D> for Hilbert<D> {
         true
     }
 
-    /// Batch transpose+interleave with `bits` hoisted and the Skilling
-    /// kernel statically dispatched.
+    /// Batch transpose+interleave: the branch-free Skilling kernel runs per
+    /// point into a stack chunk, then the whole chunk is interleaved through
+    /// the batch kernel (BMI2 `pdep` when available).
     fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
         let bits = self.bits;
         out.reserve(points.len());
-        for &p in points {
-            let mut x = p.0;
-            axes_to_transpose(&mut x, bits);
-            let mut rev = [0u32; D];
-            for (d, r) in rev.iter_mut().enumerate() {
-                *r = x[D - 1 - d];
+        let mut buf = [Point::new([0u32; D]); 64];
+        for chunk in points.chunks(64) {
+            for (slot, &p) in buf.iter_mut().zip(chunk) {
+                let mut x = p.0;
+                axes_to_transpose(&mut x, bits);
+                let mut rev = [0u32; D];
+                for (d, r) in rev.iter_mut().enumerate() {
+                    *r = x[D - 1 - d];
+                }
+                *slot = Point::new(rev);
             }
-            out.push(interleave(Point::new(rev), bits));
+            interleave_batch(&buf[..chunk.len()], bits, out);
         }
     }
 
-    /// Batch deinterleave+transpose (see [`Self::fill_indices`]).
+    /// Batch deinterleave+transpose (see [`Self::fill_indices`]): one batch
+    /// deinterleave pass, then the inverse transform fixes points in place.
     fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
         let bits = self.bits;
-        out.reserve(indices.len());
-        for &idx in indices {
-            let rev: Point<D> = deinterleave(idx, bits);
+        let start = out.len();
+        deinterleave_batch(indices, bits, out);
+        for pt in &mut out[start..] {
             let mut x = [0u32; D];
             for (d, v) in x.iter_mut().enumerate() {
-                *v = rev.0[D - 1 - d];
+                *v = pt.0[D - 1 - d];
             }
             transpose_to_axes(&mut x, bits);
-            out.push(Point::new(x));
+            *pt = Point::new(x);
         }
     }
 }

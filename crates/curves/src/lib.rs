@@ -20,7 +20,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide except for the BMI2 `pdep`/`pext` kernels in
+// `bits::accel`, which carry a scoped `allow` and verify CPU support at
+// runtime before entering any `#[target_feature]` function.
+#![deny(unsafe_code)]
 
 pub mod bits;
 mod gray;

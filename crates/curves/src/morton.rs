@@ -1,7 +1,7 @@
 //! The Z curve (Morton order), suggested by Orenstein and Merrett for range
 //! queries (paper reference [1]).
 
-use crate::bits::{deinterleave, interleave};
+use crate::bits::{deinterleave, deinterleave_batch, interleave, interleave_batch};
 use onion_core::{Point, SfcError, SpaceFillingCurve, Universe};
 
 /// The `D`-dimensional Z curve: cell index = bit-interleaving of the
@@ -50,23 +50,15 @@ impl<const D: usize> SpaceFillingCurve<D> for Morton<D> {
         "z-order"
     }
 
-    /// Batch interleave with `bits` hoisted; one virtual call per batch for
-    /// `dyn` callers.
+    /// Batch interleave: one virtual call per batch for `dyn` callers, with
+    /// the BMI2-vs-portable dispatch decided once for the whole batch.
     fn fill_indices(&self, points: &[Point<D>], out: &mut Vec<u64>) {
-        let bits = self.bits;
-        out.reserve(points.len());
-        for &p in points {
-            out.push(interleave(p, bits));
-        }
+        interleave_batch(points, self.bits, out);
     }
 
     /// Batch deinterleave (see [`Self::fill_indices`]).
     fn fill_points(&self, indices: &[u64], out: &mut Vec<Point<D>>) {
-        let bits = self.bits;
-        out.reserve(indices.len());
-        for &idx in indices {
-            out.push(deinterleave(idx, bits));
-        }
+        deinterleave_batch(indices, self.bits, out);
     }
 }
 

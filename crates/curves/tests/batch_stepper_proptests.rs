@@ -4,6 +4,7 @@
 //! * `fill_indices` == the scalar `index_unchecked` loop,
 //! * `fill_points` == the scalar `point_unchecked` loop,
 //! * a [`CurveStepper`] walk == per-index `point_unchecked`,
+//! * `fill_walk` over a window == the per-index `point_unchecked` loop,
 //! * `predecessor_unchecked` == `point_unchecked(idx − 1)`,
 //!
 //! across even and odd sides, in 2D, 3D, and (for the layered curve) 4D.
@@ -62,6 +63,28 @@ fn check_batch_and_stepping<const D: usize, C: SpaceFillingCurve<D>>(
             ));
         }
         stepper.advance();
+    }
+
+    // Run-emitting walk over the same window == per-index unrank. Covers
+    // both the curve-specific overrides (onion 2D/3D) and the stepper-loop
+    // default every other curve inherits.
+    let len = (n - start).min(256) as usize;
+    let mut walked: Vec<Point<D>> = Vec::new();
+    curve.fill_walk(start, len, &mut walked);
+    if walked.len() != len {
+        return Err(format!(
+            "{}: fill_walk appended {} cells, expected {len}",
+            curve.name(),
+            walked.len()
+        ));
+    }
+    for (off, &p) in walked.iter().enumerate() {
+        if p != curve.point_unchecked(start + off as u64) {
+            return Err(format!(
+                "{}: fill_walk diverged at offset {off} from start {start} (side {side})",
+                curve.name()
+            ));
+        }
     }
 
     // Predecessor == unrank of idx − 1.

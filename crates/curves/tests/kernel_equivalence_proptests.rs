@@ -1,0 +1,196 @@
+//! Equivalence properties for the bit-manipulation kernels: every tier of
+//! every kernel must be byte-identical to its pinned per-bit reference.
+//!
+//! * `interleave` / `deinterleave` (portable magic-mask) == `*_reference`,
+//! * `interleave_batch_portable` / `deinterleave_batch_portable` == the
+//!   reference map,
+//! * `interleave_batch_accelerated` / `deinterleave_batch_accelerated`
+//!   (BMI2 `pdep`/`pext`, when the host supports it) == the reference map,
+//! * `gray_decode` / `gray_decode32` (log-step fold) == the shift-loop
+//!   reference, and `gray_encode` round-trips,
+//! * every registry curve's `fill_indices` / `fill_points` == the scalar
+//!   `index_unchecked` / `point_unchecked` loops under **both** dispatch
+//!   arms, toggled via [`force_portable_kernels`].
+//!
+//! The dispatch override is process-wide, so the tests that toggle it
+//! serialize behind a mutex. This file is its own test binary; the flips
+//! cannot leak into other test binaries.
+
+use onion_core::{Point, SpaceFillingCurve};
+use proptest::prelude::*;
+use sfc_baselines::bits::{
+    accelerated_kernels_active, deinterleave, deinterleave_batch_accelerated,
+    deinterleave_batch_portable, force_portable_kernels, gray_decode, gray_decode32,
+    gray_decode_reference, gray_encode, interleave, interleave_batch_accelerated,
+    interleave_batch_portable, interleave_reference,
+};
+use sfc_baselines::{curve_2d, curve_3d, CURVE_NAMES};
+use std::sync::Mutex;
+
+/// Serializes every test that flips the process-wide kernel dispatch.
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic coordinate spray derived from a seed (splitmix-style LCG,
+/// matching the other proptest files).
+fn spray(seed: u64, len: usize) -> Vec<u64> {
+    let mut probe = seed;
+    (0..len)
+        .map(|_| {
+            probe = probe
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            probe
+        })
+        .collect()
+}
+
+/// Checks all three tiers of the interleave/deinterleave kernels against the
+/// pinned reference on seeded coordinates masked to `bits` bits per
+/// dimension.
+fn check_interleave_tiers<const D: usize>(seed: u64, bits: u32) -> Result<(), String> {
+    let mask = ((1u64 << bits) - 1) as u32;
+    let raw = spray(seed, 32 * D);
+    let mut points: Vec<Point<D>> = raw
+        .chunks_exact(D)
+        .map(|c| {
+            let mut coords = [0u32; D];
+            for (x, r) in coords.iter_mut().zip(c) {
+                *x = (*r as u32) & mask;
+            }
+            Point::new(coords)
+        })
+        .collect();
+    // Pin the extremes alongside the random spray.
+    points.push(Point::new([0u32; D]));
+    points.push(Point::new([mask; D]));
+    let expected: Vec<u64> = points
+        .iter()
+        .map(|&p| interleave_reference(p, bits))
+        .collect();
+
+    // Single-cell portable kernels.
+    for (&p, &idx) in points.iter().zip(&expected) {
+        prop_assert_eq!(interleave(p, bits), idx);
+        prop_assert_eq!(deinterleave::<D>(idx, bits), p);
+    }
+
+    // Portable batch arm.
+    let mut got = Vec::new();
+    interleave_batch_portable(&points, bits, &mut got);
+    prop_assert_eq!(&got, &expected);
+    let mut back = Vec::new();
+    deinterleave_batch_portable(&expected, bits, &mut back);
+    prop_assert_eq!(&back, &points);
+
+    // Accelerated batch arm — exercised whenever the host has BMI2; the
+    // arm reports unavailability instead of silently falling back, so a
+    // BMI2 host cannot skip this check by accident.
+    let mut got = Vec::new();
+    if interleave_batch_accelerated(&points, bits, &mut got) {
+        prop_assert_eq!(&got, &expected);
+    } else {
+        prop_assert!(got.is_empty());
+    }
+    let mut back = Vec::new();
+    if deinterleave_batch_accelerated(&expected, bits, &mut back) {
+        prop_assert_eq!(&back, &points);
+    } else {
+        prop_assert!(back.is_empty());
+    }
+    Ok(())
+}
+
+/// Checks a curve's batch mappings against the scalar loops under both
+/// dispatch arms (portable forced, then re-detected).
+fn check_curve_both_arms<const D: usize, C: SpaceFillingCurve<D>>(
+    curve: &C,
+    seed: u64,
+) -> Result<(), String> {
+    let n = curve.universe().cell_count();
+    let mut indices: Vec<u64> = spray(seed, 32).into_iter().map(|p| p % n).collect();
+    indices.push(0);
+    indices.push(n - 1);
+
+    // Scalar ground truth, computed before any dispatch games.
+    let scalar_points: Vec<Point<D>> = indices.iter().map(|&i| curve.point_unchecked(i)).collect();
+
+    let _guard = DISPATCH_LOCK.lock().unwrap();
+    for forced_portable in [true, false] {
+        force_portable_kernels(forced_portable);
+        if forced_portable {
+            prop_assert!(!accelerated_kernels_active());
+        }
+        let mut points = Vec::new();
+        curve.fill_points(&indices, &mut points);
+        prop_assert_eq!(
+            &points,
+            &scalar_points,
+            "fill_points diverged (forced={forced_portable})"
+        );
+        let mut back = Vec::new();
+        curve.fill_indices(&points, &mut back);
+        prop_assert_eq!(
+            &back,
+            &indices,
+            "fill_indices diverged (forced={forced_portable})"
+        );
+    }
+    force_portable_kernels(false);
+    Ok(())
+}
+
+proptest! {
+    /// Interleave tiers in 2D across the full 32-bit coordinate range.
+    #[test]
+    fn interleave_tiers_2d(seed in any::<u64>(), bits in 1u32..=32) {
+        let res = check_interleave_tiers::<2>(seed, bits);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Interleave tiers in 3D (bits capped so 3·bits ≤ 64).
+    #[test]
+    fn interleave_tiers_3d(seed in any::<u64>(), bits in 1u32..=21) {
+        let res = check_interleave_tiers::<3>(seed, bits);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Interleave tiers in 4D (bits capped so 4·bits ≤ 64).
+    #[test]
+    fn interleave_tiers_4d(seed in any::<u64>(), bits in 1u32..=16) {
+        let res = check_interleave_tiers::<4>(seed, bits);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Log-step Gray decode == shift-loop reference; encode round-trips.
+    #[test]
+    fn gray_kernels_match_reference(v in any::<u64>()) {
+        prop_assert_eq!(gray_decode(v), gray_decode_reference(v));
+        prop_assert_eq!(gray_decode(gray_encode(v)), v);
+        let g = v as u32;
+        prop_assert_eq!(u64::from(gray_decode32(g)), gray_decode_reference(u64::from(g)));
+    }
+
+    /// Every registered 2D curve under both dispatch arms.
+    #[test]
+    fn registry_2d_both_dispatch_arms(
+        bits in 1u32..=8,
+        name_idx in 0usize..CURVE_NAMES.len(),
+        seed in any::<u64>(),
+    ) {
+        let curve = curve_2d(CURVE_NAMES[name_idx], 1 << bits).unwrap();
+        let res = check_curve_both_arms(&curve, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// Every registered 3D curve under both dispatch arms.
+    #[test]
+    fn registry_3d_both_dispatch_arms(
+        bits in 1u32..=5,
+        name_idx in 0usize..CURVE_NAMES.len(),
+        seed in any::<u64>(),
+    ) {
+        let curve = curve_3d(CURVE_NAMES[name_idx], 1 << bits).unwrap();
+        let res = check_curve_both_arms(&curve, seed);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+}

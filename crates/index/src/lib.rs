@@ -55,7 +55,10 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the `prefetch` module alone can scope an
+// `allow` around the `_mm_prefetch` cache hint (which touches no memory);
+// every other module still rejects unsafe code outright.
+#![deny(unsafe_code)]
 
 mod backend;
 mod btree;
@@ -63,6 +66,7 @@ mod cache;
 mod disk;
 mod partition;
 mod plan;
+mod prefetch;
 mod shard;
 mod table;
 pub mod wal;

@@ -353,7 +353,15 @@ where
             let mut backend = self.shards[shard]
                 .write()
                 .expect("shard poisoned by a panicked writer");
-            for &i in &order[at..end] {
+            for pos in at..end {
+                // The permutation visits `slots` in curve order, not
+                // submission order — a data-dependent stride the hardware
+                // prefetcher cannot follow. Hint a few ops ahead so each
+                // slot's line arrives while earlier ops apply.
+                if let Some(&ahead) = order.get(pos + APPLY_PREFETCH_DISTANCE) {
+                    crate::prefetch::prefetch_read(&slots[ahead]);
+                }
+                let i = order[pos];
                 let op = slots[i].take().expect("each op applied once");
                 results[i] = apply_one(&mut *backend, keys[i], op, &mut delta);
             }
@@ -483,6 +491,12 @@ where
     }
 }
 
+/// How many permutation steps ahead the batch-apply loops hint `slots`
+/// entries into cache (see [`crate::prefetch`]): far enough to cover an
+/// L2 miss under the loop's per-op work, near enough that hinted lines
+/// survive until use.
+const APPLY_PREFETCH_DISTANCE: usize = 8;
+
 /// Batches below this many ops always take the serial apply path: their
 /// per-shard slices are too small to amortize thread spawns (an epoch of
 /// a few hundred ops applies in tens of microseconds — comparable to
@@ -580,7 +594,15 @@ where
                     .count();
             let slice: Vec<(usize, u64, BatchOp<D, V>)> = order[at..end]
                 .iter()
-                .map(|&i| (i, keys[i], slots[i].take().expect("each op staged once")))
+                .enumerate()
+                .map(|(n, &i)| {
+                    // Same permutation-lookahead hint as the serial path:
+                    // the gather walks `slots` in curve order.
+                    if let Some(&ahead) = order.get(at + n + APPLY_PREFETCH_DISTANCE) {
+                        crate::prefetch::prefetch_read(&slots[ahead]);
+                    }
+                    (i, keys[i], slots[i].take().expect("each op staged once"))
+                })
                 .collect();
             slices.push((shard, slice));
             at = end;
