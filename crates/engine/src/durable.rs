@@ -344,12 +344,24 @@ pub(crate) struct Durability<const D: usize, V> {
     dir: PathBuf,
     wal: Arc<Mutex<WalWriter>>,
     encode: fn(u64, &[BatchOp<D, V>], &mut Vec<u8>),
+    /// Monomorphized history readers, captured like `encode` where the
+    /// `V: WalCodec` bound is known: the time-travel fallback
+    /// ([`Self::historical_state`]) re-reads `snapshot + WAL prefix`
+    /// through them without dragging a codec bound onto the engine's
+    /// query path.
+    read_frames: fn(&mut Wal) -> Result<Vec<sfc_index::EpochFrame<D, V>>, SfcError>,
+    read_snapshot: ReadSnapshotFn<D, V>,
     sync: Arc<SyncShared>,
     syncer: Option<JoinHandle<()>>,
     /// [`CommitPolicy::max_epochs`](crate::CommitPolicy::max_epochs):
     /// pipeline depth; `0` = synchronous commits.
     depth: usize,
 }
+
+/// Alias for the monomorphized snapshot reader a durable engine captures
+/// at open time.
+type ReadSnapshotFn<const D: usize, V> =
+    fn(&Path) -> Result<Option<(u64, Vec<(u64, Record<D, V>)>)>, SfcError>;
 
 impl<const D: usize, V> Durability<D, V> {
     /// Commits one epoch frame. Called by the flush path under the apply
@@ -408,7 +420,50 @@ impl<const D: usize, V> Durability<D, V> {
         self.sync.retract(w.wal.last_epoch());
         Ok(())
     }
+
+    /// Reconstructs the raw material of epoch `epoch`'s state from disk:
+    /// the last snapshot's entries plus every WAL frame in
+    /// `(snapshot_epoch, epoch]`, concatenated in commit order — the cold
+    /// half of [`Engine::query_as_of`](crate::Engine::query_as_of), taken
+    /// when the retention window no longer holds the epoch in memory.
+    ///
+    /// Returns `None` when the log can no longer reach that far back: a
+    /// checkpoint whose snapshot is *newer* than `epoch` has absorbed and
+    /// truncated the frames that led up to it.
+    ///
+    /// Drains the sync pipeline first so every committed frame is
+    /// physically appended, then holds the WAL mutex across both reads —
+    /// a concurrent checkpoint cannot truncate frames between the
+    /// snapshot read and the prefix read.
+    pub(crate) fn historical_state(&self, epoch: u64) -> Result<HistoricalState<D, V>, SfcError> {
+        self.sync.drain();
+        let mut w = self.wal.lock().expect("WAL handle poisoned");
+        let (snapshot_epoch, entries) = match (self.read_snapshot)(&self.dir.join(SNAPSHOT_FILE))? {
+            Some((e, entries)) => (e, entries),
+            None => (0, Vec::new()),
+        };
+        if snapshot_epoch > epoch {
+            return Ok(None);
+        }
+        let mut ops: Vec<BatchOp<D, V>> = Vec::new();
+        for frame in (self.read_frames)(&mut w.wal)? {
+            if frame.epoch <= snapshot_epoch {
+                continue;
+            }
+            if frame.epoch > epoch {
+                break;
+            }
+            ops.extend(frame.ops);
+        }
+        Ok(Some((entries, ops)))
+    }
 }
+
+/// What [`Durability::historical_state`] yields: snapshot entries plus
+/// the WAL-prefix ops that bring them to the requested epoch (`None` if
+/// a checkpoint already absorbed that history).
+pub(crate) type HistoricalState<const D: usize, V> =
+    Option<(Vec<(u64, Record<D, V>)>, Vec<BatchOp<D, V>>)>;
 
 impl<const D: usize, V> Drop for Durability<D, V> {
     fn drop(&mut self) {
@@ -558,6 +613,8 @@ where
             dir: dir.to_path_buf(),
             wal,
             encode: encode_epoch_payload_into::<D, V>,
+            read_frames: Wal::read_frames::<D, V>,
+            read_snapshot: read_snapshot::<D, V>,
             sync,
             syncer,
             depth: config.commit.max_epochs,

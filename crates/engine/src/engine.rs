@@ -29,12 +29,24 @@ pub enum Op<const D: usize, V> {
     Update(Point<D>, V),
     /// Remove the first record at a point, deferred to the next epoch.
     Delete(Point<D>),
+    /// Rectangle query against a **past** epoch — a Datomic-style
+    /// time-travel read: answered from the retention window when the
+    /// version is still held, reconstructed by `snapshot + WAL prefix`
+    /// replay on durable engines when it is not. See
+    /// [`Engine::query_as_of`].
+    QueryAsOf {
+        /// The epoch whose state to observe (as counted by
+        /// [`Engine::epoch`]).
+        epoch: u64,
+        /// The rectangle to query at that epoch.
+        query: RectQuery<D>,
+    },
 }
 
 impl<const D: usize, V> Op<D, V> {
     /// Whether this operation only reads.
     pub fn is_read(&self) -> bool {
-        matches!(self, Op::Get(_) | Op::Query(_))
+        matches!(self, Op::Get(_) | Op::Query(_) | Op::QueryAsOf { .. })
     }
 }
 
@@ -149,6 +161,12 @@ pub struct EngineConfig {
     pub epoch_ops: usize,
     /// Group-commit and WAL-pipelining policy (durable engines only).
     pub commit: CommitPolicy,
+    /// How many superseded epoch versions the table keeps for
+    /// [`Engine::snapshot_at`]/[`Op::QueryAsOf`] — the in-memory
+    /// time-travel window. Epochs evicted from it are still reachable on
+    /// durable engines through WAL replay (until a checkpoint absorbs
+    /// them).
+    pub retention: sfc_index::RetentionPolicy,
 }
 
 impl Default for EngineConfig {
@@ -156,6 +174,7 @@ impl Default for EngineConfig {
         EngineConfig {
             epoch_ops: 1024,
             commit: CommitPolicy::default(),
+            retention: sfc_index::RetentionPolicy::default(),
         }
     }
 }
@@ -284,6 +303,8 @@ where
     /// plans under the table's own [`DiskModel`].
     pub fn new(table: ShardedTable<C, V, D, B>, config: EngineConfig) -> Self {
         let planner = Planner::new(*table.model());
+        let mut table = table;
+        table.set_retention(config.retention);
         Engine {
             table,
             planner,
@@ -335,9 +356,12 @@ where
     }
 
     /// Recovery hook: positions the epoch counter at the last epoch the
-    /// reconstructed table contains, so post-recovery flushes continue
-    /// the WAL's numbering seamlessly.
+    /// reconstructed table contains — and stamps the table's current
+    /// version with the same number — so post-recovery flushes continue
+    /// the WAL's numbering seamlessly and [`Self::snapshot_at`] answers
+    /// in WAL epochs from the first post-recovery batch on.
     pub(crate) fn set_recovered_epoch(&self, epoch: u64) {
+        self.table.set_epoch(epoch);
         self.epoch.store(epoch, Ordering::Release);
     }
 
@@ -695,7 +719,7 @@ where
                 }
             }
         }
-        Ok(Reply::Value(self.table.get(p)?))
+        Ok(Reply::Value(self.table.get_cloned(p)?))
     }
 }
 
@@ -721,6 +745,10 @@ where
             Op::Insert(p, v) => self.admit(BatchOp::Insert(p, v)),
             Op::Update(p, v) => self.admit(BatchOp::Update(p, v)),
             Op::Delete(p) => self.admit(BatchOp::Delete(p)),
+            Op::QueryAsOf { epoch, query } => {
+                let result = self.query_as_of(epoch, &query)?;
+                Ok(Reply::Records(result.records))
+            }
         }
     }
 
@@ -754,6 +782,67 @@ where
     /// If the query does not fit inside the universe.
     pub fn explain(&self, q: &RectQuery<D>) -> Result<QueryPlan, SfcError> {
         self.table.plan_rect(q, &self.planner)
+    }
+
+    /// Pins epoch `epoch`'s version as a read handle, if the retention
+    /// window (configured by [`EngineConfig::retention`]) still holds it.
+    /// Every read through the returned snapshot observes exactly that
+    /// epoch, however many batches later flushes apply; the pin itself is
+    /// what keeps the version (and every page it shares) alive. `None`
+    /// means the version was evicted — [`Self::query_as_of`] still
+    /// answers on durable engines, by WAL replay.
+    pub fn snapshot_at(&self, epoch: u64) -> Option<sfc_index::TableSnapshot<'_, C, V, D, B>> {
+        self.table.snapshot_at(epoch)
+    }
+
+    /// Serves a rectangle query **as of** a past epoch — the time-travel
+    /// read behind [`Op::QueryAsOf`]. Fast path: the retention window
+    /// still holds the version, and the scan pins it like any other
+    /// (lock-free, no replay). Cold path (durable engines only): the
+    /// epoch's state is reconstructed from `snapshot + WAL prefix`
+    /// through the live log handle — exactly the recovery computation,
+    /// evaluated at `epoch` instead of at the tail — so `as_of(e)` always
+    /// equals what a crash-recovery at epoch `e` would have served.
+    ///
+    /// Like [`Op::Query`], this reads committed epoch state only: writes
+    /// still pending in the log are invisible until flushed.
+    ///
+    /// # Errors
+    /// If `epoch` exceeds the applied epoch, if the query does not fit
+    /// inside the universe, on WAL/snapshot I/O failure, or if the
+    /// epoch's history is gone — evicted from retention on an in-memory
+    /// engine, or absorbed by a newer checkpoint on a durable one.
+    pub fn query_as_of(&self, epoch: u64, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(snapshot) = self.table.snapshot_at(epoch) {
+            return snapshot.query_rect(q);
+        }
+        if epoch > self.epoch() {
+            return Err(SfcError::Storage {
+                context: format!(
+                    "as_of epoch {epoch} has not been applied yet (current epoch {})",
+                    self.epoch()
+                ),
+            });
+        }
+        let Some(d) = &self.durability else {
+            return Err(SfcError::Storage {
+                context: format!(
+                    "epoch {epoch} was evicted from the retention window and this \
+                     in-memory engine has no WAL to replay it from (retained: {:?})",
+                    self.table.retained_epochs()
+                ),
+            });
+        };
+        let Some((entries, ops)) = d.historical_state(epoch)? else {
+            return Err(SfcError::Storage {
+                context: format!(
+                    "epoch {epoch} is older than the last checkpoint's snapshot — its \
+                     history was compacted away"
+                ),
+            });
+        };
+        self.table.query_rect_replayed(entries, ops, q)
     }
 }
 
@@ -794,10 +883,10 @@ mod tests {
         e.execute(Op::Delete(p)).unwrap();
         assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(None));
         // The table below still holds the old value until the epoch.
-        assert_eq!(e.table().get(p).unwrap(), Some(303));
+        assert_eq!(e.table().get(p).unwrap().map(|g| g.value), Some(303));
         assert_eq!(e.flush().unwrap(), 2);
         assert_eq!(e.epoch(), 1);
-        assert_eq!(e.table().get(p).unwrap(), None);
+        assert!(e.table().get(p).unwrap().is_none());
         assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(None));
     }
 
@@ -873,6 +962,9 @@ mod tests {
         let e = engine(8, 2, 1_000_000);
         e.execute(Op::Update(Point::new([2, 2]), 777)).unwrap();
         let table = e.into_table().unwrap();
-        assert_eq!(table.get(Point::new([2, 2])).unwrap(), Some(777));
+        assert_eq!(
+            table.get(Point::new([2, 2])).unwrap().map(|g| g.value),
+            Some(777)
+        );
     }
 }

@@ -116,7 +116,9 @@ fn run_banded_stream(
             Op::Delete(p) => {
                 touched.insert(*p, None);
             }
-            Op::Insert(..) => unreachable!("banded streams use upserts"),
+            Op::Insert(..) | Op::QueryAsOf { .. } => {
+                unreachable!("banded streams use upserts and live queries only")
+            }
         }
     }
     // Final band state: initial values overridden by this thread's writes.

@@ -356,6 +356,7 @@ proptest! {
                         EngineConfig {
                             epoch_ops: 1 << 20,
                             commit: policy,
+                            ..EngineConfig::default()
                         },
                     )
                     .unwrap();

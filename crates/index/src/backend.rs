@@ -20,10 +20,10 @@
 //! `Send + Sync` whenever their values are — the property the concurrent
 //! sharding layer relies on.
 
-use crate::btree::{BPlusTree, DEFAULT_NODE_CAPACITY};
+use crate::btree::{BPlusTree, EntryGuard, DEFAULT_NODE_CAPACITY};
 use crate::cache::LruBufferPool;
 use crate::disk::DiskModel;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Page statistics of one backend range scan.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,6 +40,12 @@ pub struct ScanStats {
 /// riding the underlying structure's splits, and an in-order range scan
 /// that reports how many pages the scan touched and how many of those the
 /// backend's cache absorbed.
+///
+/// Backends are *forkable*: [`Self::fork`] produces an independent
+/// copy-on-write version sharing unmutated pages with the original. The
+/// MVCC table layer forks the current version, applies a batch to the
+/// fork, and atomically publishes it — readers keep scanning the old
+/// version untouched.
 pub trait Backend<V> {
     /// Number of stored entries.
     fn len(&self) -> usize;
@@ -49,8 +55,21 @@ pub trait Backend<V> {
         self.len() == 0
     }
 
+    /// An O(pages-metadata) copy-on-write fork: the new backend shares
+    /// every storage page with `self` until one side mutates it. Physical
+    /// cache state (buffer pools) *is* shared — two versions of a table
+    /// live on the same simulated device, so warming one warms the other.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
     /// Looks up a value stored under `key`.
     fn get(&self, key: u64) -> Option<&V>;
+
+    /// Looks up `key` as a pinned read: the guard holds the storage page,
+    /// so no value copy is made and the read stays valid after the backend
+    /// (or any fork of it) is mutated or dropped.
+    fn get_pinned(&self, key: u64) -> Option<EntryGuard<V>>;
 
     /// Mutable lookup of a value stored under `key`.
     fn get_mut(&mut self, key: u64) -> Option<&mut V>;
@@ -136,13 +155,23 @@ impl<V> Default for MemoryBackend<V> {
     }
 }
 
-impl<V> Backend<V> for MemoryBackend<V> {
+impl<V: Clone> Backend<V> for MemoryBackend<V> {
     fn len(&self) -> usize {
         self.tree.len()
     }
 
+    fn fork(&self) -> Self {
+        MemoryBackend {
+            tree: self.tree.clone(),
+        }
+    }
+
     fn get(&self, key: u64) -> Option<&V> {
         self.tree.get(key)
+    }
+
+    fn get_pinned(&self, key: u64) -> Option<EntryGuard<V>> {
+        self.tree.get_pinned(key)
     }
 
     fn get_mut(&mut self, key: u64) -> Option<&mut V> {
@@ -185,13 +214,16 @@ impl<V> Backend<V> for MemoryBackend<V> {
 /// ranges keeps a smaller page working set, which is exactly the cache
 /// effect the Onion Curve paper's clustering argument predicts.
 ///
-/// The pool sits behind a `Mutex` (locked once per scan), so the backend
-/// stays `Sync`; concurrent scans contend only on the pool bookkeeping, not
-/// on the tree.
+/// The pool sits behind a `Mutex` (locked once per page access), so the
+/// backend stays `Sync`; concurrent scans contend only on the pool
+/// bookkeeping, not on the tree. Forks share the pool through an `Arc`:
+/// the pool models the *physical* page cache of the device, which every
+/// version of the tree lives on — page ids are stable across forks, so
+/// pages untouched by a batch stay warm across epochs.
 #[derive(Debug)]
 pub struct PagedBackend<V> {
     tree: BPlusTree<V>,
-    pool: Mutex<LruBufferPool>,
+    pool: Arc<Mutex<LruBufferPool>>,
     model: DiskModel,
 }
 
@@ -200,7 +232,7 @@ impl<V> PagedBackend<V> {
     pub fn new(model: DiskModel, pool_pages: usize) -> Self {
         PagedBackend {
             tree: BPlusTree::new(model.page_size.max(2)),
-            pool: Mutex::new(LruBufferPool::new(pool_pages)),
+            pool: Arc::new(Mutex::new(LruBufferPool::new(pool_pages))),
             model,
         }
     }
@@ -213,7 +245,7 @@ impl<V> PagedBackend<V> {
     pub fn bulk_load(entries: Vec<(u64, V)>, model: DiskModel, pool_pages: usize) -> Self {
         PagedBackend {
             tree: BPlusTree::bulk_load(entries, model.page_size.max(2)),
-            pool: Mutex::new(LruBufferPool::new(pool_pages)),
+            pool: Arc::new(Mutex::new(LruBufferPool::new(pool_pages))),
             model,
         }
     }
@@ -235,13 +267,25 @@ impl<V> PagedBackend<V> {
     }
 }
 
-impl<V> Backend<V> for PagedBackend<V> {
+impl<V: Clone> Backend<V> for PagedBackend<V> {
     fn len(&self) -> usize {
         self.tree.len()
     }
 
+    fn fork(&self) -> Self {
+        PagedBackend {
+            tree: self.tree.clone(),
+            pool: Arc::clone(&self.pool),
+            model: self.model,
+        }
+    }
+
     fn get(&self, key: u64) -> Option<&V> {
         self.tree.get(key)
+    }
+
+    fn get_pinned(&self, key: u64) -> Option<EntryGuard<V>> {
+        self.tree.get_pinned(key)
     }
 
     fn get_mut(&mut self, key: u64) -> Option<&mut V> {

@@ -10,12 +10,24 @@
 //! [`RangeIter::pages`] or through [`BPlusTree::scan_range`]'s page
 //! callback), so a shared tree can serve concurrent scans without interior
 //! mutability — the property the sharded table layer builds on.
+//!
+//! Pages are copy-on-write: the arena holds `Arc<Node>` slots, so cloning a
+//! tree is O(pages) pointer copies and mutating a clone copies only the
+//! nodes on the actually-written path ([`Arc::make_mut`]). Two versions of
+//! a tree share every page neither has touched, which is what makes
+//! epoch-stamped table versions affordable — see the MVCC section of
+//! `docs/ARCHITECTURE.md`. Arena indices (node ids, leaf `next` links) are
+//! preserved across clones because a clone never reorders the arena, so
+//! page ids stay stable across a linear version history.
+
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Maximum number of keys per node (fanout − 1 for internals). Chosen so a
 /// leaf of `(u64, u64)` entries is roughly a 4 KiB page.
 pub const DEFAULT_NODE_CAPACITY: usize = 256;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Node<V> {
     Leaf {
         keys: Vec<u64>,
@@ -46,10 +58,26 @@ enum Node<V> {
 /// ```
 #[derive(Debug)]
 pub struct BPlusTree<V> {
-    nodes: Vec<Node<V>>,
+    nodes: Vec<Arc<Node<V>>>,
     root: usize,
     len: usize,
     capacity: usize,
+}
+
+/// Cloning is an O(pages) *fork*, not a deep copy: the new tree shares
+/// every page with the original, and subsequent mutations on either side
+/// copy only the pages they actually write (path copying via
+/// [`Arc::make_mut`]). This is deliberately implemented by hand rather than
+/// derived so it needs no `V: Clone` bound — forking never touches values.
+impl<V> Clone for BPlusTree<V> {
+    fn clone(&self) -> Self {
+        BPlusTree {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            len: self.len,
+            capacity: self.capacity,
+        }
+    }
 }
 
 impl<V> BPlusTree<V> {
@@ -57,11 +85,11 @@ impl<V> BPlusTree<V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 2, "node capacity must be at least 2");
         BPlusTree {
-            nodes: vec![Node::Leaf {
+            nodes: vec![Arc::new(Node::Leaf {
                 keys: Vec::new(),
                 values: Vec::new(),
                 next: None,
-            }],
+            })],
             root: 0,
             len: 0,
             capacity,
@@ -82,7 +110,7 @@ impl<V> BPlusTree<V> {
             return Self::new(capacity);
         }
         let len = entries.len();
-        let mut nodes: Vec<Node<V>> = Vec::new();
+        let mut nodes: Vec<Arc<Node<V>>> = Vec::new();
         // Build leaves left to right.
         let mut level: Vec<(u64, usize)> = Vec::new(); // (min key, node id)
         let per_leaf = capacity;
@@ -101,13 +129,15 @@ impl<V> BPlusTree<V> {
             }
             let id = nodes.len();
             let min = keys[0];
-            nodes.push(Node::Leaf {
+            nodes.push(Arc::new(Node::Leaf {
                 keys,
                 values,
                 next: None,
-            });
+            }));
             if let Some(&(_, prev)) = level.last() {
-                if let Node::Leaf { next, .. } = &mut nodes[prev] {
+                // Freshly built nodes are unshared, so this never clones.
+                let prev_node = Arc::get_mut(&mut nodes[prev]).expect("fresh node is unique");
+                if let Node::Leaf { next, .. } = prev_node {
                     *next = Some(id);
                 }
             }
@@ -120,10 +150,10 @@ impl<V> BPlusTree<V> {
                 let id = nodes.len();
                 let separators = chunk[1..].iter().map(|&(k, _)| k).collect();
                 let children = chunk.iter().map(|&(_, c)| c).collect();
-                nodes.push(Node::Internal {
+                nodes.push(Arc::new(Node::Internal {
                     separators,
                     children,
-                });
+                }));
                 upper.push((chunk[0].0, id));
             }
             level = upper;
@@ -152,7 +182,7 @@ impl<V> BPlusTree<V> {
         let mut h = 1;
         let mut id = self.root;
         loop {
-            match &self.nodes[id] {
+            match &*self.nodes[id] {
                 Node::Leaf { .. } => return h,
                 Node::Internal { children, .. } => {
                     id = children[0];
@@ -168,7 +198,7 @@ impl<V> BPlusTree<V> {
     fn find_leaf(&self, key: u64, leftmost: bool) -> usize {
         let mut id = self.root;
         loop {
-            match &self.nodes[id] {
+            match &*self.nodes[id] {
                 Node::Leaf { .. } => return id,
                 Node::Internal {
                     separators,
@@ -188,7 +218,7 @@ impl<V> BPlusTree<V> {
     /// Looks up a value stored under `key`.
     pub fn get(&self, key: u64) -> Option<&V> {
         let leaf = self.find_leaf(key, false);
-        let Node::Leaf { keys, values, .. } = &self.nodes[leaf] else {
+        let Node::Leaf { keys, values, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
         let pos = keys.partition_point(|&k| k < key);
@@ -199,14 +229,48 @@ impl<V> BPlusTree<V> {
         }
     }
 
-    /// Mutable lookup of a value stored under `key`.
-    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+    /// Looks up `key` and returns a *pinned* read: the guard holds the
+    /// leaf page's `Arc`, so the value stays readable — and bit-identical —
+    /// even if the tree (or a forked version of it) is mutated afterwards.
+    /// The guard's extra reference also *protects* the page: any later
+    /// [`Arc::make_mut`] sees the page shared and copies it instead of
+    /// editing it in place. This is what lets `ShardedTable::get` hand out
+    /// values without cloning them.
+    pub fn get_pinned(&self, key: u64) -> Option<EntryGuard<V>> {
         let leaf = self.find_leaf(key, false);
-        let Node::Leaf { keys, values, .. } = &mut self.nodes[leaf] else {
+        let Node::Leaf { keys, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
         let pos = keys.partition_point(|&k| k < key);
         if pos < keys.len() && keys[pos] == key {
+            Some(EntryGuard {
+                node: Arc::clone(&self.nodes[leaf]),
+                pos,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Mutations require `V: Clone` because copy-on-write may have to duplicate
+/// a shared page — including its values — before editing it. Pure reads and
+/// forks ([`Clone`]) stay bound-free.
+impl<V: Clone> BPlusTree<V> {
+    /// Mutable lookup of a value stored under `key`.
+    ///
+    /// Copies the leaf page first if it is shared with another tree
+    /// version (copy-on-write), but only when the key is actually present.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let leaf = self.find_leaf(key, false);
+        let Node::Leaf { keys, .. } = &*self.nodes[leaf] else {
+            unreachable!()
+        };
+        let pos = keys.partition_point(|&k| k < key);
+        if pos < keys.len() && keys[pos] == key {
+            let Node::Leaf { values, .. } = Arc::make_mut(&mut self.nodes[leaf]) else {
+                unreachable!()
+            };
             Some(&mut values[pos])
         } else {
             None
@@ -226,7 +290,10 @@ impl<V> BPlusTree<V> {
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let mut leaf = self.find_leaf(key, true);
         loop {
-            let Node::Leaf { keys, values, next } = &mut self.nodes[leaf] else {
+            // Probe immutably first: only the leaf that actually loses an
+            // entry is copied-on-write; leaves merely walked past stay
+            // shared with other versions.
+            let Node::Leaf { keys, next, .. } = &*self.nodes[leaf] else {
                 unreachable!()
             };
             let pos = keys.partition_point(|&k| k < key);
@@ -234,6 +301,9 @@ impl<V> BPlusTree<V> {
                 if keys[pos] != key {
                     return None;
                 }
+                let Node::Leaf { keys, values, .. } = Arc::make_mut(&mut self.nodes[leaf]) else {
+                    unreachable!()
+                };
                 keys.remove(pos);
                 let v = values.remove(pos);
                 self.len -= 1;
@@ -257,22 +327,38 @@ impl<V> BPlusTree<V> {
             // Root split: grow the tree by one level.
             let new_root = self.nodes.len();
             let old_root = self.root;
-            self.nodes.push(Node::Internal {
+            self.nodes.push(Arc::new(Node::Internal {
                 separators: vec![sep],
                 children: vec![old_root, right],
-            });
+            }));
             self.root = new_root;
         }
     }
 
     /// Returns `Some((separator, new_node_id))` when the child split.
+    ///
+    /// Copy-on-write discipline: internal nodes are probed immutably for
+    /// routing and only copied (`Arc::make_mut`) when a child split forces
+    /// a separator insert; the destination leaf is always copied, since an
+    /// insert always edits it. Split-off right siblings are appended to the
+    /// arena — versions forked *before* the insert never see those slots
+    /// (their `next` links and child ids predate them), and the linear
+    /// version history means no two live versions ever race to claim the
+    /// same new slot.
     fn insert_rec(&mut self, id: usize, key: u64, value: V) -> Option<(u64, usize)> {
-        match &mut self.nodes[id] {
-            Node::Leaf { keys, values, next } => {
+        let capacity = self.capacity;
+        match &*self.nodes[id] {
+            Node::Leaf { .. } => {
+                // The id the right sibling will get if this insert splits:
+                // nothing is pushed between here and that push.
+                let right_id = self.nodes.len();
+                let Node::Leaf { keys, values, next } = Arc::make_mut(&mut self.nodes[id]) else {
+                    unreachable!()
+                };
                 let pos = keys.partition_point(|&k| k <= key);
                 keys.insert(pos, key);
                 values.insert(pos, value);
-                if keys.len() <= self.capacity {
+                if keys.len() <= capacity {
                     return None;
                 }
                 // Split leaf: move the upper half into a new right sibling.
@@ -281,16 +367,12 @@ impl<V> BPlusTree<V> {
                 let right_values = values.split_off(mid);
                 let sep = right_keys[0];
                 let old_next = *next;
-                let right_id = self.nodes.len();
-                self.nodes.push(Node::Leaf {
+                *next = Some(right_id);
+                self.nodes.push(Arc::new(Node::Leaf {
                     keys: right_keys,
                     values: right_values,
                     next: old_next,
-                });
-                let Node::Leaf { next, .. } = &mut self.nodes[id] else {
-                    unreachable!()
-                };
-                *next = Some(right_id);
+                }));
                 Some((sep, right_id))
             }
             Node::Internal {
@@ -300,16 +382,17 @@ impl<V> BPlusTree<V> {
                 let pos = separators.partition_point(|&s| s <= key);
                 let child = children[pos];
                 let split = self.insert_rec(child, key, value)?;
+                let right_id = self.nodes.len();
                 let Node::Internal {
                     separators,
                     children,
-                } = &mut self.nodes[id]
+                } = Arc::make_mut(&mut self.nodes[id])
                 else {
                     unreachable!()
                 };
                 separators.insert(pos, split.0);
                 children.insert(pos + 1, split.1);
-                if separators.len() <= self.capacity {
+                if separators.len() <= capacity {
                     return None;
                 }
                 // Split internal node.
@@ -318,21 +401,22 @@ impl<V> BPlusTree<V> {
                 let right_seps = separators.split_off(mid + 1);
                 separators.pop(); // sep_up moves up
                 let right_children = children.split_off(mid + 1);
-                let right_id = self.nodes.len();
-                self.nodes.push(Node::Internal {
+                self.nodes.push(Arc::new(Node::Internal {
                     separators: right_seps,
                     children: right_children,
-                });
+                }));
                 Some((sep_up, right_id))
             }
         }
     }
+}
 
+impl<V> BPlusTree<V> {
     /// Iterates entries with keys in `lo..=hi`, ascending. The iterator
     /// counts the leaf pages it touches ([`RangeIter::pages`]).
     pub fn range(&self, lo: u64, hi: u64) -> RangeIter<'_, V> {
         let leaf = self.find_leaf(lo, true);
-        let Node::Leaf { keys, .. } = &self.nodes[leaf] else {
+        let Node::Leaf { keys, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
         let pos = keys.partition_point(|&k| k < lo);
@@ -377,12 +461,12 @@ impl<V> BPlusTree<V> {
         visit: &mut dyn FnMut(u64, &V),
     ) {
         let mut leaf = self.find_leaf(lo, true);
-        let Node::Leaf { keys, .. } = &self.nodes[leaf] else {
+        let Node::Leaf { keys, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
         let mut pos = keys.partition_point(|&k| k < lo);
         loop {
-            let Node::Leaf { keys, values, next } = &self.nodes[leaf] else {
+            let Node::Leaf { keys, values, next } = &*self.nodes[leaf] else {
                 unreachable!()
             };
             // Hint the next leaf's node while this one is consumed: after
@@ -391,7 +475,7 @@ impl<V> BPlusTree<V> {
             // the hardware prefetcher cannot predict. Issuing the hint a
             // full leaf early overlaps that miss with this leaf's visits.
             if let Some(nxt) = *next {
-                crate::prefetch::prefetch_read(&self.nodes[nxt]);
+                crate::prefetch::prefetch_read(&*self.nodes[nxt]);
             }
             if pos < keys.len() {
                 on_page(leaf);
@@ -423,13 +507,13 @@ impl<V> BPlusTree<V> {
         visit: &mut dyn FnMut(u64, &V),
     ) {
         let mut leaf = self.find_leaf(lo, true);
-        let Node::Leaf { keys, .. } = &self.nodes[leaf] else {
+        let Node::Leaf { keys, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
         let mut pos = keys.partition_point(|&k| k < lo);
         let mut counted = false;
         loop {
-            let Node::Leaf { keys, values, next } = &self.nodes[leaf] else {
+            let Node::Leaf { keys, values, next } = &*self.nodes[leaf] else {
                 unreachable!()
             };
             if pos < keys.len() {
@@ -483,7 +567,7 @@ impl<V> BPlusTree<V> {
     }
 
     fn check_node(&self, id: usize, lo: Option<u64>, hi: Option<u64>) -> Result<(), String> {
-        match &self.nodes[id] {
+        match &*self.nodes[id] {
             Node::Leaf { keys, .. } => {
                 for &k in keys {
                     // With duplicates, a left sibling may hold keys equal to
@@ -519,6 +603,31 @@ impl<V> BPlusTree<V> {
     }
 }
 
+/// A pinned point-read handle from [`BPlusTree::get_pinned`].
+///
+/// Owns a reference to the leaf *page* holding the entry, not a copy of the
+/// value: dereferencing is free, and the pin outlives the tree it came from.
+/// Because the guard keeps the page's `Arc` refcount above one, every
+/// copy-on-write mutation path sees the page as shared and copies it before
+/// editing — the guarded value can never change or move underneath the
+/// reader, without any `unsafe`.
+#[derive(Debug, Clone)]
+pub struct EntryGuard<V> {
+    node: Arc<Node<V>>,
+    pos: usize,
+}
+
+impl<V> Deref for EntryGuard<V> {
+    type Target = V;
+
+    fn deref(&self) -> &V {
+        let Node::Leaf { values, .. } = &*self.node else {
+            unreachable!("EntryGuard always pins a leaf page")
+        };
+        &values[self.pos]
+    }
+}
+
 /// Iterator over a key range of a [`BPlusTree`].
 pub struct RangeIter<'a, V> {
     tree: &'a BPlusTree<V>,
@@ -547,7 +656,7 @@ impl<'a, V> Iterator for RangeIter<'a, V> {
         loop {
             let Node::Leaf {
                 keys, values, next, ..
-            } = &self.tree.nodes[self.leaf]
+            } = &*self.tree.nodes[self.leaf]
             else {
                 unreachable!()
             };
@@ -559,7 +668,7 @@ impl<'a, V> Iterator for RangeIter<'a, V> {
                     // the hop at the end of this page is already in cache
                     // (see `BPlusTree::scan_range`).
                     if let Some(nxt) = *next {
-                        crate::prefetch::prefetch_read(&self.tree.nodes[nxt]);
+                        crate::prefetch::prefetch_read(&*self.tree.nodes[nxt]);
                     }
                 }
                 let k = keys[self.pos];
@@ -802,6 +911,62 @@ mod tests {
         assert_eq!(t.get(42), Some(&777));
         assert_eq!(t.get_mut(1000), None);
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fork_shares_pages_and_isolates_mutations() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..512u64 {
+            t.insert(k, k);
+        }
+        let snap = t.clone();
+        // Mutate the original every way a batch can: the fork must keep
+        // seeing the pre-fork state bit-for-bit.
+        for k in 0..256u64 {
+            t.remove(k * 2);
+        }
+        for k in 512..600u64 {
+            t.insert(k, k);
+        }
+        *t.get_mut(511).unwrap() = 9999;
+        t.check_invariants().unwrap();
+        snap.check_invariants().unwrap();
+        assert_eq!(snap.len(), 512);
+        let got: Vec<u64> = snap.iter().map(|(k, _)| k).collect();
+        let expect: Vec<u64> = (0..512).collect();
+        assert_eq!(got, expect, "fork still sees every pre-fork key");
+        assert_eq!(snap.get(511), Some(&511), "fork unaffected by get_mut");
+        assert_eq!(t.get(511), Some(&9999));
+        // And the reverse: mutating the fork leaves the original alone.
+        let mut fork2 = t.clone();
+        fork2.remove(511);
+        assert_eq!(t.get(511), Some(&9999));
+    }
+
+    #[test]
+    fn entry_guard_outlives_tree_mutation_and_drop() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..128u64 {
+            t.insert(k, k * 10);
+        }
+        let pin = t.get_pinned(42).unwrap();
+        assert_eq!(*pin, 420);
+        // Overwrite, delete, split around it: the pinned page is shared,
+        // so copy-on-write must copy rather than edit it in place.
+        *t.get_mut(42).unwrap() = 1;
+        for k in 0..128u64 {
+            t.insert(k, k);
+        }
+        t.remove(42);
+        assert_eq!(*pin, 420, "pin still reads the pre-mutation value");
+        drop(t);
+        assert_eq!(*pin, 420, "pin outlives the tree entirely");
+        assert!(t_missing_pin().is_none());
+    }
+
+    fn t_missing_pin() -> Option<EntryGuard<u64>> {
+        let t: BPlusTree<u64> = BPlusTree::new(4);
+        t.get_pinned(7)
     }
 
     #[test]

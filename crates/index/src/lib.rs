@@ -20,10 +20,15 @@
 //! * **Shards** — [`ShardedTable`]: the table partitioned into contiguous
 //!   curve ranges ([`partition_universe`], with communication metrics for
 //!   the load-balancing application), queried concurrently under
-//!   [`std::thread::scope`] with per-shard [`IoStats`] merging. Each shard
-//!   sits behind its own `RwLock`, so concurrent readers never block each
-//!   other and batched writers ([`ShardedTable::apply_batch`]) deliver
-//!   curve-order-sorted bulk mutations shard by shard;
+//!   [`std::thread::scope`] with per-shard [`IoStats`] merging. Shard
+//!   state is **epoch MVCC**: the live state is an immutable,
+//!   epoch-stamped [`TableVersion`]; every read pins one (no lock held
+//!   while scanning, so a scan observes exactly one epoch) and batched
+//!   writers ([`ShardedTable::apply_batch`]) copy-on-write only the
+//!   shards and B+-tree pages a batch touches before installing the new
+//!   version with a pointer swap. A [`RetentionPolicy`]-bounded window of
+//!   recent versions backs [`ShardedTable::snapshot_at`] time-travel
+//!   reads;
 //! * **Planning** — [`Planner`] / [`QueryPlan`]: an adaptive query planner
 //!   that chooses each rectangle query's decomposition budget (exact
 //!   cluster ranges, gap-coalesced, or one covering range) from a cost
@@ -72,14 +77,14 @@ mod table;
 pub mod wal;
 
 pub use backend::{Backend, MemoryBackend, PagedBackend, ScanStats};
-pub use btree::{BPlusTree, RangeIter, DEFAULT_NODE_CAPACITY};
+pub use btree::{BPlusTree, EntryGuard, RangeIter, DEFAULT_NODE_CAPACITY};
 pub use cache::LruBufferPool;
 pub use disk::{DiskModel, IoStats, SimulatedDisk};
 pub use partition::{
     evaluate_partitioning, owner_of, partition_universe, try_owner_of, Partition, PartitionMetrics,
 };
 pub use plan::{record_density, PlanStrategy, Planner, QueryPlan};
-pub use shard::{BatchOp, ShardedTable};
+pub use shard::{BatchOp, RetentionPolicy, ShardedTable, TableSnapshot, TableVersion, ValueGuard};
 pub use table::{QueryResult, Record, SfcTable};
 pub use wal::{
     crc32, read_snapshot, write_snapshot, EpochFrame, SnapshotContents, Wal, WalCodec, WalCursor,

@@ -18,13 +18,15 @@
 //! [`ShardedTable::query_rect_with_shard_stats`].
 
 use crate::backend::{Backend, MemoryBackend, PagedBackend};
+use crate::btree::EntryGuard;
 use crate::disk::{DiskModel, IoStats};
 use crate::partition::{partition_universe, Partition};
 use crate::plan::{Planner, QueryPlan};
 use crate::table::{keyed_records, QueryResult, Record};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
 use sfc_clustering::{RectQuery, ScratchPool};
-use std::sync::RwLock;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One deferred write against a sharded table, applied through
 /// [`ShardedTable::apply_batch`]. Carries the same semantics as the
@@ -53,30 +55,132 @@ impl<const D: usize, V> BatchOp<D, V> {
     }
 }
 
+/// How many recent epoch versions a table keeps alive for
+/// [`ShardedTable::snapshot_at`] time-travel reads, beyond the current one.
+///
+/// Both bounds apply: a version is evicted once the window exceeds
+/// `epochs` *or* the retained versions' estimated footprint exceeds
+/// `bytes` (a conservative per-version estimate of `records × entry
+/// size`, ignoring the page sharing that usually makes retention far
+/// cheaper). Eviction only drops the *table's* reference — a reader still
+/// pinning an evicted version keeps it (and every page it shares) alive
+/// until the pin drops; that `Arc` refcount is the whole GC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Maximum number of superseded versions retained (the current
+    /// version is always reachable and never counts).
+    pub epochs: usize,
+    /// Maximum estimated total footprint of retained versions, in bytes.
+    pub bytes: u64,
+}
+
+impl Default for RetentionPolicy {
+    /// Eight epochs, unbounded bytes — enough history for a serving tier
+    /// to answer "just now" time-travel reads without measurable memory
+    /// cost on COW-shared pages.
+    fn default() -> Self {
+        RetentionPolicy {
+            epochs: 8,
+            bytes: u64::MAX,
+        }
+    }
+}
+
+/// One immutable epoch-stamped version of a sharded table's contents.
+///
+/// A version owns its shard backends through `Arc`s: installing epoch
+/// `e + 1` clones the `Arc`s of untouched shards and forks
+/// ([`Backend::fork`]) only the shards the batch wrote — and the fork
+/// itself shares all unwritten B+-tree pages. Readers holding a version
+/// (via [`ShardedTable::snapshot`]/[`ShardedTable::snapshot_at`], or
+/// implicitly for the duration of any query) observe it forever unchanged.
+pub struct TableVersion<B> {
+    epoch: u64,
+    shards: Vec<Arc<B>>,
+    records: u64,
+}
+
+impl<B> TableVersion<B> {
+    /// The epoch this version materializes: the number of applied batches
+    /// since the table was built (or the epoch stamped by recovery).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records stored in this version.
+    pub fn len(&self) -> usize {
+        self.records as usize
+    }
+
+    /// Whether this version holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+/// Manual impl: cloning a version is O(shards) `Arc` bumps and never
+/// touches backend contents, so no `B: Clone` bound is wanted.
+impl<B> Clone for TableVersion<B> {
+    fn clone(&self) -> Self {
+        TableVersion {
+            epoch: self.epoch,
+            shards: self.shards.clone(),
+            records: self.records,
+        }
+    }
+}
+
+/// Copy-on-write access to one shard slot of a version under
+/// construction: fork the backend if the `Arc` is shared (some other
+/// version or reader also holds it), then hand out the unique `&mut`.
+fn cow_shard<V, B: Backend<V>>(slot: &mut Arc<B>) -> &mut B {
+    if Arc::get_mut(slot).is_none() {
+        *slot = Arc::new(slot.fork());
+    }
+    Arc::get_mut(slot).expect("slot was just made unique")
+}
+
 /// A spatial table split into contiguous curve-range shards that are
-/// scanned concurrently.
+/// scanned concurrently, with MVCC epoch versions.
 ///
 /// Shards are ordered by curve range, so concatenating per-shard results in
 /// shard order preserves global curve-key order — a sharded query returns
 /// exactly what the equivalent [`SfcTable`](crate::SfcTable) returns.
 ///
-/// Every shard sits behind its own [`RwLock`], so the table serves
-/// concurrent traffic through `&self`: readers of different shards never
-/// contend, readers of the same shard share the lock, and batched writers
-/// ([`Self::apply_batch`]) take each shard's write lock only while applying
-/// that shard's slice of the batch. The single-record write methods keep
-/// their `&mut self` signatures (lock-free via `get_mut`) for callers that
-/// own the table exclusively.
+/// Shard state lives in an immutable, epoch-stamped [`TableVersion`]
+/// behind an atomic pointer: every read path **pins** the current version
+/// (one `Arc` clone under a momentarily-held lock) and then scans it with
+/// no lock held at all, while [`Self::apply_batch`] builds the next
+/// version copy-on-write — forking only the shards (and within them only
+/// the B+-tree pages) the batch writes — and installs it with a pointer
+/// swap. Readers and the writer therefore never block each other, and
+/// **every scan observes exactly one epoch**, even when it straddles
+/// shards mid-apply. Superseded versions stay reachable for
+/// [`Self::snapshot_at`] time-travel reads within a bounded
+/// [`RetentionPolicy`] window; the single-record write methods keep their
+/// `&mut self` signatures for callers that own the table exclusively and
+/// edit the current version in place (copying any page a pinned reader
+/// still protects).
 pub struct ShardedTable<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
     curve: C,
     parts: Vec<Partition>,
-    shards: Vec<RwLock<B>>,
+    /// The current version. The lock is held only long enough to clone
+    /// (readers) or swap (the writer) the `Arc` — never across a scan or
+    /// an apply.
+    current: RwLock<Arc<TableVersion<B>>>,
+    /// Superseded versions, oldest first, bounded by `retention`.
+    retained: Mutex<VecDeque<Arc<TableVersion<B>>>>,
+    retention: RetentionPolicy,
+    /// Serializes version installs (batch applies, restores): versions
+    /// form a linear history, so there is exactly one version under
+    /// construction at any time.
+    write_gate: Mutex<()>,
     model: DiskModel,
     scratch: ScratchPool<D>,
     /// Total stored records, maintained by every write path so
     /// [`Self::len`]/[`Self::density`] — called per planned query — never
-    /// sweep the shard locks (a query would otherwise stall behind epoch
-    /// applies on shards it will not even scan).
+    /// touch the version lock (a query would otherwise pay two lock
+    /// hops per plan).
     records: std::sync::atomic::AtomicU64,
     // `V` only occurs inside `B` (as `Backend<Record<D, V>>`); the `fn`
     // wrapper keeps the marker from affecting auto traits or variance.
@@ -165,19 +269,179 @@ where
         // remainder: split it off partition by partition.
         for part in parts.iter().rev() {
             let cut = keyed.partition_point(|&(k, _)| k < part.lo);
-            shards.push(RwLock::new(make_backend(keyed.split_off(cut), model)));
+            shards.push(Arc::new(make_backend(keyed.split_off(cut), model)));
         }
         shards.reverse();
         debug_assert!(keyed.is_empty());
         Ok(ShardedTable {
             curve,
             parts,
-            shards,
+            current: RwLock::new(Arc::new(TableVersion {
+                epoch: 0,
+                shards,
+                records: total,
+            })),
+            retained: Mutex::new(VecDeque::new()),
+            retention: RetentionPolicy::default(),
+            write_gate: Mutex::new(()),
             model,
             scratch: ScratchPool::new(),
             records: std::sync::atomic::AtomicU64::new(total),
             _values: std::marker::PhantomData,
         })
+    }
+
+    /// Pins the current version: after this one `Arc` clone (under a
+    /// momentarily-held read lock) the caller reads the version with no
+    /// lock at all, unaffected by any concurrent apply.
+    fn pin(&self) -> Arc<TableVersion<B>> {
+        self.current
+            .read()
+            .expect("version pointer poisoned by a panicked writer")
+            .clone()
+    }
+
+    /// Publishes `new` as the current version and pushes the superseded
+    /// one into the retention window, evicting past the policy bounds.
+    /// Callers hold `write_gate`.
+    fn install(&self, new: Arc<TableVersion<B>>) {
+        let prev = {
+            let mut cur = self
+                .current
+                .write()
+                .expect("version pointer poisoned by a panicked writer");
+            std::mem::replace(&mut *cur, new)
+        };
+        let mut retained = self.retained.lock().expect("retention window poisoned");
+        retained.push_back(prev);
+        while retained.len() > self.retention.epochs {
+            retained.pop_front();
+        }
+        // Conservative per-entry footprint: versions share unwritten
+        // pages, so the true marginal cost is usually far lower.
+        let entry_bytes = (std::mem::size_of::<Record<D, V>>() + std::mem::size_of::<u64>()) as u64;
+        let mut estimated: u64 = retained.iter().map(|v| v.records * entry_bytes).sum();
+        while estimated > self.retention.bytes {
+            match retained.pop_front() {
+                Some(v) => estimated -= v.records * entry_bytes,
+                None => break,
+            }
+        }
+    }
+
+    /// Installs `new` and discards all retained history — for operations
+    /// (restore, epoch re-stamping) after which older versions no longer
+    /// belong to the same timeline. Callers hold `write_gate`.
+    fn install_and_clear_history(&self, new: Arc<TableVersion<B>>) {
+        {
+            let mut cur = self
+                .current
+                .write()
+                .expect("version pointer poisoned by a panicked writer");
+            *cur = new;
+        }
+        self.retained
+            .lock()
+            .expect("retention window poisoned")
+            .clear();
+    }
+
+    /// Exclusive in-place access to the current version for the
+    /// single-record `&mut self` writers. Pages a live pin still protects
+    /// are copied, not edited ([`Arc::make_mut`] / [`cow_shard`]).
+    fn current_mut(&mut self) -> &mut TableVersion<B> {
+        let cur = self
+            .current
+            .get_mut()
+            .expect("version pointer poisoned by a panicked writer");
+        Arc::make_mut(cur)
+    }
+
+    /// The retention policy bounding [`Self::snapshot_at`]'s window.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// Replaces the retention policy and immediately applies its bounds
+    /// to the retained window.
+    pub fn set_retention(&mut self, policy: RetentionPolicy) {
+        self.retention = policy;
+        let retained = self.retained.get_mut().expect("retention window poisoned");
+        while retained.len() > policy.epochs {
+            retained.pop_front();
+        }
+        let entry_bytes = (std::mem::size_of::<Record<D, V>>() + std::mem::size_of::<u64>()) as u64;
+        let mut estimated: u64 = retained.iter().map(|v| v.records * entry_bytes).sum();
+        while estimated > policy.bytes {
+            match retained.pop_front() {
+                Some(v) => estimated -= v.records * entry_bytes,
+                None => break,
+            }
+        }
+    }
+
+    /// The epoch of the current version: the number of batches applied
+    /// since the build, or whatever [`Self::set_epoch`] last stamped.
+    pub fn version_epoch(&self) -> u64 {
+        self.pin().epoch
+    }
+
+    /// Re-stamps the current version's epoch and discards retained
+    /// history — the recovery hook: after a snapshot restore the replayed
+    /// timeline restarts at the snapshot's epoch, so pre-restore versions
+    /// are meaningless.
+    pub fn set_epoch(&self, epoch: u64) {
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        let base = self.pin();
+        let mut restamped = TableVersion::clone(&base);
+        restamped.epoch = epoch;
+        self.install_and_clear_history(Arc::new(restamped));
+    }
+
+    /// Pins the current version as a snapshot handle: every read through
+    /// it observes this exact epoch, however many batches are applied
+    /// concurrently or afterwards.
+    pub fn snapshot(&self) -> TableSnapshot<'_, C, V, D, B> {
+        TableSnapshot {
+            table: self,
+            version: self.pin(),
+        }
+    }
+
+    /// Pins the version of epoch `epoch` from the current version or the
+    /// retention window — the time-travel entry point. Returns `None` if
+    /// that epoch has been evicted (or never existed); durable callers
+    /// fall back to WAL replay.
+    pub fn snapshot_at(&self, epoch: u64) -> Option<TableSnapshot<'_, C, V, D, B>> {
+        let current = self.pin();
+        let version = if current.epoch == epoch {
+            Some(current)
+        } else {
+            self.retained
+                .lock()
+                .expect("retention window poisoned")
+                .iter()
+                .find(|v| v.epoch == epoch)
+                .cloned()
+        };
+        version.map(|version| TableSnapshot {
+            table: self,
+            version,
+        })
+    }
+
+    /// Epochs currently answerable by [`Self::snapshot_at`], ascending
+    /// (retained window, then the current epoch).
+    pub fn retained_epochs(&self) -> Vec<u64> {
+        let mut epochs: Vec<u64> = self
+            .retained
+            .lock()
+            .expect("retention window poisoned")
+            .iter()
+            .map(|v| v.epoch)
+            .collect();
+        epochs.push(self.pin().epoch);
+        epochs
     }
 
     /// The curve ordering this table.
@@ -192,7 +456,7 @@ where
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.parts.len()
     }
 
     /// The curve-range partitions backing the shards.
@@ -204,7 +468,7 @@ where
     /// of [`PartitionMetrics`](crate::PartitionMetrics), but record-weighted
     /// rather than cell-weighted, which is what skewed data distorts).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| read_shard(s).len()).collect()
+        self.pin().shards.iter().map(|s| s.len()).collect()
     }
 
     /// Total number of stored records (a lock-free counter maintained by
@@ -247,7 +511,9 @@ where
     pub fn insert(&mut self, point: Point<D>, value: V) -> Result<(), SfcError> {
         let key = self.curve.index_of(point)?;
         let shard = self.shard_of_key(key);
-        write_shard_mut(&mut self.shards[shard]).insert(key, Record { point, value });
+        let ver = self.current_mut();
+        cow_shard(&mut ver.shards[shard]).insert(key, Record { point, value });
+        ver.records += 1;
         self.add_records(1);
         Ok(())
     }
@@ -259,10 +525,12 @@ where
     pub fn delete(&mut self, point: Point<D>) -> Result<Option<V>, SfcError> {
         let key = self.curve.index_of(point)?;
         let shard = self.shard_of_key(key);
-        let removed = write_shard_mut(&mut self.shards[shard])
+        let ver = self.current_mut();
+        let removed = cow_shard(&mut ver.shards[shard])
             .remove(key)
             .map(|rec| rec.value);
         if removed.is_some() {
+            ver.records -= 1;
             self.add_records(-1);
         }
         Ok(removed)
@@ -276,11 +544,13 @@ where
     pub fn update(&mut self, point: Point<D>, value: V) -> Result<Option<V>, SfcError> {
         let key = self.curve.index_of(point)?;
         let shard = self.shard_of_key(key);
-        let backend = write_shard_mut(&mut self.shards[shard]);
+        let ver = self.current_mut();
+        let backend = cow_shard(&mut ver.shards[shard]);
         if let Some(rec) = backend.get_mut(key) {
             Ok(Some(std::mem::replace(&mut rec.value, value)))
         } else {
             backend.insert(key, Record { point, value });
+            ver.records += 1;
             self.add_records(1);
             Ok(None)
         }
@@ -323,15 +593,18 @@ where
     /// Applies a batch of writes through `&self` on the single-threaded
     /// reference path: validates and keys every point with one
     /// [`SpaceFillingCurve::fill_indices`] call, stably sorts the batch
-    /// into curve order, and applies each shard's contiguous run under
-    /// that shard's write lock, one shard after another — in place via
-    /// the sorted index permutation, with no per-shard staging.
+    /// into curve order, forks each touched shard copy-on-write, applies
+    /// that shard's contiguous run to the fork — in place via the sorted
+    /// index permutation, with no per-shard staging — and installs the
+    /// whole set as the next epoch version with one pointer swap.
     ///
     /// [`Self::apply_batch`] produces byte-identical state and identical
     /// results while applying the per-shard runs concurrently; this
     /// serial form is the semantic reference the equivalence proptests
     /// and the `engine/apply_parallel` bench compare against, and the
     /// path `apply_batch` itself takes for small batches.
+    ///
+    /// An empty batch installs nothing and bumps no epoch.
     ///
     /// # Errors
     /// If any point lies outside the curve's universe (checked before
@@ -341,6 +614,12 @@ where
         let mut slots: Vec<Option<BatchOp<D, V>>> = ops.into_iter().map(Some).collect();
         let mut results: Vec<Option<V>> = Vec::new();
         results.resize_with(slots.len(), || None);
+        if order.is_empty() {
+            return Ok(results);
+        }
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        let base = self.pin();
+        let mut shards = base.shards.clone();
         let mut at = 0usize;
         let mut delta = 0i64;
         while at < order.len() {
@@ -350,9 +629,9 @@ where
                     .iter()
                     .take_while(|&&i| keys[i] <= self.parts[shard].hi)
                     .count();
-            let mut backend = self.shards[shard]
-                .write()
-                .expect("shard poisoned by a panicked writer");
+            // Fork the touched shard (readers keep scanning `base`'s copy
+            // untouched); untouched shards stay shared `Arc`s.
+            let backend = cow_shard(&mut shards[shard]);
             for pos in at..end {
                 // The permutation visits `slots` in curve order, not
                 // submission order — a data-dependent stride the hardware
@@ -363,11 +642,21 @@ where
                 }
                 let i = order[pos];
                 let op = slots[i].take().expect("each op applied once");
-                results[i] = apply_one(&mut *backend, keys[i], op, &mut delta);
+                results[i] = apply_one(backend, keys[i], op, &mut delta);
             }
             at = end;
         }
-        self.add_records(delta);
+        let records = base
+            .records
+            .checked_add_signed(delta)
+            .expect("record count underflow");
+        self.install(Arc::new(TableVersion {
+            epoch: base.epoch + 1,
+            shards,
+            records,
+        }));
+        self.records
+            .store(records, std::sync::atomic::Ordering::Relaxed);
         Ok(results)
     }
 
@@ -377,10 +666,16 @@ where
     /// walks shards in partition order, so the concatenation of these
     /// streams is the whole table in curve-key order).
     ///
+    /// The stream is taken from one pinned version, so a snapshot walking
+    /// all shards through this method observes exactly one epoch even if
+    /// batches land between per-shard calls — but only *per call*; use
+    /// [`Self::snapshot`] and [`TableSnapshot::persist_shard`] to hold one
+    /// epoch across the whole walk.
+    ///
     /// # Panics
     /// If `shard` is out of range.
     pub fn persist_shard(&self, shard: usize, sink: &mut dyn FnMut(u64, &Record<D, V>)) {
-        read_shard(&self.shards[shard]).persist(sink);
+        self.pin().shards[shard].persist(sink);
     }
 
     /// Replaces the table's entire contents with `entries` — keyed
@@ -415,38 +710,64 @@ where
         let total = entries.len() as u64;
         let mut remainder = entries;
         // Cut the sorted entries at partition boundaries, back to front
-        // (mirroring `build_with`), restoring each shard under its write
-        // lock. Readers see each shard flip atomically; a scan racing the
-        // restore may straddle old and new shards, exactly like an epoch
-        // apply — recovery quiesces by construction (the table is not yet
-        // shared), so this only matters for ad-hoc online restores.
+        // (mirroring `build_with`), restore each shard into a fork, and
+        // install the restored set as one new version: a scan racing the
+        // restore observes either the entire pre-restore state or the
+        // entire post-restore state, never a mix. Retained history is
+        // discarded — the restored timeline replaces it (recovery
+        // re-stamps the epoch via [`Self::set_epoch`]).
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        let base = self.pin();
+        let mut chunks: Vec<Vec<(u64, Record<D, V>)>> = Vec::new();
+        chunks.resize_with(self.parts.len(), Vec::new);
         for (shard, part) in self.parts.iter().enumerate().rev() {
             let cut = remainder.partition_point(|&(k, _)| k < part.lo);
-            let chunk = remainder.split_off(cut);
-            self.shards[shard]
-                .write()
-                .expect("shard poisoned by a panicked writer")
-                .restore(chunk);
+            chunks[shard] = remainder.split_off(cut);
         }
         debug_assert!(remainder.is_empty());
+        let shards: Vec<Arc<B>> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(shard, chunk)| {
+                let mut backend = base.shards[shard].fork();
+                backend.restore(chunk);
+                Arc::new(backend)
+            })
+            .collect();
+        self.install_and_clear_history(Arc::new(TableVersion {
+            epoch: base.epoch,
+            shards,
+            records: total,
+        }));
         self.records
             .store(total, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
-    /// Point lookup (routed to the owning shard; no threads involved).
+    /// Point lookup (routed to the owning shard; no threads involved),
+    /// returned as a **pinned guard**: the value is not copied — the
+    /// guard holds the storage page of the version current at call time,
+    /// so it stays valid and bit-identical whatever is applied (or
+    /// dropped) afterwards. Callers needing an owned payload use
+    /// [`Self::get_cloned`].
     ///
     /// # Errors
     /// If the point lies outside the curve's universe.
-    pub fn get(&self, p: Point<D>) -> Result<Option<V>, SfcError>
-    where
-        V: Clone,
-    {
+    pub fn get(&self, p: Point<D>) -> Result<Option<ValueGuard<D, V>>, SfcError> {
         let key = self.curve.index_of(p)?;
         let shard = self.shard_of_key(key);
-        Ok(read_shard(&self.shards[shard])
-            .get(key)
-            .map(|r| r.value.clone()))
+        Ok(self.pin().shards[shard]
+            .get_pinned(key)
+            .map(|entry| ValueGuard { entry }))
+    }
+
+    /// Point lookup returning an owned copy of the payload — the
+    /// pre-MVCC `get` semantics, for callers that need `V` by value.
+    ///
+    /// # Errors
+    /// If the point lies outside the curve's universe.
+    pub fn get_cloned(&self, p: Point<D>) -> Result<Option<V>, SfcError> {
+        Ok(self.get(p)?.map(|guard| guard.value.clone()))
     }
 
     /// Splits the cluster ranges of `q` at shard boundaries. Returns the
@@ -461,7 +782,7 @@ where
     /// Splits arbitrary sorted ranges (a plan's, or a full decomposition's)
     /// at shard boundaries.
     fn split_ranges(&self, ranges: &[(u64, u64)]) -> (ShardWork, u64) {
-        let mut work: ShardWork = vec![Vec::new(); self.shards.len()];
+        let mut work: ShardWork = vec![Vec::new(); self.parts.len()];
         let mut pieces = 0u64;
         for &(mut lo, hi) in ranges {
             let mut shard = self.shard_of_key(lo);
@@ -533,10 +854,10 @@ where
     /// Large batches (1024+ ops touching more than one shard, on hosts
     /// with more than one core) apply their per-shard slices
     /// **concurrently** via [`Self::apply_batch_parallel`]: the slices
-    /// are disjoint by construction and each worker takes only its own
-    /// shard's write lock, so the parallel apply is observationally
-    /// identical to [`Self::apply_batch_serial`] — same displaced
-    /// payloads, same final state, same per-shard atomicity — with the
+    /// are disjoint by construction and each worker owns its shard's
+    /// private fork, so the parallel apply is observationally identical
+    /// to [`Self::apply_batch_serial`] — same displaced payloads, same
+    /// final state, same all-shards-at-once version install — with the
     /// epoch's critical path shrunk to the slowest shard. Smaller
     /// batches (and single-core hosts) stay on the serial path (the
     /// equivalence proptests pin both).
@@ -548,8 +869,11 @@ where
     ///
     /// This is the write entry point the epoch-batching serving layer
     /// (`sfc-engine`) drives — both for live epochs and for recovery
-    /// replay; interleaved readers see each shard atomically switch from
-    /// pre-batch to post-batch state.
+    /// replay. The batch becomes visible as one new epoch version in a
+    /// single pointer swap: a reader's scan observes either the entire
+    /// pre-batch table or the entire post-batch table — never a mix,
+    /// even across shards — and in-flight scans that pinned the old
+    /// version complete against it untouched.
     ///
     /// # Errors
     /// If any point lies outside the curve's universe (checked before
@@ -609,54 +933,77 @@ where
         }
         let mut results: Vec<Option<V>> = Vec::new();
         results.resize_with(total, || None);
+        if slices.is_empty() {
+            return Ok(results);
+        }
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        let base = self.pin();
+        let mut shards = base.shards.clone();
         let mut delta = 0i64;
         if slices.len() <= 1 {
             // One shard owns the whole run: threads buy nothing.
             for (shard, slice) in slices {
-                let mut backend = self.shards[shard]
-                    .write()
-                    .expect("shard poisoned by a panicked writer");
+                let backend = cow_shard(&mut shards[shard]);
                 for (i, key, op) in slice {
-                    results[i] = apply_one(&mut *backend, key, op, &mut delta);
+                    results[i] = apply_one(backend, key, op, &mut delta);
                 }
             }
-            self.add_records(delta);
-            return Ok(results);
-        }
-        // Per-shard slices are disjoint in both submission indices and
-        // backends, so workers share nothing but the table reference.
-        type ShardChunk<V> = (Vec<(usize, Option<V>)>, i64);
-        let chunks: Vec<ShardChunk<V>> = std::thread::scope(|s| {
-            let handles: Vec<_> = slices
+        } else {
+            // Each worker owns its shard's private fork outright — the
+            // workers hold no lock and share nothing mutable, so the
+            // apply contends with readers on exactly nothing.
+            type ForkedShard<B, const D: usize, V> = (usize, B, Vec<(usize, u64, BatchOp<D, V>)>);
+            let mut forked: Vec<ForkedShard<B, D, V>> = slices
                 .into_iter()
                 .map(|(shard, slice)| {
-                    let lock = &self.shards[shard];
-                    s.spawn(move || {
-                        let mut backend =
-                            lock.write().expect("shard poisoned by a panicked writer");
-                        let mut local_delta = 0i64;
-                        let pairs: Vec<(usize, Option<V>)> = slice
-                            .into_iter()
-                            .map(|(i, key, op)| {
-                                (i, apply_one(&mut *backend, key, op, &mut local_delta))
-                            })
-                            .collect();
-                        (pairs, local_delta)
-                    })
+                    let backend = shards[shard].fork();
+                    (shard, backend, slice)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard apply worker panicked"))
-                .collect()
-        });
-        for (pairs, d) in chunks {
-            delta += d;
-            for (i, displaced) in pairs {
-                results[i] = displaced;
+            type ShardChunk<V> = (Vec<(usize, Option<V>)>, i64);
+            let chunks: Vec<ShardChunk<V>> = std::thread::scope(|s| {
+                let handles: Vec<_> = forked
+                    .iter_mut()
+                    .map(|entry| {
+                        s.spawn(move || {
+                            let (_, backend, slice) = entry;
+                            let mut local_delta = 0i64;
+                            let pairs: Vec<(usize, Option<V>)> = slice
+                                .drain(..)
+                                .map(|(i, key, op)| {
+                                    (i, apply_one(backend, key, op, &mut local_delta))
+                                })
+                                .collect();
+                            (pairs, local_delta)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard apply worker panicked"))
+                    .collect()
+            });
+            for (shard, backend, _) in forked {
+                shards[shard] = Arc::new(backend);
+            }
+            for (pairs, d) in chunks {
+                delta += d;
+                for (i, displaced) in pairs {
+                    results[i] = displaced;
+                }
             }
         }
-        self.add_records(delta);
+        let records = base
+            .records
+            .checked_add_signed(delta)
+            .expect("record count underflow");
+        self.install(Arc::new(TableVersion {
+            epoch: base.epoch + 1,
+            shards,
+            records,
+        }));
+        self.records
+            .store(records, std::sync::atomic::Ordering::Relaxed);
         Ok(results)
     }
 
@@ -688,8 +1035,9 @@ where
         &self,
         q: &RectQuery<D>,
     ) -> Result<(QueryResult<D, V>, Vec<IoStats>), SfcError> {
+        let version = self.pin();
         let (work, pieces) = self.split_query(q)?;
-        let (records, per_shard) = self.scan_work(&work, q, false);
+        let (records, per_shard) = self.scan_work(&version, &work, q, false);
         let mut io = IoStats::default();
         for stats in &per_shard {
             io.absorb(*stats);
@@ -702,6 +1050,60 @@ where
             },
             per_shard,
         ))
+    }
+
+    /// Answers a rectangle query against a **reconstructed historical**
+    /// state: `entries` (a curve-keyed snapshot stream, sorted ascending)
+    /// with the WAL-prefix `ops` replayed on top, evaluated under this
+    /// table's curve. The cold half of time-travel reads — the serving
+    /// layer calls this when [`Self::snapshot_at`] misses the retention
+    /// window and the epoch has to be rebuilt from disk.
+    ///
+    /// Replay reuses the exact batch-apply semantics of the live path
+    /// (same keying, same stable curve-order sort, same per-op
+    /// application), so the records returned are byte-identical to what
+    /// [`Self::query_rect`] would have answered at that epoch. The scan
+    /// runs over a single throwaway in-memory backend: `ranges_scanned`
+    /// reports the query's unsharded clustering number and `io` the
+    /// replay scan's own cost, not the historical layout's.
+    ///
+    /// # Errors
+    /// If any replayed op or snapshot key lies outside the curve's
+    /// universe, or if the query does not fit inside it.
+    pub fn query_rect_replayed(
+        &self,
+        entries: Vec<(u64, Record<D, V>)>,
+        ops: Vec<BatchOp<D, V>>,
+        q: &RectQuery<D>,
+    ) -> Result<QueryResult<D, V>, SfcError> {
+        self.check_fits(q)?;
+        let cells = self.curve.universe().cell_count();
+        if let Some(&(key, _)) = entries.iter().find(|&&(k, _)| k >= cells) {
+            return Err(SfcError::IndexOutOfBounds { index: key, cells });
+        }
+        if !entries.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Err(SfcError::Storage {
+                context: "replaying history: snapshot entries are not in curve-key order".into(),
+            });
+        }
+        let (keys, order) = self.key_batch(&ops)?;
+        let mut backend: MemoryBackend<Record<D, V>> = MemoryBackend::bulk_load(entries);
+        let mut slots: Vec<Option<BatchOp<D, V>>> = ops.into_iter().map(Some).collect();
+        let mut delta = 0i64;
+        for &i in &order {
+            let op = slots[i].take().expect("each op applied once");
+            apply_one(&mut backend, keys[i], op, &mut delta);
+        }
+        let mut scratch = self.scratch.checkout();
+        let ranges = scratch.ranges_of(&self.curve, q);
+        let mut records = Vec::new();
+        let pieces = ranges.len() as u64;
+        let stats = scan_shard(&backend, ranges, q, false, &mut records);
+        Ok(QueryResult {
+            records,
+            ranges_scanned: pieces,
+            io: stats,
+        })
     }
 
     /// Plans a rectangle query without executing it (the `EXPLAIN` entry
@@ -734,9 +1136,20 @@ where
         q: &RectQuery<D>,
         planner: &Planner,
     ) -> Result<(QueryResult<D, V>, QueryPlan), SfcError> {
-        let plan = self.plan_rect(q, planner)?;
+        // Pin once: the plan is costed on this version's record density
+        // and the scan executes against the same version, so the stats
+        // fed back to the planner describe exactly the state it planned.
+        let version = self.pin();
+        self.check_fits(q)?;
+        let plan = {
+            let mut scratch = self.scratch.checkout();
+            let full = scratch.ranges_of(&self.curve, q);
+            let density =
+                crate::plan::record_density(version.len(), self.curve.universe().cell_count());
+            planner.plan_ranges(full, density)
+        };
         let (work, pieces) = self.split_ranges(&plan.ranges);
-        let (records, per_shard) = self.scan_work(&work, q, true);
+        let (records, per_shard) = self.scan_work(&version, &work, q, true);
         let mut io = IoStats::default();
         for stats in &per_shard {
             io.absorb(*stats);
@@ -753,26 +1166,29 @@ where
         ))
     }
 
-    /// Scans a per-shard worklist, inline for a single involved shard and
-    /// under [`std::thread::scope`] otherwise. With `filter`, records
-    /// outside `q` are dropped (plans absorb gap cells); without it they
-    /// are debug-asserted impossible (exact decompositions never scan
-    /// outside the query).
+    /// Scans a per-shard worklist against one pinned version, inline for
+    /// a single involved shard and under [`std::thread::scope`]
+    /// otherwise. No lock is held anywhere in the scan — the version is
+    /// immutable — so scans never wait on writers (or each other). With
+    /// `filter`, records outside `q` are dropped (plans absorb gap
+    /// cells); without it they are debug-asserted impossible (exact
+    /// decompositions never scan outside the query).
     fn scan_work(
         &self,
+        version: &TableVersion<B>,
         work: &ShardWork,
         q: &RectQuery<D>,
         filter: bool,
     ) -> (Vec<Record<D, V>>, Vec<IoStats>) {
-        let mut per_shard = vec![IoStats::default(); self.shards.len()];
+        let mut per_shard = vec![IoStats::default(); version.shards.len()];
         let mut records = Vec::new();
         let involved = work.iter().filter(|w| !w.is_empty()).count();
         if involved <= 1 {
             // One shard (or none): scan inline, no thread overhead.
             for (shard, ranges) in work.iter().enumerate() {
                 if !ranges.is_empty() {
-                    let backend = read_shard(&self.shards[shard]);
-                    per_shard[shard] = scan_shard(&*backend, ranges, q, filter, &mut records);
+                    let backend: &B = &version.shards[shard];
+                    per_shard[shard] = scan_shard(backend, ranges, q, filter, &mut records);
                 }
             }
         } else {
@@ -782,11 +1198,10 @@ where
                     .enumerate()
                     .filter(|(_, ranges)| !ranges.is_empty())
                     .map(|(shard, ranges)| {
-                        let lock = &self.shards[shard];
+                        let backend: &B = &version.shards[shard];
                         s.spawn(move || {
-                            let backend = read_shard(lock);
                             let mut recs = Vec::new();
-                            let stats = scan_shard(&*backend, ranges, q, filter, &mut recs);
+                            let stats = scan_shard(backend, ranges, q, filter, &mut recs);
                             (shard, recs, stats)
                         })
                     })
@@ -818,13 +1233,16 @@ where
         &self,
         queries: &[RectQuery<D>],
     ) -> Result<Vec<QueryResult<D, V>>, SfcError> {
+        // One pin for the whole batch: every query in it observes the
+        // same epoch.
+        let version = self.pin();
         // Split every query first so errors surface before any scan work.
         let mut splits = Vec::with_capacity(queries.len());
         for q in queries {
             splits.push(self.split_query(q)?);
         }
         // Transpose into per-shard worklists of (query, lo, hi).
-        let mut shard_work: Vec<Vec<(usize, u64, u64)>> = vec![Vec::new(); self.shards.len()];
+        let mut shard_work: Vec<Vec<(usize, u64, u64)>> = vec![Vec::new(); version.shards.len()];
         for (qi, (work, _)) in splits.iter().enumerate() {
             for (shard, ranges) in work.iter().enumerate() {
                 for &(lo, hi) in ranges {
@@ -839,9 +1257,8 @@ where
                 .enumerate()
                 .filter(|(_, wl)| !wl.is_empty())
                 .map(|(shard, worklist)| {
-                    let lock = &self.shards[shard];
+                    let backend: &B = &version.shards[shard];
                     s.spawn(move || {
-                        let backend = read_shard(lock);
                         let mut out: Vec<(usize, Vec<Record<D, V>>, IoStats)> = Vec::new();
                         for &(qi, lo, hi) in worklist {
                             if out.last().is_none_or(|&(last_qi, _, _)| last_qi != qi) {
@@ -882,6 +1299,122 @@ where
             }
         }
         Ok(results)
+    }
+}
+
+/// A pinned point-read from [`ShardedTable::get`] (or
+/// [`TableSnapshot::get`]): dereferences to the stored
+/// [`Record`](crate::Record) without copying it. The guard holds the
+/// B+-tree leaf page of the version it was read from, so it remains valid
+/// — and immutable — after any number of epoch applies, and even after
+/// the table itself is dropped.
+#[derive(Debug, Clone)]
+pub struct ValueGuard<const D: usize, V> {
+    entry: EntryGuard<Record<D, V>>,
+}
+
+impl<const D: usize, V> std::ops::Deref for ValueGuard<D, V> {
+    type Target = Record<D, V>;
+
+    fn deref(&self) -> &Record<D, V> {
+        &self.entry
+    }
+}
+
+/// A read handle pinned to one epoch version of a [`ShardedTable`] —
+/// what [`ShardedTable::snapshot`] / [`ShardedTable::snapshot_at`]
+/// return. Every query through the handle observes exactly this
+/// version's state, byte-for-byte, regardless of concurrent or later
+/// applies; holding the handle keeps the version (and all pages it
+/// shares) alive past retention eviction.
+pub struct TableSnapshot<'t, C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
+    table: &'t ShardedTable<C, V, D, B>,
+    version: Arc<TableVersion<B>>,
+}
+
+impl<const D: usize, C, V, B> TableSnapshot<'_, C, V, D, B>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone,
+    B: Backend<Record<D, V>>,
+{
+    /// The epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.version.epoch
+    }
+
+    /// Records stored at this epoch.
+    pub fn len(&self) -> usize {
+        self.version.len()
+    }
+
+    /// Whether this epoch's table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.version.is_empty()
+    }
+
+    /// Record density at this epoch (records per curve cell) — what the
+    /// planner uses when costing a query against this snapshot.
+    pub fn density(&self) -> f64 {
+        crate::plan::record_density(self.version.len(), self.table.curve.universe().cell_count())
+    }
+
+    /// Pinned point lookup at this epoch (see [`ShardedTable::get`]).
+    ///
+    /// # Errors
+    /// If the point lies outside the curve's universe.
+    pub fn get(&self, p: Point<D>) -> Result<Option<ValueGuard<D, V>>, SfcError> {
+        let key = self.table.curve.index_of(p)?;
+        let shard = self.table.shard_of_key(key);
+        Ok(self.version.shards[shard]
+            .get_pinned(key)
+            .map(|entry| ValueGuard { entry }))
+    }
+
+    /// Owned-copy point lookup at this epoch.
+    ///
+    /// # Errors
+    /// If the point lies outside the curve's universe.
+    pub fn get_cloned(&self, p: Point<D>) -> Result<Option<V>, SfcError> {
+        Ok(self.get(p)?.map(|guard| guard.value.clone()))
+    }
+
+    /// Streams shard `shard`'s entries at this epoch in ascending key
+    /// order — the fixed-epoch form of
+    /// [`ShardedTable::persist_shard`], which durable checkpoints walk so
+    /// the whole snapshot file is one epoch.
+    ///
+    /// # Panics
+    /// If `shard` is out of range.
+    pub fn persist_shard(&self, shard: usize, sink: &mut dyn FnMut(u64, &Record<D, V>)) {
+        self.version.shards[shard].persist(sink);
+    }
+}
+
+impl<const D: usize, C, V, B> TableSnapshot<'_, C, V, D, B>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send,
+    B: Backend<Record<D, V>> + Send + Sync,
+{
+    /// Answers a rectangle query against this epoch — same decomposition,
+    /// sharding, and concurrency as [`ShardedTable::query_rect`], but the
+    /// scanned state is this snapshot's version.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    pub fn query_rect(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
+        let (work, pieces) = self.table.split_query(q)?;
+        let (records, per_shard) = self.table.scan_work(&self.version, &work, q, false);
+        let mut io = IoStats::default();
+        for stats in &per_shard {
+            io.absorb(*stats);
+        }
+        Ok(QueryResult {
+            records,
+            ranges_scanned: pieces,
+            io,
+        })
     }
 }
 
@@ -947,21 +1480,6 @@ fn scan_shard<const D: usize, V: Clone, B: Backend<Record<D, V>>>(
         entries: (records.len() - before) as u64,
         cache_hits: stats.cache_hits,
     }
-}
-
-/// Takes a shard's read lock. Poisoning propagates as a panic
-/// *deliberately* (fail-stop): a writer that panicked mid-`apply_batch`
-/// may have left this shard's tree half-mutated, and serving reads from a
-/// possibly-corrupt shard is worse than refusing.
-fn read_shard<B>(lock: &RwLock<B>) -> std::sync::RwLockReadGuard<'_, B> {
-    lock.read().expect("shard poisoned by a panicked writer")
-}
-
-/// Exclusive access to a shard through `&mut self` — no locking needed,
-/// the borrow checker already guarantees uniqueness. Same fail-stop
-/// poisoning policy as [`read_shard`].
-fn write_shard_mut<B>(lock: &mut RwLock<B>) -> &mut B {
-    lock.get_mut().expect("shard poisoned by a panicked writer")
 }
 
 #[cfg(test)]
@@ -1063,10 +1581,11 @@ mod tests {
             "dense data balances: {sizes:?}"
         );
         let p = Point::new([3, 9]);
-        assert_eq!(t.get(p).unwrap(), Some(3009));
+        assert_eq!(t.get_cloned(p).unwrap(), Some(3009));
+        assert_eq!(t.get(p).unwrap().map(|g| g.value), Some(3009));
         assert_eq!(t.update(p, 1).unwrap(), Some(3009));
         assert_eq!(t.delete(p).unwrap(), Some(1));
-        assert_eq!(t.get(p).unwrap(), None);
+        assert!(t.get(p).unwrap().is_none());
         assert_eq!(t.len(), 255);
         assert!(t.insert(Point::new([16, 0]), 0).is_err());
         // Query reflects the writes, matching a fresh single table.
@@ -1218,7 +1737,85 @@ mod tests {
         });
         // Updates replaced in place: same cardinality, new diagonal values.
         assert_eq!(t.len() as u64, total);
-        assert_eq!(t.get(Point::new([3, 3])).unwrap(), Some(900_019));
+        assert_eq!(t.get_cloned(Point::new([3, 3])).unwrap(), Some(900_019));
+    }
+
+    #[test]
+    fn version_epoch_bumps_once_per_batch_and_window_tracks_it() {
+        let mut t = ShardedTable::build(
+            Onion2D::new(8).unwrap(),
+            dense_records(8),
+            DiskModel::ssd(),
+            3,
+        )
+        .unwrap();
+        t.set_retention(RetentionPolicy {
+            epochs: 2,
+            bytes: u64::MAX,
+        });
+        assert_eq!(t.version_epoch(), 0);
+        assert_eq!(t.retained_epochs(), vec![0], "only the live version");
+        for e in 1..=4u64 {
+            t.apply_batch(vec![BatchOp::Update(Point::new([0, 0]), e as u32)])
+                .unwrap();
+            assert_eq!(t.version_epoch(), e);
+        }
+        // Window holds the last `epochs` superseded versions plus the
+        // current one, oldest evicted first.
+        assert_eq!(t.retained_epochs(), vec![2, 3, 4]);
+        assert!(t.snapshot_at(4).is_some(), "current epoch always pinnable");
+        assert!(t.snapshot_at(3).is_some());
+        assert!(t.snapshot_at(1).is_none(), "evicted");
+        assert!(t.snapshot_at(9).is_none(), "never applied");
+    }
+
+    #[test]
+    fn snapshot_at_answers_the_stamped_epoch() {
+        let t = ShardedTable::build(
+            Onion2D::new(8).unwrap(),
+            dense_records(8),
+            DiskModel::ssd(),
+            2,
+        )
+        .unwrap();
+        let p = Point::new([5, 5]);
+        t.apply_batch(vec![BatchOp::Update(p, 111)]).unwrap();
+        t.apply_batch(vec![BatchOp::Update(p, 222)]).unwrap();
+        let q = RectQuery::new([5, 5], [1, 1]).unwrap();
+        let old = t.snapshot_at(1).expect("retained");
+        assert_eq!(old.epoch(), 1);
+        assert_eq!(old.query_rect(&q).unwrap().records[0].value, 111);
+        assert_eq!(t.query_rect(&q).unwrap().records[0].value, 222);
+        // The live table's history never moves underneath a snapshot.
+        t.apply_batch(vec![BatchOp::Delete(p)]).unwrap();
+        assert_eq!(old.query_rect(&q).unwrap().records[0].value, 111);
+    }
+
+    #[test]
+    fn byte_bound_evicts_before_epoch_bound() {
+        let mut t = ShardedTable::build(
+            Onion2D::new(8).unwrap(),
+            dense_records(8),
+            DiskModel::ssd(),
+            2,
+        )
+        .unwrap();
+        // Far below one 64-record version's estimated footprint: every
+        // superseded version is evicted immediately despite `epochs: 8`.
+        t.set_retention(RetentionPolicy {
+            epochs: 8,
+            bytes: 16,
+        });
+        for e in 1..=3u64 {
+            t.apply_batch(vec![BatchOp::Update(Point::new([1, 1]), e as u32)])
+                .unwrap();
+        }
+        assert_eq!(
+            t.retained_epochs(),
+            vec![3],
+            "byte bound drained the window"
+        );
+        assert!(t.snapshot_at(3).is_some(), "current version unaffected");
     }
 
     #[test]

@@ -870,6 +870,59 @@ impl Wal {
         Ok(())
     }
 
+    /// Re-reads every committed frame from the open (and advisory-locked)
+    /// handle — the time-travel fallback's source: a `snapshot + frame
+    /// prefix` replay reconstructs any epoch the log still covers, without
+    /// a second `open` fighting this process's own file lock. Reads
+    /// exactly the valid prefix (`[0, len())`), so a torn tail left for
+    /// inspection is never touched, and reposition the handle at the
+    /// append point afterwards.
+    ///
+    /// Callers serialize this against appends and [`Self::reset`] (the
+    /// durable layer holds its WAL mutex across the call), so the prefix
+    /// read is of a quiescent file.
+    ///
+    /// # Errors
+    /// On I/O failure, or if an intact frame no longer decodes as
+    /// `(D, V)` — the mistyped-log refusal of [`Self::open`].
+    pub fn read_frames<const D: usize, V: WalCodec>(
+        &mut self,
+    ) -> Result<Vec<EpochFrame<D, V>>, SfcError> {
+        let header = WAL_MAGIC.len() as u64;
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| storage_err("seeking WAL", e))?;
+        let mut bytes = vec![0u8; self.valid_len as usize];
+        self.file
+            .read_exact(&mut bytes)
+            .map_err(|e| storage_err("re-reading WAL prefix", e))?;
+        self.file
+            .seek(SeekFrom::Start(self.valid_len))
+            .map_err(|e| storage_err("seeking WAL", e))?;
+        let mut frames: Vec<EpochFrame<D, V>> = Vec::new();
+        let mut at = header as usize;
+        while let Some(frame_header) = bytes.get(at..at + 8) {
+            let len =
+                u32::from_le_bytes(frame_header[..4].try_into().expect("8-byte slice")) as usize;
+            let Some(payload) = bytes.get(at + 8..at + 8 + len) else {
+                break;
+            };
+            let Some(frame) = decode_epoch_payload::<D, V>(payload) else {
+                return Err(storage_err(
+                    "re-reading WAL prefix",
+                    format_args!(
+                        "{}: committed frame at byte {at} does not decode as this engine's \
+                         value type",
+                        self.path.display()
+                    ),
+                ));
+            };
+            frames.push(frame);
+            at += 8 + len;
+        }
+        Ok(frames)
+    }
+
     /// Byte length of the valid prefix (header plus appended frames).
     /// After a synced append ([`Self::append_epoch`]) returns, everything
     /// up to this offset survives any crash — the number the crash-point

@@ -120,6 +120,7 @@ fn main() {
                 max_epochs: 8,
                 max_delay: Duration::from_millis(25),
             },
+            ..EngineConfig::default()
         },
     )
     .unwrap();
