@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sfc_baselines::curve_2d;
 use sfc_clustering::RectQuery;
-use sfc_index::{BPlusTree, DiskModel, SfcTable};
+use sfc_index::{BPlusTree, DiskModel, QueryOptions, SfcTable};
 use std::hint::black_box;
 
 fn bench_btree(c: &mut Criterion) {
@@ -57,7 +57,12 @@ fn bench_table_queries(c: &mut Criterion) {
             b.iter(|| {
                 x = (x.wrapping_mul(1664525).wrapping_add(1013904223)) % (side - 32);
                 let q = RectQuery::new([x, (x * 7) % (side - 32)], [32, 32]).unwrap();
-                black_box(table.query_rect(black_box(&q)).unwrap().io)
+                black_box(
+                    table
+                        .query_rect(black_box(&q), &QueryOptions::default())
+                        .unwrap()
+                        .io,
+                )
             });
         });
         let _ = table.curve().universe();

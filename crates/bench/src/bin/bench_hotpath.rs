@@ -23,9 +23,11 @@ use sfc_clustering::{
 };
 use sfc_engine::{CommitPolicy, Engine, EngineConfig, Op};
 use sfc_index::{
-    BPlusTree, DiskModel, LruBufferPool, Planner, SfcTable, ShardedTable, DEFAULT_NODE_CAPACITY,
+    BPlusTree, DiskModel, LruBufferPool, Planner, QueryOptions, SfcTable, ShardedTable,
+    DEFAULT_NODE_CAPACITY,
 };
-use sfc_workloads::{mixed_op_stream, zipf_points, OpMix, StreamOp};
+use sfc_net::{Client, Replica, Server};
+use sfc_workloads::{client_streams, mixed_op_stream, zipf_points, OpMix, StreamOp};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -502,7 +504,12 @@ fn main() {
             .unwrap();
             queries
                 .iter()
-                .map(|q| t.query_rect(q).unwrap().io.time_us(&model))
+                .map(|q| {
+                    t.query_rect(q, &QueryOptions::default())
+                        .unwrap()
+                        .io
+                        .time_us(&model)
+                })
                 .sum::<f64>()
         };
         let planned_us = {
@@ -517,7 +524,7 @@ fn main() {
             queries
                 .iter()
                 .map(|q| {
-                    let (res, _plan) = t.query_rect_planned(q, &planner).unwrap();
+                    let res = t.query_rect(q, &QueryOptions::planned(&planner)).unwrap();
                     res.io.time_us(&model)
                 })
                 .sum::<f64>()
@@ -709,7 +716,12 @@ fn main() {
                                 for _ in 0..4 {
                                     for q in queries {
                                         let _scan = locked.then(|| gate.read().unwrap());
-                                        rows += table.query_rect(q).unwrap().records.len() as u64;
+                                        rows += table
+                                            .query_rect(q, &QueryOptions::default())
+                                            .unwrap()
+                                            .records
+                                            .len()
+                                            as u64;
                                     }
                                 }
                                 rows
@@ -1091,6 +1103,112 @@ fn main() {
                 let mut pool = LruBufferPool::new(capacity);
                 stream(Box::new(move |p| pool.access(p)))
             }),
+        });
+    }
+
+    // Wire protocol serving rate: a 4-client fleet over TCP loopback vs
+    // the same fleet through the in-process transport — both route every
+    // request through the same `respond` dispatcher, so the delta is the
+    // framed protocol plus the kernel's loopback stack, nothing else.
+    {
+        use std::sync::Arc;
+        const CLIENTS: usize = 4;
+        const OPS_PER_CLIENT: usize = 1500;
+        let side = 1u32 << 7;
+        let fleet = client_streams::<2>(
+            CLIENTS,
+            side,
+            OPS_PER_CLIENT,
+            &OpMix::read_heavy(),
+            0.8,
+            8,
+            0x5FC_0E7,
+        );
+        let mk_engine = || {
+            let curve = Onion2D::new(side).unwrap();
+            let table = ShardedTable::build(curve, Vec::new(), DiskModel::ssd(), 4).unwrap();
+            Arc::new(Engine::new(table, EngineConfig::default()))
+        };
+        let drive = |mut clients: Vec<Client<Onion2D, u64, 2>>| -> u64 {
+            std::thread::scope(|s| {
+                for (client, stream) in clients.iter_mut().zip(&fleet) {
+                    s.spawn(move || {
+                        for op in stream {
+                            client.execute(op.clone().into()).unwrap();
+                        }
+                    });
+                }
+            });
+            (CLIENTS * OPS_PER_CLIENT) as u64
+        };
+        let local_ns = time_ns(reps, || {
+            let engine = mk_engine();
+            drive(
+                (0..CLIENTS)
+                    .map(|_| Client::local(Arc::clone(&engine)))
+                    .collect(),
+            )
+        });
+        let remote_ns = time_ns(reps, || {
+            let engine = mk_engine();
+            let server = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+            let addr = server.local_addr().to_string();
+            let clients = (0..CLIENTS)
+                .map(|_| Client::<Onion2D, u64, 2>::connect(&addr).unwrap())
+                .collect();
+            let ops = drive(clients);
+            server.shutdown();
+            ops
+        });
+        comparisons.push(Comparison {
+            name: "engine/net_rps/onion2d/loopback/4clients",
+            baseline_ns: Some(local_ns),
+            optimized_ns: remote_ns,
+        });
+    }
+
+    // Replica convergence: wall time for a subscribed replica to apply a
+    // transactor's full committed history (live feed, epoch batches of
+    // 500 writes) and report zero lag. Timing-only — there is no scalar
+    // twin for "how fast does a replica drain the epoch stream".
+    {
+        use std::sync::Arc;
+        let side = 1u32 << 7;
+        let mut rng = StdRng::seed_from_u64(0x5EED_4E11);
+        let writes = mixed_op_stream::<2, _>(side, 5000, &OpMix::write_only(), 0.6, 4, &mut rng);
+        let converge_ns = time_ns(reps.min(3), || {
+            let curve = Onion2D::new(side).unwrap();
+            let table = ShardedTable::build(curve, Vec::new(), DiskModel::ssd(), 4).unwrap();
+            let engine = Arc::new(Engine::new(table, EngineConfig::with_epoch_ops(1 << 20)));
+            let server = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+            let replica = Replica::<Onion2D, u64, 2>::start(
+                &server.local_addr().to_string(),
+                Onion2D::new(side).unwrap(),
+                DiskModel::ssd(),
+                4,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            for (i, op) in writes.iter().enumerate() {
+                engine.execute(op.clone().into()).unwrap();
+                if i % 500 == 499 {
+                    engine.flush().unwrap();
+                }
+            }
+            let committed = engine.stats().epochs;
+            while replica.applied_epoch() < committed {
+                assert!(!replica.is_failed(), "{:?}", replica.take_fault());
+                std::hint::spin_loop();
+            }
+            let applied = replica.applied_epoch();
+            replica.stop();
+            server.shutdown();
+            applied
+        });
+        comparisons.push(Comparison {
+            name: "engine/replica_lag/onion2d/5k_writes/converge",
+            baseline_ns: None,
+            optimized_ns: converge_ns,
         });
     }
 

@@ -283,7 +283,7 @@ const WALK_CHUNK: usize = 1024;
 
 /// Iterator over the cells of a curve in curve order (`π⁻¹(0), π⁻¹(1), …`).
 ///
-/// Pulls cells in [`WALK_CHUNK`]-sized batches through
+/// Pulls cells in `WALK_CHUNK`-sized batches through
 /// [`SpaceFillingCurve::fill_walk`], so full walks of onion curves cost a
 /// counted run-emission loop per ring edge or segment — not even a
 /// classification per cell — and other curves still amortize dispatch to

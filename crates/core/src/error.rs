@@ -48,6 +48,24 @@ pub enum SfcError {
     },
 }
 
+impl SfcError {
+    /// Stable numeric code identifying the variant, for wire protocols and
+    /// logs. Codes are append-only: a variant keeps its code forever, and
+    /// new variants take the next free number — so a client built against
+    /// an older release still classifies errors from a newer server.
+    pub fn code(&self) -> u16 {
+        match self {
+            SfcError::ZeroSide => 1,
+            SfcError::UniverseTooLarge { .. } => 2,
+            SfcError::SideNotPowerOfTwo { .. } => 3,
+            SfcError::PointOutOfBounds { .. } => 4,
+            SfcError::IndexOutOfBounds { .. } => 5,
+            SfcError::DimensionUnsupported { .. } => 6,
+            SfcError::Storage { .. } => 7,
+        }
+    }
+}
+
 impl fmt::Display for SfcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -90,6 +108,29 @@ mod tests {
         };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            SfcError::ZeroSide,
+            SfcError::UniverseTooLarge { side: 7, dims: 21 },
+            SfcError::SideNotPowerOfTwo { side: 12 },
+            SfcError::PointOutOfBounds {
+                point: "(1, 2)".into(),
+                side: 4,
+            },
+            SfcError::IndexOutOfBounds {
+                index: 99,
+                cells: 64,
+            },
+            SfcError::DimensionUnsupported { dims: 5 },
+            SfcError::Storage {
+                context: "io".into(),
+            },
+        ];
+        let codes: Vec<u16> = all.iter().map(SfcError::code).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

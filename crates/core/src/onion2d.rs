@@ -355,7 +355,7 @@ impl SpaceFillingCurve<2> for Onion2D {
     }
 
     /// Run-emitting batched walk: one ring location per ring, then counted
-    /// edge runs (see [`for_each_in_square_walk`]) — the per-cell cost is a
+    /// edge runs (see `for_each_in_square_walk`) — the per-cell cost is a
     /// push, not a classification.
     fn fill_walk(&self, start_idx: u64, count: usize, out: &mut Vec<Point<2>>) {
         debug_assert!(start_idx + count as u64 <= self.universe.cell_count());

@@ -42,7 +42,7 @@
 //! frames reaches the disk is itself an epoch-boundary prefix. A torn
 //! trailing frame (crash mid-append) is detected by length/checksum and
 //! truncated; it never surfaces as a half-applied epoch. Writes that
-//! were admitted ([`Reply::Queued`](crate::Reply::Queued)) but not yet
+//! were admitted ([`Reply::Admitted`](crate::Reply::Admitted)) but not yet
 //! flushed are not covered — durability is acknowledged by `flush`, not
 //! by admission or by the auto-flush cadence. Dropping the engine drains
 //! the pipeline (a final fsync), so clean shutdown loses nothing. The
@@ -456,6 +456,26 @@ impl<const D: usize, V> Durability<D, V> {
             ops.extend(frame.ops);
         }
         Ok(Some((entries, ops)))
+    }
+
+    /// Reads every committed WAL frame with `epoch > from_excl`, in
+    /// commit order — the catch-up half of epoch replication: a replica
+    /// that subscribed at epoch `e` fetches `frames_since(e)` once, then
+    /// switches to the live feed.
+    ///
+    /// Drains the sync pipeline first so every acknowledged frame is
+    /// physically appended before the read. Frames a checkpoint has
+    /// already truncated are gone; callers that need deeper history
+    /// must bootstrap from a snapshot instead.
+    pub(crate) fn frames_since(
+        &self,
+        from_excl: u64,
+    ) -> Result<Vec<sfc_index::EpochFrame<D, V>>, SfcError> {
+        self.sync.drain();
+        let mut w = self.wal.lock().expect("WAL handle poisoned");
+        let mut frames = (self.read_frames)(&mut w.wal)?;
+        frames.retain(|f| f.epoch > from_excl);
+        Ok(frames)
     }
 }
 

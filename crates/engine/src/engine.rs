@@ -21,8 +21,10 @@ pub enum Op<const D: usize, V> {
     Query(RectQuery<D>),
     /// Insert a record (duplicates allowed), deferred to the next epoch.
     /// On an occupied cell this appends a duplicate: point gets return
-    /// the *oldest* record once applied, so read-your-writes holds only
-    /// for vacant cells — use [`Op::Update`] for upsert semantics.
+    /// the **newest** record (both in the pending-log overlay and once
+    /// applied), so read-your-writes holds; rectangle scans still return
+    /// every duplicate in insertion order. Use [`Op::Update`] to replace
+    /// instead of append.
     Insert(Point<D>, V),
     /// Replace-or-insert the payload at a point, deferred to the next
     /// epoch.
@@ -66,6 +68,31 @@ impl<const D: usize> From<sfc_workloads::StreamOp<D>> for Op<D, u64> {
     }
 }
 
+/// A write's admission receipt: the acknowledgment that the op is in the
+/// engine's log and will be applied by a later epoch. Shared between the
+/// in-process [`Reply::Admitted`] and the wire protocol's response, so a
+/// remote client and a local caller read the identical receipt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Admitted {
+    /// Epochs applied so far at admission time — a lower bound on the
+    /// epoch that will apply this write (strictly greater than this;
+    /// usually the next one, but an admission racing an in-flight flush
+    /// whose batch was already staged lands in the epoch after that).
+    pub epoch: u64,
+}
+
+impl sfc_index::WalCodec for Admitted {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+    }
+
+    fn decode(cur: &mut sfc_index::WalCursor<'_>) -> Option<Self> {
+        Some(Admitted {
+            epoch: u64::decode(cur)?,
+        })
+    }
+}
+
 /// What one executed operation returned.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Reply<const D: usize, V> {
@@ -73,15 +100,8 @@ pub enum Reply<const D: usize, V> {
     Value(Option<V>),
     /// A `Query`'s matching records, in curve-key order.
     Records(Vec<Record<D, V>>),
-    /// A write was admitted into the log; it will be applied by an epoch
-    /// numbered strictly greater than `epoch` — usually the next one, but
-    /// an admission racing an in-flight flush (whose batch was already
-    /// staged without this write) lands in the epoch after that.
-    Queued {
-        /// Epochs applied so far at admission time (a lower bound on the
-        /// applying epoch, not an exact slot).
-        epoch: u64,
-    },
+    /// A write was admitted into the log — see [`Admitted`].
+    Admitted(Admitted),
 }
 
 /// How epochs reach the write-ahead log: the group-commit and
@@ -213,6 +233,32 @@ pub struct EngineStats {
     pub durable_epochs: u64,
 }
 
+/// Wire format: the seven counters in declaration order, so a remote
+/// `Stats` verb ships the same struct the in-process call returns.
+impl sfc_index::WalCodec for EngineStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.gets.encode(buf);
+        self.queries.encode(buf);
+        self.writes.encode(buf);
+        self.epochs.encode(buf);
+        self.pending.encode(buf);
+        self.flush_failures.encode(buf);
+        self.durable_epochs.encode(buf);
+    }
+
+    fn decode(cur: &mut sfc_index::WalCursor<'_>) -> Option<Self> {
+        Some(EngineStats {
+            gets: u64::decode(cur)?,
+            queries: u64::decode(cur)?,
+            writes: u64::decode(cur)?,
+            epochs: u64::decode(cur)?,
+            pending: u64::decode(cur)?,
+            flush_failures: u64::decode(cur)?,
+            durable_epochs: u64::decode(cur)?,
+        })
+    }
+}
+
 /// The leader/follower commit queue behind [`Engine::flush`]: at most
 /// one leader stages and applies epochs at a time; everyone else waits
 /// on the condvar for the published watermarks to cover their target.
@@ -242,6 +288,174 @@ impl FlushQueue {
             state: Mutex::new(FlushState::default()),
             done: Condvar::new(),
         }
+    }
+}
+
+/// Epochs a subscriber may buffer before the feed declares it lagged and
+/// drops its backlog: bounds the engine-side memory a stalled consumer
+/// (e.g. a replica behind a dead socket) can pin.
+const FEED_QUEUE_CAP: usize = 1024;
+
+/// One event from an epoch subscription.
+#[derive(Clone, Debug)]
+pub enum FeedEvent<const D: usize, V> {
+    /// Epoch `.0` committed with ops `.1` (submission order). Epoch
+    /// numbers arrive strictly consecutively per subscription.
+    Epoch(u64, std::sync::Arc<Vec<BatchOp<D, V>>>),
+    /// The subscriber fell more than `FEED_QUEUE_CAP` epochs behind;
+    /// its backlog was dropped. The subscription is dead — re-subscribe
+    /// and catch up from the WAL (or a fresh snapshot).
+    Lagged,
+}
+
+/// One subscriber's slot in the feed: its undelivered epochs, oldest
+/// first.
+struct FeedSlot<const D: usize, V> {
+    id: u64,
+    queue: std::collections::VecDeque<(u64, std::sync::Arc<Vec<BatchOp<D, V>>>)>,
+    lagged: bool,
+}
+
+struct FeedState<const D: usize, V> {
+    slots: Vec<FeedSlot<D, V>>,
+    /// Highest epoch published so far (recovery positions it at the
+    /// recovered epoch) — what a new subscription resumes *after*.
+    last_published: u64,
+    next_id: u64,
+}
+
+/// The live epoch feed behind [`Engine::subscribe_epochs`]: committed
+/// epoch batches fan out to subscribers, cloned only when at least one
+/// subscription is active — an engine nobody subscribes to pays nothing.
+pub(crate) struct FeedShared<const D: usize, V> {
+    state: Mutex<FeedState<D, V>>,
+    wake: Condvar,
+}
+
+impl<const D: usize, V> FeedShared<D, V> {
+    fn new() -> Self {
+        FeedShared {
+            state: Mutex::new(FeedState {
+                slots: Vec::new(),
+                last_published: 0,
+                next_id: 0,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Publishes one committed epoch to every live subscriber. Called
+    /// with the apply gate held, so epochs arrive in order and exactly
+    /// once per subscription.
+    fn publish(&self, epoch: u64, ops: &[BatchOp<D, V>])
+    where
+        V: Clone,
+    {
+        let mut st = self.state.lock().expect("epoch feed poisoned");
+        st.last_published = epoch;
+        if st.slots.is_empty() {
+            return;
+        }
+        let shared = std::sync::Arc::new(ops.to_vec());
+        for slot in &mut st.slots {
+            if slot.lagged {
+                continue;
+            }
+            if slot.queue.len() >= FEED_QUEUE_CAP {
+                slot.queue.clear();
+                slot.lagged = true;
+                continue;
+            }
+            slot.queue
+                .push_back((epoch, std::sync::Arc::clone(&shared)));
+        }
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Positions the feed's epoch watermark without publishing — the
+    /// recovery hook mirroring `Engine::set_recovered_epoch`.
+    fn set_epoch(&self, epoch: u64) {
+        self.state
+            .lock()
+            .expect("epoch feed poisoned")
+            .last_published = epoch;
+    }
+}
+
+/// A live subscription to an engine's committed epochs — what the
+/// replication layer ships to read replicas. Obtained from
+/// [`Engine::subscribe_epochs`]; detached from the engine's lifetime (it
+/// holds the feed by `Arc`), so it can be owned by a server thread.
+///
+/// Delivery starts with the first epoch applied *after* the subscription
+/// was registered ([`Self::start_epoch`] is the boundary); earlier
+/// epochs must be caught up from the WAL or a snapshot.
+pub struct EpochSubscription<const D: usize, V> {
+    feed: std::sync::Arc<FeedShared<D, V>>,
+    id: u64,
+    start_epoch: u64,
+}
+
+impl<const D: usize, V> EpochSubscription<D, V> {
+    /// The feed's epoch watermark when this subscription registered:
+    /// every epoch `> start_epoch` will be delivered (in order, no
+    /// gaps); every epoch `<= start_epoch` predates the subscription.
+    pub fn start_epoch(&self) -> u64 {
+        self.start_epoch
+    }
+
+    /// Waits up to `timeout` for the next event. `None` means the wait
+    /// timed out with nothing queued — poll again (servers use the
+    /// timeout to notice shutdown and dead peers).
+    pub fn next_timeout(&self, timeout: Duration) -> Option<FeedEvent<D, V>> {
+        let mut st = self.feed.state.lock().expect("epoch feed poisoned");
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let slot = st
+                .slots
+                .iter_mut()
+                .find(|s| s.id == self.id)
+                .expect("subscription outlives its slot");
+            if slot.lagged {
+                return Some(FeedEvent::Lagged);
+            }
+            if let Some((epoch, ops)) = slot.queue.pop_front() {
+                return Some(FeedEvent::Epoch(epoch, ops));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timed_out) = self
+                .feed
+                .wake
+                .wait_timeout(st, deadline - now)
+                .expect("epoch feed poisoned");
+            st = guard;
+            if timed_out.timed_out() {
+                // Re-check once: a publish may have raced the timeout.
+                let slot = st
+                    .slots
+                    .iter_mut()
+                    .find(|s| s.id == self.id)
+                    .expect("subscription outlives its slot");
+                if slot.lagged {
+                    return Some(FeedEvent::Lagged);
+                }
+                return slot
+                    .queue
+                    .pop_front()
+                    .map(|(e, ops)| FeedEvent::Epoch(e, ops));
+            }
+        }
+    }
+}
+
+impl<const D: usize, V> Drop for EpochSubscription<D, V> {
+    fn drop(&mut self) {
+        let mut st = self.feed.state.lock().expect("epoch feed poisoned");
+        st.slots.retain(|s| s.id != self.id);
     }
 }
 
@@ -277,6 +491,10 @@ pub struct Engine<C, V, const D: usize, B = MemoryBackend<Record<D, V>>> {
     /// When present, [`Engine::flush`] commits each epoch to the log
     /// before any shard mutates; see the [`durable`](crate) docs.
     pub(crate) durability: Option<crate::durable::Durability<D, V>>,
+    /// The live epoch feed ([`Engine::subscribe_epochs`]). Behind an
+    /// `Arc` so subscriptions survive independently of the engine (and
+    /// of [`Engine::into_table`] disassembling it).
+    feed: std::sync::Arc<FeedShared<D, V>>,
     epoch: AtomicU64,
     gets: AtomicU64,
     queries: AtomicU64,
@@ -313,6 +531,7 @@ where
             apply_gate: Mutex::new(()),
             flush_q: FlushQueue::new(),
             durability: None,
+            feed: std::sync::Arc::new(FeedShared::new()),
             epoch: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -362,7 +581,66 @@ where
     /// in WAL epochs from the first post-recovery batch on.
     pub(crate) fn set_recovered_epoch(&self, epoch: u64) {
         self.table.set_epoch(epoch);
+        self.feed.set_epoch(epoch);
         self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Subscribes to the engine's committed epochs: every epoch applied
+    /// after this call is delivered — in order, without gaps — as a
+    /// [`FeedEvent::Epoch`] carrying the epoch's ops. This is the
+    /// replication tap: a transactor's serving layer streams these
+    /// frames to read replicas, which replay them through the same
+    /// `apply_batch` path recovery uses.
+    ///
+    /// Epochs committed *before* the call (at or below
+    /// [`EpochSubscription::start_epoch`]) are not replayed here; catch
+    /// up from the WAL ([`Engine::committed_frames_since`]) or a
+    /// snapshot first. A subscriber that falls more than a queue's worth
+    /// of epochs behind is cut off with [`FeedEvent::Lagged`].
+    pub fn subscribe_epochs(&self) -> EpochSubscription<D, V> {
+        let mut st = self.feed.state.lock().expect("epoch feed poisoned");
+        let id = st.next_id;
+        st.next_id += 1;
+        let start_epoch = st.last_published;
+        st.slots.push(FeedSlot {
+            id,
+            queue: std::collections::VecDeque::new(),
+            lagged: false,
+        });
+        drop(st);
+        EpochSubscription {
+            feed: std::sync::Arc::clone(&self.feed),
+            id,
+            start_epoch,
+        }
+    }
+
+    /// Reads every committed WAL frame with `epoch > from_excl`, in
+    /// commit order — the catch-up path a fresh epoch subscriber pairs
+    /// with [`Self::subscribe_epochs`]: subscribe first, then fetch
+    /// `committed_frames_since(0)` (or since its own applied epoch) and
+    /// replay up to the subscription's
+    /// [`start_epoch`](EpochSubscription::start_epoch) before switching
+    /// to live events.
+    ///
+    /// Drains the commit pipeline first, so every acknowledged epoch is
+    /// physically in the log before the read. Frames a checkpoint has
+    /// already truncated are not returned — bootstrap from the snapshot
+    /// for deeper history.
+    ///
+    /// # Errors
+    /// [`SfcError::Storage`] on in-memory engines (no WAL to read) or on
+    /// log I/O failure.
+    pub fn committed_frames_since(
+        &self,
+        from_excl: u64,
+    ) -> Result<Vec<sfc_index::EpochFrame<D, V>>, SfcError> {
+        match &self.durability {
+            Some(d) => d.frames_since(from_excl),
+            None => Err(SfcError::Storage {
+                context: "committed_frames_since: in-memory engine has no WAL".into(),
+            }),
+        }
     }
 
     /// Writes currently pending: admitted to the active log plus staged in
@@ -411,7 +689,7 @@ where
     /// the commit point is the synced append, exactly as without
     /// pipelining. When `flush` returns `Ok`, the epochs survive any
     /// crash; writes that are merely admitted (acknowledged
-    /// [`Reply::Queued`], not yet flushed) do not.
+    /// [`Reply::Admitted`], not yet flushed) do not.
     ///
     /// # Errors
     /// On a WAL commit or sync failure (durable engines; a staged-but-
@@ -601,6 +879,12 @@ where
                 staged.append(&mut log);
                 *log = staged;
             } else {
+                // The epoch is applied (and, on durable engines,
+                // committed): fan it out to replication subscribers
+                // before it leaves the staging buffer. Publishing under
+                // the apply gate keeps per-subscription delivery
+                // strictly in epoch order.
+                self.feed.publish(self.epoch() + 1, &applying);
                 applying.clear();
             }
         }
@@ -674,7 +958,7 @@ where
                     .store(backlog as u64, Ordering::Release);
             }
         }
-        Ok(Reply::Queued { epoch })
+        Ok(Reply::Admitted(Admitted { epoch }))
     }
 
     /// The admission path's flush: applies the backlog like
@@ -719,7 +1003,7 @@ where
                 }
             }
         }
-        Ok(Reply::Value(self.table.get_cloned(p)?))
+        Ok(Reply::Value(self.table.get(p)?.map(|guard| guard.cloned())))
     }
 }
 
@@ -730,7 +1014,7 @@ where
     B: Backend<Record<D, V>> + Send + Sync,
 {
     /// Executes one operation. Reads return their results; writes return
-    /// [`Reply::Queued`] and become visible to rectangle queries at the
+    /// [`Reply::Admitted`] and become visible to rectangle queries at the
     /// next epoch (point gets see them immediately via the log overlay).
     ///
     /// # Errors
@@ -771,7 +1055,11 @@ where
     /// If the query does not fit inside the universe.
     pub fn query(&self, q: &RectQuery<D>) -> Result<(QueryResult<D, V>, QueryPlan), SfcError> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        self.table.query_rect_planned(q, &self.planner)
+        let mut result = self
+            .table
+            .query_rect(q, &sfc_index::QueryOptions::planned(&self.planner))?;
+        let plan = result.plan.take().expect("planned query carries its plan");
+        Ok((result, plan))
     }
 
     /// Plans a rectangle query without executing it — the `EXPLAIN` API:
@@ -873,7 +1161,7 @@ mod tests {
         assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(Some(303)));
         assert_eq!(
             e.execute(Op::Update(p, 999)).unwrap(),
-            Reply::Queued { epoch: 0 }
+            Reply::Admitted(Admitted { epoch: 0 })
         );
         // Overlay: the write is pending, not applied...
         assert_eq!(e.execute(Op::Get(p)).unwrap(), Reply::Value(Some(999)));

@@ -34,19 +34,17 @@
 //! under its write lock), not across shards: a rectangle query racing a
 //! flush may observe some shards post-epoch and others pre-epoch. Callers
 //! needing a cross-shard-exact scan should quiesce writes around it (or
-//! flush and read before admitting more). Duplicates weaken the overlay:
+//! flush and read before admitting more). Duplicates and the overlay:
 //! `Op::Insert` on an *occupied* cell stores a second record, and point
-//! gets then return the **oldest** record at the cell (B+-tree first-
-//! duplicate semantics) even though the overlay reported the newest while
-//! the write was pending; likewise `Op::Delete` on a cell holding
-//! duplicates removes only one record, while the overlay answers `None`
-//! until the epoch applies. So per-key read-your-writes holds
-//! unconditionally for `Update`, and for `Insert`/`Delete` on cells
-//! without duplicates — i.e. for any table whose cells hold at most one
-//! record, which every write path except Insert-on-occupied preserves.
-//! Use `Op::Update` for upsert-with-read-your-writes; use `Insert` for
-//! append-style duplicate workloads and read them at epoch boundaries,
-//! like any scan.
+//! gets return the **newest** record at the cell (B+-tree newest-
+//! duplicate semantics) — the same record the overlay reported while the
+//! write was pending — so per-key read-your-writes holds unconditionally
+//! for `Insert` and `Update`. `Op::Delete` on a cell holding duplicates
+//! removes only the **oldest** record, while the overlay answers `None`
+//! until the epoch applies; read-your-writes for `Delete` therefore
+//! holds on cells without duplicates, which every write path except
+//! Insert-on-occupied preserves. Rectangle scans still return every
+//! duplicate, in insertion order.
 //!
 //! * **Durability** (optional — [`Engine::open`]): the epoch batch is
 //!   also the unit of logging. A durable engine commits each epoch to an
@@ -125,4 +123,7 @@ pub mod durable;
 mod engine;
 
 pub use durable::{SNAPSHOT_FILE, WAL_FILE};
-pub use engine::{CommitPolicy, Engine, EngineConfig, EngineStats, Op, Reply};
+pub use engine::{
+    Admitted, CommitPolicy, Engine, EngineConfig, EngineStats, EpochSubscription, FeedEvent, Op,
+    Reply,
+};

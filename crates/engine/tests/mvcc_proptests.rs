@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use sfc_baselines::{curve_2d, DynCurve, CURVE_NAMES};
 use sfc_clustering::RectQuery;
 use sfc_engine::{Engine, EngineConfig, Op, Reply};
-use sfc_index::{BatchOp, DiskModel, RetentionPolicy, ShardedTable};
+use sfc_index::{BatchOp, DiskModel, QueryOptions, RetentionPolicy, ShardedTable};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,7 +86,8 @@ proptest! {
                                     let w = rng.random_range(1..=SIDE - x0);
                                     let h = rng.random_range(1..=SIDE - y0);
                                     let q = RectQuery::new([x0, y0], [w, h]).unwrap();
-                                    let result = table.query_rect(&q).unwrap();
+                                    let result =
+                                        table.query_rect(&q, &QueryOptions::default()).unwrap();
                                     // Exactly one epoch: one tag across
                                     // the whole scan, one record per cell.
                                     let tag = result.records.first().map_or(0, |r| r.value);

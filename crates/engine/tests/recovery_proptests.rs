@@ -52,8 +52,8 @@ fn open_engine(dir: &PathBuf, curve_name: &str, shards: usize) -> Engine<DynCurv
 }
 
 /// The single-threaded model of the table, with the engine's duplicate
-/// semantics: `Insert` appends, `Update` rewrites the oldest record (or
-/// inserts), `Delete` removes the oldest, point gets return the oldest.
+/// semantics: `Insert` appends, `Update` rewrites the newest record (or
+/// inserts), `Delete` removes the oldest, point gets return the newest.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 struct Model(BTreeMap<Point<2>, Vec<u64>>);
 
@@ -63,8 +63,8 @@ impl Model {
             BatchOp::Insert(p, v) => self.0.entry(*p).or_default().push(*v),
             BatchOp::Update(p, v) => {
                 let slot = self.0.entry(*p).or_default();
-                match slot.first_mut() {
-                    Some(first) => *first = *v,
+                match slot.last_mut() {
+                    Some(newest) => *newest = *v,
                     None => slot.push(*v),
                 }
             }
@@ -100,7 +100,7 @@ fn assert_state_equals_model(engine: &Engine<DynCurve<2>, u64, 2>, model: &Model
     assert_eq!(got, model.0, "{ctx}: full-universe scan");
     for x in (0..SIDE).step_by(3) {
         let p = Point::new([x, (x * 7) % SIDE]);
-        let expect = model.0.get(&p).and_then(|vs| vs.first()).copied();
+        let expect = model.0.get(&p).and_then(|vs| vs.last()).copied();
         assert_eq!(
             engine.execute(Op::Get(p)).unwrap(),
             Reply::Value(expect),

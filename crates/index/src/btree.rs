@@ -215,15 +215,19 @@ impl<V> BPlusTree<V> {
         }
     }
 
-    /// Looks up a value stored under `key`.
+    /// Looks up a value stored under `key`. Among duplicates, returns the
+    /// **newest** (last-inserted) entry: inserts append after existing
+    /// equal keys, so the newest copy sits last in the rightmost leaf the
+    /// descent lands on — which is what makes read-your-writes hold for a
+    /// write into an occupied cell.
     pub fn get(&self, key: u64) -> Option<&V> {
         let leaf = self.find_leaf(key, false);
         let Node::Leaf { keys, values, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
-        let pos = keys.partition_point(|&k| k < key);
-        if pos < keys.len() && keys[pos] == key {
-            Some(&values[pos])
+        let pos = keys.partition_point(|&k| k <= key);
+        if pos > 0 && keys[pos - 1] == key {
+            Some(&values[pos - 1])
         } else {
             None
         }
@@ -241,11 +245,11 @@ impl<V> BPlusTree<V> {
         let Node::Leaf { keys, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
-        let pos = keys.partition_point(|&k| k < key);
-        if pos < keys.len() && keys[pos] == key {
+        let pos = keys.partition_point(|&k| k <= key);
+        if pos > 0 && keys[pos - 1] == key {
             Some(EntryGuard {
                 node: Arc::clone(&self.nodes[leaf]),
-                pos,
+                pos: pos - 1,
             })
         } else {
             None
@@ -257,7 +261,8 @@ impl<V> BPlusTree<V> {
 /// a shared page — including its values — before editing it. Pure reads and
 /// forks ([`Clone`]) stay bound-free.
 impl<V: Clone> BPlusTree<V> {
-    /// Mutable lookup of a value stored under `key`.
+    /// Mutable lookup of a value stored under `key` — like [`Self::get`],
+    /// the **newest** duplicate.
     ///
     /// Copies the leaf page first if it is shared with another tree
     /// version (copy-on-write), but only when the key is actually present.
@@ -266,12 +271,12 @@ impl<V: Clone> BPlusTree<V> {
         let Node::Leaf { keys, .. } = &*self.nodes[leaf] else {
             unreachable!()
         };
-        let pos = keys.partition_point(|&k| k < key);
-        if pos < keys.len() && keys[pos] == key {
+        let pos = keys.partition_point(|&k| k <= key);
+        if pos > 0 && keys[pos - 1] == key {
             let Node::Leaf { values, .. } = Arc::make_mut(&mut self.nodes[leaf]) else {
                 unreachable!()
             };
-            Some(&mut values[pos])
+            Some(&mut values[pos - 1])
         } else {
             None
         }
@@ -734,6 +739,28 @@ mod tests {
         }
         t.check_invariants().unwrap();
         assert_eq!(t.range(42, 42).count(), 10);
+    }
+
+    #[test]
+    fn point_reads_return_newest_duplicate() {
+        let mut t = BPlusTree::new(4);
+        for k in [7u64, 42, 99] {
+            for i in 0..10u64 {
+                t.insert(k, (k, i));
+            }
+        }
+        t.check_invariants().unwrap();
+        // get / get_pinned / get_mut all answer the last-inserted copy,
+        // even when the duplicate run spans several leaves.
+        assert_eq!(t.get(42), Some(&(42, 9)));
+        assert_eq!(t.get_pinned(42).as_deref(), Some(&(42, 9)));
+        assert_eq!(t.get_mut(42), Some(&mut (42, 9)));
+        // A fresh insert is immediately the one reads see.
+        t.insert(42, (42, 10));
+        assert_eq!(t.get(42), Some(&(42, 10)));
+        // remove still takes the oldest, so scans keep insertion order.
+        assert_eq!(t.remove(42), Some((42, 0)));
+        assert_eq!(t.get(42), Some(&(42, 10)));
     }
 
     #[test]

@@ -45,18 +45,19 @@
 //!
 //! ```
 //! use onion_core::{Onion2D, Point};
-//! use sfc_index::{DiskModel, SfcTable, ShardedTable};
+//! use sfc_index::{DiskModel, QueryOptions, SfcTable, ShardedTable};
 //! use sfc_clustering::RectQuery;
 //!
 //! let records: Vec<(Point<2>, u32)> = (0..64u32).map(|i| (Point::new([i, i]), i)).collect();
 //! let q = RectQuery::new([0, 0], [10, 10]).unwrap();
+//! let opts = QueryOptions::default();
 //!
 //! let table = SfcTable::build(Onion2D::new(64).unwrap(), records.clone(), DiskModel::hdd()).unwrap();
-//! assert_eq!(table.query_rect(&q).unwrap().records.len(), 10);
+//! assert_eq!(table.query_rect(&q, &opts).unwrap().records.len(), 10);
 //!
 //! // The same query through four concurrent shards returns the same rows.
 //! let sharded = ShardedTable::build(Onion2D::new(64).unwrap(), records, DiskModel::hdd(), 4).unwrap();
-//! assert_eq!(sharded.query_rect(&q).unwrap().records, table.query_rect(&q).unwrap().records);
+//! assert_eq!(sharded.query_rect(&q, &opts).unwrap().records, table.query_rect(&q, &opts).unwrap().records);
 //! ```
 
 #![warn(missing_docs)]
@@ -85,8 +86,8 @@ pub use partition::{
 };
 pub use plan::{record_density, PlanStrategy, Planner, QueryPlan};
 pub use shard::{BatchOp, RetentionPolicy, ShardedTable, TableSnapshot, TableVersion, ValueGuard};
-pub use table::{QueryResult, Record, SfcTable};
+pub use table::{QueryOptions, QueryResult, RangeMode, Record, SfcTable};
 pub use wal::{
-    crc32, read_snapshot, write_snapshot, EpochFrame, SnapshotContents, Wal, WalCodec, WalCursor,
-    SNAPSHOT_MAGIC, WAL_MAGIC,
+    crc32, decode_seq, encode_seq, read_snapshot, write_snapshot, EpochFrame, SnapshotContents,
+    Wal, WalCodec, WalCursor, SNAPSHOT_MAGIC, WAL_MAGIC,
 };

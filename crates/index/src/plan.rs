@@ -82,7 +82,7 @@ pub enum PlanStrategy {
 
 /// The planner's decision for one rectangle query: the ranges to scan and
 /// the model numbers that justified them.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryPlan {
     /// The key ranges to scan, sorted and disjoint.
     pub ranges: Vec<(u64, u64)>,

@@ -22,9 +22,9 @@ use crate::btree::EntryGuard;
 use crate::disk::{DiskModel, IoStats};
 use crate::partition::{partition_universe, Partition};
 use crate::plan::{Planner, QueryPlan};
-use crate::table::{keyed_records, QueryResult, Record};
+use crate::table::{keyed_records, QueryOptions, QueryResult, RangeMode, Record};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
-use sfc_clustering::{RectQuery, ScratchPool};
+use sfc_clustering::{coalesce_ranges, coalesce_to_budget, RectQuery, ScratchPool};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -748,8 +748,9 @@ where
     /// returned as a **pinned guard**: the value is not copied — the
     /// guard holds the storage page of the version current at call time,
     /// so it stays valid and bit-identical whatever is applied (or
-    /// dropped) afterwards. Callers needing an owned payload use
-    /// [`Self::get_cloned`].
+    /// dropped) afterwards. If the cell holds duplicates, the guard pins
+    /// the **newest** one. Callers needing an owned payload chain
+    /// [`ValueGuard::cloned`].
     ///
     /// # Errors
     /// If the point lies outside the curve's universe.
@@ -761,13 +762,13 @@ where
             .map(|entry| ValueGuard { entry }))
     }
 
-    /// Point lookup returning an owned copy of the payload — the
-    /// pre-MVCC `get` semantics, for callers that need `V` by value.
+    /// Point lookup returning an owned copy of the payload.
     ///
     /// # Errors
     /// If the point lies outside the curve's universe.
+    #[deprecated(since = "0.8.0", note = "use `get(p)?.map(|g| g.cloned())` instead")]
     pub fn get_cloned(&self, p: Point<D>) -> Result<Option<V>, SfcError> {
-        Ok(self.get(p)?.map(|guard| guard.value.clone()))
+        Ok(self.get(p)?.map(|guard| guard.cloned()))
     }
 
     /// Splits the cluster ranges of `q` at shard boundaries. Returns the
@@ -1012,15 +1013,72 @@ where
     /// ([`std::thread::scope`]), merging records in shard order — which is
     /// curve-key order, so results match the unsharded table exactly.
     ///
+    /// `opts` selects the execution strategy exactly as on
+    /// [`SfcTable::query_rect`](crate::SfcTable::query_rect): exact
+    /// cluster ranges (the default), gap-coalesced / seek-budgeted scans
+    /// ([`RangeMode`]), or the adaptive planner
+    /// ([`QueryOptions::planned`], whose chosen [`QueryPlan`] comes back
+    /// in [`QueryResult::plan`]). The rows are identical whatever the
+    /// strategy; only the seek/read-amplification trade moves.
+    ///
     /// The merged [`IoStats`] *sum* the shards' I/O (total work); per-shard
     /// breakdowns — from which a parallel critical path `max(time_us)` can
     /// be computed — come from [`Self::query_rect_with_shard_stats`].
     ///
     /// # Errors
     /// If the query does not fit inside the universe.
-    pub fn query_rect(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
-        let (result, _) = self.query_rect_with_shard_stats(q)?;
-        Ok(result)
+    pub fn query_rect(
+        &self,
+        q: &RectQuery<D>,
+        opts: &QueryOptions<'_>,
+    ) -> Result<QueryResult<D, V>, SfcError> {
+        if let Some(planner) = opts.planner {
+            return self.query_planned_inner(q, planner).map(|(mut r, plan)| {
+                r.plan = Some(plan);
+                r
+            });
+        }
+        match opts.mode {
+            RangeMode::Exact => {
+                let (result, _) = self.query_rect_with_shard_stats(q)?;
+                Ok(result)
+            }
+            RangeMode::Coalesced { max_gap } => {
+                self.query_coalesced_inner(q, |ranges| coalesce_ranges(ranges, max_gap))
+            }
+            RangeMode::Budget { max_ranges } => {
+                self.query_coalesced_inner(q, |ranges| coalesce_to_budget(ranges, max_ranges))
+            }
+        }
+    }
+
+    /// The fixed-coalescing path behind [`Self::query_rect`]: `merge`
+    /// shrinks the global decomposition before the shard split, and the
+    /// concurrent scan filters out records from absorbed gap cells
+    /// (`io.entries` counts the matching rows).
+    fn query_coalesced_inner(
+        &self,
+        q: &RectQuery<D>,
+        merge: impl FnOnce(&[(u64, u64)]) -> Vec<(u64, u64)>,
+    ) -> Result<QueryResult<D, V>, SfcError> {
+        self.check_fits(q)?;
+        let version = self.pin();
+        let merged = {
+            let mut scratch = self.scratch.checkout();
+            merge(scratch.ranges_of(&self.curve, q))
+        };
+        let (work, pieces) = self.split_ranges(&merged);
+        let (records, per_shard) = self.scan_work(&version, &work, q, true);
+        let mut io = IoStats::default();
+        for stats in &per_shard {
+            io.absorb(*stats);
+        }
+        Ok(QueryResult {
+            records,
+            ranges_scanned: pieces,
+            io,
+            plan: None,
+        })
     }
 
     /// Like [`Self::query_rect`], but also returns each shard's own
@@ -1047,6 +1105,7 @@ where
                 records,
                 ranges_scanned: pieces,
                 io,
+                plan: None,
             },
             per_shard,
         ))
@@ -1103,6 +1162,7 @@ where
             records,
             ranges_scanned: pieces,
             io: stats,
+            plan: None,
         })
     }
 
@@ -1120,18 +1180,28 @@ where
         Ok(planner.plan_ranges(full, self.density()))
     }
 
-    /// Answers a rectangle query through the adaptive planner: plans the
+    /// Answers a rectangle query through the adaptive planner.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `query_rect(q, &QueryOptions::planned(planner))`; the plan is in `QueryResult::plan`"
+    )]
+    pub fn query_rect_planned(
+        &self,
+        q: &RectQuery<D>,
+        planner: &Planner,
+    ) -> Result<(QueryResult<D, V>, QueryPlan), SfcError> {
+        self.query_planned_inner(q, planner)
+    }
+
+    /// The planner path behind [`Self::query_rect`]: plans the
     /// decomposition budget globally, splits the planned ranges at shard
     /// boundaries, scans concurrently (filtering out records from absorbed
     /// gap cells), and feeds both the merged [`IoStats`] and the per-shard
     /// breakdown back into the planner (hit rate and latency skew).
-    ///
-    /// Returns the result and the plan; the rows are always exactly
-    /// [`Self::query_rect`]'s, whatever budget the planner chose.
-    ///
-    /// # Errors
-    /// If the query does not fit inside the universe.
-    pub fn query_rect_planned(
+    fn query_planned_inner(
         &self,
         q: &RectQuery<D>,
         planner: &Planner,
@@ -1161,6 +1231,7 @@ where
                 records,
                 ranges_scanned: pieces,
                 io,
+                plan: None,
             },
             plan,
         ))
@@ -1288,6 +1359,7 @@ where
                 records: Vec::new(),
                 ranges_scanned: pieces,
                 io: IoStats::default(),
+                plan: None,
             })
             .collect();
         // Chunks arrive in shard order (spawn order), and within a shard in
@@ -1318,6 +1390,15 @@ impl<const D: usize, V> std::ops::Deref for ValueGuard<D, V> {
 
     fn deref(&self) -> &Record<D, V> {
         &self.entry
+    }
+}
+
+impl<const D: usize, V: Clone> ValueGuard<D, V> {
+    /// Owned copy of the pinned payload — the one-call form of
+    /// "pin, then clone `guard.value`", for callers that need `V` by
+    /// value (e.g. to send it over a channel or the wire).
+    pub fn cloned(&self) -> V {
+        self.entry.value.clone()
     }
 }
 
@@ -1375,8 +1456,9 @@ where
     ///
     /// # Errors
     /// If the point lies outside the curve's universe.
+    #[deprecated(since = "0.8.0", note = "use `get(p)?.map(|g| g.cloned())` instead")]
     pub fn get_cloned(&self, p: Point<D>) -> Result<Option<V>, SfcError> {
-        Ok(self.get(p)?.map(|guard| guard.value.clone()))
+        Ok(self.get(p)?.map(|guard| guard.cloned()))
     }
 
     /// Streams shard `shard`'s entries at this epoch in ascending key
@@ -1414,6 +1496,7 @@ where
             records,
             ranges_scanned: pieces,
             io,
+            plan: None,
         })
     }
 }
@@ -1523,8 +1606,8 @@ mod tests {
                 RectQuery::new([7, 7], [2, 2]).unwrap(),
                 RectQuery::new([0, 15], [16, 1]).unwrap(),
             ] {
-                let a = single.query_rect(&q).unwrap();
-                let b = sharded.query_rect(&q).unwrap();
+                let a = single.query_rect(&q, &QueryOptions::default()).unwrap();
+                let b = sharded.query_rect(&q, &QueryOptions::default()).unwrap();
                 assert_eq!(a.records, b.records, "shards={shards} {q:?}");
                 assert!(
                     b.ranges_scanned >= a.ranges_scanned,
@@ -1552,7 +1635,7 @@ mod tests {
         ];
         let batch = sharded.query_rect_batch(&queries).unwrap();
         for (q, res) in queries.iter().zip(&batch) {
-            let single = sharded.query_rect(q).unwrap();
+            let single = sharded.query_rect(q, &QueryOptions::default()).unwrap();
             assert_eq!(res.records, single.records, "{q:?}");
             assert_eq!(res.io, single.io, "{q:?}");
             assert_eq!(res.ranges_scanned, single.ranges_scanned, "{q:?}");
@@ -1581,7 +1664,7 @@ mod tests {
             "dense data balances: {sizes:?}"
         );
         let p = Point::new([3, 9]);
-        assert_eq!(t.get_cloned(p).unwrap(), Some(3009));
+        assert_eq!(t.get(p).unwrap().map(|g| g.cloned()), Some(3009));
         assert_eq!(t.get(p).unwrap().map(|g| g.value), Some(3009));
         assert_eq!(t.update(p, 1).unwrap(), Some(3009));
         assert_eq!(t.delete(p).unwrap(), Some(1));
@@ -1599,14 +1682,14 @@ mod tests {
             DiskModel::ssd(),
         )
         .unwrap()
-        .query_rect(&q)
+        .query_rect(&q, &QueryOptions::default())
         .unwrap()
         .records
         .iter()
         .map(|r| r.value)
         .collect();
         let got: Vec<u32> = t
-            .query_rect(&q)
+            .query_rect(&q, &QueryOptions::default())
             .unwrap()
             .records
             .iter()
@@ -1682,8 +1765,14 @@ mod tests {
         assert_eq!(batched.len(), sequential.len());
         let q = RectQuery::new([0, 0], [side, side]).unwrap();
         assert_eq!(
-            batched.query_rect(&q).unwrap().records,
-            sequential.query_rect(&q).unwrap().records
+            batched
+                .query_rect(&q, &QueryOptions::default())
+                .unwrap()
+                .records,
+            sequential
+                .query_rect(&q, &QueryOptions::default())
+                .unwrap()
+                .records
         );
     }
 
@@ -1728,7 +1817,7 @@ mod tests {
             for _ in 0..3 {
                 s.spawn(|| {
                     for _ in 0..20 {
-                        let res = t.query_rect(&q).unwrap();
+                        let res = t.query_rect(&q, &QueryOptions::default()).unwrap();
                         assert_eq!(res.records.len() as u64, total, "no torn reads of a shard");
                     }
                 });
@@ -1737,7 +1826,10 @@ mod tests {
         });
         // Updates replaced in place: same cardinality, new diagonal values.
         assert_eq!(t.len() as u64, total);
-        assert_eq!(t.get_cloned(Point::new([3, 3])).unwrap(), Some(900_019));
+        assert_eq!(
+            t.get(Point::new([3, 3])).unwrap().map(|g| g.cloned()),
+            Some(900_019)
+        );
     }
 
     #[test]
@@ -1785,7 +1877,10 @@ mod tests {
         let old = t.snapshot_at(1).expect("retained");
         assert_eq!(old.epoch(), 1);
         assert_eq!(old.query_rect(&q).unwrap().records[0].value, 111);
-        assert_eq!(t.query_rect(&q).unwrap().records[0].value, 222);
+        assert_eq!(
+            t.query_rect(&q, &QueryOptions::default()).unwrap().records[0].value,
+            222
+        );
         // The live table's history never moves underneath a snapshot.
         t.apply_batch(vec![BatchOp::Delete(p)]).unwrap();
         assert_eq!(old.query_rect(&q).unwrap().records[0].value, 111);
@@ -1841,8 +1936,12 @@ mod tests {
             ([7, 7], [3, 3]),
         ] {
             let q = RectQuery::new(lo, len).unwrap();
-            let exact = t.query_rect(&q).unwrap();
-            let (planned, plan) = t.query_rect_planned(&q, &planner).unwrap();
+            let exact = t.query_rect(&q, &QueryOptions::default()).unwrap();
+            let planned = t.query_rect(&q, &QueryOptions::planned(&planner)).unwrap();
+            let plan = planned
+                .plan
+                .clone()
+                .expect("planned query carries its plan");
             assert_eq!(planned.records, exact.records, "{q:?} {}", plan.explain());
             assert!(plan.ranges.len() <= plan.clusters);
             assert!(
@@ -1877,8 +1976,8 @@ mod tests {
         )
         .unwrap();
         let q = RectQuery::new([0, 0], [16, 16]).unwrap();
-        let cold = t.query_rect(&q).unwrap();
-        let warm = t.query_rect(&q).unwrap();
+        let cold = t.query_rect(&q, &QueryOptions::default()).unwrap();
+        let warm = t.query_rect(&q, &QueryOptions::default()).unwrap();
         assert_eq!(cold.records, warm.records);
         assert!(cold.io.pages > 0);
         assert_eq!(warm.io.pages, 0, "every shard pool warm");

@@ -17,7 +17,83 @@ use crate::backend::{Backend, MemoryBackend, PagedBackend};
 use crate::disk::{DiskModel, IoStats};
 use crate::plan::{Planner, QueryPlan};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
-use sfc_clustering::{coalesce_ranges, ClusterScratch, RectQuery, ScratchPool};
+use sfc_clustering::{coalesce_ranges, coalesce_to_budget, ClusterScratch, RectQuery, ScratchPool};
+
+/// How a rectangle query's key ranges are derived from its exact cluster
+/// decomposition, when no adaptive planner is driving the choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RangeMode {
+    /// Scan the exact cluster ranges: seeks per query = the paper's
+    /// clustering number, no read amplification.
+    #[default]
+    Exact,
+    /// Coalesce ranges separated by gaps of at most `max_gap` keys before
+    /// scanning — the seek-vs-read-amplification trade of Asano et al.
+    /// (paper reference \[15\]). Scanned non-matching records are filtered
+    /// out; `io.entries` counts everything touched, so amplification is
+    /// `io.entries / records.len()`.
+    Coalesced {
+        /// Largest gap (in curve keys) absorbed into a scan.
+        max_gap: u64,
+    },
+    /// Coalesce the smallest gaps first until at most `max_ranges` pieces
+    /// remain — a fixed seek budget instead of a fixed gap threshold.
+    Budget {
+        /// Maximum number of ranges (seeks) to scan; `0` acts as `1`.
+        max_ranges: usize,
+    },
+}
+
+/// Options selecting how [`SfcTable::query_rect`] /
+/// [`ShardedTable::query_rect`](crate::ShardedTable::query_rect) derive
+/// and execute a query's range decomposition — the single entry point
+/// that subsumes the former `query_rect` / `query_rect_planned` /
+/// `query_rect_coalesced` trio.
+///
+/// `QueryOptions::default()` is the exact, unplanned scan (the old
+/// one-argument `query_rect`). With [`Self::planned`], the adaptive
+/// planner chooses the budget from its live cost model and `mode` is
+/// ignored; the chosen [`QueryPlan`] comes back in
+/// [`QueryResult::plan`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryOptions<'p> {
+    /// Adaptive planner to cost and budget the decomposition (and to feed
+    /// realized I/O stats back into). Takes precedence over `mode`.
+    pub planner: Option<&'p Planner>,
+    /// Fixed range-derivation mode used when `planner` is `None`.
+    pub mode: RangeMode,
+}
+
+impl<'p> QueryOptions<'p> {
+    /// Exact decomposition, no planner — `QueryOptions::default()`.
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Route the query through `planner`'s adaptive cost model.
+    pub fn planned(planner: &'p Planner) -> Self {
+        Self {
+            planner: Some(planner),
+            mode: RangeMode::Exact,
+        }
+    }
+
+    /// Coalesce gaps of at most `max_gap` keys before scanning.
+    pub fn coalesced(max_gap: u64) -> Self {
+        Self {
+            planner: None,
+            mode: RangeMode::Coalesced { max_gap },
+        }
+    }
+
+    /// Coalesce down to at most `max_ranges` scan ranges.
+    pub fn budget(max_ranges: usize) -> Self {
+        Self {
+            planner: None,
+            mode: RangeMode::Budget { max_ranges },
+        }
+    }
+}
 
 /// A record stored in the table: a point with an opaque payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +116,9 @@ pub struct QueryResult<const D: usize, V> {
     /// Simulated I/O statistics: one seek per range, one page per backend
     /// leaf transferred, plus buffer-pool hits for paged backends.
     pub io: IoStats,
+    /// The plan the adaptive planner chose, when the query ran with
+    /// [`QueryOptions::planned`]; `None` for fixed-mode scans.
+    pub plan: Option<QueryPlan>,
 }
 
 /// Validates `records` against `curve`'s universe and keys them with one
@@ -250,15 +329,39 @@ where
             .collect())
     }
 
-    /// Answers a rectangle query: decomposes it into cluster ranges and
-    /// scans each, reporting per-query I/O (seeks = ranges, pages =
-    /// backend pages transferred, plus buffer-pool hits).
+    /// Answers a rectangle query. `opts` selects the execution strategy —
+    /// exact cluster ranges (the default: seeks per query = the paper's
+    /// clustering number), gap-coalesced or seek-budgeted scans
+    /// ([`RangeMode`]), or the adaptive planner
+    /// ([`QueryOptions::planned`], which returns its [`QueryPlan`] in
+    /// [`QueryResult::plan`]). Whatever the strategy, the returned rows
+    /// are identical: only the seek/read-amplification trade moves.
     ///
     /// # Errors
     /// If the query does not fit inside the universe.
-    pub fn query_rect(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
-        let mut scratch = self.scratch.checkout();
-        self.query_with_scratch(q, &mut scratch)
+    pub fn query_rect(
+        &self,
+        q: &RectQuery<D>,
+        opts: &QueryOptions<'_>,
+    ) -> Result<QueryResult<D, V>, SfcError> {
+        if let Some(planner) = opts.planner {
+            return self.query_planned_inner(q, planner).map(|(mut r, plan)| {
+                r.plan = Some(plan);
+                r
+            });
+        }
+        match opts.mode {
+            RangeMode::Exact => {
+                let mut scratch = self.scratch.checkout();
+                self.query_with_scratch(q, &mut scratch)
+            }
+            RangeMode::Coalesced { max_gap } => {
+                self.query_coalesced_inner(q, |ranges| coalesce_ranges(ranges, max_gap))
+            }
+            RangeMode::Budget { max_ranges } => {
+                self.query_coalesced_inner(q, |ranges| coalesce_to_budget(ranges, max_ranges))
+            }
+        }
     }
 
     /// Answers many rectangle queries with one scratch checkout: the
@@ -300,6 +403,7 @@ where
             ranges_scanned: ranges.len() as u64,
             records,
             io,
+            plan: None,
         })
     }
 
@@ -323,17 +427,10 @@ where
         Ok(planner.plan_ranges(full, self.density()))
     }
 
-    /// Answers a rectangle query through the adaptive planner: decomposes,
-    /// lets `planner` choose the piece budget from its live cost model,
-    /// scans the planned ranges (filtering out absorbed non-query
-    /// records), and feeds the realized [`IoStats`] back into the planner.
-    ///
-    /// Returns the result and the plan that produced it; results are
-    /// always exactly [`Self::query_rect`]'s rows, whatever the plan.
-    ///
-    /// # Errors
-    /// If the query does not fit inside the universe.
-    pub fn query_rect_planned(
+    /// The planner path behind [`Self::query_rect`]: plan, scan the
+    /// planned ranges (filtering out absorbed non-query records), feed the
+    /// realized [`IoStats`] back into the planner.
+    fn query_planned_inner(
         &self,
         q: &RectQuery<D>,
         planner: &Planner,
@@ -360,29 +457,24 @@ where
                 ranges_scanned: plan.ranges.len() as u64,
                 records,
                 io,
+                plan: None,
             },
             plan,
         ))
     }
 
-    /// Like [`Self::query_rect`], but coalesces cluster ranges separated by
-    /// gaps of at most `max_gap` keys before scanning — the
-    /// seek-vs-read-amplification trade of Asano et al. (paper reference
-    /// \[15\]). Scanned non-matching records are filtered out; `io.entries`
-    /// counts everything touched, so amplification is
-    /// `io.entries / records.len()`.
-    ///
-    /// # Errors
-    /// If the query does not fit inside the universe.
-    pub fn query_rect_coalesced(
+    /// The fixed-coalescing path behind [`Self::query_rect`]: `merge`
+    /// shrinks the exact decomposition, the scan filters out records from
+    /// absorbed gap cells, and `io.entries` counts everything touched.
+    fn query_coalesced_inner(
         &self,
         q: &RectQuery<D>,
-        max_gap: u64,
+        merge: impl FnOnce(&[(u64, u64)]) -> Vec<(u64, u64)>,
     ) -> Result<QueryResult<D, V>, SfcError> {
         self.check_fits(q)?;
         let ranges = {
             let mut scratch = self.scratch.checkout();
-            coalesce_ranges(scratch.ranges_of(&self.curve, q), max_gap)
+            merge(scratch.ranges_of(&self.curve, q))
         };
         let mut records = Vec::new();
         let mut touched = 0u64;
@@ -402,7 +494,40 @@ where
             records,
             ranges_scanned: ranges.len() as u64,
             io,
+            plan: None,
         })
+    }
+
+    /// Answers a rectangle query through the adaptive planner.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `query_rect(q, &QueryOptions::planned(planner))`; the plan is in `QueryResult::plan`"
+    )]
+    pub fn query_rect_planned(
+        &self,
+        q: &RectQuery<D>,
+        planner: &Planner,
+    ) -> Result<(QueryResult<D, V>, QueryPlan), SfcError> {
+        self.query_planned_inner(q, planner)
+    }
+
+    /// Answers a rectangle query over a gap-coalesced decomposition.
+    ///
+    /// # Errors
+    /// If the query does not fit inside the universe.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `query_rect(q, &QueryOptions::coalesced(max_gap))`"
+    )]
+    pub fn query_rect_coalesced(
+        &self,
+        q: &RectQuery<D>,
+        max_gap: u64,
+    ) -> Result<QueryResult<D, V>, SfcError> {
+        self.query_coalesced_inner(q, |ranges| coalesce_ranges(ranges, max_gap))
     }
 
     /// The `k` records nearest to `center` in Euclidean distance — the
@@ -442,7 +567,7 @@ where
             let len: [u32; D] =
                 std::array::from_fn(|d| (center.0[d] + radius).min(side - 1) - lo[d] + 1);
             let window = RectQuery::new(lo, len).expect("window is non-degenerate");
-            let res = self.query_rect(&window)?;
+            let res = self.query_rect(&window, &QueryOptions::default())?;
             let mut hits: Vec<(Record<D, V>, u64)> = res
                 .records
                 .into_iter()
@@ -509,7 +634,7 @@ mod tests {
     fn rect_query_returns_exactly_the_rect() {
         let t = table();
         let q = RectQuery::new([2, 3], [5, 4]).unwrap();
-        let res = t.query_rect(&q).unwrap();
+        let res = t.query_rect(&q, &QueryOptions::default()).unwrap();
         assert_eq!(res.records.len() as u64, q.volume());
         assert!(res.records.iter().all(|r| q.contains(r.point)));
         // Seeks equal the clustering number of the query.
@@ -533,14 +658,14 @@ mod tests {
         let bulk = table();
         let q = RectQuery::new([4, 4], [7, 9]).unwrap();
         let mut a: Vec<u32> = incremental
-            .query_rect(&q)
+            .query_rect(&q, &QueryOptions::default())
             .unwrap()
             .records
             .iter()
             .map(|r| r.value)
             .collect();
         let mut b: Vec<u32> = bulk
-            .query_rect(&q)
+            .query_rect(&q, &QueryOptions::default())
             .unwrap()
             .records
             .iter()
@@ -577,7 +702,11 @@ mod tests {
         // Deleted records no longer appear in rectangle queries.
         let q = RectQuery::new([5, 5], [1, 1]).unwrap();
         t.delete(p).unwrap();
-        assert!(t.query_rect(&q).unwrap().records.is_empty());
+        assert!(t
+            .query_rect(&q, &QueryOptions::default())
+            .unwrap()
+            .records
+            .is_empty());
         // Out-of-bounds writes are rejected.
         assert!(t.delete(Point::new([99, 0])).is_err());
         assert!(t.update(Point::new([99, 0]), 0).is_err());
@@ -594,7 +723,7 @@ mod tests {
         ];
         let t = SfcTable::build(curve, records, DiskModel::ssd()).unwrap();
         let q = RectQuery::new([4, 4], [4, 4]).unwrap();
-        let res = t.query_rect(&q).unwrap();
+        let res = t.query_rect(&q, &QueryOptions::default()).unwrap();
         let mut vals: Vec<u32> = res.records.iter().map(|r| r.value).collect();
         vals.sort();
         assert_eq!(vals, vec![2, 4]);
@@ -611,7 +740,7 @@ mod tests {
     fn full_universe_query_is_one_seek() {
         let t = table();
         let q = RectQuery::new([0, 0], [16, 16]).unwrap();
-        let res = t.query_rect(&q).unwrap();
+        let res = t.query_rect(&q, &QueryOptions::default()).unwrap();
         assert_eq!(res.ranges_scanned, 1);
         assert_eq!(res.io.seeks, 1);
         assert_eq!(res.records.len(), 256);
@@ -621,7 +750,7 @@ mod tests {
     fn simulated_time_uses_model() {
         let t = table();
         let q = RectQuery::new([1, 1], [6, 6]).unwrap();
-        let res = t.query_rect(&q).unwrap();
+        let res = t.query_rect(&q, &QueryOptions::default()).unwrap();
         let time = res.io.time_us(t.model());
         assert!(time > 0.0);
     }
@@ -637,7 +766,7 @@ mod tests {
         let batch = t.query_rect_batch(&queries).unwrap();
         assert_eq!(batch.len(), queries.len());
         for (q, res) in queries.iter().zip(&batch) {
-            let single = t.query_rect(q).unwrap();
+            let single = t.query_rect(q, &QueryOptions::default()).unwrap();
             assert_eq!(res.records, single.records, "{q:?}");
             assert_eq!(res.io, single.io, "{q:?}");
         }
@@ -675,9 +804,9 @@ mod tests {
         };
         let t = SfcTable::build_paged(curve, records, model, 64).unwrap();
         let q = RectQuery::new([2, 2], [8, 8]).unwrap();
-        let cold = t.query_rect(&q).unwrap();
+        let cold = t.query_rect(&q, &QueryOptions::default()).unwrap();
         assert!(cold.io.pages > 0, "cold pool transfers pages");
-        let warm = t.query_rect(&q).unwrap();
+        let warm = t.query_rect(&q, &QueryOptions::default()).unwrap();
         assert_eq!(warm.records, cold.records);
         assert_eq!(warm.io.pages, 0, "warm pool absorbs every page");
         assert_eq!(warm.io.cache_hits, cold.io.pages + cold.io.cache_hits);
@@ -689,8 +818,8 @@ mod tests {
     fn coalesced_query_returns_same_records_with_fewer_seeks() {
         let t = table();
         let q = RectQuery::new([2, 2], [10, 5]).unwrap();
-        let exact = t.query_rect(&q).unwrap();
-        let merged = t.query_rect_coalesced(&q, 16).unwrap();
+        let exact = t.query_rect(&q, &QueryOptions::default()).unwrap();
+        let merged = t.query_rect(&q, &QueryOptions::coalesced(16)).unwrap();
         let key = |r: &Record<2, u32>| (r.point, r.value);
         let mut a: Vec<_> = exact.records.iter().map(key).collect();
         let mut b: Vec<_> = merged.records.iter().map(key).collect();
@@ -700,7 +829,9 @@ mod tests {
         assert!(merged.io.seeks <= exact.io.seeks);
         assert!(merged.io.entries >= exact.io.entries, "read amplification");
         // An unbounded gap merges everything into one seek.
-        let one = t.query_rect_coalesced(&q, u64::MAX).unwrap();
+        let one = t
+            .query_rect(&q, &QueryOptions::coalesced(u64::MAX))
+            .unwrap();
         assert_eq!(one.io.seeks, 1);
     }
 
@@ -727,8 +858,12 @@ mod tests {
             ([9, 1], [3, 12]),
         ] {
             let q = RectQuery::new(lo, len).unwrap();
-            let exact = t.query_rect(&q).unwrap();
-            let (planned, plan) = t.query_rect_planned(&q, &planner).unwrap();
+            let exact = t.query_rect(&q, &QueryOptions::default()).unwrap();
+            let planned = t.query_rect(&q, &QueryOptions::planned(&planner)).unwrap();
+            let plan = planned
+                .plan
+                .clone()
+                .expect("planned query carries its plan");
             assert_eq!(planned.records, exact.records, "{}", plan.explain());
             assert_eq!(planned.io.seeks, plan.ranges.len() as u64);
             assert_eq!(planned.io.entries, exact.io.entries);

@@ -67,9 +67,11 @@
 //! ```
 
 use crate::backend::Backend;
+use crate::plan::QueryPlan;
 use crate::shard::{BatchOp, ShardedTable};
 use crate::table::Record;
 use onion_core::{Point, SfcError, SpaceFillingCurve};
+use sfc_clustering::RectQuery;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -338,6 +340,142 @@ impl<const D: usize, V: WalCodec> WalCodec for BatchOp<D, V> {
             OP_DELETE => Some(BatchOp::Delete(Point::decode(cur)?)),
             _ => None,
         }
+    }
+}
+
+/// Errors cross the durability boundary too — a replica or a remote
+/// client must see exactly the failure the transactor produced. The
+/// encoding leads with [`SfcError::code`] (the stable per-variant `u16`),
+/// then the variant's fields; an unknown code decodes to `None`, so a
+/// client built before a new variant treats it as a torn frame rather
+/// than mis-classifying it.
+impl WalCodec for SfcError {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.code().encode(buf);
+        match self {
+            SfcError::ZeroSide => {}
+            SfcError::UniverseTooLarge { side, dims } => {
+                side.encode(buf);
+                (*dims as u64).encode(buf);
+            }
+            SfcError::SideNotPowerOfTwo { side } => side.encode(buf),
+            SfcError::PointOutOfBounds { point, side } => {
+                point.encode(buf);
+                side.encode(buf);
+            }
+            SfcError::IndexOutOfBounds { index, cells } => {
+                index.encode(buf);
+                cells.encode(buf);
+            }
+            SfcError::DimensionUnsupported { dims } => (*dims as u64).encode(buf),
+            SfcError::Storage { context } => context.encode(buf),
+        }
+    }
+    fn decode(cur: &mut WalCursor<'_>) -> Option<Self> {
+        match u16::decode(cur)? {
+            1 => Some(SfcError::ZeroSide),
+            2 => Some(SfcError::UniverseTooLarge {
+                side: cur.u32()?,
+                dims: usize::try_from(cur.u64()?).ok()?,
+            }),
+            3 => Some(SfcError::SideNotPowerOfTwo { side: cur.u32()? }),
+            4 => Some(SfcError::PointOutOfBounds {
+                point: String::decode(cur)?,
+                side: cur.u32()?,
+            }),
+            5 => Some(SfcError::IndexOutOfBounds {
+                index: cur.u64()?,
+                cells: cur.u64()?,
+            }),
+            6 => Some(SfcError::DimensionUnsupported {
+                dims: usize::try_from(cur.u64()?).ok()?,
+            }),
+            7 => Some(SfcError::Storage {
+                context: String::decode(cur)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Queries ride the wire as `lo + side_lengths`; decoding re-validates
+/// through [`RectQuery::new`], so a frame carrying a degenerate rectangle
+/// is rejected as malformed instead of constructing an invalid query.
+impl<const D: usize> WalCodec for RectQuery<D> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for c in self.lo() {
+            c.encode(buf);
+        }
+        for l in self.side_lengths() {
+            l.encode(buf);
+        }
+    }
+    fn decode(cur: &mut WalCursor<'_>) -> Option<Self> {
+        let mut lo = [0u32; D];
+        for c in &mut lo {
+            *c = cur.u32()?;
+        }
+        let mut len = [0u32; D];
+        for l in &mut len {
+            *l = cur.u32()?;
+        }
+        RectQuery::new(lo, len).ok()
+    }
+}
+
+impl WalCodec for (u64, u64) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(cur: &mut WalCursor<'_>) -> Option<Self> {
+        Some((cur.u64()?, cur.u64()?))
+    }
+}
+
+/// Encodes a length-prefixed sequence of codec values — the list idiom
+/// shared by every composite frame (`[count: u32][items…]`).
+pub fn encode_seq<T: WalCodec>(items: &[T], buf: &mut Vec<u8>) {
+    (items.len() as u32).encode(buf);
+    for item in items {
+        item.encode(buf);
+    }
+}
+
+/// Decodes a sequence written by [`encode_seq`]. The pre-allocation is
+/// clamped to the bytes actually remaining, so a hostile length prefix
+/// cannot force a huge reservation before the per-item decodes fail.
+pub fn decode_seq<T: WalCodec>(cur: &mut WalCursor<'_>) -> Option<Vec<T>> {
+    let len = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(len.min(cur.remaining()));
+    for _ in 0..len {
+        out.push(T::decode(cur)?);
+    }
+    Some(out)
+}
+
+/// Plans are wire values so `Explain` can answer remotely: the chosen
+/// ranges plus the cost-model numbers that justified them.
+impl WalCodec for QueryPlan {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_seq(&self.ranges, buf);
+        (self.clusters as u64).encode(buf);
+        self.extra_cells.encode(buf);
+        self.hit_rate.encode(buf);
+        self.est_full_us.encode(buf);
+        self.est_chosen_us.encode(buf);
+        self.shard_skew.encode(buf);
+    }
+    fn decode(cur: &mut WalCursor<'_>) -> Option<Self> {
+        Some(QueryPlan {
+            ranges: decode_seq(cur)?,
+            clusters: usize::try_from(cur.u64()?).ok()?,
+            extra_cells: cur.u64()?,
+            hit_rate: f64::decode(cur)?,
+            est_full_us: f64::decode(cur)?,
+            est_chosen_us: f64::decode(cur)?,
+            shard_skew: f64::decode(cur)?,
+        })
     }
 }
 

@@ -14,7 +14,8 @@ use rand::{Rng, SeedableRng};
 use sfc_baselines::{curve_2d, CURVE_NAMES};
 use sfc_clustering::{RectQuery, ScratchPool};
 use sfc_index::{
-    BPlusTree, BatchOp, DiskModel, MemoryBackend, PagedBackend, Record, SfcTable, ShardedTable,
+    BPlusTree, BatchOp, DiskModel, MemoryBackend, PagedBackend, QueryOptions, Record, SfcTable,
+    ShardedTable,
 };
 use sfc_workloads::zipf_points;
 
@@ -63,13 +64,21 @@ fn concurrent_queries_on_shared_table() {
     ];
     let expected: Vec<Vec<Record<2, u32>>> = queries
         .iter()
-        .map(|q| table.query_rect(q).unwrap().records)
+        .map(|q| {
+            table
+                .query_rect(q, &QueryOptions::default())
+                .unwrap()
+                .records
+        })
         .collect();
     std::thread::scope(|s| {
         for _ in 0..4 {
             s.spawn(|| {
                 for (q, expect) in queries.iter().zip(&expected) {
-                    let got = table.query_rect(q).unwrap().records;
+                    let got = table
+                        .query_rect(q, &QueryOptions::default())
+                        .unwrap()
+                        .records;
                     assert_eq!(&got, expect);
                 }
             });
@@ -107,10 +116,17 @@ fn paged_sharded_equals_single_for_every_registry_curve() {
             ShardedTable::build_paged(curve_2d(name, side).unwrap(), records.clone(), model, 4, 32)
                 .unwrap();
         for q in &queries {
-            let expect = single.query_rect(q).unwrap().records;
+            let expect = single
+                .query_rect(q, &QueryOptions::default())
+                .unwrap()
+                .records;
             // Cold and warm pools must both return the exact rows.
-            let cold = paged_sharded.query_rect(q).unwrap();
-            let warm = paged_sharded.query_rect(q).unwrap();
+            let cold = paged_sharded
+                .query_rect(q, &QueryOptions::default())
+                .unwrap();
+            let warm = paged_sharded
+                .query_rect(q, &QueryOptions::default())
+                .unwrap();
             assert_eq!(cold.records, expect, "{name} cold {q:?}");
             assert_eq!(warm.records, expect, "{name} warm {q:?}");
             assert!(
@@ -192,8 +208,8 @@ proptest! {
                 RectQuery::new([0, 0], [1, 1]).unwrap(),
             ];
             for q in &queries {
-                let a = single.query_rect(q).unwrap();
-                let b = sharded.query_rect(q).unwrap();
+                let a = single.query_rect(q, &QueryOptions::default()).unwrap();
+                let b = sharded.query_rect(q, &QueryOptions::default()).unwrap();
                 prop_assert_eq!(
                     &a.records, &b.records,
                     "{} shards={} {:?}", name, shards, q
@@ -204,7 +220,7 @@ proptest! {
             for (q, res) in queries.iter().zip(&batch) {
                 prop_assert_eq!(
                     &res.records,
-                    &single.query_rect(q).unwrap().records,
+                    &single.query_rect(q, &QueryOptions::default()).unwrap().records,
                     "batch {} {:?}", name, q
                 );
             }
@@ -254,8 +270,8 @@ proptest! {
             prop_assert_eq!(single.len(), sharded.len());
             let q = RectQuery::new([0, 0], [side, side]).unwrap();
             prop_assert_eq!(
-                single.query_rect(&q).unwrap().records,
-                sharded.query_rect(&q).unwrap().records,
+                single.query_rect(&q, &QueryOptions::default()).unwrap().records,
+                sharded.query_rect(&q, &QueryOptions::default()).unwrap().records,
                 "{}", name
             );
         }
@@ -293,9 +309,9 @@ proptest! {
                 Point::new([rng.random_range(0..side), rng.random_range(0..side)]),
                 Point::new([rng.random_range(0..side), rng.random_range(0..side)]),
             );
-            let a = mem.query_rect(&q).unwrap();
-            let cold = paged.query_rect(&q).unwrap();
-            let warm = paged.query_rect(&q).unwrap();
+            let a = mem.query_rect(&q, &QueryOptions::default()).unwrap();
+            let cold = paged.query_rect(&q, &QueryOptions::default()).unwrap();
+            let warm = paged.query_rect(&q, &QueryOptions::default()).unwrap();
             prop_assert_eq!(&a.records, &cold.records, "{:?}", q);
             prop_assert_eq!(&a.records, &warm.records, "{:?}", q);
             prop_assert_eq!(a.io.seeks, cold.io.seeks);
@@ -363,8 +379,8 @@ proptest! {
                 prop_assert_eq!(parallel.len(), serial.len(), "{} record count", name);
                 let q = RectQuery::new([0, 0], [side, side]).unwrap();
                 prop_assert_eq!(
-                    parallel.query_rect(&q).unwrap().records,
-                    serial.query_rect(&q).unwrap().records,
+                    parallel.query_rect(&q, &QueryOptions::default()).unwrap().records,
+                    serial.query_rect(&q, &QueryOptions::default()).unwrap().records,
                     "{} at {} shards: full-scan state",
                     name,
                     shards

@@ -5,7 +5,8 @@
 use onion_core::{Onion2D, Point};
 use sfc_clustering::RectQuery;
 use sfc_index::{
-    read_snapshot, write_snapshot, BatchOp, DiskModel, Record, ShardedTable, Wal, WAL_MAGIC,
+    read_snapshot, write_snapshot, BatchOp, DiskModel, QueryOptions, Record, ShardedTable, Wal,
+    WAL_MAGIC,
 };
 use std::path::PathBuf;
 
@@ -257,7 +258,12 @@ fn snapshot_round_trips_across_shard_counts_and_backends() {
     ];
     let reference: Vec<Vec<Record<2, u64>>> = queries
         .iter()
-        .map(|q| source.query_rect(q).unwrap().records)
+        .map(|q| {
+            source
+                .query_rect(q, &QueryOptions::default())
+                .unwrap()
+                .records
+        })
         .collect();
     // Restore into different shard counts and the paged backend: same
     // records, same order, every time.
@@ -273,7 +279,10 @@ fn snapshot_round_trips_across_shard_counts_and_backends() {
         assert_eq!(target.len(), source.len(), "{shards} shards");
         for (q, expect) in queries.iter().zip(&reference) {
             assert_eq!(
-                &target.query_rect(q).unwrap().records,
+                &target
+                    .query_rect(q, &QueryOptions::default())
+                    .unwrap()
+                    .records,
                 expect,
                 "{shards} shards"
             );
@@ -289,7 +298,14 @@ fn snapshot_round_trips_across_shard_counts_and_backends() {
     .unwrap();
     paged.restore_entries(entries).unwrap();
     for (q, expect) in queries.iter().zip(&reference) {
-        assert_eq!(&paged.query_rect(q).unwrap().records, expect, "paged");
+        assert_eq!(
+            &paged
+                .query_rect(q, &QueryOptions::default())
+                .unwrap()
+                .records,
+            expect,
+            "paged"
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,458 @@
+//! The client handle: one API, two transports.
+//!
+//! A [`Client`] either holds a socket to a [`Server`](crate::Server)
+//! ([`Client::connect`]) or an `Arc` to an in-process engine
+//! ([`Client::local`]). Both transports answer through the same
+//! dispatcher ([`respond`](crate::respond)), so switching a caller from
+//! embedded to networked is a one-line change and — by construction —
+//! a no-op semantically. The loopback integration tests pin exactly
+//! that: remote and local replies are identical, byte for byte, for
+//! every request variant.
+
+use crate::frame::{net_err, read_hello, write_frame, write_hello, FrameReader, PollFrame};
+use crate::proto::{Request, Response};
+use crate::server::respond;
+use onion_core::{Point, SfcError, SpaceFillingCurve};
+use sfc_clustering::RectQuery;
+use sfc_engine::{Admitted, Engine, EngineStats, EpochSubscription, FeedEvent, Op, Reply};
+use sfc_index::{BatchOp, EpochFrame, QueryPlan, Record, WalCodec, WalCursor};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A framed connection to a server (the remote transport).
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, SfcError> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| net_err(format!("connect {addr}"), e))?;
+        stream.set_nodelay(true).ok();
+        write_hello(&mut stream)?;
+        read_hello(&mut stream)?;
+        Ok(Conn {
+            stream,
+            reader: FrameReader::new(),
+            buf: Vec::new(),
+        })
+    }
+
+    fn send<const D: usize, V: WalCodec>(&mut self, req: &Request<D, V>) -> Result<(), SfcError> {
+        self.buf.clear();
+        req.encode(&mut self.buf);
+        write_frame(&mut self.stream, &self.buf)
+    }
+
+    fn recv<const D: usize, V: WalCodec>(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<Response<D, V>>, SfcError> {
+        let payload = match self.reader.poll(&mut self.stream, timeout)? {
+            PollFrame::Frame(payload) => payload,
+            PollFrame::Idle => return Ok(None),
+            PollFrame::Closed => {
+                return Err(SfcError::Storage {
+                    context: "server closed the connection".into(),
+                })
+            }
+        };
+        let mut cur = WalCursor::new(&payload);
+        Response::decode(&mut cur)
+            .map(Some)
+            .ok_or(SfcError::Storage {
+                context: "undecodable response".into(),
+            })
+    }
+}
+
+enum Transport<C, V, const D: usize>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    Local(Arc<Engine<C, V, D>>),
+    Remote(Conn),
+}
+
+/// The serving API over either transport. `Client::<C, V, D>` mirrors
+/// the engine's generics; a purely remote client still names the curve
+/// type (it types the points and queries, nothing else).
+pub struct Client<C, V, const D: usize>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    transport: Transport<C, V, D>,
+}
+
+impl<C, V, const D: usize> Client<C, V, D>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    /// A client over an in-process engine: every call dispatches
+    /// straight into [`respond`] with no serialization.
+    pub fn local(engine: Arc<Engine<C, V, D>>) -> Self {
+        Client {
+            transport: Transport::Local(engine),
+        }
+    }
+
+    /// Connects to a [`Server`](crate::Server) and performs the
+    /// preamble exchange.
+    ///
+    /// # Errors
+    /// On connection failure, or a peer that is not speaking
+    /// [`PROTOCOL_VERSION`](crate::PROTOCOL_VERSION).
+    pub fn connect(addr: &str) -> Result<Self, SfcError> {
+        Ok(Client {
+            transport: Transport::Remote(Conn::open(addr)?),
+        })
+    }
+
+    /// Sends one request and waits for its response — the raw API every
+    /// typed helper below goes through.
+    ///
+    /// # Errors
+    /// On transport failure. A server-side failure arrives as
+    /// [`Response::Error`], not as `Err` — the typed helpers unwrap it.
+    pub fn request(&mut self, req: Request<D, V>) -> Result<Response<D, V>, SfcError> {
+        match &mut self.transport {
+            Transport::Local(engine) => Ok(respond(engine, req)),
+            Transport::Remote(conn) => {
+                conn.send(&req)?;
+                match conn.recv(None)? {
+                    Some(resp) => Ok(resp),
+                    None => Err(SfcError::Storage {
+                        context: "no response frame".into(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Executes one engine op remotely (or locally), returning the same
+    /// [`Reply`] [`Engine::execute`] would.
+    ///
+    /// # Errors
+    /// The op's own error (e.g. out-of-bounds), decoded from the wire,
+    /// or a transport failure.
+    pub fn execute(&mut self, op: Op<D, V>) -> Result<Reply<D, V>, SfcError> {
+        match self.request(Request::from(op))?.into_reply()? {
+            Some(reply) => Ok(reply),
+            None => Err(SfcError::Storage {
+                context: "non-reply response to a data-plane request".into(),
+            }),
+        }
+    }
+
+    /// Executes a stream of ops in order, collecting every reply —
+    /// [`Engine::run_stream`] over the wire.
+    ///
+    /// # Errors
+    /// On the first failing op (earlier ops stay executed).
+    pub fn run_stream(
+        &mut self,
+        ops: impl IntoIterator<Item = Op<D, V>>,
+    ) -> Result<Vec<Reply<D, V>>, SfcError> {
+        ops.into_iter().map(|op| self.execute(op)).collect()
+    }
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    /// If `p` lies outside the universe, or on transport failure.
+    pub fn get(&mut self, p: Point<D>) -> Result<Option<V>, SfcError> {
+        match self.execute(Op::Get(p))? {
+            Reply::Value(v) => Ok(v),
+            other => unexpected("Value", reply_kind(&other)),
+        }
+    }
+
+    /// Rectangle query; records in curve-key order.
+    ///
+    /// # Errors
+    /// If the query exceeds the universe, or on transport failure.
+    pub fn query(&mut self, q: RectQuery<D>) -> Result<Vec<Record<D, V>>, SfcError> {
+        match self.execute(Op::Query(q))? {
+            Reply::Records(rs) => Ok(rs),
+            other => unexpected("Records", reply_kind(&other)),
+        }
+    }
+
+    /// Admits an insert.
+    ///
+    /// # Errors
+    /// If `p` lies outside the universe, or on transport failure.
+    pub fn insert(&mut self, p: Point<D>, v: V) -> Result<Admitted, SfcError> {
+        match self.execute(Op::Insert(p, v))? {
+            Reply::Admitted(a) => Ok(a),
+            other => unexpected("Admitted", reply_kind(&other)),
+        }
+    }
+
+    /// Admits an update (replace-or-insert).
+    ///
+    /// # Errors
+    /// If `p` lies outside the universe, or on transport failure.
+    pub fn update(&mut self, p: Point<D>, v: V) -> Result<Admitted, SfcError> {
+        match self.execute(Op::Update(p, v))? {
+            Reply::Admitted(a) => Ok(a),
+            other => unexpected("Admitted", reply_kind(&other)),
+        }
+    }
+
+    /// Admits a delete.
+    ///
+    /// # Errors
+    /// If `p` lies outside the universe, or on transport failure.
+    pub fn delete(&mut self, p: Point<D>) -> Result<Admitted, SfcError> {
+        match self.execute(Op::Delete(p))? {
+            Reply::Admitted(a) => Ok(a),
+            other => unexpected("Admitted", reply_kind(&other)),
+        }
+    }
+
+    /// Applies every pending write; returns how many were applied.
+    ///
+    /// # Errors
+    /// On a WAL commit failure or transport failure.
+    pub fn flush(&mut self) -> Result<u64, SfcError> {
+        match self.request(Request::Flush)? {
+            Response::Flushed { applied } => Ok(applied),
+            Response::Error(e) => Err(e),
+            other => unexpected("Flushed", response_kind(&other)),
+        }
+    }
+
+    /// Compacts the server's WAL into a snapshot (durable engines).
+    ///
+    /// # Errors
+    /// On in-memory engines, snapshot I/O failure, or transport failure.
+    pub fn checkpoint(&mut self) -> Result<u64, SfcError> {
+        match self.request(Request::Checkpoint)? {
+            Response::Checkpointed { epoch } => Ok(epoch),
+            Response::Error(e) => Err(e),
+            other => unexpected("Checkpointed", response_kind(&other)),
+        }
+    }
+
+    /// The engine's live counters.
+    ///
+    /// # Errors
+    /// On transport failure.
+    pub fn stats(&mut self) -> Result<EngineStats, SfcError> {
+        match self.request(Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            other => unexpected("Stats", response_kind(&other)),
+        }
+    }
+
+    /// Plans a query without executing it — `EXPLAIN` over the wire.
+    ///
+    /// # Errors
+    /// If the query exceeds the universe, or on transport failure.
+    pub fn explain(&mut self, q: RectQuery<D>) -> Result<QueryPlan, SfcError> {
+        match self.request(Request::Explain(q))? {
+            Response::Explained(p) => Ok(p),
+            Response::Error(e) => Err(e),
+            other => unexpected("Explained", response_kind(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// On transport failure.
+    pub fn ping(&mut self) -> Result<(), SfcError> {
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(e),
+            other => unexpected("Pong", response_kind(&other)),
+        }
+    }
+
+    /// Turns this client into an epoch subscription starting after
+    /// epoch `from` (exclusive): WAL catch-up frames first, then live
+    /// epochs, in order, without gaps — the stream a read replica
+    /// replays.
+    ///
+    /// # Errors
+    /// On transport failure, or (local transport over an in-memory
+    /// engine) when `from` predates the feed and there is no WAL to
+    /// catch up from.
+    pub fn subscribe_epochs(self, from: u64) -> Result<EpochStream<D, V>, SfcError>
+    where
+        C: Send + Sync + 'static,
+        V: 'static,
+    {
+        match self.transport {
+            Transport::Remote(mut conn) => {
+                conn.send(&Request::<D, V>::SubscribeEpochs { from })?;
+                // Wait for the acknowledgment: once it arrives, the
+                // server's live tap is registered and every epoch
+                // committed from here on is guaranteed to be delivered.
+                match conn.recv::<D, V>(None)? {
+                    Some(Response::Subscribed { .. }) => {}
+                    Some(Response::Error(e)) => return Err(e),
+                    Some(other) => {
+                        return unexpected("Subscribed", response_kind(&other));
+                    }
+                    None => {
+                        return Err(SfcError::Storage {
+                            context: "subscription closed before acknowledgment".into(),
+                        });
+                    }
+                }
+                Ok(EpochStream {
+                    inner: StreamInner::Remote(conn),
+                })
+            }
+            Transport::Local(engine) => {
+                // Mirror the server handler: subscribe first, then read
+                // the WAL for (from, start], so no epoch is missed or
+                // doubled.
+                let sub = engine.subscribe_epochs();
+                let mut backlog = std::collections::VecDeque::new();
+                if from < sub.start_epoch() {
+                    for frame in engine.committed_frames_since(from)? {
+                        if frame.epoch > sub.start_epoch() {
+                            break;
+                        }
+                        backlog.push_back(frame);
+                    }
+                }
+                Ok(EpochStream {
+                    inner: StreamInner::Local {
+                        sub,
+                        backlog,
+                        durable: Box::new(move || engine.durable_epoch()),
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// One event from an [`EpochStream`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EpochEvent<const D: usize, V> {
+    /// Epoch `epoch` committed with `ops`; the transactor's durable
+    /// epoch stood at `durable_epoch` when the frame was sent.
+    Epoch {
+        /// The committed epoch number (strictly consecutive).
+        epoch: u64,
+        /// The transactor's fsync-confirmed epoch at send time.
+        durable_epoch: u64,
+        /// The epoch's ops in submission order.
+        ops: Vec<BatchOp<D, V>>,
+    },
+    /// The subscription fell too far behind and was cut off; the stream
+    /// is dead.
+    Lagged,
+}
+
+enum StreamInner<const D: usize, V> {
+    Remote(Conn),
+    Local {
+        sub: EpochSubscription<D, V>,
+        backlog: std::collections::VecDeque<EpochFrame<D, V>>,
+        /// Reads the transactor's durable epoch for locally sourced
+        /// events (captures the engine `Arc`).
+        durable: Box<dyn Fn() -> u64 + Send>,
+    },
+}
+
+/// A one-way stream of committed epochs, produced by
+/// [`Client::subscribe_epochs`].
+pub struct EpochStream<const D: usize, V> {
+    inner: StreamInner<D, V>,
+}
+
+impl<const D: usize, V: Clone + WalCodec> EpochStream<D, V> {
+    /// Waits up to `timeout` for the next event. `Ok(None)` means the
+    /// timeout elapsed quietly — poll again.
+    ///
+    /// # Errors
+    /// On transport failure, a poisoned stream, or a server-side error
+    /// frame.
+    pub fn poll(&mut self, timeout: Duration) -> Result<Option<EpochEvent<D, V>>, SfcError> {
+        match &mut self.inner {
+            StreamInner::Remote(conn) => match conn.recv::<D, V>(Some(timeout))? {
+                None => Ok(None),
+                Some(Response::Epoch {
+                    epoch,
+                    durable_epoch,
+                    ops,
+                }) => Ok(Some(EpochEvent::Epoch {
+                    epoch,
+                    durable_epoch,
+                    ops,
+                })),
+                Some(Response::Lagged) => Ok(Some(EpochEvent::Lagged)),
+                Some(Response::Error(e)) => Err(e),
+                Some(other) => unexpected("Epoch", response_kind(&other)),
+            },
+            StreamInner::Local {
+                sub,
+                backlog,
+                durable,
+            } => {
+                if let Some(frame) = backlog.pop_front() {
+                    return Ok(Some(EpochEvent::Epoch {
+                        epoch: frame.epoch,
+                        durable_epoch: durable(),
+                        ops: frame.ops,
+                    }));
+                }
+                match sub.next_timeout(timeout) {
+                    Some(FeedEvent::Epoch(epoch, ops)) => Ok(Some(EpochEvent::Epoch {
+                        epoch,
+                        durable_epoch: durable(),
+                        ops: ops.to_vec(),
+                    })),
+                    Some(FeedEvent::Lagged) => Ok(Some(EpochEvent::Lagged)),
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+}
+
+fn unexpected<T>(expected: &str, got: &str) -> Result<T, SfcError> {
+    Err(SfcError::Storage {
+        context: format!("protocol violation: expected {expected}, got {got}"),
+    })
+}
+
+/// The variant name alone — payloads may not be `Debug`.
+fn reply_kind<const D: usize, V>(reply: &Reply<D, V>) -> &'static str {
+    match reply {
+        Reply::Value(_) => "Value",
+        Reply::Records(_) => "Records",
+        Reply::Admitted(_) => "Admitted",
+    }
+}
+
+/// The variant name alone — payloads may not be `Debug`.
+fn response_kind<const D: usize, V>(response: &Response<D, V>) -> &'static str {
+    match response {
+        Response::Pong => "Pong",
+        Response::Value(_) => "Value",
+        Response::Records(_) => "Records",
+        Response::Admitted(_) => "Admitted",
+        Response::Flushed { .. } => "Flushed",
+        Response::Checkpointed { .. } => "Checkpointed",
+        Response::Stats(_) => "Stats",
+        Response::Explained(_) => "Explained",
+        Response::Epoch { .. } => "Epoch",
+        Response::Lagged => "Lagged",
+        Response::Error(_) => "Error",
+        Response::Subscribed { .. } => "Subscribed",
+    }
+}

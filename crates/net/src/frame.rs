@@ -1,0 +1,279 @@
+//! The wire envelope: a connection preamble plus length-prefixed,
+//! checksummed frames — the WAL's `SFCWAL01` framing idiom
+//! ([`sfc_index::wal`]) lifted onto a socket.
+//!
+//! # Connection preamble
+//!
+//! Each side sends 10 bytes on connect — the magic [`NET_MAGIC`]
+//! (`SFCNET01`) followed by [`PROTOCOL_VERSION`] as a little-endian
+//! `u16` — and validates the peer's before any frame is exchanged, so a
+//! mistyped port or an incompatible peer fails immediately and legibly
+//! instead of desynchronizing mid-stream.
+//!
+//! # Frames
+//!
+//! ```text
+//! [payload_len: u32 LE] [crc32(payload): u32 LE] [payload bytes]
+//! ```
+//!
+//! — byte-for-byte the WAL's frame layout, with the same slicing-by-8
+//! [`crc32`] over the payload. Payloads are [`WalCodec`](sfc_index::WalCodec)-encoded
+//! [`Request`](crate::Request)/[`Response`](crate::Response) values. A
+//! frame longer than [`MAX_FRAME`] is rejected before allocation (a
+//! corrupt or hostile length prefix cannot balloon memory), and a
+//! checksum mismatch poisons the connection — unlike the WAL's torn
+//! *tail*, a torn *middle* of a live stream has no honest recovery.
+
+use onion_core::SfcError;
+use sfc_index::crc32;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Connection preamble magic; the peer must present it verbatim.
+pub const NET_MAGIC: [u8; 8] = *b"SFCNET01";
+
+/// Protocol revision sent in the preamble. Bumped on any change to the
+/// frame layout or the [`Request`](crate::Request)/
+/// [`Response`](crate::Response) encodings.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (64 MiB): large enough for any epoch
+/// batch or query result this workspace produces, small enough that a
+/// corrupt length prefix cannot exhaust memory.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Maps an I/O failure into the storage arm of [`SfcError`], keeping the
+/// wire layer's errors representable on the wire itself.
+pub(crate) fn net_err(context: impl Into<String>, err: std::io::Error) -> SfcError {
+    SfcError::Storage {
+        context: format!("{}: {err}", context.into()),
+    }
+}
+
+/// Sends the 10-byte preamble.
+pub(crate) fn write_hello(stream: &mut TcpStream) -> Result<(), SfcError> {
+    let mut hello = [0u8; 10];
+    hello[..8].copy_from_slice(&NET_MAGIC);
+    hello[8..].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    stream
+        .write_all(&hello)
+        .map_err(|e| net_err("write hello", e))
+}
+
+/// Reads and validates the peer's preamble.
+pub(crate) fn read_hello(stream: &mut TcpStream) -> Result<(), SfcError> {
+    let mut hello = [0u8; 10];
+    stream
+        .read_exact(&mut hello)
+        .map_err(|e| net_err("read hello", e))?;
+    if hello[..8] != NET_MAGIC {
+        return Err(SfcError::Storage {
+            context: format!("bad protocol magic {:?}", &hello[..8]),
+        });
+    }
+    let version = u16::from_le_bytes([hello[8], hello[9]]);
+    if version != PROTOCOL_VERSION {
+        return Err(SfcError::Storage {
+            context: format!("protocol version {version} (expected {PROTOCOL_VERSION})"),
+        });
+    }
+    Ok(())
+}
+
+/// Writes one `[len][crc32][payload]` frame.
+pub(crate) fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), SfcError> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME as u64);
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    stream
+        .write_all(&header)
+        .and_then(|()| stream.write_all(payload))
+        .map_err(|e| net_err("write frame", e))
+}
+
+/// One step of [`FrameReader::poll`].
+pub(crate) enum PollFrame {
+    /// A complete, checksum-verified payload.
+    Frame(Vec<u8>),
+    /// The timeout elapsed with no complete frame; poll again.
+    Idle,
+    /// The peer closed the connection at a clean frame boundary.
+    Closed,
+}
+
+/// Incremental frame reader: accumulates raw socket bytes across
+/// [`poll`](Self::poll) calls and yields only complete, verified frames,
+/// so a read timeout can never strand the stream mid-header — partial
+/// bytes simply stay buffered for the next poll.
+pub(crate) struct FrameReader {
+    acc: Vec<u8>,
+}
+
+impl FrameReader {
+    pub(crate) fn new() -> Self {
+        FrameReader { acc: Vec::new() }
+    }
+
+    /// Waits up to `timeout` for the next frame. `None` as `timeout`
+    /// blocks indefinitely (the plain request/response path).
+    pub(crate) fn poll(
+        &mut self,
+        stream: &mut TcpStream,
+        timeout: Option<Duration>,
+    ) -> Result<PollFrame, SfcError> {
+        loop {
+            if let Some(payload) = self.try_extract()? {
+                return Ok(PollFrame::Frame(payload));
+            }
+            stream
+                .set_read_timeout(timeout)
+                .map_err(|e| net_err("set read timeout", e))?;
+            let mut chunk = [0u8; 16 * 1024];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.acc.is_empty() {
+                        Ok(PollFrame::Closed)
+                    } else {
+                        Err(SfcError::Storage {
+                            context: format!(
+                                "connection closed mid-frame ({} bytes buffered)",
+                                self.acc.len()
+                            ),
+                        })
+                    };
+                }
+                Ok(n) => self.acc.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(PollFrame::Idle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(net_err("read frame", e)),
+            }
+        }
+    }
+
+    /// Pops one complete frame off the accumulator, if one has fully
+    /// arrived; validates the length bound and the checksum.
+    fn try_extract(&mut self) -> Result<Option<Vec<u8>>, SfcError> {
+        if self.acc.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.acc[..4].try_into().expect("4 bytes")) as usize;
+        if len as u64 > MAX_FRAME as u64 {
+            return Err(SfcError::Storage {
+                context: format!("frame length {len} exceeds MAX_FRAME {MAX_FRAME}"),
+            });
+        }
+        if self.acc.len() < 8 + len {
+            return Ok(None);
+        }
+        let expect = u32::from_le_bytes(self.acc[4..8].try_into().expect("4 bytes"));
+        let payload = self.acc[8..8 + len].to_vec();
+        if crc32(&payload) != expect {
+            return Err(SfcError::Storage {
+                context: "frame checksum mismatch".into(),
+            });
+        }
+        self.acc.drain(..8 + len);
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn truncated_frames_yield_nothing_at_every_prefix_length() {
+        let bytes = framed(b"torn-frame probe payload");
+        for cut in 0..bytes.len() {
+            let mut reader = FrameReader::new();
+            reader.acc.extend_from_slice(&bytes[..cut]);
+            assert!(
+                matches!(reader.try_extract(), Ok(None)),
+                "a frame cut at byte {cut} must stay buffered, not decode"
+            );
+        }
+        let mut reader = FrameReader::new();
+        reader.acc.extend_from_slice(&bytes);
+        assert_eq!(
+            reader.try_extract().unwrap().as_deref(),
+            Some(b"torn-frame probe payload".as_slice())
+        );
+        assert!(reader.acc.is_empty(), "a popped frame is fully drained");
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let clean = framed(b"checksums catch flips");
+        for i in 0..clean.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bytes = clean.clone();
+                bytes[i] ^= flip;
+                let mut reader = FrameReader::new();
+                reader.acc.extend_from_slice(&bytes);
+                match reader.try_extract() {
+                    // Corrupting the length prefix may leave the frame
+                    // "incomplete" (a longer claimed length) — that is a
+                    // safe stall, never a mis-decode.
+                    Ok(None) => assert!(i < 4, "byte {i}: only length damage may stall"),
+                    Ok(Some(payload)) => {
+                        panic!("byte {i} flipped by {flip:#x} decoded as {payload:?}")
+                    }
+                    Err(SfcError::Storage { .. }) => {}
+                    Err(e) => panic!("unexpected error class: {e:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected_before_allocation() {
+        let mut reader = FrameReader::new();
+        reader.acc.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        reader.acc.extend_from_slice(&[0u8; 4]);
+        let err = reader.try_extract().unwrap_err();
+        let SfcError::Storage { context } = err else {
+            panic!("oversize frame must be a storage error");
+        };
+        assert!(context.contains("MAX_FRAME"), "{context}");
+    }
+
+    #[test]
+    fn back_to_back_frames_pop_in_order() {
+        let mut reader = FrameReader::new();
+        reader.acc.extend_from_slice(&framed(b"first"));
+        reader.acc.extend_from_slice(&framed(b"second"));
+        assert_eq!(
+            reader.try_extract().unwrap().as_deref(),
+            Some(b"first".as_slice())
+        );
+        assert_eq!(
+            reader.try_extract().unwrap().as_deref(),
+            Some(b"second".as_slice())
+        );
+        assert!(matches!(reader.try_extract(), Ok(None)));
+    }
+
+    #[test]
+    fn empty_payload_frames_are_valid() {
+        let mut reader = FrameReader::new();
+        reader.acc.extend_from_slice(&framed(b""));
+        assert_eq!(reader.try_extract().unwrap().as_deref(), Some(&[] as &[u8]));
+    }
+}

@@ -1,0 +1,75 @@
+//! # sfc-net
+//!
+//! The network layer of the Onion Curve workspace: the `sfc-engine`
+//! serving layer put on the wire, behind a redesigned request/response
+//! API, plus single-writer/many-reader replication.
+//!
+//! * **Framing** — the WAL's `SFCWAL01` idiom lifted onto a socket: a
+//!   `SFCNET01` + version preamble, then length-prefixed
+//!   `[len][crc32][payload]` frames (see [`frame`]); payloads are
+//!   [`WalCodec`](sfc_index::WalCodec)-encoded, so the protocol's
+//!   serialization layer is the already-proptested WAL codec.
+//! * **Protocol** — [`Request`]/[`Response`]: every engine op
+//!   ([`Op`](sfc_engine::Op) maps in via `From`) plus the admin verbs
+//!   `Flush`, `Checkpoint`, `Stats`, `Explain`, `Ping`, and the
+//!   replication tap `SubscribeEpochs`. Errors travel typed:
+//!   [`SfcError`](onion_core::SfcError) is wire-representable with
+//!   stable numeric codes.
+//! * **Server** — [`Server`]: a blocking thread-per-connection server
+//!   wrapping [`Engine::execute`](sfc_engine::Engine::execute) and
+//!   friends; [`respond`] is the dispatcher, shared with the local
+//!   transport.
+//! * **Client** — [`Client`]: the same API over two transports,
+//!   in-process ([`Client::local`]) or TCP ([`Client::connect`]) —
+//!   switching is one line, and the loopback tests pin that the replies
+//!   are identical.
+//! * **Replication** — [`Replica`]: a transactor ships committed WAL
+//!   epoch frames over `SubscribeEpochs` (WAL catch-up, then the live
+//!   epoch feed); replicas replay them through the same `apply_batch`
+//!   path recovery uses and serve **epoch-prefix consistent** reads —
+//!   including time-travel [`Replica::query_as_of`] — while exposing
+//!   their lag ([`Replica::lag`]) against the transactor's durable
+//!   epoch.
+//!
+//! ```
+//! use onion_core::{Onion2D, Point};
+//! use sfc_engine::{Engine, EngineConfig};
+//! use sfc_index::{DiskModel, ShardedTable};
+//! use sfc_net::{Client, Server};
+//! use std::sync::Arc;
+//!
+//! // A transactor: any engine, wrapped in an Arc, put on a socket.
+//! let table = ShardedTable::build(
+//!     Onion2D::new(64).unwrap(),
+//!     (0..64u32).map(|i| (Point::new([i, i]), u64::from(i))).collect(),
+//!     DiskModel::ssd(),
+//!     2,
+//! )
+//! .unwrap();
+//! let engine = Arc::new(Engine::new(table, EngineConfig::default()));
+//! let server = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+//!
+//! // A remote client sees exactly what a local caller sees.
+//! let mut client =
+//!     Client::<Onion2D, u64, 2>::connect(&server.local_addr().to_string()).unwrap();
+//! client.update(Point::new([3, 3]), 999).unwrap();
+//! client.flush().unwrap();
+//! assert_eq!(client.get(Point::new([3, 3])).unwrap(), Some(999));
+//! assert_eq!(client.stats().unwrap().epochs, 1);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod client;
+pub mod frame;
+mod proto;
+mod replica;
+mod server;
+
+pub use client::{Client, EpochEvent, EpochStream};
+pub use frame::{MAX_FRAME, NET_MAGIC, PROTOCOL_VERSION};
+pub use proto::{Request, Response};
+pub use replica::Replica;
+pub use server::{respond, Server};

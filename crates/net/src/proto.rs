@@ -1,0 +1,352 @@
+//! The versioned request/response pair — the redesigned serving API.
+//!
+//! [`Request`] subsumes the in-process [`Op`] (every data-plane verb maps
+//! one-to-one via `From`) and adds the admin verbs a network deployment
+//! needs: `Flush`, `Checkpoint`, `Stats`, `Explain`, `Ping`, and the
+//! replication tap `SubscribeEpochs`. [`Response`] likewise subsumes
+//! [`Reply`] — [`Response::Value`]/[`Response::Records`]/
+//! [`Response::Admitted`] carry exactly the reply payloads, and
+//! [`Response::Error`] makes [`SfcError`] itself wire-representable (its
+//! stable numeric codes are pinned by `SfcError::code`), so a remote
+//! caller sees the same typed error a local caller would.
+//!
+//! Both enums encode through the WAL's [`WalCodec`] — one tag byte, then
+//! the variant's fields in the same little-endian primitives every WAL
+//! frame uses — so the payload layer of the protocol is the already-
+//! proptested WAL codec, and an epoch shipped to a replica is encoded by
+//! the identical code path that wrote it to the log.
+
+use onion_core::{Point, SfcError};
+use sfc_clustering::RectQuery;
+use sfc_engine::{Admitted, EngineStats, Op, Reply};
+use sfc_index::{decode_seq, encode_seq, BatchOp, QueryPlan, Record, WalCodec, WalCursor};
+
+/// One client verb. `V` is the record payload type, `D` the dimension —
+/// the same generics the engine serves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request<const D: usize, V> {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Point lookup ([`Op::Get`]).
+    Get(Point<D>),
+    /// Rectangle query through the adaptive planner ([`Op::Query`]).
+    Query(RectQuery<D>),
+    /// Time-travel rectangle query ([`Op::QueryAsOf`]).
+    QueryAsOf {
+        /// The epoch whose state to observe.
+        epoch: u64,
+        /// The rectangle to query at that epoch.
+        query: RectQuery<D>,
+    },
+    /// Insert a record ([`Op::Insert`]).
+    Insert(Point<D>, V),
+    /// Replace-or-insert ([`Op::Update`]).
+    Update(Point<D>, V),
+    /// Remove the oldest record at a point ([`Op::Delete`]).
+    Delete(Point<D>),
+    /// Apply every pending write; answered with [`Response::Flushed`].
+    Flush,
+    /// Compact the WAL into a snapshot; answered with
+    /// [`Response::Checkpointed`]. Durable engines only.
+    Checkpoint,
+    /// Engine counters; answered with [`Response::Stats`].
+    Stats,
+    /// Plan a query without executing it; answered with
+    /// [`Response::Explained`].
+    Explain(RectQuery<D>),
+    /// Switch this connection into a one-way epoch stream: every epoch
+    /// committed after `from` arrives as a [`Response::Epoch`] frame, in
+    /// order, without gaps — WAL catch-up first, then live frames. No
+    /// further requests are read from the connection.
+    SubscribeEpochs {
+        /// Replay starts after this epoch (exclusive); `0` streams the
+        /// full history a transactor's WAL still holds.
+        from: u64,
+    },
+}
+
+/// One server answer. Every variant a [`Request`] can produce, plus the
+/// stream frames of `SubscribeEpochs`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response<const D: usize, V> {
+    /// [`Request::Ping`] acknowledged.
+    Pong,
+    /// A point lookup's result ([`Reply::Value`]).
+    Value(Option<V>),
+    /// A query's matching records in curve-key order
+    /// ([`Reply::Records`]).
+    Records(Vec<Record<D, V>>),
+    /// A write's admission receipt ([`Reply::Admitted`]) — the same
+    /// [`Admitted`] struct the in-process reply carries.
+    Admitted(Admitted),
+    /// [`Request::Flush`] applied this many writes.
+    Flushed {
+        /// Writes the flush applied (0 if the log was already empty).
+        applied: u64,
+    },
+    /// [`Request::Checkpoint`] compacted the log at this epoch.
+    Checkpointed {
+        /// The epoch the snapshot captured.
+        epoch: u64,
+    },
+    /// [`Request::Stats`]: the engine's live counters.
+    Stats(EngineStats),
+    /// [`Request::Explain`]: the plan the next execution would take.
+    Explained(QueryPlan),
+    /// One committed epoch, streamed to a [`Request::SubscribeEpochs`]
+    /// subscriber.
+    Epoch {
+        /// The epoch these ops committed as. Strictly consecutive per
+        /// subscription.
+        epoch: u64,
+        /// The transactor's fsync-confirmed epoch at send time — what a
+        /// replica reports its lag against.
+        durable_epoch: u64,
+        /// The epoch's ops in submission order, ready for
+        /// `apply_batch`.
+        ops: Vec<BatchOp<D, V>>,
+    },
+    /// The subscriber fell too far behind and its backlog was dropped;
+    /// the stream is dead. Re-subscribe and catch up from the WAL.
+    Lagged,
+    /// [`Request::SubscribeEpochs`] acknowledged: the live tap is
+    /// registered, so every epoch committed after this frame is
+    /// guaranteed to arrive. Always the stream's first frame — a
+    /// subscriber that must not miss epochs (a replica) waits for it
+    /// before letting writes proceed.
+    Subscribed {
+        /// The feed position at registration: catch-up frames cover
+        /// `(from, start_epoch]`, the live feed everything after.
+        start_epoch: u64,
+    },
+    /// The request failed; the typed error a local caller would get.
+    Error(SfcError),
+}
+
+/// Data-plane verbs map one-to-one onto engine ops.
+impl<const D: usize, V> From<Op<D, V>> for Request<D, V> {
+    fn from(op: Op<D, V>) -> Self {
+        match op {
+            Op::Get(p) => Request::Get(p),
+            Op::Query(q) => Request::Query(q),
+            Op::Insert(p, v) => Request::Insert(p, v),
+            Op::Update(p, v) => Request::Update(p, v),
+            Op::Delete(p) => Request::Delete(p),
+            Op::QueryAsOf { epoch, query } => Request::QueryAsOf { epoch, query },
+        }
+    }
+}
+
+/// In-process replies map one-to-one onto wire responses.
+impl<const D: usize, V> From<Reply<D, V>> for Response<D, V> {
+    fn from(reply: Reply<D, V>) -> Self {
+        match reply {
+            Reply::Value(v) => Response::Value(v),
+            Reply::Records(rs) => Response::Records(rs),
+            Reply::Admitted(a) => Response::Admitted(a),
+        }
+    }
+}
+
+impl<const D: usize, V> Response<D, V> {
+    /// Converts a data-plane response back into the in-process reply,
+    /// surfacing [`Response::Error`] as the typed error. `None` for
+    /// admin/stream responses, which have no [`Reply`] shape.
+    pub fn into_reply(self) -> Result<Option<Reply<D, V>>, SfcError> {
+        match self {
+            Response::Value(v) => Ok(Some(Reply::Value(v))),
+            Response::Records(rs) => Ok(Some(Reply::Records(rs))),
+            Response::Admitted(a) => Ok(Some(Reply::Admitted(a))),
+            Response::Error(e) => Err(e),
+            _ => Ok(None),
+        }
+    }
+}
+
+const REQ_PING: u8 = 0;
+const REQ_GET: u8 = 1;
+const REQ_QUERY: u8 = 2;
+const REQ_QUERY_AS_OF: u8 = 3;
+const REQ_INSERT: u8 = 4;
+const REQ_UPDATE: u8 = 5;
+const REQ_DELETE: u8 = 6;
+const REQ_FLUSH: u8 = 7;
+const REQ_CHECKPOINT: u8 = 8;
+const REQ_STATS: u8 = 9;
+const REQ_EXPLAIN: u8 = 10;
+const REQ_SUBSCRIBE: u8 = 11;
+
+impl<const D: usize, V: WalCodec> WalCodec for Request<D, V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Ping => buf.push(REQ_PING),
+            Request::Get(p) => {
+                buf.push(REQ_GET);
+                p.encode(buf);
+            }
+            Request::Query(q) => {
+                buf.push(REQ_QUERY);
+                q.encode(buf);
+            }
+            Request::QueryAsOf { epoch, query } => {
+                buf.push(REQ_QUERY_AS_OF);
+                epoch.encode(buf);
+                query.encode(buf);
+            }
+            Request::Insert(p, v) => {
+                buf.push(REQ_INSERT);
+                p.encode(buf);
+                v.encode(buf);
+            }
+            Request::Update(p, v) => {
+                buf.push(REQ_UPDATE);
+                p.encode(buf);
+                v.encode(buf);
+            }
+            Request::Delete(p) => {
+                buf.push(REQ_DELETE);
+                p.encode(buf);
+            }
+            Request::Flush => buf.push(REQ_FLUSH),
+            Request::Checkpoint => buf.push(REQ_CHECKPOINT),
+            Request::Stats => buf.push(REQ_STATS),
+            Request::Explain(q) => {
+                buf.push(REQ_EXPLAIN);
+                q.encode(buf);
+            }
+            Request::SubscribeEpochs { from } => {
+                buf.push(REQ_SUBSCRIBE);
+                from.encode(buf);
+            }
+        }
+    }
+
+    fn decode(cur: &mut WalCursor<'_>) -> Option<Self> {
+        Some(match cur.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_GET => Request::Get(Point::decode(cur)?),
+            REQ_QUERY => Request::Query(RectQuery::decode(cur)?),
+            REQ_QUERY_AS_OF => Request::QueryAsOf {
+                epoch: u64::decode(cur)?,
+                query: RectQuery::decode(cur)?,
+            },
+            REQ_INSERT => Request::Insert(Point::decode(cur)?, V::decode(cur)?),
+            REQ_UPDATE => Request::Update(Point::decode(cur)?, V::decode(cur)?),
+            REQ_DELETE => Request::Delete(Point::decode(cur)?),
+            REQ_FLUSH => Request::Flush,
+            REQ_CHECKPOINT => Request::Checkpoint,
+            REQ_STATS => Request::Stats,
+            REQ_EXPLAIN => Request::Explain(RectQuery::decode(cur)?),
+            REQ_SUBSCRIBE => Request::SubscribeEpochs {
+                from: u64::decode(cur)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+const RESP_PONG: u8 = 0;
+const RESP_VALUE: u8 = 1;
+const RESP_RECORDS: u8 = 2;
+const RESP_ADMITTED: u8 = 3;
+const RESP_FLUSHED: u8 = 4;
+const RESP_CHECKPOINTED: u8 = 5;
+const RESP_STATS: u8 = 6;
+const RESP_EXPLAINED: u8 = 7;
+const RESP_EPOCH: u8 = 8;
+const RESP_LAGGED: u8 = 9;
+const RESP_ERROR: u8 = 10;
+const RESP_SUBSCRIBED: u8 = 11;
+
+impl<const D: usize, V: WalCodec> WalCodec for Response<D, V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Pong => buf.push(RESP_PONG),
+            Response::Value(v) => {
+                buf.push(RESP_VALUE);
+                match v {
+                    Some(v) => {
+                        true.encode(buf);
+                        v.encode(buf);
+                    }
+                    None => false.encode(buf),
+                }
+            }
+            Response::Records(rs) => {
+                buf.push(RESP_RECORDS);
+                encode_seq(rs, buf);
+            }
+            Response::Admitted(a) => {
+                buf.push(RESP_ADMITTED);
+                a.encode(buf);
+            }
+            Response::Flushed { applied } => {
+                buf.push(RESP_FLUSHED);
+                applied.encode(buf);
+            }
+            Response::Checkpointed { epoch } => {
+                buf.push(RESP_CHECKPOINTED);
+                epoch.encode(buf);
+            }
+            Response::Stats(s) => {
+                buf.push(RESP_STATS);
+                s.encode(buf);
+            }
+            Response::Explained(p) => {
+                buf.push(RESP_EXPLAINED);
+                p.encode(buf);
+            }
+            Response::Epoch {
+                epoch,
+                durable_epoch,
+                ops,
+            } => {
+                buf.push(RESP_EPOCH);
+                epoch.encode(buf);
+                durable_epoch.encode(buf);
+                encode_seq(ops, buf);
+            }
+            Response::Lagged => buf.push(RESP_LAGGED),
+            Response::Error(e) => {
+                buf.push(RESP_ERROR);
+                e.encode(buf);
+            }
+            Response::Subscribed { start_epoch } => {
+                buf.push(RESP_SUBSCRIBED);
+                start_epoch.encode(buf);
+            }
+        }
+    }
+
+    fn decode(cur: &mut WalCursor<'_>) -> Option<Self> {
+        Some(match cur.u8()? {
+            RESP_PONG => Response::Pong,
+            RESP_VALUE => Response::Value(if bool::decode(cur)? {
+                Some(V::decode(cur)?)
+            } else {
+                None
+            }),
+            RESP_RECORDS => Response::Records(decode_seq(cur)?),
+            RESP_ADMITTED => Response::Admitted(Admitted::decode(cur)?),
+            RESP_FLUSHED => Response::Flushed {
+                applied: u64::decode(cur)?,
+            },
+            RESP_CHECKPOINTED => Response::Checkpointed {
+                epoch: u64::decode(cur)?,
+            },
+            RESP_STATS => Response::Stats(EngineStats::decode(cur)?),
+            RESP_EXPLAINED => Response::Explained(QueryPlan::decode(cur)?),
+            RESP_EPOCH => Response::Epoch {
+                epoch: u64::decode(cur)?,
+                durable_epoch: u64::decode(cur)?,
+                ops: decode_seq(cur)?,
+            },
+            RESP_LAGGED => Response::Lagged,
+            RESP_ERROR => Response::Error(SfcError::decode(cur)?),
+            RESP_SUBSCRIBED => Response::Subscribed {
+                start_epoch: u64::decode(cur)?,
+            },
+            _ => return None,
+        })
+    }
+}

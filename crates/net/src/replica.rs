@@ -1,0 +1,265 @@
+//! Read replicas: a [`ShardedTable`] kept in lockstep with a remote
+//! transactor by replaying its committed epoch stream.
+//!
+//! A [`Replica`] connects a [`Client`] subscription
+//! ([`Client::subscribe_epochs`]) to the same `apply_batch` path
+//! recovery uses: each [`EpochEvent::Epoch`] frame is applied as one
+//! batch, bumping the table's version epoch to exactly the epoch number
+//! the transactor committed — so the replica's MVCC window is, epoch
+//! for epoch, the transactor's history, and [`Replica::query_as_of`]
+//! answers time-travel reads with no WAL of its own.
+//!
+//! **Consistency model: epoch-prefix.** A replica's visible state is
+//! always *some committed epoch prefix* of the transactor's history —
+//! never a torn batch, never reordered — because epochs arrive in
+//! order, without gaps (WAL catch-up first, then the live feed) and
+//! apply atomically per batch. Lag is observable, not hidden:
+//! [`Replica::lag`] is the distance between the transactor's durable
+//! epoch (shipped with every frame) and the replica's applied epoch.
+
+use crate::client::{Client, EpochEvent};
+use onion_core::{Point, SfcError, SpaceFillingCurve};
+use sfc_clustering::RectQuery;
+use sfc_engine::EngineConfig;
+use sfc_index::{DiskModel, Planner, QueryOptions, QueryResult, ShardedTable, WalCodec};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the apply thread blocks on the stream before re-checking
+/// its stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A read replica of a remote transactor. Created by
+/// [`Replica::start`]; queries are served from the local table while a
+/// background thread replays the epoch stream into it.
+pub struct Replica<C, V, const D: usize>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    table: Arc<ShardedTable<C, V, D>>,
+    planner: Planner,
+    /// Transactor durable epoch as of the last received frame.
+    durable: Arc<AtomicU64>,
+    /// Raised when the stream dies (lag cutoff, transport loss); the
+    /// error is parked in `fault`.
+    failed: Arc<AtomicBool>,
+    fault: Arc<Mutex<Option<SfcError>>>,
+    stop: Arc<AtomicBool>,
+    apply: Option<JoinHandle<()>>,
+}
+
+impl<C, V, const D: usize> Replica<C, V, D>
+where
+    C: SpaceFillingCurve<D> + Send + Sync + 'static,
+    V: Clone + Send + Sync + WalCodec + 'static,
+{
+    /// Connects to a transactor's server at `addr`, subscribes from
+    /// epoch 0, and starts replaying into a fresh empty table.
+    ///
+    /// `curve` must equal the transactor's curve (keys are derived from
+    /// points identically on both sides); `shards` is free to differ —
+    /// like recovery, replication re-partitions.
+    ///
+    /// # Errors
+    /// On connection failure or a table-build failure.
+    pub fn start(
+        addr: &str,
+        curve: C,
+        model: DiskModel,
+        shards: usize,
+        config: &EngineConfig,
+    ) -> Result<Self, SfcError> {
+        let mut table = ShardedTable::build(curve, Vec::new(), model, shards)?;
+        table.set_retention(config.retention);
+        let planner = Planner::new(model);
+        let stream = Client::<C, V, D>::connect(addr)?.subscribe_epochs(0)?;
+        let table = Arc::new(table);
+        let durable = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(AtomicBool::new(false));
+        let fault = Arc::new(Mutex::new(None));
+        let stop = Arc::new(AtomicBool::new(false));
+        let apply = {
+            let table = Arc::clone(&table);
+            let durable = Arc::clone(&durable);
+            let failed = Arc::clone(&failed);
+            let fault = Arc::clone(&fault);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || apply_loop(stream, &table, &durable, &failed, &fault, &stop))
+        };
+        Ok(Replica {
+            table,
+            planner,
+            durable,
+            failed,
+            fault,
+            stop,
+            apply: Some(apply),
+        })
+    }
+
+    /// The highest epoch applied locally — the epoch every read
+    /// observes (or a later one, if a frame lands mid-call).
+    pub fn applied_epoch(&self) -> u64 {
+        self.table.version_epoch()
+    }
+
+    /// The transactor's fsync-confirmed epoch as of the last received
+    /// frame — the durable frontier this replica is chasing.
+    pub fn durable_epoch(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Replication lag in epochs: [`durable_epoch`](Self::durable_epoch)
+    /// minus [`applied_epoch`](Self::applied_epoch), floored at zero (a
+    /// replica can briefly run *ahead* of the durable frontier when the
+    /// transactor pipelines commits).
+    pub fn lag(&self) -> u64 {
+        self.durable_epoch().saturating_sub(self.applied_epoch())
+    }
+
+    /// Whether the stream has died (lag cutoff or transport failure).
+    /// A failed replica keeps serving its last applied prefix;
+    /// [`take_fault`](Self::take_fault) retrieves the cause.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// The error that killed the stream, if any (consumes it).
+    pub fn take_fault(&self) -> Option<SfcError> {
+        self.fault.lock().expect("fault slot poisoned").take()
+    }
+
+    /// Point lookup against the applied prefix. Epoch-boundary
+    /// consistent: pending transactor writes are invisible until their
+    /// epoch arrives.
+    ///
+    /// # Errors
+    /// If `p` lies outside the universe.
+    pub fn get(&self, p: Point<D>) -> Result<Option<V>, SfcError> {
+        Ok(self.table.get(p)?.map(|guard| guard.cloned()))
+    }
+
+    /// Rectangle query against the applied prefix, through the
+    /// replica's own adaptive planner (each replica learns its own I/O
+    /// statistics).
+    ///
+    /// # Errors
+    /// If the query exceeds the universe.
+    pub fn query(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
+        self.table
+            .query_rect(q, &QueryOptions::planned(&self.planner))
+    }
+
+    /// Time-travel read against a past applied epoch, answered from the
+    /// replica's retention window.
+    ///
+    /// # Errors
+    /// If the epoch is no longer retained (or not yet applied), or the
+    /// query exceeds the universe.
+    pub fn query_as_of(&self, epoch: u64, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
+        match self.table.snapshot_at(epoch) {
+            Some(snapshot) => snapshot.query_rect(q),
+            None => Err(SfcError::Storage {
+                context: format!(
+                    "epoch {epoch} is not in the replica's retention window (applied: {})",
+                    self.applied_epoch()
+                ),
+            }),
+        }
+    }
+
+    /// Total records in the applied prefix.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the applied prefix holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops the apply thread and drops the subscription.
+    pub fn stop(mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl<C, V, const D: usize> Replica<C, V, D>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.apply.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<C, V, const D: usize> Drop for Replica<C, V, D>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The replay loop: apply each epoch frame as one batch, enforcing
+/// gapless, in-order delivery. Any violation (or stream death) parks
+/// the error and stops — serving a torn or reordered state is worse
+/// than serving a stale prefix.
+fn apply_loop<C, V, const D: usize>(
+    mut stream: crate::client::EpochStream<D, V>,
+    table: &ShardedTable<C, V, D>,
+    durable: &AtomicU64,
+    failed: &AtomicBool,
+    fault: &Mutex<Option<SfcError>>,
+    stop: &AtomicBool,
+) where
+    C: SpaceFillingCurve<D> + Send + Sync,
+    V: Clone + Send + Sync + WalCodec,
+{
+    let park = |e: SfcError| {
+        *fault.lock().expect("fault slot poisoned") = Some(e);
+        failed.store(true, Ordering::Release);
+    };
+    while !stop.load(Ordering::Acquire) {
+        match stream.poll(POLL_INTERVAL) {
+            Ok(None) => continue,
+            Ok(Some(EpochEvent::Epoch {
+                epoch,
+                durable_epoch,
+                ops,
+            })) => {
+                let expect = table.version_epoch() + 1;
+                if epoch != expect {
+                    park(SfcError::Storage {
+                        context: format!("epoch stream gap: got {epoch}, expected {expect}"),
+                    });
+                    return;
+                }
+                if let Err(e) = table.apply_batch(ops) {
+                    park(e);
+                    return;
+                }
+                durable.store(durable_epoch, Ordering::Release);
+            }
+            Ok(Some(EpochEvent::Lagged)) => {
+                park(SfcError::Storage {
+                    context: "subscription lagged out; re-subscribe and catch up".into(),
+                });
+                return;
+            }
+            Err(e) => {
+                park(e);
+                return;
+            }
+        }
+    }
+}

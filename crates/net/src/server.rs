@@ -1,0 +1,341 @@
+//! The blocking threaded server: an [`Engine`] put on a TCP listener.
+//!
+//! One accept thread, one handler thread per connection — the same
+//! thread-per-request shape the engine's own lock structure is built
+//! for (per-shard `RwLock`s, group-committing flushes), so N concurrent
+//! connections exercise exactly the concurrency the engine proptests
+//! pin. Every connection speaks the framed protocol of
+//! [`frame`](crate::frame): preamble exchange, then
+//! [`Request`]/[`Response`] frames.
+//!
+//! A connection that sends [`Request::SubscribeEpochs`] flips one-way:
+//! the handler replays WAL catch-up frames, then forwards the engine's
+//! live epoch feed ([`Engine::subscribe_epochs`]) until the peer
+//! disconnects or the server shuts down. Everything else is strict
+//! request/response.
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] (or drop) raises a
+//! flag, wakes the accept loop with a self-connection, and joins every
+//! handler — handlers poll their sockets with a short timeout, so none
+//! blocks past it.
+
+use crate::frame::{
+    net_err, read_hello, write_frame, write_hello, FrameReader, PollFrame, MAX_FRAME,
+};
+use crate::proto::{Request, Response};
+use onion_core::{SfcError, SpaceFillingCurve};
+use sfc_engine::{Engine, FeedEvent, Op};
+use sfc_index::WalCodec;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a handler blocks on its socket (or the epoch feed) before
+/// re-checking the shutdown flag — the bound on shutdown latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Answers one non-streaming request against the engine — the single
+/// dispatcher both the network handler and
+/// [`Client::local`](crate::Client::local) route through, so a remote
+/// round-trip and an in-process call produce the same [`Response`] by
+/// construction.
+///
+/// [`Request::SubscribeEpochs`] is not answerable here (it turns a
+/// connection into a stream); it gets a [`Response::Error`].
+pub fn respond<C, V, const D: usize>(
+    engine: &Engine<C, V, D>,
+    request: Request<D, V>,
+) -> Response<D, V>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    let reply = |r: Result<sfc_engine::Reply<D, V>, SfcError>| match r {
+        Ok(reply) => Response::from(reply),
+        Err(e) => Response::Error(e),
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Get(p) => reply(engine.execute(Op::Get(p))),
+        Request::Query(q) => reply(engine.execute(Op::Query(q))),
+        Request::QueryAsOf { epoch, query } => {
+            reply(engine.execute(Op::QueryAsOf { epoch, query }))
+        }
+        Request::Insert(p, v) => reply(engine.execute(Op::Insert(p, v))),
+        Request::Update(p, v) => reply(engine.execute(Op::Update(p, v))),
+        Request::Delete(p) => reply(engine.execute(Op::Delete(p))),
+        Request::Flush => match engine.flush() {
+            Ok(applied) => Response::Flushed {
+                applied: applied as u64,
+            },
+            Err(e) => Response::Error(e),
+        },
+        Request::Checkpoint => match engine.checkpoint() {
+            Ok(epoch) => Response::Checkpointed { epoch },
+            Err(e) => Response::Error(e),
+        },
+        Request::Stats => Response::Stats(engine.stats()),
+        Request::Explain(q) => match engine.explain(&q) {
+            Ok(plan) => Response::Explained(plan),
+            Err(e) => Response::Error(e),
+        },
+        Request::SubscribeEpochs { .. } => Response::Error(SfcError::Storage {
+            context: "SubscribeEpochs is a streaming verb; it cannot be answered in-place".into(),
+        }),
+    }
+}
+
+/// A running server: the listener address plus the shutdown machinery.
+/// Dropping it shuts the server down and joins every thread.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
+    /// port) and starts serving `engine` until
+    /// [`shutdown`](Self::shutdown) or drop.
+    ///
+    /// # Errors
+    /// If the bind fails.
+    pub fn spawn<C, V, const D: usize>(
+        engine: Arc<Engine<C, V, D>>,
+        addr: &str,
+    ) -> Result<Server, SfcError>
+    where
+        C: SpaceFillingCurve<D> + Send + Sync + 'static,
+        V: Clone + Send + Sync + WalCodec + 'static,
+    {
+        let listener = TcpListener::bind(addr).map_err(|e| net_err(format!("bind {addr}"), e))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| net_err("local_addr", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, engine, stop))
+        };
+        Ok(Server {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server is listening on — connect
+    /// [`Client`](crate::Client)s here.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects every handler, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the accept loop: it blocks in accept(), so poke it with a
+        // throwaway connection to our own port.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<C, V, const D: usize>(
+    listener: TcpListener,
+    engine: Arc<Engine<C, V, D>>,
+    stop: Arc<AtomicBool>,
+) where
+    C: SpaceFillingCurve<D> + Send + Sync + 'static,
+    V: Clone + Send + Sync + WalCodec + 'static,
+{
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !stop.load(Ordering::Acquire) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::Acquire) {
+            break; // the shutdown poke itself
+        }
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // A failed preamble or a poisoned connection just ends this
+            // handler; the listener keeps serving others.
+            let _ = handle_connection(stream, &engine, &stop);
+        });
+        handlers
+            .lock()
+            .expect("handler registry poisoned")
+            .push(handle);
+    }
+    for handle in handlers.into_inner().expect("handler registry poisoned") {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection until the peer hangs up, an error poisons the
+/// stream, or shutdown is raised.
+fn handle_connection<C, V, const D: usize>(
+    mut stream: TcpStream,
+    engine: &Engine<C, V, D>,
+    stop: &AtomicBool,
+) -> Result<(), SfcError>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    stream.set_nodelay(true).ok();
+    write_hello(&mut stream)?;
+    read_hello(&mut stream)?;
+    let mut reader = FrameReader::new();
+    let mut buf = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let payload = match reader.poll(&mut stream, Some(POLL_INTERVAL))? {
+            PollFrame::Frame(payload) => payload,
+            PollFrame::Idle => continue,
+            PollFrame::Closed => return Ok(()),
+        };
+        let mut cur = sfc_index::WalCursor::new(&payload);
+        let Some(request) = Request::<D, V>::decode(&mut cur) else {
+            // An undecodable request is answered, not fatal: the frame
+            // checksum already passed, so the bytes arrived intact and
+            // the peer merely spoke a verb this side does not know.
+            send(
+                &mut stream,
+                &mut buf,
+                &Response::<D, V>::Error(SfcError::Storage {
+                    context: "undecodable request".into(),
+                }),
+            )?;
+            continue;
+        };
+        if let Request::SubscribeEpochs { from } = request {
+            return stream_epochs(stream, engine, stop, from);
+        }
+        send(&mut stream, &mut buf, &respond(engine, request))?;
+    }
+    Ok(())
+}
+
+/// Encodes and frames one response.
+fn send<const D: usize, V: WalCodec>(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    response: &Response<D, V>,
+) -> Result<(), SfcError> {
+    buf.clear();
+    response.encode(buf);
+    if buf.len() as u64 > MAX_FRAME as u64 {
+        return Err(SfcError::Storage {
+            context: format!("response of {} bytes exceeds MAX_FRAME", buf.len()),
+        });
+    }
+    write_frame(stream, buf)
+}
+
+/// The replication tap: catch the subscriber up from the WAL, then
+/// forward live feed events until disconnect or shutdown.
+///
+/// Ordering: subscribe to the live feed *first*, then read the WAL for
+/// `(from, start_epoch]` — every epoch is thus delivered exactly once
+/// (catch-up covers everything published before the subscription
+/// existed; the feed covers everything after).
+fn stream_epochs<C, V, const D: usize>(
+    mut stream: TcpStream,
+    engine: &Engine<C, V, D>,
+    stop: &AtomicBool,
+    from: u64,
+) -> Result<(), SfcError>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone + Send + Sync + WalCodec,
+{
+    let sub = engine.subscribe_epochs();
+    let mut buf = Vec::new();
+    // Acknowledge before anything else: once the subscriber sees this
+    // frame, the live tap is registered and no later epoch can be lost —
+    // a replica gates its transactor's writes on it.
+    send(
+        &mut stream,
+        &mut buf,
+        &Response::<D, V>::Subscribed {
+            start_epoch: sub.start_epoch(),
+        },
+    )?;
+    if from < sub.start_epoch() {
+        let frames = match engine.committed_frames_since(from) {
+            Ok(frames) => frames,
+            Err(e) => {
+                // An in-memory transactor has no WAL to replay; tell the
+                // subscriber instead of silently skipping epochs.
+                send(&mut stream, &mut buf, &Response::<D, V>::Error(e))?;
+                return Ok(());
+            }
+        };
+        let durable = engine.durable_epoch();
+        for frame in frames {
+            if frame.epoch > sub.start_epoch() {
+                break; // the live feed takes over from here
+            }
+            send(
+                &mut stream,
+                &mut buf,
+                &Response::Epoch {
+                    epoch: frame.epoch,
+                    durable_epoch: durable,
+                    ops: frame.ops,
+                },
+            )?;
+        }
+    }
+    while !stop.load(Ordering::Acquire) {
+        match sub.next_timeout(POLL_INTERVAL) {
+            Some(FeedEvent::Epoch(epoch, ops)) => send(
+                &mut stream,
+                &mut buf,
+                &Response::Epoch {
+                    epoch,
+                    durable_epoch: engine.durable_epoch(),
+                    ops: ops.to_vec(),
+                },
+            )?,
+            Some(FeedEvent::Lagged) => {
+                send(&mut stream, &mut buf, &Response::<D, V>::Lagged)?;
+                return Ok(());
+            }
+            None => {
+                // Idle: probe the peer so a vanished subscriber does not
+                // pin this handler (and its feed slot) forever.
+                if is_closed(&stream) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether the peer has hung up: a zero-length peek after a read-ready
+/// poll. Subscribers never send frames after `SubscribeEpochs`, so any
+/// readable state that peeks 0 bytes is a close.
+fn is_closed(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    stream.set_nonblocking(true).ok();
+    let closed = matches!(stream.peek(&mut probe), Ok(0));
+    stream.set_nonblocking(false).ok();
+    closed
+}

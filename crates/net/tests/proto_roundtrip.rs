@@ -1,0 +1,309 @@
+//! Wire-codec round trips, pinned by property tests:
+//!
+//! * **Every `Request` variant** and **every `Response` variant**
+//!   survives encode → decode bit-exactly, including back-to-back in one
+//!   buffer (no variant over- or under-reads its encoding);
+//! * **Every `SfcError` variant** survives the wire with its stable
+//!   numeric code intact — a remote caller sees the same typed error a
+//!   local caller would;
+//! * **Truncation safety:** every strict prefix of a valid encoding
+//!   decodes to `None` (never panics, never mis-decodes), and unknown
+//!   tags are rejected.
+
+use onion_core::{Point, SfcError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sfc_clustering::RectQuery;
+use sfc_engine::{Admitted, EngineStats};
+use sfc_index::{BatchOp, QueryPlan, Record, WalCodec, WalCursor};
+use sfc_net::{Request, Response};
+
+const SIDE: u32 = 64;
+
+fn arb_point(rng: &mut StdRng) -> Point<2> {
+    Point::new([rng.random_range(0..SIDE), rng.random_range(0..SIDE)])
+}
+
+fn arb_query(rng: &mut StdRng) -> RectQuery<2> {
+    let len = [rng.random_range(1..=8u32), rng.random_range(1..=8u32)];
+    let lo = [
+        rng.random_range(0..SIDE - len[0]),
+        rng.random_range(0..SIDE - len[1]),
+    ];
+    RectQuery::new(lo, len).expect("in-universe query")
+}
+
+fn arb_string(rng: &mut StdRng) -> String {
+    let n = rng.random_range(0..40usize);
+    (0..n)
+        .map(|_| char::from(rng.random_range(b' '..=b'~')))
+        .collect()
+}
+
+/// Every [`SfcError`] variant, with randomized fields.
+fn arb_error(rng: &mut StdRng, variant: usize) -> SfcError {
+    match variant {
+        0 => SfcError::ZeroSide,
+        1 => SfcError::UniverseTooLarge {
+            side: rng.random_range(0..u32::MAX),
+            dims: rng.random_range(0..64),
+        },
+        2 => SfcError::SideNotPowerOfTwo {
+            side: rng.random_range(0..u32::MAX),
+        },
+        3 => SfcError::PointOutOfBounds {
+            point: arb_string(rng),
+            side: rng.random_range(0..u32::MAX),
+        },
+        4 => SfcError::IndexOutOfBounds {
+            index: rng.random_range(0..u64::MAX),
+            cells: rng.random_range(0..u64::MAX),
+        },
+        5 => SfcError::DimensionUnsupported {
+            dims: rng.random_range(0..64),
+        },
+        _ => SfcError::Storage {
+            context: arb_string(rng),
+        },
+    }
+}
+
+const ERROR_VARIANTS: usize = 7;
+
+fn arb_records(rng: &mut StdRng) -> Vec<Record<2, u64>> {
+    (0..rng.random_range(0..12usize))
+        .map(|_| Record {
+            point: arb_point(rng),
+            value: rng.random_range(0..u64::MAX),
+        })
+        .collect()
+}
+
+fn arb_batch(rng: &mut StdRng) -> Vec<BatchOp<2, u64>> {
+    (0..rng.random_range(0..12usize))
+        .map(|_| match rng.random_range(0..3u8) {
+            0 => BatchOp::Insert(arb_point(rng), rng.random_range(0..u64::MAX)),
+            1 => BatchOp::Update(arb_point(rng), rng.random_range(0..u64::MAX)),
+            _ => BatchOp::Delete(arb_point(rng)),
+        })
+        .collect()
+}
+
+fn arb_plan(rng: &mut StdRng) -> QueryPlan {
+    QueryPlan {
+        ranges: (0..rng.random_range(1..6usize))
+            .map(|_| {
+                let lo: u64 = rng.random_range(0..1 << 20);
+                (lo, lo + rng.random_range(0..64u64))
+            })
+            .collect(),
+        clusters: rng.random_range(1..32),
+        extra_cells: rng.random_range(0..1000),
+        hit_rate: rng.random_range(0..=1000) as f64 / 1000.0,
+        est_full_us: rng.random_range(0..1_000_000) as f64 / 7.0,
+        est_chosen_us: rng.random_range(0..1_000_000) as f64 / 7.0,
+        shard_skew: 1.0 + rng.random_range(0..5000) as f64 / 1000.0,
+    }
+}
+
+fn arb_stats(rng: &mut StdRng) -> EngineStats {
+    EngineStats {
+        gets: rng.random_range(0..u64::MAX),
+        queries: rng.random_range(0..u64::MAX),
+        writes: rng.random_range(0..u64::MAX),
+        epochs: rng.random_range(0..u64::MAX),
+        pending: rng.random_range(0..u64::MAX),
+        flush_failures: rng.random_range(0..u64::MAX),
+        durable_epochs: rng.random_range(0..u64::MAX),
+    }
+}
+
+/// Every [`Request`] variant, in tag order.
+fn arb_request(rng: &mut StdRng, variant: usize) -> Request<2, u64> {
+    match variant {
+        0 => Request::Ping,
+        1 => Request::Get(arb_point(rng)),
+        2 => Request::Query(arb_query(rng)),
+        3 => Request::QueryAsOf {
+            epoch: rng.random_range(0..u64::MAX),
+            query: arb_query(rng),
+        },
+        4 => Request::Insert(arb_point(rng), rng.random_range(0..u64::MAX)),
+        5 => Request::Update(arb_point(rng), rng.random_range(0..u64::MAX)),
+        6 => Request::Delete(arb_point(rng)),
+        7 => Request::Flush,
+        8 => Request::Checkpoint,
+        9 => Request::Stats,
+        10 => Request::Explain(arb_query(rng)),
+        _ => Request::SubscribeEpochs {
+            from: rng.random_range(0..u64::MAX),
+        },
+    }
+}
+
+const REQUEST_VARIANTS: usize = 12;
+
+/// Every [`Response`] variant, in tag order.
+fn arb_response(rng: &mut StdRng, variant: usize) -> Response<2, u64> {
+    match variant {
+        0 => Response::Pong,
+        1 => Response::Value(if rng.random_bool(0.5) {
+            Some(rng.random_range(0..u64::MAX))
+        } else {
+            None
+        }),
+        2 => Response::Records(arb_records(rng)),
+        3 => Response::Admitted(Admitted {
+            epoch: rng.random_range(0..u64::MAX),
+        }),
+        4 => Response::Flushed {
+            applied: rng.random_range(0..u64::MAX),
+        },
+        5 => Response::Checkpointed {
+            epoch: rng.random_range(0..u64::MAX),
+        },
+        6 => Response::Stats(arb_stats(rng)),
+        7 => Response::Explained(arb_plan(rng)),
+        8 => Response::Epoch {
+            epoch: rng.random_range(0..u64::MAX),
+            durable_epoch: rng.random_range(0..u64::MAX),
+            ops: arb_batch(rng),
+        },
+        9 => Response::Lagged,
+        10 => {
+            let v = rng.random_range(0..ERROR_VARIANTS);
+            Response::Error(arb_error(rng, v))
+        }
+        _ => Response::Subscribed {
+            start_epoch: rng.random_range(0..u64::MAX),
+        },
+    }
+}
+
+const RESPONSE_VARIANTS: usize = 12;
+
+/// Round-trips `value` alone and back-to-back with `next` in one buffer:
+/// decoding must consume exactly the encoding (no over- or under-read).
+fn roundtrip<T: WalCodec + PartialEq + std::fmt::Debug>(value: &T, next: &T) {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    let solo_len = buf.len();
+    next.encode(&mut buf);
+    let mut cur = WalCursor::new(&buf);
+    assert_eq!(T::decode(&mut cur).as_ref(), Some(value), "first decode");
+    assert_eq!(T::decode(&mut cur).as_ref(), Some(next), "second decode");
+
+    // Every strict prefix of the first encoding is rejected cleanly.
+    for cut in 0..solo_len {
+        let mut cur = WalCursor::new(&buf[..cut]);
+        assert!(
+            T::decode(&mut cur).is_none(),
+            "prefix of {cut}/{solo_len} bytes must not decode"
+        );
+    }
+}
+
+proptest! {
+    /// Every `Request` variant round-trips, back-to-back, truncation-safe.
+    #[test]
+    fn every_request_variant_roundtrips(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for variant in 0..REQUEST_VARIANTS {
+            let value = arb_request(&mut rng, variant);
+            let next_variant = rng.random_range(0..REQUEST_VARIANTS);
+            let next = arb_request(&mut rng, next_variant);
+            roundtrip(&value, &next);
+        }
+    }
+
+    /// Every `Response` variant round-trips, back-to-back, truncation-safe.
+    #[test]
+    fn every_response_variant_roundtrips(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for variant in 0..RESPONSE_VARIANTS {
+            let value = arb_response(&mut rng, variant);
+            let next_variant = rng.random_range(0..RESPONSE_VARIANTS);
+            let next = arb_response(&mut rng, next_variant);
+            roundtrip(&value, &next);
+        }
+    }
+
+    /// Every `SfcError` variant survives the wire with its stable code —
+    /// both standalone and wrapped in `Response::Error`.
+    #[test]
+    fn every_error_variant_survives_the_wire(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for variant in 0..ERROR_VARIANTS {
+            let err = arb_error(&mut rng, variant);
+            let mut buf = Vec::new();
+            err.encode(&mut buf);
+            let decoded = SfcError::decode(&mut WalCursor::new(&buf))
+                .expect("error must decode");
+            prop_assert_eq!(&decoded, &err);
+            prop_assert_eq!(decoded.code(), err.code());
+            roundtrip(
+                &Response::<2, u64>::Error(err),
+                &Response::<2, u64>::Error({
+                    let v = rng.random_range(0..ERROR_VARIANTS);
+                    arb_error(&mut rng, v)
+                }),
+            );
+        }
+    }
+}
+
+#[test]
+fn error_codes_are_pinned() {
+    // The wire contract: codes never change meaning across releases.
+    let mut rng = StdRng::seed_from_u64(0);
+    let codes: Vec<u16> = (0..ERROR_VARIANTS)
+        .map(|v| arb_error(&mut rng, v).code())
+        .collect();
+    assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+}
+
+#[test]
+fn unknown_tags_are_rejected() {
+    for tag in [REQUEST_VARIANTS as u8, 0x7f, 0xff] {
+        let buf = [tag, 0, 0, 0];
+        assert!(Request::<2, u64>::decode(&mut WalCursor::new(&buf)).is_none());
+    }
+    for tag in [RESPONSE_VARIANTS as u8, 0x7f, 0xff] {
+        let buf = [tag, 0, 0, 0];
+        assert!(Response::<2, u64>::decode(&mut WalCursor::new(&buf)).is_none());
+    }
+    assert!(Request::<2, u64>::decode(&mut WalCursor::new(&[])).is_none());
+    assert!(Response::<2, u64>::decode(&mut WalCursor::new(&[])).is_none());
+}
+
+#[test]
+fn op_and_reply_map_one_to_one() {
+    use sfc_engine::{Op, Reply};
+    let p = Point::new([3, 4]);
+    let q = RectQuery::new([1, 1], [2, 2]).unwrap();
+    let cases: Vec<(Op<2, u64>, Request<2, u64>)> = vec![
+        (Op::Get(p), Request::Get(p)),
+        (Op::Query(q), Request::Query(q)),
+        (Op::Insert(p, 9), Request::Insert(p, 9)),
+        (Op::Update(p, 9), Request::Update(p, 9)),
+        (Op::Delete(p), Request::Delete(p)),
+        (
+            Op::QueryAsOf { epoch: 5, query: q },
+            Request::QueryAsOf { epoch: 5, query: q },
+        ),
+    ];
+    for (op, expect) in cases {
+        assert_eq!(Request::from(op), expect);
+    }
+    let reply: Reply<2, u64> = Reply::Value(Some(7));
+    assert_eq!(
+        Response::from(reply.clone()).into_reply().unwrap(),
+        Some(reply)
+    );
+    assert_eq!(
+        Response::<2, u64>::Error(SfcError::ZeroSide).into_reply(),
+        Err(SfcError::ZeroSide)
+    );
+    assert_eq!(Response::<2, u64>::Pong.into_reply(), Ok(None));
+}

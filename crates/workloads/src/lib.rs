@@ -23,7 +23,7 @@ mod ops;
 mod points;
 
 pub use crash::CrashSchedule;
-pub use ops::{mixed_op_stream, OpMix, StreamOp};
+pub use ops::{client_streams, mixed_op_stream, OpMix, StreamOp};
 pub use points::{
     clustered_points, diagonal_points, grid_points, hotspot_points, uniform_points, zipf_points,
     Dataset, ZipfSampler,

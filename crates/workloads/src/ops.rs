@@ -156,6 +156,58 @@ pub fn mixed_op_stream<const D: usize, R: Rng>(
         .collect()
 }
 
+/// Generates one [`mixed_op_stream`] per client for a fleet of
+/// `clients` load generators, each independently seeded from `seed`
+/// (splitmix-style per-client derivation), so a fleet run is
+/// reproducible end to end yet no two clients replay the same ops.
+/// Write payloads are made fleet-unique by offsetting each client's
+/// value numbering by `client_index * ops_per_client`.
+///
+/// The network benchmarks drive one `sfc-net` client connection per
+/// returned stream.
+///
+/// # Panics
+/// As [`mixed_op_stream`], plus if `clients` is zero.
+pub fn client_streams<const D: usize>(
+    clients: usize,
+    side: u32,
+    ops_per_client: usize,
+    mix: &OpMix,
+    exponent: f64,
+    max_query_side: u32,
+    seed: u64,
+) -> Vec<Vec<StreamOp<D>>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(clients > 0, "a fleet needs at least one client");
+    (0..clients)
+        .map(|c| {
+            // SplitMix64 step on (seed, client index): decorrelates the
+            // per-client RNG streams even for adjacent seeds.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
+            let mut ops = mixed_op_stream::<D, _>(
+                side,
+                ops_per_client,
+                mix,
+                exponent,
+                max_query_side,
+                &mut rng,
+            );
+            let offset = (c * ops_per_client) as u64;
+            for op in &mut ops {
+                match op {
+                    StreamOp::Insert(_, v) | StreamOp::Update(_, v) => *v += offset,
+                    _ => {}
+                }
+            }
+            ops
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +269,33 @@ mod tests {
         assert!(reads.iter().all(StreamOp::is_read));
         let writes = mixed_op_stream::<3, _>(16, 300, &OpMix::write_only(), 0.0, 4, &mut rng);
         assert!(writes.iter().all(|o| !o.is_read()));
+    }
+
+    #[test]
+    fn client_streams_are_deterministic_decorrelated_and_value_disjoint() {
+        let fleet = client_streams::<2>(4, 32, 250, &OpMix::balanced(), 0.5, 8, 42);
+        assert_eq!(fleet.len(), 4);
+        assert!(fleet.iter().all(|s| s.len() == 250));
+        // Reproducible from the same seed.
+        assert_eq!(
+            fleet,
+            client_streams::<2>(4, 32, 250, &OpMix::balanced(), 0.5, 8, 42)
+        );
+        // No two clients replay the same stream.
+        for i in 0..fleet.len() {
+            for j in i + 1..fleet.len() {
+                assert_ne!(fleet[i], fleet[j], "clients {i} and {j} collided");
+            }
+        }
+        // Write payloads are fleet-unique (disjoint offset ranges).
+        for (c, stream) in fleet.iter().enumerate() {
+            let lo = (c * 250) as u64;
+            for op in stream {
+                if let StreamOp::Insert(_, v) | StreamOp::Update(_, v) = op {
+                    assert!((lo..lo + 250).contains(v), "client {c} value {v}");
+                }
+            }
+        }
     }
 
     #[test]

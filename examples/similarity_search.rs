@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release --example similarity_search`.
 
-use onion_curve::index::{DiskModel, IoStats, SfcTable};
+use onion_curve::index::{DiskModel, IoStats, QueryOptions, SfcTable};
 use onion_curve::workloads::clustered_points;
 use onion_curve::{Point, SpaceFillingCurve};
 use rand::rngs::StdRng;
@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (c.0[1] + radius).min(side - 1) - lo[1] + 1,
             ];
             let q = onion_curve::clustering::RectQuery::new(lo, len)?;
-            io.absorb(table.query_rect(&q)?.io);
+            io.absorb(table.query_rect(&q, &QueryOptions::default())?.io);
         }
         println!(
             "{name:<14} {:>10} {:>10} {:>14.1}",

@@ -8,7 +8,7 @@
 //! Run with `cargo run --release --example spatial_index`.
 
 use onion_curve::clustering::RectQuery;
-use onion_curve::index::{DiskModel, IoStats, SfcTable};
+use onion_curve::index::{DiskModel, IoStats, QueryOptions, SfcTable};
 use onion_curve::workloads::{clustered_points, uniform_points};
 use onion_curve::{Point, SpaceFillingCurve};
 use rand::rngs::StdRng;
@@ -25,7 +25,7 @@ fn run_workload(
     let table = SfcTable::build(curve, records.to_vec(), model)?;
     let mut total = IoStats::default();
     for q in queries {
-        let res = table.query_rect(q)?;
+        let res = table.query_rect(q, &QueryOptions::default())?;
         total.absorb(res.io);
     }
     let time_ms = total.time_us(&model) / 1000.0;

@@ -14,6 +14,8 @@
 //! * [`index`] — an SFC-keyed spatial index with seek accounting;
 //! * [`engine`] — the concurrent serving layer: op streams, epoch-batched
 //!   writes, adaptive query planning;
+//! * [`net`] — the wire protocol, blocking threaded server, dual-transport
+//!   client, and epoch-streaming read replicas;
 //! * [`workloads`] — deterministic spatial data generators and mixed
 //!   read/write op streams.
 //!
@@ -56,6 +58,12 @@ pub mod index {
 /// Concurrent serving layer (re-export of `sfc-engine`).
 pub mod engine {
     pub use sfc_engine::*;
+}
+
+/// Network layer: wire protocol, server, client, replicas (re-export of
+/// `sfc-net`).
+pub mod net {
+    pub use sfc_net::*;
 }
 
 /// Spatial data generators (re-export of `sfc-workloads`).

@@ -5,7 +5,7 @@
 use onion_curve::baselines::{curve_2d, CURVE_NAMES};
 use onion_curve::clustering::{clustering_number, random_translations, RectQuery};
 use onion_curve::index::{
-    evaluate_partitioning, partition_universe, DiskModel, SfcTable, ShardedTable,
+    evaluate_partitioning, partition_universe, DiskModel, QueryOptions, SfcTable, ShardedTable,
 };
 use onion_curve::workloads::{clustered_points, grid_points, uniform_points, zipf_points};
 use onion_curve::{Point, SpaceFillingCurve};
@@ -40,7 +40,7 @@ fn every_curve_answers_queries_identically() {
         let curve = curve_2d(name, side).unwrap();
         let table = SfcTable::build(curve, records.clone(), DiskModel::ssd()).unwrap();
         for q in &queries {
-            let res = table.query_rect(q).unwrap();
+            let res = table.query_rect(q, &QueryOptions::default()).unwrap();
             let mut got: Vec<u64> = res.records.iter().map(|r| r.value).collect();
             got.sort_unstable();
             assert_eq!(got, brute_force_hits(&records, q), "{name} query {q:?}");
@@ -65,7 +65,7 @@ fn seeks_equal_clustering_number_for_dense_tables() {
         let curve = curve_2d(name, side).unwrap();
         let table = SfcTable::build(curve, records.clone(), DiskModel::hdd()).unwrap();
         for q in &queries {
-            let res = table.query_rect(q).unwrap();
+            let res = table.query_rect(q, &QueryOptions::default()).unwrap();
             let curve_again = curve_2d(name, side).unwrap();
             let expected = clustering_number(&curve_again, q);
             assert_eq!(res.io.seeks, expected, "{name} {q:?}");
@@ -90,7 +90,14 @@ fn onion_needs_fewest_seeks_for_near_full_queries() {
     for name in ["onion", "hilbert", "z-order", "row-major"] {
         let curve = curve_2d(name, side).unwrap();
         let table = SfcTable::build(curve, records.clone(), DiskModel::hdd()).unwrap();
-        seeks.insert(name, table.query_rect(&q).unwrap().io.seeks);
+        seeks.insert(
+            name,
+            table
+                .query_rect(&q, &QueryOptions::default())
+                .unwrap()
+                .io
+                .seeks,
+        );
     }
     assert!(
         seeks["onion"] * 4 < seeks["hilbert"],
@@ -192,8 +199,8 @@ fn sharded_engine_matches_single_table_end_to_end() {
         let sizes = sharded.shard_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), records.len());
         for q in &queries {
-            let a = single.query_rect(q).unwrap();
-            let b = sharded.query_rect(q).unwrap();
+            let a = single.query_rect(q, &QueryOptions::default()).unwrap();
+            let b = sharded.query_rect(q, &QueryOptions::default()).unwrap();
             assert_eq!(a.records, b.records, "{name} {q:?}");
             // Splitting at shard boundaries never loses or duplicates I/O
             // entries, and total seeks can only grow.
@@ -204,7 +211,10 @@ fn sharded_engine_matches_single_table_end_to_end() {
         for (q, res) in queries.iter().zip(&batch) {
             assert_eq!(
                 res.records,
-                single.query_rect(q).unwrap().records,
+                single
+                    .query_rect(q, &QueryOptions::default())
+                    .unwrap()
+                    .records,
                 "{name} batch {q:?}"
             );
         }
@@ -224,7 +234,7 @@ fn clustered_data_changes_volumes_not_correctness() {
     let q = RectQuery::new([10, 10], [30, 30]).unwrap();
     let curve = curve_2d("onion", side).unwrap();
     let table = SfcTable::build(curve, records.clone(), DiskModel::hdd()).unwrap();
-    let res = table.query_rect(&q).unwrap();
+    let res = table.query_rect(&q, &QueryOptions::default()).unwrap();
     let mut got: Vec<u64> = res.records.iter().map(|r| r.value).collect();
     got.sort_unstable();
     assert_eq!(got, brute_force_hits(&records, &q));
