@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use sfc_baselines::{curve_2d, DynCurve, CURVE_NAMES};
 use sfc_clustering::RectQuery;
 use sfc_engine::{Engine, EngineConfig, Op, Reply};
-use sfc_index::{BatchOp, DiskModel, QueryOptions, RetentionPolicy, ShardedTable};
+use sfc_index::{BatchOp, DiskModel, QueryOptions, RetentionPolicy, ShardedTable, StoreConfig};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -237,5 +237,141 @@ proptest! {
             drop(engine);
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// The one-epoch scan contract holds when the table is genuinely
+    /// disk-resident: file-backed segment stores with a 4-page pool,
+    /// readers racing whole-table rewrite epochs. Epoch installs are
+    /// copy-on-write over the *overlay*; the immutable segment
+    /// generation underneath must never let a scan mix two epochs.
+    #[test]
+    fn stored_scans_observe_exactly_one_epoch(seed in any::<u64>()) {
+        const EPOCHS: u64 = 8;
+        for &shards in &[1usize, 3] {
+            let dir = test_dir(&format!("mvcc_stored_scan_{shards}_{seed:x}"));
+            let table = ShardedTable::build_stored(
+                curve_2d("onion", SIDE).unwrap(),
+                dense_records(SIDE),
+                DiskModel::ssd(),
+                shards,
+                &dir,
+                StoreConfig { page_size: 256, pool_pages: 4 },
+            )
+            .unwrap();
+            let table = &table;
+            let done = AtomicBool::new(false);
+            let done = &done;
+            std::thread::scope(|s| {
+                let readers: Vec<_> = (0..2u64)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let mut rng = StdRng::seed_from_u64(seed ^ t);
+                            let mut scans = 0u64;
+                            let mut last_seen = 0u64;
+                            while !done.load(Ordering::Acquire) || scans < 4 {
+                                let x0 = rng.random_range(0..SIDE);
+                                let y0 = rng.random_range(0..SIDE);
+                                let w = rng.random_range(1..=SIDE - x0);
+                                let h = rng.random_range(1..=SIDE - y0);
+                                let q = RectQuery::new([x0, y0], [w, h]).unwrap();
+                                let result =
+                                    table.query_rect(&q, &QueryOptions::default()).unwrap();
+                                let tag = result.records.first().map_or(0, |r| r.value);
+                                assert!(
+                                    result.records.iter().all(|r| r.value == tag),
+                                    "stored scan straddled epochs"
+                                );
+                                assert_eq!(
+                                    result.records.len() as u64,
+                                    u64::from(w) * u64::from(h),
+                                    "stored scan lost or duplicated cells"
+                                );
+                                assert!(tag >= last_seen, "epoch went backwards");
+                                last_seen = tag;
+                                scans += 1;
+                            }
+                        })
+                    })
+                    .collect();
+                for e in 1..=EPOCHS {
+                    table.apply_batch(epoch_batch(SIDE, e)).unwrap();
+                }
+                done.store(true, Ordering::Release);
+                for r in readers {
+                    r.join().expect("reader panicked");
+                }
+            });
+            prop_assert_eq!(table.version_epoch(), EPOCHS);
+            // Folding the overlay into a fresh segment generation (the
+            // checkpoint path) must preserve the final epoch exactly.
+            table.compact_shards().unwrap();
+            let q = RectQuery::new([0, 0], [SIDE, SIDE]).unwrap();
+            let result = table.query_rect(&q, &QueryOptions::default()).unwrap();
+            prop_assert!(result.records.iter().all(|r| r.value == EPOCHS));
+            prop_assert_eq!(
+                result.records.len() as u64,
+                u64::from(SIDE) * u64::from(SIDE)
+            );
+            drop(result);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// `as_of(e)` on the disk-resident engine equals the WAL-prefix
+    /// replay model — the retention window is squeezed to 2 epochs so
+    /// cold epochs exercise `snapshot + WAL prefix` replay while the
+    /// serving table reads file-backed segments through a 4-page pool.
+    #[test]
+    fn stored_as_of_equals_wal_prefix_replay(seed in any::<u64>()) {
+        const EPOCHS: u64 = 8;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir = test_dir(&format!("mvcc_stored_asof_{seed:x}"));
+        let engine = Engine::open_stored(
+            &dir,
+            curve_2d("onion", SIDE).unwrap(),
+            DiskModel::ssd(),
+            3,
+            StoreConfig { page_size: 256, pool_pages: 4 },
+            EngineConfig {
+                epoch_ops: 1 << 20, // manual flushes only
+                retention: RetentionPolicy { epochs: 2, bytes: u64::MAX },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut model: BTreeMap<Point<2>, u64> = BTreeMap::new();
+        let mut history: Vec<BTreeMap<Point<2>, u64>> = vec![model.clone()];
+        for e in 1..=EPOCHS {
+            for _ in 0..12 {
+                let p = Point::new([rng.random_range(0..SIDE), rng.random_range(0..SIDE)]);
+                if rng.random_bool(0.8) {
+                    let v = e * 1000 + rng.random_range(0..100u64);
+                    engine.execute(Op::Update(p, v)).unwrap();
+                    model.insert(p, v);
+                } else {
+                    engine.execute(Op::Delete(p)).unwrap();
+                    model.remove(&p);
+                }
+            }
+            engine.flush().unwrap();
+            prop_assert_eq!(engine.epoch(), e);
+            history.push(model.clone());
+        }
+        let q = RectQuery::new([0, 0], [SIDE, SIDE]).unwrap();
+        for (e, expected) in history.iter().enumerate() {
+            let result = engine.query_as_of(e as u64, &q).unwrap();
+            let got: BTreeMap<Point<2>, u64> =
+                result.records.iter().map(|r| (r.point, r.value)).collect();
+            prop_assert_eq!(&got, expected, "stored as_of({}) != replay", e);
+        }
+        // A checkpoint compacts the segments and draws the horizon.
+        prop_assert_eq!(engine.checkpoint().unwrap(), EPOCHS);
+        prop_assert!(engine.query_as_of(EPOCHS, &q).is_ok());
+        prop_assert!(engine.query_as_of(0, &q).is_err());
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! A [`Backend`] is anything that stores `(u64 curve key, value)` entries
 //! in key order and can scan contiguous key ranges — the operation the
-//! paper's clustering number counts. Two implementations ship:
+//! paper's clustering number counts. Three implementations ship:
 //!
 //! * [`MemoryBackend`] — the [`BPlusTree`] alone; every touched leaf page
 //!   counts as a transfer. This is the fastest backend and the default for
@@ -14,6 +14,11 @@
 //!   each touched leaf is looked up in the pool, and only misses count as
 //!   page transfers — so cache effects show up directly in per-query
 //!   [`IoStats`](crate::IoStats) and simulated timings.
+//! * [`FileBackend`](crate::FileBackend) — genuinely disk-resident: an
+//!   immutable [`SegmentTree`](crate::SegmentTree) on a
+//!   [`PageStore`](crate::PageStore) file plus an in-memory write overlay.
+//!   Its scans report *measured* reads and seeks next to the simulated
+//!   counters.
 //!
 //! Every read path takes `&self` and returns its statistics per call
 //! (`PagedBackend` guards its pool with a `Mutex`), so backends are
@@ -23,6 +28,7 @@
 use crate::btree::{BPlusTree, EntryGuard, DEFAULT_NODE_CAPACITY};
 use crate::cache::LruBufferPool;
 use crate::disk::DiskModel;
+use onion_core::SfcError;
 use std::sync::{Arc, Mutex};
 
 /// Page statistics of one backend range scan.
@@ -32,6 +38,12 @@ pub struct ScanStats {
     pub pages: u64,
     /// Pages served by the buffer pool (zero for pool-less backends).
     pub cache_hits: u64,
+    /// Pages *physically read* from a real storage file — zero for the
+    /// simulated backends, measured for [`FileBackend`](crate::FileBackend).
+    pub real_reads: u64,
+    /// Non-contiguous physical fetches issued by this scan (the first
+    /// fetch counts as one) — zero for the simulated backends.
+    pub real_seeks: u64,
 }
 
 /// Key-ordered storage of `(u64, V)` entries with duplicate keys allowed.
@@ -63,13 +75,19 @@ pub trait Backend<V> {
     where
         Self: Sized;
 
-    /// Looks up a value stored under `key`.
-    fn get(&self, key: u64) -> Option<&V>;
-
-    /// Looks up `key` as a pinned read: the guard holds the storage page,
-    /// so no value copy is made and the read stays valid after the backend
-    /// (or any fork of it) is mutated or dropped.
-    fn get_pinned(&self, key: u64) -> Option<EntryGuard<V>>;
+    /// Looks up `key` as a pinned read: for in-memory backends the guard
+    /// holds the storage page, so no value copy is made and the read stays
+    /// valid after the backend (or any fork of it) is mutated or dropped;
+    /// disk-resident backends return an owned guard decoded from the page.
+    ///
+    /// This is the *only* point-read in the trait: a backend whose pages
+    /// live in a file cannot return a borrow into them, so the former
+    /// `get(&self) -> Option<&V>` could not be part of a storage contract
+    /// that admits real disks.
+    ///
+    /// # Errors
+    /// On storage failure (in-memory backends never fail).
+    fn get_pinned(&self, key: u64) -> Result<Option<EntryGuard<V>>, SfcError>;
 
     /// Mutable lookup of a value stored under `key`.
     fn get_mut(&mut self, key: u64) -> Option<&mut V>;
@@ -82,21 +100,36 @@ pub trait Backend<V> {
 
     /// Scans entries with keys in `lo..=hi` in ascending key order,
     /// passing each to `visit`, and returns the scan's page statistics.
-    fn scan(&self, lo: u64, hi: u64, visit: &mut dyn FnMut(u64, &V)) -> ScanStats;
+    ///
+    /// # Errors
+    /// On storage failure — a short read or a checksum mismatch on a
+    /// disk-resident page. Entries visited before the failure may have
+    /// been delivered; callers must treat the whole scan as failed.
+    fn scan(&self, lo: u64, hi: u64, visit: &mut dyn FnMut(u64, &V))
+        -> Result<ScanStats, SfcError>;
 
     /// Executes the range list of a [`QueryPlan`](crate::QueryPlan) (or any
     /// sorted, disjoint range set) in order, summing page statistics — the
     /// plan-aware scan entry point. Backends may override it to amortize
     /// per-scan setup across a plan's ranges; the default simply chains
     /// [`Self::scan`].
-    fn scan_ranges(&self, ranges: &[(u64, u64)], visit: &mut dyn FnMut(u64, &V)) -> ScanStats {
+    ///
+    /// # Errors
+    /// On storage failure, like [`Self::scan`].
+    fn scan_ranges(
+        &self,
+        ranges: &[(u64, u64)],
+        visit: &mut dyn FnMut(u64, &V),
+    ) -> Result<ScanStats, SfcError> {
         let mut total = ScanStats::default();
         for &(lo, hi) in ranges {
-            let s = self.scan(lo, hi, visit);
+            let s = self.scan(lo, hi, visit)?;
             total.pages += s.pages;
             total.cache_hits += s.cache_hits;
+            total.real_reads += s.real_reads;
+            total.real_seeks += s.real_seeks;
         }
-        total
+        Ok(total)
     }
 
     /// Streams every stored entry to `sink` in ascending key order
@@ -104,8 +137,12 @@ pub trait Backend<V> {
     /// ride. The default walks [`Self::scan`] over the full key range;
     /// backends with simulated-I/O accounting should override it so a
     /// snapshot never pollutes cache statistics.
-    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) {
-        self.scan(0, u64::MAX, &mut |k, v| sink(k, v));
+    ///
+    /// # Errors
+    /// On storage failure, like [`Self::scan`].
+    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) -> Result<(), SfcError> {
+        self.scan(0, u64::MAX, &mut |k, v| sink(k, v))?;
+        Ok(())
     }
 
     /// Replaces the backend's entire contents with `entries`, which must
@@ -113,9 +150,24 @@ pub trait Backend<V> {
     /// stored) — the recovery hook snapshots restore through. Existing
     /// entries are discarded; caches are reset.
     ///
+    /// # Errors
+    /// On storage failure (disk-resident backends rebuild a real segment
+    /// file here; the in-memory backends never fail).
+    ///
     /// # Panics
     /// If `entries` is not sorted by key.
-    fn restore(&mut self, entries: Vec<(u64, V)>);
+    fn restore(&mut self, entries: Vec<(u64, V)>) -> Result<(), SfcError>;
+
+    /// Reorganizes storage without changing contents — the log-structured
+    /// checkpoint hook. Disk-resident backends merge their write overlay
+    /// into a fresh bulk-built segment (and drop the superseded
+    /// generation); in-memory backends have nothing to compact.
+    ///
+    /// # Errors
+    /// On storage failure.
+    fn compact(&mut self) -> Result<(), SfcError> {
+        Ok(())
+    }
 }
 
 /// The plain in-memory backend: a [`BPlusTree`], nothing else. Every leaf
@@ -166,12 +218,8 @@ impl<V: Clone> Backend<V> for MemoryBackend<V> {
         }
     }
 
-    fn get(&self, key: u64) -> Option<&V> {
-        self.tree.get(key)
-    }
-
-    fn get_pinned(&self, key: u64) -> Option<EntryGuard<V>> {
-        self.tree.get_pinned(key)
+    fn get_pinned(&self, key: u64) -> Result<Option<EntryGuard<V>>, SfcError> {
+        Ok(self.tree.get_pinned(key))
     }
 
     fn get_mut(&mut self, key: u64) -> Option<&mut V> {
@@ -186,21 +234,28 @@ impl<V: Clone> Backend<V> for MemoryBackend<V> {
         self.tree.remove(key)
     }
 
-    fn scan(&self, lo: u64, hi: u64, visit: &mut dyn FnMut(u64, &V)) -> ScanStats {
+    fn scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        visit: &mut dyn FnMut(u64, &V),
+    ) -> Result<ScanStats, SfcError> {
         let mut pages = 0u64;
         self.tree.scan_range(lo, hi, &mut |_| pages += 1, visit);
-        ScanStats {
+        Ok(ScanStats {
             pages,
-            cache_hits: 0,
-        }
+            ..ScanStats::default()
+        })
     }
 
-    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) {
+    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) -> Result<(), SfcError> {
         self.tree.scan_range(0, u64::MAX, &mut |_| {}, sink);
+        Ok(())
     }
 
-    fn restore(&mut self, entries: Vec<(u64, V)>) {
+    fn restore(&mut self, entries: Vec<(u64, V)>) -> Result<(), SfcError> {
         self.tree = BPlusTree::bulk_load(entries, DEFAULT_NODE_CAPACITY);
+        Ok(())
     }
 }
 
@@ -280,12 +335,8 @@ impl<V: Clone> Backend<V> for PagedBackend<V> {
         }
     }
 
-    fn get(&self, key: u64) -> Option<&V> {
-        self.tree.get(key)
-    }
-
-    fn get_pinned(&self, key: u64) -> Option<EntryGuard<V>> {
-        self.tree.get_pinned(key)
+    fn get_pinned(&self, key: u64) -> Result<Option<EntryGuard<V>>, SfcError> {
+        Ok(self.tree.get_pinned(key))
     }
 
     fn get_mut(&mut self, key: u64) -> Option<&mut V> {
@@ -300,7 +351,12 @@ impl<V: Clone> Backend<V> for PagedBackend<V> {
         self.tree.remove(key)
     }
 
-    fn scan(&self, lo: u64, hi: u64, visit: &mut dyn FnMut(u64, &V)) -> ScanStats {
+    fn scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        visit: &mut dyn FnMut(u64, &V),
+    ) -> Result<ScanStats, SfcError> {
         let mut stats = ScanStats::default();
         self.tree.scan_range(
             lo,
@@ -322,22 +378,24 @@ impl<V: Clone> Backend<V> for PagedBackend<V> {
             },
             visit,
         );
-        stats
+        Ok(stats)
     }
 
     /// Walks the tree directly, bypassing the buffer pool: snapshotting
     /// the backend must not warm (or thrash) the cache the live query
     /// statistics are measuring.
-    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) {
+    fn persist(&self, sink: &mut dyn FnMut(u64, &V)) -> Result<(), SfcError> {
         self.tree.scan_range(0, u64::MAX, &mut |_| {}, sink);
+        Ok(())
     }
 
     /// Rebuilds the tree from the sorted entries and resets the buffer
     /// pool: the old page ids are meaningless against the new leaves.
-    fn restore(&mut self, entries: Vec<(u64, V)>) {
+    fn restore(&mut self, entries: Vec<(u64, V)>) -> Result<(), SfcError> {
         self.tree = BPlusTree::bulk_load(entries, self.model.page_size.max(2));
         let mut pool = self.pool.lock().expect("buffer pool poisoned");
         *pool = LruBufferPool::new(pool.capacity());
+        Ok(())
     }
 }
 
@@ -353,13 +411,13 @@ mod tests {
     fn memory_backend_round_trips() {
         let mut b = MemoryBackend::bulk_load(entries(1000));
         assert_eq!(b.len(), 1000);
-        assert_eq!(b.get(500), Some(&5000));
+        assert_eq!(b.get_pinned(500).unwrap().as_deref(), Some(&5000));
         *b.get_mut(500).unwrap() = 1;
         assert_eq!(b.remove(500), Some(1));
-        assert_eq!(b.get(500), None);
+        assert!(b.get_pinned(500).unwrap().is_none());
         b.insert(500, 7);
         let mut got = Vec::new();
-        let stats = b.scan(498, 502, &mut |k, &v| got.push((k, v)));
+        let stats = b.scan(498, 502, &mut |k, &v| got.push((k, v))).unwrap();
         assert_eq!(
             got,
             vec![(498, 4980), (499, 4990), (500, 7), (501, 5010), (502, 5020)]
@@ -378,10 +436,10 @@ mod tests {
         };
         let b = PagedBackend::bulk_load(entries(256), model, 64);
         let mut sink = 0u64;
-        let cold = b.scan(0, 255, &mut |_, &v| sink += v);
+        let cold = b.scan(0, 255, &mut |_, &v| sink += v).unwrap();
         assert_eq!(cold.pages, 16, "16 leaves, all cold");
         assert_eq!(cold.cache_hits, 0);
-        let warm = b.scan(0, 255, &mut |_, &v| sink += v);
+        let warm = b.scan(0, 255, &mut |_, &v| sink += v).unwrap();
         assert_eq!(warm.pages, 0, "whole scan served from the pool");
         assert_eq!(warm.cache_hits, 16);
         assert_eq!(b.pool_stats(), (16, 16));
@@ -397,7 +455,7 @@ mod tests {
         };
         let b = PagedBackend::bulk_load(entries(256), model, 2);
         for _ in 0..3 {
-            let stats = b.scan(0, 255, &mut |_, _| {});
+            let stats = b.scan(0, 255, &mut |_, _| {}).unwrap();
             assert_eq!(stats.pages, 16, "a 2-page pool cannot hold a 16-page scan");
             assert_eq!(stats.cache_hits, 0);
         }
@@ -418,14 +476,16 @@ mod tests {
             transfer_us: 10.0,
         };
         let b = PagedBackend::bulk_load(entries(64), model, 64);
-        let cold = b.scan(16, 31, &mut |_, _| {});
+        let cold = b.scan(16, 31, &mut |_, _| {}).unwrap();
         assert_eq!(cold.pages + cold.cache_hits, 2, "no phantom landing page");
-        let warm = b.scan(16, 31, &mut |_, _| {});
+        let warm = b.scan(16, 31, &mut |_, _| {}).unwrap();
         assert_eq!(warm.pages, 0);
         assert_eq!(warm.cache_hits, 2, "re-scan hits exactly the read pages");
         // The plan-aware multi-range scan sums identically: 2 pages for
         // (16, 31) as above, 1 for (48, 63) (last leaf, nothing to peek).
-        let plan = b.scan_ranges(&[(16, 31), (48, 63)], &mut |_, _| {});
+        let plan = b
+            .scan_ranges(&[(16, 31), (48, 63)], &mut |_, _| {})
+            .unwrap();
         assert_eq!(plan.pages + plan.cache_hits, 3);
     }
 
@@ -437,10 +497,10 @@ mod tests {
             transfer_us: 10.0,
         };
         let mut paged = PagedBackend::bulk_load(entries(128), model, 32);
-        paged.scan(0, 127, &mut |_, _| {});
+        paged.scan(0, 127, &mut |_, _| {}).unwrap();
         let stats_before = paged.pool_stats();
         let mut dumped = Vec::new();
-        paged.persist(&mut |k, &v| dumped.push((k, v)));
+        paged.persist(&mut |k, &v| dumped.push((k, v))).unwrap();
         assert_eq!(dumped, entries(128), "persist streams in key order");
         assert_eq!(
             paged.pool_stats(),
@@ -450,15 +510,15 @@ mod tests {
         // Restore into the other backend kind: the hooks are the
         // cross-backend round-trip the durable layer relies on.
         let mut mem = MemoryBackend::new();
-        mem.restore(dumped.clone());
+        mem.restore(dumped.clone()).unwrap();
         assert_eq!(mem.len(), 128);
-        assert_eq!(mem.get(77), Some(&770));
+        assert_eq!(mem.get_pinned(77).unwrap().as_deref(), Some(&770));
         mem.tree().check_invariants().unwrap();
         // Restoring the paged backend resets its pool accounting.
-        paged.restore(dumped);
+        paged.restore(dumped).unwrap();
         assert_eq!(paged.pool_stats(), (0, 0), "restore resets the pool");
         assert_eq!(paged.len(), 128);
-        let cold = paged.scan(0, 127, &mut |_, _| {});
+        let cold = paged.scan(0, 127, &mut |_, _| {}).unwrap();
         assert_eq!(cold.cache_hits, 0, "post-restore scans start cold");
         paged.tree().check_invariants().unwrap();
     }
@@ -472,7 +532,7 @@ mod tests {
             b.insert(3, 31);
             assert_eq!(b.remove(3), Some(30), "first duplicate removed first");
             let mut got = Vec::new();
-            b.scan(0, 10, &mut |k, &v| got.push((k, v)));
+            b.scan(0, 10, &mut |k, &v| got.push((k, v))).unwrap();
             got
         }
         let mut mem = MemoryBackend::new();

@@ -247,10 +247,7 @@ impl<V> BPlusTree<V> {
         };
         let pos = keys.partition_point(|&k| k <= key);
         if pos > 0 && keys[pos - 1] == key {
-            Some(EntryGuard {
-                node: Arc::clone(&self.nodes[leaf]),
-                pos: pos - 1,
-            })
+            Some(EntryGuard::page(Arc::clone(&self.nodes[leaf]), pos - 1))
         } else {
             None
         }
@@ -608,28 +605,75 @@ impl<V> BPlusTree<V> {
     }
 }
 
-/// A pinned point-read handle from [`BPlusTree::get_pinned`].
+/// A pinned point-read handle from [`BPlusTree::get_pinned`] (and from
+/// every [`Backend::get_pinned`](crate::Backend::get_pinned)).
 ///
-/// Owns a reference to the leaf *page* holding the entry, not a copy of the
-/// value: dereferencing is free, and the pin outlives the tree it came from.
-/// Because the guard keeps the page's `Arc` refcount above one, every
-/// copy-on-write mutation path sees the page as shared and copies it before
-/// editing — the guarded value can never change or move underneath the
-/// reader, without any `unsafe`.
-#[derive(Debug, Clone)]
+/// For in-memory trees the guard owns a reference to the leaf *page*
+/// holding the entry, not a copy of the value: dereferencing is free, and
+/// the pin outlives the tree it came from. Because the guard keeps the
+/// page's `Arc` refcount above one, every copy-on-write mutation path sees
+/// the page as shared and copies it before editing — the guarded value can
+/// never change or move underneath the reader, without any `unsafe`.
+///
+/// Disk-resident backends cannot hand out borrows into pages that live in
+/// a file, so the guard also has an owned representation
+/// ([`EntryGuard::owned`]): the value is decoded once at read time and the
+/// guard carries it. Either way the caller sees one stable `Deref<Target
+/// = V>` — the representational split is exactly the simulated/real
+/// storage split, hidden behind one read API.
+#[derive(Debug)]
 pub struct EntryGuard<V> {
-    node: Arc<Node<V>>,
-    pos: usize,
+    repr: GuardRepr<V>,
+}
+
+#[derive(Debug)]
+enum GuardRepr<V> {
+    /// Pins a shared leaf page; the value is read in place.
+    Page { node: Arc<Node<V>>, pos: usize },
+    /// Carries a value decoded from storage that cannot be borrowed.
+    Owned(Box<V>),
+}
+
+impl<V> EntryGuard<V> {
+    /// A guard pinning `pos` within a leaf page.
+    fn page(node: Arc<Node<V>>, pos: usize) -> Self {
+        EntryGuard {
+            repr: GuardRepr::Page { node, pos },
+        }
+    }
+
+    /// A guard carrying an already-materialized value — the form
+    /// disk-resident backends return, where the storage page cannot be
+    /// borrowed.
+    pub fn owned(value: V) -> Self {
+        EntryGuard {
+            repr: GuardRepr::Owned(Box::new(value)),
+        }
+    }
+}
+
+impl<V: Clone> Clone for EntryGuard<V> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            GuardRepr::Page { node, pos } => EntryGuard::page(Arc::clone(node), *pos),
+            GuardRepr::Owned(v) => EntryGuard::owned((**v).clone()),
+        }
+    }
 }
 
 impl<V> Deref for EntryGuard<V> {
     type Target = V;
 
     fn deref(&self) -> &V {
-        let Node::Leaf { values, .. } = &*self.node else {
-            unreachable!("EntryGuard always pins a leaf page")
-        };
-        &values[self.pos]
+        match &self.repr {
+            GuardRepr::Page { node, pos } => {
+                let Node::Leaf { values, .. } = &**node else {
+                    unreachable!("EntryGuard always pins a leaf page")
+                };
+                &values[*pos]
+            }
+            GuardRepr::Owned(v) => v,
+        }
     }
 }
 

@@ -89,15 +89,24 @@ impl LruBufferPool {
 
     /// Accesses a page; returns `true` on a cache hit. `O(1)`.
     pub fn access(&mut self, page: u64) -> bool {
+        self.access_evicting(page).0
+    }
+
+    /// Accesses a page, additionally reporting which page (if any) was
+    /// evicted to make room. `O(1)`. Callers that keep page *contents*
+    /// resident alongside this pool (the segment leaf cache) use the
+    /// victim to drop their copy, so memory tracks the pool's bound.
+    pub fn access_evicting(&mut self, page: u64) -> (bool, Option<u64>) {
         if let Some(&slot) = self.resident.get(&page) {
             self.hits += 1;
             if self.head != slot {
                 self.unlink(slot);
                 self.link_front(slot);
             }
-            return true;
+            return (true, None);
         }
         self.misses += 1;
+        let mut evicted = None;
         let slot = if self.slots.len() < self.capacity {
             // Arena not full yet: allocate a fresh slot.
             self.slots.push(Slot {
@@ -111,12 +120,13 @@ impl LruBufferPool {
             let victim = self.tail;
             self.unlink(victim);
             self.resident.remove(&self.slots[victim].page);
+            evicted = Some(self.slots[victim].page);
             self.slots[victim].page = page;
             victim
         };
         self.resident.insert(page, slot);
         self.link_front(slot);
-        false
+        (false, evicted)
     }
 
     /// Accesses every page overlapped by the inclusive key range, given

@@ -41,7 +41,9 @@ impl DiskModel {
     }
 }
 
-/// Accumulated I/O statistics of simulated queries.
+/// Accumulated I/O statistics of queries: the simulated counters (seeks,
+/// pages priced by a [`DiskModel`]) plus, for queries served by a real
+/// file-backed store, the *measured* counterparts.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IoStats {
     /// Number of seeks performed (one per contiguous key range scanned).
@@ -54,6 +56,12 @@ pub struct IoStats {
     /// Pages served from the buffer pool instead of the medium (always zero
     /// for pool-less backends).
     pub cache_hits: u64,
+    /// Pages physically read from a real page store — zero for simulated
+    /// backends, measured for [`FileBackend`](crate::FileBackend).
+    pub real_reads: u64,
+    /// Non-contiguous physical fetches actually issued — zero for
+    /// simulated backends.
+    pub real_seeks: u64,
 }
 
 impl IoStats {
@@ -69,6 +77,8 @@ impl IoStats {
         self.pages += other.pages;
         self.entries += other.entries;
         self.cache_hits += other.cache_hits;
+        self.real_reads += other.real_reads;
+        self.real_seeks += other.real_seeks;
     }
 }
 
@@ -123,8 +133,7 @@ impl<V> SimulatedDisk<V> {
                 IoStats {
                     seeks: 1,
                     pages: 1,
-                    entries: 0,
-                    cache_hits: 0,
+                    ..IoStats::default()
                 },
             );
         }
@@ -136,7 +145,7 @@ impl<V> SimulatedDisk<V> {
                 seeks: 1,
                 pages: (last_page - first_page + 1) as u64,
                 entries: (end - start) as u64,
-                cache_hits: 0,
+                ..IoStats::default()
             },
         )
     }
@@ -213,8 +222,7 @@ mod tests {
         let stats = IoStats {
             seeks: 2,
             pages: 5,
-            entries: 0,
-            cache_hits: 0,
+            ..IoStats::default()
         };
         let m = DiskModel {
             page_size: 1,

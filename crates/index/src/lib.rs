@@ -8,9 +8,16 @@
 //! * **Storage backends** — the [`Backend`] trait over key-ordered storage,
 //!   with [`MemoryBackend`] (a from-scratch [`BPlusTree`]: bulk load,
 //!   inserts with splits, lazy removal, linked-leaf range scans, invariant
-//!   checker) and [`PagedBackend`] (the tree's leaves treated as
+//!   checker), [`PagedBackend`] (the tree's leaves treated as
 //!   [`SimulatedDisk`]-style pages behind an [`LruBufferPool`], so cache
-//!   effects show up in query stats);
+//!   effects show up in query stats), and [`FileBackend`] (genuinely
+//!   disk-resident: an immutable bulk-built [`SegmentTree`] file on a
+//!   [`PageStore`] plus an in-memory write overlay, reporting *measured*
+//!   seek/read counters next to the simulated ones);
+//! * **Page stores** — the [`PageStore`] trait ([`store`] module):
+//!   explicit page-granular read/write/sync against a real medium, with
+//!   [`FileStore`] as the file implementation and an injection seam for
+//!   fault-injecting test stores;
 //! * **Tables** — [`SfcTable`]: records ordered by any
 //!   [`onion_core::SpaceFillingCurve`]; rectangle queries are decomposed
 //!   into the curve's cluster ranges, so **seeks per query = the paper's
@@ -73,7 +80,10 @@ mod disk;
 mod partition;
 mod plan;
 mod prefetch;
+mod segment;
 mod shard;
+pub mod store;
+mod stored;
 mod table;
 pub mod wal;
 
@@ -85,8 +95,11 @@ pub use partition::{
     evaluate_partitioning, owner_of, partition_universe, try_owner_of, Partition, PartitionMetrics,
 };
 pub use plan::{record_density, PlanStrategy, Planner, QueryPlan};
-pub use shard::{BatchOp, RetentionPolicy, ShardedTable, TableSnapshot, TableVersion, ValueGuard};
-pub use table::{QueryOptions, QueryResult, RangeMode, Record, SfcTable};
+pub use segment::{SegmentScanStats, SegmentTree, SEGMENT_MAGIC};
+pub use shard::{BatchOp, RetentionPolicy, ShardedTable, TableSnapshot, TableVersion};
+pub use store::{FileStore, PageStore, StoreStats};
+pub use stored::{FileBackend, StoreConfig, StoreFactory};
+pub use table::{QueryOptions, QueryResult, RangeMode, Record, SfcTable, ValueGuard};
 pub use wal::{
     crc32, decode_seq, encode_seq, read_snapshot, write_snapshot, EpochFrame, SnapshotContents,
     Wal, WalCodec, WalCursor, SNAPSHOT_MAGIC, WAL_MAGIC,

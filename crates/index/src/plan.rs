@@ -55,6 +55,7 @@
 use crate::disk::{DiskModel, IoStats};
 use sfc_clustering::{coalesce_to_budget, covered_cells, gap_profile};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Record density of a table: stored records per curve cell — the
 /// `density` input of [`Planner::plan_ranges`]'s cost model (how many
@@ -147,6 +148,72 @@ const EWMA_NEW: u64 = 200;
 /// halved, bounding how much history the "live" estimate can cling to.
 const HIT_HISTORY_WINDOW: u64 = 1 << 16;
 
+/// Per-sample decay of the latency-calibration sums: each new wall-clock
+/// observation discounts all prior ones by this factor, so the fit tracks
+/// the medium actually serving queries (cold spinning disk, warm page
+/// cache, tmpfs) within a few hundred observations.
+const CALIBRATION_DECAY: f64 = 0.99;
+
+/// Decayed sample mass below which [`Planner::measured_costs`] refuses to
+/// report rates — a couple of noisy queries must not hijack the model.
+const CALIBRATION_MIN_SAMPLES: f64 = 16.0;
+
+/// Decayed least-squares fit of the measured cost model
+/// `wall_us ≈ a·seeks + b·pages` over real-I/O queries: the normal
+/// equations' sums, exponentially discounted so the fit follows the live
+/// medium rather than all of history.
+#[derive(Clone, Copy, Debug, Default)]
+struct Calibration {
+    /// Σ seeks².
+    ss: f64,
+    /// Σ seeks·pages.
+    sp: f64,
+    /// Σ pages².
+    pp: f64,
+    /// Σ seeks·wall.
+    sw: f64,
+    /// Σ pages·wall.
+    pw: f64,
+    /// Decayed sample mass.
+    samples: f64,
+}
+
+impl Calibration {
+    fn observe(&mut self, seeks: f64, pages: f64, wall_us: f64) {
+        let d = CALIBRATION_DECAY;
+        self.ss = self.ss * d + seeks * seeks;
+        self.sp = self.sp * d + seeks * pages;
+        self.pp = self.pp * d + pages * pages;
+        self.sw = self.sw * d + seeks * wall_us;
+        self.pw = self.pw * d + pages * wall_us;
+        self.samples = self.samples * d + 1.0;
+    }
+
+    /// Solves the 2×2 normal equations for `(seek_us, transfer_us)`,
+    /// clamped non-negative. `None` until enough samples have arrived;
+    /// when the system is degenerate (seeks and pages perfectly
+    /// correlated, e.g. every query one sequential run), falls back to a
+    /// pages-only fit so the per-page rate is still usable.
+    fn rates(&self) -> Option<(f64, f64)> {
+        if self.samples < CALIBRATION_MIN_SAMPLES {
+            return None;
+        }
+        let det = self.ss * self.pp - self.sp * self.sp;
+        // Relative threshold: the sums' scale grows with observation
+        // magnitude, so an absolute epsilon would misclassify either tiny
+        // or huge workloads.
+        if det > 1e-9 * (self.ss * self.pp).max(1.0) {
+            let a = (self.sw * self.pp - self.pw * self.sp) / det;
+            let b = (self.pw * self.ss - self.sw * self.sp) / det;
+            Some((a.max(0.0), b.max(0.0)))
+        } else if self.pp > 0.0 {
+            Some((0.0, (self.pw / self.pp).max(0.0)))
+        } else {
+            None
+        }
+    }
+}
+
 /// An adaptive planner: a cost model plus the live statistics that feed it.
 ///
 /// All state is atomic, so one planner can be shared by any number of
@@ -165,6 +232,9 @@ pub struct Planner {
     skew_milli: AtomicU64,
     /// Number of observed queries.
     observed: AtomicU64,
+    /// Measured-latency fit over real-I/O queries (the second cost-model
+    /// arm, next to the simulated [`DiskModel`] one).
+    calibration: Mutex<Calibration>,
 }
 
 impl Planner {
@@ -177,6 +247,7 @@ impl Planner {
             pages: AtomicU64::new(0),
             skew_milli: AtomicU64::new(MILLI as u64),
             observed: AtomicU64::new(0),
+            calibration: Mutex::new(Calibration::default()),
         }
     }
 
@@ -227,6 +298,40 @@ impl Planner {
         self.skew_milli.store(blended, Ordering::Relaxed);
     }
 
+    /// Feeds one real-I/O query's wall-clock latency into the measured
+    /// cost model: `seeks` non-contiguous physical fetches and `pages`
+    /// physical page reads (`IoStats::real_seeks` / `real_reads`)
+    /// explained `wall_us` microseconds of scan time. Once
+    /// [`Self::measured_costs`] has enough mass, planning prices budgets
+    /// with these *measured* per-seek/per-page rates instead of the
+    /// simulated [`DiskModel`] — the table layers call this automatically
+    /// for planned queries served by a real page store.
+    pub fn observe_latency(&self, seeks: u64, pages: u64, wall_us: f64) {
+        if (seeks == 0 && pages == 0) || !wall_us.is_finite() || wall_us < 0.0 {
+            return;
+        }
+        let mut cal = self.calibration.lock().expect("calibration poisoned");
+        cal.observe(seeks as f64, pages as f64, wall_us);
+    }
+
+    /// The measured `(seek_us, transfer_us)` rates fitted from
+    /// [`Self::observe_latency`] feedback, or `None` while the planner is
+    /// still running on the simulated [`DiskModel`] (too few decayed
+    /// samples to trust a fit).
+    pub fn measured_costs(&self) -> Option<(f64, f64)> {
+        self.calibration
+            .lock()
+            .expect("calibration poisoned")
+            .rates()
+    }
+
+    /// The `(seek_us, transfer_us)` pair pricing plans right now: the
+    /// measured fit when calibrated, the simulated model otherwise.
+    fn cost_rates(&self) -> (f64, f64) {
+        self.measured_costs()
+            .unwrap_or((self.model.seek_us, self.model.transfer_us))
+    }
+
     /// The live cache-hit rate estimate in `[0, 1)`: hits over touched
     /// pages, with a +2 Laplace denominator so an unobserved planner
     /// reports 0 instead of dividing by zero.
@@ -255,8 +360,16 @@ impl Planner {
         let clusters = full.len();
         let hit_rate = self.hit_rate();
         let skew = self.shard_skew();
+        let rates = self.cost_rates();
         if clusters <= 1 {
-            let est = self.estimate_us(clusters as u64, covered_cells(full), 0, density, hit_rate);
+            let est = self.estimate_us(
+                clusters as u64,
+                covered_cells(full),
+                0,
+                density,
+                hit_rate,
+                rates,
+            );
             return QueryPlan {
                 ranges: full.to_vec(),
                 clusters,
@@ -273,7 +386,7 @@ impl Planner {
         let mut best_cost = f64::INFINITY;
         for budget in 1..=clusters {
             let extra = gaps[clusters - budget];
-            let cost = self.estimate_us(budget as u64, cells, extra, density, hit_rate);
+            let cost = self.estimate_us(budget as u64, cells, extra, density, hit_rate, rates);
             // `<=` with ascending budgets keeps the largest budget among
             // ties: prefer the exact decomposition when coalescing buys
             // nothing.
@@ -282,7 +395,7 @@ impl Planner {
                 best_budget = budget;
             }
         }
-        let est_full_us = self.estimate_us(clusters as u64, cells, 0, density, hit_rate);
+        let est_full_us = self.estimate_us(clusters as u64, cells, 0, density, hit_rate, rates);
         let ranges = if best_budget == clusters {
             full.to_vec()
         } else {
@@ -301,13 +414,24 @@ impl Planner {
     }
 
     /// `cost(B)` of the module docs: seeks plus discounted transfers for a
-    /// plan of `budget` ranges covering `cells + extra` cells. Density may
-    /// exceed 1 (duplicate records per cell are allowed), in which case a
-    /// scanned span yields proportionally more entries.
-    fn estimate_us(&self, budget: u64, cells: u64, extra: u64, density: f64, hit_rate: f64) -> f64 {
+    /// plan of `budget` ranges covering `cells + extra` cells, priced at
+    /// `rates = (seek_us, transfer_us)` — the simulated model's constants
+    /// or the measured fit, per [`Self::cost_rates`]. Density may exceed 1
+    /// (duplicate records per cell are allowed), in which case a scanned
+    /// span yields proportionally more entries.
+    fn estimate_us(
+        &self,
+        budget: u64,
+        cells: u64,
+        extra: u64,
+        density: f64,
+        hit_rate: f64,
+        rates: (f64, f64),
+    ) -> f64 {
+        let (seek_us, transfer_us) = rates;
         let entries = (cells + extra) as f64 * density.max(0.0);
         let pages = (entries / self.model.page_size.max(1) as f64).ceil() + budget as f64;
-        budget as f64 * self.model.seek_us + pages * (1.0 - hit_rate) * self.model.transfer_us
+        budget as f64 * seek_us + pages * (1.0 - hit_rate) * transfer_us
     }
 }
 
@@ -373,8 +497,8 @@ mod tests {
         planner.observe(&IoStats {
             seeks: 100,
             pages: 10,
-            entries: 0,
             cache_hits: 10_000,
+            ..IoStats::default()
         });
         let warm = planner.plan_ranges(&ranges, 1.0);
         assert!(planner.hit_rate() > 0.95);
@@ -433,8 +557,8 @@ mod tests {
             planner.observe(&IoStats {
                 seeks: 1,
                 pages: 10,
-                entries: 0,
                 cache_hits: 16_000,
+                ..IoStats::default()
             });
         }
         assert!(planner.hit_rate() > 0.95);
@@ -445,8 +569,7 @@ mod tests {
             planner.observe(&IoStats {
                 seeks: 1,
                 pages: 16_000,
-                entries: 0,
-                cache_hits: 0,
+                ..IoStats::default()
             });
         }
         assert!(
@@ -492,6 +615,58 @@ mod tests {
     }
 
     #[test]
+    fn measured_latency_fit_recovers_the_true_rates() {
+        let planner = Planner::new(hdd());
+        assert!(planner.measured_costs().is_none(), "uncalibrated at birth");
+        // Synthesize queries against a medium where a seek really costs
+        // 500 µs and a page 20 µs; vary the mix so the 2×2 system is
+        // well-conditioned.
+        for i in 1..=40u64 {
+            let seeks = 1 + (i % 7);
+            let pages = 2 + (i * 3) % 29;
+            let wall = seeks as f64 * 500.0 + pages as f64 * 20.0;
+            planner.observe_latency(seeks, pages, wall);
+        }
+        let (seek_us, transfer_us) = planner.measured_costs().expect("calibrated");
+        assert!((seek_us - 500.0).abs() < 1.0, "seek fit {seek_us}");
+        assert!(
+            (transfer_us - 20.0).abs() < 1.0,
+            "transfer fit {transfer_us}"
+        );
+        // The fit, not the simulated HDD constants, now prices plans: the
+        // full decomposition of 64 single-cell clusters costs 64 measured
+        // seeks (~32 ms), not 64 simulated 8 ms seeks (~512 ms).
+        let ranges: Vec<(u64, u64)> = (0..64u64).map(|i| (i * 3, i * 3)).collect();
+        let plan = planner.plan_ranges(&ranges, 1.0);
+        assert!(
+            plan.est_full_us < 64.0 * 1000.0,
+            "must be priced at measured rates: {}",
+            plan.explain()
+        );
+        assert!(plan.est_full_us > 64.0 * 400.0, "{}", plan.explain());
+        // Degenerate and junk observations are rejected, not absorbed.
+        planner.observe_latency(0, 0, 1.0);
+        planner.observe_latency(1, 1, f64::NAN);
+        let (s2, t2) = planner.measured_costs().expect("still calibrated");
+        assert!((s2 - seek_us).abs() < 1e-9 && (t2 - transfer_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pages_only_workload_degrades_to_a_transfer_fit() {
+        let planner = Planner::new(hdd());
+        // Every observation is one sequential run: seeks ∝ pages is rank
+        // deficient... but here seeks are constant 1 while pages vary, so
+        // use a truly proportional mix to hit the degenerate arm.
+        for _ in 0..40 {
+            planner.observe_latency(2, 10, 2.0 * 100.0 + 10.0 * 50.0);
+        }
+        let (_, transfer_us) = planner.measured_costs().expect("calibrated");
+        // The pages-only fallback folds the seek cost into the per-page
+        // rate: 700 µs over 10 pages.
+        assert!(transfer_us > 0.0);
+    }
+
+    #[test]
     fn shard_skew_tracks_imbalance() {
         let planner = Planner::new(hdd());
         assert!((planner.shard_skew() - 1.0).abs() < 1e-9);
@@ -499,14 +674,12 @@ mod tests {
         let hot = IoStats {
             seeks: 10,
             pages: 100,
-            entries: 0,
-            cache_hits: 0,
+            ..IoStats::default()
         };
         let cool = IoStats {
             seeks: 1,
             pages: 1,
-            entries: 0,
-            cache_hits: 0,
+            ..IoStats::default()
         };
         for _ in 0..50 {
             planner.observe_shards(&[hot, cool, cool, cool]);

@@ -18,14 +18,17 @@
 //! [`ShardedTable::query_rect_with_shard_stats`].
 
 use crate::backend::{Backend, MemoryBackend, PagedBackend};
-use crate::btree::EntryGuard;
 use crate::disk::{DiskModel, IoStats};
 use crate::partition::{partition_universe, Partition};
 use crate::plan::{Planner, QueryPlan};
-use crate::table::{keyed_records, QueryOptions, QueryResult, RangeMode, Record};
+use crate::store::PageStore;
+use crate::stored::{FileBackend, StoreConfig, StoreFactory};
+use crate::table::{keyed_records, QueryOptions, QueryResult, RangeMode, Record, ValueGuard};
+use crate::wal::WalCodec;
 use onion_core::{Point, SfcError, SpaceFillingCurve};
 use sfc_clustering::{coalesce_ranges, coalesce_to_budget, RectQuery, ScratchPool};
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One deferred write against a sharded table, applied through
@@ -244,6 +247,68 @@ where
     }
 }
 
+impl<const D: usize, C, V> ShardedTable<C, V, D, FileBackend<Record<D, V>>>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone,
+    Record<D, V>: WalCodec,
+{
+    /// Builds a sharded table whose shards are genuinely disk-resident:
+    /// each shard's records are bulk-built into an immutable segment file
+    /// `dir/shard<i>.g<N>.seg` (see
+    /// [`SfcTable::build_stored`](crate::SfcTable::build_stored)).
+    ///
+    /// # Errors
+    /// If any point lies outside the curve's universe, or segment I/O
+    /// fails.
+    ///
+    /// # Panics
+    /// If `shard_count` is zero.
+    pub fn build_stored(
+        curve: C,
+        records: Vec<(Point<D>, V)>,
+        model: DiskModel,
+        shard_count: usize,
+        dir: &Path,
+        cfg: StoreConfig,
+    ) -> Result<Self, SfcError> {
+        Self::try_build_with(curve, records, model, shard_count, |idx, chunk, _| {
+            FileBackend::create(dir, &format!("shard{idx}"), cfg, chunk)
+        })
+    }
+}
+
+impl<const D: usize, C, V, S> ShardedTable<C, V, D, FileBackend<Record<D, V>, S>>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone,
+    Record<D, V>: WalCodec,
+    S: PageStore,
+{
+    /// [`Self::build_stored`] with an explicit [`StoreFactory`] — the hook
+    /// fault-injecting test stores and alternative media ride in through.
+    ///
+    /// # Errors
+    /// If any point lies outside the curve's universe, or segment I/O
+    /// fails.
+    ///
+    /// # Panics
+    /// If `shard_count` is zero.
+    pub fn build_stored_with(
+        curve: C,
+        records: Vec<(Point<D>, V)>,
+        model: DiskModel,
+        shard_count: usize,
+        dir: &Path,
+        cfg: StoreConfig,
+        factory: StoreFactory<S>,
+    ) -> Result<Self, SfcError> {
+        Self::try_build_with(curve, records, model, shard_count, |idx, chunk, _| {
+            FileBackend::create_with(dir, &format!("shard{idx}"), cfg, factory.clone(), chunk)
+        })
+    }
+}
+
 impl<const D: usize, C, V, B> ShardedTable<C, V, D, B>
 where
     C: SpaceFillingCurve<D>,
@@ -260,6 +325,21 @@ where
         shard_count: usize,
         make_backend: impl Fn(Vec<(u64, Record<D, V>)>, DiskModel) -> B,
     ) -> Result<Self, SfcError> {
+        Self::try_build_with(curve, records, model, shard_count, |_, chunk, model| {
+            Ok(make_backend(chunk, model))
+        })
+    }
+
+    /// The fallible twin of `build_with`, for backends whose construction
+    /// performs real I/O; `make_backend` also receives the shard index so
+    /// disk-resident shards can claim distinct files.
+    fn try_build_with(
+        curve: C,
+        records: Vec<(Point<D>, V)>,
+        model: DiskModel,
+        shard_count: usize,
+        make_backend: impl Fn(usize, Vec<(u64, Record<D, V>)>, DiskModel) -> Result<B, SfcError>,
+    ) -> Result<Self, SfcError> {
         assert!(shard_count >= 1, "need at least one shard");
         let parts = partition_universe(&curve, shard_count);
         let mut keyed = keyed_records(&curve, records)?;
@@ -267,9 +347,13 @@ where
         let mut shards = Vec::with_capacity(parts.len());
         // `keyed` is sorted, so each shard's records are a prefix of the
         // remainder: split it off partition by partition.
-        for part in parts.iter().rev() {
+        for (rev_idx, part) in parts.iter().enumerate().rev() {
             let cut = keyed.partition_point(|&(k, _)| k < part.lo);
-            shards.push(Arc::new(make_backend(keyed.split_off(cut), model)));
+            shards.push(Arc::new(make_backend(
+                rev_idx,
+                keyed.split_off(cut),
+                model,
+            )?));
         }
         shards.reverse();
         debug_assert!(keyed.is_empty());
@@ -672,10 +756,17 @@ where
     /// [`Self::snapshot`] and [`TableSnapshot::persist_shard`] to hold one
     /// epoch across the whole walk.
     ///
+    /// # Errors
+    /// On storage failure reading a disk-resident shard.
+    ///
     /// # Panics
     /// If `shard` is out of range.
-    pub fn persist_shard(&self, shard: usize, sink: &mut dyn FnMut(u64, &Record<D, V>)) {
-        self.pin().shards[shard].persist(sink);
+    pub fn persist_shard(
+        &self,
+        shard: usize,
+        sink: &mut dyn FnMut(u64, &Record<D, V>),
+    ) -> Result<(), SfcError> {
+        self.pin().shards[shard].persist(sink)
     }
 
     /// Replaces the table's entire contents with `entries` — keyed
@@ -730,10 +821,10 @@ where
             .enumerate()
             .map(|(shard, chunk)| {
                 let mut backend = base.shards[shard].fork();
-                backend.restore(chunk);
-                Arc::new(backend)
+                backend.restore(chunk)?;
+                Ok(Arc::new(backend))
             })
-            .collect();
+            .collect::<Result<_, SfcError>>()?;
         self.install_and_clear_history(Arc::new(TableVersion {
             epoch: base.epoch,
             shards,
@@ -741,6 +832,38 @@ where
         }));
         self.records
             .store(total, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Compacts every shard's backend ([`Backend::compact`]) into one new
+    /// version at the **same** epoch: logical state is untouched — for
+    /// disk-resident backends the overlay and removal edits are folded
+    /// into a fresh base segment, so subsequent scans run against one
+    /// sequential file again. A no-op (and free) for in-memory backends.
+    /// Readers pinned to older versions keep their segment files alive
+    /// through the open descriptors even after the old generation is
+    /// unlinked.
+    ///
+    /// # Errors
+    /// If a backend's compaction I/O fails; the table keeps serving the
+    /// pre-compaction version in that case.
+    pub fn compact_shards(&self) -> Result<(), SfcError> {
+        let _gate = self.write_gate.lock().expect("write gate poisoned");
+        let base = self.pin();
+        let shards: Vec<Arc<B>> = base
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut backend = shard.fork();
+                backend.compact()?;
+                Ok(Arc::new(backend))
+            })
+            .collect::<Result<_, SfcError>>()?;
+        self.install(Arc::new(TableVersion {
+            epoch: base.epoch,
+            shards,
+            records: base.records,
+        }));
         Ok(())
     }
 
@@ -758,8 +881,8 @@ where
         let key = self.curve.index_of(p)?;
         let shard = self.shard_of_key(key);
         Ok(self.pin().shards[shard]
-            .get_pinned(key)
-            .map(|entry| ValueGuard { entry }))
+            .get_pinned(key)?
+            .map(ValueGuard::new))
     }
 
     /// Point lookup returning an owned copy of the payload.
@@ -1068,7 +1191,7 @@ where
             merge(scratch.ranges_of(&self.curve, q))
         };
         let (work, pieces) = self.split_ranges(&merged);
-        let (records, per_shard) = self.scan_work(&version, &work, q, true);
+        let (records, per_shard) = self.scan_work(&version, &work, q, true)?;
         let mut io = IoStats::default();
         for stats in &per_shard {
             io.absorb(*stats);
@@ -1095,7 +1218,7 @@ where
     ) -> Result<(QueryResult<D, V>, Vec<IoStats>), SfcError> {
         let version = self.pin();
         let (work, pieces) = self.split_query(q)?;
-        let (records, per_shard) = self.scan_work(&version, &work, q, false);
+        let (records, per_shard) = self.scan_work(&version, &work, q, false)?;
         let mut io = IoStats::default();
         for stats in &per_shard {
             io.absorb(*stats);
@@ -1157,7 +1280,7 @@ where
         let ranges = scratch.ranges_of(&self.curve, q);
         let mut records = Vec::new();
         let pieces = ranges.len() as u64;
-        let stats = scan_shard(&backend, ranges, q, false, &mut records);
+        let stats = scan_shard(&backend, ranges, q, false, &mut records)?;
         Ok(QueryResult {
             records,
             ranges_scanned: pieces,
@@ -1219,13 +1342,18 @@ where
             planner.plan_ranges(full, density)
         };
         let (work, pieces) = self.split_ranges(&plan.ranges);
-        let (records, per_shard) = self.scan_work(&version, &work, q, true);
+        let started = std::time::Instant::now();
+        let (records, per_shard) = self.scan_work(&version, &work, q, true)?;
+        let wall_us = started.elapsed().as_secs_f64() * 1e6;
         let mut io = IoStats::default();
         for stats in &per_shard {
             io.absorb(*stats);
         }
         planner.observe(&io);
         planner.observe_shards(&per_shard);
+        if io.real_reads > 0 {
+            planner.observe_latency(io.real_seeks, io.real_reads, wall_us);
+        }
         Ok((
             QueryResult {
                 records,
@@ -1250,7 +1378,7 @@ where
         work: &ShardWork,
         q: &RectQuery<D>,
         filter: bool,
-    ) -> (Vec<Record<D, V>>, Vec<IoStats>) {
+    ) -> Result<(Vec<Record<D, V>>, Vec<IoStats>), SfcError> {
         let mut per_shard = vec![IoStats::default(); version.shards.len()];
         let mut records = Vec::new();
         let involved = work.iter().filter(|w| !w.is_empty()).count();
@@ -1259,11 +1387,13 @@ where
             for (shard, ranges) in work.iter().enumerate() {
                 if !ranges.is_empty() {
                     let backend: &B = &version.shards[shard];
-                    per_shard[shard] = scan_shard(backend, ranges, q, filter, &mut records);
+                    per_shard[shard] = scan_shard(backend, ranges, q, filter, &mut records)?;
                 }
             }
         } else {
-            let chunks: Vec<(usize, Vec<Record<D, V>>, IoStats)> = std::thread::scope(|s| {
+            type WorkerOut<const D: usize, V> =
+                Result<(usize, Vec<Record<D, V>>, IoStats), SfcError>;
+            let chunks: Vec<WorkerOut<D, V>> = std::thread::scope(|s| {
                 let handles: Vec<_> = work
                     .iter()
                     .enumerate()
@@ -1272,8 +1402,11 @@ where
                         let backend: &B = &version.shards[shard];
                         s.spawn(move || {
                             let mut recs = Vec::new();
-                            let stats = scan_shard(backend, ranges, q, filter, &mut recs);
-                            (shard, recs, stats)
+                            // Storage failure is a result, not a panic: a
+                            // torn segment page must fail the query, not
+                            // poison the process.
+                            let stats = scan_shard(backend, ranges, q, filter, &mut recs)?;
+                            Ok((shard, recs, stats))
                         })
                     })
                     .collect();
@@ -1284,12 +1417,13 @@ where
             });
             // Handles were spawned in shard order, so concatenation keeps
             // global curve-key order.
-            for (shard, recs, stats) in chunks {
+            for chunk in chunks {
+                let (shard, recs, stats) = chunk?;
                 per_shard[shard] = stats;
                 records.extend(recs);
             }
         }
-        (records, per_shard)
+        Ok((records, per_shard))
     }
 
     /// Answers a batch of rectangle queries with one thread scope: each
@@ -1321,7 +1455,8 @@ where
                 }
             }
         }
-        type Chunk<const D: usize, V> = (usize, Vec<(usize, Vec<Record<D, V>>, IoStats)>);
+        type Chunk<const D: usize, V> =
+            Result<(usize, Vec<(usize, Vec<Record<D, V>>, IoStats)>), SfcError>;
         let chunks: Vec<Chunk<D, V>> = std::thread::scope(|s| {
             let handles: Vec<_> = shard_work
                 .iter()
@@ -1336,7 +1471,8 @@ where
                                 out.push((qi, Vec::new(), IoStats::default()));
                             }
                             let (_, recs, io) = out.last_mut().expect("just pushed");
-                            let stats = backend.scan(lo, hi, &mut |_, rec| recs.push(rec.clone()));
+                            let stats =
+                                backend.scan(lo, hi, &mut |_, rec| recs.push(rec.clone()))?;
                             io.seeks += 1;
                             io.pages += stats.pages;
                             io.cache_hits += stats.cache_hits;
@@ -1344,7 +1480,7 @@ where
                         for (_, recs, io) in &mut out {
                             io.entries = recs.len() as u64;
                         }
-                        (shard, out)
+                        Ok((shard, out))
                     })
                 })
                 .collect();
@@ -1364,41 +1500,14 @@ where
             .collect();
         // Chunks arrive in shard order (spawn order), and within a shard in
         // query order, so per-query extension preserves curve-key order.
-        for (_, chunk) in chunks {
+        for chunk in chunks {
+            let (_, chunk) = chunk?;
             for (qi, recs, io) in chunk {
                 results[qi].records.extend(recs);
                 results[qi].io.absorb(io);
             }
         }
         Ok(results)
-    }
-}
-
-/// A pinned point-read from [`ShardedTable::get`] (or
-/// [`TableSnapshot::get`]): dereferences to the stored
-/// [`Record`](crate::Record) without copying it. The guard holds the
-/// B+-tree leaf page of the version it was read from, so it remains valid
-/// — and immutable — after any number of epoch applies, and even after
-/// the table itself is dropped.
-#[derive(Debug, Clone)]
-pub struct ValueGuard<const D: usize, V> {
-    entry: EntryGuard<Record<D, V>>,
-}
-
-impl<const D: usize, V> std::ops::Deref for ValueGuard<D, V> {
-    type Target = Record<D, V>;
-
-    fn deref(&self) -> &Record<D, V> {
-        &self.entry
-    }
-}
-
-impl<const D: usize, V: Clone> ValueGuard<D, V> {
-    /// Owned copy of the pinned payload — the one-call form of
-    /// "pin, then clone `guard.value`", for callers that need `V` by
-    /// value (e.g. to send it over a channel or the wire).
-    pub fn cloned(&self) -> V {
-        self.entry.value.clone()
     }
 }
 
@@ -1448,8 +1557,8 @@ where
         let key = self.table.curve.index_of(p)?;
         let shard = self.table.shard_of_key(key);
         Ok(self.version.shards[shard]
-            .get_pinned(key)
-            .map(|entry| ValueGuard { entry }))
+            .get_pinned(key)?
+            .map(ValueGuard::new))
     }
 
     /// Owned-copy point lookup at this epoch.
@@ -1466,10 +1575,17 @@ where
     /// [`ShardedTable::persist_shard`], which durable checkpoints walk so
     /// the whole snapshot file is one epoch.
     ///
+    /// # Errors
+    /// On storage failure reading a disk-resident shard.
+    ///
     /// # Panics
     /// If `shard` is out of range.
-    pub fn persist_shard(&self, shard: usize, sink: &mut dyn FnMut(u64, &Record<D, V>)) {
-        self.version.shards[shard].persist(sink);
+    pub fn persist_shard(
+        &self,
+        shard: usize,
+        sink: &mut dyn FnMut(u64, &Record<D, V>),
+    ) -> Result<(), SfcError> {
+        self.version.shards[shard].persist(sink)
     }
 }
 
@@ -1487,7 +1603,7 @@ where
     /// If the query does not fit inside the universe.
     pub fn query_rect(&self, q: &RectQuery<D>) -> Result<QueryResult<D, V>, SfcError> {
         let (work, pieces) = self.table.split_query(q)?;
-        let (records, per_shard) = self.table.scan_work(&self.version, &work, q, false);
+        let (records, per_shard) = self.table.scan_work(&self.version, &work, q, false)?;
         let mut io = IoStats::default();
         for stats in &per_shard {
             io.absorb(*stats);
@@ -1545,7 +1661,7 @@ fn scan_shard<const D: usize, V: Clone, B: Backend<Record<D, V>>>(
     q: &RectQuery<D>,
     filter: bool,
     records: &mut Vec<Record<D, V>>,
-) -> IoStats {
+) -> Result<IoStats, SfcError> {
     let before = records.len();
     let stats = backend.scan_ranges(ranges, &mut |_, rec| {
         if filter {
@@ -1556,13 +1672,15 @@ fn scan_shard<const D: usize, V: Clone, B: Backend<Record<D, V>>>(
             debug_assert!(q.contains(rec.point));
             records.push(rec.clone());
         }
-    });
-    IoStats {
+    })?;
+    Ok(IoStats {
         seeks: ranges.len() as u64,
         pages: stats.pages,
         entries: (records.len() - before) as u64,
         cache_hits: stats.cache_hits,
-    }
+        real_reads: stats.real_reads,
+        real_seeks: stats.real_seeks,
+    })
 }
 
 #[cfg(test)]

@@ -14,10 +14,14 @@
 //! sharding layer adds curve-aware parallelism on top.
 
 use crate::backend::{Backend, MemoryBackend, PagedBackend};
+use crate::btree::EntryGuard;
 use crate::disk::{DiskModel, IoStats};
 use crate::plan::{Planner, QueryPlan};
+use crate::stored::{FileBackend, StoreConfig};
+use crate::wal::WalCodec;
 use onion_core::{Point, SfcError, SpaceFillingCurve};
 use sfc_clustering::{coalesce_ranges, coalesce_to_budget, ClusterScratch, RectQuery, ScratchPool};
+use std::path::Path;
 
 /// How a rectangle query's key ranges are derived from its exact cluster
 /// decomposition, when no adaptive planner is driving the choice.
@@ -92,6 +96,42 @@ impl<'p> QueryOptions<'p> {
             planner: None,
             mode: RangeMode::Budget { max_ranges },
         }
+    }
+}
+
+/// A pinned point-lookup result (what [`SfcTable::get`],
+/// [`crate::ShardedTable::get`] and
+/// [`crate::TableSnapshot::get`] return): dereferences to the stored
+/// [`Record`] without copying it. For in-memory backends the guard holds
+/// the B+-tree leaf page of the version it was read from, so it remains
+/// valid — and immutable — after any number of epoch applies, and even
+/// after the table itself is dropped; for disk-resident backends it owns
+/// the decoded record outright.
+#[derive(Debug, Clone)]
+pub struct ValueGuard<const D: usize, V> {
+    entry: EntryGuard<Record<D, V>>,
+}
+
+impl<const D: usize, V> ValueGuard<D, V> {
+    pub(crate) fn new(entry: EntryGuard<Record<D, V>>) -> Self {
+        ValueGuard { entry }
+    }
+}
+
+impl<const D: usize, V> std::ops::Deref for ValueGuard<D, V> {
+    type Target = Record<D, V>;
+
+    fn deref(&self) -> &Record<D, V> {
+        &self.entry
+    }
+}
+
+impl<const D: usize, V: Clone> ValueGuard<D, V> {
+    /// Owned copy of the pinned payload — the one-call form of
+    /// "pin, then clone `guard.value`", for callers that need `V` by
+    /// value (e.g. to send it over a channel or the wire).
+    pub fn cloned(&self) -> V {
+        self.entry.value.clone()
     }
 }
 
@@ -221,6 +261,49 @@ impl<const D: usize, C: SpaceFillingCurve<D>, V: Clone>
     }
 }
 
+impl<const D: usize, C, V> SfcTable<C, V, D, FileBackend<Record<D, V>>>
+where
+    C: SpaceFillingCurve<D>,
+    V: Clone,
+    Record<D, V>: WalCodec,
+{
+    /// Builds a genuinely disk-resident table: records are bulk-built into
+    /// an immutable [`SegmentTree`](crate::SegmentTree) file under `dir`
+    /// (fronted by an LRU page cache of `cfg.pool_pages` pages), and later
+    /// writes land in an in-memory overlay until the backend is compacted.
+    /// Query [`IoStats`] report the *measured* `real_reads` / `real_seeks`
+    /// next to the simulated counters.
+    ///
+    /// # Errors
+    /// If any point lies outside the curve's universe, or segment I/O
+    /// fails.
+    pub fn build_stored(
+        curve: C,
+        records: Vec<(Point<D>, V)>,
+        model: DiskModel,
+        dir: &Path,
+        cfg: StoreConfig,
+    ) -> Result<Self, SfcError> {
+        let keyed = keyed_records(&curve, records)?;
+        let backend = FileBackend::create(dir, "table", cfg, keyed)?;
+        Ok(SfcTable::from_parts(curve, backend, model))
+    }
+
+    /// Creates an empty disk-resident table (see [`Self::build_stored`]).
+    ///
+    /// # Errors
+    /// If the empty base segment cannot be written.
+    pub fn new_stored(
+        curve: C,
+        model: DiskModel,
+        dir: &Path,
+        cfg: StoreConfig,
+    ) -> Result<Self, SfcError> {
+        let backend = FileBackend::create(dir, "table", cfg, Vec::new())?;
+        Ok(SfcTable::from_parts(curve, backend, model))
+    }
+}
+
 impl<const D: usize, C, V, B> SfcTable<C, V, D, B>
 where
     C: SpaceFillingCurve<D>,
@@ -299,10 +382,12 @@ where
         }
     }
 
-    /// Point lookup.
-    pub fn get(&self, p: Point<D>) -> Result<Option<&V>, SfcError> {
+    /// Point lookup. The returned [`ValueGuard`] pins the record without
+    /// copying it (in-memory backends) or owns the decoded record
+    /// (disk-resident backends); it dereferences to the [`Record`].
+    pub fn get(&self, p: Point<D>) -> Result<Option<ValueGuard<D, V>>, SfcError> {
         let key = self.curve.index_of(p)?;
-        Ok(self.backend.get(key).map(|r| &r.value))
+        Ok(self.backend.get_pinned(key)?.map(ValueGuard::new))
     }
 
     /// Batch point lookup: keys every probe with one
@@ -323,10 +408,9 @@ where
         }
         let mut keys: Vec<u64> = Vec::with_capacity(points.len());
         self.curve.fill_indices(points, &mut keys);
-        Ok(keys
-            .into_iter()
-            .map(|k| self.backend.get(k).map(|r| r.value.clone()))
-            .collect())
+        keys.into_iter()
+            .map(|k| Ok(self.backend.get_pinned(k)?.map(|r| r.value.clone())))
+            .collect()
     }
 
     /// Answers a rectangle query. `opts` selects the execution strategy —
@@ -392,12 +476,14 @@ where
         let stats = self.backend.scan_ranges(ranges, &mut |_, rec| {
             debug_assert!(q.contains(rec.point));
             records.push(rec.clone());
-        });
+        })?;
         let io = IoStats {
             seeks: ranges.len() as u64,
             pages: stats.pages,
             entries: records.len() as u64,
             cache_hits: stats.cache_hits,
+            real_reads: stats.real_reads,
+            real_seeks: stats.real_seeks,
         };
         Ok(QueryResult {
             ranges_scanned: ranges.len() as u64,
@@ -441,17 +527,24 @@ where
             seeks: plan.ranges.len() as u64,
             ..IoStats::default()
         };
+        let started = std::time::Instant::now();
         let stats = self
             .backend
             .scan_ranges(&plan.ranges, &mut |_, rec: &Record<D, V>| {
                 if q.contains(rec.point) {
                     records.push(rec.clone());
                 }
-            });
+            })?;
+        let wall_us = started.elapsed().as_secs_f64() * 1e6;
         io.pages = stats.pages;
         io.cache_hits = stats.cache_hits;
         io.entries = records.len() as u64;
+        io.real_reads = stats.real_reads;
+        io.real_seeks = stats.real_seeks;
         planner.observe(&io);
+        if io.real_reads > 0 {
+            planner.observe_latency(io.real_seeks, io.real_reads, wall_us);
+        }
         Ok((
             QueryResult {
                 ranges_scanned: plan.ranges.len() as u64,
@@ -483,12 +576,14 @@ where
             if q.contains(rec.point) {
                 records.push(rec.clone());
             }
-        });
+        })?;
         let io = IoStats {
             seeks: ranges.len() as u64,
             pages: stats.pages,
             entries: touched,
             cache_hits: stats.cache_hits,
+            real_reads: stats.real_reads,
+            real_seeks: stats.real_seeks,
         };
         Ok(QueryResult {
             records,
@@ -620,10 +715,13 @@ mod tests {
     fn build_and_point_lookup() {
         let t = table();
         assert_eq!(t.len(), 256);
-        assert_eq!(t.get(Point::new([3, 7])).unwrap(), Some(&307));
         assert_eq!(
-            t.get(Point::new([20, 0])),
-            Err(SfcError::PointOutOfBounds {
+            t.get(Point::new([3, 7])).unwrap().map(|g| g.value),
+            Some(307)
+        );
+        assert_eq!(
+            t.get(Point::new([20, 0])).err(),
+            Some(SfcError::PointOutOfBounds {
                 point: "(20, 0)".into(),
                 side: 16
             })
@@ -690,14 +788,14 @@ mod tests {
         let mut t = table();
         let p = Point::new([5, 5]);
         assert_eq!(t.update(p, 9999).unwrap(), Some(505), "update returns old");
-        assert_eq!(t.get(p).unwrap(), Some(&9999));
+        assert_eq!(t.get(p).unwrap().map(|g| g.value), Some(9999));
         assert_eq!(t.delete(p).unwrap(), Some(9999));
-        assert_eq!(t.get(p).unwrap(), None);
+        assert!(t.get(p).unwrap().is_none());
         assert_eq!(t.delete(p).unwrap(), None, "second delete is a no-op");
         assert_eq!(t.len(), 255);
         // Update on a vacant cell inserts.
         assert_eq!(t.update(p, 42).unwrap(), None);
-        assert_eq!(t.get(p).unwrap(), Some(&42));
+        assert_eq!(t.get(p).unwrap().map(|g| g.value), Some(42));
         assert_eq!(t.len(), 256);
         // Deleted records no longer appear in rectangle queries.
         let q = RectQuery::new([5, 5], [1, 1]).unwrap();

@@ -1124,7 +1124,7 @@ where
             key.encode(&mut body);
             rec.encode(&mut body);
             count += 1;
-        });
+        })?;
         body[count_at..count_at + 8].copy_from_slice(&count.to_le_bytes());
     }
 

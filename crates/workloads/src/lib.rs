@@ -13,16 +13,21 @@
 //! writes with Zipf-skewed targets, consumed by the `sfc-engine` crate's
 //! operation API and the `engine/mixed_rw` benchmark. [`CrashSchedule`]
 //! cuts such a stream at deterministic crash points, driving the durable
-//! engine's crash-consistency tests.
+//! engine's crash-consistency tests; [`FaultStore`] / [`FaultInjector`]
+//! extend the same idea below the storage API, injecting torn pages,
+//! full-disk writes, short reads, and failed fsyncs into any real
+//! [`PageStore`](sfc_index::PageStore) at scheduled operation counts.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod crash;
+mod fault;
 mod ops;
 mod points;
 
 pub use crash::CrashSchedule;
+pub use fault::{faulty_file_factory, Fault, FaultInjector, FaultStore};
 pub use ops::{client_streams, mixed_op_stream, OpMix, StreamOp};
 pub use points::{
     clustered_points, diagonal_points, grid_points, hotspot_points, uniform_points, zipf_points,
