@@ -1212,6 +1212,91 @@ fn main() {
         });
     }
 
+    // Replica failover: wall time from a severed subscription back to a
+    // fully reconverged replica. A durable transactor (real WAL — the
+    // catch-up source) feeds a replica through a chaos proxy; each rep
+    // kills every live proxy connection, ships 4 more committed epochs
+    // (1k writes), and clocks sever → reconnect → re-subscribe-from-
+    // applied → WAL catch-up → zero lag. Timing-only: there is no
+    // "non-healing" twin — the alternative to failover is rebuilding
+    // the replica from epoch 0.
+    {
+        use sfc_net::{NetConfig, ReplicaConfig, RetryPolicy};
+        use sfc_workloads::{ChaosInjector, ChaosProxy};
+        use std::sync::Arc;
+        let side = 1u32 << 7;
+        let mut rng = StdRng::seed_from_u64(0x5EED_FA11);
+        let writes = mixed_op_stream::<2, _>(side, 1000, &OpMix::write_only(), 0.6, 4, &mut rng);
+        let dir = std::env::temp_dir().join(format!("sfc-bench-failover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Arc::new(
+            Engine::open(
+                &dir,
+                Onion2D::new(side).unwrap(),
+                DiskModel::ssd(),
+                4,
+                EngineConfig::with_epoch_ops(1 << 20),
+            )
+            .unwrap(),
+        );
+        let server = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let injector = ChaosInjector::new();
+        let proxy =
+            ChaosProxy::spawn(&server.local_addr().to_string(), Arc::clone(&injector)).unwrap();
+        let replica = Replica::<Onion2D, u64, 2>::start_with(
+            &proxy.addr(),
+            Onion2D::new(side).unwrap(),
+            DiskModel::ssd(),
+            4,
+            &EngineConfig::default(),
+            ReplicaConfig {
+                net: NetConfig {
+                    connect_timeout: Duration::from_secs(2),
+                    request_deadline: Some(Duration::from_secs(5)),
+                    retry: RetryPolicy::none(),
+                },
+                reconnect: RetryPolicy {
+                    max_retries: 1000,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(5),
+                },
+            },
+        )
+        .unwrap();
+        let converge = |target: u64| {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while replica.applied_epoch() < target {
+                assert!(!replica.is_failed(), "{:?}", replica.take_fault());
+                assert!(
+                    Instant::now() < deadline,
+                    "failover bench never reconverged"
+                );
+                std::hint::spin_loop();
+            }
+        };
+        let failover_ns = time_ns(reps.min(3), || {
+            proxy.kill_all();
+            for (i, op) in writes.iter().enumerate() {
+                engine.execute(op.clone().into()).unwrap();
+                if i % 250 == 249 {
+                    engine.flush().unwrap();
+                }
+            }
+            let committed = engine.stats().epochs;
+            converge(committed);
+            replica.reconnects()
+        });
+        comparisons.push(Comparison {
+            name: "engine/replica_failover/onion2d/sever_1k_writes/reconverge",
+            baseline_ns: None,
+            optimized_ns: failover_ns,
+        });
+        replica.stop();
+        proxy.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // Real-I/O segment scans: one full curve-order scan of a 65k-entry
     // file-backed SFCSEG01 segment, through a 16-page buffer pool that
     // thrashes (every rep seeks, reads, and crc-checks real pages) vs a

@@ -46,6 +46,53 @@ pub enum SfcError {
         /// What the storage layer was doing, with the underlying cause.
         context: String,
     },
+    /// A server refused the request before processing it (admission cap
+    /// hit, draining for shutdown). The request was **not** executed, so
+    /// retrying after backoff is safe for every verb — including writes.
+    Unavailable {
+        /// Why the server turned the request away.
+        context: String,
+    },
+    /// A client-side deadline elapsed before the response arrived. The
+    /// request may still complete on the server; only idempotent
+    /// requests should be reissued.
+    DeadlineExceeded {
+        /// What the client was waiting for, and for how long.
+        context: String,
+    },
+    /// The transport failed at a clean frame boundary (connection
+    /// refused/reset, peer closed between frames). No partial response
+    /// was in flight.
+    ConnectionLost {
+        /// What the transport was doing when the connection died.
+        context: String,
+    },
+    /// The connection died **mid-frame**: bytes past a frame boundary had
+    /// accumulated when the peer vanished, so a response (or epoch) was
+    /// partially delivered. Distinct from [`SfcError::ConnectionLost`] so
+    /// retry logic can tell a torn stream from a clean close.
+    TornFrame {
+        /// How much of the frame had arrived.
+        context: String,
+    },
+    /// A non-idempotent request (a write) failed after it was sent: the
+    /// transport died between send and response, so the server may or
+    /// may not have executed it. Never auto-retried — the caller must
+    /// decide (re-read, use a receipt, or accept at-most-once).
+    AmbiguousWrite {
+        /// The write verb and the transport failure that orphaned it.
+        context: String,
+    },
+    /// An epoch catch-up asked for history the transactor's checkpoint
+    /// has already truncated. Terminal for resume-from-epoch: the
+    /// subscriber must bootstrap from a snapshot instead of the WAL.
+    EpochTruncated {
+        /// The epoch the subscriber wanted to resume after (exclusive).
+        requested: u64,
+        /// The oldest epoch the WAL can still replay *from* (exclusive):
+        /// resuming is only possible for `requested >= horizon`.
+        horizon: u64,
+    },
 }
 
 impl SfcError {
@@ -62,7 +109,33 @@ impl SfcError {
             SfcError::IndexOutOfBounds { .. } => 5,
             SfcError::DimensionUnsupported { .. } => 6,
             SfcError::Storage { .. } => 7,
+            SfcError::Unavailable { .. } => 8,
+            SfcError::DeadlineExceeded { .. } => 9,
+            SfcError::ConnectionLost { .. } => 10,
+            SfcError::TornFrame { .. } => 11,
+            SfcError::AmbiguousWrite { .. } => 12,
+            SfcError::EpochTruncated { .. } => 13,
         }
+    }
+
+    /// Whether a request that failed with this error is safe to reissue
+    /// verbatim, *for any verb*: the failure guarantees the server never
+    /// executed the request. Idempotent requests may additionally retry
+    /// on [`ConnectionLost`](Self::ConnectionLost) /
+    /// [`TornFrame`](Self::TornFrame) (the request may have executed,
+    /// but re-executing is harmless); writes must not — that ambiguity
+    /// is exactly what [`AmbiguousWrite`](Self::AmbiguousWrite) names.
+    pub fn is_pre_execution(&self) -> bool {
+        matches!(self, SfcError::Unavailable { .. })
+    }
+
+    /// Whether this error is a transport-level failure (the connection
+    /// died), as opposed to a typed answer the server produced.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            SfcError::ConnectionLost { .. } | SfcError::TornFrame { .. }
+        )
     }
 }
 
@@ -86,6 +159,18 @@ impl fmt::Display for SfcError {
                 write!(f, "dimensionality {dims} not supported by this component")
             }
             SfcError::Storage { context } => write!(f, "storage failure: {context}"),
+            SfcError::Unavailable { context } => write!(f, "server unavailable: {context}"),
+            SfcError::DeadlineExceeded { context } => write!(f, "deadline exceeded: {context}"),
+            SfcError::ConnectionLost { context } => write!(f, "connection lost: {context}"),
+            SfcError::TornFrame { context } => write!(f, "connection torn mid-frame: {context}"),
+            SfcError::AmbiguousWrite { context } => {
+                write!(f, "write outcome unknown: {context}")
+            }
+            SfcError::EpochTruncated { requested, horizon } => write!(
+                f,
+                "epoch {requested} is behind the checkpoint horizon {horizon}: \
+                 the WAL no longer holds that history, bootstrap from a snapshot"
+            ),
         }
     }
 }
@@ -128,9 +213,50 @@ mod tests {
             SfcError::Storage {
                 context: "io".into(),
             },
+            SfcError::Unavailable {
+                context: "busy".into(),
+            },
+            SfcError::DeadlineExceeded {
+                context: "recv".into(),
+            },
+            SfcError::ConnectionLost {
+                context: "reset".into(),
+            },
+            SfcError::TornFrame {
+                context: "3 bytes buffered".into(),
+            },
+            SfcError::AmbiguousWrite {
+                context: "Insert".into(),
+            },
+            SfcError::EpochTruncated {
+                requested: 3,
+                horizon: 9,
+            },
         ];
         let codes: Vec<u16> = all.iter().map(SfcError::code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn retry_classification_is_conservative() {
+        let busy = SfcError::Unavailable {
+            context: "cap".into(),
+        };
+        assert!(busy.is_pre_execution());
+        assert!(!busy.is_transport());
+        let lost = SfcError::ConnectionLost {
+            context: "reset".into(),
+        };
+        let torn = SfcError::TornFrame {
+            context: "5 bytes".into(),
+        };
+        assert!(lost.is_transport() && torn.is_transport());
+        assert!(!lost.is_pre_execution() && !torn.is_pre_execution());
+        // A tripped deadline is neither: the request may be executing.
+        let late = SfcError::DeadlineExceeded {
+            context: "recv".into(),
+        };
+        assert!(!late.is_pre_execution() && !late.is_transport());
     }
 
     #[test]

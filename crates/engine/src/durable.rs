@@ -477,6 +477,18 @@ impl<const D: usize, V> Durability<D, V> {
         self.sync.drain();
         let mut w = self.wal.lock().expect("WAL handle poisoned");
         let mut frames = (self.read_frames)(&mut w.wal)?;
+        // The log's oldest frame bounds how far back catch-up reaches:
+        // resuming after `from_excl` needs frame `from_excl + 1` onward.
+        // If a checkpoint truncated past that, say so with the horizon
+        // rather than silently replaying a gapped history.
+        if let Some(first) = frames.first() {
+            if from_excl + 1 < first.epoch {
+                return Err(SfcError::EpochTruncated {
+                    requested: from_excl,
+                    horizon: first.epoch - 1,
+                });
+            }
+        }
         frames.retain(|f| f.epoch > from_excl);
         Ok(frames)
     }

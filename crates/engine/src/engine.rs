@@ -624,21 +624,44 @@ where
     /// to live events.
     ///
     /// Drains the commit pipeline first, so every acknowledged epoch is
-    /// physically in the log before the read. Frames a checkpoint has
-    /// already truncated are not returned — bootstrap from the snapshot
-    /// for deeper history.
+    /// physically in the log before the read.
     ///
     /// # Errors
-    /// [`SfcError::Storage`] on in-memory engines (no WAL to read) or on
-    /// log I/O failure.
+    /// [`SfcError::EpochTruncated`] when the WAL no longer reaches back
+    /// to `from_excl` — a checkpoint truncated that history, or the
+    /// engine is in-memory and has no replayable history at all. The
+    /// error carries the horizon (the oldest epoch catch-up can still
+    /// resume from), so a subscriber can tell "bootstrap from a
+    /// snapshot" apart from transient I/O failure
+    /// ([`SfcError::Storage`]).
     pub fn committed_frames_since(
         &self,
         from_excl: u64,
     ) -> Result<Vec<sfc_index::EpochFrame<D, V>>, SfcError> {
         match &self.durability {
-            Some(d) => d.frames_since(from_excl),
-            None => Err(SfcError::Storage {
-                context: "committed_frames_since: in-memory engine has no WAL".into(),
+            Some(d) => {
+                // Read the epoch *before* the frames: if a flush lands in
+                // between, the new epoch's frame is in the result and the
+                // emptiness check below cannot spuriously fire.
+                let epoch_before = self.epoch();
+                let frames = d.frames_since(from_excl)?;
+                if frames.is_empty() && from_excl < epoch_before {
+                    // A checkpoint emptied the log past `from_excl`:
+                    // epochs up to (at least) `epoch_before` committed
+                    // but are no longer replayable.
+                    return Err(SfcError::EpochTruncated {
+                        requested: from_excl,
+                        horizon: epoch_before,
+                    });
+                }
+                Ok(frames)
+            }
+            // An in-memory engine has no WAL: nothing before the current
+            // epoch can ever be replayed, which is exactly a truncation
+            // with the horizon at the present.
+            None => Err(SfcError::EpochTruncated {
+                requested: from_excl,
+                horizon: self.epoch(),
             }),
         }
     }

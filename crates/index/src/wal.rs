@@ -368,7 +368,16 @@ impl WalCodec for SfcError {
                 cells.encode(buf);
             }
             SfcError::DimensionUnsupported { dims } => (*dims as u64).encode(buf),
-            SfcError::Storage { context } => context.encode(buf),
+            SfcError::Storage { context }
+            | SfcError::Unavailable { context }
+            | SfcError::DeadlineExceeded { context }
+            | SfcError::ConnectionLost { context }
+            | SfcError::TornFrame { context }
+            | SfcError::AmbiguousWrite { context } => context.encode(buf),
+            SfcError::EpochTruncated { requested, horizon } => {
+                requested.encode(buf);
+                horizon.encode(buf);
+            }
         }
     }
     fn decode(cur: &mut WalCursor<'_>) -> Option<Self> {
@@ -392,6 +401,25 @@ impl WalCodec for SfcError {
             }),
             7 => Some(SfcError::Storage {
                 context: String::decode(cur)?,
+            }),
+            8 => Some(SfcError::Unavailable {
+                context: String::decode(cur)?,
+            }),
+            9 => Some(SfcError::DeadlineExceeded {
+                context: String::decode(cur)?,
+            }),
+            10 => Some(SfcError::ConnectionLost {
+                context: String::decode(cur)?,
+            }),
+            11 => Some(SfcError::TornFrame {
+                context: String::decode(cur)?,
+            }),
+            12 => Some(SfcError::AmbiguousWrite {
+                context: String::decode(cur)?,
+            }),
+            13 => Some(SfcError::EpochTruncated {
+                requested: cur.u64()?,
+                horizon: cur.u64()?,
             }),
             _ => None,
         }

@@ -9,16 +9,114 @@
 //! that: remote and local replies are identical, byte for byte, for
 //! every request variant.
 
-use crate::frame::{net_err, read_hello, write_frame, write_hello, FrameReader, PollFrame};
+use crate::frame::{lost_err, read_hello, write_frame, write_hello, FrameReader, PollFrame};
 use crate::proto::{Request, Response};
 use crate::server::respond;
 use onion_core::{Point, SfcError, SpaceFillingCurve};
 use sfc_clustering::RectQuery;
 use sfc_engine::{Admitted, Engine, EngineStats, EpochSubscription, FeedEvent, Op, Reply};
 use sfc_index::{BatchOp, EpochFrame, QueryPlan, Record, WalCodec, WalCursor};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Backoff schedule for retrying **idempotent** requests that fail at
+/// the transport (`Get`/`Query`/`QueryAsOf`/`Stats`/`Explain`/`Ping`).
+/// Writes are never governed by this policy: a write orphaned after its
+/// bytes left the socket surfaces as [`SfcError::AmbiguousWrite`]
+/// instead of being silently reissued.
+///
+/// Delays double from [`base_backoff`](Self::base_backoff) per attempt,
+/// saturate at [`max_backoff`](Self::max_backoff), and carry
+/// deterministic jitter in `[50%, 100%]` of the computed delay — a
+/// fleet of clients retrying the same outage decorrelates without any
+/// global randomness source, and a failing schedule replays exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound the exponential schedule saturates at.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: every transport failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// A production-shaped default: 3 retries, 50 ms doubling to 1 s.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based), jittered
+    /// deterministically by `salt`: same salt and attempt, same delay.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        // xorshift the salt with the attempt for a jitter factor in
+        // [0.5, 1.0): decorrelated, reproducible, no RNG dependency.
+        let mut x = salt ^ (u64::from(attempt) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jitter = 0.5 + (x % 1024) as f64 / 2048.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// Transport knobs for a remote [`Client`] (and for the subscription a
+/// [`Replica`](crate::Replica) rides): how long to wait for a
+/// connection, how long to wait per request, and what to retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Bound on `TcpStream::connect` **and** on the preamble exchange,
+    /// so a black-holed address fails within this budget instead of
+    /// hanging [`Client::connect`] forever.
+    pub connect_timeout: Duration,
+    /// Per-request deadline covering send + receive. `None` waits
+    /// indefinitely. A tripped deadline poisons the connection — a late
+    /// response must never be mistaken for the *next* request's answer —
+    /// so the following request reconnects.
+    pub request_deadline: Option<Duration>,
+    /// Retry schedule for idempotent requests (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            connect_timeout: Duration::from_secs(10),
+            request_deadline: None,
+            retry: RetryPolicy::none(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// A self-healing profile: 5 s connect bound, 10 s request
+    /// deadline, [`RetryPolicy::standard`] retries.
+    pub fn resilient() -> Self {
+        NetConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_deadline: Some(Duration::from_secs(10)),
+            retry: RetryPolicy::standard(),
+        }
+    }
+}
 
 /// A framed connection to a server (the remote transport).
 struct Conn {
@@ -28,12 +126,35 @@ struct Conn {
 }
 
 impl Conn {
-    fn open(addr: &str) -> Result<Conn, SfcError> {
-        let mut stream =
-            TcpStream::connect(addr).map_err(|e| net_err(format!("connect {addr}"), e))?;
+    fn open(addr: &str, config: &NetConfig) -> Result<Conn, SfcError> {
+        let candidates = addr
+            .to_socket_addrs()
+            .map_err(|e| lost_err(format!("resolve {addr}"), e))?;
+        let mut stream = None;
+        let mut last_err = None;
+        for candidate in candidates {
+            match TcpStream::connect_timeout(&candidate, config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let mut stream = match (stream, last_err) {
+            (Some(s), _) => s,
+            (None, Some(e)) => return Err(lost_err(format!("connect {addr}"), e)),
+            (None, None) => {
+                return Err(SfcError::ConnectionLost {
+                    context: format!("connect {addr}: no addresses resolved"),
+                })
+            }
+        };
         stream.set_nodelay(true).ok();
         write_hello(&mut stream)?;
-        read_hello(&mut stream)?;
+        // The preamble read shares the connect budget: a peer that
+        // accepts the socket but never speaks fails the open legibly.
+        read_hello(&mut stream, Some(config.connect_timeout))?;
         Ok(Conn {
             stream,
             reader: FrameReader::new(),
@@ -55,7 +176,7 @@ impl Conn {
             PollFrame::Frame(payload) => payload,
             PollFrame::Idle => return Ok(None),
             PollFrame::Closed => {
-                return Err(SfcError::Storage {
+                return Err(SfcError::ConnectionLost {
                     context: "server closed the connection".into(),
                 })
             }
@@ -67,6 +188,119 @@ impl Conn {
                 context: "undecodable response".into(),
             })
     }
+
+    /// Blocks until a full response arrives, the connection dies, or
+    /// `deadline` elapses ([`SfcError::DeadlineExceeded`]).
+    fn recv_response<const D: usize, V: WalCodec>(
+        &mut self,
+        deadline: Option<Duration>,
+    ) -> Result<Response<D, V>, SfcError> {
+        let start = Instant::now();
+        loop {
+            let remaining = match deadline {
+                None => None,
+                Some(d) => match d.checked_sub(start.elapsed()) {
+                    Some(left) if !left.is_zero() => Some(left),
+                    _ => {
+                        return Err(SfcError::DeadlineExceeded {
+                            context: format!("no response within {d:?}"),
+                        })
+                    }
+                },
+            };
+            if let Some(resp) = self.recv(remaining)? {
+                return Ok(resp);
+            }
+            // Idle poll — the deadline arithmetic above loops us out.
+        }
+    }
+}
+
+/// The reconnecting remote transport: server address plus [`NetConfig`]
+/// around an optional live connection. A dead or deadline-poisoned
+/// connection is dropped and reopened lazily by the next request.
+struct Remote {
+    addr: String,
+    config: NetConfig,
+    conn: Option<Conn>,
+    /// Jitter salt derived from the address, so two clients pointed at
+    /// the same server still decorrelate their backoff schedules.
+    salt: u64,
+}
+
+impl Remote {
+    fn new(addr: String, config: NetConfig) -> Remote {
+        // FNV-1a over the address bytes: cheap, deterministic, good
+        // enough to seed jitter.
+        let mut salt = 0xcbf2_9ce4_8422_2325u64;
+        for b in addr.bytes() {
+            salt = (salt ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        Remote {
+            addr,
+            config,
+            conn: None,
+            salt,
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Conn, SfcError> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::open(&self.addr, &self.config)?);
+        }
+        Ok(self.conn.as_mut().expect("connection just opened"))
+    }
+
+    /// One request attempt over the current (or a freshly opened)
+    /// connection. Any failure drops the connection so the next attempt
+    /// starts clean; a non-idempotent request that fails after its
+    /// bytes were sent is wrapped as [`SfcError::AmbiguousWrite`].
+    fn try_request<const D: usize, V: WalCodec>(
+        &mut self,
+        req: &Request<D, V>,
+    ) -> Result<Response<D, V>, SfcError> {
+        let deadline = self.config.request_deadline;
+        let idempotent = req.is_idempotent();
+        let verb = req.verb();
+        let conn = self.ensure_conn()?;
+        let mut outcome = conn.send(req).and_then(|()| conn.recv_response(deadline));
+        if let Err(e) = &outcome {
+            if e.is_transport() {
+                // A server refusing admission answers with one typed
+                // error frame and closes; depending on timing the local
+                // send can fail (broken pipe) before that frame is
+                // read. The parting refusal is still in the receive
+                // buffer — prefer it over the raced transport error.
+                if let Ok(Some(resp @ Response::Error(SfcError::Unavailable { .. }))) =
+                    conn.recv(Some(Duration::from_millis(20)))
+                {
+                    outcome = Ok(resp);
+                }
+            }
+        }
+        match outcome {
+            Ok(resp) => {
+                if matches!(resp, Response::Error(SfcError::Unavailable { .. })) {
+                    // A busy server answers and closes; don't reuse.
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conn = None;
+                if idempotent {
+                    Err(e)
+                } else {
+                    // From the first sent byte on, the server may have
+                    // executed the write even though we never saw the
+                    // response. Name the ambiguity instead of guessing.
+                    Err(SfcError::AmbiguousWrite {
+                        context: format!("{verb}: {e}"),
+                    })
+                }
+            }
+        }
+    }
 }
 
 enum Transport<C, V, const D: usize>
@@ -75,7 +309,7 @@ where
     V: Clone + Send + Sync + WalCodec,
 {
     Local(Arc<Engine<C, V, D>>),
-    Remote(Conn),
+    Remote(Remote),
 }
 
 /// The serving API over either transport. `Client::<C, V, D>` mirrors
@@ -102,34 +336,69 @@ where
         }
     }
 
-    /// Connects to a [`Server`](crate::Server) and performs the
-    /// preamble exchange.
+    /// Connects to a [`Server`](crate::Server) with [`NetConfig`]
+    /// defaults (10 s connect budget, no request deadline, no retries)
+    /// and performs the preamble exchange.
     ///
     /// # Errors
-    /// On connection failure, or a peer that is not speaking
+    /// On connection failure, a connect that exceeds the budget, or a
+    /// peer that is not speaking
     /// [`PROTOCOL_VERSION`](crate::PROTOCOL_VERSION).
     pub fn connect(addr: &str) -> Result<Self, SfcError> {
+        Self::connect_with(addr, NetConfig::default())
+    }
+
+    /// [`Client::connect`] with explicit transport knobs. The address
+    /// and config are retained: a connection lost later is reopened
+    /// transparently by the next request (subject to `config.retry` for
+    /// idempotent requests; writes surface the failure instead).
+    ///
+    /// # Errors
+    /// As [`Client::connect`].
+    pub fn connect_with(addr: &str, config: NetConfig) -> Result<Self, SfcError> {
+        let mut remote = Remote::new(addr.to_string(), config);
+        remote.ensure_conn()?;
         Ok(Client {
-            transport: Transport::Remote(Conn::open(addr)?),
+            transport: Transport::Remote(remote),
         })
     }
 
     /// Sends one request and waits for its response — the raw API every
     /// typed helper below goes through.
     ///
+    /// Idempotent requests that fail at the transport (connection lost,
+    /// torn frame) or are turned away pre-execution
+    /// ([`SfcError::Unavailable`]) are retried per the configured
+    /// [`RetryPolicy`], reconnecting between attempts. Writes are never
+    /// auto-retried: a write orphaned after send returns
+    /// [`SfcError::AmbiguousWrite`], and a busy response reaches the
+    /// caller typed (retrying *is* safe there — the server guarantees
+    /// the request was not admitted — but the decision stays with the
+    /// caller). A tripped deadline is returned immediately for every
+    /// verb: the time budget is already spent.
+    ///
     /// # Errors
-    /// On transport failure. A server-side failure arrives as
-    /// [`Response::Error`], not as `Err` — the typed helpers unwrap it.
+    /// On transport failure after retries are exhausted. A server-side
+    /// failure arrives as [`Response::Error`], not as `Err` — the typed
+    /// helpers unwrap it.
     pub fn request(&mut self, req: Request<D, V>) -> Result<Response<D, V>, SfcError> {
         match &mut self.transport {
             Transport::Local(engine) => Ok(respond(engine, req)),
-            Transport::Remote(conn) => {
-                conn.send(&req)?;
-                match conn.recv(None)? {
-                    Some(resp) => Ok(resp),
-                    None => Err(SfcError::Storage {
-                        context: "no response frame".into(),
-                    }),
+            Transport::Remote(remote) => {
+                let retryable = req.is_idempotent();
+                let mut attempt: u32 = 0;
+                loop {
+                    let outcome = remote.try_request(&req);
+                    let failed_safely = match &outcome {
+                        Ok(Response::Error(e)) => e.is_pre_execution(),
+                        Ok(_) => false,
+                        Err(e) => e.is_transport(),
+                    };
+                    if !(retryable && failed_safely) || attempt >= remote.config.retry.max_retries {
+                        return outcome;
+                    }
+                    std::thread::sleep(remote.config.retry.backoff(attempt, remote.salt));
+                    attempt += 1;
                 }
             }
         }
@@ -292,21 +561,19 @@ where
         V: 'static,
     {
         match self.transport {
-            Transport::Remote(mut conn) => {
+            Transport::Remote(mut remote) => {
+                remote.ensure_conn()?;
+                let deadline = remote.config.request_deadline;
+                let mut conn = remote.conn.take().expect("connection just ensured");
                 conn.send(&Request::<D, V>::SubscribeEpochs { from })?;
                 // Wait for the acknowledgment: once it arrives, the
                 // server's live tap is registered and every epoch
                 // committed from here on is guaranteed to be delivered.
-                match conn.recv::<D, V>(None)? {
-                    Some(Response::Subscribed { .. }) => {}
-                    Some(Response::Error(e)) => return Err(e),
-                    Some(other) => {
+                match conn.recv_response::<D, V>(deadline)? {
+                    Response::Subscribed { .. } => {}
+                    Response::Error(e) => return Err(e),
+                    other => {
                         return unexpected("Subscribed", response_kind(&other));
-                    }
-                    None => {
-                        return Err(SfcError::Storage {
-                            context: "subscription closed before acknowledgment".into(),
-                        });
                     }
                 }
                 Ok(EpochStream {

@@ -51,6 +51,16 @@ pub(crate) fn net_err(context: impl Into<String>, err: std::io::Error) -> SfcErr
     }
 }
 
+/// Maps an I/O failure that means "the peer is gone" into the typed
+/// [`SfcError::ConnectionLost`] arm, so retry logic can distinguish a
+/// dead transport from corrupt or mis-spoken protocol (which stays
+/// [`SfcError::Storage`]).
+pub(crate) fn lost_err(context: impl Into<String>, err: std::io::Error) -> SfcError {
+    SfcError::ConnectionLost {
+        context: format!("{}: {err}", context.into()),
+    }
+}
+
 /// Sends the 10-byte preamble.
 pub(crate) fn write_hello(stream: &mut TcpStream) -> Result<(), SfcError> {
     let mut hello = [0u8; 10];
@@ -61,12 +71,35 @@ pub(crate) fn write_hello(stream: &mut TcpStream) -> Result<(), SfcError> {
         .map_err(|e| net_err("write hello", e))
 }
 
-/// Reads and validates the peer's preamble.
-pub(crate) fn read_hello(stream: &mut TcpStream) -> Result<(), SfcError> {
-    let mut hello = [0u8; 10];
+/// Reads and validates the peer's preamble, waiting at most `timeout`
+/// (`None` blocks indefinitely). A bounded read here is what keeps a
+/// black-holed or silent peer from pinning the caller forever — both
+/// [`Client::connect`](crate::Client::connect) and the server's handler
+/// threads bound their preamble wait.
+pub(crate) fn read_hello(
+    stream: &mut TcpStream,
+    timeout: Option<Duration>,
+) -> Result<(), SfcError> {
     stream
-        .read_exact(&mut hello)
-        .map_err(|e| net_err("read hello", e))?;
+        .set_read_timeout(timeout)
+        .map_err(|e| net_err("set preamble timeout", e))?;
+    let mut hello = [0u8; 10];
+    let read = stream.read_exact(&mut hello);
+    // Restore blocking reads before any error path: the connection's
+    // later traffic manages its own timeouts.
+    stream.set_read_timeout(None).ok();
+    read.map_err(|e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            SfcError::DeadlineExceeded {
+                context: format!("no preamble within {timeout:?}"),
+            }
+        } else {
+            lost_err("read hello", e)
+        }
+    })?;
     if hello[..8] != NET_MAGIC {
         return Err(SfcError::Storage {
             context: format!("bad protocol magic {:?}", &hello[..8]),
@@ -90,7 +123,7 @@ pub(crate) fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), 
     stream
         .write_all(&header)
         .and_then(|()| stream.write_all(payload))
-        .map_err(|e| net_err("write frame", e))
+        .map_err(|e| lost_err("write frame", e))
 }
 
 /// One step of [`FrameReader::poll`].
@@ -133,10 +166,14 @@ impl FrameReader {
             let mut chunk = [0u8; 16 * 1024];
             match stream.read(&mut chunk) {
                 Ok(0) => {
+                    // A close at a frame boundary is the peer's clean
+                    // goodbye; a close with bytes buffered tore a frame in
+                    // half. Retry logic must tell them apart — a torn
+                    // response may have been *partially* acted on.
                     return if self.acc.is_empty() {
                         Ok(PollFrame::Closed)
                     } else {
-                        Err(SfcError::Storage {
+                        Err(SfcError::TornFrame {
                             context: format!(
                                 "connection closed mid-frame ({} bytes buffered)",
                                 self.acc.len()
@@ -154,7 +191,18 @@ impl FrameReader {
                     return Ok(PollFrame::Idle);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(net_err("read frame", e)),
+                Err(e) => {
+                    return Err(if self.acc.is_empty() {
+                        lost_err("read frame", e)
+                    } else {
+                        SfcError::TornFrame {
+                            context: format!(
+                                "read failed mid-frame ({} bytes buffered): {e}",
+                                self.acc.len()
+                            ),
+                        }
+                    })
+                }
             }
         }
     }

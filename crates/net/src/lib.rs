@@ -68,8 +68,8 @@ mod proto;
 mod replica;
 mod server;
 
-pub use client::{Client, EpochEvent, EpochStream};
+pub use client::{Client, EpochEvent, EpochStream, NetConfig, RetryPolicy};
 pub use frame::{MAX_FRAME, NET_MAGIC, PROTOCOL_VERSION};
 pub use proto::{Request, Response};
-pub use replica::Replica;
-pub use server::{respond, Server};
+pub use replica::{Replica, ReplicaConfig, ReplicaState, ReplicaStatus};
+pub use server::{respond, Server, ServerConfig};

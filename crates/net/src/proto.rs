@@ -123,6 +123,45 @@ pub enum Response<const D: usize, V> {
     Error(SfcError),
 }
 
+impl<const D: usize, V> Request<D, V> {
+    /// Whether reissuing this request verbatim cannot change server
+    /// state — the contract the client's retry loop keys on. Reads and
+    /// probes qualify; writes (`Insert`/`Update`/`Delete`) and the
+    /// state-advancing admin verbs (`Flush`/`Checkpoint`) do not, and
+    /// neither does `SubscribeEpochs` (re-subscribing is the replica's
+    /// resume protocol, not a blind retry).
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Get(_)
+                | Request::Query(_)
+                | Request::QueryAsOf { .. }
+                | Request::Stats
+                | Request::Explain(_)
+        )
+    }
+
+    /// The verb name alone, for error contexts — payloads may not be
+    /// `Debug`.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "Ping",
+            Request::Get(_) => "Get",
+            Request::Query(_) => "Query",
+            Request::QueryAsOf { .. } => "QueryAsOf",
+            Request::Insert(..) => "Insert",
+            Request::Update(..) => "Update",
+            Request::Delete(_) => "Delete",
+            Request::Flush => "Flush",
+            Request::Checkpoint => "Checkpoint",
+            Request::Stats => "Stats",
+            Request::Explain(_) => "Explain",
+            Request::SubscribeEpochs { .. } => "SubscribeEpochs",
+        }
+    }
+}
+
 /// Data-plane verbs map one-to-one onto engine ops.
 impl<const D: usize, V> From<Op<D, V>> for Request<D, V> {
     fn from(op: Op<D, V>) -> Self {

@@ -16,13 +16,26 @@
 //! apply atomically per batch. Lag is observable, not hidden:
 //! [`Replica::lag`] is the distance between the transactor's durable
 //! epoch (shipped with every frame) and the replica's applied epoch.
+//!
+//! **Self-healing.** A lost connection (or a `Lagged` cutoff) is not
+//! fatal: the apply thread reconnects with bounded exponential backoff
+//! plus jitter and re-subscribes from its own current
+//! [`applied_epoch`](Replica::applied_epoch). The server's WAL
+//! catch-up for `(applied, start_epoch]` makes resume **exactly-once**
+//! — every epoch committed while the replica was away is replayed, in
+//! order, never doubled — so reconvergence needs no replica-side log.
+//! The one terminal resume fault is [`SfcError::EpochTruncated`]: the
+//! transactor checkpointed past the replica's position, and the WAL no
+//! longer holds the missing history (bootstrap a fresh replica
+//! instead). The whole story is exposed by [`Replica::status`] —
+//! applied/durable/lag, reconnect count, connection state, last error.
 
-use crate::client::{Client, EpochEvent};
+use crate::client::{Client, EpochEvent, EpochStream, NetConfig, RetryPolicy};
 use onion_core::{Point, SfcError, SpaceFillingCurve};
 use sfc_clustering::RectQuery;
 use sfc_engine::EngineConfig;
 use sfc_index::{DiskModel, Planner, QueryOptions, QueryResult, ShardedTable, WalCodec};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -30,6 +43,127 @@ use std::time::Duration;
 /// How long the apply thread blocks on the stream before re-checking
 /// its stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Resilience knobs for a [`Replica`]'s subscription.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaConfig {
+    /// Transport config for the subscription connection (connect
+    /// budget, subscribe-acknowledgment deadline). The request
+    /// [`RetryPolicy`] inside is unused here — the replica's retry unit
+    /// is the whole subscription, governed by
+    /// [`reconnect`](Self::reconnect).
+    pub net: NetConfig,
+    /// Reconnect schedule after the stream dies: up to `max_retries`
+    /// *consecutive* failed reconnect attempts (the counter resets on
+    /// every successfully applied epoch), backing off exponentially
+    /// with deterministic jitter between attempts.
+    pub reconnect: RetryPolicy,
+}
+
+impl Default for ReplicaConfig {
+    /// Self-healing defaults: a 5 s connect budget and 16 consecutive
+    /// reconnect attempts backing off 10 ms → 1 s.
+    fn default() -> Self {
+        ReplicaConfig {
+            net: NetConfig {
+                connect_timeout: Duration::from_secs(5),
+                request_deadline: Some(Duration::from_secs(10)),
+                retry: RetryPolicy::none(),
+            },
+            reconnect: RetryPolicy {
+                max_retries: 16,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_secs(1),
+            },
+        }
+    }
+}
+
+impl ReplicaConfig {
+    /// The pre-resilience behavior: any stream death parks the fault
+    /// and stops the apply thread. The replica keeps serving its last
+    /// applied prefix.
+    pub fn fail_stop() -> Self {
+        ReplicaConfig {
+            net: NetConfig::default(),
+            reconnect: RetryPolicy::none(),
+        }
+    }
+}
+
+/// Where a [`Replica`]'s subscription currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Connected and replaying the live epoch stream.
+    Streaming,
+    /// The stream died; reconnect attempts are in progress.
+    Reconnecting,
+    /// Terminally failed (reconnect budget exhausted, epoch history
+    /// truncated, or a corrupt stream). The last applied prefix is
+    /// still served; [`Replica::take_fault`] holds the cause.
+    Failed,
+    /// [`Replica::stop`] was called.
+    Stopped,
+}
+
+const STATE_STREAMING: u8 = 0;
+const STATE_RECONNECTING: u8 = 1;
+const STATE_FAILED: u8 = 2;
+const STATE_STOPPED: u8 = 3;
+
+/// A point-in-time health snapshot of a [`Replica`] — the fields an
+/// operator (or a load balancer deciding whether to route reads here)
+/// needs in one read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Highest epoch applied locally; every read observes at least this.
+    pub applied: u64,
+    /// The transactor's fsync-confirmed epoch as of the last frame.
+    pub durable: u64,
+    /// `durable - applied`, floored at zero.
+    pub lag: u64,
+    /// Successful reconnects over the replica's lifetime.
+    pub reconnects: u64,
+    /// Current subscription state.
+    pub state: ReplicaState,
+    /// The most recent stream error (transient or terminal), if any.
+    pub last_error: Option<SfcError>,
+}
+
+/// State shared between the apply thread and the [`Replica`] handle.
+struct Shared {
+    /// Transactor durable epoch as of the last received frame.
+    durable: AtomicU64,
+    /// Successful reconnects (not attempts) over the lifetime.
+    reconnects: AtomicU64,
+    state: AtomicU8,
+    /// The most recent stream error, transient or terminal.
+    last_error: Mutex<Option<SfcError>>,
+    /// The terminal fault, once the apply thread gives up.
+    fault: Mutex<Option<SfcError>>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    fn set_state(&self, state: u8) {
+        self.state.store(state, Ordering::Release);
+    }
+
+    fn note_error(&self, e: &SfcError) {
+        *self.last_error.lock().expect("error slot poisoned") = Some(e.clone());
+    }
+
+    /// Terminal: park the fault and flip to `Failed`.
+    fn park(&self, e: SfcError) {
+        self.note_error(&e);
+        *self.fault.lock().expect("fault slot poisoned") = Some(e);
+        self.set_state(STATE_FAILED);
+    }
+}
 
 /// A read replica of a remote transactor. Created by
 /// [`Replica::start`]; queries are served from the local table while a
@@ -41,13 +175,7 @@ where
 {
     table: Arc<ShardedTable<C, V, D>>,
     planner: Planner,
-    /// Transactor durable epoch as of the last received frame.
-    durable: Arc<AtomicU64>,
-    /// Raised when the stream dies (lag cutoff, transport loss); the
-    /// error is parked in `fault`.
-    failed: Arc<AtomicBool>,
-    fault: Arc<Mutex<Option<SfcError>>>,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     apply: Option<JoinHandle<()>>,
 }
 
@@ -57,14 +185,17 @@ where
     V: Clone + Send + Sync + WalCodec + 'static,
 {
     /// Connects to a transactor's server at `addr`, subscribes from
-    /// epoch 0, and starts replaying into a fresh empty table.
+    /// epoch 0, and starts replaying into a fresh empty table, with
+    /// self-healing [`ReplicaConfig`] defaults.
     ///
     /// `curve` must equal the transactor's curve (keys are derived from
     /// points identically on both sides); `shards` is free to differ —
     /// like recovery, replication re-partitions.
     ///
     /// # Errors
-    /// On connection failure or a table-build failure.
+    /// On connection failure or a table-build failure. (The *initial*
+    /// connect is not retried: a replica that never connected has no
+    /// prefix worth serving.)
     pub fn start(
         addr: &str,
         curve: C,
@@ -72,30 +203,47 @@ where
         shards: usize,
         config: &EngineConfig,
     ) -> Result<Self, SfcError> {
+        Self::start_with(addr, curve, model, shards, config, ReplicaConfig::default())
+    }
+
+    /// [`Replica::start`] with explicit resilience knobs —
+    /// [`ReplicaConfig::fail_stop`] restores the pre-resilience
+    /// die-on-first-fault behavior.
+    ///
+    /// # Errors
+    /// As [`Replica::start`].
+    pub fn start_with(
+        addr: &str,
+        curve: C,
+        model: DiskModel,
+        shards: usize,
+        config: &EngineConfig,
+        replica_config: ReplicaConfig,
+    ) -> Result<Self, SfcError> {
         let mut table = ShardedTable::build(curve, Vec::new(), model, shards)?;
         table.set_retention(config.retention);
         let planner = Planner::new(model);
-        let stream = Client::<C, V, D>::connect(addr)?.subscribe_epochs(0)?;
+        let stream =
+            Client::<C, V, D>::connect_with(addr, replica_config.net)?.subscribe_epochs(0)?;
         let table = Arc::new(table);
-        let durable = Arc::new(AtomicU64::new(0));
-        let failed = Arc::new(AtomicBool::new(false));
-        let fault = Arc::new(Mutex::new(None));
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            durable: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            state: AtomicU8::new(STATE_STREAMING),
+            last_error: Mutex::new(None),
+            fault: Mutex::new(None),
+            stop: AtomicBool::new(false),
+        });
         let apply = {
+            let addr = addr.to_string();
             let table = Arc::clone(&table);
-            let durable = Arc::clone(&durable);
-            let failed = Arc::clone(&failed);
-            let fault = Arc::clone(&fault);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || apply_loop(stream, &table, &durable, &failed, &fault, &stop))
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || apply_loop(&addr, replica_config, stream, &table, &shared))
         };
         Ok(Replica {
             table,
             planner,
-            durable,
-            failed,
-            fault,
-            stop,
+            shared,
             apply: Some(apply),
         })
     }
@@ -109,7 +257,7 @@ where
     /// The transactor's fsync-confirmed epoch as of the last received
     /// frame — the durable frontier this replica is chasing.
     pub fn durable_epoch(&self) -> u64 {
-        self.durable.load(Ordering::Acquire)
+        self.shared.durable.load(Ordering::Acquire)
     }
 
     /// Replication lag in epochs: [`durable_epoch`](Self::durable_epoch)
@@ -120,16 +268,59 @@ where
         self.durable_epoch().saturating_sub(self.applied_epoch())
     }
 
-    /// Whether the stream has died (lag cutoff or transport failure).
-    /// A failed replica keeps serving its last applied prefix;
-    /// [`take_fault`](Self::take_fault) retrieves the cause.
-    pub fn is_failed(&self) -> bool {
-        self.failed.load(Ordering::Acquire)
+    /// Current subscription state.
+    pub fn state(&self) -> ReplicaState {
+        match self.shared.state.load(Ordering::Acquire) {
+            STATE_STREAMING => ReplicaState::Streaming,
+            STATE_RECONNECTING => ReplicaState::Reconnecting,
+            STATE_FAILED => ReplicaState::Failed,
+            _ => ReplicaState::Stopped,
+        }
     }
 
-    /// The error that killed the stream, if any (consumes it).
+    /// Successful reconnects over the replica's lifetime — a cheap
+    /// health signal (a climbing count under a stable network means the
+    /// transactor is cutting this replica off).
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::Acquire)
+    }
+
+    /// One consistent health snapshot: applied/durable/lag, reconnect
+    /// count, connection state, last stream error.
+    pub fn status(&self) -> ReplicaStatus {
+        let applied = self.applied_epoch();
+        let durable = self.durable_epoch();
+        ReplicaStatus {
+            applied,
+            durable,
+            lag: durable.saturating_sub(applied),
+            reconnects: self.reconnects(),
+            state: self.state(),
+            last_error: self
+                .shared
+                .last_error
+                .lock()
+                .expect("error slot poisoned")
+                .clone(),
+        }
+    }
+
+    /// Whether the stream has died terminally (reconnect budget
+    /// exhausted, epoch history truncated, corrupt stream). A failed
+    /// replica keeps serving its last applied prefix;
+    /// [`take_fault`](Self::take_fault) retrieves the cause.
+    pub fn is_failed(&self) -> bool {
+        self.state() == ReplicaState::Failed
+    }
+
+    /// The error that terminally killed the stream, if any (consumes
+    /// it).
     pub fn take_fault(&self) -> Option<SfcError> {
-        self.fault.lock().expect("fault slot poisoned").take()
+        self.shared
+            .fault
+            .lock()
+            .expect("fault slot poisoned")
+            .take()
     }
 
     /// Point lookup against the applied prefix. Epoch-boundary
@@ -193,9 +384,12 @@ where
     V: Clone + Send + Sync + WalCodec,
 {
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
         if let Some(h) = self.apply.take() {
             let _ = h.join();
+        }
+        if self.shared.state.load(Ordering::Acquire) != STATE_FAILED {
+            self.shared.set_state(STATE_STOPPED);
         }
     }
 }
@@ -210,56 +404,143 @@ where
     }
 }
 
+/// Whether a stream error ends the replica for good. A truncated epoch
+/// history can never be healed by reconnecting — the data is gone from
+/// the transactor's WAL.
+fn is_terminal(e: &SfcError) -> bool {
+    matches!(e, SfcError::EpochTruncated { .. })
+}
+
+/// Sleeps `total` in small slices so a concurrent stop lands promptly.
+fn backoff_sleep(shared: &Shared, total: Duration) {
+    let slice = Duration::from_millis(10);
+    let mut left = total;
+    while !left.is_zero() && !shared.stopping() {
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+}
+
 /// The replay loop: apply each epoch frame as one batch, enforcing
-/// gapless, in-order delivery. Any violation (or stream death) parks
-/// the error and stops — serving a torn or reordered state is worse
-/// than serving a stale prefix.
+/// gapless, in-order delivery. A dead stream (transport loss, `Lagged`
+/// cutoff) is healed by reconnecting with backoff and re-subscribing
+/// from the applied epoch — the WAL catch-up makes the resume
+/// exactly-once. Only unhealable faults stop the thread: a truncated
+/// epoch history, a gap or apply failure (corrupt stream — serving a
+/// torn state is worse than serving a stale prefix), or an exhausted
+/// reconnect budget.
 fn apply_loop<C, V, const D: usize>(
-    mut stream: crate::client::EpochStream<D, V>,
+    addr: &str,
+    config: ReplicaConfig,
+    initial: EpochStream<D, V>,
     table: &ShardedTable<C, V, D>,
-    durable: &AtomicU64,
-    failed: &AtomicBool,
-    fault: &Mutex<Option<SfcError>>,
-    stop: &AtomicBool,
+    shared: &Shared,
 ) where
-    C: SpaceFillingCurve<D> + Send + Sync,
-    V: Clone + Send + Sync + WalCodec,
+    C: SpaceFillingCurve<D> + Send + Sync + 'static,
+    V: Clone + Send + Sync + WalCodec + 'static,
 {
-    let park = |e: SfcError| {
-        *fault.lock().expect("fault slot poisoned") = Some(e);
-        failed.store(true, Ordering::Release);
-    };
-    while !stop.load(Ordering::Acquire) {
-        match stream.poll(POLL_INTERVAL) {
-            Ok(None) => continue,
-            Ok(Some(EpochEvent::Epoch {
-                epoch,
-                durable_epoch,
-                ops,
-            })) => {
-                let expect = table.version_epoch() + 1;
-                if epoch != expect {
-                    park(SfcError::Storage {
-                        context: format!("epoch stream gap: got {epoch}, expected {expect}"),
-                    });
+    // Jitter salt: same derivation as the client's, so backoff replays
+    // deterministically for a given address.
+    let mut salt = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr.bytes() {
+        salt = (salt ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut stream = Some(initial);
+    // Consecutive failed reconnect attempts; reset by every applied
+    // epoch, so only an actually-unreachable transactor exhausts it.
+    let mut attempt: u32 = 0;
+    while !shared.stopping() {
+        let mut live = match stream.take() {
+            Some(live) => live,
+            None => {
+                if attempt >= config.reconnect.max_retries {
+                    let last = shared
+                        .last_error
+                        .lock()
+                        .expect("error slot poisoned")
+                        .clone();
+                    shared.park(last.unwrap_or(SfcError::ConnectionLost {
+                        context: format!("reconnect budget exhausted after {attempt} attempts"),
+                    }));
                     return;
                 }
-                if let Err(e) = table.apply_batch(ops) {
-                    park(e);
+                backoff_sleep(shared, config.reconnect.backoff(attempt, salt));
+                if shared.stopping() {
                     return;
                 }
-                durable.store(durable_epoch, Ordering::Release);
+                attempt += 1;
+                // Resume from the applied epoch: the server replays
+                // `(applied, start_epoch]` from its WAL, then the live
+                // feed takes over — exactly-once, no replica-side log.
+                match Client::<C, V, D>::connect_with(addr, config.net)
+                    .and_then(|c| c.subscribe_epochs(table.version_epoch()))
+                {
+                    Ok(live) => {
+                        shared.reconnects.fetch_add(1, Ordering::AcqRel);
+                        live
+                    }
+                    Err(e) => {
+                        if is_terminal(&e) {
+                            shared.park(e);
+                            return;
+                        }
+                        shared.note_error(&e);
+                        continue;
+                    }
+                }
             }
-            Ok(Some(EpochEvent::Lagged)) => {
-                park(SfcError::Storage {
-                    context: "subscription lagged out; re-subscribe and catch up".into(),
-                });
+        };
+        shared.set_state(STATE_STREAMING);
+        // Drain this stream until it dies or the replica stops.
+        let stream_fault = loop {
+            if shared.stopping() {
                 return;
             }
-            Err(e) => {
-                park(e);
-                return;
+            match live.poll(POLL_INTERVAL) {
+                Ok(None) => continue,
+                Ok(Some(EpochEvent::Epoch {
+                    epoch,
+                    durable_epoch,
+                    ops,
+                })) => {
+                    let expect = table.version_epoch() + 1;
+                    if epoch != expect {
+                        shared.park(SfcError::Storage {
+                            context: format!("epoch stream gap: got {epoch}, expected {expect}"),
+                        });
+                        return;
+                    }
+                    if let Err(e) = table.apply_batch(ops) {
+                        shared.park(e);
+                        return;
+                    }
+                    shared.durable.store(durable_epoch, Ordering::Release);
+                    attempt = 0;
+                }
+                Ok(Some(EpochEvent::Lagged)) => {
+                    // The transactor cut us off for falling behind. Not
+                    // fatal under self-healing: re-subscribing from the
+                    // applied epoch is precisely the catch-up protocol.
+                    break SfcError::Unavailable {
+                        context: "subscription lagged out; re-subscribing from applied".into(),
+                    };
+                }
+                Err(e) => {
+                    if is_terminal(&e) {
+                        shared.park(e);
+                        return;
+                    }
+                    break e;
+                }
             }
+        };
+        shared.note_error(&stream_fault);
+        if config.reconnect.max_retries == 0 {
+            // Fail-stop mode: park the original stream fault unchanged.
+            shared.park(stream_fault);
+            return;
         }
+        shared.set_state(STATE_RECONNECTING);
     }
 }

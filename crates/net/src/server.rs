@@ -26,15 +26,88 @@ use crate::proto::{Request, Response};
 use onion_core::{SfcError, SpaceFillingCurve};
 use sfc_engine::{Engine, FeedEvent, Op};
 use sfc_index::WalCodec;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a handler blocks on its socket (or the epoch feed) before
 /// re-checking the shutdown flag — the bound on shutdown latency.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Overload and lifecycle knobs for a [`Server`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Admission cap: connections accepted beyond this limit are turned
+    /// away with a typed [`SfcError::Unavailable`] frame (sent after
+    /// the preamble, so the refusal is legible) and closed. The request
+    /// was never read, let alone executed — retrying is safe for every
+    /// verb.
+    pub max_connections: usize,
+    /// Disconnect a connection that has sent no frame for this long, so
+    /// a dead or vanished peer cannot pin a handler thread (and its
+    /// admission slot) forever. `None` disables the idle deadline.
+    pub idle_timeout: Option<Duration>,
+    /// Bound on the preamble exchange per connection — an accepted
+    /// socket that never speaks is dropped after this.
+    pub preamble_timeout: Duration,
+    /// On shutdown, how long to wait for in-flight handlers to finish
+    /// before their sockets are forcibly shut down. The drain bound
+    /// keeps [`Server::shutdown`] from hanging on a stalled peer.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 1024,
+            idle_timeout: None,
+            preamble_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// State shared between the accept loop, every handler thread, and the
+/// [`Server`] handle.
+struct Shared {
+    stop: AtomicBool,
+    config: ServerConfig,
+    /// Admitted (serving) connections right now — compared against
+    /// `config.max_connections` at accept time.
+    active: AtomicUsize,
+    /// Clones of every live connection's stream, so drain can forcibly
+    /// shut down stragglers. Keyed by a monotonic id; handlers remove
+    /// their entry on exit.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicUsize,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Decrements the active-connection count and unregisters the stream
+/// clone when a handler exits, however it exits.
+struct AdmissionGuard<'a> {
+    shared: &'a Shared,
+    conn_id: u64,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+        self.shared
+            .conns
+            .lock()
+            .expect("connection registry poisoned")
+            .remove(&self.conn_id);
+    }
+}
 
 /// Answers one non-streaming request against the engine — the single
 /// dispatcher both the network handler and
@@ -91,14 +164,14 @@ where
 /// Dropping it shuts the server down and joins every thread.
 pub struct Server {
     addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback
-    /// port) and starts serving `engine` until
-    /// [`shutdown`](Self::shutdown) or drop.
+    /// port) and starts serving `engine` with [`ServerConfig`] defaults
+    /// until [`shutdown`](Self::shutdown) or drop.
     ///
     /// # Errors
     /// If the bind fails.
@@ -110,18 +183,40 @@ impl Server {
         C: SpaceFillingCurve<D> + Send + Sync + 'static,
         V: Clone + Send + Sync + WalCodec + 'static,
     {
+        Self::spawn_with(engine, addr, ServerConfig::default())
+    }
+
+    /// [`Server::spawn`] with explicit overload-protection knobs.
+    ///
+    /// # Errors
+    /// If the bind fails.
+    pub fn spawn_with<C, V, const D: usize>(
+        engine: Arc<Engine<C, V, D>>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> Result<Server, SfcError>
+    where
+        C: SpaceFillingCurve<D> + Send + Sync + 'static,
+        V: Clone + Send + Sync + WalCodec + 'static,
+    {
         let listener = TcpListener::bind(addr).map_err(|e| net_err(format!("bind {addr}"), e))?;
         let local = listener
             .local_addr()
             .map_err(|e| net_err("local_addr", e))?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            config,
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicUsize::new(0),
+        });
         let accept = {
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, engine, stop))
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, engine, shared))
         };
         Ok(Server {
             addr: local,
-            stop,
+            shared,
             accept: Some(accept),
         })
     }
@@ -132,13 +227,21 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, disconnects every handler, joins all threads.
+    /// Connections currently admitted and being served. Busy-rejected
+    /// connections never count.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, drains in-flight handlers (bounded by
+    /// [`ServerConfig::drain_deadline`], after which straggler sockets
+    /// are forcibly shut down), and joins all threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
         // Wake the accept loop: it blocks in accept(), so poke it with a
         // throwaway connection to our own port.
         let _ = TcpStream::connect(self.addr);
@@ -157,42 +260,109 @@ impl Drop for Server {
 fn accept_loop<C, V, const D: usize>(
     listener: TcpListener,
     engine: Arc<Engine<C, V, D>>,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
 ) where
     C: SpaceFillingCurve<D> + Send + Sync + 'static,
     V: Clone + Send + Sync + WalCodec + 'static,
 {
     let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-    while !stop.load(Ordering::Acquire) {
+    while !shared.stopping() {
         let Ok((stream, _)) = listener.accept() else {
             continue;
         };
-        if stop.load(Ordering::Acquire) {
+        if shared.stopping() {
             break; // the shutdown poke itself
         }
-        let engine = Arc::clone(&engine);
-        let stop = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || {
-            // A failed preamble or a poisoned connection just ends this
-            // handler; the listener keeps serving others.
-            let _ = handle_connection(stream, &engine, &stop);
-        });
+        // Admission decision happens here, before a handler thread is
+        // committed to serving: over the cap, a cheap refusal thread
+        // completes the preamble and sends the typed busy frame so the
+        // client fails legibly (and safely — nothing was executed).
+        let admitted = shared.active.load(Ordering::Acquire) < shared.config.max_connections;
+        let shared = Arc::clone(&shared);
+        let handle = if admitted {
+            shared.active.fetch_add(1, Ordering::AcqRel);
+            let conn_id = shared.next_conn_id.fetch_add(1, Ordering::AcqRel) as u64;
+            if let Ok(clone) = stream.try_clone() {
+                shared
+                    .conns
+                    .lock()
+                    .expect("connection registry poisoned")
+                    .insert(conn_id, clone);
+            }
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let _guard = AdmissionGuard {
+                    shared: &shared,
+                    conn_id,
+                };
+                // A failed preamble or a poisoned connection just ends
+                // this handler; the listener keeps serving others.
+                let _ = handle_connection(stream, &engine, &shared);
+            })
+        } else {
+            std::thread::spawn(move || {
+                let _ = refuse_connection::<D, V>(stream, &shared);
+            })
+        };
         handlers
             .lock()
             .expect("handler registry poisoned")
             .push(handle);
     }
+    drain(&shared);
     for handle in handlers.into_inner().expect("handler registry poisoned") {
         let _ = handle.join();
     }
 }
 
-/// Serves one connection until the peer hangs up, an error poisons the
-/// stream, or shutdown is raised.
+/// Waits up to the drain deadline for handlers to notice the stop flag
+/// and finish; whatever is still running then (a peer stalling a write,
+/// typically) gets its socket forcibly shut down, which unblocks the
+/// handler with an I/O error.
+fn drain(shared: &Shared) {
+    let deadline = Instant::now() + shared.config.drain_deadline;
+    while shared.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for stream in shared
+        .conns
+        .lock()
+        .expect("connection registry poisoned")
+        .values()
+    {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Turns away a connection accepted over the admission cap: complete
+/// the preamble (so the refusal is protocol-legible, not a mute hangup),
+/// send one typed busy frame, close.
+fn refuse_connection<const D: usize, V: WalCodec>(
+    mut stream: TcpStream,
+    shared: &Shared,
+) -> Result<(), SfcError> {
+    stream.set_nodelay(true).ok();
+    write_hello(&mut stream)?;
+    read_hello(&mut stream, Some(shared.config.preamble_timeout))?;
+    let mut buf = Vec::new();
+    send(
+        &mut stream,
+        &mut buf,
+        &Response::<D, V>::Error(SfcError::Unavailable {
+            context: format!(
+                "admission cap reached ({} connections)",
+                shared.config.max_connections
+            ),
+        }),
+    )
+}
+
+/// Serves one connection until the peer hangs up or goes idle past the
+/// deadline, an error poisons the stream, or shutdown is raised.
 fn handle_connection<C, V, const D: usize>(
     mut stream: TcpStream,
     engine: &Engine<C, V, D>,
-    stop: &AtomicBool,
+    shared: &Shared,
 ) -> Result<(), SfcError>
 where
     C: SpaceFillingCurve<D>,
@@ -200,15 +370,26 @@ where
 {
     stream.set_nodelay(true).ok();
     write_hello(&mut stream)?;
-    read_hello(&mut stream)?;
+    read_hello(&mut stream, Some(shared.config.preamble_timeout))?;
     let mut reader = FrameReader::new();
     let mut buf = Vec::new();
-    while !stop.load(Ordering::Acquire) {
+    let mut last_frame = Instant::now();
+    while !shared.stopping() {
         let payload = match reader.poll(&mut stream, Some(POLL_INTERVAL))? {
             PollFrame::Frame(payload) => payload,
-            PollFrame::Idle => continue,
+            PollFrame::Idle => {
+                if let Some(idle) = shared.config.idle_timeout {
+                    if last_frame.elapsed() > idle {
+                        // A peer that stopped talking loses its slot; a
+                        // live client reconnects transparently.
+                        return Ok(());
+                    }
+                }
+                continue;
+            }
             PollFrame::Closed => return Ok(()),
         };
+        last_frame = Instant::now();
         let mut cur = sfc_index::WalCursor::new(&payload);
         let Some(request) = Request::<D, V>::decode(&mut cur) else {
             // An undecodable request is answered, not fatal: the frame
@@ -224,7 +405,7 @@ where
             continue;
         };
         if let Request::SubscribeEpochs { from } = request {
-            return stream_epochs(stream, engine, stop, from);
+            return stream_epochs(stream, engine, &shared.stop, from);
         }
         send(&mut stream, &mut buf, &respond(engine, request))?;
     }

@@ -63,13 +63,32 @@ fn arb_error(rng: &mut StdRng, variant: usize) -> SfcError {
         5 => SfcError::DimensionUnsupported {
             dims: rng.random_range(0..64),
         },
-        _ => SfcError::Storage {
+        6 => SfcError::Storage {
             context: arb_string(rng),
+        },
+        7 => SfcError::Unavailable {
+            context: arb_string(rng),
+        },
+        8 => SfcError::DeadlineExceeded {
+            context: arb_string(rng),
+        },
+        9 => SfcError::ConnectionLost {
+            context: arb_string(rng),
+        },
+        10 => SfcError::TornFrame {
+            context: arb_string(rng),
+        },
+        11 => SfcError::AmbiguousWrite {
+            context: arb_string(rng),
+        },
+        _ => SfcError::EpochTruncated {
+            requested: rng.random_range(0..u64::MAX),
+            horizon: rng.random_range(0..u64::MAX),
         },
     }
 }
 
-const ERROR_VARIANTS: usize = 7;
+const ERROR_VARIANTS: usize = 13;
 
 fn arb_records(rng: &mut StdRng) -> Vec<Record<2, u64>> {
     (0..rng.random_range(0..12usize))
@@ -260,7 +279,7 @@ fn error_codes_are_pinned() {
     let codes: Vec<u16> = (0..ERROR_VARIANTS)
         .map(|v| arb_error(&mut rng, v).code())
         .collect();
-    assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+    assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
 }
 
 #[test]

@@ -1,0 +1,536 @@
+//! Deterministic network chaos — [`crate::FaultInjector`]'s discipline
+//! lifted from the I/O stream to the transport.
+//!
+//! [`FaultStore`](crate::FaultStore) interposes scheduled media faults
+//! between an engine and its pages; [`ChaosProxy`] interposes scheduled
+//! *network* faults between a client (or replica) and its server: a TCP
+//! proxy whose forwarding threads consult a shared [`ChaosInjector`]
+//! schedule — connection kills, stalls, split writes — and which can
+//! sever every live connection at once ([`ChaosProxy::kill_all`], the
+//! failover benchmark's hammer).
+//!
+//! Determinism contract: the injector's clock ticks once per forwarded
+//! chunk, shared across every connection and both directions through
+//! the same proxy, and a fault scheduled at count `n` fires on the
+//! first chunk at or after the `n`-th, exactly once — mirroring
+//! [`FaultInjector::schedule`](crate::FaultInjector::schedule). The
+//! *schedule* is exactly reproducible from a seed; chunk boundaries
+//! (and therefore the precise byte a fault lands on) follow kernel
+//! timing, which is exactly the point — the invariants a chaos test
+//! pins must hold under **every** interleaving, and the seed regrows
+//! the same schedule for a failing run.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a pump thread blocks on its socket before re-checking the
+/// stop flag and kill marks — the bound on shutdown/kill latency.
+const PUMP_POLL: Duration = Duration::from_millis(10);
+
+/// What a scheduled network fault does to the chunk it strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFault {
+    /// Sever the proxied connection, both directions, without
+    /// forwarding the struck chunk — the receiver sees a clean close or
+    /// a torn frame depending on where the stream stood.
+    Kill,
+    /// Freeze forwarding for the duration before delivering the chunk —
+    /// what trips client deadlines and server idle reaps.
+    Stall(Duration),
+    /// Forward the struck chunk as two byte-level halves with a pause
+    /// between — exercises frame reassembly across reads.
+    Split,
+}
+
+/// One armed fault: strikes the first chunk at or after `at_op` ticks.
+#[derive(Clone, Copy, Debug)]
+struct Armed {
+    at_op: u64,
+    fault: NetFault,
+}
+
+/// The shared chaos state: one chunk clock plus the faults scheduled
+/// against it. Hand clones to a [`ChaosProxy`] (and keep one in the
+/// test, for [`Self::injected`] assertions).
+#[derive(Debug, Default)]
+pub struct ChaosInjector {
+    /// Chunks forwarded so far, across all connections and directions.
+    ops: AtomicU64,
+    /// Faults not yet fired.
+    armed: Mutex<Vec<Armed>>,
+    /// Faults fired so far.
+    injected: AtomicU64,
+}
+
+impl ChaosInjector {
+    /// An injector with an empty schedule (every chunk passes through
+    /// until faults are [`Self::schedule`]d).
+    pub fn new() -> Arc<Self> {
+        Arc::new(ChaosInjector::default())
+    }
+
+    /// Arms `fault` to strike the first forwarded chunk at or after the
+    /// `at_op`-th (0-based; callable while the proxy is live, so tests
+    /// can arm mid-run).
+    pub fn schedule(&self, at_op: u64, fault: NetFault) {
+        self.armed
+            .lock()
+            .expect("chaos schedule poisoned")
+            .push(Armed { at_op, fault });
+    }
+
+    /// Chunks forwarded so far.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Faults fired so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Faults still armed (scheduled but not yet fired).
+    pub fn pending(&self) -> usize {
+        self.armed.lock().expect("chaos schedule poisoned").len()
+    }
+
+    /// Ticks the clock for one forwarded chunk and returns the fault
+    /// striking it, if any. At most one fault fires per chunk (the
+    /// earliest-scheduled due one, ties broken by arming order).
+    fn tick(&self) -> Option<NetFault> {
+        let now = self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut armed = self.armed.lock().expect("chaos schedule poisoned");
+        let due = armed
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.at_op <= now)
+            .min_by_key(|(i, a)| (a.at_op, *i))
+            .map(|(i, _)| i)?;
+        let fired = armed.swap_remove(due);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(fired.fault)
+    }
+}
+
+/// One proxied connection: the two streams plus a sever mark. Both pump
+/// threads hold a clone; [`ChaosProxy::kill_all`] (or a scheduled
+/// [`NetFault::Kill`]) shuts both sockets down and marks the pair dead.
+struct ConnPair {
+    client: TcpStream,
+    upstream: TcpStream,
+    dead: AtomicBool,
+}
+
+impl ConnPair {
+    /// Severs both directions. Idempotent.
+    fn sever(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.client.shutdown(Shutdown::Both);
+        let _ = self.upstream.shutdown(Shutdown::Both);
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+}
+
+/// A deterministic-chaos TCP proxy: listens on an ephemeral loopback
+/// port, forwards every accepted connection to `upstream`, and subjects
+/// the forwarded chunks to its [`ChaosInjector`]'s schedule. Point a
+/// client or replica at [`ChaosProxy::addr`] instead of the server and
+/// the network between them becomes programmable.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    injector: Arc<ChaosInjector>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<HashMap<u64, Arc<ConnPair>>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts proxying to
+    /// `upstream`, consulting `injector` on every forwarded chunk.
+    ///
+    /// # Errors
+    /// If the bind fails.
+    pub fn spawn(upstream: &str, injector: Arc<ChaosInjector>) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<HashMap<u64, Arc<ConnPair>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let accept = {
+            let upstream = upstream.to_string();
+            let injector = Arc::clone(&injector);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(listener, &upstream, injector, stop, conns))
+        };
+        Ok(ChaosProxy {
+            addr,
+            injector,
+            stop,
+            conns,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listening address, as a `host:port` string a client
+    /// or replica connects to.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// The injector this proxy consults (the one passed to
+    /// [`ChaosProxy::spawn`]).
+    pub fn injector(&self) -> &Arc<ChaosInjector> {
+        &self.injector
+    }
+
+    /// Severs every live proxied connection right now, returning how
+    /// many were cut. The upstream server and the proxy both stay up —
+    /// this is the "network blip" a self-healing replica must survive,
+    /// and the hammer the failover benchmark swings.
+    pub fn kill_all(&self) -> usize {
+        let mut conns = self.conns.lock().expect("chaos registry poisoned");
+        let mut cut = 0;
+        for pair in conns.values() {
+            if !pair.is_dead() {
+                pair.sever();
+                cut += 1;
+            }
+        }
+        conns.retain(|_, pair| !pair.is_dead());
+        cut
+    }
+
+    /// Proxied connections currently alive.
+    pub fn live_connections(&self) -> usize {
+        let mut conns = self.conns.lock().expect("chaos registry poisoned");
+        conns.retain(|_, pair| !pair.is_dead());
+        conns.len()
+    }
+
+    /// Stops accepting, severs every connection, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.kill_all();
+        // Wake the accept loop with a throwaway connection to our port.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: &str,
+    injector: Arc<ChaosInjector>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<HashMap<u64, Arc<ConnPair>>>>,
+) {
+    let pumps: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    let mut next_id = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        let Ok((client, _)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::Acquire) {
+            break; // the shutdown poke itself
+        }
+        // A refused upstream just drops the inbound side — exactly what
+        // a client of a dead server would see.
+        let Ok(up) = TcpStream::connect(upstream) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        client.set_nodelay(true).ok();
+        up.set_nodelay(true).ok();
+        let pair = match (client.try_clone(), up.try_clone()) {
+            (Ok(c), Ok(u)) => Arc::new(ConnPair {
+                client: c,
+                upstream: u,
+                dead: AtomicBool::new(false),
+            }),
+            _ => {
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        conns
+            .lock()
+            .expect("chaos registry poisoned")
+            .insert(next_id, Arc::clone(&pair));
+        next_id += 1;
+        let spawn_pump = |mut src: TcpStream, mut dst: TcpStream| {
+            let injector = Arc::clone(&injector);
+            let stop = Arc::clone(&stop);
+            let pair = Arc::clone(&pair);
+            pumps
+                .lock()
+                .expect("pump registry poisoned")
+                .push(std::thread::spawn(move || {
+                    pump(&mut src, &mut dst, &injector, &stop, &pair);
+                    pair.sever();
+                }));
+        };
+        spawn_pump(client, up.try_clone().unwrap_or(up));
+        // The reverse direction reuses the registered clones.
+        if let (Ok(src), Ok(dst)) = (pair.upstream.try_clone(), pair.client.try_clone()) {
+            spawn_pump(src, dst);
+        } else {
+            pair.sever();
+        }
+    }
+    for pair in conns.lock().expect("chaos registry poisoned").values() {
+        pair.sever();
+    }
+    for handle in pumps.into_inner().expect("pump registry poisoned") {
+        let _ = handle.join();
+    }
+}
+
+/// Forwards chunks from `src` to `dst` until either side dies, the pair
+/// is severed, or the proxy stops — consulting the injector once per
+/// chunk.
+fn pump(
+    src: &mut TcpStream,
+    dst: &mut TcpStream,
+    injector: &ChaosInjector,
+    stop: &AtomicBool,
+    pair: &ConnPair,
+) {
+    if src.set_read_timeout(Some(PUMP_POLL)).is_err() {
+        return;
+    }
+    let mut chunk = [0u8; 16 * 1024];
+    while !stop.load(Ordering::Acquire) && !pair.is_dead() {
+        let n = match src.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        match injector.tick() {
+            Some(NetFault::Kill) => {
+                // Sever without forwarding: whatever frame was in flight
+                // is torn on the receiving side.
+                pair.sever();
+                return;
+            }
+            Some(NetFault::Stall(d)) => {
+                // Freeze in small slices so kills and shutdown stay
+                // responsive, then deliver the chunk late.
+                let mut left = d;
+                while !left.is_zero() && !stop.load(Ordering::Acquire) && !pair.is_dead() {
+                    let step = left.min(PUMP_POLL);
+                    std::thread::sleep(step);
+                    left = left.saturating_sub(step);
+                }
+                if dst.write_all(&chunk[..n]).is_err() {
+                    return;
+                }
+            }
+            Some(NetFault::Split) => {
+                let mid = n / 2;
+                if dst.write_all(&chunk[..mid]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                if dst.write_all(&chunk[mid..n]).is_err() {
+                    return;
+                }
+            }
+            None => {
+                if dst.write_all(&chunk[..n]).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny echo server: accepts one connection at a time and echoes
+    /// bytes back until close.
+    fn echo_server() -> (SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let Ok((mut conn, _)) = listener.accept() else {
+                        continue;
+                    };
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        conn.set_read_timeout(Some(Duration::from_millis(10))).ok();
+                        let mut buf = [0u8; 4096];
+                        while !stop.load(Ordering::Acquire) {
+                            match conn.read(&mut buf) {
+                                Ok(0) => return,
+                                Ok(n) => {
+                                    if conn.write_all(&buf[..n]).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(e)
+                                    if matches!(
+                                        e.kind(),
+                                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                                    ) =>
+                                {
+                                    continue;
+                                }
+                                Err(_) => return,
+                            }
+                        }
+                    });
+                }
+            })
+        };
+        (addr, stop, handle)
+    }
+
+    fn roundtrip(conn: &mut TcpStream, msg: &[u8]) -> io::Result<Vec<u8>> {
+        conn.write_all(msg)?;
+        let mut got = vec![0u8; msg.len()];
+        conn.read_exact(&mut got)?;
+        Ok(got)
+    }
+
+    #[test]
+    fn clean_proxy_is_transparent() {
+        let (addr, stop, _h) = echo_server();
+        let inj = ChaosInjector::new();
+        let proxy = ChaosProxy::spawn(&addr.to_string(), Arc::clone(&inj)).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        for i in 0..10u8 {
+            let msg = [i; 64];
+            assert_eq!(roundtrip(&mut conn, &msg).unwrap(), msg);
+        }
+        assert!(inj.op_count() >= 20, "both directions tick the clock");
+        assert_eq!(inj.injected(), 0);
+        assert_eq!(proxy.live_connections(), 1);
+        proxy.shutdown();
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn scheduled_kill_severs_the_connection() {
+        let (addr, stop, _h) = echo_server();
+        let inj = ChaosInjector::new();
+        // Chunk 0 is the outbound request; let it pass. Strike at 4:
+        // two clean round trips (ops 0-3), then the next forward dies.
+        inj.schedule(4, NetFault::Kill);
+        let proxy = ChaosProxy::spawn(&addr.to_string(), Arc::clone(&inj)).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        assert!(roundtrip(&mut conn, &[1u8; 32]).is_ok());
+        assert!(roundtrip(&mut conn, &[2u8; 32]).is_ok());
+        // The struck chunk is never delivered: the read sees a dead
+        // socket (reset or EOF) rather than data.
+        conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let dead = roundtrip(&mut conn, &[3u8; 32]).is_err();
+        assert!(dead, "killed connection must not deliver the chunk");
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(proxy.live_connections(), 0);
+        proxy.shutdown();
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn stall_delays_but_delivers() {
+        let (addr, stop, _h) = echo_server();
+        let inj = ChaosInjector::new();
+        inj.schedule(0, NetFault::Stall(Duration::from_millis(120)));
+        let proxy = ChaosProxy::spawn(&addr.to_string(), Arc::clone(&inj)).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(roundtrip(&mut conn, &[9u8; 16]).unwrap(), [9u8; 16]);
+        assert!(
+            start.elapsed() >= Duration::from_millis(100),
+            "the stalled chunk arrived late, not dropped"
+        );
+        assert_eq!(inj.injected(), 1);
+        proxy.shutdown();
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn split_reorders_nothing() {
+        let (addr, stop, _h) = echo_server();
+        let inj = ChaosInjector::new();
+        for i in 0..8 {
+            inj.schedule(i, NetFault::Split);
+        }
+        let proxy = ChaosProxy::spawn(&addr.to_string(), Arc::clone(&inj)).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let msg: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(roundtrip(&mut conn, &msg).unwrap(), msg);
+        assert!(inj.injected() >= 2, "both directions were split");
+        proxy.shutdown();
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn kill_all_severs_every_live_connection() {
+        let (addr, stop, _h) = echo_server();
+        let inj = ChaosInjector::new();
+        let proxy = ChaosProxy::spawn(&addr.to_string(), Arc::clone(&inj)).unwrap();
+        let mut conns: Vec<TcpStream> = (0..3)
+            .map(|_| TcpStream::connect(proxy.addr()).unwrap())
+            .collect();
+        // Touch each connection so the pumps are demonstrably alive.
+        for conn in &mut conns {
+            assert!(roundtrip(conn, &[7u8; 8]).is_ok());
+        }
+        assert_eq!(proxy.live_connections(), 3);
+        assert_eq!(proxy.kill_all(), 3);
+        assert_eq!(proxy.live_connections(), 0);
+        for conn in &mut conns {
+            conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            assert!(
+                roundtrip(conn, &[8u8; 8]).is_err(),
+                "severed connections stay dead"
+            );
+        }
+        proxy.shutdown();
+        stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(addr);
+    }
+}

@@ -16,16 +16,22 @@
 //! engine's crash-consistency tests; [`FaultStore`] / [`FaultInjector`]
 //! extend the same idea below the storage API, injecting torn pages,
 //! full-disk writes, short reads, and failed fsyncs into any real
-//! [`PageStore`](sfc_index::PageStore) at scheduled operation counts.
+//! [`PageStore`](sfc_index::PageStore) at scheduled operation counts;
+//! [`ChaosProxy`] / [`ChaosInjector`] lift it to the transport,
+//! injecting connection kills, stalls, and split writes into any TCP
+//! stream at scheduled chunk counts — the proof layer behind the
+//! network stack's self-healing replication tests.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod chaos;
 mod crash;
 mod fault;
 mod ops;
 mod points;
 
+pub use chaos::{ChaosInjector, ChaosProxy, NetFault};
 pub use crash::CrashSchedule;
 pub use fault::{faulty_file_factory, Fault, FaultInjector, FaultStore};
 pub use ops::{client_streams, mixed_op_stream, OpMix, StreamOp};

@@ -1,16 +1,18 @@
-//! The network layer end to end: a transactor `Engine` behind a
-//! `Server`, a `Client` writing over TCP loopback, and a read
+//! The network layer end to end: a durable transactor `Engine` behind
+//! a `Server`, a `Client` writing over TCP loopback, and a read
 //! `Replica` streaming the committed epochs — converging, reporting
-//! lag, and answering time-travel queries from its own retention
-//! window.
+//! lag, answering time-travel queries from its own retention window,
+//! and (the finale) surviving a severed connection: killed mid-stream,
+//! it reconnects, resumes from its applied epoch, and catches up the
+//! missed epochs from the transactor's WAL.
 //!
 //! Run with `cargo run --release --example replicated_engine`.
 
 use onion_curve::clustering::RectQuery;
 use onion_curve::engine::{Engine, EngineConfig};
-use onion_curve::index::{DiskModel, ShardedTable};
-use onion_curve::net::{Client, Replica, Server};
-use onion_curve::workloads::{mixed_op_stream, OpMix};
+use onion_curve::index::DiskModel;
+use onion_curve::net::{Client, Replica, ReplicaState, Server};
+use onion_curve::workloads::{mixed_op_stream, ChaosInjector, ChaosProxy, OpMix};
 use onion_curve::{Onion2D, Point};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,24 +21,50 @@ use std::time::{Duration, Instant};
 
 const SIDE: u32 = 1 << 6;
 
+fn await_applied(replica: &Replica<Onion2D, u64, 2>, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while replica.applied_epoch() < target {
+        assert!(
+            !replica.is_failed(),
+            "replica fault: {:?}",
+            replica.take_fault()
+        );
+        assert!(Instant::now() < deadline, "replica failed to converge");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 fn main() {
-    // The transactor: an in-memory engine on the onion curve, 2 shards,
-    // manual epoch control so the example's flushes are the epochs.
-    let curve = Onion2D::new(SIDE).unwrap();
-    let table =
-        ShardedTable::build(curve, Vec::<(Point<2>, u64)>::new(), DiskModel::ssd(), 2).unwrap();
-    let engine = Arc::new(Engine::new(table, EngineConfig::with_epoch_ops(1 << 20)));
+    // The transactor: a DURABLE engine on the onion curve — the WAL it
+    // commits is also what lets a severed replica catch up later.
+    // Manual epoch control so the example's flushes are the epochs.
+    let dir = std::env::temp_dir().join(format!("onion-replicated-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine: Arc<Engine<Onion2D, u64, 2>> = Arc::new(
+        Engine::open(
+            &dir,
+            Onion2D::new(SIDE).unwrap(),
+            DiskModel::ssd(),
+            2,
+            EngineConfig::with_epoch_ops(1 << 20),
+        )
+        .unwrap(),
+    );
 
     // Put it on the network: ephemeral loopback port.
     let server = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").unwrap();
     let addr = server.local_addr().to_string();
     println!("transactor serving on {addr}");
 
-    // A replica subscribes before any write lands, so it sees every
-    // epoch live. It re-partitions to 3 shards — like recovery,
-    // replication is shard-count agnostic.
+    // The replica subscribes THROUGH a chaos proxy — a deterministic
+    // fault point we'll use to sever its connection later. It
+    // re-partitions to 3 shards — like recovery, replication is
+    // shard-count agnostic. `Replica::start` is self-healing by
+    // default: connection loss means reconnect-and-resume, not death.
+    let injector = ChaosInjector::new();
+    let proxy = ChaosProxy::spawn(&addr, Arc::clone(&injector)).unwrap();
     let replica = Replica::<Onion2D, u64, 2>::start(
-        &addr,
+        &proxy.addr(),
         Onion2D::new(SIDE).unwrap(),
         DiskModel::ssd(),
         3,
@@ -62,16 +90,7 @@ fn main() {
     let committed = engine.stats().epochs;
 
     // Convergence: wait (bounded) for the replica to drain the stream.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while replica.applied_epoch() < committed {
-        assert!(
-            !replica.is_failed(),
-            "replica fault: {:?}",
-            replica.take_fault()
-        );
-        assert!(Instant::now() < deadline, "replica failed to converge");
-        std::thread::sleep(Duration::from_millis(2));
-    }
+    await_applied(&replica, committed);
     println!(
         "\nreplica converged: applied epoch {} of {}, lag {}",
         replica.applied_epoch(),
@@ -107,7 +126,38 @@ fn main() {
         }
     }
 
+    // Failover: sever the replica's subscription, then keep writing.
+    // The replica reconnects under its backoff policy, re-subscribes
+    // from its applied epoch, and the transactor's WAL serves exactly
+    // the epochs it missed — exactly-once, no re-seeding.
+    println!("\nsevering the replica's connection (proxy kill)...");
+    proxy.kill_all();
+    for _ in 0..2 {
+        let ops = mixed_op_stream::<2, _>(SIDE, 250, &OpMix::balanced(), 0.7, 8, &mut rng);
+        for op in ops {
+            client.execute(op.into()).unwrap();
+        }
+        client.flush().unwrap();
+    }
+    let committed = engine.stats().epochs;
+    await_applied(&replica, committed);
+    let status = replica.status();
+    assert_eq!(status.state, ReplicaState::Streaming);
+    assert!(status.reconnects >= 1);
+    println!(
+        "replica healed: applied epoch {} of {}, lag {}, reconnects {}",
+        status.applied, committed, status.lag, status.reconnects
+    );
+    let healed = replica.query(&q).unwrap().records;
+    assert_eq!(healed, client.query(q).unwrap());
+    println!(
+        "post-failover scan: {} records, identical again",
+        healed.len()
+    );
+
     replica.stop();
+    proxy.shutdown();
     server.shutdown();
-    println!("\nclean shutdown: replica stopped, server joined");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\nclean shutdown: replica stopped, proxy and server joined");
 }
